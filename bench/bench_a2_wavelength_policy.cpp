@@ -1,0 +1,80 @@
+// Ablation A2 — wavelength modulation policy (war story 2, §1):
+//
+//   "Pushing optical wavelengths to higher data rates increases their
+//    susceptibility to failure [40]. ... when a wavelength fails, the
+//    logical link drops, and the routing layer must reconverge."
+//
+// Sweeps three L1 policies over the same optical underlay and reports the
+// cross-layer consequences the SMN can see and a siloed optical team
+// cannot: capacity gained vs flaps (and therefore L3 reconvergence events)
+// induced. The rate-adaptive policy (RADWAN-style) is the cross-layer
+// sweet spot. Also reports the SRLG-diverse coverage of the topology —
+// §7's "risk-aware topology design" metric.
+#include <cstdio>
+
+#include "optical/optical.h"
+#include "optical/risk_aware.h"
+#include "topology/wan_generator.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+int main() {
+  using namespace smn;
+  const topology::WanTopology wan = topology::generate_test_wan(/*seed=*/3);
+
+  std::puts("=== A2: Wavelength modulation policy — capacity vs resilience ===\n");
+  std::printf("WAN: %zu datacenters, %zu links\n", wan.datacenter_count(), wan.link_count());
+
+  util::Table table({"Policy", "Total capacity (Tbps)", "Expected flaps/day",
+                     "Reconvergences/week", "Capacity vs QPSK"});
+
+  double qpsk_capacity = 0.0;
+  for (const auto& [name, policy] :
+       std::vector<std::pair<std::string, int>>{{"conservative: QPSK-100 everywhere", 0},
+                                                {"aggressive: 16QAM-400 everywhere", 1},
+                                                {"rate-adaptive (margin >= 2 dB)", 2}}) {
+    optical::OpticalNetwork underlay = optical::build_underlay(wan, /*seed=*/31);
+    for (std::size_t i = 0; i < underlay.wavelength_count(); ++i) {
+      switch (policy) {
+        case 0:
+          underlay.set_modulation(i, optical::Modulation::kQpsk100);
+          break;
+        case 1:
+          underlay.set_modulation(i, optical::Modulation::k16Qam400);
+          break;
+        case 2:
+          underlay.set_modulation(i, underlay.best_safe_modulation(i, 2.0));
+          break;
+      }
+    }
+    double capacity = 0.0, flaps = 0.0;
+    for (std::size_t li = 0; li < wan.link_count(); ++li) {
+      capacity += underlay.link_capacity_gbps(li);
+    }
+    for (const optical::LinkRisk& risk : underlay.assess_risks()) {
+      flaps += risk.expected_flaps_per_day;
+    }
+    if (policy == 0) qpsk_capacity = capacity;
+    table.add_row({name, util::format_double(capacity / 1000.0, 1),
+                   util::format_double(flaps, 2),
+                   // Every flap drops a logical link => one L3 reconvergence.
+                   util::format_double(flaps * 7.0, 0),
+                   util::format_double(capacity / qpsk_capacity, 2) + "x"});
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  // Risk-aware topology design (§7): how much of the mesh has
+  // conduit-disjoint primary/backup paths?
+  const optical::OpticalNetwork underlay = optical::build_underlay(wan, 31);
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> pairs;
+  for (graph::NodeId a = 0; a < wan.datacenter_count(); ++a) {
+    for (graph::NodeId b = a + 1; b < wan.datacenter_count(); b += 2) pairs.emplace_back(a, b);
+  }
+  std::printf("\nSRLG-diverse coverage (conduit-disjoint primary+backup): %.0f%% of %zu pairs\n",
+              100.0 * optical::srlg_diverse_coverage(wan, underlay, pairs), pairs.size());
+  std::puts("\nShape: the aggressive policy buys ~4x capacity but multiplies flaps —");
+  std::puts("the routing disruption war story 2 describes; rate adaptation keeps most");
+  std::puts("of the capacity while holding flaps near the conservative floor. A");
+  std::puts("siloed optical team sees only the capacity column; the SMN sees all.");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Ablation A5 — forecasting from coarse logs (§4):
+//
+//   "these historical logs are used to forecast future demand" — and the
+//   time-based coarsening §4 proposes changes what a forecaster can see.
+//
+// Walk-forward evaluation of three standard forecasters over three weeks of
+// hourly telemetry, trained on (a) the fine log and (b) per-window mean
+// reconstructions at growing windows, always scored against the fine truth.
+#include <cstdio>
+
+#include "telemetry/forecast.h"
+#include "telemetry/time_coarsening.h"
+#include "telemetry/traffic_generator.h"
+#include "topology/wan_generator.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace smn;
+
+/// Walk-forward MAPE: forecast from `inputs` history, score against
+/// `truth` actuals (both aligned hourly series).
+double cross_mape(const telemetry::Series& truth, const telemetry::Series& inputs,
+                  telemetry::ForecastMethod method, std::size_t horizon,
+                  std::size_t min_history, const telemetry::ForecastOptions& options) {
+  double total = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t split = min_history; split + 1 <= truth.size(); split += horizon) {
+    telemetry::Series prefix;
+    prefix.epoch = inputs.epoch;
+    prefix.values.assign(inputs.values.begin(),
+                         inputs.values.begin() +
+                             static_cast<std::ptrdiff_t>(std::min(split, inputs.size())));
+    const auto predicted = telemetry::forecast(prefix, horizon, method, options);
+    for (std::size_t h = 0; h < horizon && split + h < truth.size(); ++h) {
+      const double actual = truth.values[split + h];
+      if (actual == 0.0) continue;
+      total += std::abs((actual - predicted[h]) / actual);
+      ++counted;
+    }
+  }
+  return counted ? total / static_cast<double>(counted) : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  const topology::WanTopology wan = topology::generate_test_wan();
+  telemetry::TrafficConfig config;
+  config.duration = 3 * util::kWeek;
+  config.epoch = util::kHour;
+  config.active_pairs = 8;
+  config.seed = 44;
+  const telemetry::TrafficGenerator gen(wan, config);
+  const telemetry::BandwidthLog fine = gen.generate();
+
+  telemetry::ForecastOptions options;
+  options.season = static_cast<std::size_t>(util::kWeek / util::kHour);
+  const std::size_t horizon = 24;                   // forecast one day ahead
+  const std::size_t min_history = 2 * options.season;
+
+  std::puts("=== A5: Demand forecasting from fine vs coarse logs (Section 4) ===\n");
+  std::printf("3 weeks of hourly telemetry, %zu pairs; day-ahead walk-forward MAPE\n",
+              gen.pairs().size());
+  std::puts("averaged over pairs; coarse inputs are window-mean reconstructions,");
+  std::puts("always scored against the fine truth.\n");
+
+  util::Table table({"Input", "seasonal-naive", "seasonal+growth", "ewma"});
+  const std::vector<std::pair<std::string, util::SimTime>> inputs = {
+      {"fine (hourly)", 0},
+      {"6-hour windows", 6 * util::kHour},
+      {"1-day windows", util::kDay},
+      {"1-week windows", util::kWeek}};
+
+  for (const auto& [label, window] : inputs) {
+    telemetry::BandwidthLog input_log =
+        window == 0
+            ? fine
+            : telemetry::TimeCoarsener(window).coarsen(fine).reconstruct(util::kHour);
+    std::vector<std::string> row{label};
+    for (const telemetry::ForecastMethod method :
+         {telemetry::ForecastMethod::kSeasonalNaive,
+          telemetry::ForecastMethod::kSeasonalGrowth, telemetry::ForecastMethod::kEwma}) {
+      double total = 0.0;
+      std::size_t counted = 0;
+      for (const telemetry::TrafficPair& pair : gen.pairs()) {
+        const std::string src = wan.datacenter(pair.src).name;
+        const std::string dst = wan.datacenter(pair.dst).name;
+        const telemetry::Series truth = telemetry::extract_series(fine, src, dst, util::kHour);
+        telemetry::Series series = telemetry::extract_series(input_log, src, dst, util::kHour);
+        if (series.size() < min_history || truth.size() < min_history) continue;
+        series.values.resize(truth.size(), series.values.empty() ? 0.0 : series.values.back());
+        total += cross_mape(truth, series, method, horizon, min_history, options);
+        ++counted;
+      }
+      row.push_back(util::format_double(100.0 * (counted ? total / counted : 0.0), 1) + "%");
+    }
+    table.add_row(std::move(row));
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  std::puts("\nShape: seasonal methods dominate on fine inputs; window means wash out");
+  std::puts("the diurnal cycle, so forecast error climbs toward the EWMA flatline as");
+  std::puts("windows widen — the forecasting face of the E4 fidelity loss.");
+  return 0;
+}

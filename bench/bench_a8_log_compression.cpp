@@ -1,0 +1,79 @@
+// Ablation A8 — taming the CLDS's unstructured half (§2):
+//
+//   "centralizing this data across teams can take an infeasible amount of
+//    storage [36, 43] and bandwidth, but is also expensive to sift
+//    through."
+//
+// Template mining is itself a coarsening of the log stream (millions of
+// lines -> dozens of templates + parameters). This bench measures what it
+// buys on synthetic service logs: compression ratio, structuring (every
+// line becomes a queryable CLDS record), and template-first search that
+// skips most entries.
+#include <chrono>
+#include <cstdio>
+
+#include "logs/log_generator.h"
+#include "logs/template_miner.h"
+#include "smn/aiops.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+int main() {
+  using namespace smn;
+  using Clock = std::chrono::steady_clock;
+
+  std::puts("=== A8: Log template mining — storage, structure, search (Section 2) ===\n");
+
+  logs::LogGenConfig config;
+  config.lines = 200000;
+  const auto lines = logs::generate_service_logs(config);
+
+  logs::CompressedLogStore store;
+  const auto ingest_start = Clock::now();
+  for (const auto& [t, line] : lines) store.append(t, line);
+  const double ingest_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - ingest_start).count();
+
+  std::printf("Ingested %zu lines in %.0f ms (%.0fk lines/s)\n", store.size(), ingest_ms,
+              static_cast<double>(store.size()) / ingest_ms);
+  std::printf("Templates mined: %zu (from %zu latent patterns)\n", store.template_count(),
+              logs::latent_template_count());
+  std::printf("Raw size: %.1f MB -> encoded %.1f MB (%.1fx compression)\n",
+              static_cast<double>(store.raw_bytes()) / 1e6,
+              static_cast<double>(store.encoded_bytes()) / 1e6, store.compression_ratio());
+
+  // Search: selective needles prune most entries before any scan.
+  std::puts("\nTemplate-first search vs naive grep:");
+  util::Table table({"Needle", "Matches", "Entries scanned", "Pruned", "vs naive scan"});
+  for (const std::string needle :
+       {"hold timer expired", "gc pause", "cache miss", "completed"}) {
+    const auto results = store.search(needle);
+    const double pruned =
+        1.0 - static_cast<double>(store.last_search_scanned()) /
+                  static_cast<double>(store.size());
+    table.add_row({needle, std::to_string(results.size()),
+                   std::to_string(store.last_search_scanned()),
+                   util::format_double(100.0 * pruned, 1) + "%",
+                   util::format_double(
+                       store.last_search_scanned() == 0
+                           ? static_cast<double>(store.size())
+                           : static_cast<double>(store.size()) /
+                                 static_cast<double>(store.last_search_scanned()),
+                       0) + "x fewer"});
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  // Structuring (§6 AIOps item 3): logs become queryable CLDS records.
+  std::size_t numeric_fields = 0;
+  for (std::size_t i = 0; i < 1000; ++i) {
+    const auto record = ::smn::smn::structure_log(store.entries()[i], store.miner());
+    numeric_fields += record.numeric.size();
+  }
+  std::printf("\nStructuring: first 1000 lines yield %zu numeric fields for the CLTO\n",
+              numeric_fields);
+  std::puts("(template ids become event types, numeric parameters become metrics).");
+  std::puts("\nShape: a few dozen templates absorb 200k lines; storage shrinks several-");
+  std::puts("fold while gaining structure, and selective searches never touch the");
+  std::puts("chatty templates' entries — the [36, 43] result, reproduced in miniature.");
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Experiment E3 — §4 tractability: TE solve cost versus topology
+// granularity. Coarsening "will reduce the volume of data logs by an order
+// of magnitude [and] the resulting traffic engineering and capacity
+// planning optimization will be computationally tractable due to small
+// input size and few decision variables."
+//
+// google-benchmark timings of the approximate MCF solver on the fine
+// planetary WAN versus progressively coarser supernode graphs.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "lp/mcf.h"
+#include "te/coarse_te.h"
+#include "te/demand.h"
+#include "telemetry/traffic_generator.h"
+#include "topology/supernode.h"
+#include "topology/wan_generator.h"
+
+namespace {
+
+using namespace smn;
+
+struct Instance {
+  topology::WanTopology wan;
+  std::vector<lp::Commodity> commodities;
+};
+
+/// Builds the fine instance once, then coarsens it to `target` supernodes
+/// (0 = keep fine).
+const Instance& instance(std::size_t target) {
+  static const auto* fine = [] {
+    auto* inst = new Instance;
+    topology::WanConfig config;
+    config.regions_per_continent = 3;
+    config.dcs_per_region = 5;
+    inst->wan = topology::generate_planetary_wan(config);
+    telemetry::TrafficConfig traffic;
+    traffic.duration = util::kHour;
+    traffic.active_pairs = 300;
+    traffic.seed = 9;
+    const telemetry::BandwidthLog log =
+        telemetry::TrafficGenerator(inst->wan, traffic).generate();
+    inst->commodities =
+        te::DemandMatrix::from_log(log, te::DemandStatistic::kMean).to_commodities(inst->wan);
+    return inst;
+  }();
+  if (target == 0) return *fine;
+
+  static std::map<std::size_t, Instance>* cache = new std::map<std::size_t, Instance>;
+  const auto it = cache->find(target);
+  if (it != cache->end()) return it->second;
+  Instance coarse;
+  const auto coarsener = topology::SupernodeCoarsener::by_target_count(target);
+  const graph::Partition partition = coarsener.partition_for(fine->wan);
+  coarse.wan = topology::SupernodeCoarsener::coarsen_with_partition(fine->wan, partition);
+  coarse.commodities = te::aggregate_commodities(fine->wan, partition, fine->commodities);
+  return cache->emplace(target, std::move(coarse)).first->second;
+}
+
+void BM_McfSolve(benchmark::State& state) {
+  const Instance& inst = instance(static_cast<std::size_t>(state.range(0)));
+  lp::McfOptions options;
+  options.epsilon = 0.1;
+  for (auto _ : state) {
+    const lp::McfResult result =
+        lp::max_concurrent_flow(inst.wan.graph(), inst.commodities, options);
+    benchmark::DoNotOptimize(result.lambda);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(inst.commodities.size()));
+}
+
+// 0 = fine (105 DCs at this config); then region and sub-region scales.
+BENCHMARK(BM_McfSolve)->Arg(0)->Arg(21)->Arg(14)->Arg(7)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_SupernodeCoarsening(benchmark::State& state) {
+  const Instance& fine = instance(0);
+  const auto coarsener =
+      topology::SupernodeCoarsener::by_target_count(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const topology::WanTopology coarse = coarsener.coarsen(fine.wan);
+    benchmark::DoNotOptimize(coarse.link_count());
+  }
+}
+
+BENCHMARK(BM_SupernodeCoarsening)->Arg(21)->Arg(7)->Unit(benchmark::kMillisecond);
+
+void BM_DemandAggregation(benchmark::State& state) {
+  const Instance& fine = instance(0);
+  const auto coarsener =
+      topology::SupernodeCoarsener::by_target_count(static_cast<std::size_t>(state.range(0)));
+  const graph::Partition partition = coarsener.partition_for(fine.wan);
+  for (auto _ : state) {
+    const auto coarse = te::aggregate_commodities(fine.wan, partition, fine.commodities);
+    benchmark::DoNotOptimize(coarse.size());
+  }
+}
+
+BENCHMARK(BM_DemandAggregation)->Arg(21)->Arg(7)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Print the instance shapes once so the timing rows have context (the
+  // solved lambda is identical across granularities to within the FPTAS
+  // epsilon; bench_e2 reports the fidelity story).
+  std::printf("%-10s %8s %8s %12s %10s\n", "arg", "nodes", "edges", "commodities", "lambda");
+  lp::McfOptions options;
+  options.epsilon = 0.1;
+  for (const std::size_t target : {std::size_t{0}, std::size_t{21}, std::size_t{14},
+                                   std::size_t{7}, std::size_t{4}}) {
+    const Instance& inst = instance(target);
+    const lp::McfResult result =
+        lp::max_concurrent_flow(inst.wan.graph(), inst.commodities, options);
+    std::printf("%-10zu %8zu %8zu %12zu %10.4f\n", target, inst.wan.datacenter_count(),
+                inst.wan.graph().edge_count(), inst.commodities.size(), result.lambda);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Experiment E6 — the four §1 war stories, executed end-to-end through the
+// library, comparing siloed handling against the SMN (§2 "How SMNs can
+// mitigate operational challenges").
+#include <cstdio>
+
+#include "smn/war_stories.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+int main() {
+    std::puts("=== E6: War stories — siloed vs SMN handling (Sections 1-2) ===\n");
+
+  const auto reports = smn::smn::run_all_war_stories();
+  smn::util::Table table({"Id", "War story", "Siloed cost", "SMN cost", "Unit", "SMN better?"});
+  for (const auto& r : reports) {
+    table.add_row({r.id, r.title, smn::util::format_double(r.siloed_cost, 1),
+                   smn::util::format_double(r.smn_cost, 2), r.cost_unit,
+                   r.smn_improved ? "yes" : "NO"});
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  std::puts("\nDetails:");
+  for (const auto& r : reports) {
+    std::printf("\n[%s] %s\n", r.id.c_str(), r.title.c_str());
+    std::printf("  siloed: %s\n", r.siloed_outcome.c_str());
+    std::printf("  SMN:    %s\n", r.smn_outcome.c_str());
+  }
+  return 0;
+}

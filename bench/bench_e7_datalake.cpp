@@ -1,0 +1,114 @@
+// Experiment E7 — §6 "Global data lake": CLDS ingest/query/retention
+// throughput, plus the AIOps denoiser's per-record cost. These are the
+// operations that must keep up with "automation that continuously
+// processes real-time telemetry and logs".
+#include <benchmark/benchmark.h>
+
+#include "smn/aiops.h"
+#include "smn/data_lake.h"
+
+namespace {
+
+using DataCatalog = smn::smn::DataCatalog;
+using DataLake = smn::smn::DataLake;
+using DataType = smn::smn::DataType;
+using Record = smn::smn::Record;
+using RetentionPolicy = smn::smn::RetentionPolicy;
+using TelemetryDenoiser = smn::smn::TelemetryDenoiser;
+namespace util = smn::util;
+
+DataCatalog bench_catalog() {
+  DataCatalog catalog;
+  for (int t = 0; t < 8; ++t) {
+    catalog.register_dataset({.name = "telemetry.team" + std::to_string(t),
+                              .owner_team = "team" + std::to_string(t),
+                              .type = DataType::kTelemetry,
+                              .schema = {{"latency_ms", "ms", true}},
+                              .description = "bench"});
+  }
+  return catalog;
+}
+
+Record make_record(util::SimTime t, double value) {
+  Record r;
+  r.timestamp = t;
+  r.numeric["latency_ms"] = value;
+  r.tags["host"] = "host-42";
+  return r;
+}
+
+void BM_Ingest(benchmark::State& state) {
+  DataLake lake(bench_catalog());
+  util::SimTime t = 0;
+  for (auto _ : state) {
+    lake.ingest("telemetry.team0", make_record(t++, 10.0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Ingest);
+
+void BM_IngestThroughDenoiser(benchmark::State& state) {
+  DataLake lake(bench_catalog());
+  TelemetryDenoiser denoiser;
+  util::SimTime t = 0;
+  for (auto _ : state) {
+    ++t;
+    Record r = make_record(t, 10.0 + static_cast<double>(t % 7));
+    denoiser.denoise("telemetry.team0", r);
+    lake.ingest("telemetry.team0", std::move(r));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IngestThroughDenoiser);
+
+void BM_QueryWindow(benchmark::State& state) {
+  DataLake lake(bench_catalog());
+  const auto n = static_cast<util::SimTime>(state.range(0));
+  for (util::SimTime t = 0; t < n; ++t) {
+    lake.ingest("telemetry.team0", make_record(t, 10.0));
+  }
+  for (auto _ : state) {
+    const auto result = lake.query("telemetry.team0", "smn", n / 4, n / 2);
+    benchmark::DoNotOptimize(result.size());
+  }
+  state.SetItemsProcessed(state.iterations() * (n / 4));
+}
+BENCHMARK(BM_QueryWindow)->Arg(10000)->Arg(100000);
+
+void BM_CrossTeamQueryByType(benchmark::State& state) {
+  DataLake lake(bench_catalog());
+  for (int team = 0; team < 8; ++team) {
+    for (util::SimTime t = 0; t < 5000; ++t) {
+      lake.ingest("telemetry.team" + std::to_string(team), make_record(t, 10.0));
+    }
+  }
+  for (auto _ : state) {
+    const auto result = lake.query_by_type(DataType::kTelemetry, "smn", 1000, 2000);
+    benchmark::DoNotOptimize(result.size());
+  }
+}
+BENCHMARK(BM_CrossTeamQueryByType);
+
+void BM_RetentionPass(benchmark::State& state) {
+  const auto n = static_cast<util::SimTime>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    DataLake lake(bench_catalog());
+    for (util::SimTime t = 0; t < n; ++t) {
+      lake.ingest("telemetry.team0", make_record(t * util::kMinute, 10.0));
+    }
+    RetentionPolicy policy;
+    policy.fine_horizon = util::kDay;
+    policy.coarse_window = util::kHour;
+    policy.failure_free_sample_rate = 0.01;
+    state.ResumeTiming();
+    const std::size_t retired = lake.apply_retention(n * util::kMinute, policy);
+    benchmark::DoNotOptimize(retired);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_RetentionPass)->Arg(10000)->Arg(50000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+// Table 2 of the paper: "Coarsening Examples and Tradeoffs" — augmented
+// with *measured* gain and loss for each of the two coarsenings, so the
+// qualitative rows carry quantitative evidence from this reproduction.
+#include <cstdio>
+
+#include "core/coarsening.h"
+#include "depgraph/reddit.h"
+#include "incident/routing_experiment.h"
+#include "te/coarse_te.h"
+#include "te/demand.h"
+#include "telemetry/traffic_generator.h"
+#include "topology/supernode.h"
+#include "topology/wan_generator.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+int main() {
+  using namespace smn;
+  std::puts("=== Table 2: Coarsening examples and tradeoffs ===\n");
+
+  // Static rows straight from the registry (the paper's table).
+  {
+    util::Table table({"Example", "Mapping", "What's Lost", "What's Gained"});
+    for (const auto& info : core::CoarseningRegistry::instance().entries()) {
+      table.add_row({info.name, info.mapping, info.whats_lost, info.whats_gained});
+    }
+    std::fputs(table.render().c_str(), stdout);
+  }
+
+  std::puts("\nMeasured evidence for each row:\n");
+
+  // Row 1: coarse bandwidth logs — reduction vs TE optimality loss.
+  {
+    topology::WanConfig wan_config;
+    wan_config.regions_per_continent = 2;
+    wan_config.dcs_per_region = 5;
+    const topology::WanTopology wan = topology::generate_planetary_wan(wan_config);
+    telemetry::TrafficConfig traffic;
+    traffic.duration = util::kHour;
+    traffic.active_pairs = 300;
+    traffic.intra_continent_fraction = 0.8;  // realistic locality
+    traffic.seed = 5;
+    const telemetry::BandwidthLog log = telemetry::TrafficGenerator(wan, traffic).generate();
+    const auto commodities =
+        te::DemandMatrix::from_log(log, te::DemandStatistic::kMean).to_commodities(wan);
+    te::TeOptions options;
+    options.epsilon = 0.08;
+    const te::CoarseTeReport r =
+        te::evaluate_coarse_te(wan, wan.region_partition(), commodities, options);
+    std::printf("coarse-bw-logs: gained %.1fx topology reduction, %.1fx demand reduction,\n",
+                r.topology_reduction, r.demand_reduction);
+    std::printf("                %.0fx fewer shortest-path calls (%zu -> %zu);\n",
+                static_cast<double>(r.fine_sp_calls) /
+                    static_cast<double>(std::max<std::size_t>(1, r.coarse_sp_calls)),
+                r.fine_sp_calls, r.coarse_sp_calls);
+    std::printf("                lost %.1f%% of worst-case and %.1f%% of aggregate TE\n",
+                100.0 * (1.0 - r.fidelity), 100.0 * (1.0 - r.throughput_fidelity));
+    std::puts("                optimality when the coarse plan is realized on the fine WAN.\n");
+  }
+
+  // Row 2: CDG — maintainability gain vs routing granularity loss, plus the
+  // accuracy lift it buys.
+  {
+    const depgraph::ServiceGraph sg = depgraph::build_reddit_deployment();
+    const depgraph::CdgCoarsener coarsener;
+    const depgraph::Cdg cdg = coarsener.coarsen(sg);
+    incident::RoutingExperimentConfig config;  // the full 560-fault setup
+    const incident::RoutingExperimentResult r = incident::run_routing_experiment(sg, config);
+    std::printf("cdg:            gained %.1fx smaller graph to maintain (%zu nodes+edges\n",
+                coarsener.reduction_factor(sg, cdg), cdg.size_measure());
+    std::printf("                vs %zu) and +%.0f accuracy points for incident routing\n",
+                sg.size_measure(),
+                100.0 * (r.accuracy_with_explainability - r.accuracy_health_only));
+    std::printf("                (%.1f%% -> %.1f%%); lost component-level attribution —\n",
+                100.0 * r.accuracy_health_only, 100.0 * r.accuracy_with_explainability);
+    std::puts("                the CDG routes to a team, not to the faulty component.");
+  }
+  return 0;
+}

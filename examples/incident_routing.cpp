@@ -1,0 +1,89 @@
+// Incident routing walkthrough (§5): shows the mechanics behind the
+// 45% -> 78% result step by step for a single incident —
+//   * the fine-grained fault and its fan-out,
+//   * the observed per-team syndrome,
+//   * the CDG-predicted syndrome per candidate team,
+//   * the cosine explainability scores,
+//   * and the final learned-router decision with feedback.
+#include <cstdio>
+
+#include "depgraph/cdg.h"
+#include "depgraph/reddit.h"
+#include "incident/explainability.h"
+#include "incident/features.h"
+#include "smn/clto.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+int main() {
+  using namespace smn;
+  const depgraph::ServiceGraph sg = depgraph::build_reddit_deployment();
+  const depgraph::Cdg cdg = depgraph::CdgCoarsener().coarsen(sg);
+
+  // A silent misconfiguration low in the stack: a bad firewall rule.
+  incident::IncidentSimulator simulator(sg);
+  util::Rng rng(11);
+  const incident::Fault fault{incident::FaultType::kFirewallRule, *sg.find("firewall"), 1};
+  const incident::Incident incident = simulator.simulate(fault, rng);
+
+  std::printf("Injected: %s on '%s' (team '%s', severity %.2f, local self-signal %.2f)\n\n",
+              incident::fault_type_name(fault.type).c_str(),
+              sg.component(fault.component).name.c_str(),
+              sg.teams()[incident.root_team].c_str(), incident.severity[fault.component],
+              incident::fault_self_signal(fault.type));
+
+  std::puts("Degraded components (severity > 0.2):");
+  for (graph::NodeId n = 0; n < sg.component_count(); ++n) {
+    if (incident.severity[n] > 0.2) {
+      std::printf("  %-18s team=%-14s severity=%.2f symptom=%s\n",
+                  sg.component(n).name.c_str(), sg.component(n).team.c_str(),
+                  incident.severity[n], incident.symptom[n] ? "yes" : "no");
+    }
+  }
+
+  std::puts("\nObserved syndrome vs CDG-predicted syndromes and explainability:");
+  util::Table table({"team", "observed", "predicted-if-faulty", "cosine"});
+  const auto scores = incident::explainability_vector(cdg, incident.team_syndrome_binary);
+  for (graph::NodeId t = 0; t < cdg.team_count(); ++t) {
+    const auto predicted = cdg.predicted_syndrome(t);
+    std::string predicted_str;
+    for (const double v : predicted) predicted_str += v > 0 ? '1' : '0';
+    table.add_row({cdg.team_name(t),
+                   incident.team_syndrome_binary[t] > 0 ? "symptomatic" : "-",
+                   predicted_str, util::format_double(scores[t], 3)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  const std::size_t cosine_pick =
+      incident::route_by_explainability(cdg, incident.team_syndrome_binary);
+  std::printf("\nArgmax cosine picks: '%s'\n", cdg.team_name(
+      static_cast<graph::NodeId>(cosine_pick)).c_str());
+
+  // The full CLTO (cosines + health metrics through a Random Forest).
+  ::smn::smn::FeedbackBus bus;
+  ::smn::smn::Clto clto(sg, bus);
+  const ::smn::smn::RoutingDecision decision = clto.route_incident(incident, util::kHour, 1);
+  std::printf("CLTO routes to:      '%s' (confidence %.2f)\n", decision.team_name.c_str(),
+              decision.confidence);
+  std::printf("Ground truth:        '%s'\n", sg.teams()[incident.root_team].c_str());
+  std::printf("Feedback published:  %zu items (1 assignment + %zu informational)\n",
+              bus.size(), decision.informed_teams.size());
+  std::puts(
+      "\nNote: a silent firewall rule is the *hardest* class — its syndrome\n"
+      "({application, monitoring}) is indistinguishable at team granularity\n"
+      "from an application fault; this ambiguity is most of the gap between\n"
+      "78% and 100% in the Section-5 experiment.");
+
+  // Contrast: a database fault has a syndrome the CDG resolves cleanly.
+  const incident::Fault db_fault{incident::FaultType::kDiskPressure,
+                                 *sg.find("postgres-primary"), 2};
+  const incident::Incident db_incident = simulator.simulate(db_fault, rng);
+  const ::smn::smn::RoutingDecision db_decision =
+      clto.route_incident(db_incident, 2 * util::kHour, 2);
+  std::printf(
+      "\nContrast case — %s on 'postgres-primary':\n  CLTO routes to '%s' "
+      "(confidence %.2f), ground truth '%s'\n",
+      incident::fault_type_name(db_fault.type).c_str(), db_decision.team_name.c_str(),
+      db_decision.confidence, sg.teams()[db_incident.root_team].c_str());
+  return 0;
+}

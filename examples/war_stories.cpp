@@ -1,0 +1,46 @@
+// The four §1 war stories, narrated: each runs the siloed handling and the
+// SMN handling through the library and explains where the cross-layer
+// context changed the outcome. (bench_e6_war_stories prints the compact
+// table; this example is the guided tour.)
+#include <cstdio>
+
+#include "smn/war_stories.h"
+
+namespace {
+
+void narrate(const smn::smn::WarStoryReport& report, const char* moral) {
+  std::printf("\n=== [%s] %s ===\n", report.id.c_str(), report.title.c_str());
+  std::printf("  Siloed handling: %s\n", report.siloed_outcome.c_str());
+  std::printf("                   -> cost: %.2f %s\n", report.siloed_cost,
+              report.cost_unit.c_str());
+  std::printf("  SMN handling:    %s\n", report.smn_outcome.c_str());
+  std::printf("                   -> cost: %.2f %s\n", report.smn_cost,
+              report.cost_unit.c_str());
+  std::printf("  Moral: %s\n", moral);
+}
+
+}  // namespace
+
+int main() {
+  std::puts("Four real-world cross-layer failures (Section 1) and how a Software");
+  std::puts("Managed Network changes each outcome (Section 2).");
+
+  narrate(smn::smn::run_war_story_capacity_te(),
+          "capacity planning must see TE decisions (L3) and fiber constraints "
+          "(L1):\n         only sustained overloads on upgradable fiber deserve "
+          "planning cycles.");
+
+  narrate(smn::smn::run_war_story_wavelength(),
+          "the CLDS holds optical config logs AND routing alerts; one dependency\n"
+          "         lookup replaces weeks of cross-team archaeology.");
+
+  narrate(smn::smn::run_war_story_wan_flap(),
+          "alert volume points at the victim; the CDG + explainability point at\n"
+          "         the cause. Route to the WAN team, inform the cluster team.");
+
+  narrate(smn::smn::run_war_story_alert_storm(),
+          "six low-priority local views are one high-priority global incident:\n"
+          "         aggregate alerts by coarse label before triage.");
+
+  return 0;
+}

@@ -1,0 +1,146 @@
+#include "capacity/capacity_planner.h"
+
+#include <algorithm>
+#include <map>
+
+#include "core/fidelity.h"
+#include "graph/shortest_path.h"
+
+namespace smn::capacity {
+
+std::set<std::string> CapacityPlan::upgraded_names() const {
+  std::set<std::string> names;
+  for (const LinkUpgrade& u : upgrades) names.insert(u.name);
+  return names;
+}
+
+UtilizationSeries CapacityPlanner::compute_utilization(
+    const telemetry::BandwidthLog& log) const {
+  UtilizationSeries series;
+  const graph::Digraph& g = wan_.graph();
+
+  // Epoch index.
+  std::map<util::SimTime, std::size_t> epoch_index;
+  for (const telemetry::BandwidthRecord& r : log.records()) {
+    epoch_index.emplace(r.timestamp, 0);
+  }
+  std::size_t idx = 0;
+  for (auto& [ts, i] : epoch_index) {
+    i = idx++;
+    series.epochs.push_back(ts);
+  }
+  const std::size_t epochs = series.epochs.size();
+  series.by_link.assign(wan_.link_count(), std::vector<double>(epochs, 0.0));
+  if (epochs == 0) return series;
+
+  // Shortest-path cache per datacenter pair.
+  std::map<std::pair<graph::NodeId, graph::NodeId>, std::vector<graph::EdgeId>> path_cache;
+  // Per-edge load per epoch, accumulated lazily.
+  std::vector<std::vector<double>> edge_load(g.edge_count(), std::vector<double>(epochs, 0.0));
+
+  for (const telemetry::BandwidthRecord& r : log.records()) {
+    const auto src = wan_.find_datacenter(r.src);
+    const auto dst = wan_.find_datacenter(r.dst);
+    if (!src || !dst || *src == *dst) continue;
+    const auto key = std::make_pair(*src, *dst);
+    auto it = path_cache.find(key);
+    if (it == path_cache.end()) {
+      const auto path = graph::shortest_path(g, *src, *dst);
+      it = path_cache.emplace(key, path ? path->edges : std::vector<graph::EdgeId>{}).first;
+    }
+    const std::size_t e_idx = epoch_index.at(r.timestamp);
+    for (const graph::EdgeId e : it->second) edge_load[e][e_idx] += r.bw_gbps;
+  }
+
+  for (std::size_t li = 0; li < wan_.link_count(); ++li) {
+    const topology::WanLink& link = wan_.link(li);
+    const double cap = link.capacity_gbps;
+    if (cap <= 0.0) continue;
+    for (std::size_t t = 0; t < epochs; ++t) {
+      const double load = std::max(edge_load[link.forward][t], edge_load[link.backward][t]);
+      series.by_link[li][t] = load / cap;
+    }
+  }
+  return series;
+}
+
+CapacityPlan CapacityPlanner::plan_from_series(
+    const UtilizationSeries& series, const std::vector<std::vector<double>>&) const {
+  CapacityPlan plan;
+  const std::size_t epochs = series.epochs.size();
+  if (epochs == 0) return plan;
+
+  for (std::size_t li = 0; li < wan_.link_count(); ++li) {
+    const topology::WanLink& link = wan_.link(li);
+    const auto& utils = series.by_link[li];
+    std::size_t over = 0;
+    double peak_util = 0.0;
+    for (const double u : utils) {
+      if (u > config_.utilization_threshold) ++over;
+      peak_util = std::max(peak_util, u);
+    }
+    if (over == 0) continue;
+    const double overload_fraction = static_cast<double>(over) / static_cast<double>(epochs);
+
+    const graph::Edge& fwd = wan_.graph().edge(link.forward);
+    const std::string name =
+        wan_.graph().node_name(fwd.from) + "<->" + wan_.graph().node_name(fwd.to);
+
+    if (config_.cross_layer) {
+      // SMN mode: only sustained overloads, and only links with headroom.
+      if (overload_fraction < config_.sustained_fraction) continue;
+      if (!link.upgradable()) {
+        plan.fiber_build_requests.push_back(name);
+        continue;
+      }
+    } else if (!link.upgradable()) {
+      // Naive mode files the proposal anyway — a wasted planning cycle,
+      // since nothing can be installed.
+      ++plan.wasted_proposals;
+      continue;
+    }
+
+    LinkUpgrade upgrade;
+    upgrade.link_index = li;
+    upgrade.name = name;
+    upgrade.old_capacity_gbps = link.capacity_gbps;
+    upgrade.overload_fraction = overload_fraction;
+    const double wanted = peak_util * link.capacity_gbps / config_.target_utilization;
+    upgrade.proposed_capacity_gbps = std::min(wanted, link.fiber_limit_gbps);
+    upgrade.fiber_limited = wanted > link.fiber_limit_gbps;
+    if (upgrade.proposed_capacity_gbps > upgrade.old_capacity_gbps) {
+      plan.total_added_gbps += upgrade.proposed_capacity_gbps - upgrade.old_capacity_gbps;
+      plan.upgrades.push_back(std::move(upgrade));
+    } else if (!config_.cross_layer) {
+      ++plan.wasted_proposals;  // proposal with no installable capacity
+    }
+  }
+  return plan;
+}
+
+CapacityPlan CapacityPlanner::plan(const telemetry::BandwidthLog& log) const {
+  const UtilizationSeries series = compute_utilization(log);
+  return plan_from_series(series, {});
+}
+
+CapacityPlan CapacityPlanner::plan_from_coarse(const telemetry::CoarseBandwidthLog& coarse,
+                                               util::SimTime epoch) const {
+  const telemetry::BandwidthLog reconstructed = coarse.reconstruct(epoch);
+  return plan(reconstructed);
+}
+
+double CapacityPlanner::apply(topology::WanTopology& wan, const CapacityPlan& plan) {
+  double installed = 0.0;
+  for (const LinkUpgrade& u : plan.upgrades) {
+    const double before = wan.link(u.link_index).capacity_gbps;
+    const double after = wan.upgrade_link(u.link_index, u.proposed_capacity_gbps);
+    installed += after - before;
+  }
+  return installed;
+}
+
+double plan_agreement(const CapacityPlan& a, const CapacityPlan& b) {
+  return core::decision_agreement(a.upgraded_names(), b.upgraded_names());
+}
+
+}  // namespace smn::capacity

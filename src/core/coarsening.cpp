@@ -1,0 +1,38 @@
+#include "core/coarsening.h"
+
+namespace smn::core {
+
+CoarseningRegistry& CoarseningRegistry::instance() {
+  static CoarseningRegistry registry;
+  return registry;
+}
+
+CoarseningRegistry::CoarseningRegistry() {
+  // Table 2 of the paper, verbatim.
+  register_coarsening({.name = "coarse-bw-logs",
+                       .mapping = "Nodes -> Meta Nodes",
+                       .whats_lost = "Suboptimal solution",
+                       .whats_gained = "Fast traffic engineering and planning"});
+  register_coarsening({.name = "cdg",
+                       .mapping = "Microservice -> team dependency",
+                       .whats_lost = "Coarser incident routing",
+                       .whats_gained = "Extra signal for incident routing"});
+}
+
+void CoarseningRegistry::register_coarsening(CoarseningInfo info) {
+  entries_[info.name] = std::move(info);
+}
+
+const CoarseningInfo* CoarseningRegistry::find(const std::string& name) const {
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::vector<CoarseningInfo> CoarseningRegistry::entries() const {
+  std::vector<CoarseningInfo> out;
+  out.reserve(entries_.size());
+  for (const auto& [_, info] : entries_) out.push_back(info);
+  return out;
+}
+
+}  // namespace smn::core

@@ -1,0 +1,104 @@
+// The paper's central abstraction (§3, Figure 2):
+//
+//   Given a complex structure S, a coarsening s = C(S) is a succinct mapping
+//   of S to a simpler structure s such that |s| < |S| and acting on s is
+//   approximately the "same" as acting on S.
+//
+// This header makes that definition concrete. A Coarsener<Fine, Coarse>
+// performs the mapping C and reports |S| and |s| so reduction factors are
+// measurable; an Action<Repr, Result> is "acting on" a representation; and
+// fidelity.h quantifies how close acting-on-s comes to acting-on-S.
+//
+// Instantiations in this repository:
+//   * telemetry::TimeCoarsener        — bandwidth logs -> windowed summaries
+//   * topology::SupernodeCoarsener    — WAN graph      -> supernode graph
+//   * telemetry::TopologyLogCoarsener — bandwidth logs -> supernode logs
+//   * depgraph::CdgCoarsener          — service graph  -> team-level CDG
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace smn::core {
+
+/// Abstract coarsening C : Fine -> Coarse.
+///
+/// `size()` overloads define the |.| measure of Figure 2 — typically record
+/// count for logs and node+edge count for graphs. A valid coarsening must
+/// satisfy coarse size < fine size on non-trivial inputs; tests assert this
+/// for every instantiation (the "|s| < |S|" law).
+template <typename Fine, typename Coarse>
+class Coarsener {
+ public:
+  using fine_type = Fine;
+  using coarse_type = Coarse;
+
+  virtual ~Coarsener() = default;
+
+  /// Human-readable identifier ("time-window", "supernode", "team-cdg").
+  virtual std::string name() const = 0;
+
+  /// Applies the mapping C.
+  virtual Coarse coarsen(const Fine& fine) const = 0;
+
+  /// |S| — size measure of the fine structure. Named (rather than an
+  /// overload set) so Fine and Coarse may be the same type, as they are for
+  /// graph -> graph coarsenings.
+  virtual std::size_t fine_size(const Fine& fine) const = 0;
+
+  /// |s| — size measure of the coarse structure.
+  virtual std::size_t coarse_size(const Coarse& coarse) const = 0;
+
+  /// Reduction factor |S| / |s| for a particular input (>= 1 for a valid
+  /// coarsening on non-degenerate input).
+  double reduction_factor(const Fine& fine, const Coarse& coarse) const {
+    const std::size_t cs = coarse_size(coarse);
+    if (cs == 0) return 0.0;
+    return static_cast<double>(fine_size(fine)) / static_cast<double>(cs);
+  }
+};
+
+/// An "action" in the sense of Figure 2: any computation over a
+/// representation whose outcome can be compared across representations.
+/// Examples: a TE solve (result = achievable throughput), a capacity plan
+/// (result = set of augmented links), an incident-routing decision
+/// (result = team scores).
+template <typename Repr, typename Result>
+using Action = std::function<Result(const Repr&)>;
+
+/// Metadata describing a registered coarsening, mirroring one row of the
+/// paper's Table 2 ("Mapping", "What's Lost", "What's Gained").
+struct CoarseningInfo {
+  std::string name;
+  std::string mapping;      ///< e.g. "Nodes -> Meta Nodes"
+  std::string whats_lost;   ///< e.g. "Suboptimal solution"
+  std::string whats_gained; ///< e.g. "Fast traffic engineering and planning"
+};
+
+/// Process-wide catalog of coarsenings known to the SMN, so the CLTO and
+/// the Table-2 bench can enumerate them. Typed coarsener objects live in
+/// their own modules; this registry only records descriptive metadata.
+class CoarseningRegistry {
+ public:
+  /// The singleton registry; pre-populated with the paper's two examples.
+  static CoarseningRegistry& instance();
+
+  /// Registers or replaces an entry keyed by `info.name`.
+  void register_coarsening(CoarseningInfo info);
+
+  /// Entry for `name`, or nullptr when unknown.
+  const CoarseningInfo* find(const std::string& name) const;
+
+  /// All entries sorted by name.
+  std::vector<CoarseningInfo> entries() const;
+
+ private:
+  CoarseningRegistry();
+  std::map<std::string, CoarseningInfo> entries_;
+};
+
+}  // namespace smn::core

@@ -1,0 +1,39 @@
+#include "core/fidelity.h"
+
+#include <algorithm>
+
+#include "util/stats.h"
+
+namespace smn::core {
+
+double scalar_fidelity(double fine_result, double coarse_result) noexcept {
+  if (fine_result <= 0.0) return coarse_result <= 0.0 ? 1.0 : 0.0;
+  return std::clamp(coarse_result / fine_result, 0.0, 1.0);
+}
+
+double decision_agreement(const std::set<std::string>& fine_decisions,
+                          const std::set<std::string>& coarse_decisions) {
+  if (fine_decisions.empty() && coarse_decisions.empty()) return 1.0;
+  std::size_t intersection = 0;
+  for (const auto& d : fine_decisions) intersection += coarse_decisions.count(d);
+  const std::size_t union_size = fine_decisions.size() + coarse_decisions.size() - intersection;
+  return union_size == 0 ? 1.0 : static_cast<double>(intersection) / static_cast<double>(union_size);
+}
+
+double vector_fidelity(std::span<const double> fine_result,
+                       std::span<const double> coarse_result) noexcept {
+  return util::cosine_similarity(fine_result, coarse_result);
+}
+
+FidelityReport make_scalar_report(std::string action_name, double fine_result,
+                                  double coarse_result, double reduction_factor) {
+  FidelityReport report;
+  report.action_name = std::move(action_name);
+  report.fine_result = fine_result;
+  report.coarse_result = coarse_result;
+  report.fidelity = scalar_fidelity(fine_result, coarse_result);
+  report.reduction_factor = reduction_factor;
+  return report;
+}
+
+}  // namespace smn::core

@@ -1,0 +1,46 @@
+// Quantifying "approximately the same effect" (Figure 2).
+//
+// The paper leaves the formal definition open; we operationalize it as the
+// comparison of action outcomes across representations. For scalar-valued
+// actions the fidelity is the relative gap; for set-valued actions
+// (e.g. "which links to upgrade") it is Jaccard agreement; for vector-valued
+// actions (e.g. team scores) it is cosine similarity.
+#pragma once
+
+#include <set>
+#include <span>
+#include <string>
+
+namespace smn::core {
+
+/// Outcome of evaluating one action on both the fine structure S and its
+/// coarsening s.
+struct FidelityReport {
+  std::string action_name;
+  double fine_result = 0.0;    ///< A(S) for scalar actions.
+  double coarse_result = 0.0;  ///< A'(s) for scalar actions.
+  /// 1 - relative gap, in [0, 1]; 1 means the coarsening is lossless for
+  /// this action.
+  double fidelity = 0.0;
+  double reduction_factor = 1.0;  ///< |S| / |s|.
+};
+
+/// Fidelity of a scalar maximization action (e.g. TE throughput): the
+/// fraction of the fine-grained optimum retained by acting on the
+/// coarsening. Clamped to [0, 1].
+double scalar_fidelity(double fine_result, double coarse_result) noexcept;
+
+/// Jaccard agreement |A ∩ B| / |A ∪ B| of two decision sets (e.g. upgraded
+/// links). Both empty counts as perfect agreement (1).
+double decision_agreement(const std::set<std::string>& fine_decisions,
+                          const std::set<std::string>& coarse_decisions);
+
+/// Cosine fidelity of vector-valued action outcomes.
+double vector_fidelity(std::span<const double> fine_result,
+                       std::span<const double> coarse_result) noexcept;
+
+/// Builds a report for a scalar action.
+FidelityReport make_scalar_report(std::string action_name, double fine_result,
+                                  double coarse_result, double reduction_factor);
+
+}  // namespace smn::core

@@ -1,0 +1,91 @@
+#include "depgraph/cdg.h"
+
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/reachability.h"
+
+namespace smn::depgraph {
+
+Cdg::Cdg(std::vector<std::string> team_names) {
+  for (std::string& name : team_names) graph_.add_node(std::move(name));
+}
+
+void Cdg::add_dependency(graph::NodeId dependent, graph::NodeId dependency) {
+  if (dependent == dependency) return;
+  if (graph_.find_edge(dependent, dependency)) return;
+  graph_.add_edge(dependent, dependency);
+}
+
+void Cdg::add_dependency(const std::string& dependent, const std::string& dependency) {
+  const auto from = find_team(dependent);
+  const auto to = find_team(dependency);
+  if (!from || !to) {
+    throw std::invalid_argument("Cdg::add_dependency: unknown team name: " +
+                                (!from ? dependent : dependency));
+  }
+  add_dependency(*from, *to);
+}
+
+std::vector<double> Cdg::predicted_syndrome(graph::NodeId team) const {
+  // Teams showing symptoms = the failed team + its transitive dependents,
+  // i.e. every team that can reach `team` along dependency edges.
+  const std::vector<bool> dependents = graph::reverse_reachable(graph_, team);
+  std::vector<double> syndrome(team_count(), 0.0);
+  for (graph::NodeId t = 0; t < team_count(); ++t) {
+    syndrome[t] = dependents[t] ? 1.0 : 0.0;
+  }
+  return syndrome;
+}
+
+std::string Cdg::to_string() const {
+  std::ostringstream out;
+  for (graph::NodeId t = 0; t < team_count(); ++t) {
+    out << team_name(t) << " ->";
+    bool any = false;
+    for (const graph::EdgeId e : graph_.out_edges(t)) {
+      out << ' ' << team_name(graph_.edge(e).to);
+      any = true;
+    }
+    if (!any) out << " (none)";
+    out << '\n';
+  }
+  return out.str();
+}
+
+Cdg perturb_cdg(const Cdg& truth, double drop_probability, double add_probability,
+                util::Rng& rng) {
+  std::vector<std::string> names;
+  names.reserve(truth.team_count());
+  for (graph::NodeId t = 0; t < truth.team_count(); ++t) names.push_back(truth.team_name(t));
+  Cdg noisy(std::move(names));
+  for (graph::NodeId from = 0; from < truth.team_count(); ++from) {
+    for (graph::NodeId to = 0; to < truth.team_count(); ++to) {
+      if (from == to) continue;
+      const bool present = truth.graph().find_edge(from, to).has_value();
+      if (present ? !rng.bernoulli(drop_probability) : rng.bernoulli(add_probability)) {
+        noisy.add_dependency(from, to);
+      }
+    }
+  }
+  return noisy;
+}
+
+Cdg CdgCoarsener::coarsen(const ServiceGraph& fine) const {
+  Cdg cdg(fine.teams());
+  std::set<std::pair<std::size_t, std::size_t>> seen;
+  for (graph::EdgeId e = 0; e < fine.graph().edge_count(); ++e) {
+    const graph::Edge& edge = fine.graph().edge(e);
+    const std::size_t from_team = fine.team_index(edge.from);
+    const std::size_t to_team = fine.team_index(edge.to);
+    if (from_team == to_team) continue;
+    if (seen.emplace(from_team, to_team).second) {
+      cdg.add_dependency(static_cast<graph::NodeId>(from_team),
+                         static_cast<graph::NodeId>(to_team));
+    }
+  }
+  return cdg;
+}
+
+}  // namespace smn::depgraph

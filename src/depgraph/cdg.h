@@ -1,0 +1,76 @@
+// Coarse Dependency Graphs (§5, Figure 3): the team-level coarsening of a
+// fine-grained service graph. "Each node represents a team with edges to
+// other teams it depends on to deliver a service." The CDG is deliberately
+// lossy (it can create false dependencies) but is easy for engineers to
+// sketch and maintain — and, per the paper's headline result, it carries
+// enough signal to lift incident-routing accuracy substantially.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/coarsening.h"
+#include "depgraph/service_graph.h"
+#include "graph/digraph.h"
+#include "util/rng.h"
+
+namespace smn::depgraph {
+
+/// Team-level dependency graph. Node ids are team indices (matching
+/// ServiceGraph::teams() order when built by the coarsener).
+class Cdg {
+ public:
+  explicit Cdg(std::vector<std::string> team_names);
+
+  /// Declares "dependent team depends on dependency team". Self-loops and
+  /// duplicates are ignored.
+  void add_dependency(graph::NodeId dependent, graph::NodeId dependency);
+  void add_dependency(const std::string& dependent, const std::string& dependency);
+
+  const graph::Digraph& graph() const noexcept { return graph_; }
+  std::size_t team_count() const noexcept { return graph_.node_count(); }
+  const std::string& team_name(graph::NodeId id) const { return graph_.node_name(id); }
+  std::optional<graph::NodeId> find_team(const std::string& name) const {
+    return graph_.find_node(name);
+  }
+
+  /// Predicted incident syndrome if *only* team `team` failed: a 0/1
+  /// vector over teams where 1 marks teams expected to show symptoms —
+  /// the failed team itself plus every team that transitively depends on
+  /// it (fault effects travel from dependency to dependent).
+  std::vector<double> predicted_syndrome(graph::NodeId team) const;
+
+  /// |s| measure: teams + team-level edges.
+  std::size_t size_measure() const noexcept {
+    return graph_.node_count() + graph_.edge_count();
+  }
+
+  /// ASCII rendering of the CDG (one "team -> deps" line per team),
+  /// Figure-3 style.
+  std::string to_string() const;
+
+ private:
+  graph::Digraph graph_;
+};
+
+/// The §5 coarsening: microservice-level graph -> team-level CDG.
+/// A team edge A -> B exists iff some component of A depends on some
+/// component of B (A != B).
+class CdgCoarsener final : public core::Coarsener<ServiceGraph, Cdg> {
+ public:
+  std::string name() const override { return "team-cdg"; }
+  Cdg coarsen(const ServiceGraph& fine) const override;
+  std::size_t fine_size(const ServiceGraph& fine) const override { return fine.size_measure(); }
+  std::size_t coarse_size(const Cdg& coarse) const override { return coarse.size_measure(); }
+};
+
+/// Simulates an engineer-sketched, imperfect CDG (§5: "engineers can
+/// directly sketch the CDG ... and refine it over time"): each true edge
+/// is independently forgotten with probability `drop_probability`, and
+/// each absent team pair gains a spurious edge with probability
+/// `add_probability` (a false dependency, as in the Figure-3 discussion).
+/// Deterministic given `rng` state.
+Cdg perturb_cdg(const Cdg& truth, double drop_probability, double add_probability,
+                util::Rng& rng);
+
+}  // namespace smn::depgraph

@@ -1,0 +1,315 @@
+#include "depgraph/reddit.h"
+
+#include <set>
+#include <string>
+
+#include "util/rng.h"
+
+namespace smn::depgraph {
+
+ServiceGraph build_reddit_deployment() {
+  ServiceGraph sg;
+  using K = ComponentKind;
+  using L = Layer;
+
+  const auto add = [&sg](const char* name, K kind, const char* team, L layer) {
+    sg.add_component(ServiceComponent{name, kind, team, layer});
+  };
+
+  // --- network team (L1/L3) ---
+  add("wan-link-east", K::kWanLink, kTeamNetwork, L::kL1Physical);
+  add("wan-link-west", K::kWanLink, kTeamNetwork, L::kL1Physical);
+  add("cluster-fabric", K::kFabric, kTeamNetwork, L::kL3Network);
+  add("tor-1", K::kSwitch, kTeamNetwork, L::kL3Network);
+  add("tor-2", K::kSwitch, kTeamNetwork, L::kL3Network);
+  add("tor-3", K::kSwitch, kTeamNetwork, L::kL3Network);
+  add("firewall", K::kFirewall, kTeamNetwork, L::kL3Network);
+  add("dns", K::kDns, kTeamNetwork, L::kL7Application);
+
+  // --- infrastructure team (hypervisors + storage) ---
+  add("hypervisor-1", K::kHypervisor, kTeamInfrastructure, L::kL1Physical);
+  add("hypervisor-2", K::kHypervisor, kTeamInfrastructure, L::kL1Physical);
+  add("hypervisor-3", K::kHypervisor, kTeamInfrastructure, L::kL1Physical);
+  add("hypervisor-4", K::kHypervisor, kTeamInfrastructure, L::kL1Physical);
+  add("hypervisor-5", K::kHypervisor, kTeamInfrastructure, L::kL1Physical);
+  add("hypervisor-6", K::kHypervisor, kTeamInfrastructure, L::kL1Physical);
+  add("storage-array", K::kStorage, kTeamInfrastructure, L::kL1Physical);
+
+  // --- application team (the Reddit r2 stack) ---
+  add("haproxy-1", K::kLoadBalancer, kTeamApplication, L::kL7Application);
+  add("haproxy-2", K::kLoadBalancer, kTeamApplication, L::kL7Application);
+  add("app-r2-1", K::kAppServer, kTeamApplication, L::kL7Application);
+  add("app-r2-2", K::kAppServer, kTeamApplication, L::kL7Application);
+  add("app-r2-3", K::kAppServer, kTeamApplication, L::kL7Application);
+  add("app-r2-4", K::kAppServer, kTeamApplication, L::kL7Application);
+  add("listing-svc", K::kAppServer, kTeamApplication, L::kL7Application);
+  add("search-solr", K::kSearch, kTeamApplication, L::kL7Application);
+  add("thumbnail-svc", K::kAppServer, kTeamApplication, L::kL7Application);
+
+  // --- database team (PostgreSQL "things") ---
+  add("postgres-primary", K::kDatabase, kTeamDatabase, L::kL7Application);
+  add("postgres-replica", K::kDatabase, kTeamDatabase, L::kL7Application);
+
+  // --- nosql team (Cassandra ring) ---
+  add("cassandra-1", K::kNoSqlStore, kTeamNoSql, L::kL7Application);
+  add("cassandra-2", K::kNoSqlStore, kTeamNoSql, L::kL7Application);
+  add("cassandra-3", K::kNoSqlStore, kTeamNoSql, L::kL7Application);
+
+  // --- caching team (memcached + mcrouter) ---
+  add("mcrouter", K::kCache, kTeamCaching, L::kL7Application);
+  add("memcached-1", K::kCache, kTeamCaching, L::kL7Application);
+  add("memcached-2", K::kCache, kTeamCaching, L::kL7Application);
+
+  // --- messaging team (RabbitMQ + queue consumers) ---
+  add("rabbitmq", K::kQueue, kTeamMessaging, L::kL7Application);
+  add("vote-worker", K::kWorker, kTeamMessaging, L::kL7Application);
+  add("comment-worker", K::kWorker, kTeamMessaging, L::kL7Application);
+
+  // --- monitoring team (Pingmesh-style probes + health pollers) ---
+  add("monitor-agent", K::kMonitor, kTeamMonitoring, L::kL7Application);
+  add("probe-cluster-a", K::kMonitor, kTeamMonitoring, L::kL4Transport);
+  add("probe-cluster-b", K::kMonitor, kTeamMonitoring, L::kL4Transport);
+
+  const auto dep = [&sg](const char* x, const char* y) { sg.add_dependency(x, y); };
+
+  // Network internals: fabric rides the WAN for inter-cluster reach; ToRs
+  // ride the fabric; DNS and firewall sit on the fabric.
+  dep("cluster-fabric", "wan-link-east");
+  dep("cluster-fabric", "wan-link-west");
+  dep("tor-1", "cluster-fabric");
+  dep("tor-2", "cluster-fabric");
+  dep("tor-3", "cluster-fabric");
+  dep("dns", "cluster-fabric");
+  dep("firewall", "cluster-fabric");
+
+  // Hypervisors attach to ToR switches and the shared storage array.
+  dep("hypervisor-1", "tor-1");
+  dep("hypervisor-2", "tor-1");
+  dep("hypervisor-3", "tor-2");
+  dep("hypervisor-4", "tor-2");
+  dep("hypervisor-5", "tor-3");
+  dep("hypervisor-6", "tor-3");
+  dep("hypervisor-1", "storage-array");
+  dep("hypervisor-3", "storage-array");
+  dep("hypervisor-5", "storage-array");
+
+  // Service placement: every service depends on its host hypervisor.
+  dep("haproxy-1", "hypervisor-1");
+  dep("haproxy-2", "hypervisor-4");
+  dep("app-r2-1", "hypervisor-1");
+  dep("app-r2-2", "hypervisor-2");
+  dep("app-r2-3", "hypervisor-3");
+  dep("app-r2-4", "hypervisor-4");
+  dep("listing-svc", "hypervisor-2");
+  dep("search-solr", "hypervisor-5");
+  dep("thumbnail-svc", "hypervisor-6");
+  dep("postgres-primary", "hypervisor-3");
+  dep("postgres-replica", "hypervisor-6");
+  dep("cassandra-1", "hypervisor-2");
+  dep("cassandra-2", "hypervisor-4");
+  dep("cassandra-3", "hypervisor-5");
+  dep("mcrouter", "hypervisor-1");
+  dep("memcached-1", "hypervisor-5");
+  dep("memcached-2", "hypervisor-6");
+  dep("rabbitmq", "hypervisor-2");
+  dep("vote-worker", "hypervisor-3");
+  dep("comment-worker", "hypervisor-5");
+  dep("monitor-agent", "hypervisor-6");
+
+  // Application-level dependencies (the Figure-3 structure).
+  dep("haproxy-1", "app-r2-1");
+  dep("haproxy-1", "app-r2-2");
+  dep("haproxy-2", "app-r2-3");
+  dep("haproxy-2", "app-r2-4");
+  dep("haproxy-1", "dns");
+  dep("haproxy-2", "dns");
+  dep("haproxy-1", "firewall");
+  dep("haproxy-2", "firewall");
+  for (const char* app : {"app-r2-1", "app-r2-2", "app-r2-3", "app-r2-4"}) {
+    dep(app, "postgres-primary");
+    dep(app, "mcrouter");
+    dep(app, "cassandra-1");
+    dep(app, "cassandra-2");
+    dep(app, "rabbitmq");
+    dep(app, "listing-svc");
+  }
+  dep("app-r2-1", "search-solr");
+  dep("app-r2-3", "search-solr");
+  dep("app-r2-2", "thumbnail-svc");
+  dep("listing-svc", "cassandra-3");
+  dep("listing-svc", "mcrouter");
+  dep("search-solr", "postgres-replica");
+  dep("thumbnail-svc", "storage-array");
+  dep("postgres-replica", "postgres-primary");
+  dep("mcrouter", "memcached-1");
+  dep("mcrouter", "memcached-2");
+  dep("vote-worker", "rabbitmq");
+  dep("comment-worker", "rabbitmq");
+  dep("vote-worker", "postgres-primary");
+  dep("comment-worker", "cassandra-3");
+
+  // Monitoring: pairwise reachability probes between app server clusters
+  // cross the cluster fabric and the WAN (war story 3: "most failing
+  // cluster probes depend on the wide area"); the monitoring agent polls
+  // application health checks.
+  dep("probe-cluster-a", "cluster-fabric");
+  dep("probe-cluster-a", "wan-link-east");
+  dep("probe-cluster-b", "cluster-fabric");
+  dep("probe-cluster-b", "wan-link-west");
+  dep("monitor-agent", "probe-cluster-a");
+  dep("monitor-agent", "probe-cluster-b");
+  dep("monitor-agent", "haproxy-1");
+  dep("monitor-agent", "haproxy-2");
+
+  return sg;
+}
+
+ServiceGraph build_reddit_deployment_churned(std::uint64_t seed) {
+  util::Rng rng(seed);
+  ServiceGraph sg;
+  using K = ComponentKind;
+  using L = Layer;
+
+  const auto add = [&sg](const std::string& name, K kind, const char* team, L layer) {
+    sg.add_component(ServiceComponent{name, kind, team, layer});
+  };
+  const auto dep = [&sg](const std::string& x, const std::string& y) {
+    sg.add_dependency(x, y);
+  };
+
+  // Fixed network fabric.
+  add("wan-link-east", K::kWanLink, kTeamNetwork, L::kL1Physical);
+  add("wan-link-west", K::kWanLink, kTeamNetwork, L::kL1Physical);
+  add("cluster-fabric", K::kFabric, kTeamNetwork, L::kL3Network);
+  const int tors = 3;
+  for (int i = 1; i <= tors; ++i) {
+    add("tor-" + std::to_string(i), K::kSwitch, kTeamNetwork, L::kL3Network);
+  }
+  add("firewall", K::kFirewall, kTeamNetwork, L::kL3Network);
+  add("dns", K::kDns, kTeamNetwork, L::kL7Application);
+  dep("cluster-fabric", "wan-link-east");
+  dep("cluster-fabric", "wan-link-west");
+  for (int i = 1; i <= tors; ++i) dep("tor-" + std::to_string(i), "cluster-fabric");
+  dep("dns", "cluster-fabric");
+  dep("firewall", "cluster-fabric");
+
+  // Churned infrastructure: 5-7 hypervisors on random ToRs.
+  const int hypervisors = static_cast<int>(rng.uniform_int(5, 7));
+  add("storage-array", K::kStorage, kTeamInfrastructure, L::kL1Physical);
+  std::vector<std::string> hv_names;
+  for (int i = 1; i <= hypervisors; ++i) {
+    const std::string name = "hypervisor-" + std::to_string(i);
+    add(name, K::kHypervisor, kTeamInfrastructure, L::kL1Physical);
+    dep(name, "tor-" + std::to_string(rng.uniform_int(1, tors)));
+    if (rng.bernoulli(0.6)) dep(name, "storage-array");
+    hv_names.push_back(name);
+  }
+  const auto place = [&](const std::string& service) {
+    dep(service, hv_names[static_cast<std::size_t>(
+                     rng.uniform_int(0, static_cast<std::int64_t>(hv_names.size()) - 1))]);
+  };
+
+  // Churned application tier: 2 load balancers, 3-5 app servers.
+  const int apps = static_cast<int>(rng.uniform_int(3, 5));
+  add("haproxy-1", K::kLoadBalancer, kTeamApplication, L::kL7Application);
+  add("haproxy-2", K::kLoadBalancer, kTeamApplication, L::kL7Application);
+  add("listing-svc", K::kAppServer, kTeamApplication, L::kL7Application);
+  add("search-solr", K::kSearch, kTeamApplication, L::kL7Application);
+  add("thumbnail-svc", K::kAppServer, kTeamApplication, L::kL7Application);
+  std::vector<std::string> app_names;
+  for (int i = 1; i <= apps; ++i) {
+    const std::string name = "app-r2-" + std::to_string(i);
+    add(name, K::kAppServer, kTeamApplication, L::kL7Application);
+    app_names.push_back(name);
+  }
+
+  // Data tiers: postgres pair, 2-4 Cassandra nodes, 1-3 memcached shards.
+  add("postgres-primary", K::kDatabase, kTeamDatabase, L::kL7Application);
+  add("postgres-replica", K::kDatabase, kTeamDatabase, L::kL7Application);
+  const int cassandras = static_cast<int>(rng.uniform_int(2, 4));
+  for (int i = 1; i <= cassandras; ++i) {
+    add("cassandra-" + std::to_string(i), K::kNoSqlStore, kTeamNoSql, L::kL7Application);
+  }
+  add("mcrouter", K::kCache, kTeamCaching, L::kL7Application);
+  const int memcacheds = static_cast<int>(rng.uniform_int(1, 3));
+  for (int i = 1; i <= memcacheds; ++i) {
+    add("memcached-" + std::to_string(i), K::kCache, kTeamCaching, L::kL7Application);
+  }
+  add("rabbitmq", K::kQueue, kTeamMessaging, L::kL7Application);
+  add("vote-worker", K::kWorker, kTeamMessaging, L::kL7Application);
+  add("comment-worker", K::kWorker, kTeamMessaging, L::kL7Application);
+  add("monitor-agent", K::kMonitor, kTeamMonitoring, L::kL7Application);
+  add("probe-cluster-a", K::kMonitor, kTeamMonitoring, L::kL4Transport);
+  add("probe-cluster-b", K::kMonitor, kTeamMonitoring, L::kL4Transport);
+
+  // Placements for every hosted service (churn lives here).
+  for (const char* service :
+       {"haproxy-1", "haproxy-2", "listing-svc", "search-solr", "thumbnail-svc",
+        "postgres-primary", "postgres-replica", "mcrouter", "rabbitmq", "vote-worker",
+        "comment-worker", "monitor-agent"}) {
+    place(service);
+  }
+  for (const std::string& name : app_names) place(name);
+  for (int i = 1; i <= cassandras; ++i) place("cassandra-" + std::to_string(i));
+  for (int i = 1; i <= memcacheds; ++i) place("memcached-" + std::to_string(i));
+
+  // Logical dependencies: the same cross-team template as the canonical
+  // deployment, instantiated per replica.
+  for (std::size_t i = 0; i < app_names.size(); ++i) {
+    dep(i % 2 ? "haproxy-2" : "haproxy-1", app_names[i]);
+    dep(app_names[i], "postgres-primary");
+    dep(app_names[i], "mcrouter");
+    dep(app_names[i], "cassandra-1");
+    if (cassandras >= 2) dep(app_names[i], "cassandra-2");
+    dep(app_names[i], "rabbitmq");
+    dep(app_names[i], "listing-svc");
+    if (rng.bernoulli(0.5)) dep(app_names[i], "search-solr");
+    if (rng.bernoulli(0.4)) dep(app_names[i], "thumbnail-svc");
+  }
+  // Keep every cross-team edge type present regardless of coin flips.
+  dep(app_names[0], "search-solr");
+  dep("haproxy-1", "dns");
+  dep("haproxy-2", "dns");
+  dep("haproxy-1", "firewall");
+  dep("haproxy-2", "firewall");
+  dep("listing-svc", "cassandra-" + std::to_string(cassandras));
+  dep("listing-svc", "mcrouter");
+  dep("search-solr", "postgres-replica");
+  dep("thumbnail-svc", "storage-array");
+  dep("postgres-replica", "postgres-primary");
+  for (int i = 1; i <= memcacheds; ++i) dep("mcrouter", "memcached-" + std::to_string(i));
+  dep("vote-worker", "rabbitmq");
+  dep("comment-worker", "rabbitmq");
+  dep("vote-worker", "postgres-primary");
+  dep("comment-worker", "cassandra-1");
+  dep("probe-cluster-a", "cluster-fabric");
+  dep("probe-cluster-a", "wan-link-east");
+  dep("probe-cluster-b", "cluster-fabric");
+  dep("probe-cluster-b", "wan-link-west");
+  dep("monitor-agent", "probe-cluster-a");
+  dep("monitor-agent", "probe-cluster-b");
+  dep("monitor-agent", "haproxy-1");
+  dep("monitor-agent", "haproxy-2");
+
+  return sg;
+}
+
+double dependency_edit_distance(const ServiceGraph& a, const ServiceGraph& b) {
+  const auto edge_set = [](const ServiceGraph& sg) {
+    std::set<std::pair<std::string, std::string>> edges;
+    for (graph::EdgeId e = 0; e < sg.graph().edge_count(); ++e) {
+      const auto& edge = sg.graph().edge(e);
+      edges.emplace(sg.graph().node_name(edge.from), sg.graph().node_name(edge.to));
+    }
+    return edges;
+  };
+  const auto ea = edge_set(a);
+  const auto eb = edge_set(b);
+  std::size_t intersection = 0;
+  for (const auto& e : ea) intersection += eb.count(e);
+  const std::size_t union_size = ea.size() + eb.size() - intersection;
+  if (union_size == 0) return 0.0;
+  return 1.0 - static_cast<double>(intersection) / static_cast<double>(union_size);
+}
+
+}  // namespace smn::depgraph

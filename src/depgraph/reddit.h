@@ -1,0 +1,45 @@
+// The simulated Reddit deployment of §5 / Figure 3.
+//
+// The paper runs 560 fine-grained faults from the Revelio Incident Dataset
+// against the open-source Reddit application on the Revelio testbed, with
+// 8 teams "including Network, Application and Infrastructure". Neither the
+// dataset nor the testbed is public, so this builder reconstructs the
+// deployment from the open-source Reddit architecture (HAProxy, r2 app
+// servers, PostgreSQL, Cassandra, memcached/mcrouter, RabbitMQ + workers,
+// Solr search) plus the infrastructure layers the war stories need
+// (hypervisors, ToR switches, cluster fabric, WAN links, firewall, DNS,
+// monitoring) — see DESIGN.md Substitution 1.
+#pragma once
+
+#include "depgraph/service_graph.h"
+
+namespace smn::depgraph {
+
+/// Team names used by the Reddit deployment, in a stable order.
+inline constexpr const char* kTeamNetwork = "network";
+inline constexpr const char* kTeamApplication = "application";
+inline constexpr const char* kTeamInfrastructure = "infrastructure";
+inline constexpr const char* kTeamDatabase = "database";
+inline constexpr const char* kTeamNoSql = "nosql";
+inline constexpr const char* kTeamCaching = "caching";
+inline constexpr const char* kTeamMessaging = "messaging";
+inline constexpr const char* kTeamMonitoring = "monitoring";
+
+/// Builds the ~45-component Reddit-like deployment with 8 teams.
+ServiceGraph build_reddit_deployment();
+
+/// A churned variant of the deployment (§2's maintainability challenge:
+/// "What is hard is generating and maintaining the graph because of legacy
+/// code and churn"): the same logical architecture, but replica counts
+/// (app servers, Cassandra nodes, memcached shards, hypervisors) and all
+/// service-to-hypervisor placements vary with the seed. Fine-grained
+/// graphs of different seeds differ substantially; their team-level CDGs
+/// are identical — the stability that makes the CDG maintainable.
+ServiceGraph build_reddit_deployment_churned(std::uint64_t seed);
+
+/// Jaccard distance (1 - |A∩B| / |A∪B|) between the named dependency-edge
+/// sets of two service graphs — the fine-grained maintenance burden churn
+/// creates.
+double dependency_edit_distance(const ServiceGraph& a, const ServiceGraph& b);
+
+}  // namespace smn::depgraph

@@ -1,0 +1,45 @@
+#include "depgraph/service_graph.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace smn::depgraph {
+
+graph::NodeId ServiceGraph::add_component(ServiceComponent component) {
+  const graph::NodeId id = graph_.add_node(component.name);
+  const auto it = std::find(teams_.begin(), teams_.end(), component.team);
+  if (it == teams_.end()) {
+    team_of_.push_back(teams_.size());
+    teams_.push_back(component.team);
+  } else {
+    team_of_.push_back(static_cast<std::size_t>(it - teams_.begin()));
+  }
+  components_.push_back(std::move(component));
+  return id;
+}
+
+void ServiceGraph::add_dependency(graph::NodeId dependent, graph::NodeId dependency) {
+  graph_.add_edge(dependent, dependency);
+}
+
+void ServiceGraph::add_dependency(const std::string& dependent, const std::string& dependency) {
+  const auto from = find(dependent);
+  const auto to = find(dependency);
+  if (!from || !to) {
+    throw std::invalid_argument("ServiceGraph::add_dependency: unknown component name: " +
+                                (!from ? dependent : dependency));
+  }
+  add_dependency(*from, *to);
+}
+
+std::size_t ServiceGraph::team_index(graph::NodeId id) const { return team_of_.at(id); }
+
+std::vector<graph::NodeId> ServiceGraph::components_of_team(const std::string& team) const {
+  std::vector<graph::NodeId> out;
+  for (graph::NodeId n = 0; n < component_count(); ++n) {
+    if (components_[n].team == team) out.push_back(n);
+  }
+  return out;
+}
+
+}  // namespace smn::depgraph

@@ -1,0 +1,90 @@
+// Fine-grained service dependency graphs (§5): nodes are service
+// components (load balancers, app servers, databases, hypervisors,
+// switches, ...), and an edge x -> y means "x depends on y at runtime".
+// Fine graphs are what tools like Sherlock [28] extract; the paper's point
+// is that they are hard to maintain cloud-wide, whereas the team-level
+// coarsening (cdg.h) is easy to sketch and maintain.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace smn::depgraph {
+
+/// Broad component classes; they drive which fault types can hit a
+/// component and which health metrics it exposes.
+enum class ComponentKind {
+  kLoadBalancer,
+  kAppServer,
+  kCache,
+  kDatabase,
+  kNoSqlStore,
+  kQueue,
+  kWorker,
+  kSearch,
+  kDns,
+  kFirewall,
+  kSwitch,
+  kFabric,
+  kWanLink,
+  kHypervisor,
+  kStorage,
+  kMonitor,
+};
+
+/// OSI-ish layer for cross-layer reasoning (L1 physical .. L7 application).
+enum class Layer { kL1Physical = 1, kL3Network = 3, kL4Transport = 4, kL7Application = 7 };
+
+struct ServiceComponent {
+  std::string name;
+  ComponentKind kind = ComponentKind::kAppServer;
+  std::string team;
+  Layer layer = Layer::kL7Application;
+};
+
+/// Dependency graph over service components, with team metadata used by
+/// the CDG coarsener.
+class ServiceGraph {
+ public:
+  /// Adds a component; name must be unique.
+  graph::NodeId add_component(ServiceComponent component);
+
+  /// Declares "dependent depends on dependency".
+  void add_dependency(graph::NodeId dependent, graph::NodeId dependency);
+
+  /// Name-based convenience; throws std::invalid_argument on unknown names.
+  void add_dependency(const std::string& dependent, const std::string& dependency);
+
+  const graph::Digraph& graph() const noexcept { return graph_; }
+  std::size_t component_count() const noexcept { return components_.size(); }
+  const ServiceComponent& component(graph::NodeId id) const { return components_.at(id); }
+
+  std::optional<graph::NodeId> find(const std::string& name) const {
+    return graph_.find_node(name);
+  }
+
+  /// Distinct team names in first-seen order.
+  const std::vector<std::string>& teams() const noexcept { return teams_; }
+
+  /// Index of a component's team within teams().
+  std::size_t team_index(graph::NodeId id) const;
+
+  /// Components belonging to `team`.
+  std::vector<graph::NodeId> components_of_team(const std::string& team) const;
+
+  /// |S| measure: components + dependency edges.
+  std::size_t size_measure() const noexcept {
+    return components_.size() + graph_.edge_count();
+  }
+
+ private:
+  graph::Digraph graph_;
+  std::vector<ServiceComponent> components_;
+  std::vector<std::string> teams_;
+  std::vector<std::size_t> team_of_;  ///< component -> index into teams_
+};
+
+}  // namespace smn::depgraph

@@ -1,0 +1,73 @@
+#include "graph/contraction.h"
+
+#include <map>
+#include <stdexcept>
+
+namespace smn::graph {
+
+bool Partition::valid_for(const Digraph& g) const noexcept {
+  if (group_of.size() != g.node_count()) return false;
+  for (const NodeId group : group_of) {
+    if (group >= group_names.size()) return false;
+  }
+  return true;
+}
+
+ContractedGraph contract(const Digraph& g, const Partition& partition) {
+  if (!partition.valid_for(g)) {
+    throw std::invalid_argument("contract: partition does not cover the graph");
+  }
+  ContractedGraph result;
+  result.node_map = partition.group_of;
+  for (const std::string& name : partition.group_names) {
+    result.coarse.add_node(name);
+  }
+
+  // Merge parallel fine edges into one coarse edge per (group, group) pair.
+  std::map<std::pair<NodeId, NodeId>, EdgeId> coarse_edges;
+  result.edge_map.assign(g.edge_count(), kInvalidEdge);
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const Edge& fine = g.edge(e);
+    const NodeId from = partition.group_of[fine.from];
+    const NodeId to = partition.group_of[fine.to];
+    if (from == to) continue;  // intra-group edge disappears
+    const auto key = std::make_pair(from, to);
+    const auto it = coarse_edges.find(key);
+    if (it == coarse_edges.end()) {
+      const EdgeId ce = result.coarse.add_edge(from, to, fine.weight, fine.capacity);
+      coarse_edges.emplace(key, ce);
+      result.edge_members.emplace_back(1, e);
+      result.edge_map[e] = ce;
+    } else {
+      Edge& coarse = result.coarse.mutable_edge(it->second);
+      coarse.capacity += fine.capacity;
+      coarse.weight = std::min(coarse.weight, fine.weight);
+      result.edge_members[it->second].push_back(e);
+      result.edge_map[e] = it->second;
+    }
+  }
+  return result;
+}
+
+Partition partition_by_name_prefix(const Digraph& g, char delimiter) {
+  Partition partition;
+  partition.group_of.resize(g.node_count());
+  std::map<std::string, NodeId> groups;
+  for (NodeId n = 0; n < g.node_count(); ++n) {
+    const std::string& name = g.node_name(n);
+    const std::size_t pos = name.find(delimiter);
+    const std::string prefix = pos == std::string::npos ? name : name.substr(0, pos);
+    const auto it = groups.find(prefix);
+    if (it == groups.end()) {
+      const auto id = static_cast<NodeId>(partition.group_names.size());
+      groups.emplace(prefix, id);
+      partition.group_names.push_back(prefix);
+      partition.group_of[n] = id;
+    } else {
+      partition.group_of[n] = it->second;
+    }
+  }
+  return partition;
+}
+
+}  // namespace smn::graph

@@ -1,0 +1,48 @@
+// Graph contraction: the structural half of both coarsenings.
+//   * Topology coarsening (§4): datacenters -> supernodes/regions.
+//   * CDG construction (§5):   microservices -> teams.
+// Nodes are grouped by a partition; parallel edges between groups merge
+// (capacities add — parallel fibers aggregate; weights take the minimum —
+// the best path between regions survives) and intra-group edges vanish.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace smn::graph {
+
+/// Assignment of every fine node to a group, plus group display names.
+struct Partition {
+  std::vector<NodeId> group_of;          ///< index = fine node, value = group
+  std::vector<std::string> group_names;  ///< index = group
+
+  std::size_t group_count() const noexcept { return group_names.size(); }
+
+  /// Validates internal consistency (every node mapped, ids in range).
+  bool valid_for(const Digraph& g) const noexcept;
+};
+
+/// Result of a contraction: the coarse graph plus bookkeeping to map
+/// results back to the fine graph (the paper notes coarsening lacks AE's
+/// concretization function; these maps are the pragmatic substitute).
+struct ContractedGraph {
+  Digraph coarse;
+  /// fine node -> coarse node.
+  std::vector<NodeId> node_map;
+  /// coarse edge -> list of fine edges merged into it.
+  std::vector<std::vector<EdgeId>> edge_members;
+  /// fine edge -> coarse edge (kInvalidEdge for intra-group edges).
+  std::vector<EdgeId> edge_map;
+};
+
+/// Contracts `g` by `partition`. Throws std::invalid_argument on an invalid
+/// partition.
+ContractedGraph contract(const Digraph& g, const Partition& partition);
+
+/// Groups nodes by a name prefix up to `delimiter` (e.g. "us-east/dc3" with
+/// '/' groups by region). Nodes without the delimiter form singleton groups.
+Partition partition_by_name_prefix(const Digraph& g, char delimiter);
+
+}  // namespace smn::graph

@@ -1,0 +1,57 @@
+#include "graph/digraph.h"
+
+#include <stdexcept>
+
+namespace smn::graph {
+
+NodeId Digraph::add_node(std::string name) {
+  if (by_name_.contains(name)) {
+    throw std::invalid_argument("Digraph::add_node: duplicate node name: " + name);
+  }
+  const auto id = static_cast<NodeId>(names_.size());
+  by_name_.emplace(name, id);
+  names_.push_back(std::move(name));
+  out_.emplace_back();
+  in_.emplace_back();
+  return id;
+}
+
+EdgeId Digraph::add_edge(NodeId from, NodeId to, double weight, double capacity) {
+  if (from >= names_.size() || to >= names_.size()) {
+    throw std::out_of_range("Digraph::add_edge: endpoint does not exist");
+  }
+  const auto id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(Edge{from, to, weight, capacity});
+  out_[from].push_back(id);
+  in_[to].push_back(id);
+  return id;
+}
+
+std::pair<EdgeId, EdgeId> Digraph::add_bidirectional_edge(NodeId a, NodeId b, double weight,
+                                                          double capacity) {
+  const EdgeId forward = add_edge(a, b, weight, capacity);
+  const EdgeId backward = add_edge(b, a, weight, capacity);
+  return {forward, backward};
+}
+
+std::optional<NodeId> Digraph::find_node(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<EdgeId> Digraph::find_edge(NodeId from, NodeId to) const {
+  if (from >= out_.size()) return std::nullopt;
+  for (const EdgeId e : out_[from]) {
+    if (edges_[e].to == to) return e;
+  }
+  return std::nullopt;
+}
+
+std::vector<NodeId> Digraph::nodes() const {
+  std::vector<NodeId> ids(node_count());
+  for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<NodeId>(i);
+  return ids;
+}
+
+}  // namespace smn::graph

@@ -1,0 +1,81 @@
+// Directed weighted graph used for both WAN topologies (nodes = datacenters,
+// edge capacity = link Gbps) and service dependency graphs (edge x -> y
+// means "x depends on y at runtime", §5).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace smn::graph {
+
+using NodeId = std::uint32_t;
+using EdgeId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+inline constexpr EdgeId kInvalidEdge = std::numeric_limits<EdgeId>::max();
+
+struct Edge {
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  double weight = 1.0;    ///< routing metric (e.g. latency or IGP cost)
+  double capacity = 0.0;  ///< Gbps for WAN links; unused for dependency edges
+};
+
+/// Growable directed multigraph with named nodes and O(1) id lookup.
+/// Edges are never removed; higher layers model failures by masking.
+class Digraph {
+ public:
+  Digraph() = default;
+
+  /// Adds a node; `name` must be unique (throws std::invalid_argument).
+  NodeId add_node(std::string name);
+
+  /// Adds a directed edge; endpoints must exist (throws std::out_of_range).
+  EdgeId add_edge(NodeId from, NodeId to, double weight = 1.0, double capacity = 0.0);
+
+  /// Adds edges in both directions with identical weight/capacity and
+  /// returns {forward, backward}. WAN links are bidirectional.
+  std::pair<EdgeId, EdgeId> add_bidirectional_edge(NodeId a, NodeId b, double weight = 1.0,
+                                                   double capacity = 0.0);
+
+  std::size_t node_count() const noexcept { return names_.size(); }
+  std::size_t edge_count() const noexcept { return edges_.size(); }
+
+  const Edge& edge(EdgeId id) const { return edges_.at(id); }
+  Edge& mutable_edge(EdgeId id) { return edges_.at(id); }
+
+  const std::string& node_name(NodeId id) const { return names_.at(id); }
+
+  /// Node id for `name`, if present.
+  std::optional<NodeId> find_node(const std::string& name) const;
+
+  /// Outgoing edge ids of `node`.
+  std::span<const EdgeId> out_edges(NodeId node) const { return out_.at(node); }
+
+  /// Incoming edge ids of `node`.
+  std::span<const EdgeId> in_edges(NodeId node) const { return in_.at(node); }
+
+  /// First edge from `from` to `to`, if any.
+  std::optional<EdgeId> find_edge(NodeId from, NodeId to) const;
+
+  /// Sum of node and edge counts — the |S| measure used for graph
+  /// coarsenings.
+  std::size_t size_measure() const noexcept { return node_count() + edge_count(); }
+
+  /// All node ids [0, node_count()).
+  std::vector<NodeId> nodes() const;
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, NodeId> by_name_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> out_;
+  std::vector<std::vector<EdgeId>> in_;
+};
+
+}  // namespace smn::graph

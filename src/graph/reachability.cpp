@@ -1,0 +1,71 @@
+#include "graph/reachability.h"
+
+#include <deque>
+
+namespace smn::graph {
+namespace {
+
+std::vector<bool> bfs(const Digraph& g, NodeId start, bool forward) {
+  std::vector<bool> seen(g.node_count(), false);
+  if (start >= g.node_count()) return seen;
+  std::deque<NodeId> frontier{start};
+  seen[start] = true;
+  while (!frontier.empty()) {
+    const NodeId node = frontier.front();
+    frontier.pop_front();
+    const auto edges = forward ? g.out_edges(node) : g.in_edges(node);
+    for (const EdgeId e : edges) {
+      const NodeId next = forward ? g.edge(e).to : g.edge(e).from;
+      if (!seen[next]) {
+        seen[next] = true;
+        frontier.push_back(next);
+      }
+    }
+  }
+  return seen;
+}
+
+}  // namespace
+
+std::vector<bool> reachable_from(const Digraph& g, NodeId source) {
+  return bfs(g, source, /*forward=*/true);
+}
+
+std::vector<bool> reverse_reachable(const Digraph& g, NodeId target) {
+  return bfs(g, target, /*forward=*/false);
+}
+
+std::vector<std::vector<bool>> reachability_matrix(const Digraph& g) {
+  std::vector<std::vector<bool>> matrix;
+  matrix.reserve(g.node_count());
+  for (NodeId n = 0; n < g.node_count(); ++n) matrix.push_back(reachable_from(g, n));
+  return matrix;
+}
+
+std::vector<NodeId> topological_sort(const Digraph& g) {
+  std::vector<std::size_t> in_degree(g.node_count(), 0);
+  for (NodeId n = 0; n < g.node_count(); ++n) in_degree[n] = g.in_edges(n).size();
+  std::deque<NodeId> ready;
+  for (NodeId n = 0; n < g.node_count(); ++n) {
+    if (in_degree[n] == 0) ready.push_back(n);
+  }
+  std::vector<NodeId> order;
+  order.reserve(g.node_count());
+  while (!ready.empty()) {
+    const NodeId node = ready.front();
+    ready.pop_front();
+    order.push_back(node);
+    for (const EdgeId e : g.out_edges(node)) {
+      const NodeId next = g.edge(e).to;
+      if (--in_degree[next] == 0) ready.push_back(next);
+    }
+  }
+  if (order.size() != g.node_count()) order.clear();  // cycle detected
+  return order;
+}
+
+bool is_dag(const Digraph& g) {
+  return g.node_count() == 0 || !topological_sort(g).empty();
+}
+
+}  // namespace smn::graph

@@ -1,0 +1,31 @@
+// Reachability queries over dependency graphs. With edges x -> y meaning
+// "x depends on y", forward reachability from a team gives everything it
+// depends on, and reverse reachability gives its dependents — exactly the
+// fan-out the §5 syndrome prediction needs ("if only team T failed, which
+// nodes would show symptoms?").
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace smn::graph {
+
+/// Nodes reachable from `source` along forward edges (includes `source`).
+std::vector<bool> reachable_from(const Digraph& g, NodeId source);
+
+/// Nodes that can reach `target` along forward edges (includes `target`).
+/// In a dependency graph these are the transitive dependents of `target`.
+std::vector<bool> reverse_reachable(const Digraph& g, NodeId target);
+
+/// Dense boolean reachability matrix: result[u][v] = u can reach v.
+/// Intended for the small coarse graphs (teams number in the tens).
+std::vector<std::vector<bool>> reachability_matrix(const Digraph& g);
+
+/// True when the graph has no directed cycle.
+bool is_dag(const Digraph& g);
+
+/// Topological order when the graph is a DAG; empty vector otherwise.
+std::vector<NodeId> topological_sort(const Digraph& g);
+
+}  // namespace smn::graph

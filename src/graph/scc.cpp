@@ -1,0 +1,68 @@
+#include "graph/scc.h"
+
+#include <algorithm>
+
+namespace smn::graph {
+
+// Iterative Tarjan to avoid stack overflow on deep graphs.
+SccResult strongly_connected_components(const Digraph& g) {
+  const std::size_t n = g.node_count();
+  SccResult result;
+  result.component_of.assign(n, kInvalidNode);
+
+  std::vector<std::uint32_t> index(n, UINT32_MAX);
+  std::vector<std::uint32_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<NodeId> stack;
+  std::uint32_t next_index = 0;
+
+  struct Frame {
+    NodeId node;
+    std::size_t edge_pos;
+  };
+  std::vector<Frame> call_stack;
+
+  for (NodeId root = 0; root < n; ++root) {
+    if (index[root] != UINT32_MAX) continue;
+    call_stack.push_back({root, 0});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!call_stack.empty()) {
+      Frame& frame = call_stack.back();
+      const auto edges = g.out_edges(frame.node);
+      if (frame.edge_pos < edges.size()) {
+        const NodeId next = g.edge(edges[frame.edge_pos++]).to;
+        if (index[next] == UINT32_MAX) {
+          index[next] = lowlink[next] = next_index++;
+          stack.push_back(next);
+          on_stack[next] = true;
+          call_stack.push_back({next, 0});
+        } else if (on_stack[next]) {
+          lowlink[frame.node] = std::min(lowlink[frame.node], index[next]);
+        }
+      } else {
+        const NodeId node = frame.node;
+        call_stack.pop_back();
+        if (!call_stack.empty()) {
+          lowlink[call_stack.back().node] =
+              std::min(lowlink[call_stack.back().node], lowlink[node]);
+        }
+        if (lowlink[node] == index[node]) {
+          const auto component = static_cast<NodeId>(result.component_count++);
+          while (true) {
+            const NodeId member = stack.back();
+            stack.pop_back();
+            on_stack[member] = false;
+            result.component_of[member] = component;
+            if (member == node) break;
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace smn::graph

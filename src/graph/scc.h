@@ -1,0 +1,21 @@
+// Strongly connected components (Tarjan). Dependency graphs extracted from
+// real systems contain cycles (mutual dependencies); the CDG coarsener can
+// optionally collapse SCCs first so the team graph is acyclic.
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace smn::graph {
+
+/// component_of[node] = SCC index; components are numbered in reverse
+/// topological order of the condensation (Tarjan's natural output order).
+struct SccResult {
+  std::vector<NodeId> component_of;
+  std::size_t component_count = 0;
+};
+
+SccResult strongly_connected_components(const Digraph& g);
+
+}  // namespace smn::graph

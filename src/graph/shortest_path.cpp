@@ -1,0 +1,139 @@
+#include "graph/shortest_path.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <set>
+#include <stdexcept>
+
+namespace smn::graph {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+bool edge_is_enabled(const std::vector<bool>& mask, EdgeId e) noexcept {
+  return mask.empty() || mask[e];
+}
+
+}  // namespace
+
+ShortestPathTree dijkstra(const Digraph& g, NodeId source, const std::vector<bool>& edge_enabled) {
+  if (!edge_enabled.empty() && edge_enabled.size() != g.edge_count()) {
+    throw std::invalid_argument("dijkstra: edge mask size mismatch");
+  }
+  ShortestPathTree tree;
+  tree.distance.assign(g.node_count(), kInf);
+  tree.parent_edge.assign(g.node_count(), kInvalidEdge);
+  if (source >= g.node_count()) return tree;
+
+  using Item = std::pair<double, NodeId>;  // (distance, node)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  tree.distance[source] = 0.0;
+  heap.emplace(0.0, source);
+
+  while (!heap.empty()) {
+    const auto [dist, node] = heap.top();
+    heap.pop();
+    if (dist > tree.distance[node]) continue;  // stale entry
+    for (const EdgeId e : g.out_edges(node)) {
+      if (!edge_is_enabled(edge_enabled, e)) continue;
+      const Edge& edge = g.edge(e);
+      const double next = dist + edge.weight;
+      if (next < tree.distance[edge.to]) {
+        tree.distance[edge.to] = next;
+        tree.parent_edge[edge.to] = e;
+        heap.emplace(next, edge.to);
+      }
+    }
+  }
+  return tree;
+}
+
+std::optional<Path> shortest_path(const Digraph& g, NodeId source, NodeId target,
+                                  const std::vector<bool>& edge_enabled) {
+  const ShortestPathTree tree = dijkstra(g, source, edge_enabled);
+  if (target >= g.node_count() || tree.distance[target] == kInf) return std::nullopt;
+  Path path;
+  path.cost = tree.distance[target];
+  for (NodeId node = target; node != source;) {
+    const EdgeId e = tree.parent_edge[node];
+    path.edges.push_back(e);
+    node = g.edge(e).from;
+  }
+  std::reverse(path.edges.begin(), path.edges.end());
+  return path;
+}
+
+std::vector<NodeId> path_nodes(const Digraph& g, const Path& path, NodeId source) {
+  std::vector<NodeId> nodes{source};
+  for (const EdgeId e : path.edges) nodes.push_back(g.edge(e).to);
+  return nodes;
+}
+
+std::vector<Path> yen_k_shortest_paths(const Digraph& g, NodeId source, NodeId target,
+                                       std::size_t k) {
+  std::vector<Path> result;
+  if (k == 0) return result;
+  auto first = shortest_path(g, source, target);
+  if (!first) return result;
+  result.push_back(std::move(*first));
+
+  // Candidate set ordered by (cost, edge sequence) for determinism.
+  const auto candidate_less = [](const Path& a, const Path& b) {
+    if (a.cost != b.cost) return a.cost < b.cost;
+    return a.edges < b.edges;
+  };
+  std::set<Path, decltype(candidate_less)> candidates(candidate_less);
+
+  std::vector<bool> edge_enabled(g.edge_count(), true);
+
+  while (result.size() < k) {
+    const Path& prev = result.back();
+    const std::vector<NodeId> prev_nodes = path_nodes(g, prev, source);
+
+    for (std::size_t i = 0; i + 1 < prev_nodes.size(); ++i) {
+      const NodeId spur_node = prev_nodes[i];
+      // Root = prefix of prev up to spur node.
+      Path root;
+      root.edges.assign(prev.edges.begin(),
+                        prev.edges.begin() + static_cast<std::ptrdiff_t>(i));
+      for (const EdgeId e : root.edges) root.cost += g.edge(e).weight;
+
+      std::fill(edge_enabled.begin(), edge_enabled.end(), true);
+      // Remove edges that would recreate an already-found path sharing the
+      // same root.
+      for (const Path& found : result) {
+        if (found.edges.size() > i &&
+            std::equal(root.edges.begin(), root.edges.end(), found.edges.begin())) {
+          edge_enabled[found.edges[i]] = false;
+        }
+      }
+      for (const Path& cand : candidates) {
+        if (cand.edges.size() > i &&
+            std::equal(root.edges.begin(), root.edges.end(), cand.edges.begin())) {
+          edge_enabled[cand.edges[i]] = false;
+        }
+      }
+      // Remove root nodes (except the spur node) to keep paths loopless.
+      for (std::size_t j = 0; j < i; ++j) {
+        const NodeId banned = prev_nodes[j];
+        for (const EdgeId e : g.out_edges(banned)) edge_enabled[e] = false;
+        for (const EdgeId e : g.in_edges(banned)) edge_enabled[e] = false;
+      }
+
+      const auto spur = shortest_path(g, spur_node, target, edge_enabled);
+      if (!spur) continue;
+      Path total = root;
+      total.edges.insert(total.edges.end(), spur->edges.begin(), spur->edges.end());
+      total.cost += spur->cost;
+      candidates.insert(std::move(total));
+    }
+
+    if (candidates.empty()) break;
+    result.push_back(*candidates.begin());
+    candidates.erase(candidates.begin());
+  }
+  return result;
+}
+
+}  // namespace smn::graph

@@ -1,0 +1,45 @@
+// Shortest paths: Dijkstra and Yen's k-shortest loopless paths. The TE
+// controller routes demands over the k shortest paths between datacenters,
+// matching production path-based TE formulations.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace smn::graph {
+
+/// Result of a single-source Dijkstra run.
+struct ShortestPathTree {
+  std::vector<double> distance;      ///< +inf for unreachable nodes
+  std::vector<EdgeId> parent_edge;   ///< kInvalidEdge for source/unreachable
+};
+
+/// A concrete path: edge ids in order plus total weight.
+struct Path {
+  std::vector<EdgeId> edges;
+  double cost = 0.0;
+
+  bool empty() const noexcept { return edges.empty(); }
+};
+
+/// Single-source shortest paths from `source` using non-negative edge
+/// weights. `edge_enabled`, when non-empty, masks edges (false = failed);
+/// its size must equal g.edge_count().
+ShortestPathTree dijkstra(const Digraph& g, NodeId source,
+                          const std::vector<bool>& edge_enabled = {});
+
+/// Shortest path from `source` to `target`; std::nullopt when unreachable.
+std::optional<Path> shortest_path(const Digraph& g, NodeId source, NodeId target,
+                                  const std::vector<bool>& edge_enabled = {});
+
+/// Yen's algorithm: up to `k` loopless shortest paths, ascending cost.
+/// Deterministic tie-breaking by edge sequence.
+std::vector<Path> yen_k_shortest_paths(const Digraph& g, NodeId source, NodeId target,
+                                       std::size_t k);
+
+/// Node sequence of `path` starting at `source` (length = edges + 1).
+std::vector<NodeId> path_nodes(const Digraph& g, const Path& path, NodeId source);
+
+}  // namespace smn::graph

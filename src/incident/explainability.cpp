@@ -1,0 +1,31 @@
+#include "incident/explainability.h"
+
+#include <algorithm>
+
+#include "util/stats.h"
+
+namespace smn::incident {
+
+double symptom_explainability(const depgraph::Cdg& cdg, graph::NodeId team,
+                              std::span<const double> observed_syndrome) {
+  const std::vector<double> predicted = cdg.predicted_syndrome(team);
+  return util::cosine_similarity(observed_syndrome, predicted);
+}
+
+std::vector<double> explainability_vector(const depgraph::Cdg& cdg,
+                                          std::span<const double> observed_syndrome) {
+  std::vector<double> out(cdg.team_count(), 0.0);
+  for (graph::NodeId t = 0; t < cdg.team_count(); ++t) {
+    out[t] = symptom_explainability(cdg, t, observed_syndrome);
+  }
+  return out;
+}
+
+std::size_t route_by_explainability(const depgraph::Cdg& cdg,
+                                    std::span<const double> observed_syndrome) {
+  const std::vector<double> scores = explainability_vector(cdg, observed_syndrome);
+  return static_cast<std::size_t>(
+      std::max_element(scores.begin(), scores.end()) - scores.begin());
+}
+
+}  // namespace smn::incident

@@ -1,0 +1,33 @@
+// Symptom explainability (§5):
+//
+//   "define the vector of symptoms (i.e., nodes in the CDG who experience
+//    symptoms) as an incident syndrome. ... We then define symptom
+//    explainability for team T as the cosine similarity of the incident
+//    syndrome to the syndrome if only team T caused a failure. This allows
+//    for noise, false dependencies and normalizes each team's
+//    explainability metric between [0, 1]."
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "depgraph/cdg.h"
+
+namespace smn::incident {
+
+/// Explainability of one team: cosine similarity between the observed
+/// syndrome and the CDG-predicted syndrome under "only `team` failed".
+double symptom_explainability(const depgraph::Cdg& cdg, graph::NodeId team,
+                              std::span<const double> observed_syndrome);
+
+/// Explainability vector over all teams — the extra feature block the CLTO
+/// feeds its Random Forest.
+std::vector<double> explainability_vector(const depgraph::Cdg& cdg,
+                                          std::span<const double> observed_syndrome);
+
+/// Routing by explainability alone: argmax team. Ties break toward the
+/// lower team index (deterministic).
+std::size_t route_by_explainability(const depgraph::Cdg& cdg,
+                                    std::span<const double> observed_syndrome);
+
+}  // namespace smn::incident

@@ -1,0 +1,167 @@
+#include "incident/fault.h"
+
+namespace smn::incident {
+
+std::string fault_type_name(FaultType type) {
+  switch (type) {
+    case FaultType::kHypervisorFailure:
+      return "hypervisor-failure";
+    case FaultType::kBadTimeout:
+      return "bad-timeout";
+    case FaultType::kFirewallRule:
+      return "firewall-rule";
+    case FaultType::kPacketLoss:
+      return "packet-loss";
+    case FaultType::kLinkFlap:
+      return "link-flap";
+    case FaultType::kDiskPressure:
+      return "disk-pressure";
+    case FaultType::kMemoryLeak:
+      return "memory-leak";
+    case FaultType::kConfigError:
+      return "config-error";
+    case FaultType::kCertExpiry:
+      return "cert-expiry";
+    case FaultType::kProcessCrash:
+      return "process-crash";
+    case FaultType::kCpuSaturation:
+      return "cpu-saturation";
+    case FaultType::kLockContention:
+      return "lock-contention";
+    case FaultType::kWavelengthDegrade:
+      return "wavelength-degrade";
+    case FaultType::kDnsMisconfig:
+      return "dns-misconfig";
+  }
+  return "unknown";
+}
+
+std::vector<FaultType> all_fault_types() {
+  return {FaultType::kHypervisorFailure, FaultType::kBadTimeout, FaultType::kFirewallRule,
+          FaultType::kPacketLoss,        FaultType::kLinkFlap,   FaultType::kDiskPressure,
+          FaultType::kMemoryLeak,        FaultType::kConfigError, FaultType::kCertExpiry,
+          FaultType::kProcessCrash,      FaultType::kCpuSaturation,
+          FaultType::kLockContention,    FaultType::kWavelengthDegrade,
+          FaultType::kDnsMisconfig};
+}
+
+bool fault_applicable(FaultType type, depgraph::ComponentKind kind) {
+  using K = depgraph::ComponentKind;
+  switch (type) {
+    case FaultType::kHypervisorFailure:
+      return kind == K::kHypervisor;
+    case FaultType::kWavelengthDegrade:
+    case FaultType::kLinkFlap:
+      return kind == K::kWanLink;
+    case FaultType::kFirewallRule:
+      return kind == K::kFirewall;
+    case FaultType::kDnsMisconfig:
+      return kind == K::kDns;
+    case FaultType::kPacketLoss:
+      return kind == K::kSwitch || kind == K::kFabric || kind == K::kWanLink;
+    case FaultType::kDiskPressure:
+      return kind == K::kDatabase || kind == K::kNoSqlStore || kind == K::kStorage ||
+             kind == K::kQueue;
+    case FaultType::kLockContention:
+      return kind == K::kDatabase || kind == K::kNoSqlStore;
+    case FaultType::kCertExpiry:
+      return kind == K::kLoadBalancer || kind == K::kAppServer || kind == K::kDns;
+    case FaultType::kBadTimeout:
+      return kind == K::kAppServer || kind == K::kLoadBalancer || kind == K::kWorker ||
+             kind == K::kSearch || kind == K::kCache;
+    case FaultType::kMemoryLeak:
+    case FaultType::kProcessCrash:
+    case FaultType::kCpuSaturation:
+      return kind == K::kAppServer || kind == K::kLoadBalancer || kind == K::kCache ||
+             kind == K::kDatabase || kind == K::kNoSqlStore || kind == K::kQueue ||
+             kind == K::kWorker || kind == K::kSearch || kind == K::kMonitor;
+    case FaultType::kConfigError:
+      return kind != K::kStorage;  // config faults can hit almost anything
+  }
+  return false;
+}
+
+FaultProfile fault_profile(FaultType type, std::size_t variant) {
+  // Variants form a severity/propagation ladder; crash-like faults
+  // propagate harder than degradation-like faults.
+  FaultProfile profile;
+  const double step = static_cast<double>(variant % kVariantsPerFault) /
+                      static_cast<double>(kVariantsPerFault);
+  profile.severity_lo = 0.45 + 0.35 * step;
+  profile.severity_hi = profile.severity_lo + 0.2;
+  switch (type) {
+    case FaultType::kHypervisorFailure:
+    case FaultType::kProcessCrash:
+    case FaultType::kFirewallRule:
+      profile.propagation_modifier = 1.1;
+      profile.attenuation_modifier = 1.05;
+      break;
+    case FaultType::kMemoryLeak:
+    case FaultType::kCpuSaturation:
+    case FaultType::kDiskPressure:
+      profile.propagation_modifier = 0.9;
+      profile.attenuation_modifier = 0.9;
+      break;
+    case FaultType::kLinkFlap:
+    case FaultType::kWavelengthDegrade:
+    case FaultType::kPacketLoss:
+      profile.propagation_modifier = 1.0;
+      profile.attenuation_modifier = 0.95;
+      break;
+    default:
+      break;
+  }
+  // Odd variants propagate slightly differently — "not injected in the
+  // same way" must actually change behavior, or the split rule is vacuous.
+  if (variant % 2 == 1) profile.propagation_modifier *= 0.85;
+  return profile;
+}
+
+double fault_self_signal(FaultType type) {
+  switch (type) {
+    case FaultType::kFirewallRule:
+      return 0.05;
+    case FaultType::kDnsMisconfig:
+      return 0.10;
+    case FaultType::kCertExpiry:
+      return 0.10;
+    case FaultType::kBadTimeout:
+      return 0.15;
+    case FaultType::kConfigError:
+      return 0.20;
+    case FaultType::kPacketLoss:
+      return 0.35;
+    case FaultType::kLockContention:
+      return 0.45;
+    case FaultType::kWavelengthDegrade:
+      return 0.50;
+    case FaultType::kLinkFlap:
+      return 0.55;
+    case FaultType::kHypervisorFailure:
+      return 0.65;
+    case FaultType::kDiskPressure:
+      return 0.75;
+    case FaultType::kMemoryLeak:
+      return 0.80;
+    case FaultType::kProcessCrash:
+      return 0.90;
+    case FaultType::kCpuSaturation:
+      return 0.95;
+  }
+  return 0.5;
+}
+
+std::vector<Fault> enumerate_faults(const depgraph::ServiceGraph& sg) {
+  std::vector<Fault> faults;
+  for (graph::NodeId n = 0; n < sg.component_count(); ++n) {
+    for (const FaultType type : all_fault_types()) {
+      if (!fault_applicable(type, sg.component(n).kind)) continue;
+      for (std::size_t v = 0; v < kVariantsPerFault; ++v) {
+        faults.push_back(Fault{type, n, v});
+      }
+    }
+  }
+  return faults;
+}
+
+}  // namespace smn::incident

@@ -1,0 +1,83 @@
+// Fault model for the §5 incident-routing experiment: the fine-grained
+// fault classes of the Revelio Incident Dataset (hypervisor failures, bad
+// timeouts, faulty firewall rules, ...) re-expressed as injectable
+// perturbations on a ServiceGraph component. Each (component, fault type)
+// combination supports several *injection variants* — parameterizations
+// differing in severity and propagation behavior — so the dataset can honor
+// the paper's split rule: test root causes are never injected the same way
+// as in training.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "depgraph/service_graph.h"
+
+namespace smn::incident {
+
+enum class FaultType {
+  kHypervisorFailure,
+  kBadTimeout,
+  kFirewallRule,
+  kPacketLoss,
+  kLinkFlap,
+  kDiskPressure,
+  kMemoryLeak,
+  kConfigError,
+  kCertExpiry,
+  kProcessCrash,
+  kCpuSaturation,
+  kLockContention,
+  kWavelengthDegrade,
+  kDnsMisconfig,
+};
+
+/// Human-readable fault-type name.
+std::string fault_type_name(FaultType type);
+
+/// All fault types.
+std::vector<FaultType> all_fault_types();
+
+/// True when `type` can plausibly occur on a component of `kind` (e.g.
+/// kWavelengthDegrade only on WAN links, kLockContention only on
+/// databases/stores).
+bool fault_applicable(FaultType type, depgraph::ComponentKind kind);
+
+/// One concrete root cause to inject.
+struct Fault {
+  FaultType type = FaultType::kProcessCrash;
+  graph::NodeId component = graph::kInvalidNode;
+  /// Injection variant: selects the parameterization (severity band,
+  /// propagation modifier). Incidents sharing (type, component, variant)
+  /// form one split group.
+  std::size_t variant = 0;
+};
+
+/// Variant parameterization resolved from (type, variant).
+struct FaultProfile {
+  double severity_lo = 0.6;
+  double severity_hi = 1.0;
+  /// Multiplier on the per-hop propagation probability.
+  double propagation_modifier = 1.0;
+  /// Multiplier on severity attenuation per hop.
+  double attenuation_modifier = 1.0;
+};
+
+/// Number of distinct injection variants per (component, fault type).
+inline constexpr std::size_t kVariantsPerFault = 4;
+
+FaultProfile fault_profile(FaultType type, std::size_t variant);
+
+/// How strongly a fault manifests in the faulty component's *own* metrics
+/// and symptoms, in [0, 1]. Misconfiguration-class faults (firewall rules,
+/// bad timeouts, DNS errors, expired certs) are nearly silent at the root —
+/// the component hums along while its dependents suffer — whereas
+/// resource-exhaustion and crash faults light up locally. This asymmetry is
+/// what makes routing from local health metrics alone genuinely hard.
+double fault_self_signal(FaultType type);
+
+/// Enumerates every injectable fault on `sg`: all applicable
+/// (component, type) pairs x kVariantsPerFault variants.
+std::vector<Fault> enumerate_faults(const depgraph::ServiceGraph& sg);
+
+}  // namespace smn::incident

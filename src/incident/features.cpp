@@ -1,0 +1,84 @@
+#include "incident/features.h"
+
+#include <algorithm>
+
+#include "incident/explainability.h"
+
+namespace smn::incident {
+
+FeatureExtractor::FeatureExtractor(const depgraph::ServiceGraph& sg, const depgraph::Cdg& cdg)
+    : sg_(sg), cdg_(cdg), team_count_(sg.teams().size()) {
+  IncidentSimulator probe(sg);  // only used for baselines
+  baselines_.reserve(sg.component_count());
+  for (graph::NodeId n = 0; n < sg.component_count(); ++n) {
+    baselines_.push_back(probe.baseline(n));
+  }
+}
+
+std::vector<double> FeatureExtractor::health_features(const Incident& incident) const {
+  // Team-level aggregation is the *mean* over the team's components, as a
+  // team dashboard would show. This preserves the paper's fan-out
+  // confounder: one faulted component dilutes inside its own team, while a
+  // lower-layer fault that degrades an entire dependent team moves that
+  // team's averages much more — victims look sicker than the root.
+  std::vector<double> features(health_dim(), 0.0);
+  std::vector<std::size_t> team_sizes(team_count_, 0);
+
+  for (graph::NodeId n = 0; n < sg_.component_count(); ++n) {
+    const std::size_t t = sg_.team_index(n);
+    const HealthMetrics& m = incident.metrics[n];
+    const HealthMetrics& base = baselines_[n];
+    double* block = features.data() + t * kHealthFeaturesPerTeam;
+    const double latency_inflation =
+        base.latency_ms > 0.0 ? m.latency_ms / base.latency_ms - 1.0 : 0.0;
+    const double cpu_inflation = base.cpu_util > 0.0 ? m.cpu_util / base.cpu_util - 1.0 : 0.0;
+    block[0] += latency_inflation;
+    block[1] += m.error_rate;
+    block[2] += cpu_inflation;
+    block[3] += m.qps_ratio;
+    ++team_sizes[t];
+  }
+  for (std::size_t t = 0; t < team_count_; ++t) {
+    if (team_sizes[t] == 0) continue;
+    double* block = features.data() + t * kHealthFeaturesPerTeam;
+    for (std::size_t c = 0; c < kHealthFeaturesPerTeam; ++c) {
+      block[c] /= static_cast<double>(team_sizes[t]);
+    }
+  }
+  return features;
+}
+
+std::vector<double> FeatureExtractor::explainability_features(const Incident& incident) const {
+  // Raw cosine scores plus per-team margins (score minus the best other
+  // team's score). The margin block matters because the routing decision is
+  // relational — "is T the *most* explanatory team" — which axis-aligned
+  // tree splits cannot express over raw scores alone.
+  std::vector<double> scores = explainability_vector(cdg_, incident.team_syndrome_binary);
+  const std::size_t teams = scores.size();
+  std::vector<double> features = scores;
+  features.resize(2 * teams);
+  for (std::size_t t = 0; t < teams; ++t) {
+    double best_other = 0.0;
+    for (std::size_t o = 0; o < teams; ++o) {
+      if (o != t) best_other = std::max(best_other, scores[o]);
+    }
+    features[teams + t] = scores[t] - best_other;
+  }
+  return features;
+}
+
+std::vector<double> FeatureExtractor::combined_features(const Incident& incident) const {
+  std::vector<double> features = health_features(incident);
+  const std::vector<double> explain = explainability_features(incident);
+  features.insert(features.end(), explain.begin(), explain.end());
+  return features;
+}
+
+std::vector<double> FeatureExtractor::team_local_features(const Incident& incident,
+                                                          std::size_t team) const {
+  const std::vector<double> all = health_features(incident);
+  const double* block = all.data() + team * kHealthFeaturesPerTeam;
+  return std::vector<double>(block, block + kHealthFeaturesPerTeam);
+}
+
+}  // namespace smn::incident

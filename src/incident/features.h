@@ -1,0 +1,55 @@
+// Feature extraction for incident routing: per-team internal health
+// metrics (the paper's "standard internal health metrics [10] from
+// production systems") plus the CDG-derived symptom-explainability block.
+#pragma once
+
+#include <vector>
+
+#include "depgraph/cdg.h"
+#include "incident/simulator.h"
+
+namespace smn::incident {
+
+/// Health channels aggregated per team. Deliberately metric-derived only
+/// (latency, errors, CPU, throughput): the thresholded symptom vector
+/// reaches the models exclusively through the explainability block, so the
+/// "with vs without explainability" comparison isolates the CDG's signal.
+inline constexpr std::size_t kHealthFeaturesPerTeam = 4;
+
+class FeatureExtractor {
+ public:
+  FeatureExtractor(const depgraph::ServiceGraph& sg, const depgraph::Cdg& cdg);
+  /// Keeps references to both structures; temporaries would dangle.
+  FeatureExtractor(depgraph::ServiceGraph&&, const depgraph::Cdg&) = delete;
+  FeatureExtractor(const depgraph::ServiceGraph&, depgraph::Cdg&&) = delete;
+
+  std::size_t team_count() const noexcept { return team_count_; }
+
+  /// Per-team block of kHealthFeaturesPerTeam features:
+  ///   [max latency inflation, max error rate, max cpu inflation,
+  ///    min qps ratio, symptomatic fraction]
+  /// laid out team-major (size = teams * kHealthFeaturesPerTeam).
+  std::vector<double> health_features(const Incident& incident) const;
+
+  /// Explainability block: per-team cosine scores followed by per-team
+  /// margins over the best other team (size = 2 * teams).
+  std::vector<double> explainability_features(const Incident& incident) const;
+
+  /// health ++ explainability — the CLTO's full feature vector.
+  std::vector<double> combined_features(const Incident& incident) const;
+
+  /// One team's local health block only — all a distributed (Scouts-style)
+  /// per-team model is allowed to see.
+  std::vector<double> team_local_features(const Incident& incident, std::size_t team) const;
+
+  std::size_t health_dim() const noexcept { return team_count_ * kHealthFeaturesPerTeam; }
+  std::size_t combined_dim() const noexcept { return health_dim() + 2 * team_count_; }
+
+ private:
+  const depgraph::ServiceGraph& sg_;
+  const depgraph::Cdg& cdg_;
+  std::size_t team_count_;
+  std::vector<HealthMetrics> baselines_;
+};
+
+}  // namespace smn::incident

@@ -1,0 +1,43 @@
+#include "incident/mttr.h"
+
+#include "util/stats.h"
+
+namespace smn::incident {
+
+double sample_mttr_minutes(const MttrModel& model, bool routed_correctly, bool automated,
+                           util::Rng& rng) {
+  double minutes = model.detection_minutes;
+  minutes += automated ? model.automated_routing_minutes : model.manual_routing_minutes;
+  if (!routed_correctly) {
+    // Wrong team investigates, bounces, and manual re-triage takes over.
+    minutes += rng.exponential(1.0 / model.wrong_team_mean_minutes);
+    minutes += model.bounce_overhead_minutes + model.manual_routing_minutes;
+  }
+  minutes += rng.exponential(1.0 / model.fix_mean_minutes);
+  return minutes;
+}
+
+MttrStats evaluate_mttr(const std::vector<Incident>& incidents,
+                        const std::function<std::size_t(const Incident&)>& router,
+                        bool automated, const MttrModel& model, std::uint64_t seed) {
+  MttrStats stats;
+  if (incidents.empty()) return stats;
+  util::Rng rng(seed);
+  std::vector<double> samples;
+  samples.reserve(incidents.size());
+  std::size_t correct = 0;
+  for (const Incident& incident : incidents) {
+    const bool hit = router(incident) == incident.root_team;
+    correct += hit;
+    samples.push_back(sample_mttr_minutes(model, hit, automated, rng));
+  }
+  util::RunningStats rs;
+  for (const double s : samples) rs.add(s);
+  stats.mean_minutes = rs.mean();
+  stats.p95_minutes = util::percentile(samples, 0.95);
+  stats.first_assignment_accuracy =
+      static_cast<double>(correct) / static_cast<double>(incidents.size());
+  return stats;
+}
+
+}  // namespace smn::incident

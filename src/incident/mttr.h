@@ -1,0 +1,56 @@
+// Mean-time-to-resolution model: turns routing accuracy into the
+// operational currency the war stories use ("causing resolution in hours
+// because it was done manually by the cluster and WAN teams meeting").
+//
+// Lifecycle per incident:
+//   detection -> routing -> investigation by the assigned team
+//     -> (if mis-routed) the wrong team burns an investigation, bounces
+//        the ticket back, a manual re-triage finds the right team, and
+//        the real investigation begins.
+// Investigation times are exponential; routing latency depends on whether
+// the CLTO automates it (minutes) or humans triage it (tens of minutes).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "incident/simulator.h"
+#include "util/rng.h"
+
+namespace smn::incident {
+
+struct MttrModel {
+  double detection_minutes = 5.0;
+  /// CLTO assignment latency (one control-loop tick).
+  double automated_routing_minutes = 1.0;
+  /// Human triage latency per routing attempt.
+  double manual_routing_minutes = 30.0;
+  /// Mean fix time once the *right* team investigates (exponential).
+  double fix_mean_minutes = 60.0;
+  /// Mean time the *wrong* team spends before bouncing (exponential).
+  double wrong_team_mean_minutes = 45.0;
+  /// After a bounce, re-triage is always manual and cross-team.
+  double bounce_overhead_minutes = 15.0;
+};
+
+/// Samples the resolution time of one incident. `routed_correctly` is the
+/// first assignment's outcome; `automated` selects the routing latency.
+/// Deterministic given `rng` state.
+double sample_mttr_minutes(const MttrModel& model, bool routed_correctly, bool automated,
+                           util::Rng& rng);
+
+struct MttrStats {
+  double mean_minutes = 0.0;
+  double p95_minutes = 0.0;
+  double first_assignment_accuracy = 0.0;
+};
+
+/// Evaluates a router end to end over `incidents`: the router maps each
+/// incident to a team index; correctness against `root_team` decides the
+/// lifecycle taken. `automated` describes the router's assignment latency.
+MttrStats evaluate_mttr(const std::vector<Incident>& incidents,
+                        const std::function<std::size_t(const Incident&)>& router,
+                        bool automated, const MttrModel& model = {},
+                        std::uint64_t seed = 1331);
+
+}  // namespace smn::incident

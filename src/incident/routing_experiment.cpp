@@ -1,0 +1,203 @@
+#include "incident/routing_experiment.h"
+
+#include <algorithm>
+#include <set>
+
+#include "depgraph/cdg.h"
+#include "incident/explainability.h"
+
+namespace smn::incident {
+
+IncidentDataset generate_incident_dataset(const depgraph::ServiceGraph& sg,
+                                          const RoutingExperimentConfig& config) {
+  IncidentDataset dataset;
+  const std::vector<Fault> catalog = enumerate_faults(sg);
+  util::Rng rng(config.seed);
+  const IncidentSimulator simulator(sg, config.simulator);
+
+  // Sample so that root-cause teams are balanced (round-robin over teams),
+  // then uniformly over fault types applicable within the team, then over
+  // that type's catalog entries. Enumerating the raw catalog would
+  // over-represent teams owning many components/fault types (network) and
+  // crash-class faults that apply to nearly every component.
+  const std::size_t team_count = sg.teams().size();
+  std::vector<std::vector<std::vector<std::size_t>>> by_team_type(team_count);
+  {
+    const std::vector<FaultType> types = all_fault_types();
+    for (auto& team_buckets : by_team_type) team_buckets.resize(types.size());
+    for (std::size_t c = 0; c < catalog.size(); ++c) {
+      const std::size_t team = sg.team_index(catalog[c].component);
+      for (std::size_t t = 0; t < types.size(); ++t) {
+        if (catalog[c].type == types[t]) {
+          by_team_type[team][t].push_back(c);
+          break;
+        }
+      }
+    }
+    for (auto& team_buckets : by_team_type) {
+      std::erase_if(team_buckets,
+                    [](const std::vector<std::size_t>& v) { return v.empty(); });
+    }
+  }
+
+  dataset.incidents.reserve(config.num_incidents);
+  dataset.groups.reserve(config.num_incidents);
+  std::vector<std::size_t> type_cursor(team_count, 0);
+  for (std::size_t i = 0; i < config.num_incidents; ++i) {
+    const std::size_t team = i % team_count;
+    const auto& team_buckets = by_team_type[team];
+    if (team_buckets.empty()) continue;
+    const auto& bucket = team_buckets[type_cursor[team]++ % team_buckets.size()];
+    const std::size_t fault_index = bucket[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(bucket.size()) - 1))];
+    dataset.incidents.push_back(simulator.simulate(catalog[fault_index], rng));
+    dataset.groups.push_back(fault_index);
+  }
+  return dataset;
+}
+
+ScoutsRouter::ScoutsRouter(const FeatureExtractor& extractor, std::size_t forest_trees,
+                           std::size_t forest_max_depth, std::uint64_t seed)
+    : extractor_(extractor),
+      forest_trees_(forest_trees),
+      forest_max_depth_(forest_max_depth),
+      seed_(seed) {}
+
+void ScoutsRouter::fit(const std::vector<Incident>& incidents) {
+  const std::size_t teams = extractor_.team_count();
+  per_team_.clear();
+  per_team_.resize(teams);
+  for (std::size_t t = 0; t < teams; ++t) {
+    ml::Dataset local(kHealthFeaturesPerTeam, 2);
+    for (const Incident& incident : incidents) {
+      local.add(extractor_.team_local_features(incident, t),
+                incident.root_team == t ? 1 : 0);
+    }
+    ml::ForestConfig forest;
+    forest.num_trees = forest_trees_;
+    forest.tree.max_depth = forest_max_depth_;
+    forest.seed = seed_ + t;
+    per_team_[t].fit(local, forest);
+  }
+}
+
+std::size_t ScoutsRouter::route(const Incident& incident) const {
+  std::size_t best_team = 0;
+  double best_confidence = -1.0;
+  for (std::size_t t = 0; t < per_team_.size(); ++t) {
+    const std::vector<double> local = extractor_.team_local_features(incident, t);
+    const double confidence = per_team_[t].predict_class_proba(local, 1);
+    if (confidence > best_confidence) {
+      best_confidence = confidence;
+      best_team = t;
+    }
+  }
+  return best_team;
+}
+
+double ScoutsRouter::evaluate(const std::vector<Incident>& incidents) const {
+  if (incidents.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (const Incident& incident : incidents) {
+    if (route(incident) == incident.root_team) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(incidents.size());
+}
+
+RoutingExperimentResult run_routing_experiment(const depgraph::ServiceGraph& sg,
+                                               const RoutingExperimentConfig& config) {
+  const depgraph::Cdg cdg = depgraph::CdgCoarsener().coarsen(sg);
+  return run_routing_experiment(sg, cdg, config);
+}
+
+RoutingExperimentResult run_routing_experiment(const depgraph::ServiceGraph& sg,
+                                               const depgraph::Cdg& cdg,
+                                               const RoutingExperimentConfig& config) {
+  const FeatureExtractor extractor(sg, cdg);
+  const std::size_t teams = extractor.team_count();
+
+  const IncidentDataset dataset = generate_incident_dataset(sg, config);
+
+  // Group-held-out split at the incident level (groups = injection
+  // parameterizations), so Scouts and the centralized routers see exactly
+  // the same train/test incidents.
+  util::Rng split_rng(config.seed ^ 0x5eedULL);
+  std::set<std::size_t> group_set(dataset.groups.begin(), dataset.groups.end());
+  std::vector<std::size_t> group_list(group_set.begin(), group_set.end());
+  split_rng.shuffle(group_list);
+  const auto test_count = static_cast<std::size_t>(std::max(
+      1.0, config.test_fraction * static_cast<double>(group_list.size())));
+  const std::set<std::size_t> test_groups(
+      group_list.begin(),
+      group_list.begin() + static_cast<std::ptrdiff_t>(std::min(test_count, group_list.size())));
+
+  std::vector<Incident> train, test;
+  for (std::size_t i = 0; i < dataset.incidents.size(); ++i) {
+    (test_groups.contains(dataset.groups[i]) ? test : train).push_back(dataset.incidents[i]);
+  }
+
+  RoutingExperimentResult result;
+  result.team_count = teams;
+  result.train_size = train.size();
+  result.test_size = test.size();
+  if (train.empty() || test.empty()) return result;
+
+  const auto build = [&](const std::vector<Incident>& incidents, bool with_explainability) {
+    const std::size_t dim =
+        with_explainability ? extractor.combined_dim() : extractor.health_dim();
+    ml::Dataset data(dim, teams);
+    for (const Incident& incident : incidents) {
+      data.add(with_explainability ? extractor.combined_features(incident)
+                                   : extractor.health_features(incident),
+               incident.root_team);
+    }
+    return data;
+  };
+
+  ml::ForestConfig forest;
+  forest.num_trees = config.forest_trees;
+  forest.tree.max_depth = config.forest_max_depth;
+  // A third of the features per split (rather than sqrt): with a handful of
+  // informative explainability features among many noisy health channels,
+  // sqrt-sized candidate sets rarely contain the good splits.
+  forest.tree.max_features = std::max<std::size_t>(6, extractor.combined_dim() / 3);
+  forest.seed = config.seed;
+
+  // 1. Health metrics only.
+  {
+    const ml::Dataset train_data = build(train, false);
+    const ml::Dataset test_data = build(test, false);
+    ml::RandomForest rf;
+    rf.fit(train_data, forest);
+    result.accuracy_health_only = ml::accuracy(rf, test_data);
+    result.f1_health_only = ml::macro_f1(rf, test_data);
+  }
+  // 2. Health metrics + symptom explainability.
+  {
+    const ml::Dataset train_data = build(train, true);
+    const ml::Dataset test_data = build(test, true);
+    ml::RandomForest rf;
+    rf.fit(train_data, forest);
+    result.accuracy_with_explainability = ml::accuracy(rf, test_data);
+    result.f1_with_explainability = ml::macro_f1(rf, test_data);
+    result.confusion_combined = ml::confusion_matrix(rf, test_data);
+  }
+  // 3. Scouts-style distributed baseline.
+  {
+    ScoutsRouter scouts(extractor, config.forest_trees, config.forest_max_depth, config.seed);
+    scouts.fit(train);
+    result.accuracy_scouts = scouts.evaluate(test);
+  }
+  // 4. Explainability-only ablation (no learning).
+  {
+    std::size_t correct = 0;
+    for (const Incident& incident : test) {
+      if (route_by_explainability(cdg, incident.team_syndrome_binary) == incident.root_team) ++correct;
+    }
+    result.accuracy_explainability_only =
+        static_cast<double>(correct) / static_cast<double>(test.size());
+  }
+  return result;
+}
+
+}  // namespace smn::incident

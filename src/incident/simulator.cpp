@@ -1,0 +1,165 @@
+#include "incident/simulator.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace smn::incident {
+namespace {
+
+/// Healthy-state metric baselines by component kind.
+HealthMetrics kind_baseline(depgraph::ComponentKind kind) {
+  using K = depgraph::ComponentKind;
+  HealthMetrics m;
+  switch (kind) {
+    case K::kLoadBalancer:
+      m = {2.0, 0.001, 0.35, 1.0};
+      break;
+    case K::kAppServer:
+      m = {45.0, 0.002, 0.55, 1.0};
+      break;
+    case K::kCache:
+      m = {0.8, 0.001, 0.30, 1.0};
+      break;
+    case K::kDatabase:
+      m = {12.0, 0.001, 0.50, 1.0};
+      break;
+    case K::kNoSqlStore:
+      m = {6.0, 0.002, 0.45, 1.0};
+      break;
+    case K::kQueue:
+      m = {4.0, 0.001, 0.25, 1.0};
+      break;
+    case K::kWorker:
+      m = {90.0, 0.003, 0.60, 1.0};
+      break;
+    case K::kSearch:
+      m = {70.0, 0.004, 0.50, 1.0};
+      break;
+    case K::kDns:
+      m = {1.5, 0.0005, 0.10, 1.0};
+      break;
+    case K::kFirewall:
+      m = {0.3, 0.0002, 0.20, 1.0};
+      break;
+    case K::kSwitch:
+    case K::kFabric:
+      m = {0.2, 0.0001, 0.15, 1.0};
+      break;
+    case K::kWanLink:
+      m = {30.0, 0.0005, 0.40, 1.0};
+      break;
+    case K::kHypervisor:
+      m = {0.5, 0.0005, 0.45, 1.0};
+      break;
+    case K::kStorage:
+      m = {8.0, 0.0005, 0.35, 1.0};
+      break;
+    case K::kMonitor:
+      m = {10.0, 0.001, 0.15, 1.0};
+      break;
+  }
+  return m;
+}
+
+}  // namespace
+
+IncidentSimulator::IncidentSimulator(const depgraph::ServiceGraph& sg, SimulatorConfig config)
+    : sg_(sg), config_(config) {}
+
+HealthMetrics IncidentSimulator::baseline(graph::NodeId id) const {
+  return kind_baseline(sg_.component(id).kind);
+}
+
+Incident IncidentSimulator::simulate(const Fault& fault, util::Rng& rng) const {
+  const std::size_t n = sg_.component_count();
+  const std::size_t teams = sg_.teams().size();
+  Incident incident;
+  incident.root_cause = fault;
+  incident.root_team = sg_.team_index(fault.component);
+  incident.severity.assign(n, 0.0);
+  incident.symptom.assign(n, false);
+  incident.metrics.resize(n);
+  incident.team_syndrome.assign(teams, 0.0);
+  incident.team_syndrome_binary.assign(teams, 0.0);
+
+  const FaultProfile profile = fault_profile(fault.type, fault.variant);
+  const double root_severity = rng.uniform(profile.severity_lo, profile.severity_hi);
+  incident.severity[fault.component] = std::min(1.0, root_severity);
+
+  // Max-severity propagation from dependency to dependent, processed in
+  // descending severity order (Dijkstra-style with multiplicative decay) so
+  // each component settles at the strongest degradation reaching it.
+  using Item = std::pair<double, graph::NodeId>;
+  std::priority_queue<Item> heap;
+  heap.emplace(incident.severity[fault.component], fault.component);
+  while (!heap.empty()) {
+    const auto [severity, node] = heap.top();
+    heap.pop();
+    if (severity < incident.severity[node]) continue;  // stale
+    // Dependents of `node` (components with an edge into it).
+    for (const graph::EdgeId e : sg_.graph().in_edges(node)) {
+      const graph::NodeId dependent = sg_.graph().edge(e).from;
+      const double p = std::min(1.0, config_.propagation_probability * profile.propagation_modifier);
+      if (!rng.bernoulli(p)) continue;
+      const double attenuation =
+          rng.uniform(config_.attenuation_lo, config_.attenuation_hi) *
+          profile.attenuation_modifier;
+      const double next = std::min(1.0, severity * std::min(1.0, attenuation));
+      if (next > incident.severity[dependent] + 1e-9 && next > 0.05) {
+        incident.severity[dependent] = next;
+        heap.emplace(next, dependent);
+      }
+    }
+  }
+
+  // Observed severity: how strongly each component's own telemetry reflects
+  // its degradation. The root of a misconfiguration-class fault is nearly
+  // silent locally (fault_self_signal); downstream victims observe their
+  // full degradation.
+  std::vector<double> observed = incident.severity;
+  observed[fault.component] *= fault_self_signal(fault.type);
+
+  // Symptoms with alert noise.
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool degraded = observed[i] >= config_.symptom_threshold;
+    bool symptom = degraded;
+    if (degraded && rng.bernoulli(config_.missed_symptom_probability)) symptom = false;
+    if (!degraded && rng.bernoulli(config_.false_symptom_probability)) symptom = true;
+    incident.symptom[i] = symptom;
+  }
+
+  // Noisy health metrics driven by observed severity.
+  for (std::size_t i = 0; i < n; ++i) {
+    const HealthMetrics base = kind_baseline(sg_.component(i).kind);
+    const double s = observed[i];
+    HealthMetrics& m = incident.metrics[i];
+    m.latency_ms = base.latency_ms * (1.0 + 1.5 * s) *
+                   rng.lognormal(0.0, config_.metric_noise_sigma);
+    m.error_rate = std::clamp(
+        base.error_rate * (1.0 + 30.0 * s) * rng.lognormal(0.0, config_.metric_noise_sigma),
+        0.0, 1.0);
+    m.cpu_util = std::clamp(
+        base.cpu_util * (1.0 + 0.35 * s) * rng.lognormal(0.0, config_.metric_noise_sigma * 0.7),
+        0.0, 1.0);
+    m.qps_ratio = std::clamp(
+        (1.0 - 0.35 * s) * rng.lognormal(0.0, config_.metric_noise_sigma * 0.7), 0.0, 1.5);
+  }
+
+  // Team syndromes.
+  std::vector<std::size_t> team_sizes(teams, 0);
+  std::vector<std::size_t> team_symptoms(teams, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t t = sg_.team_index(static_cast<graph::NodeId>(i));
+    ++team_sizes[t];
+    if (incident.symptom[i]) ++team_symptoms[t];
+  }
+  for (std::size_t t = 0; t < teams; ++t) {
+    incident.team_syndrome[t] =
+        team_sizes[t] ? static_cast<double>(team_symptoms[t]) / static_cast<double>(team_sizes[t])
+                      : 0.0;
+    incident.team_syndrome_binary[t] = team_symptoms[t] > 0 ? 1.0 : 0.0;
+  }
+  return incident;
+}
+
+}  // namespace smn::incident

@@ -1,0 +1,88 @@
+// Incident simulator: injects one fault into the service graph, propagates
+// degradation from dependency to dependent, and emits everything an
+// observability stack would see — noisy per-component health metrics
+// (latency, error rate, CPU, throughput), component symptoms, pairwise
+// reachability probe outcomes, and the per-team incident syndrome of §5.
+//
+// The defining causal structure is fan-out: a fault low in the stack (say a
+// hypervisor) degrades many components in higher layers, which is exactly
+// the confounder the paper blames for the weakness of distributed
+// approaches ("fan-out cause-effect relationships ... are confounders in
+// distributed approaches that can rely only on internal health metrics").
+#pragma once
+
+#include <vector>
+
+#include "depgraph/service_graph.h"
+#include "incident/fault.h"
+#include "util/rng.h"
+
+namespace smn::incident {
+
+/// Health metric channels every component exposes.
+struct HealthMetrics {
+  double latency_ms = 0.0;
+  double error_rate = 0.0;   ///< [0, 1]
+  double cpu_util = 0.0;     ///< [0, 1]
+  double qps_ratio = 1.0;    ///< served / expected throughput
+};
+
+struct SimulatorConfig {
+  /// Per-hop probability that degradation crosses a dependency edge. Well
+  /// below 1: retries, replicas, and caches absorb many failures, so the
+  /// set of degraded dependents varies a lot between episodes of the same
+  /// fault.
+  double propagation_probability = 0.92;
+  /// Severity multiplier per hop, drawn uniformly from this band. The high
+  /// end near 1 keeps downstream severity comparable to the root's — which
+  /// is what makes root identification from local metrics genuinely hard.
+  double attenuation_lo = 0.60;
+  double attenuation_hi = 0.95;
+  /// Severity above which a component exhibits a symptom.
+  double symptom_threshold = 0.20;
+  /// Probability a healthy component shows a spurious symptom (alert noise).
+  double false_symptom_probability = 0.01;
+  /// Probability a degraded component's symptom is missed.
+  double missed_symptom_probability = 0.03;
+  /// Sigma of multiplicative log-normal noise on every metric channel.
+  /// High by design: team dashboards aggregate heterogeneous workloads, so
+  /// healthy and degraded metric distributions overlap heavily.
+  double metric_noise_sigma = 1.5;
+};
+
+/// Everything observed for one simulated incident.
+struct Incident {
+  Fault root_cause;
+  std::size_t root_team = 0;  ///< ground-truth routing label
+  std::vector<double> severity;         ///< per component, [0, 1]
+  std::vector<bool> symptom;            ///< per component, after noise
+  std::vector<HealthMetrics> metrics;   ///< per component, after noise
+  /// Per team: fraction of the team's components showing symptoms — the
+  /// observed incident syndrome (weighted variant of §5's symptom vector).
+  std::vector<double> team_syndrome;
+  /// Per team: 1 if any component shows a symptom (binary syndrome).
+  std::vector<double> team_syndrome_binary;
+};
+
+class IncidentSimulator {
+ public:
+  IncidentSimulator(const depgraph::ServiceGraph& sg, SimulatorConfig config = {});
+  /// The simulator keeps a reference to the graph; temporaries would dangle.
+  IncidentSimulator(depgraph::ServiceGraph&&, SimulatorConfig) = delete;
+
+  /// Simulates one incident. Deterministic given `rng` state.
+  Incident simulate(const Fault& fault, util::Rng& rng) const;
+
+  /// Baseline (healthy) metrics for component `id` — used to normalize
+  /// features.
+  HealthMetrics baseline(graph::NodeId id) const;
+
+  const depgraph::ServiceGraph& service_graph() const noexcept { return sg_; }
+  const SimulatorConfig& config() const noexcept { return config_; }
+
+ private:
+  const depgraph::ServiceGraph& sg_;
+  SimulatorConfig config_;
+};
+
+}  // namespace smn::incident

@@ -1,0 +1,84 @@
+#include "logs/log_generator.h"
+
+#include <array>
+
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace smn::logs {
+namespace {
+
+/// Latent templates with '%' marking a variable slot. Weights follow a
+/// rough Zipf so a handful of templates dominate, as in production logs.
+struct Latent {
+  const char* pattern;
+  double weight;
+};
+
+constexpr std::array<Latent, 18> kLatents = {{
+    {"INFO request % completed in % ms status %", 30.0},
+    {"INFO cache hit for key % shard %", 22.0},
+    {"INFO cache miss for key % shard %", 14.0},
+    {"DEBUG heartbeat from % seq %", 10.0},
+    {"INFO connection from % established on port %", 8.0},
+    {"WARN connection to % timed out after % ms", 6.0},
+    {"INFO query % returned % rows in % ms", 5.0},
+    {"WARN gc pause of % ms on heap % mb", 4.0},
+    {"INFO replication lag % ms on follower %", 3.0},
+    {"ERROR failed to write block % to volume %", 2.0},
+    {"WARN retry % of % for request %", 2.0},
+    {"INFO bgp peer % session established", 1.0},
+    {"WARN bgp peer % hold timer expired", 0.8},
+    {"ERROR link % flap detected, reconverging", 0.7},
+    {"INFO certificate for % renewed, expires %", 0.4},
+    {"ERROR disk % usage at % percent", 0.4},
+    {"WARN queue % depth % exceeds threshold", 0.3},
+    {"INFO config % applied by %", 0.2},
+}};
+
+std::string fill(const char* pattern, util::Rng& rng) {
+  std::string out;
+  for (const char* p = pattern; *p != '\0'; ++p) {
+    if (*p == '%') {
+      // Variables: numbers, host-like ids, or hex-ish tokens.
+      switch (rng.uniform_int(0, 2)) {
+        case 0:
+          out += std::to_string(rng.uniform_int(1, 99999));
+          break;
+        case 1:
+          out += "host-" + std::to_string(rng.uniform_int(1, 48));
+          break;
+        default:
+          out += "0x" + std::to_string(rng.uniform_int(4096, 65535));
+          break;
+      }
+    } else {
+      out.push_back(*p);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::size_t latent_template_count() { return kLatents.size(); }
+
+std::vector<std::pair<util::SimTime, std::string>> generate_service_logs(
+    const LogGenConfig& config) {
+  util::Rng rng(config.seed);
+  std::vector<double> weights;
+  weights.reserve(kLatents.size());
+  for (const Latent& l : kLatents) weights.push_back(l.weight);
+
+  std::vector<std::pair<util::SimTime, std::string>> lines;
+  lines.reserve(config.lines);
+  double t = static_cast<double>(config.start);
+  for (std::size_t i = 0; i < config.lines; ++i) {
+    t += rng.exponential(1.0 / config.mean_gap_seconds);
+    const Latent& latent = kLatents[rng.weighted_index(weights)];
+    lines.emplace_back(static_cast<util::SimTime>(t), fill(latent.pattern, rng));
+  }
+  return lines;
+}
+
+}  // namespace smn::logs

@@ -1,0 +1,33 @@
+// Synthetic service-log generator: realistic operational log lines drawn
+// from a latent template set (connection events, GC pauses, HTTP accesses,
+// cache misses, BGP/link events, ...). Substitutes for production logs the
+// same way the traffic generator substitutes for bandwidth telemetry.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/sim_time.h"
+
+namespace smn::logs {
+
+struct LogGenConfig {
+  std::size_t lines = 10000;
+  util::SimTime start = 0;
+  /// Mean gap between lines (exponential).
+  double mean_gap_seconds = 1.0;
+  std::uint64_t seed = 777;
+};
+
+/// Timestamped raw log lines, timestamp-ordered. The latent template mix
+/// is heavy-tailed (a few chatty templates dominate), matching real logs.
+std::vector<std::pair<util::SimTime, std::string>> generate_service_logs(
+    const LogGenConfig& config);
+
+/// Number of latent templates the generator draws from (for tests: the
+/// miner should recover approximately this many).
+std::size_t latent_template_count();
+
+}  // namespace smn::logs

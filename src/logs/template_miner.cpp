@@ -1,0 +1,259 @@
+#include "logs/template_miner.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace smn::logs {
+namespace {
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (const char c : line) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!current.empty()) {
+        tokens.push_back(std::move(current));
+        current.clear();
+      }
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+/// Heuristic: tokens dominated by digits (ids, counts, addresses, ports)
+/// are variables a priori.
+bool looks_variable(const std::string& token) {
+  std::size_t digits = 0;
+  for (const char c : token) {
+    if (std::isdigit(static_cast<unsigned char>(c))) ++digits;
+  }
+  return digits > 0 && digits * 2 >= token.size();
+}
+
+}  // namespace
+
+std::string LogTemplate::text() const { return util::join(tokens, " "); }
+
+ParsedLog TemplateMiner::parse(util::SimTime timestamp, const std::string& line) {
+  std::vector<std::string> tokens = tokenize(line);
+  // Preprocess: abstract obviously-variable tokens.
+  std::vector<bool> pre_wildcard(tokens.size(), false);
+  if (config_.abstract_numbers) {
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+      pre_wildcard[i] = looks_variable(tokens[i]);
+    }
+  }
+
+  // Bucket by (token count, first stable token).
+  const std::string first =
+      tokens.empty() ? std::string{} : (pre_wildcard[0] ? std::string(kWildcard) : tokens[0]);
+  const auto key = std::make_pair(tokens.size(), first);
+  std::vector<std::size_t>* bucket = nullptr;
+  for (auto& [k, ids] : buckets_) {
+    if (k == key) {
+      bucket = &ids;
+      break;
+    }
+  }
+  if (bucket == nullptr) {
+    buckets_.emplace_back(key, std::vector<std::size_t>{});
+    bucket = &buckets_.back().second;
+  }
+
+  // Find the most similar template in the bucket.
+  std::size_t best_id = SIZE_MAX;
+  double best_similarity = -1.0;
+  for (const std::size_t id : *bucket) {
+    const LogTemplate& t = templates_[id];
+    std::size_t stable = 0, matching = 0;
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+      if (t.tokens[i] == kWildcard) continue;
+      ++stable;
+      if (!pre_wildcard[i] && t.tokens[i] == tokens[i]) ++matching;
+    }
+    const double similarity =
+        stable == 0 ? 1.0 : static_cast<double>(matching) / static_cast<double>(stable);
+    if (similarity > best_similarity) {
+      best_similarity = similarity;
+      best_id = id;
+    }
+  }
+
+  if (best_id == SIZE_MAX || best_similarity < config_.similarity_threshold) {
+    // New template: pre-abstracted positions start as wildcards.
+    LogTemplate t;
+    t.id = templates_.size();
+    t.tokens = tokens;
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+      if (pre_wildcard[i]) {
+        t.tokens[i] = kWildcard;
+        ++t.initial_wildcards;
+      }
+    }
+    templates_.push_back(std::move(t));
+    bucket->push_back(templates_.size() - 1);
+    best_id = templates_.size() - 1;
+  } else {
+    // Generalize: positions that disagree become wildcards, each recorded
+    // as a versioning event so older entries stay reconstructible.
+    LogTemplate& t = templates_[best_id];
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+      if (t.tokens[i] != kWildcard && (pre_wildcard[i] || t.tokens[i] != tokens[i])) {
+        t.generalization_events.emplace_back(i, t.tokens[i]);
+        t.tokens[i] = kWildcard;
+      }
+    }
+  }
+
+  LogTemplate& matched = templates_[best_id];
+  ++matched.match_count;
+  ParsedLog parsed;
+  parsed.timestamp = timestamp;
+  parsed.template_id = best_id;
+  parsed.wildcards_at_parse = matched.initial_wildcards + matched.generalization_events.size();
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (matched.tokens[i] == kWildcard) parsed.parameters.push_back(tokens[i]);
+  }
+  return parsed;
+}
+
+std::string TemplateMiner::reconstruct(const ParsedLog& parsed) const {
+  const LogTemplate& t = templates_.at(parsed.template_id);
+  std::vector<std::string> tokens = t.tokens;
+  // Undo generalizations that happened after this entry was parsed: those
+  // positions were literal then, so restore the recorded literal.
+  const std::size_t events_at_parse = parsed.wildcards_at_parse - t.initial_wildcards;
+  for (std::size_t e = events_at_parse; e < t.generalization_events.size(); ++e) {
+    tokens[t.generalization_events[e].first] = t.generalization_events[e].second;
+  }
+  std::size_t param = 0;
+  for (std::string& token : tokens) {
+    if (token == kWildcard && param < parsed.parameters.size()) {
+      token = parsed.parameters[param++];
+    }
+  }
+  return util::join(tokens, " ");
+}
+
+void CompressedLogStore::append(util::SimTime timestamp, const std::string& line) {
+  raw_bytes_ += line.size() + 1;
+  entries_.push_back(miner_.parse(timestamp, line));
+}
+
+std::size_t CompressedLogStore::encoded_bytes() const noexcept {
+  std::size_t bytes = 0;
+  for (const LogTemplate& t : miner_.templates()) {
+    bytes += t.text().size() + 8;
+    for (const auto& [_, literal] : t.generalization_events) bytes += literal.size() + 4;
+  }
+  for (const ParsedLog& entry : entries_) {
+    bytes += 12;  // timestamp + template id
+    for (const std::string& p : entry.parameters) bytes += p.size() + 1;
+  }
+  return bytes;
+}
+
+double CompressedLogStore::compression_ratio() const noexcept {
+  const std::size_t encoded = encoded_bytes();
+  return encoded == 0 ? 0.0 : static_cast<double>(raw_bytes_) / static_cast<double>(encoded);
+}
+
+namespace {
+
+/// Can `needle` possibly occur in a line produced from `tokens`? The
+/// needle's whitespace-split tokens must align with a run of template
+/// tokens, where wildcards match anything, the first needle token may
+/// begin mid-token (suffix match) and the last may end mid-token (prefix
+/// match). Generalization-event literals widen candidacy for old entries,
+/// so they are treated as extra wildcards (handled by the caller marking
+/// such templates scannable).
+bool template_can_match(const std::vector<std::string>& tokens,
+                        const std::vector<std::string>& needle_tokens) {
+  const std::size_t n = needle_tokens.size();
+  if (n == 0 || tokens.size() < n) return false;
+  for (std::size_t start = 0; start + n <= tokens.size(); ++start) {
+    bool ok = true;
+    for (std::size_t j = 0; j < n && ok; ++j) {
+      const std::string& tok = tokens[start + j];
+      if (tok == kWildcard) continue;
+      const std::string& nt = needle_tokens[j];
+      if (n == 1) {
+        ok = tok.find(nt) != std::string::npos;
+      } else if (j == 0) {
+        ok = tok.size() >= nt.size() && tok.ends_with(nt);
+      } else if (j == n - 1) {
+        ok = tok.size() >= nt.size() && tok.starts_with(nt);
+      } else {
+        ok = tok == nt;
+      }
+    }
+    if (ok) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<std::string> CompressedLogStore::search(const std::string& needle) const {
+  // Phase 1 (CLP-style): decide per template whether it can match, by
+  // aligning the needle's tokens against the template (wildcards match
+  // anything). Templates that cannot match are pruned without touching
+  // their entries.
+  const std::vector<std::string> needle_tokens = [&] {
+    std::vector<std::string> out;
+    std::string current;
+    for (const char c : needle) {
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        if (!current.empty()) {
+          out.push_back(std::move(current));
+          current.clear();
+        }
+      } else {
+        current.push_back(c);
+      }
+    }
+    if (!current.empty()) out.push_back(std::move(current));
+    return out;
+  }();
+
+  std::vector<char> candidate(miner_.templates().size(), 0);
+  for (const LogTemplate& t : miner_.templates()) {
+    // Old entries of a generalized template may carry the replaced
+    // literals: test candidacy against the pre-generalization shape too.
+    std::vector<std::string> oldest = t.tokens;
+    for (const auto& [pos, literal] : t.generalization_events) oldest[pos] = literal;
+    const bool can_match = template_can_match(t.tokens, needle_tokens) ||
+                           template_can_match(oldest, needle_tokens);
+    if (!can_match) continue;
+    // A hit inside the static text guarantees every entry of this template
+    // matches: static tokens are never rewritten (generalization only ever
+    // removes them from the static set, and the current static tokens were
+    // static at every entry's parse time). Guard against needles that
+    // contain the wildcard marker itself.
+    const bool static_hit = needle.find(kWildcard) == std::string::npos &&
+                            t.text().find(needle) != std::string::npos;
+    candidate[t.id] = static_hit ? 2 : 1;
+  }
+
+  std::vector<std::string> results;
+  last_scanned_ = 0;
+  for (const ParsedLog& entry : entries_) {
+    const char c = candidate[entry.template_id];
+    if (c == 0) continue;  // template pruned, entry never touched
+    if (c == 2) {
+      results.push_back(miner_.reconstruct(entry));
+      continue;
+    }
+    ++last_scanned_;
+    const std::string line = miner_.reconstruct(entry);
+    if (line.find(needle) != std::string::npos) results.push_back(line);
+  }
+  return results;
+}
+
+}  // namespace smn::logs

@@ -1,0 +1,128 @@
+// Unstructured-log handling for the CLDS.
+//
+// The SMN's inputs are "Mixed (Telemetry, Logs)" (Table 1), and §2 flags
+// the cost: "centralizing this data across teams can take an infeasible
+// amount of storage [CLP 36, parser-based log compression 43] and
+// bandwidth, but is also expensive to sift through." §6's AIOps engine
+// wants logs "convert[ed] ... into structured inputs for the CLTO".
+//
+// This module implements the classical answer both citations build on:
+// online template mining (Drain-style). Each raw line parses into a
+// template id plus the variable tokens, which simultaneously
+//   * compresses the stream (template text stored once),
+//   * structures it (parameters become queryable fields), and
+//   * accelerates search (match the few templates first, then scan only
+//     their entries — the CLP trick).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/sim_time.h"
+
+namespace smn::logs {
+
+/// The wildcard marking a variable position in a template.
+inline constexpr const char* kWildcard = "<*>";
+
+struct LogTemplate {
+  std::size_t id = 0;
+  /// Tokens with kWildcard at variable positions.
+  std::vector<std::string> tokens;
+  std::size_t match_count = 0;
+  /// Wildcards present at template creation (pre-abstracted positions).
+  std::size_t initial_wildcards = 0;
+  /// Positions generalized to wildcards *after* creation, in order, with
+  /// the literal they replaced — the versioning that keeps entries parsed
+  /// before a generalization reconstructible.
+  std::vector<std::pair<std::size_t, std::string>> generalization_events;
+
+  /// Static text with wildcards, e.g. "connection to <*> timed out after
+  /// <*> ms".
+  std::string text() const;
+};
+
+struct ParsedLog {
+  util::SimTime timestamp = 0;
+  std::size_t template_id = 0;
+  std::vector<std::string> parameters;  ///< one per wildcard, in order
+  /// Wildcard count of the template when this entry was parsed; later
+  /// generalizations do not affect this entry's reconstruction.
+  std::size_t wildcards_at_parse = 0;
+};
+
+struct MinerConfig {
+  /// Fraction of non-wildcard token positions that must match to join an
+  /// existing template (Drain's similarity threshold).
+  double similarity_threshold = 0.6;
+  /// Tokens that look numeric/identifier-like are pre-abstracted to
+  /// wildcards before matching (Drain's preprocessing heuristic).
+  bool abstract_numbers = true;
+};
+
+/// Online log template miner (Drain-lite: buckets by token count + first
+/// token, merges by similarity). Deterministic; templates only ever
+/// generalize (wildcards never revert to literals).
+class TemplateMiner {
+ public:
+  explicit TemplateMiner(MinerConfig config = {}) : config_(config) {}
+
+  /// Parses one line, creating or generalizing a template as needed.
+  ParsedLog parse(util::SimTime timestamp, const std::string& line);
+
+  const std::vector<LogTemplate>& templates() const noexcept { return templates_; }
+  const LogTemplate& template_of(std::size_t id) const { return templates_.at(id); }
+
+  /// Reconstructs the original line's token stream (wildcards substituted
+  /// with the parsed parameters). Lossless modulo whitespace runs.
+  std::string reconstruct(const ParsedLog& parsed) const;
+
+ private:
+  MinerConfig config_;
+  std::vector<LogTemplate> templates_;
+  /// Bucket key (token_count, first_token) -> template ids.
+  std::vector<std::pair<std::pair<std::size_t, std::string>, std::vector<std::size_t>>>
+      buckets_;
+};
+
+/// Compressed, searchable log store (CLP-flavored): raw lines parse
+/// through the miner; storage holds the template dictionary plus
+/// (timestamp, template id, parameters) tuples.
+class CompressedLogStore {
+ public:
+  explicit CompressedLogStore(MinerConfig config = {}) : miner_(config) {}
+
+  void append(util::SimTime timestamp, const std::string& line);
+
+  std::size_t size() const noexcept { return entries_.size(); }
+  std::size_t template_count() const noexcept { return miner_.templates().size(); }
+
+  /// Bytes of the raw lines as ingested.
+  std::size_t raw_bytes() const noexcept { return raw_bytes_; }
+  /// Approximate encoded bytes: dictionary + per-entry (8B timestamp +
+  /// 4B template id + parameter text).
+  std::size_t encoded_bytes() const noexcept;
+  double compression_ratio() const noexcept;
+
+  /// All reconstructed lines containing `needle`, in append order.
+  /// Template-first search: only entries of templates whose static text or
+  /// parameters can match are scanned.
+  std::vector<std::string> search(const std::string& needle) const;
+
+  /// Number of entries scanned by the last search (the CLP speedup
+  /// metric: scanned / size() << 1 for selective needles).
+  std::size_t last_search_scanned() const noexcept { return last_scanned_; }
+
+  const TemplateMiner& miner() const noexcept { return miner_; }
+  const std::vector<ParsedLog>& entries() const noexcept { return entries_; }
+
+ private:
+  TemplateMiner miner_;
+  std::vector<ParsedLog> entries_;
+  std::size_t raw_bytes_ = 0;
+  mutable std::size_t last_scanned_ = 0;
+};
+
+}  // namespace smn::logs

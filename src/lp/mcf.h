@@ -1,0 +1,93 @@
+// Approximate maximum concurrent multi-commodity flow
+// (Fleischer / Garg–Könemann multiplicative-weights scheme).
+//
+// This is the workhorse TE oracle: given a capacitated digraph and a demand
+// matrix, it computes the largest lambda such that lambda * every demand is
+// simultaneously routable. Production WAN TE (SWAN, B4, BlastShield) solves
+// LPs of this shape; we need it at both the fine (300-node) and coarse
+// (supernode) granularity, so an FPTAS that scales with graph size — rather
+// than a dense simplex — is the appropriate substrate.
+//
+// The returned solution is *certified feasible*: raw multiplicative-weights
+// flows are rescaled so that no edge exceeds capacity, and lambda is then
+// recomputed as min_j routed_j / demand_j. Guarantee: lambda >= (1 - O(eps))
+// * lambda_opt.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "graph/shortest_path.h"
+
+namespace smn::lp {
+
+struct Commodity {
+  graph::NodeId src = graph::kInvalidNode;
+  graph::NodeId dst = graph::kInvalidNode;
+  double demand = 0.0;
+};
+
+/// One routed path with the amount of (scaled) flow it carries.
+struct PathFlow {
+  std::size_t commodity = 0;
+  std::vector<graph::EdgeId> edges;
+  double flow = 0.0;
+};
+
+struct McfResult {
+  /// Fraction of every demand that is simultaneously routable.
+  double lambda = 0.0;
+  /// Total flow routed (sum over commodities of routed amount).
+  double total_flow = 0.0;
+  /// Feasible per-edge flow (indexed by EdgeId).
+  std::vector<double> edge_flow;
+  /// Per-commodity routed amount.
+  std::vector<double> routed;
+  /// Flow decomposition by path (already scaled to feasibility).
+  std::vector<PathFlow> paths;
+  /// Number of shortest-path computations performed (work metric).
+  std::size_t sp_calls = 0;
+};
+
+struct McfOptions {
+  double epsilon = 0.05;     ///< FPTAS accuracy knob
+  std::size_t max_phases = 10000;  ///< safety valve
+};
+
+/// Solves max concurrent flow on `g` using edge capacities from the graph.
+/// Commodities with zero demand are ignored. Edges with zero capacity are
+/// unusable. Throws std::invalid_argument on malformed input.
+McfResult max_concurrent_flow(const graph::Digraph& g, const std::vector<Commodity>& commodities,
+                              const McfOptions& options = {});
+
+/// Evaluates a *fixed* routing: each commodity fully routed along the given
+/// per-commodity paths with the given split fractions. Returns the largest
+/// lambda such that lambda * demands fit, plus per-edge loads at lambda = 1.
+/// Used to realize coarse TE solutions on the fine graph (§4's restricted
+/// search space) and by the capacity planner to compute utilizations.
+struct FixedRoutingResult {
+  double lambda = 0.0;
+  std::vector<double> edge_load;  ///< load at lambda = 1
+  double max_utilization = 0.0;   ///< max over edges of load/capacity
+};
+
+struct RoutedDemand {
+  std::size_t commodity = 0;
+  std::vector<graph::EdgeId> edges;
+  double fraction = 1.0;  ///< share of the commodity's demand on this path
+};
+
+FixedRoutingResult evaluate_fixed_routing(const graph::Digraph& g,
+                                          const std::vector<Commodity>& commodities,
+                                          const std::vector<RoutedDemand>& routing);
+
+/// Greedy admission along a fixed routing: commodities are processed in
+/// order; each path admits as much of its share of the demand as residual
+/// capacity allows. Returns total admitted Gbps. This "routable demand"
+/// measure degrades smoothly as the routing quality drops, unlike the
+/// max-concurrent lambda, which is pinned by the single worst link.
+double greedy_admitted_demand(const graph::Digraph& g, const std::vector<Commodity>& commodities,
+                              const std::vector<RoutedDemand>& routing);
+
+}  // namespace smn::lp

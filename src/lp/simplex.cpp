@@ -1,0 +1,129 @@
+#include "lp/simplex.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace smn::lp {
+
+namespace {
+constexpr double kEps = 1e-9;
+}
+
+LinearProgram::LinearProgram(std::size_t num_vars) : objective_(num_vars, 0.0) {
+  if (num_vars == 0) throw std::invalid_argument("LinearProgram: need at least one variable");
+}
+
+void LinearProgram::set_objective(std::size_t var, double coefficient) {
+  objective_.at(var) = coefficient;
+}
+
+void LinearProgram::add_constraint(const std::vector<std::size_t>& vars,
+                                   const std::vector<double>& coefficients, double rhs) {
+  if (vars.size() != coefficients.size()) {
+    throw std::invalid_argument("add_constraint: vars/coefficients size mismatch");
+  }
+  if (rhs < 0.0) {
+    throw std::invalid_argument("add_constraint: negative rhs not supported (standard form)");
+  }
+  std::vector<double> row(num_vars(), 0.0);
+  for (std::size_t i = 0; i < vars.size(); ++i) row.at(vars[i]) += coefficients[i];
+  rows_.push_back(std::move(row));
+  rhs_.push_back(rhs);
+}
+
+LpResult LinearProgram::maximize(std::size_t max_iterations) const {
+  // Since b >= 0 the all-slack basis is feasible; no phase-1 needed.
+  const std::size_t n = num_vars();
+  const std::size_t m = num_constraints();
+  LpResult result;
+  result.x.assign(n, 0.0);
+
+  if (m == 0) {
+    // Unconstrained: optimal iff no positive objective coefficient.
+    for (const double c : objective_) {
+      if (c > kEps) {
+        result.status = LpStatus::kUnbounded;
+        return result;
+      }
+    }
+    result.status = LpStatus::kOptimal;
+    return result;
+  }
+
+  // Tableau: m rows x (n + m + 1) columns (vars, slacks, rhs).
+  const std::size_t cols = n + m + 1;
+  std::vector<std::vector<double>> tableau(m, std::vector<double>(cols, 0.0));
+  for (std::size_t r = 0; r < m; ++r) {
+    for (std::size_t c = 0; c < n; ++c) tableau[r][c] = rows_[r][c];
+    tableau[r][n + r] = 1.0;
+    tableau[r][cols - 1] = rhs_[r];
+  }
+  // Objective row (stored negated so positive entries indicate improving
+  // columns after the standard z-row transformation).
+  std::vector<double> z(cols, 0.0);
+  for (std::size_t c = 0; c < n; ++c) z[c] = objective_[c];
+
+  std::vector<std::size_t> basis(m);
+  for (std::size_t r = 0; r < m; ++r) basis[r] = n + r;
+
+  for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+    // Bland's rule: smallest-index entering column with positive z.
+    std::size_t pivot_col = cols;
+    for (std::size_t c = 0; c + 1 < cols; ++c) {
+      if (z[c] > kEps) {
+        pivot_col = c;
+        break;
+      }
+    }
+    if (pivot_col == cols) {
+      // Optimal.
+      result.status = LpStatus::kOptimal;
+      for (std::size_t r = 0; r < m; ++r) {
+        if (basis[r] < n) result.x[basis[r]] = tableau[r][cols - 1];
+      }
+      double obj = 0.0;
+      for (std::size_t c = 0; c < n; ++c) obj += objective_[c] * result.x[c];
+      result.objective = obj;
+      return result;
+    }
+
+    // Ratio test with Bland tie-breaking on basis index.
+    std::size_t pivot_row = m;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < m; ++r) {
+      const double a = tableau[r][pivot_col];
+      if (a > kEps) {
+        const double ratio = tableau[r][cols - 1] / a;
+        if (ratio < best_ratio - kEps ||
+            (std::abs(ratio - best_ratio) <= kEps &&
+             (pivot_row == m || basis[r] < basis[pivot_row]))) {
+          best_ratio = ratio;
+          pivot_row = r;
+        }
+      }
+    }
+    if (pivot_row == m) {
+      result.status = LpStatus::kUnbounded;
+      return result;
+    }
+
+    // Pivot.
+    const double pivot = tableau[pivot_row][pivot_col];
+    for (double& v : tableau[pivot_row]) v /= pivot;
+    for (std::size_t r = 0; r < m; ++r) {
+      if (r == pivot_row) continue;
+      const double factor = tableau[r][pivot_col];
+      if (std::abs(factor) <= kEps) continue;
+      for (std::size_t c = 0; c < cols; ++c) tableau[r][c] -= factor * tableau[pivot_row][c];
+    }
+    const double zfactor = z[pivot_col];
+    for (std::size_t c = 0; c < cols; ++c) z[c] -= zfactor * tableau[pivot_row][c];
+    basis[pivot_row] = pivot_col;
+  }
+
+  result.status = LpStatus::kIterationLimit;
+  return result;
+}
+
+}  // namespace smn::lp

@@ -1,0 +1,57 @@
+// Dense primal simplex for small linear programs:
+//
+//   maximize    c' x
+//   subject to  A x <= b,   x >= 0,   b >= 0
+//
+// Used as the exact reference for the approximate MCF solver in tests and
+// for small coarse-graph TE instances (after supernode coarsening the LP
+// has tens of variables, which is precisely the tractability §4 claims).
+// Bland's rule guarantees termination.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace smn::lp {
+
+enum class LpStatus { kOptimal, kUnbounded, kInfeasible, kIterationLimit };
+
+struct LpResult {
+  LpStatus status = LpStatus::kInfeasible;
+  double objective = 0.0;
+  std::vector<double> x;
+
+  bool optimal() const noexcept { return status == LpStatus::kOptimal; }
+};
+
+/// LP model builder. Rows are <= constraints with non-negative rhs
+/// (the standard form the TE/planning formulations produce naturally,
+/// since capacities and demands are non-negative).
+class LinearProgram {
+ public:
+  /// Creates a program with `num_vars` variables, all with objective
+  /// coefficient 0 until set.
+  explicit LinearProgram(std::size_t num_vars);
+
+  std::size_t num_vars() const noexcept { return objective_.size(); }
+  std::size_t num_constraints() const noexcept { return rhs_.size(); }
+
+  /// Sets the objective coefficient of variable `var`.
+  void set_objective(std::size_t var, double coefficient);
+
+  /// Adds `sum(coefficients[i] * x[vars[i]]) <= rhs`; rhs must be >= 0.
+  void add_constraint(const std::vector<std::size_t>& vars,
+                      const std::vector<double>& coefficients, double rhs);
+
+  /// Solves with dense tableau simplex. `max_iterations` guards against
+  /// pathological cycling beyond Bland's protection.
+  LpResult maximize(std::size_t max_iterations = 100000) const;
+
+ private:
+  std::vector<double> objective_;
+  std::vector<std::vector<double>> rows_;  ///< dense coefficient rows
+  std::vector<double> rhs_;
+};
+
+}  // namespace smn::lp

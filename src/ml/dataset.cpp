@@ -1,0 +1,75 @@
+#include "ml/dataset.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace smn::ml {
+
+void Dataset::add(std::vector<double> features, std::size_t label, std::size_t group) {
+  if (features.size() != num_features_) {
+    throw std::invalid_argument("Dataset::add: feature count mismatch");
+  }
+  if (label >= num_classes_) throw std::invalid_argument("Dataset::add: label out of range");
+  features_.insert(features_.end(), features.begin(), features.end());
+  labels_.push_back(label);
+  groups_.push_back(group);
+}
+
+Dataset Dataset::subset(const std::vector<std::size_t>& indices) const {
+  Dataset out(num_features_, num_classes_);
+  for (const std::size_t i : indices) {
+    const auto r = row(i);
+    out.add(std::vector<double>(r.begin(), r.end()), labels_.at(i), groups_.at(i));
+  }
+  return out;
+}
+
+Dataset Dataset::select_features(const std::vector<std::size_t>& columns) const {
+  Dataset out(columns.size(), num_classes_);
+  for (std::size_t i = 0; i < size(); ++i) {
+    const auto r = row(i);
+    std::vector<double> selected;
+    selected.reserve(columns.size());
+    for (const std::size_t c : columns) selected.push_back(r[c]);
+    out.add(std::move(selected), labels_[i], groups_[i]);
+  }
+  return out;
+}
+
+Dataset Dataset::relabel(const std::vector<std::size_t>& mapping,
+                         std::size_t new_num_classes) const {
+  if (mapping.size() != num_classes_) {
+    throw std::invalid_argument("Dataset::relabel: mapping size mismatch");
+  }
+  Dataset out(num_features_, new_num_classes);
+  for (std::size_t i = 0; i < size(); ++i) {
+    const auto r = row(i);
+    out.add(std::vector<double>(r.begin(), r.end()), mapping.at(labels_[i]), groups_[i]);
+  }
+  return out;
+}
+
+std::pair<Dataset, Dataset> Dataset::split_by_group(double test_fraction, util::Rng& rng) const {
+  std::set<std::size_t> group_set(groups_.begin(), groups_.end());
+  std::vector<std::size_t> group_list(group_set.begin(), group_set.end());
+  rng.shuffle(group_list);
+  const auto test_groups_count = static_cast<std::size_t>(
+      std::max(1.0, test_fraction * static_cast<double>(group_list.size())));
+  std::set<std::size_t> test_groups(group_list.begin(),
+                                    group_list.begin() + static_cast<std::ptrdiff_t>(std::min(
+                                                             test_groups_count, group_list.size())));
+  std::vector<std::size_t> train_idx, test_idx;
+  for (std::size_t i = 0; i < size(); ++i) {
+    (test_groups.contains(groups_[i]) ? test_idx : train_idx).push_back(i);
+  }
+  return {subset(train_idx), subset(test_idx)};
+}
+
+std::vector<std::size_t> Dataset::class_counts() const {
+  std::vector<std::size_t> counts(num_classes_, 0);
+  for (const std::size_t label : labels_) ++counts[label];
+  return counts;
+}
+
+}  // namespace smn::ml

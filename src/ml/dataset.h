@@ -1,0 +1,62 @@
+// Tabular dataset for the incident-routing classifiers: dense double
+// features, integer class labels, with group-aware splitting ("the test set
+// only contains incidents that are a result of a root-cause that is never
+// injected in the same way as in the training set", §5 — groups are
+// injection variants).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace smn::ml {
+
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(std::size_t num_features, std::size_t num_classes)
+      : num_features_(num_features), num_classes_(num_classes) {}
+
+  /// Adds one example; `features.size()` must equal num_features and
+  /// `label` < num_classes. `group` tags the injection variant.
+  void add(std::vector<double> features, std::size_t label, std::size_t group = 0);
+
+  std::size_t size() const noexcept { return labels_.size(); }
+  std::size_t num_features() const noexcept { return num_features_; }
+  std::size_t num_classes() const noexcept { return num_classes_; }
+
+  std::span<const double> row(std::size_t i) const {
+    return {features_.data() + i * num_features_, num_features_};
+  }
+  std::size_t label(std::size_t i) const { return labels_.at(i); }
+  std::size_t group(std::size_t i) const { return groups_.at(i); }
+
+  /// Subset by row indices.
+  Dataset subset(const std::vector<std::size_t>& indices) const;
+
+  /// Keeps only the feature columns in `columns` (order preserved).
+  Dataset select_features(const std::vector<std::size_t>& columns) const;
+
+  /// Remaps labels through `mapping` (size num_classes) into a dataset
+  /// with `new_num_classes` classes — e.g. one-vs-rest binarization.
+  Dataset relabel(const std::vector<std::size_t>& mapping, std::size_t new_num_classes) const;
+
+  /// Group-aware split: whole groups are assigned to train or test so no
+  /// injection variant ever straddles the boundary. `test_fraction` of
+  /// groups (rounded) go to test. Deterministic given `rng`.
+  std::pair<Dataset, Dataset> split_by_group(double test_fraction, util::Rng& rng) const;
+
+  /// Class distribution (counts per label).
+  std::vector<std::size_t> class_counts() const;
+
+ private:
+  std::size_t num_features_ = 0;
+  std::size_t num_classes_ = 0;
+  std::vector<double> features_;  ///< row-major
+  std::vector<std::size_t> labels_;
+  std::vector<std::size_t> groups_;
+};
+
+}  // namespace smn::ml

@@ -1,0 +1,145 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace smn::ml {
+namespace {
+
+double gini(const std::vector<std::size_t>& counts, std::size_t total) noexcept {
+  if (total == 0) return 0.0;
+  double sum_sq = 0.0;
+  for (const std::size_t c : counts) {
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    sum_sq += p * p;
+  }
+  return 1.0 - sum_sq;
+}
+
+}  // namespace
+
+void DecisionTree::fit(const Dataset& data, const TreeConfig& config, util::Rng& rng,
+                       const std::vector<std::size_t>& sample_indices) {
+  if (data.size() == 0) throw std::invalid_argument("DecisionTree::fit: empty dataset");
+  nodes_.clear();
+  depth_ = 0;
+  num_classes_ = data.num_classes();
+  std::vector<std::size_t> indices = sample_indices;
+  if (indices.empty()) {
+    indices.resize(data.size());
+    std::iota(indices.begin(), indices.end(), 0);
+  }
+  build(data, indices, 0, indices.size(), 0, config, rng);
+}
+
+std::int32_t DecisionTree::build(const Dataset& data, std::vector<std::size_t>& indices,
+                                 std::size_t begin, std::size_t end, std::size_t depth,
+                                 const TreeConfig& config, util::Rng& rng) {
+  depth_ = std::max(depth_, depth);
+  const std::size_t count = end - begin;
+
+  std::vector<std::size_t> counts(num_classes_, 0);
+  for (std::size_t i = begin; i < end; ++i) ++counts[data.label(indices[i])];
+
+  const auto make_leaf = [&]() -> std::int32_t {
+    Node leaf;
+    leaf.distribution.resize(num_classes_, 0.0);
+    for (std::size_t c = 0; c < num_classes_; ++c) {
+      leaf.distribution[c] = static_cast<double>(counts[c]) / static_cast<double>(count);
+    }
+    nodes_.push_back(std::move(leaf));
+    return static_cast<std::int32_t>(nodes_.size() - 1);
+  };
+
+  const bool pure = std::count_if(counts.begin(), counts.end(),
+                                  [](std::size_t c) { return c > 0; }) <= 1;
+  if (pure || depth >= config.max_depth || count < config.min_samples_split) {
+    return make_leaf();
+  }
+
+  // Candidate features (all, or a random subset for forests).
+  std::vector<std::size_t> features(data.num_features());
+  std::iota(features.begin(), features.end(), 0);
+  if (config.max_features > 0 && config.max_features < features.size()) {
+    rng.shuffle(features);
+    features.resize(config.max_features);
+  }
+
+  const double parent_impurity = gini(counts, count);
+  double best_gain = 1e-12;
+  std::size_t best_feature = 0;
+  double best_threshold = 0.0;
+
+  std::vector<std::pair<double, std::size_t>> values(count);  // (value, label)
+  for (const std::size_t f : features) {
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t r = indices[begin + i];
+      values[i] = {data.row(r)[f], data.label(r)};
+    }
+    std::sort(values.begin(), values.end());
+
+    std::vector<std::size_t> left_counts(num_classes_, 0);
+    std::vector<std::size_t> right_counts = counts;
+    for (std::size_t i = 0; i + 1 < count; ++i) {
+      ++left_counts[values[i].second];
+      --right_counts[values[i].second];
+      if (values[i].first == values[i + 1].first) continue;  // no split point here
+      const std::size_t nl = i + 1;
+      const std::size_t nr = count - nl;
+      if (nl < config.min_samples_leaf || nr < config.min_samples_leaf) continue;
+      const double impurity =
+          (static_cast<double>(nl) * gini(left_counts, nl) +
+           static_cast<double>(nr) * gini(right_counts, nr)) /
+          static_cast<double>(count);
+      const double gain = parent_impurity - impurity;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = f;
+        best_threshold = 0.5 * (values[i].first + values[i + 1].first);
+      }
+    }
+  }
+
+  if (best_gain <= 1e-12) return make_leaf();
+
+  // Partition indices in place around the threshold.
+  const auto mid_it = std::stable_partition(
+      indices.begin() + static_cast<std::ptrdiff_t>(begin),
+      indices.begin() + static_cast<std::ptrdiff_t>(end), [&](std::size_t r) {
+        return data.row(r)[best_feature] <= best_threshold;
+      });
+  const auto mid = static_cast<std::size_t>(mid_it - indices.begin());
+  if (mid == begin || mid == end) return make_leaf();  // numeric degeneracy
+
+  // Reserve our slot before recursing so children land after it.
+  nodes_.emplace_back();
+  const auto self = static_cast<std::int32_t>(nodes_.size() - 1);
+  const std::int32_t left = build(data, indices, begin, mid, depth + 1, config, rng);
+  const std::int32_t right = build(data, indices, mid, end, depth + 1, config, rng);
+  nodes_[static_cast<std::size_t>(self)].feature = best_feature;
+  nodes_[static_cast<std::size_t>(self)].threshold = best_threshold;
+  nodes_[static_cast<std::size_t>(self)].left = left;
+  nodes_[static_cast<std::size_t>(self)].right = right;
+  return self;
+}
+
+std::vector<double> DecisionTree::predict_proba(std::span<const double> features) const {
+  if (nodes_.empty()) return std::vector<double>(num_classes_, 0.0);
+  std::size_t node = 0;
+  while (!nodes_[node].is_leaf()) {
+    const Node& n = nodes_[node];
+    node = static_cast<std::size_t>(features[n.feature] <= n.threshold ? n.left : n.right);
+  }
+  return nodes_[node].distribution;
+}
+
+std::size_t DecisionTree::predict(std::span<const double> features) const {
+  const std::vector<double> proba = predict_proba(features);
+  return static_cast<std::size_t>(
+      std::max_element(proba.begin(), proba.end()) - proba.begin());
+}
+
+}  // namespace smn::ml

@@ -1,0 +1,62 @@
+// CART decision tree (Gini impurity, axis-aligned thresholds). Building
+// block for the Random Forest the §5 CLTO uses to route incidents.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "ml/dataset.h"
+#include "util/rng.h"
+
+namespace smn::ml {
+
+struct TreeConfig {
+  std::size_t max_depth = 12;
+  std::size_t min_samples_split = 2;
+  std::size_t min_samples_leaf = 1;
+  /// Features considered per split; 0 = all (single tree) — forests pass
+  /// ~sqrt(num_features).
+  std::size_t max_features = 0;
+};
+
+class DecisionTree {
+ public:
+  /// Fits on `data`, optionally restricted to `sample_indices` (empty =
+  /// all rows). `rng` drives feature subsampling when max_features > 0.
+  void fit(const Dataset& data, const TreeConfig& config, util::Rng& rng,
+           const std::vector<std::size_t>& sample_indices = {});
+
+  /// Class-probability vector for one feature row.
+  std::vector<double> predict_proba(std::span<const double> features) const;
+
+  /// Argmax class for one feature row.
+  std::size_t predict(std::span<const double> features) const;
+
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+  std::size_t depth() const noexcept { return depth_; }
+  std::size_t num_classes() const noexcept { return num_classes_; }
+
+ private:
+  struct Node {
+    // Internal nodes: feature/threshold and child indices.
+    std::size_t feature = 0;
+    double threshold = 0.0;
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    // Leaves: class distribution (normalized).
+    std::vector<double> distribution;
+
+    bool is_leaf() const noexcept { return left < 0; }
+  };
+
+  std::int32_t build(const Dataset& data, std::vector<std::size_t>& indices, std::size_t begin,
+                     std::size_t end, std::size_t depth, const TreeConfig& config,
+                     util::Rng& rng);
+
+  std::vector<Node> nodes_;
+  std::size_t num_classes_ = 0;
+  std::size_t depth_ = 0;
+};
+
+}  // namespace smn::ml

@@ -1,0 +1,133 @@
+#include "ml/random_forest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace smn::ml {
+
+void RandomForest::fit(const Dataset& data, const ForestConfig& config) {
+  if (data.size() == 0) throw std::invalid_argument("RandomForest::fit: empty dataset");
+  if (config.num_trees == 0) throw std::invalid_argument("RandomForest::fit: need >= 1 tree");
+  trees_.clear();
+  num_classes_ = data.num_classes();
+
+  TreeConfig tree_config = config.tree;
+  if (tree_config.max_features == 0) {
+    tree_config.max_features = static_cast<std::size_t>(
+        std::max(1.0, std::sqrt(static_cast<double>(data.num_features()))));
+  }
+
+  util::Rng rng(config.seed);
+  trees_.resize(config.num_trees);
+  for (std::size_t t = 0; t < config.num_trees; ++t) {
+    util::Rng tree_rng = rng.fork();
+    std::vector<std::size_t> sample;
+    if (config.bootstrap) {
+      sample.resize(data.size());
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        sample[i] = static_cast<std::size_t>(
+            tree_rng.uniform_int(0, static_cast<std::int64_t>(data.size()) - 1));
+      }
+    }
+    trees_[t].fit(data, tree_config, tree_rng, sample);
+  }
+}
+
+std::vector<double> RandomForest::predict_proba(std::span<const double> features) const {
+  std::vector<double> proba(num_classes_, 0.0);
+  if (trees_.empty()) return proba;
+  for (const DecisionTree& tree : trees_) {
+    const std::vector<double> p = tree.predict_proba(features);
+    for (std::size_t c = 0; c < num_classes_; ++c) proba[c] += p[c];
+  }
+  for (double& p : proba) p /= static_cast<double>(trees_.size());
+  return proba;
+}
+
+std::size_t RandomForest::predict(std::span<const double> features) const {
+  const std::vector<double> proba = predict_proba(features);
+  return static_cast<std::size_t>(
+      std::max_element(proba.begin(), proba.end()) - proba.begin());
+}
+
+double RandomForest::predict_class_proba(std::span<const double> features, std::size_t c) const {
+  const std::vector<double> proba = predict_proba(features);
+  return c < proba.size() ? proba[c] : 0.0;
+}
+
+double accuracy(const RandomForest& model, const Dataset& data) {
+  if (data.size() == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (model.predict(data.row(i)) == data.label(i)) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+std::vector<std::vector<std::size_t>> confusion_matrix(const RandomForest& model,
+                                                       const Dataset& data) {
+  std::vector<std::vector<std::size_t>> matrix(
+      data.num_classes(), std::vector<std::size_t>(data.num_classes(), 0));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ++matrix[data.label(i)][model.predict(data.row(i))];
+  }
+  return matrix;
+}
+
+double macro_f1(const RandomForest& model, const Dataset& data) {
+  const auto matrix = confusion_matrix(model, data);
+  const std::size_t k = matrix.size();
+  double f1_sum = 0.0;
+  std::size_t classes_present = 0;
+  for (std::size_t c = 0; c < k; ++c) {
+    std::size_t tp = matrix[c][c];
+    std::size_t fn = 0, fp = 0;
+    for (std::size_t j = 0; j < k; ++j) {
+      if (j != c) {
+        fn += matrix[c][j];
+        fp += matrix[j][c];
+      }
+    }
+    if (tp + fn == 0) continue;  // class absent from data
+    ++classes_present;
+    const double precision = tp + fp ? static_cast<double>(tp) / static_cast<double>(tp + fp) : 0.0;
+    const double recall = static_cast<double>(tp) / static_cast<double>(tp + fn);
+    if (precision + recall > 0.0) f1_sum += 2.0 * precision * recall / (precision + recall);
+  }
+  return classes_present ? f1_sum / static_cast<double>(classes_present) : 0.0;
+}
+
+std::vector<double> permutation_importance(const RandomForest& model, const Dataset& data,
+                                           util::Rng& rng, std::size_t repeats) {
+  std::vector<double> importance(data.num_features(), 0.0);
+  if (data.size() == 0 || repeats == 0) return importance;
+  const double baseline = accuracy(model, data);
+
+  // Work on a mutable copy of the feature matrix, one column at a time.
+  std::vector<std::vector<double>> rows(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto r = data.row(i);
+    rows[i].assign(r.begin(), r.end());
+  }
+
+  std::vector<double> column(data.size());
+  for (std::size_t f = 0; f < data.num_features(); ++f) {
+    double drop_total = 0.0;
+    for (std::size_t rep = 0; rep < repeats; ++rep) {
+      for (std::size_t i = 0; i < data.size(); ++i) column[i] = rows[i][f];
+      rng.shuffle(column);
+      for (std::size_t i = 0; i < data.size(); ++i) rows[i][f] = column[i];
+      std::size_t correct = 0;
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        if (model.predict(rows[i]) == data.label(i)) ++correct;
+      }
+      drop_total += baseline - static_cast<double>(correct) / static_cast<double>(data.size());
+      for (std::size_t i = 0; i < data.size(); ++i) rows[i][f] = data.row(i)[f];  // restore
+    }
+    importance[f] = drop_total / static_cast<double>(repeats);
+  }
+  return importance;
+}
+
+}  // namespace smn::ml

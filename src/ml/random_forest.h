@@ -1,0 +1,61 @@
+// Random Forest (bootstrap-aggregated CART trees with per-split feature
+// subsampling) — the classifier §5 trains on cosine-similarity and health
+// features "to predict the correct team label for a given incident".
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "ml/dataset.h"
+#include "ml/decision_tree.h"
+#include "util/rng.h"
+
+namespace smn::ml {
+
+struct ForestConfig {
+  std::size_t num_trees = 100;
+  TreeConfig tree;
+  /// When tree.max_features == 0, it defaults to sqrt(num_features).
+  std::uint64_t seed = 1234;
+  bool bootstrap = true;
+};
+
+class RandomForest {
+ public:
+  void fit(const Dataset& data, const ForestConfig& config);
+
+  /// Mean of tree probability vectors.
+  std::vector<double> predict_proba(std::span<const double> features) const;
+
+  std::size_t predict(std::span<const double> features) const;
+
+  /// Probability of class `c` — convenience for one-vs-rest baselines.
+  double predict_class_proba(std::span<const double> features, std::size_t c) const;
+
+  std::size_t tree_count() const noexcept { return trees_.size(); }
+  std::size_t num_classes() const noexcept { return num_classes_; }
+
+ private:
+  std::vector<DecisionTree> trees_;
+  std::size_t num_classes_ = 0;
+};
+
+/// Accuracy of `model` on `data` (fraction of correct argmax predictions).
+double accuracy(const RandomForest& model, const Dataset& data);
+
+/// Confusion matrix: rows = true label, columns = predicted.
+std::vector<std::vector<std::size_t>> confusion_matrix(const RandomForest& model,
+                                                       const Dataset& data);
+
+/// Macro-averaged F1 over classes (absent classes skipped).
+double macro_f1(const RandomForest& model, const Dataset& data);
+
+/// Permutation feature importance: for each feature column, the mean drop
+/// in accuracy (over `repeats` shuffles of that column) relative to the
+/// unpermuted accuracy. Near-zero for features the model ignores; large
+/// for load-bearing features. Deterministic given `rng` state.
+std::vector<double> permutation_importance(const RandomForest& model, const Dataset& data,
+                                           util::Rng& rng, std::size_t repeats = 3);
+
+}  // namespace smn::ml

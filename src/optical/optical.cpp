@@ -1,0 +1,228 @@
+#include "optical/optical.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace smn::optical {
+
+double modulation_gbps(Modulation modulation) noexcept {
+  switch (modulation) {
+    case Modulation::kQpsk100:
+      return 100.0;
+    case Modulation::k8Qam200:
+      return 200.0;
+    case Modulation::k16Qam400:
+      return 400.0;
+    case Modulation::k64Qam800:
+      return 800.0;
+  }
+  return 100.0;
+}
+
+double required_osnr_delta_db(Modulation modulation) noexcept {
+  switch (modulation) {
+    case Modulation::kQpsk100:
+      return 0.0;
+    case Modulation::k8Qam200:
+      return 3.0;
+    case Modulation::k16Qam400:
+      return 6.5;
+    case Modulation::k64Qam800:
+      return 10.5;
+  }
+  return 0.0;
+}
+
+std::string modulation_name(Modulation modulation) {
+  switch (modulation) {
+    case Modulation::kQpsk100:
+      return "QPSK-100G";
+    case Modulation::k8Qam200:
+      return "8QAM-200G";
+    case Modulation::k16Qam400:
+      return "16QAM-400G";
+    case Modulation::k64Qam800:
+      return "64QAM-800G";
+  }
+  return "?";
+}
+
+std::vector<Modulation> all_modulations() {
+  return {Modulation::kQpsk100, Modulation::k8Qam200, Modulation::k16Qam400,
+          Modulation::k64Qam800};
+}
+
+std::size_t OpticalNetwork::add_conduit(Conduit conduit) {
+  conduits_.push_back(std::move(conduit));
+  return conduits_.size() - 1;
+}
+
+std::size_t OpticalNetwork::add_span(FiberSpan span) {
+  if (span.conduit >= conduits_.size()) {
+    throw std::invalid_argument("OpticalNetwork::add_span: unknown conduit");
+  }
+  spans_.push_back(std::move(span));
+  return spans_.size() - 1;
+}
+
+std::size_t OpticalNetwork::add_wavelength(Wavelength wavelength) {
+  if (wavelength.spans.empty()) {
+    throw std::invalid_argument("OpticalNetwork::add_wavelength: empty span path");
+  }
+  for (const std::size_t s : wavelength.spans) {
+    if (s >= spans_.size()) {
+      throw std::invalid_argument("OpticalNetwork::add_wavelength: unknown span");
+    }
+  }
+  wavelengths_.push_back(std::move(wavelength));
+  return wavelengths_.size() - 1;
+}
+
+double OpticalNetwork::margin_db(std::size_t i) const {
+  const Wavelength& w = wavelengths_.at(i);
+  return w.base_margin_db - required_osnr_delta_db(w.modulation);
+}
+
+double OpticalNetwork::flap_rate_per_day(std::size_t i, const FlapModel& model) const {
+  const double margin = std::max(0.0, margin_db(i));
+  return model.zero_margin_flaps_per_day * std::exp(-model.decay_per_db * margin);
+}
+
+double OpticalNetwork::set_modulation(std::size_t i, Modulation modulation) {
+  wavelengths_.at(i).modulation = modulation;
+  return margin_db(i);
+}
+
+Modulation OpticalNetwork::best_safe_modulation(std::size_t i, double min_margin_db) const {
+  const Wavelength& w = wavelengths_.at(i);
+  Modulation best = Modulation::kQpsk100;
+  for (const Modulation m : all_modulations()) {
+    if (w.base_margin_db - required_osnr_delta_db(m) >= min_margin_db) best = m;
+  }
+  return best;
+}
+
+std::set<std::size_t> OpticalNetwork::conduits_of(std::size_t i) const {
+  std::set<std::size_t> out;
+  for (const std::size_t s : wavelengths_.at(i).spans) out.insert(spans_[s].conduit);
+  return out;
+}
+
+std::vector<LinkRisk> OpticalNetwork::assess_risks(const FlapModel& model) const {
+  // Group wavelengths by logical link.
+  std::map<std::size_t, LinkRisk> risks;
+  std::map<std::size_t, std::set<std::size_t>> link_conduits;
+  for (std::size_t i = 0; i < wavelengths_.size(); ++i) {
+    const Wavelength& w = wavelengths_[i];
+    if (!w.logical_link) continue;
+    LinkRisk& risk = risks[*w.logical_link];
+    risk.logical_link = *w.logical_link;
+    risk.expected_flaps_per_day += flap_rate_per_day(i, model);
+    for (const std::size_t c : conduits_of(i)) link_conduits[*w.logical_link].insert(c);
+  }
+  for (auto& [link, risk] : risks) {
+    for (const std::size_t c : link_conduits[link]) {
+      risk.expected_cuts_per_year += conduits_[c].cuts_per_year;
+    }
+  }
+  // SRLG partners: links sharing a conduit.
+  for (auto& [link_a, risk] : risks) {
+    for (const auto& [link_b, conduits_b] : link_conduits) {
+      if (link_a == link_b) continue;
+      for (const std::size_t c : link_conduits[link_a]) {
+        if (conduits_b.contains(c)) {
+          risk.srlg_partners.insert(link_b);
+          break;
+        }
+      }
+    }
+  }
+  std::vector<LinkRisk> out;
+  out.reserve(risks.size());
+  for (auto& [_, risk] : risks) out.push_back(std::move(risk));
+  return out;
+}
+
+std::vector<std::set<std::size_t>> OpticalNetwork::shared_risk_groups() const {
+  std::map<std::size_t, std::set<std::size_t>> by_conduit;
+  for (std::size_t i = 0; i < wavelengths_.size(); ++i) {
+    const Wavelength& w = wavelengths_[i];
+    if (!w.logical_link) continue;
+    for (const std::size_t c : conduits_of(i)) by_conduit[c].insert(*w.logical_link);
+  }
+  std::vector<std::set<std::size_t>> groups;
+  for (auto& [_, links] : by_conduit) {
+    if (links.size() >= 2) groups.push_back(std::move(links));
+  }
+  return groups;
+}
+
+double OpticalNetwork::link_capacity_gbps(std::size_t link) const {
+  double total = 0.0;
+  for (const Wavelength& w : wavelengths_) {
+    if (w.logical_link && *w.logical_link == link) total += modulation_gbps(w.modulation);
+  }
+  return total;
+}
+
+OpticalNetwork build_underlay(const topology::WanTopology& wan, std::uint64_t seed) {
+  util::Rng rng(seed);
+  OpticalNetwork optical;
+
+  // One trunk conduit per WAN link, plus two building-entrance conduits
+  // per datacenter; links alternate entrances. Links sharing an entrance
+  // form the classic hidden shared-risk group, while the second entrance
+  // keeps conduit-disjoint path pairs possible.
+  std::vector<std::array<std::size_t, 2>> exit_conduit(wan.datacenter_count());
+  for (graph::NodeId dc = 0; dc < wan.datacenter_count(); ++dc) {
+    exit_conduit[dc] = {
+        optical.add_conduit(Conduit{"exit-n:" + wan.datacenter(dc).name, 0.02}),
+        optical.add_conduit(Conduit{"exit-s:" + wan.datacenter(dc).name, 0.02})};
+  }
+  std::vector<std::size_t> entrance_cursor(wan.datacenter_count(), 0);
+  for (std::size_t li = 0; li < wan.link_count(); ++li) {
+    const topology::WanLink& link = wan.link(li);
+    const graph::Edge& edge = wan.graph().edge(link.forward);
+    const std::string link_name =
+        wan.graph().node_name(edge.from) + "~" + wan.graph().node_name(edge.to);
+    const std::size_t trunk = optical.add_conduit(Conduit{
+        "trunk:" + link_name, link.subsea ? 0.05 : rng.uniform(0.05, 0.25)});
+
+    // Spans: exit conduit on each side plus trunk spans sized from the
+    // latency weight (~1 weight unit == 10 km here).
+    const double length_km = std::max(40.0, edge.weight * 10.0);
+    const int trunk_spans = std::max(1, static_cast<int>(length_km / 80.0));
+    std::vector<std::size_t> span_path;
+    span_path.push_back(optical.add_span(FiberSpan{
+        "exit-a:" + link_name,
+        exit_conduit[edge.from][entrance_cursor[edge.from]++ % 2], 2.0}));
+    for (int s = 0; s < trunk_spans; ++s) {
+      span_path.push_back(optical.add_span(FiberSpan{
+          "trunk:" + link_name + "#" + std::to_string(s), trunk,
+          length_km / trunk_spans}));
+    }
+    span_path.push_back(optical.add_span(FiberSpan{
+        "exit-b:" + link_name, exit_conduit[edge.to][entrance_cursor[edge.to]++ % 2], 2.0}));
+
+    // Enough QPSK-100 wavelengths to cover the link capacity.
+    const int lambdas = std::max(1, static_cast<int>(link.capacity_gbps / 100.0));
+    for (int l = 0; l < lambdas; ++l) {
+      Wavelength w;
+      w.id = "w:" + link_name + "#" + std::to_string(l);
+      w.spans = span_path;
+      w.modulation = Modulation::kQpsk100;
+      // Longer paths commission with less headroom (ASE noise, aging
+      // allowance), floored where regeneration would be deployed.
+      w.base_margin_db = std::max(1.5, rng.uniform(7.0, 12.0) - 0.002 * length_km);
+      w.logical_link = li;
+      optical.add_wavelength(std::move(w));
+    }
+  }
+  return optical;
+}
+
+}  // namespace smn::optical

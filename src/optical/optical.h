@@ -1,0 +1,150 @@
+// The optical (L1) substrate behind the WAN's logical links.
+//
+// War story 2 and §7 reference the physical layer repeatedly: "Pushing
+// optical wavelengths to higher data rates increases their susceptibility
+// to failure [RADWAN]", "each wavelength maps to one or more logical
+// inter-DC links", and "can mappings from IP links to layer 1 information
+// like submarine cables be used ... for risk modeling and risk-aware
+// topology design". This module provides that layer:
+//
+//   * conduits — physical ducts with cut rates; spans share conduits, which
+//     induces shared-risk link groups (SRLGs) on logical links;
+//   * fiber spans — lengths determine OSNR margins;
+//   * wavelengths — carry a modulation format; higher formats need more
+//     OSNR margin, so pushing rates erodes margin and raises flap rates;
+//   * the cross-layer cartography from wavelengths to WanTopology links,
+//     which the SMN's dependency store exposes to the CLTO.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "topology/wan.h"
+
+namespace smn::optical {
+
+/// Coherent modulation formats with their per-wavelength data rate.
+enum class Modulation { kQpsk100, k8Qam200, k16Qam400, k64Qam800 };
+
+/// Data rate carried by one wavelength at `modulation` (Gbps).
+double modulation_gbps(Modulation modulation) noexcept;
+
+/// Extra OSNR (dB) the format needs beyond QPSK-100. Values follow the
+/// usual ~3 dB-per-bit/symbol ladder.
+double required_osnr_delta_db(Modulation modulation) noexcept;
+
+std::string modulation_name(Modulation modulation);
+
+/// All formats in ascending rate order.
+std::vector<Modulation> all_modulations();
+
+/// A physical duct; everything inside fails together when it is cut.
+struct Conduit {
+  std::string name;
+  /// Expected cuts per year (backhoe rate); subsea conduits are lower but
+  /// repair much slower.
+  double cuts_per_year = 0.1;
+};
+
+/// An amplified fiber segment inside one conduit.
+struct FiberSpan {
+  std::string name;
+  std::size_t conduit = 0;
+  double length_km = 80.0;
+};
+
+/// One lit wavelength: a path over spans, a format, and the OSNR margin
+/// measured when lit at QPSK-100.
+struct Wavelength {
+  std::string id;
+  std::vector<std::size_t> spans;
+  Modulation modulation = Modulation::kQpsk100;
+  /// Margin above QPSK-100's requirement measured at commissioning (dB);
+  /// already includes path-length effects (ASE noise, aging allowance).
+  double base_margin_db = 9.0;
+  /// Logical WAN link this wavelength realizes (index into the
+  /// WanTopology), if mapped.
+  std::optional<std::size_t> logical_link;
+};
+
+struct FlapModel {
+  /// Flap rate when margin is zero (per day).
+  double zero_margin_flaps_per_day = 2.0;
+  /// Exponential decay of flap rate per dB of remaining margin.
+  double decay_per_db = 0.9;
+};
+
+/// Risk assessment of one logical link, derived from the optical layer.
+struct LinkRisk {
+  std::size_t logical_link = 0;
+  double expected_flaps_per_day = 0.0;
+  double expected_cuts_per_year = 0.0;
+  /// Logical links sharing at least one conduit with this one.
+  std::set<std::size_t> srlg_partners;
+};
+
+class OpticalNetwork {
+ public:
+  std::size_t add_conduit(Conduit conduit);
+  std::size_t add_span(FiberSpan span);  ///< conduit must exist
+  std::size_t add_wavelength(Wavelength wavelength);  ///< spans must exist
+
+  std::size_t conduit_count() const noexcept { return conduits_.size(); }
+  std::size_t span_count() const noexcept { return spans_.size(); }
+  std::size_t wavelength_count() const noexcept { return wavelengths_.size(); }
+
+  const Conduit& conduit(std::size_t i) const { return conduits_.at(i); }
+  const FiberSpan& span(std::size_t i) const { return spans_.at(i); }
+  const Wavelength& wavelength(std::size_t i) const { return wavelengths_.at(i); }
+
+  /// Remaining OSNR margin of wavelength `i` at its current format: the
+  /// commissioning margin (which already reflects path length — long paths
+  /// commission with less headroom) minus the format's extra requirement.
+  double margin_db(std::size_t i) const;
+
+  /// Expected flaps/day of wavelength `i` under `model`: exponential in
+  /// the remaining margin, floored at zero margin (war story 2's
+  /// "aggressive configuration" shows up here).
+  double flap_rate_per_day(std::size_t i, const FlapModel& model = {}) const;
+
+  /// Reconfigures the format of wavelength `i`. Returns the new margin.
+  double set_modulation(std::size_t i, Modulation modulation);
+
+  /// Highest-rate format whose remaining margin stays >= `min_margin_db`
+  /// (RADWAN-style rate adaptation). Always at least QPSK-100.
+  Modulation best_safe_modulation(std::size_t i, double min_margin_db) const;
+
+  /// Conduits traversed by wavelength `i`.
+  std::set<std::size_t> conduits_of(std::size_t i) const;
+
+  /// Risk assessment per mapped logical link: flap rates (sum over the
+  /// link's wavelengths), conduit cut exposure, and SRLG partners.
+  std::vector<LinkRisk> assess_risks(const FlapModel& model = {}) const;
+
+  /// Shared-risk groups: for each conduit, the set of logical links with a
+  /// wavelength through it (groups of size >= 2 only).
+  std::vector<std::set<std::size_t>> shared_risk_groups() const;
+
+  /// Total capacity delivered to logical link `link` by its wavelengths.
+  double link_capacity_gbps(std::size_t link) const;
+
+ private:
+  std::vector<Conduit> conduits_;
+  std::vector<FiberSpan> spans_;
+  std::vector<Wavelength> wavelengths_;
+};
+
+/// Builds an optical underlay for `wan`: one trunk conduit per WAN link
+/// plus two building-entrance conduits per datacenter that its links
+/// alternate between (entrance sharing is the classic hidden SRLG; two
+/// entrances keep conduit-disjoint pairs *possible*). Spans are sized from
+/// link latency weights; longer paths commission with lower margins; each
+/// link gets enough QPSK-100 wavelengths to carry its capacity.
+/// Deterministic given the seed.
+OpticalNetwork build_underlay(const topology::WanTopology& wan, std::uint64_t seed = 31);
+
+}  // namespace smn::optical

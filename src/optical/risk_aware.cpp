@@ -1,0 +1,97 @@
+#include "optical/risk_aware.h"
+
+#include <map>
+
+namespace smn::optical {
+namespace {
+
+/// Conduit sets per logical link, computed once per call set.
+std::map<std::size_t, std::set<std::size_t>> link_conduit_map(const OpticalNetwork& optical) {
+  std::map<std::size_t, std::set<std::size_t>> out;
+  for (std::size_t i = 0; i < optical.wavelength_count(); ++i) {
+    const Wavelength& w = optical.wavelength(i);
+    if (!w.logical_link) continue;
+    const auto conduits = optical.conduits_of(i);
+    out[*w.logical_link].insert(conduits.begin(), conduits.end());
+  }
+  return out;
+}
+
+}  // namespace
+
+std::set<std::size_t> path_conduits(const topology::WanTopology& wan,
+                                    const OpticalNetwork& optical, const graph::Path& path) {
+  const auto link_map = link_conduit_map(optical);
+  std::set<std::size_t> out;
+  for (const graph::EdgeId e : path.edges) {
+    const std::size_t link = wan.link_of_edge(e);
+    const auto it = link_map.find(link);
+    if (it != link_map.end()) out.insert(it->second.begin(), it->second.end());
+  }
+  return out;
+}
+
+std::optional<DiversePathPair> find_srlg_disjoint_pair(const topology::WanTopology& wan,
+                                                       const OpticalNetwork& optical,
+                                                       graph::NodeId src, graph::NodeId dst,
+                                                       std::size_t k) {
+  const graph::Digraph& g = wan.graph();
+  const auto primaries = graph::yen_k_shortest_paths(g, src, dst, k);
+  if (primaries.empty()) return std::nullopt;
+  const auto link_map = link_conduit_map(optical);
+
+  std::optional<DiversePathPair> edge_disjoint_fallback;
+  for (const graph::Path& primary : primaries) {
+    // Conduits used by this primary.
+    std::set<std::size_t> used;
+    for (const graph::EdgeId e : primary.edges) {
+      const auto it = link_map.find(wan.link_of_edge(e));
+      if (it != link_map.end()) used.insert(it->second.begin(), it->second.end());
+    }
+    // Mask every edge whose link shares a conduit with the primary.
+    std::vector<bool> enabled(g.edge_count(), true);
+    for (graph::EdgeId e = 0; e < g.edge_count(); ++e) {
+      const auto it = link_map.find(wan.link_of_edge(e));
+      if (it == link_map.end()) continue;
+      for (const std::size_t c : it->second) {
+        if (used.contains(c)) {
+          enabled[e] = false;
+          break;
+        }
+      }
+    }
+    if (const auto backup = graph::shortest_path(g, src, dst, enabled)) {
+      return DiversePathPair{primary, *backup, true};
+    }
+    // Remember an edge-disjoint fallback from the first primary.
+    if (!edge_disjoint_fallback) {
+      std::vector<bool> edge_mask(g.edge_count(), true);
+      for (const graph::EdgeId e : primary.edges) {
+        // Disable both directions of each primary link.
+        const std::size_t link = wan.link_of_edge(e);
+        edge_mask[wan.link(link).forward] = false;
+        edge_mask[wan.link(link).backward] = false;
+      }
+      if (const auto backup = graph::shortest_path(g, src, dst, edge_mask)) {
+        edge_disjoint_fallback = DiversePathPair{primary, *backup, false};
+      }
+    }
+  }
+  if (edge_disjoint_fallback) return edge_disjoint_fallback;
+  // Connected but single-threaded: report the primary with no backup.
+  return DiversePathPair{primaries.front(), graph::Path{}, false};
+}
+
+double srlg_diverse_coverage(const topology::WanTopology& wan, const OpticalNetwork& optical,
+                             const std::vector<std::pair<graph::NodeId, graph::NodeId>>& pairs,
+                             std::size_t k) {
+  if (pairs.empty()) return 0.0;
+  std::size_t diverse = 0;
+  for (const auto& [src, dst] : pairs) {
+    const auto pair = find_srlg_disjoint_pair(wan, optical, src, dst, k);
+    if (pair && pair->srlg_disjoint) ++diverse;
+  }
+  return static_cast<double>(diverse) / static_cast<double>(pairs.size());
+}
+
+}  // namespace smn::optical

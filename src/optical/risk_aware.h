@@ -1,0 +1,52 @@
+// Risk-aware routing over the optical cartography (§7: "can mappings from
+// IP links to layer 1 information ... be used not just for risk modeling
+// but for risk-aware topology design"). Selects primary/backup paths whose
+// underlying conduits are disjoint, so one backhoe (or anchor) cannot take
+// both down — the guarantee plain k-shortest-path diversity cannot give.
+#pragma once
+
+#include <optional>
+#include <set>
+
+#include "graph/shortest_path.h"
+#include "optical/optical.h"
+#include "topology/wan.h"
+
+namespace smn::optical {
+
+struct DiversePathPair {
+  graph::Path primary;
+  /// Empty when no disjoint backup exists at all — a single-threaded cut
+  /// of the topology (e.g. one subsea cable between continents), exactly
+  /// the gap risk-aware topology design should surface.
+  graph::Path backup;
+  /// True when the two paths share no conduit. False means only
+  /// edge-disjointness (or no backup) could be achieved — a hidden SRLG
+  /// remains.
+  bool srlg_disjoint = false;
+
+  bool has_backup() const noexcept { return !backup.empty(); }
+};
+
+/// Conduits under a WAN path (union over its links' wavelengths).
+std::set<std::size_t> path_conduits(const topology::WanTopology& wan,
+                                    const OpticalNetwork& optical, const graph::Path& path);
+
+/// Finds a primary/backup pair between `src` and `dst`: tries up to `k`
+/// candidate primaries (Yen order); for each, searches for a backup that
+/// avoids every conduit of the primary. Falls back to the best
+/// edge-disjoint pair, then to a primary with no backup, when diversity
+/// does not exist. Returns std::nullopt only when src/dst are
+/// disconnected.
+std::optional<DiversePathPair> find_srlg_disjoint_pair(const topology::WanTopology& wan,
+                                                       const OpticalNetwork& optical,
+                                                       graph::NodeId src, graph::NodeId dst,
+                                                       std::size_t k = 6);
+
+/// Fraction of the given DC pairs with a conduit-disjoint primary/backup
+/// pair — a topology-design health metric for the planning loop.
+double srlg_diverse_coverage(const topology::WanTopology& wan, const OpticalNetwork& optical,
+                             const std::vector<std::pair<graph::NodeId, graph::NodeId>>& pairs,
+                             std::size_t k = 6);
+
+}  // namespace smn::optical

@@ -1,0 +1,156 @@
+#include "routing/hierarchical.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+#include "graph/shortest_path.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace smn::routing {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Intra-area shortest-path cost between two nodes of the same area,
+/// restricted to area-internal edges; falls back to the unrestricted cost
+/// when the area's subgraph is disconnected.
+double intra_area_cost(const graph::Digraph& g, const graph::Partition& partition,
+                       graph::NodeId from, graph::NodeId to,
+                       const graph::ShortestPathTree& unrestricted_from) {
+  if (from == to) return 0.0;
+  const graph::NodeId area = partition.group_of[from];
+  std::vector<bool> mask(g.edge_count(), false);
+  for (graph::EdgeId e = 0; e < g.edge_count(); ++e) {
+    mask[e] = partition.group_of[g.edge(e).from] == area &&
+              partition.group_of[g.edge(e).to] == area;
+  }
+  const graph::ShortestPathTree tree = graph::dijkstra(g, from, mask);
+  if (tree.distance[to] != kInf) return tree.distance[to];
+  return unrestricted_from.distance[to];
+}
+
+}  // namespace
+
+HierarchicalRoutingReport evaluate_hierarchical_routing(const topology::WanTopology& wan,
+                                                        const graph::Partition& partition,
+                                                        std::size_t sample_pairs,
+                                                        std::uint64_t seed) {
+  const graph::Digraph& g = wan.graph();
+  if (!partition.valid_for(g)) {
+    throw std::invalid_argument("evaluate_hierarchical_routing: invalid partition");
+  }
+  const std::size_t n = g.node_count();
+  const std::size_t areas = partition.group_count();
+
+  HierarchicalRoutingReport report;
+  report.areas = areas;
+  report.flat_entries = n * (n - 1);
+
+  // Area sizes and gateways.
+  std::vector<std::size_t> area_size(areas, 0);
+  for (graph::NodeId node = 0; node < n; ++node) ++area_size[partition.group_of[node]];
+  std::vector<graph::NodeId> gateway(areas, graph::kInvalidNode);
+  for (graph::NodeId node = 0; node < n; ++node) {
+    const graph::NodeId area = partition.group_of[node];
+    if (gateway[area] != graph::kInvalidNode) continue;
+    for (const graph::EdgeId e : g.out_edges(node)) {
+      if (partition.group_of[g.edge(e).to] != area) {
+        gateway[area] = node;  // first member with an inter-area link
+        break;
+      }
+    }
+  }
+  for (graph::NodeId node = 0; node < n; ++node) {
+    const graph::NodeId area = partition.group_of[node];
+    if (gateway[area] == graph::kInvalidNode) gateway[area] = node;
+  }
+
+  // Kleinrock–Kamoun table size: own area's other members + foreign areas.
+  for (graph::NodeId node = 0; node < n; ++node) {
+    report.hierarchical_entries += area_size[partition.group_of[node]] - 1 + areas - 1;
+  }
+  report.table_reduction = report.hierarchical_entries
+                               ? static_cast<double>(report.flat_entries) /
+                                     static_cast<double>(report.hierarchical_entries)
+                               : 0.0;
+
+  // Level-2 routing between gateways runs on the full graph (gateway
+  // chains follow physical paths); precompute gateway trees once.
+  std::vector<graph::ShortestPathTree> gateway_tree(areas);
+  for (std::size_t a = 0; a < areas; ++a) gateway_tree[a] = graph::dijkstra(g, gateway[a]);
+
+  // Sample pairs.
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> pairs;
+  if (sample_pairs == 0) {
+    for (graph::NodeId s = 0; s < n; ++s) {
+      for (graph::NodeId d = 0; d < n; ++d) {
+        if (s != d) pairs.emplace_back(s, d);
+      }
+    }
+  } else {
+    util::Rng rng(seed);
+    for (std::size_t i = 0; i < sample_pairs; ++i) {
+      const auto s = static_cast<graph::NodeId>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+      auto d = static_cast<graph::NodeId>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 2));
+      if (d >= s) ++d;
+      pairs.emplace_back(s, d);
+    }
+  }
+
+  // Per-source flat trees, computed lazily.
+  std::map<graph::NodeId, graph::ShortestPathTree> flat_trees;
+  const auto flat_tree = [&](graph::NodeId src) -> const graph::ShortestPathTree& {
+    const auto it = flat_trees.find(src);
+    if (it != flat_trees.end()) return it->second;
+    return flat_trees.emplace(src, graph::dijkstra(g, src)).first->second;
+  };
+
+  std::vector<double> stretches;
+  util::RunningStats stats;
+  for (const auto& [src, dst] : pairs) {
+    const graph::ShortestPathTree& from_src = flat_tree(src);
+    const double flat_cost = from_src.distance[dst];
+    if (flat_cost == kInf) {
+      ++report.unreachable_pairs;
+      continue;
+    }
+    const graph::NodeId src_area = partition.group_of[src];
+    const graph::NodeId dst_area = partition.group_of[dst];
+    double hier_cost = 0.0;
+    if (src_area == dst_area) {
+      hier_cost = intra_area_cost(g, partition, src, dst, from_src);
+    } else {
+      // src -> gw(src area) intra-area, gw -> gw level-2, gw -> dst
+      // intra-area.
+      const double leg1 = intra_area_cost(g, partition, src, gateway[src_area], from_src);
+      const double leg2 = gateway_tree[src_area].distance[gateway[dst_area]];
+      const double leg3 =
+          intra_area_cost(g, partition, gateway[dst_area], dst, gateway_tree[dst_area]);
+      if (leg1 == kInf || leg2 == kInf || leg3 == kInf) {
+        ++report.unreachable_pairs;
+        continue;
+      }
+      hier_cost = leg1 + leg2 + leg3;
+    }
+    PathStretch sample;
+    sample.src = src;
+    sample.dst = dst;
+    sample.flat_cost = flat_cost;
+    sample.hierarchical_cost = hier_cost;
+    sample.stretch = flat_cost > 0.0 ? std::max(1.0, hier_cost / flat_cost) : 1.0;
+    stretches.push_back(sample.stretch);
+    stats.add(sample.stretch);
+    report.samples.push_back(sample);
+  }
+  if (!stretches.empty()) {
+    report.mean_stretch = stats.mean();
+    report.max_stretch = stats.max();
+    report.p95_stretch = util::percentile(stretches, 0.95);
+  }
+  return report;
+}
+
+}  // namespace smn::routing

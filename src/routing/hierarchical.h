@@ -1,0 +1,63 @@
+// Hierarchical routing as a coarsening (§3):
+//
+//   "Coarsening is implicit in earlier work. For example, hierarchical
+//    routing [Kleinrock & Kamoun 1977] coarsens networks into areas to
+//    reduce state at the cost of only approximately optimal routes."
+//
+// This module makes that precedent concrete as a third instance of the
+// library's coarsening concept. A two-level scheme over an area partition:
+//
+//   * flat routing state: every node stores a next hop for every other
+//     node — n(n-1) entries network-wide;
+//   * hierarchical state: every node stores entries for nodes in its own
+//     area plus one entry per foreign area — the Kleinrock–Kamoun table
+//     reduction (optimal around sqrt(n)-sized areas);
+//   * the price: inter-area traffic funnels through per-area gateways, so
+//     paths stretch relative to true shortest paths.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/contraction.h"
+#include "topology/wan.h"
+
+namespace smn::routing {
+
+/// One evaluated source-destination pair.
+struct PathStretch {
+  graph::NodeId src = 0;
+  graph::NodeId dst = 0;
+  double flat_cost = 0.0;
+  double hierarchical_cost = 0.0;
+  double stretch = 1.0;  ///< hierarchical_cost / flat_cost (>= 1)
+};
+
+struct HierarchicalRoutingReport {
+  std::size_t areas = 0;
+  /// Network-wide forwarding entries: flat = n(n-1); hierarchical =
+  /// sum over nodes of (area_size - 1 + areas - 1).
+  std::size_t flat_entries = 0;
+  std::size_t hierarchical_entries = 0;
+  double table_reduction = 1.0;
+  double mean_stretch = 1.0;
+  double p95_stretch = 1.0;
+  double max_stretch = 1.0;
+  /// Pairs whose hierarchical route was unreachable (disconnected areas);
+  /// excluded from the stretch statistics.
+  std::size_t unreachable_pairs = 0;
+  std::vector<PathStretch> samples;
+};
+
+/// Evaluates two-level hierarchical routing on `wan` with areas given by
+/// `partition`. Each area's gateway is its lowest-id member that has an
+/// inter-area link (falling back to its lowest-id member). Inter-area
+/// routes run src -> gw(src area) -> ... gateway chain ... -> gw(dst area)
+/// -> dst, with intra-area legs restricted to area-internal edges where
+/// possible. `sample_pairs` limits evaluation cost (0 = all ordered pairs).
+HierarchicalRoutingReport evaluate_hierarchical_routing(const topology::WanTopology& wan,
+                                                        const graph::Partition& partition,
+                                                        std::size_t sample_pairs = 0,
+                                                        std::uint64_t seed = 17);
+
+}  // namespace smn::routing

@@ -1,0 +1,124 @@
+#include "smn/aiops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace smn::smn {
+
+std::size_t TelemetryDenoiser::denoise(const std::string& dataset, Record& record) {
+  std::size_t clamped = 0;
+  for (auto& [field, value] : record.numeric) {
+    auto& window = history_[{dataset, field}];
+    if (window.size() >= 8) {
+      util::RunningStats stats;
+      for (const double v : window) stats.add(v);
+      const double sigma = stats.stddev();
+      if (sigma > 0.0 && std::abs(value - stats.mean()) > k_sigma_ * sigma) {
+        // Replace with the window median.
+        std::vector<double> sorted(window.begin(), window.end());
+        std::sort(sorted.begin(), sorted.end());
+        value = sorted[sorted.size() / 2];
+        ++clamped;
+        ++total_clamped_;
+      }
+    }
+    window.push_back(value);
+    if (window.size() > window_) window.pop_front();
+  }
+  return clamped;
+}
+
+std::vector<IncidentEnricher::SimilarIncident> IncidentEnricher::similar(
+    const std::vector<double>& features, std::size_t k) const {
+  std::vector<SimilarIncident> scored;
+  scored.reserve(archive_.size());
+  for (const ResolvedIncident& r : archive_) {
+    if (r.features.size() != features.size()) continue;
+    SimilarIncident s;
+    s.id = r.id;
+    s.similarity = util::cosine_similarity(features, r.features);
+    s.resolved_team = r.resolved_team;
+    s.fix_summary = r.fix_summary;
+    scored.push_back(std::move(s));
+  }
+  std::sort(scored.begin(), scored.end(), [](const SimilarIncident& a, const SimilarIncident& b) {
+    if (a.similarity != b.similarity) return a.similarity > b.similarity;
+    return a.id < b.id;
+  });
+  if (scored.size() > k) scored.resize(k);
+  return scored;
+}
+
+Record structure_log(const logs::ParsedLog& parsed, const logs::TemplateMiner& miner) {
+  Record record;
+  record.timestamp = parsed.timestamp;
+  record.tags["template_id"] = std::to_string(parsed.template_id);
+  record.tags["template"] = miner.template_of(parsed.template_id).text();
+  for (std::size_t i = 0; i < parsed.parameters.size(); ++i) {
+    const std::string& value = parsed.parameters[i];
+    const std::string key = "param" + std::to_string(i);
+    // Numeric parameters become queryable fields; the rest stay tags.
+    char* end = nullptr;
+    const double numeric = std::strtod(value.c_str(), &end);
+    if (end != nullptr && *end == '\0' && end != value.c_str()) {
+      record.numeric[key] = numeric;
+    } else {
+      record.tags[key] = value;
+    }
+  }
+  return record;
+}
+
+std::vector<MitigationEngine::Action> MitigationEngine::propose(
+    const depgraph::ServiceGraph& sg, const incident::Incident& incident,
+    double severity_threshold) const {
+  using K = depgraph::ComponentKind;
+  std::vector<Action> actions;
+  for (graph::NodeId n = 0; n < sg.component_count(); ++n) {
+    if (incident.severity[n] < severity_threshold) continue;
+    const K kind = sg.component(n).kind;
+    Action action;
+    action.component = sg.component(n).name;
+    switch (kind) {
+      case K::kAppServer:
+      case K::kCache:
+      case K::kWorker:
+      case K::kSearch:
+      case K::kMonitor:
+      case K::kQueue:
+        action.action = "restart";
+        break;
+      case K::kWanLink:
+      case K::kSwitch:
+      case K::kFabric:
+        action.action = "drain-traffic";
+        break;
+      case K::kDatabase:
+      case K::kNoSqlStore:
+        action.action = "failover";
+        break;
+      default:
+        continue;  // hypervisors/storage/firewall/dns need humans
+    }
+    actions.push_back(std::move(action));
+  }
+  return actions;
+}
+
+void MitigationEngine::publish(const std::vector<Action>& actions, FeedbackBus& bus,
+                               util::SimTime now, std::uint64_t incident_id) const {
+  for (const Action& action : actions) {
+    Feedback f;
+    f.kind = FeedbackKind::kMitigation;
+    f.target = "automation";
+    f.priority = Priority::kHigh;
+    f.subject = action.action + " " + action.component;
+    f.issued_at = now;
+    f.incident_id = incident_id;
+    bus.publish(f);
+  }
+}
+
+}  // namespace smn::smn

@@ -1,0 +1,95 @@
+// AIOps engine hooks (§6): "(1) denoise telemetry and logs on injection
+// into the data lake, (2) enrich incidents with metadata such as similar
+// incidents ... (5) take automatic mitigation steps such as rebooting an
+// unhealthy micro-service".
+#pragma once
+
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "incident/simulator.h"
+#include "logs/template_miner.h"
+#include "smn/feedback.h"
+#include "smn/record.h"
+
+namespace smn::smn {
+
+/// Streaming denoiser: clamps numeric outliers against a rolling window of
+/// recent values per (dataset, field). A value beyond `k` sigmas of the
+/// window is replaced by the window median and counted.
+class TelemetryDenoiser {
+ public:
+  explicit TelemetryDenoiser(std::size_t window = 64, double k_sigma = 4.0)
+      : window_(window), k_sigma_(k_sigma) {}
+
+  /// Denoises in place; returns the number of fields clamped.
+  std::size_t denoise(const std::string& dataset, Record& record);
+
+  std::size_t total_clamped() const noexcept { return total_clamped_; }
+
+ private:
+  std::size_t window_;
+  double k_sigma_;
+  std::size_t total_clamped_ = 0;
+  std::map<std::pair<std::string, std::string>, std::deque<double>> history_;
+};
+
+/// Archive of resolved incidents for similarity-based enrichment.
+class IncidentEnricher {
+ public:
+  struct ResolvedIncident {
+    std::uint64_t id = 0;
+    std::vector<double> features;
+    std::string resolved_team;
+    std::string fix_summary;
+  };
+
+  struct SimilarIncident {
+    std::uint64_t id = 0;
+    double similarity = 0.0;
+    std::string resolved_team;
+    std::string fix_summary;
+  };
+
+  void add_resolved(ResolvedIncident incident) { archive_.push_back(std::move(incident)); }
+  std::size_t archive_size() const noexcept { return archive_.size(); }
+
+  /// Top-k archive entries by cosine similarity of feature vectors.
+  std::vector<SimilarIncident> similar(const std::vector<double>& features,
+                                       std::size_t k) const;
+
+ private:
+  std::vector<ResolvedIncident> archive_;
+};
+
+/// §6 AIOps item 3 — "convert logs into structured inputs for the CLTO":
+/// a parsed log line becomes a CLDS record. The template id becomes a tag
+/// (the event type), numeric parameters become numeric fields
+/// ("param0"...), and the rest become tags, so grouped queries over event
+/// types and parameter statistics work out of the box.
+Record structure_log(const logs::ParsedLog& parsed, const logs::TemplateMiner& miner);
+
+/// Rule-based automatic mitigation (NetPilot-style coarse fixes): for
+/// severely degraded restartable components, propose a restart; for
+/// degraded WAN links, propose shifting traffic off them.
+class MitigationEngine {
+ public:
+  struct Action {
+    std::string component;
+    std::string action;  ///< "restart", "drain-traffic", "failover"
+  };
+
+  /// Proposes mitigations for an incident. `severity_threshold` gates how
+  /// aggressive automation is.
+  std::vector<Action> propose(const depgraph::ServiceGraph& sg,
+                              const incident::Incident& incident,
+                              double severity_threshold = 0.6) const;
+
+  /// Publishes the proposals as kMitigation feedback.
+  void publish(const std::vector<Action>& actions, FeedbackBus& bus, util::SimTime now,
+               std::uint64_t incident_id) const;
+};
+
+}  // namespace smn::smn

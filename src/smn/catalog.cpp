@@ -1,0 +1,49 @@
+#include "smn/catalog.h"
+
+#include <stdexcept>
+
+namespace smn::smn {
+
+std::optional<FieldSchema> DatasetInfo::field(const std::string& field_name) const {
+  for (const FieldSchema& f : schema) {
+    if (f.name == field_name) return f;
+  }
+  return std::nullopt;
+}
+
+void DataCatalog::register_dataset(DatasetInfo info) {
+  if (info.name.empty()) {
+    throw std::invalid_argument("DataCatalog::register_dataset: empty name");
+  }
+  datasets_[info.name] = std::move(info);
+}
+
+const DatasetInfo* DataCatalog::find(const std::string& name) const {
+  const auto it = datasets_.find(name);
+  return it == datasets_.end() ? nullptr : &it->second;
+}
+
+std::vector<DatasetInfo> DataCatalog::discover(DataType type, const std::string& team) const {
+  std::vector<DatasetInfo> out;
+  for (const auto& [_, info] : datasets_) {
+    if (info.type == type && info.readable_by(team)) out.push_back(info);
+  }
+  return out;
+}
+
+std::vector<DatasetInfo> DataCatalog::owned_by(const std::string& team) const {
+  std::vector<DatasetInfo> out;
+  for (const auto& [_, info] : datasets_) {
+    if (info.owner_team == team) out.push_back(info);
+  }
+  return out;
+}
+
+std::vector<std::string> DataCatalog::dataset_names() const {
+  std::vector<std::string> names;
+  names.reserve(datasets_.size());
+  for (const auto& [name, _] : datasets_) names.push_back(name);
+  return names;
+}
+
+}  // namespace smn::smn

@@ -1,0 +1,66 @@
+// The queryable global catalog of §6:
+//
+//   "(1) A queryable global catalog describing data sets and metadata,
+//    including team names, data type (alert/incident/log/telemetry), data
+//    schema, units (2) a uniform schema, (3) access control policies ..."
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "smn/record.h"
+
+namespace smn::smn {
+
+struct FieldSchema {
+  std::string name;
+  std::string unit;        ///< e.g. "Gbps", "ms", "fraction"
+  bool numeric = true;
+};
+
+struct DatasetInfo {
+  std::string name;
+  std::string owner_team;
+  DataType type = DataType::kTelemetry;
+  std::vector<FieldSchema> schema;
+  std::string description;
+  /// Teams allowed to read; empty = readable by every team (the SMN
+  /// default — visibility is the point — but sensitive sets can narrow it).
+  std::set<std::string> readers;
+
+  bool readable_by(const std::string& team) const {
+    return readers.empty() || readers.contains(team) || team == owner_team;
+  }
+
+  /// Field schema by name, if declared.
+  std::optional<FieldSchema> field(const std::string& field_name) const;
+};
+
+/// Global catalog: register/lookup/discover datasets across teams.
+class DataCatalog {
+ public:
+  /// Registers or replaces a dataset description. Name must be non-empty.
+  void register_dataset(DatasetInfo info);
+
+  const DatasetInfo* find(const std::string& name) const;
+  bool contains(const std::string& name) const { return find(name) != nullptr; }
+
+  /// Discovery: all datasets of `type`, readable by `team` (cross-team
+  /// discovery is the SMN selling point).
+  std::vector<DatasetInfo> discover(DataType type, const std::string& team) const;
+
+  /// All datasets owned by `team`.
+  std::vector<DatasetInfo> owned_by(const std::string& team) const;
+
+  std::size_t size() const noexcept { return datasets_.size(); }
+
+  std::vector<std::string> dataset_names() const;
+
+ private:
+  std::map<std::string, DatasetInfo> datasets_;
+};
+
+}  // namespace smn::smn

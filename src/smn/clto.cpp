@@ -1,0 +1,111 @@
+#include "smn/clto.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace smn::smn {
+
+Clto::Clto(const depgraph::ServiceGraph& sg, FeedbackBus& bus, CltoConfig config)
+    : sg_(sg),
+      cdg_(depgraph::CdgCoarsener().coarsen(sg)),
+      extractor_(sg, cdg_),
+      bus_(bus),
+      config_(config) {
+  // Train the router on simulated incident history (the CLDS's incident
+  // archive stands in for "rules learned from retrospective analysis", §6).
+  incident::RoutingExperimentConfig experiment;
+  experiment.num_incidents = config_.training_incidents;
+  experiment.forest_trees = config_.forest_trees;
+  experiment.forest_max_depth = config_.forest_max_depth;
+  experiment.seed = config_.seed;
+
+  const incident::IncidentDataset history = generate_incident_dataset(sg_, experiment);
+  ml::Dataset data(extractor_.combined_dim(), extractor_.team_count());
+  for (std::size_t i = 0; i < history.incidents.size(); ++i) {
+    data.add(extractor_.combined_features(history.incidents[i]),
+             history.incidents[i].root_team, history.groups[i]);
+  }
+  util::Rng split_rng(config_.seed ^ 0xC1D0ULL);
+  const auto [train, holdout] = data.split_by_group(0.2, split_rng);
+
+  ml::ForestConfig forest;
+  forest.num_trees = config_.forest_trees;
+  forest.tree.max_depth = config_.forest_max_depth;
+  forest.tree.max_features = std::max<std::size_t>(6, extractor_.combined_dim() / 3);
+  forest.seed = config_.seed;
+  router_.fit(train, forest);
+  holdout_accuracy_ = ml::accuracy(router_, holdout);
+}
+
+RoutingDecision Clto::route_incident(const incident::Incident& incident, util::SimTime now,
+                                     std::uint64_t incident_id) {
+  const std::vector<double> features = extractor_.combined_features(incident);
+  const std::vector<double> proba = router_.predict_proba(features);
+  RoutingDecision decision;
+  decision.team = static_cast<std::size_t>(
+      std::max_element(proba.begin(), proba.end()) - proba.begin());
+  decision.team_name = cdg_.team_name(static_cast<graph::NodeId>(decision.team));
+  decision.confidence = proba[decision.team];
+
+  Feedback assignment;
+  assignment.kind = FeedbackKind::kIncidentAssignment;
+  assignment.target = decision.team_name;
+  assignment.priority = Priority::kHigh;
+  assignment.subject = "incident assigned as probable root cause";
+  assignment.detail = "CLTO routed via health metrics + CDG symptom explainability";
+  assignment.issued_at = now;
+  assignment.incident_id = incident_id;
+  bus_.publish(assignment);
+
+  for (std::size_t t = 0; t < incident.team_syndrome_binary.size(); ++t) {
+    if (t == decision.team || incident.team_syndrome_binary[t] <= 0.0) continue;
+    const std::string name = cdg_.team_name(static_cast<graph::NodeId>(t));
+    decision.informed_teams.push_back(name);
+    Feedback info;
+    info.kind = FeedbackKind::kInformational;
+    info.target = name;
+    info.priority = Priority::kLow;
+    info.subject = "symptoms observed; root cause assigned to " + decision.team_name;
+    info.issued_at = now;
+    info.incident_id = incident_id;
+    bus_.publish(info);
+  }
+  return decision;
+}
+
+capacity::CapacityPlan Clto::plan_capacity(const topology::WanTopology& wan,
+                                           const telemetry::BandwidthLog& log,
+                                           util::SimTime now) {
+  capacity::PlannerConfig planner_config = config_.planner;
+  planner_config.cross_layer = true;  // the CLTO is cross-layer by definition
+  const capacity::CapacityPlanner planner(wan, planner_config);
+  const capacity::CapacityPlan plan = planner.plan(log);
+
+  for (const capacity::LinkUpgrade& upgrade : plan.upgrades) {
+    Feedback f;
+    f.kind = FeedbackKind::kCapacityUpgrade;
+    f.target = "network";
+    f.priority = Priority::kMedium;
+    f.subject = "upgrade " + upgrade.name;
+    f.detail = "sustained overload " + util::format_double(100.0 * upgrade.overload_fraction, 1) +
+               "% of epochs; " + util::format_double(upgrade.old_capacity_gbps, 0) + " -> " +
+               util::format_double(upgrade.proposed_capacity_gbps, 0) + " Gbps" +
+               (upgrade.fiber_limited ? " (clamped by fiber limit)" : "");
+    f.issued_at = now;
+    bus_.publish(f);
+  }
+  for (const std::string& link : plan.fiber_build_requests) {
+    Feedback f;
+    f.kind = FeedbackKind::kFiberBuildRequest;
+    f.target = "external:fiber-provider";
+    f.priority = Priority::kHigh;
+    f.subject = "new fiber required on " + link;
+    f.detail = "sustained overload but zero headroom in the ground";
+    f.issued_at = now;
+    bus_.publish(f);
+  }
+  return plan;
+}
+
+}  // namespace smn::smn

@@ -1,0 +1,83 @@
+// CLTO — the Cross-Layer, Cross-Team Optimizer of Figure 1. It consults
+// the CLDS and the Cloud Dependency Graph and emits feedback to teams and
+// external agents. Two built-in control loops:
+//
+//   * Incident routing (timescale: minutes): a Random Forest over per-team
+//     health metrics + CDG symptom explainability assigns each incident to
+//     the implicated team, with informational feedback to other
+//     symptomatic teams (§5).
+//   * Capacity planning (timescale: months/years): cross-layer-aware
+//     threshold planning that respects L1 fiber constraints and ignores
+//     transient TE overloads, emitting upgrade feedback to the capacity
+//     team and fiber-build requests to external providers (§4, war story 1).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "capacity/capacity_planner.h"
+#include "depgraph/cdg.h"
+#include "depgraph/service_graph.h"
+#include "incident/features.h"
+#include "incident/routing_experiment.h"
+#include "ml/random_forest.h"
+#include "smn/feedback.h"
+#include "telemetry/bandwidth_log.h"
+#include "topology/wan.h"
+
+namespace smn::smn {
+
+struct CltoConfig {
+  std::size_t training_incidents = 560;
+  std::size_t forest_trees = 200;
+  std::size_t forest_max_depth = 14;
+  std::uint64_t seed = 20250607;
+  capacity::PlannerConfig planner;
+};
+
+/// Result of routing one incident.
+struct RoutingDecision {
+  std::size_t team = 0;
+  std::string team_name;
+  double confidence = 0.0;
+  /// Teams that showed symptoms but were not implicated (informed, not
+  /// assigned — war story 3's "informing the cluster team").
+  std::vector<std::string> informed_teams;
+};
+
+class Clto {
+ public:
+  /// Builds the CDG from `sg` via the team coarsener and trains the
+  /// routing forest on simulated incident history.
+  Clto(const depgraph::ServiceGraph& sg, FeedbackBus& bus, CltoConfig config = {});
+  /// Keeps a reference to the service graph; temporaries would dangle.
+  Clto(depgraph::ServiceGraph&&, FeedbackBus&, CltoConfig) = delete;
+
+  const depgraph::Cdg& cdg() const noexcept { return cdg_; }
+
+  /// Routes one incident: publishes an assignment to the implicated team
+  /// and informational feedback to other symptomatic teams.
+  RoutingDecision route_incident(const incident::Incident& incident, util::SimTime now,
+                                 std::uint64_t incident_id);
+
+  /// Cross-layer capacity pass over `wan` driven by `log`; publishes
+  /// upgrade feedback and fiber-build requests. Returns the plan.
+  capacity::CapacityPlan plan_capacity(const topology::WanTopology& wan,
+                                       const telemetry::BandwidthLog& log, util::SimTime now);
+
+  /// Training accuracy proxy (held-out accuracy from the training run),
+  /// for observability.
+  double router_holdout_accuracy() const noexcept { return holdout_accuracy_; }
+
+ private:
+  const depgraph::ServiceGraph& sg_;
+  depgraph::Cdg cdg_;
+  incident::FeatureExtractor extractor_;
+  ml::RandomForest router_;
+  FeedbackBus& bus_;
+  CltoConfig config_;
+  double holdout_accuracy_ = 0.0;
+};
+
+}  // namespace smn::smn

@@ -1,0 +1,106 @@
+#include "smn/control_plane.h"
+
+#include <algorithm>
+
+namespace smn::smn {
+
+void Rib::add_route(RibEntry entry) { by_prefix_[entry.prefix].push_back(std::move(entry)); }
+
+void Rib::withdraw(const std::string& prefix, const std::string& protocol) {
+  const auto it = by_prefix_.find(prefix);
+  if (it == by_prefix_.end()) return;
+  std::erase_if(it->second, [&](const RibEntry& e) { return e.protocol == protocol; });
+  if (it->second.empty()) by_prefix_.erase(it);
+}
+
+std::vector<RibEntry> Rib::routes(const std::string& prefix) const {
+  const auto it = by_prefix_.find(prefix);
+  return it == by_prefix_.end() ? std::vector<RibEntry>{} : it->second;
+}
+
+std::optional<RibEntry> Rib::best_route(const std::string& prefix) const {
+  const auto it = by_prefix_.find(prefix);
+  if (it == by_prefix_.end() || it->second.empty()) return std::nullopt;
+  return *std::min_element(it->second.begin(), it->second.end(),
+                           [](const RibEntry& a, const RibEntry& b) {
+                             if (a.metric != b.metric) return a.metric < b.metric;
+                             return a.protocol < b.protocol;
+                           });
+}
+
+std::size_t Rib::size() const noexcept {
+  std::size_t total = 0;
+  for (const auto& [_, routes] : by_prefix_) total += routes.size();
+  return total;
+}
+
+std::vector<std::string> Rib::prefixes() const {
+  std::vector<std::string> out;
+  out.reserve(by_prefix_.size());
+  for (const auto& [prefix, _] : by_prefix_) out.push_back(prefix);
+  return out;
+}
+
+std::size_t Fib::program_from(const Rib& rib) {
+  std::size_t changed = 0;
+  std::map<std::string, FibEntry> next;
+  for (const std::string& prefix : rib.prefixes()) {
+    const auto best = rib.best_route(prefix);
+    if (!best) continue;
+    FibEntry entry{prefix, best->next_hop};
+    const auto it = entries_.find(prefix);
+    if (it == entries_.end() || it->second.next_hop != entry.next_hop) ++changed;
+    next.emplace(prefix, std::move(entry));
+  }
+  for (const auto& [prefix, _] : entries_) {
+    if (!next.contains(prefix)) ++changed;  // withdrawn
+  }
+  entries_ = std::move(next);
+  return changed;
+}
+
+std::optional<FibEntry> Fib::lookup(const std::string& prefix) const {
+  const auto it = entries_.find(prefix);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Mib::set_gauge(const std::string& object, const std::string& name, double value) {
+  values_[{object, name}] = value;
+}
+
+void Mib::increment_counter(const std::string& object, const std::string& name, double by) {
+  values_[{object, name}] += by;
+}
+
+std::optional<double> Mib::get(const std::string& object, const std::string& name) const {
+  const auto it = values_.find({object, name});
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::pair<std::string, double>> Mib::object_entries(const std::string& object) const {
+  std::vector<std::pair<std::string, double>> out;
+  for (const auto& [key, value] : values_) {
+    if (key.first == object) out.emplace_back(key.second, value);
+  }
+  return out;
+}
+
+std::size_t Mib::size() const noexcept { return values_.size(); }
+
+void ControlLoopRunner::add_loop(ControlLoop loop) { loops_.push_back(std::move(loop)); }
+
+std::size_t ControlLoopRunner::tick(util::SimTime now) {
+  std::size_t executed = 0;
+  for (ControlLoop& loop : loops_) {
+    if (loop.last_run < 0 || now - loop.last_run >= loop.period) {
+      loop.body(now);
+      loop.last_run = now;
+      ++executed;
+    }
+  }
+  return executed;
+}
+
+}  // namespace smn::smn

@@ -1,0 +1,97 @@
+// The generalized control plane of §2: where SDN centrally programs only
+// the FIB, the SMN manages the Routing Information Base (RIB), Forwarding
+// Information Base (FIB), Management Information Base (MIB), and
+// diagnostic/traffic state together, and runs control loops over multiple
+// timescales (minutes for incident response, months+ for capacity).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/sim_time.h"
+
+namespace smn::smn {
+
+/// RIB entry: a learned/computed route with provenance and preference.
+struct RibEntry {
+  std::string prefix;      ///< destination (DC name or CIDR-style label)
+  std::string next_hop;
+  std::uint32_t metric = 0;
+  std::string protocol;    ///< "static", "bgp", "te-controller"
+};
+
+/// FIB entry: the installed forwarding decision for a prefix.
+struct FibEntry {
+  std::string prefix;
+  std::string next_hop;
+};
+
+/// Routing Information Base: multiple candidate routes per prefix; best
+/// (lowest metric, then protocol name for determinism) wins FIB selection.
+class Rib {
+ public:
+  void add_route(RibEntry entry);
+  /// Removes all routes for `prefix` from `protocol`.
+  void withdraw(const std::string& prefix, const std::string& protocol);
+  std::vector<RibEntry> routes(const std::string& prefix) const;
+  std::optional<RibEntry> best_route(const std::string& prefix) const;
+  std::size_t size() const noexcept;
+  std::vector<std::string> prefixes() const;
+
+ private:
+  std::map<std::string, std::vector<RibEntry>> by_prefix_;
+};
+
+/// Forwarding Information Base, programmed from the RIB's best routes.
+class Fib {
+ public:
+  /// Recomputes all entries from `rib` best routes. Returns entries changed.
+  std::size_t program_from(const Rib& rib);
+  std::optional<FibEntry> lookup(const std::string& prefix) const;
+  std::size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  std::map<std::string, FibEntry> entries_;
+};
+
+/// Management Information Base: named counters/gauges per managed object.
+class Mib {
+ public:
+  void set_gauge(const std::string& object, const std::string& name, double value);
+  void increment_counter(const std::string& object, const std::string& name, double by = 1.0);
+  std::optional<double> get(const std::string& object, const std::string& name) const;
+  /// All (name, value) pairs for one object.
+  std::vector<std::pair<std::string, double>> object_entries(const std::string& object) const;
+  std::size_t size() const noexcept;
+
+ private:
+  std::map<std::pair<std::string, std::string>, double> values_;
+};
+
+/// A periodic control loop with its operating timescale — the SMN runs
+/// several (incident routing at minutes, TE at hours, planning at months).
+struct ControlLoop {
+  std::string name;
+  util::SimTime period = util::kMinute;
+  std::function<void(util::SimTime)> body;
+  util::SimTime last_run = -1;
+};
+
+/// Schedules control loops against simulated time.
+class ControlLoopRunner {
+ public:
+  void add_loop(ControlLoop loop);
+  /// Runs every loop whose period has elapsed since its last run.
+  /// Returns the number of loop bodies executed.
+  std::size_t tick(util::SimTime now);
+  std::size_t loop_count() const noexcept { return loops_.size(); }
+
+ private:
+  std::vector<ControlLoop> loops_;
+};
+
+}  // namespace smn::smn

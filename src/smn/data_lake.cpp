@@ -1,0 +1,137 @@
+#include "smn/data_lake.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace smn::smn {
+
+void DataLake::ingest(const std::string& dataset, Record record) {
+  const DatasetInfo* info = catalog_.find(dataset);
+  if (info == nullptr) {
+    throw std::invalid_argument("DataLake::ingest: dataset not in catalog: " + dataset);
+  }
+  if (strict_schema_) {
+    for (const auto& [field, _] : record.numeric) {
+      if (!info->field(field).has_value()) {
+        throw std::invalid_argument("DataLake::ingest: field '" + field +
+                                    "' not in schema of '" + dataset + "'");
+      }
+    }
+  }
+  stores_[dataset].records.push_back(std::move(record));
+}
+
+std::size_t DataLake::record_count(const std::string& dataset) const {
+  const auto it = stores_.find(dataset);
+  return it == stores_.end() ? 0 : it->second.records.size();
+}
+
+std::vector<Record> DataLake::query(const std::string& dataset, const std::string& team,
+                                    util::SimTime begin, util::SimTime end,
+                                    const std::function<bool(const Record&)>& filter) const {
+  const DatasetInfo* info = catalog_.find(dataset);
+  if (info == nullptr) {
+    throw std::invalid_argument("DataLake::query: unknown dataset: " + dataset);
+  }
+  if (!info->readable_by(team)) {
+    throw std::runtime_error("DataLake::query: team '" + team + "' may not read '" + dataset +
+                             "'");
+  }
+  std::vector<Record> out;
+  const auto it = stores_.find(dataset);
+  if (it == stores_.end()) return out;
+  for (const Record& r : it->second.records) {
+    if (r.timestamp < begin || r.timestamp >= end) continue;
+    if (filter && !filter(r)) continue;
+    out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<Record> DataLake::query_by_type(DataType type, const std::string& team,
+                                            util::SimTime begin, util::SimTime end) const {
+  std::vector<Record> out;
+  for (const DatasetInfo& info : catalog_.discover(type, team)) {
+    auto records = query(info.name, team, begin, end);
+    for (Record& r : records) {
+      r.tags["__dataset"] = info.name;
+      out.push_back(std::move(r));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Record& a, const Record& b) { return a.timestamp < b.timestamp; });
+  return out;
+}
+
+std::size_t DataLake::apply_retention(util::SimTime now, const RetentionPolicy& policy) {
+  std::size_t retired = 0;
+  for (auto& [name, store] : stores_) {
+    std::vector<Record> kept;
+    std::map<std::pair<util::SimTime, std::string>, AgedSummary> windows;
+    for (Record& r : store.records) {
+      const util::SimTime age = now - r.timestamp;
+      if (age <= policy.fine_horizon) {
+        kept.push_back(std::move(r));
+        continue;
+      }
+      // Aged record: incident-linked data survives raw; a sampled slice of
+      // failure-free data survives as negative examples; the rest folds
+      // into window summaries.
+      if (r.incident_id != 0 && age <= policy.incident_horizon) {
+        ++store.incident_retained;
+        kept.push_back(std::move(r));
+        continue;
+      }
+      if (r.incident_id == 0 && rng_.bernoulli(policy.failure_free_sample_rate)) {
+        ++store.negative_samples;
+        kept.push_back(std::move(r));
+        continue;
+      }
+      ++retired;
+      if (age <= policy.coarse_horizon) {
+        const util::SimTime window_start =
+            (r.timestamp / policy.coarse_window) * policy.coarse_window;
+        for (const auto& [field, value] : r.numeric) {
+          AgedSummary& s = windows[{window_start, field}];
+          if (s.count == 0) {
+            s.window_start = window_start;
+            s.window_length = policy.coarse_window;
+            s.field = field;
+            s.max = value;
+          }
+          s.mean = (s.mean * static_cast<double>(s.count) + value) /
+                   static_cast<double>(s.count + 1);
+          s.max = std::max(s.max, value);
+          ++s.count;
+        }
+      }
+    }
+    store.records = std::move(kept);
+    for (auto& [_, summary] : windows) store.aged.push_back(std::move(summary));
+    // Drop summaries past the coarse horizon.
+    std::erase_if(store.aged, [&](const AgedSummary& s) {
+      return now - (s.window_start + s.window_length) > policy.coarse_horizon;
+    });
+  }
+  return retired;
+}
+
+std::vector<AgedSummary> DataLake::summaries(const std::string& dataset) const {
+  const auto it = stores_.find(dataset);
+  return it == stores_.end() ? std::vector<AgedSummary>{} : it->second.aged;
+}
+
+LakeStats DataLake::stats() const {
+  LakeStats s;
+  for (const auto& [_, store] : stores_) {
+    s.raw_records += store.records.size();
+    s.summaries += store.aged.size();
+    for (const Record& r : store.records) s.raw_bytes += r.approximate_bytes();
+    s.summary_bytes += store.aged.size() * 48;
+    s.retained_incident_records += store.incident_retained;
+    s.retained_negative_samples += store.negative_samples;
+  }
+  return s;
+}
+
+}  // namespace smn::smn

@@ -1,0 +1,55 @@
+#include "smn/feedback.h"
+
+namespace smn::smn {
+
+std::string feedback_kind_name(FeedbackKind kind) {
+  switch (kind) {
+    case FeedbackKind::kIncidentAssignment:
+      return "incident-assignment";
+    case FeedbackKind::kInformational:
+      return "informational";
+    case FeedbackKind::kCapacityUpgrade:
+      return "capacity-upgrade";
+    case FeedbackKind::kFiberBuildRequest:
+      return "fiber-build-request";
+    case FeedbackKind::kConfigChangeRequest:
+      return "config-change-request";
+    case FeedbackKind::kProcessChange:
+      return "process-change";
+    case FeedbackKind::kMitigation:
+      return "mitigation";
+  }
+  return "unknown";
+}
+
+std::string priority_name(Priority priority) {
+  switch (priority) {
+    case Priority::kLow:
+      return "low";
+    case Priority::kMedium:
+      return "medium";
+    case Priority::kHigh:
+      return "high";
+    case Priority::kCritical:
+      return "critical";
+  }
+  return "unknown";
+}
+
+std::vector<Feedback> FeedbackBus::for_target(const std::string& target) const {
+  std::vector<Feedback> out;
+  for (const Feedback& f : entries_) {
+    if (f.target == target) out.push_back(f);
+  }
+  return out;
+}
+
+std::vector<Feedback> FeedbackBus::of_kind(FeedbackKind kind) const {
+  std::vector<Feedback> out;
+  for (const Feedback& f : entries_) {
+    if (f.kind == kind) out.push_back(f);
+  }
+  return out;
+}
+
+}  // namespace smn::smn

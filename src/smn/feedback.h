@@ -1,0 +1,55 @@
+// CLTO feedback objects (§2): "whose output is a set of feedback either to
+// teams or external agents. For example, for incident response ... the
+// feedback is to the team that is implicated as the cause of the incident;
+// for capacity planning ... the feedback may be to an external provider to
+// provision additional capacity."
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/sim_time.h"
+
+namespace smn::smn {
+
+enum class FeedbackKind {
+  kIncidentAssignment,   ///< route an incident to a team (minutes)
+  kInformational,        ///< keep a team in the loop without assignment
+  kCapacityUpgrade,      ///< upgrade an existing link (months)
+  kFiberBuildRequest,    ///< external provider: new fiber needed (years)
+  kConfigChangeRequest,  ///< ask a team to revert/adjust a configuration
+  kProcessChange,        ///< change how a team operates (§2 "Process Changes")
+  kMitigation,           ///< automatic action taken (e.g. restart)
+};
+
+enum class Priority { kLow, kMedium, kHigh, kCritical };
+
+struct Feedback {
+  FeedbackKind kind = FeedbackKind::kInformational;
+  /// Team name, or "external:<provider>" for external agents.
+  std::string target;
+  Priority priority = Priority::kMedium;
+  std::string subject;
+  std::string detail;
+  util::SimTime issued_at = 0;
+  std::uint64_t incident_id = 0;  ///< 0 when not incident-related
+};
+
+std::string feedback_kind_name(FeedbackKind kind);
+std::string priority_name(Priority priority);
+
+/// Append-only feedback channel with simple per-target filtering.
+class FeedbackBus {
+ public:
+  void publish(Feedback feedback) { entries_.push_back(std::move(feedback)); }
+
+  const std::vector<Feedback>& all() const noexcept { return entries_; }
+  std::vector<Feedback> for_target(const std::string& target) const;
+  std::vector<Feedback> of_kind(FeedbackKind kind) const;
+  std::size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  std::vector<Feedback> entries_;
+};
+
+}  // namespace smn::smn

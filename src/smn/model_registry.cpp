@@ -1,0 +1,62 @@
+#include "smn/model_registry.h"
+
+#include <stdexcept>
+
+namespace smn::smn {
+
+void ModelRegistry::register_model(ModelSnapshot snapshot) {
+  if (snapshot.name.empty() || snapshot.model == nullptr) {
+    throw std::invalid_argument("ModelRegistry::register_model: need a name and a model");
+  }
+  snapshots_[{snapshot.name, snapshot.trained_at}] = std::move(snapshot);
+}
+
+std::size_t ModelRegistry::size() const noexcept { return snapshots_.size(); }
+
+std::optional<ModelSnapshot> ModelRegistry::latest(const std::string& name,
+                                                   util::SimTime as_of) const {
+  std::optional<ModelSnapshot> best;
+  for (const auto& [key, snapshot] : snapshots_) {
+    if (key.first != name || key.second > as_of) continue;
+    if (!best || key.second > best->trained_at) best = snapshot;
+  }
+  return best;
+}
+
+std::vector<ModelSnapshot> ModelRegistry::history(const std::string& name) const {
+  std::vector<ModelSnapshot> out;
+  for (const auto& [key, snapshot] : snapshots_) {
+    if (key.first == name) out.push_back(snapshot);
+  }
+  return out;  // map order is already (name, trained_at) ascending
+}
+
+std::optional<double> ModelRegistry::evaluate(const std::string& name, util::SimTime trained_at,
+                                              const ml::Dataset& data) const {
+  const auto it = snapshots_.find({name, trained_at});
+  if (it == snapshots_.end()) return std::nullopt;
+  return ml::accuracy(*it->second.model, data);
+}
+
+std::size_t ModelRegistry::apply_retention(util::SimTime now, util::SimTime horizon,
+                                           std::size_t keep_min) {
+  // Count snapshots per name so the newest keep_min always survive.
+  std::map<std::string, std::size_t> counts;
+  for (const auto& [key, _] : snapshots_) ++counts[key.first];
+
+  std::size_t dropped = 0;
+  // Iterate ascending: older snapshots of each name come first.
+  for (auto it = snapshots_.begin(); it != snapshots_.end();) {
+    const auto& [name, trained_at] = it->first;
+    if (now - trained_at > horizon && counts[name] > keep_min) {
+      --counts[name];
+      it = snapshots_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
+}  // namespace smn::smn

@@ -1,0 +1,68 @@
+// The §6 "Network History store" endgame:
+//
+//   "A more speculative idea is to keep ML models and not logs over very
+//    long periods to concisely capture how network patterns evolve with
+//    time. These can be viewed as coarsenings in time."
+//
+// The registry stores period-stamped model snapshots with their training
+// metadata. Raw incident logs can then age out entirely: a quarter's
+// operational knowledge survives as a trained router a few kilobytes of
+// trees wide, queryable by time. Drift between snapshots (an old model
+// scored on new data) is the registry's own fidelity signal.
+#pragma once
+
+#include <limits>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.h"
+#include "ml/random_forest.h"
+#include "util/sim_time.h"
+
+namespace smn::smn {
+
+struct ModelSnapshot {
+  util::SimTime trained_at = 0;
+  std::string name;                ///< e.g. "incident-router"
+  std::size_t training_examples = 0;
+  double holdout_accuracy = 0.0;
+  std::shared_ptr<const ml::RandomForest> model;
+};
+
+class ModelRegistry {
+ public:
+  /// Registers a snapshot (keyed by name + trained_at; re-registration at
+  /// the same instant replaces).
+  void register_model(ModelSnapshot snapshot);
+
+  std::size_t size() const noexcept;
+
+  /// Latest snapshot of `name` trained at or before `as_of`; the newest
+  /// overall when `as_of` is omitted.
+  std::optional<ModelSnapshot> latest(const std::string& name,
+                                      util::SimTime as_of = std::numeric_limits<
+                                          util::SimTime>::max()) const;
+
+  /// All snapshots of `name` in training-time order.
+  std::vector<ModelSnapshot> history(const std::string& name) const;
+
+  /// Drift matrix entry: accuracy of the `trained_at` snapshot of `name`
+  /// evaluated on `data` (typically a later period's incidents).
+  /// std::nullopt when no such snapshot exists.
+  std::optional<double> evaluate(const std::string& name, util::SimTime trained_at,
+                                 const ml::Dataset& data) const;
+
+  /// Retention: drops snapshots of every model older than `horizon`
+  /// relative to `now`, always keeping at least `keep_min` newest per
+  /// name. Returns snapshots dropped.
+  std::size_t apply_retention(util::SimTime now, util::SimTime horizon,
+                              std::size_t keep_min = 1);
+
+ private:
+  std::map<std::pair<std::string, util::SimTime>, ModelSnapshot> snapshots_;
+};
+
+}  // namespace smn::smn

@@ -1,0 +1,118 @@
+#include "smn/query.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "util/stats.h"
+
+namespace smn::smn {
+
+std::string aggregation_name(Aggregation agg) {
+  switch (agg) {
+    case Aggregation::kCount:
+      return "count";
+    case Aggregation::kSum:
+      return "sum";
+    case Aggregation::kMean:
+      return "mean";
+    case Aggregation::kMin:
+      return "min";
+    case Aggregation::kMax:
+      return "max";
+    case Aggregation::kP95:
+      return "p95";
+  }
+  return "?";
+}
+
+std::vector<QueryRow> run_query(const DataLake& lake, const std::string& team,
+                                const Query& query) {
+  if (query.dataset.has_value() == query.type.has_value()) {
+    throw std::invalid_argument("run_query: set exactly one of dataset/type");
+  }
+  if (query.aggregation != Aggregation::kCount && query.field.empty()) {
+    throw std::invalid_argument("run_query: aggregation '" +
+                                aggregation_name(query.aggregation) + "' needs a field");
+  }
+
+  std::vector<Record> records =
+      query.dataset ? lake.query(*query.dataset, team, query.begin, query.end)
+                    : lake.query_by_type(*query.type, team, query.begin, query.end);
+
+  // Predicates.
+  std::erase_if(records, [&](const Record& r) {
+    for (const auto& [tag, wanted] : query.tag_equals) {
+      const auto value = r.tag(tag);
+      if (!value || *value != wanted) return true;
+    }
+    for (const NumericPredicate& p : query.numeric) {
+      const auto value = r.value(p.field);
+      if (!value || *value < p.at_least || *value >= p.below) return true;
+    }
+    return false;
+  });
+
+  // Group.
+  std::map<std::string, std::vector<const Record*>> groups;
+  for (const Record& r : records) {
+    std::string key;
+    if (!query.group_by_tag.empty()) {
+      const auto tag = r.tag(query.group_by_tag);
+      if (!tag) continue;  // ungroupable records drop out of grouped queries
+      key = *tag;
+    }
+    groups[key].push_back(&r);
+  }
+
+  // Aggregate.
+  std::vector<QueryRow> rows;
+  rows.reserve(groups.size());
+  for (const auto& [group, members] : groups) {
+    QueryRow row;
+    row.group = group;
+    row.matched = members.size();
+    if (query.aggregation == Aggregation::kCount) {
+      row.value = static_cast<double>(members.size());
+    } else {
+      std::vector<double> values;
+      values.reserve(members.size());
+      for (const Record* r : members) {
+        if (const auto v = r->value(query.field)) values.push_back(*v);
+      }
+      if (values.empty()) {
+        row.value = 0.0;
+      } else {
+        switch (query.aggregation) {
+          case Aggregation::kSum: {
+            double total = 0.0;
+            for (const double v : values) total += v;
+            row.value = total;
+            break;
+          }
+          case Aggregation::kMean: {
+            double total = 0.0;
+            for (const double v : values) total += v;
+            row.value = total / static_cast<double>(values.size());
+            break;
+          }
+          case Aggregation::kMin:
+            row.value = *std::min_element(values.begin(), values.end());
+            break;
+          case Aggregation::kMax:
+            row.value = *std::max_element(values.begin(), values.end());
+            break;
+          case Aggregation::kP95:
+            row.value = util::percentile(values, 0.95);
+            break;
+          case Aggregation::kCount:
+            break;  // handled above
+        }
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace smn::smn

@@ -1,0 +1,69 @@
+// The SMN's query interface over the CLDS — the §2/§6 "architecture and
+// interfaces" requirement: "Like SDN, SMN must go beyond merely
+// centralizing all data. It also requires an architecture and interfaces
+// such as SDN's OpenFlow so that users across teams can query and
+// correlate data."
+//
+// A Query selects records (by dataset or by data type across datasets),
+// restricts them by time range, tag equality, and numeric predicates, then
+// optionally groups by a tag and aggregates a numeric field. ACLs are
+// enforced per requesting team through the catalog, exactly as raw
+// DataLake reads are.
+#pragma once
+
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "smn/data_lake.h"
+
+namespace smn::smn {
+
+enum class Aggregation { kCount, kSum, kMean, kMin, kMax, kP95 };
+
+std::string aggregation_name(Aggregation agg);
+
+struct NumericPredicate {
+  std::string field;
+  double at_least = -std::numeric_limits<double>::infinity();
+  double below = std::numeric_limits<double>::infinity();
+};
+
+struct Query {
+  /// Exactly one of `dataset` / `type` must be set: a single dataset, or a
+  /// cross-team sweep over every readable dataset of that type.
+  std::optional<std::string> dataset;
+  std::optional<DataType> type;
+
+  util::SimTime begin = 0;
+  util::SimTime end = std::numeric_limits<util::SimTime>::max();
+
+  /// All must match (tag must exist and equal the value).
+  std::vector<std::pair<std::string, std::string>> tag_equals;
+  /// All must match (field must exist and lie in [at_least, below)).
+  std::vector<NumericPredicate> numeric;
+
+  /// Empty = one global group. "__dataset" groups by source dataset for
+  /// type queries.
+  std::string group_by_tag;
+
+  Aggregation aggregation = Aggregation::kCount;
+  /// Field to aggregate; ignored for kCount.
+  std::string field;
+};
+
+struct QueryRow {
+  std::string group;  ///< group tag value; "" for the global group
+  std::size_t matched = 0;
+  double value = 0.0;  ///< aggregate; equals matched for kCount
+};
+
+/// Runs `query` as `team`. Rows are ordered by group name. Throws
+/// std::invalid_argument for malformed queries (neither/both selectors,
+/// missing field for non-count aggregations, unknown dataset) and
+/// std::runtime_error on ACL violations.
+std::vector<QueryRow> run_query(const DataLake& lake, const std::string& team,
+                                const Query& query);
+
+}  // namespace smn::smn

@@ -1,0 +1,30 @@
+#include "smn/record.h"
+
+namespace smn::smn {
+
+std::string data_type_name(DataType type) {
+  switch (type) {
+    case DataType::kAlert:
+      return "alert";
+    case DataType::kIncident:
+      return "incident";
+    case DataType::kLog:
+      return "log";
+    case DataType::kTelemetry:
+      return "telemetry";
+    case DataType::kTopology:
+      return "topology";
+    case DataType::kDependency:
+      return "dependency";
+  }
+  return "unknown";
+}
+
+std::size_t Record::approximate_bytes() const noexcept {
+  std::size_t bytes = 16;  // timestamp + incident id
+  for (const auto& [key, _] : numeric) bytes += key.size() + 8;
+  for (const auto& [key, value] : tags) bytes += key.size() + value.size();
+  return bytes;
+}
+
+}  // namespace smn::smn

@@ -1,0 +1,43 @@
+// Generic operational record for the CLDS data lake: timestamped, with
+// numeric fields (telemetry values) and string tags (identifiers,
+// free-text). Heterogeneous by design — §2 calls for "Mixed (Telemetry,
+// Logs)" inputs, unlike SDN's structured-only inputs.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "util/sim_time.h"
+
+namespace smn::smn {
+
+enum class DataType { kAlert, kIncident, kLog, kTelemetry, kTopology, kDependency };
+
+std::string data_type_name(DataType type);
+
+struct Record {
+  util::SimTime timestamp = 0;
+  std::map<std::string, double> numeric;
+  std::map<std::string, std::string> tags;
+  /// Non-zero when this record relates to a tracked incident; retention
+  /// keeps incident-linked data for a long period (§6).
+  std::uint64_t incident_id = 0;
+
+  std::optional<double> value(const std::string& key) const {
+    const auto it = numeric.find(key);
+    if (it == numeric.end()) return std::nullopt;
+    return it->second;
+  }
+
+  std::optional<std::string> tag(const std::string& key) const {
+    const auto it = tags.find(key);
+    if (it == tags.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// Approximate serialized footprint in bytes.
+  std::size_t approximate_bytes() const noexcept;
+};
+
+}  // namespace smn::smn

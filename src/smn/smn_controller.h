@@ -1,0 +1,120 @@
+// The SMN Controller of Figure 1: owns the CLDS (data lake + catalog), the
+// Cloud Dependency Graph, the CLTO optimizer, the generalized control
+// plane (RIB/FIB/MIB), the AIOps hooks, and the multi-timescale control
+// loops. This is the library's top-level façade — examples and benches
+// drive the whole system through it.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "depgraph/service_graph.h"
+#include "optical/optical.h"
+#include "smn/aiops.h"
+#include "smn/clto.h"
+#include "smn/control_plane.h"
+#include "smn/data_lake.h"
+#include "smn/feedback.h"
+#include "smn/query.h"
+#include "telemetry/log_store.h"
+#include "topology/wan.h"
+
+namespace smn::smn {
+
+struct SmnConfig {
+  CltoConfig clto;
+  RetentionPolicy retention;
+  /// Periods of the built-in control loops.
+  util::SimTime incident_loop_period = util::kMinute;
+  util::SimTime telemetry_loop_period = 5 * util::kMinute;
+  util::SimTime retention_loop_period = util::kDay;
+  util::SimTime planning_loop_period = util::kMonth;
+};
+
+/// One row of the paper's Table 1 (SDN vs SMN).
+struct ParadigmComparison {
+  std::string aspect;
+  std::string sdn;
+  std::string smn;
+};
+
+class SmnController {
+ public:
+  /// `sg` is the cloud's fine-grained service graph (teams derive from it);
+  /// `wan` is the L1-L3 topology under management. Both must outlive the
+  /// controller.
+  SmnController(const depgraph::ServiceGraph& sg, const topology::WanTopology& wan,
+                SmnConfig config = {});
+  /// Keeps references to both structures; temporaries would dangle.
+  SmnController(depgraph::ServiceGraph&&, const topology::WanTopology&, SmnConfig) = delete;
+  SmnController(const depgraph::ServiceGraph&, topology::WanTopology&&, SmnConfig) = delete;
+
+  // --- Figure-1 components ---
+  DataLake& clds() noexcept { return lake_; }
+  const DataLake& clds() const noexcept { return lake_; }
+  const depgraph::Cdg& cdg() const noexcept { return clto_.cdg(); }
+  Clto& clto() noexcept { return clto_; }
+  FeedbackBus& feedback() noexcept { return bus_; }
+  const FeedbackBus& feedback() const noexcept { return bus_; }
+  Rib& rib() noexcept { return rib_; }
+  Fib& fib() noexcept { return fib_; }
+  Mib& mib() noexcept { return mib_; }
+  TelemetryDenoiser& denoiser() noexcept { return denoiser_; }
+  IncidentEnricher& enricher() noexcept { return enricher_; }
+  telemetry::BandwidthLogStore& bandwidth_store() noexcept { return bw_store_; }
+
+  /// Ingests telemetry through the AIOps denoiser into the CLDS.
+  void ingest_telemetry(const std::string& dataset, Record record);
+
+  /// Publishes the optical layer's risk map (per-link flap/cut rates and
+  /// SRLG exposure) into the "optical.link-risk" dataset, and the
+  /// wavelength->link cartography into "cross-layer.deps" — the §7
+  /// cross-layer inputs the CLTO's planning loop consumes. Returns the
+  /// number of records written.
+  std::size_t ingest_optical_risks(const optical::OpticalNetwork& underlay,
+                                   util::SimTime now);
+
+  /// Runs a CLDS query as `team` (convenience over run_query).
+  std::vector<QueryRow> query(const std::string& team, const Query& q) const {
+    return run_query(lake_, team, q);
+  }
+
+  /// Full incident pipeline: route via CLTO, enrich with similar past
+  /// incidents, propose mitigations. Returns the routing decision.
+  RoutingDecision handle_incident(const incident::Incident& incident, util::SimTime now);
+
+  /// Runs all registered control loops due at `now`.
+  std::size_t tick(util::SimTime now);
+
+  /// Retention pass over the CLDS (also runs from the retention loop).
+  std::size_t run_retention(util::SimTime now);
+
+  /// Capacity planning pass over the managed WAN using the bandwidth store
+  /// (also runs from the planning loop).
+  capacity::CapacityPlan run_capacity_planning(util::SimTime now);
+
+  std::uint64_t incidents_handled() const noexcept { return next_incident_id_ - 1; }
+
+  /// Table 1 of the paper, as data.
+  static std::vector<ParadigmComparison> sdn_vs_smn();
+
+ private:
+  const depgraph::ServiceGraph& sg_;
+  const topology::WanTopology& wan_;
+  SmnConfig config_;
+  FeedbackBus bus_;
+  DataLake lake_;
+  Clto clto_;
+  Rib rib_;
+  Fib fib_;
+  Mib mib_;
+  TelemetryDenoiser denoiser_;
+  IncidentEnricher enricher_;
+  MitigationEngine mitigator_;
+  telemetry::BandwidthLogStore bw_store_;
+  ControlLoopRunner loops_;
+  std::uint64_t next_incident_id_ = 1;
+};
+
+}  // namespace smn::smn

@@ -1,0 +1,46 @@
+// The four §1 war stories, executed against the real library code paths,
+// each comparing siloed handling with SMN handling (§2 "How SMNs can
+// mitigate operational challenges"):
+//
+//   1. Capacity Planning and TE in the Dark — naive threshold planning
+//      upgrades transiently-overloaded and fiber-locked links; the SMN
+//      requires sustained overload and routes infeasible upgrades to the
+//      fiber provider.
+//   2. Wavelength Modulation and Resilience — recurring routing flaps
+//      traced to an aggressive optical modulation change via the CLDS
+//      dependency records in one query, versus weeks of siloed search.
+//   3. WAN link flaps impacting cluster traffic — failing cluster probes
+//      routed to the WAN team by the CDG/explainability router instead of
+//      bouncing off the cluster team.
+//   4. Database service failure — alerts from dependent services aggregated
+//      into one high-priority incident for the database team instead of
+//      six low-priority per-team incidents.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace smn::smn {
+
+struct WarStoryReport {
+  std::string id;        ///< "WS1".."WS4"
+  std::string title;
+  std::string siloed_outcome;
+  std::string smn_outcome;
+  /// Cost of the siloed handling and of the SMN handling, in `cost_unit`.
+  double siloed_cost = 0.0;
+  double smn_cost = 0.0;
+  std::string cost_unit;
+  bool smn_improved = false;
+};
+
+WarStoryReport run_war_story_capacity_te(std::uint64_t seed = 11);
+WarStoryReport run_war_story_wavelength(std::uint64_t seed = 12);
+WarStoryReport run_war_story_wan_flap(std::uint64_t seed = 13);
+WarStoryReport run_war_story_alert_storm(std::uint64_t seed = 14);
+
+/// All four, in order.
+std::vector<WarStoryReport> run_all_war_stories(std::uint64_t seed = 10);
+
+}  // namespace smn::smn

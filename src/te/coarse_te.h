@@ -1,0 +1,87 @@
+// The §4 coarse-TE pipeline and its evaluation:
+//
+//   1. Coarsen the WAN into supernodes and aggregate demands accordingly.
+//   2. Solve TE on the coarse graph (cheap: few nodes, few commodities).
+//   3. Realize the coarse solution on the fine graph — traffic between
+//      supernodes must follow the corridors the coarse solution chose
+//      ("all traffic from the supernode must be routed along predetermined
+//      network edges defined in the coarsened graph" [1]), and traffic
+//      inside a supernode is invisible to the optimizer, so it falls back
+//      to shortest-path routing.
+//   4. Compare the realized throughput against the fine-grained optimum.
+//
+// evaluate_coarse_te() returns everything the Pareto-frontier experiment
+// (bench_e2) plots: reduction factor vs optimality loss, plus solver work.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/contraction.h"
+#include "lp/mcf.h"
+#include "te/te_controller.h"
+#include "topology/wan.h"
+
+namespace smn::te {
+
+struct CoarseTeReport {
+  std::size_t supernode_count = 0;
+  std::size_t fine_commodities = 0;
+  std::size_t coarse_commodities = 0;
+  /// |S|/|s| over topology size measure (nodes + links).
+  double topology_reduction = 1.0;
+  /// |S|/|s| over commodity count (proxy for log-row reduction at fixed
+  /// epoch granularity).
+  double demand_reduction = 1.0;
+  double lambda_fine = 0.0;             ///< fine-grained optimum (GK)
+  double lambda_coarse_nominal = 0.0;   ///< optimum as seen on the coarse graph
+  double lambda_realized = 0.0;         ///< coarse solution realized on fine graph
+  /// lambda_realized / lambda_fine in [0, ~1]: the optimality retained.
+  double fidelity = 0.0;
+  /// Greedily admittable demand (Gbps) along each routing — a smoother
+  /// fidelity signal than the min-based lambda.
+  double admitted_fine_gbps = 0.0;
+  double admitted_realized_gbps = 0.0;
+  /// admitted_realized / admitted_fine in [0, ~1].
+  double throughput_fidelity = 0.0;
+  std::size_t fine_sp_calls = 0;
+  std::size_t coarse_sp_calls = 0;
+  double fine_solve_ms = 0.0;
+  double coarse_solve_ms = 0.0;
+};
+
+/// Runs the full pipeline. `fine_commodities` index into `fine.graph()`
+/// node ids. Throws std::invalid_argument on a partition that does not
+/// cover `fine`.
+CoarseTeReport evaluate_coarse_te(const topology::WanTopology& fine,
+                                  const graph::Partition& partition,
+                                  const std::vector<lp::Commodity>& fine_commodities,
+                                  const TeOptions& options = {});
+
+/// The realization step alone: routes `fine_commodities` on `fine`
+/// following `coarse_solution`'s corridor choices and returns the per-edge
+/// loads plus the max concurrent lambda of that fixed routing. When
+/// `routing_out` is non-null it receives the explicit per-commodity paths
+/// (crossings anchored at each corridor's primary link), suitable for
+/// greedy_admitted_demand.
+lp::FixedRoutingResult realize_coarse_solution(
+    const topology::WanTopology& fine, const graph::Partition& partition,
+    const topology::WanTopology& coarse, const lp::McfResult& coarse_solution,
+    const std::vector<lp::Commodity>& fine_commodities,
+    const std::vector<lp::Commodity>& coarse_commodities,
+    std::vector<lp::RoutedDemand>* routing_out = nullptr);
+
+/// Explicit routing extracted from a fine-grained MCF solution: each
+/// commodity's GK path decomposition as demand fractions; commodities the
+/// solver left unrouted fall back to their shortest path.
+std::vector<lp::RoutedDemand> routing_from_mcf(const graph::Digraph& g,
+                                               const lp::McfResult& solution,
+                                               const std::vector<lp::Commodity>& commodities);
+
+/// Aggregates fine commodities by supernode pair (intra-supernode demands
+/// are dropped — invisible to the coarse optimizer).
+std::vector<lp::Commodity> aggregate_commodities(const topology::WanTopology& fine,
+                                                 const graph::Partition& partition,
+                                                 const std::vector<lp::Commodity>& fine_commodities);
+
+}  // namespace smn::te

@@ -1,0 +1,74 @@
+#include "te/demand.h"
+
+#include <map>
+
+#include "util/stats.h"
+
+namespace smn::te {
+
+double DemandMatrix::total_gbps() const noexcept {
+  double total = 0.0;
+  for (const DemandEntry& e : entries_) total += e.gbps;
+  return total;
+}
+
+DemandMatrix DemandMatrix::from_log(const telemetry::BandwidthLog& log, DemandStatistic stat) {
+  std::map<std::pair<std::string, std::string>, std::vector<double>> series;
+  for (const telemetry::BandwidthRecord& r : log.records()) {
+    series[{r.src, r.dst}].push_back(r.bw_gbps);
+  }
+  DemandMatrix matrix;
+  for (auto& [key, values] : series) {
+    const util::Summary s = util::summarize(values);
+    double value = s.mean;
+    if (stat == DemandStatistic::kP95) value = s.p95;
+    if (stat == DemandStatistic::kMax) value = s.max;
+    matrix.add({key.first, key.second, value});
+  }
+  return matrix;
+}
+
+DemandMatrix DemandMatrix::from_coarse_log(const telemetry::CoarseBandwidthLog& coarse,
+                                           DemandStatistic stat) {
+  struct Accum {
+    double weighted_mean = 0.0;
+    std::size_t samples = 0;
+    double p95_upper = 0.0;
+    double max = 0.0;
+  };
+  std::map<std::pair<std::string, std::string>, Accum> accums;
+  for (const telemetry::WindowSummary& s : coarse.summaries()) {
+    Accum& a = accums[{s.src, s.dst}];
+    a.weighted_mean += s.mean * static_cast<double>(s.sample_count);
+    a.samples += s.sample_count;
+    a.p95_upper = std::max(a.p95_upper, s.p95);
+    a.max = std::max(a.max, s.max);
+  }
+  DemandMatrix matrix;
+  for (const auto& [key, a] : accums) {
+    double value = a.samples ? a.weighted_mean / static_cast<double>(a.samples) : 0.0;
+    if (stat == DemandStatistic::kP95) value = a.p95_upper;
+    if (stat == DemandStatistic::kMax) value = a.max;
+    matrix.add({key.first, key.second, value});
+  }
+  return matrix;
+}
+
+std::vector<lp::Commodity> DemandMatrix::to_commodities(const topology::WanTopology& wan,
+                                                        std::size_t* unresolved) const {
+  std::vector<lp::Commodity> commodities;
+  std::size_t missing = 0;
+  for (const DemandEntry& e : entries_) {
+    const auto src = wan.find_datacenter(e.src);
+    const auto dst = wan.find_datacenter(e.dst);
+    if (!src || !dst) {
+      ++missing;
+      continue;
+    }
+    commodities.push_back(lp::Commodity{*src, *dst, e.gbps});
+  }
+  if (unresolved != nullptr) *unresolved = missing;
+  return commodities;
+}
+
+}  // namespace smn::te

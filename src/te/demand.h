@@ -1,0 +1,57 @@
+// Demand matrices: the interface between telemetry (bandwidth logs) and
+// optimization (TE, capacity planning). §4: "traffic engineering
+// controllers use the resulting demand estimates to compute network flow
+// allocations". A matrix can be estimated from fine logs or from coarse
+// window summaries — the fidelity difference between those two estimates is
+// precisely what the coarsening experiments measure.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lp/mcf.h"
+#include "telemetry/bandwidth_log.h"
+#include "telemetry/time_coarsening.h"
+#include "topology/wan.h"
+
+namespace smn::te {
+
+/// Which summary statistic turns a demand time series into one number.
+enum class DemandStatistic { kMean, kP95, kMax };
+
+struct DemandEntry {
+  std::string src;
+  std::string dst;
+  double gbps = 0.0;
+};
+
+/// Named demand matrix; node names resolve against a WanTopology at
+/// commodity-construction time so the same type serves fine and coarse
+/// granularities.
+class DemandMatrix {
+ public:
+  void add(DemandEntry entry) { entries_.push_back(std::move(entry)); }
+
+  const std::vector<DemandEntry>& entries() const noexcept { return entries_; }
+  std::size_t size() const noexcept { return entries_.size(); }
+  double total_gbps() const noexcept;
+
+  /// Estimates a matrix from a fine log: per pair, `stat` over all epochs.
+  static DemandMatrix from_log(const telemetry::BandwidthLog& log, DemandStatistic stat);
+
+  /// Estimates a matrix from coarse window summaries: per pair, the
+  /// sample-weighted mean (kMean) or max of window p95s (kP95/kMax upper
+  /// bounds — the only reconstructions the summaries permit).
+  static DemandMatrix from_coarse_log(const telemetry::CoarseBandwidthLog& coarse,
+                                      DemandStatistic stat);
+
+  /// Resolves names against `wan`; entries naming unknown datacenters are
+  /// skipped and counted in `*unresolved` when provided.
+  std::vector<lp::Commodity> to_commodities(const topology::WanTopology& wan,
+                                            std::size_t* unresolved = nullptr) const;
+
+ private:
+  std::vector<DemandEntry> entries_;
+};
+
+}  // namespace smn::te

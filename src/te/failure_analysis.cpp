@@ -1,0 +1,58 @@
+#include "te/failure_analysis.h"
+
+#include <algorithm>
+
+namespace smn::te {
+
+FailureSweepReport single_link_failure_sweep(const topology::WanTopology& wan,
+                                             const std::vector<lp::Commodity>& commodities,
+                                             const std::vector<std::size_t>& links,
+                                             double epsilon) {
+  FailureSweepReport report;
+  lp::McfOptions options;
+  options.epsilon = epsilon;
+  report.lambda_intact = lp::max_concurrent_flow(wan.graph(), commodities, options).lambda;
+
+  std::vector<std::size_t> sweep = links;
+  if (sweep.empty()) {
+    sweep.resize(wan.link_count());
+    for (std::size_t i = 0; i < sweep.size(); ++i) sweep[i] = i;
+  }
+
+  for (const std::size_t li : sweep) {
+    const topology::WanLink& link = wan.link(li);
+    // Fail the link on a graph copy (capacity drives the MCF solver; the
+    // solver already skips zero-capacity edges).
+    graph::Digraph failed = wan.graph();
+    failed.mutable_edge(link.forward).capacity = 0.0;
+    failed.mutable_edge(link.backward).capacity = 0.0;
+    const lp::McfResult result = lp::max_concurrent_flow(failed, commodities, options);
+
+    FailureImpact impact;
+    impact.link = li;
+    const graph::Edge& fwd = wan.graph().edge(link.forward);
+    impact.link_name =
+        wan.graph().node_name(fwd.from) + "<->" + wan.graph().node_name(fwd.to);
+    impact.lambda_before = report.lambda_intact;
+    impact.lambda_after = result.lambda;
+    impact.partitioned = result.lambda == 0.0;
+    impact.drop_fraction =
+        report.lambda_intact > 0.0
+            ? std::clamp((report.lambda_intact - result.lambda) / report.lambda_intact, 0.0,
+                         1.0)
+            : 0.0;
+    report.impacts.push_back(std::move(impact));
+  }
+
+  if (!report.impacts.empty()) {
+    double total = 0.0;
+    for (const FailureImpact& impact : report.impacts) {
+      total += impact.drop_fraction;
+      report.worst_drop = std::max(report.worst_drop, impact.drop_fraction);
+    }
+    report.mean_drop = total / static_cast<double>(report.impacts.size());
+  }
+  return report;
+}
+
+}  // namespace smn::te

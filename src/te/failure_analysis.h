@@ -1,0 +1,45 @@
+// Failure analysis for TE (§7's restoration-aware thread, [48]): how much
+// concurrent throughput survives each single-link failure, and how much of
+// that robustness a coarse-grained TE view gives away. War story 2's
+// routing reconvergence has a cost only if the post-failure network cannot
+// carry the demand; this module quantifies it.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "graph/contraction.h"
+#include "lp/mcf.h"
+#include "topology/wan.h"
+
+namespace smn::te {
+
+struct FailureImpact {
+  std::size_t link = 0;
+  std::string link_name;
+  double lambda_before = 0.0;
+  double lambda_after = 0.0;
+  /// (before - after) / before, clamped to [0, 1].
+  double drop_fraction = 0.0;
+  /// True when some commodity became unroutable entirely.
+  bool partitioned = false;
+};
+
+struct FailureSweepReport {
+  double lambda_intact = 0.0;
+  std::vector<FailureImpact> impacts;
+  /// Mean/worst drop over the swept links.
+  double mean_drop = 0.0;
+  double worst_drop = 0.0;
+};
+
+/// Re-solves max-concurrent flow with each of `links` failed in turn
+/// (capacity zeroed in both directions). Empty `links` sweeps every link.
+/// Uses the same epsilon for all solves so drops are comparable.
+FailureSweepReport single_link_failure_sweep(const topology::WanTopology& wan,
+                                             const std::vector<lp::Commodity>& commodities,
+                                             const std::vector<std::size_t>& links = {},
+                                             double epsilon = 0.08);
+
+}  // namespace smn::te

@@ -1,0 +1,149 @@
+#include "te/te_controller.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "graph/shortest_path.h"
+
+namespace smn::te {
+
+TeSolution TeController::solve_max_concurrent(const std::vector<lp::Commodity>& commodities,
+                                              const TeOptions& options) const {
+  lp::McfOptions mcf_options;
+  mcf_options.epsilon = options.epsilon;
+  const lp::McfResult mcf = lp::max_concurrent_flow(wan_.graph(), commodities, mcf_options);
+
+  TeSolution solution;
+  solution.lambda = mcf.lambda;
+  solution.total_flow_gbps = mcf.total_flow;
+  solution.allocation = mcf.routed;
+  solution.sp_calls = mcf.sp_calls;
+  solution.edge_utilization.resize(wan_.graph().edge_count(), 0.0);
+  for (graph::EdgeId e = 0; e < wan_.graph().edge_count(); ++e) {
+    const double cap = wan_.graph().edge(e).capacity;
+    solution.edge_utilization[e] = cap > 0.0 ? mcf.edge_flow[e] / cap : 0.0;
+  }
+  return solution;
+}
+
+TeSolution TeController::solve_max_min_fair(const std::vector<lp::Commodity>& commodities,
+                                            const TeOptions& options) const {
+  const graph::Digraph& g = wan_.graph();
+  TeSolution solution;
+  solution.allocation.assign(commodities.size(), 0.0);
+  solution.edge_utilization.assign(g.edge_count(), 0.0);
+
+  // Precompute k shortest paths per commodity; demand splits evenly across
+  // that commodity's still-usable paths as rates rise.
+  struct CommodityPaths {
+    std::size_t index;
+    std::vector<graph::Path> paths;
+  };
+  std::vector<CommodityPaths> routable;
+  for (std::size_t j = 0; j < commodities.size(); ++j) {
+    if (commodities[j].demand <= 0.0 || commodities[j].src == commodities[j].dst) continue;
+    auto paths = graph::yen_k_shortest_paths(g, commodities[j].src, commodities[j].dst,
+                                             options.k_paths);
+    solution.sp_calls += options.k_paths;
+    if (!paths.empty()) routable.push_back({j, std::move(paths)});
+  }
+
+  std::vector<double> residual(g.edge_count());
+  for (graph::EdgeId e = 0; e < g.edge_count(); ++e) residual[e] = g.edge(e).capacity;
+  std::vector<bool> frozen(commodities.size(), false);
+
+  // Progressive filling in discrete rounds: each round raises every
+  // unfrozen commodity by the largest uniform fraction that keeps all
+  // edges feasible, then freezes commodities that hit demand or whose
+  // paths saturated.
+  constexpr int kMaxRounds = 64;
+  constexpr double kEps = 1e-9;
+  for (int round = 0; round < kMaxRounds; ++round) {
+    // Per-edge marginal load if every unfrozen commodity adds one unit of
+    // rate (split evenly over its paths).
+    std::vector<double> marginal(g.edge_count(), 0.0);
+    double max_headroom_needed = 0.0;
+    for (const CommodityPaths& cp : routable) {
+      if (frozen[cp.index]) continue;
+      const double share = 1.0 / static_cast<double>(cp.paths.size());
+      for (const graph::Path& path : cp.paths) {
+        for (const graph::EdgeId e : path.edges) marginal[e] += share;
+      }
+      max_headroom_needed = 1.0;
+    }
+    if (max_headroom_needed == 0.0) break;
+
+    // Largest uniform rate increase dr: residual_e >= marginal_e * dr, and
+    // no commodity exceeds its remaining demand.
+    double dr = std::numeric_limits<double>::infinity();
+    for (graph::EdgeId e = 0; e < g.edge_count(); ++e) {
+      if (marginal[e] > kEps) dr = std::min(dr, residual[e] / marginal[e]);
+    }
+    for (const CommodityPaths& cp : routable) {
+      if (frozen[cp.index]) continue;
+      dr = std::min(dr, commodities[cp.index].demand - solution.allocation[cp.index]);
+    }
+    if (dr <= kEps || dr == std::numeric_limits<double>::infinity()) dr = 0.0;
+
+    if (dr > 0.0) {
+      for (const CommodityPaths& cp : routable) {
+        if (frozen[cp.index]) continue;
+        solution.allocation[cp.index] += dr;
+        const double share = dr / static_cast<double>(cp.paths.size());
+        for (const graph::Path& path : cp.paths) {
+          for (const graph::EdgeId e : path.edges) residual[e] -= share;
+        }
+      }
+    }
+
+    // Freeze commodities at demand or on a saturated path.
+    bool any_unfrozen = false;
+    for (const CommodityPaths& cp : routable) {
+      if (frozen[cp.index]) continue;
+      bool saturated = solution.allocation[cp.index] >= commodities[cp.index].demand - kEps;
+      if (!saturated) {
+        for (const graph::Path& path : cp.paths) {
+          for (const graph::EdgeId e : path.edges) {
+            if (residual[e] <= kEps) {
+              saturated = true;
+              break;
+            }
+          }
+          if (saturated) break;
+        }
+      }
+      if (saturated) {
+        frozen[cp.index] = true;
+      } else {
+        any_unfrozen = true;
+      }
+    }
+    if (!any_unfrozen || dr == 0.0) break;
+  }
+
+  double lambda = std::numeric_limits<double>::infinity();
+  for (const CommodityPaths& cp : routable) {
+    solution.total_flow_gbps += solution.allocation[cp.index];
+    lambda = std::min(lambda, solution.allocation[cp.index] / commodities[cp.index].demand);
+  }
+  solution.lambda = routable.empty() ? 0.0 : lambda;
+  for (graph::EdgeId e = 0; e < g.edge_count(); ++e) {
+    const double cap = g.edge(e).capacity;
+    if (cap > 0.0) solution.edge_utilization[e] = (cap - residual[e]) / cap;
+  }
+  return solution;
+}
+
+lp::FixedRoutingResult TeController::shortest_path_routing(
+    const std::vector<lp::Commodity>& commodities) const {
+  std::vector<lp::RoutedDemand> routing;
+  for (std::size_t j = 0; j < commodities.size(); ++j) {
+    if (commodities[j].demand <= 0.0 || commodities[j].src == commodities[j].dst) continue;
+    const auto path = graph::shortest_path(wan_.graph(), commodities[j].src, commodities[j].dst);
+    if (!path) continue;
+    routing.push_back(lp::RoutedDemand{j, path->edges, 1.0});
+  }
+  return lp::evaluate_fixed_routing(wan_.graph(), commodities, routing);
+}
+
+}  // namespace smn::te

@@ -1,0 +1,64 @@
+// Traffic engineering controller: the L3 "classical control plane" of
+// Figure 1. Offers the objectives production WAN TE systems use —
+// max concurrent throughput (SWAN/B4-style) and max-min fairness over
+// k-shortest paths — plus plain shortest-path (IGP-style) routing, which
+// the capacity planner uses to derive link utilizations.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "lp/mcf.h"
+#include "te/demand.h"
+#include "topology/wan.h"
+
+namespace smn::te {
+
+/// Outcome of one TE solve.
+struct TeSolution {
+  /// Max concurrent lambda (fraction of every demand routed); for max-min
+  /// fairness this is min_j alloc_j / demand_j instead.
+  double lambda = 0.0;
+  double total_flow_gbps = 0.0;
+  /// Per-edge utilization (flow / capacity) on the solved topology.
+  std::vector<double> edge_utilization;
+  /// Per-commodity allocation in Gbps.
+  std::vector<double> allocation;
+  /// Work metric: shortest-path invocations inside the solver.
+  std::size_t sp_calls = 0;
+};
+
+struct TeOptions {
+  double epsilon = 0.05;     ///< MCF accuracy
+  std::size_t k_paths = 4;   ///< path budget for max-min fairness
+};
+
+class TeController {
+ public:
+  explicit TeController(const topology::WanTopology& wan) : wan_(wan) {}
+  /// The controller keeps a reference to the topology; temporaries would dangle.
+  explicit TeController(topology::WanTopology&&) = delete;
+
+  /// Max concurrent flow on the WAN.
+  TeSolution solve_max_concurrent(const std::vector<lp::Commodity>& commodities,
+                                  const TeOptions& options = {}) const;
+
+  /// Progressive filling (water-filling) over each commodity's k shortest
+  /// paths: all commodities' rates rise together until paths saturate;
+  /// saturated commodities freeze. Approximate max-min fair allocation.
+  TeSolution solve_max_min_fair(const std::vector<lp::Commodity>& commodities,
+                                const TeOptions& options = {}) const;
+
+  /// Routes every commodity fully along its single shortest (latency)
+  /// path; returns loads/utilizations. This is what the network does with
+  /// no TE — the baseline utilization signal capacity planning consumes.
+  lp::FixedRoutingResult shortest_path_routing(
+      const std::vector<lp::Commodity>& commodities) const;
+
+  const topology::WanTopology& wan() const noexcept { return wan_; }
+
+ private:
+  const topology::WanTopology& wan_;
+};
+
+}  // namespace smn::te

@@ -1,0 +1,114 @@
+#include "telemetry/bandwidth_log.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace smn::telemetry {
+
+void BandwidthLog::sort() {
+  std::stable_sort(records_.begin(), records_.end(),
+                   [](const BandwidthRecord& a, const BandwidthRecord& b) {
+                     if (a.timestamp != b.timestamp) return a.timestamp < b.timestamp;
+                     if (a.src != b.src) return a.src < b.src;
+                     return a.dst < b.dst;
+                   });
+}
+
+std::pair<util::SimTime, util::SimTime> BandwidthLog::time_range() const noexcept {
+  if (records_.empty()) return {0, 0};
+  util::SimTime lo = records_.front().timestamp;
+  util::SimTime hi = lo;
+  for (const BandwidthRecord& r : records_) {
+    lo = std::min(lo, r.timestamp);
+    hi = std::max(hi, r.timestamp);
+  }
+  return {lo, hi};
+}
+
+std::vector<std::pair<std::string, std::string>> BandwidthLog::pairs() const {
+  std::vector<std::pair<std::string, std::string>> out;
+  std::map<std::pair<std::string, std::string>, bool> seen;
+  for (const BandwidthRecord& r : records_) {
+    const auto key = std::make_pair(r.src, r.dst);
+    if (!seen.contains(key)) {
+      seen.emplace(key, true);
+      out.push_back(key);
+    }
+  }
+  return out;
+}
+
+std::map<std::pair<std::string, std::string>, std::vector<std::pair<util::SimTime, double>>>
+BandwidthLog::series_by_pair() const {
+  std::map<std::pair<std::string, std::string>, std::vector<std::pair<util::SimTime, double>>> out;
+  for (const BandwidthRecord& r : records_) {
+    out[{r.src, r.dst}].emplace_back(r.timestamp, r.bw_gbps);
+  }
+  return out;
+}
+
+double BandwidthLog::total_volume() const noexcept {
+  double total = 0.0;
+  for (const BandwidthRecord& r : records_) total += r.bw_gbps;
+  return total;
+}
+
+std::string BandwidthLog::to_listing_format() const {
+  std::ostringstream out;
+  out << "# Format: ts, src_dc, dst_dc, bw_Gbps\n";
+  for (const BandwidthRecord& r : records_) {
+    out << util::format_iso8601(r.timestamp) << ", " << r.src << ", " << r.dst << ", "
+        << util::format_double(r.bw_gbps, 0) << '\n';
+  }
+  return out.str();
+}
+
+BandwidthLog BandwidthLog::from_listing_format(const std::string& text, std::size_t* skipped) {
+  BandwidthLog log;
+  std::size_t bad = 0;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string_view trimmed = util::trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    const auto fields = util::split(trimmed, ',');
+    if (fields.size() != 4) {
+      ++bad;
+      continue;
+    }
+    BandwidthRecord record;
+    if (!util::parse_iso8601(std::string(util::trim(fields[0])), record.timestamp)) {
+      ++bad;
+      continue;
+    }
+    record.src = std::string(util::trim(fields[1]));
+    record.dst = std::string(util::trim(fields[2]));
+    try {
+      record.bw_gbps = std::stod(std::string(util::trim(fields[3])));
+    } catch (...) {
+      ++bad;
+      continue;
+    }
+    if (record.src.empty() || record.dst.empty() || record.bw_gbps < 0.0) {
+      ++bad;
+      continue;
+    }
+    log.append(std::move(record));
+  }
+  if (skipped != nullptr) *skipped = bad;
+  return log;
+}
+
+std::size_t BandwidthLog::approximate_bytes() const noexcept {
+  // "2025-06-01T00:00, us-e1, eu-w1, 1250\n" — timestamp (16) + separators
+  // (6) + value (~6) + names.
+  std::size_t bytes = 0;
+  for (const BandwidthRecord& r : records_) {
+    bytes += 16 + 6 + 6 + r.src.size() + r.dst.size() + 1;
+  }
+  return bytes;
+}
+
+}  // namespace smn::telemetry

@@ -1,0 +1,70 @@
+// Bandwidth demand logs, Listing 1 of the paper:
+//
+//   # Format: ts, src_dc, dst_dc, bw_Gbps
+//   2025-06-01T00:00, us-e1, eu-w1, 1250
+//
+// Each record is the demand between a datacenter pair in one five-minute
+// window. These logs are the fine structure S of the §4 coarsenings.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/sim_time.h"
+
+namespace smn::telemetry {
+
+struct BandwidthRecord {
+  util::SimTime timestamp = 0;
+  std::string src;
+  std::string dst;
+  double bw_gbps = 0.0;
+
+  bool operator==(const BandwidthRecord&) const = default;
+};
+
+/// Append-oriented log of bandwidth records. Records are expected in
+/// non-decreasing timestamp order (the generator produces them that way);
+/// `sort()` restores the invariant after merges.
+class BandwidthLog {
+ public:
+  void append(BandwidthRecord record) { records_.push_back(std::move(record)); }
+
+  const std::vector<BandwidthRecord>& records() const noexcept { return records_; }
+  std::size_t record_count() const noexcept { return records_.size(); }
+  bool empty() const noexcept { return records_.empty(); }
+
+  /// Stable-sorts by (timestamp, src, dst).
+  void sort();
+
+  /// Time range covered: {min_ts, max_ts}; {0, 0} when empty.
+  std::pair<util::SimTime, util::SimTime> time_range() const noexcept;
+
+  /// Distinct (src, dst) pairs in first-seen order.
+  std::vector<std::pair<std::string, std::string>> pairs() const;
+
+  /// Per-pair series of (timestamp, bw) in log order.
+  std::map<std::pair<std::string, std::string>, std::vector<std::pair<util::SimTime, double>>>
+  series_by_pair() const;
+
+  /// Total demand summed over all records (Gbps x epochs).
+  double total_volume() const noexcept;
+
+  /// Serializes in the Listing-1 text format, with the header comment.
+  std::string to_listing_format() const;
+
+  /// Parses the Listing-1 format; malformed lines are skipped and counted
+  /// in `*skipped` when provided.
+  static BandwidthLog from_listing_format(const std::string& text,
+                                          std::size_t* skipped = nullptr);
+
+  /// Approximate serialized size in bytes (for storage-reduction reports).
+  std::size_t approximate_bytes() const noexcept;
+
+ private:
+  std::vector<BandwidthRecord> records_;
+};
+
+}  // namespace smn::telemetry

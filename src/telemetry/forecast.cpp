@@ -1,0 +1,134 @@
+#include "telemetry/forecast.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace smn::telemetry {
+
+Series extract_series(const BandwidthLog& log, const std::string& src, const std::string& dst,
+                      util::SimTime epoch) {
+  if (epoch <= 0) throw std::invalid_argument("extract_series: epoch must be positive");
+  std::map<util::SimTime, double> points;
+  for (const BandwidthRecord& r : log.records()) {
+    if (r.src == src && r.dst == dst) points[r.timestamp] = r.bw_gbps;
+  }
+  Series series;
+  series.epoch = epoch;
+  if (points.empty()) return series;
+  series.start = points.begin()->first;
+  const util::SimTime last = points.rbegin()->first;
+  const auto n = static_cast<std::size_t>((last - series.start) / epoch) + 1;
+  series.values.assign(n, std::numeric_limits<double>::quiet_NaN());
+  for (const auto& [t, v] : points) {
+    const auto idx = static_cast<std::size_t>((t - series.start) / epoch);
+    if (idx < n) series.values[idx] = v;
+  }
+  // Fill gaps: linear interpolation between known neighbors.
+  std::size_t prev_known = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (std::isnan(series.values[i])) continue;
+    if (i > prev_known + 1 && !std::isnan(series.values[prev_known])) {
+      const double lo = series.values[prev_known];
+      const double hi = series.values[i];
+      for (std::size_t j = prev_known + 1; j < i; ++j) {
+        const double frac = static_cast<double>(j - prev_known) /
+                            static_cast<double>(i - prev_known);
+        series.values[j] = lo + frac * (hi - lo);
+      }
+    }
+    prev_known = i;
+  }
+  // Edge gaps repeat the nearest known value.
+  double last_known = 0.0;
+  bool seen = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!std::isnan(series.values[i])) {
+      if (!seen) {
+        for (std::size_t j = 0; j < i; ++j) series.values[j] = series.values[i];
+      }
+      last_known = series.values[i];
+      seen = true;
+    } else if (seen) {
+      series.values[i] = last_known;
+    }
+  }
+  return series;
+}
+
+std::string forecast_method_name(ForecastMethod method) {
+  switch (method) {
+    case ForecastMethod::kSeasonalNaive:
+      return "seasonal-naive";
+    case ForecastMethod::kEwma:
+      return "ewma";
+    case ForecastMethod::kSeasonalGrowth:
+      return "seasonal+growth";
+  }
+  return "?";
+}
+
+namespace {
+
+std::vector<double> ewma_forecast(const Series& history, std::size_t horizon, double alpha) {
+  double level = history.values.empty() ? 0.0 : history.values.front();
+  for (const double v : history.values) level = alpha * v + (1.0 - alpha) * level;
+  return std::vector<double>(horizon, level);
+}
+
+}  // namespace
+
+std::vector<double> forecast(const Series& history, std::size_t horizon, ForecastMethod method,
+                             const ForecastOptions& options) {
+  if (horizon == 0) return {};
+  const std::size_t n = history.size();
+  if (method == ForecastMethod::kEwma || n < options.season || options.season == 0) {
+    return ewma_forecast(history, horizon, options.ewma_alpha);
+  }
+
+  // Seasonal-naive core: value one season ago (wrapping forward for long
+  // horizons).
+  std::vector<double> out(horizon, 0.0);
+  for (std::size_t h = 0; h < horizon; ++h) {
+    const std::size_t offset = (h % options.season);
+    out[h] = history.values[n - options.season + offset];
+  }
+
+  if (method == ForecastMethod::kSeasonalGrowth && n >= 2 * options.season) {
+    // Trailing week-over-week growth ratio, clamped to a sane band.
+    double recent = 0.0, previous = 0.0;
+    for (std::size_t i = n - options.season; i < n; ++i) recent += history.values[i];
+    for (std::size_t i = n - 2 * options.season; i < n - options.season; ++i) {
+      previous += history.values[i];
+    }
+    const double growth =
+        previous > 0.0 ? std::clamp(recent / previous, 0.5, 2.0) : 1.0;
+    for (double& v : out) v *= growth;
+  }
+  return out;
+}
+
+double forecast_mape(const Series& actuals, ForecastMethod method, std::size_t horizon,
+                     std::size_t min_history, const ForecastOptions& options) {
+  const std::size_t n = actuals.size();
+  if (horizon == 0 || min_history == 0 || n <= min_history) return 0.0;
+  double total = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t split = min_history; split + 1 <= n; split += horizon) {
+    Series prefix;
+    prefix.start = actuals.start;
+    prefix.epoch = actuals.epoch;
+    prefix.values.assign(actuals.values.begin(),
+                         actuals.values.begin() + static_cast<std::ptrdiff_t>(split));
+    const auto predicted = forecast(prefix, horizon, method, options);
+    for (std::size_t h = 0; h < horizon && split + h < n; ++h) {
+      const double truth = actuals.values[split + h];
+      if (truth == 0.0) continue;
+      total += std::abs((truth - predicted[h]) / truth);
+      ++counted;
+    }
+  }
+  return counted ? total / static_cast<double>(counted) : 0.0;
+}
+
+}  // namespace smn::telemetry

@@ -1,0 +1,64 @@
+// Demand forecasting from bandwidth logs (§4): "in wide-area SDNs, these
+// historical logs are used to forecast future demand [19, 20, 26, 46]."
+// The forecasters here are the standard operational baselines:
+//
+//   * seasonal-naive — next week looks like last week at the same epoch
+//     (captures the diurnal/weekly structure that dominates WAN traffic);
+//   * EWMA — exponentially weighted moving average (captures level
+//     shifts, ignores seasonality);
+//   * seasonal + growth — seasonal-naive scaled by the trailing
+//     week-over-week growth ratio (captures the §4 long-term trend).
+//
+// Forecasters run on per-pair series extracted from either fine logs or
+// coarse reconstructions, which is how the coarsening experiments measure
+// what summarization does to forecast quality.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "telemetry/bandwidth_log.h"
+
+namespace smn::telemetry {
+
+/// A per-pair, fixed-epoch series (values at start + i * epoch).
+struct Series {
+  util::SimTime start = 0;
+  util::SimTime epoch = util::kTelemetryEpoch;
+  std::vector<double> values;
+
+  std::size_t size() const noexcept { return values.size(); }
+};
+
+/// Extracts a dense series for `src`->`dst` from `log` (missing epochs are
+/// linearly interpolated; leading/trailing gaps repeat the edge value).
+/// Returns an empty series when the pair never appears.
+Series extract_series(const BandwidthLog& log, const std::string& src, const std::string& dst,
+                      util::SimTime epoch = util::kTelemetryEpoch);
+
+enum class ForecastMethod { kSeasonalNaive, kEwma, kSeasonalGrowth };
+
+std::string forecast_method_name(ForecastMethod method);
+
+struct ForecastOptions {
+  /// Season length in epochs (one week of five-minute epochs by default).
+  std::size_t season = static_cast<std::size_t>(util::kWeek / util::kTelemetryEpoch);
+  double ewma_alpha = 0.2;
+};
+
+/// Forecasts `horizon` epochs past the end of `history`. Requires at least
+/// one season of history for the seasonal methods (falls back to EWMA
+/// otherwise).
+std::vector<double> forecast(const Series& history, std::size_t horizon, ForecastMethod method,
+                             const ForecastOptions& options = {});
+
+/// Walk-forward evaluation: repeatedly forecast the next `horizon` epochs
+/// from a growing prefix (starting at `min_history`), compare against the
+/// actuals, and return the MAPE over all forecast points.
+double forecast_mape(const Series& actuals, ForecastMethod method, std::size_t horizon,
+                     std::size_t min_history, const ForecastOptions& options = {});
+
+}  // namespace smn::telemetry

@@ -1,0 +1,53 @@
+#include "telemetry/log_store.h"
+
+namespace smn::telemetry {
+
+void BandwidthLogStore::ingest(const BandwidthLog& log) {
+  for (const BandwidthRecord& r : log.records()) {
+    const util::SimTime day = (r.timestamp / util::kDay) * util::kDay;
+    segments_[day].append(r);
+  }
+}
+
+std::size_t BandwidthLogStore::coarsen_older_than(util::SimTime now, util::SimTime max_fine_age,
+                                                  util::SimTime window) {
+  const TimeCoarsener coarsener(window);
+  std::size_t retired = 0;
+  for (auto it = segments_.begin(); it != segments_.end();) {
+    const util::SimTime segment_end = it->first + util::kDay;
+    if (now - segment_end < max_fine_age) {
+      ++it;
+      continue;
+    }
+    const CoarseBandwidthLog summarized = coarsener.coarsen(it->second);
+    for (const WindowSummary& s : summarized.summaries()) coarse_.append(s);
+    retired += it->second.record_count();
+    it = segments_.erase(it);
+  }
+  return retired;
+}
+
+BandwidthLog BandwidthLogStore::fine_range(util::SimTime begin, util::SimTime end) const {
+  BandwidthLog out;
+  for (const auto& [day, segment] : segments_) {
+    if (day >= end || day + util::kDay <= begin) continue;
+    for (const BandwidthRecord& r : segment.records()) {
+      if (r.timestamp >= begin && r.timestamp < end) out.append(r);
+    }
+  }
+  out.sort();
+  return out;
+}
+
+LogStoreStats BandwidthLogStore::stats() const noexcept {
+  LogStoreStats s;
+  for (const auto& [_, segment] : segments_) {
+    s.fine_records += segment.record_count();
+    s.fine_bytes += segment.approximate_bytes();
+  }
+  s.coarse_summaries = coarse_.summary_count();
+  s.coarse_bytes = coarse_.approximate_bytes();
+  return s;
+}
+
+}  // namespace smn::telemetry

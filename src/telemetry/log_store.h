@@ -1,0 +1,49 @@
+// Telemetry log store: the bandwidth-log shard of the CLDS. Fine records
+// are held in daily segments; a background coarsening pass rewrites old
+// segments into window summaries ("coarsenings in time", §6), keeping the
+// store's footprint bounded while recent data stays fully fine-grained.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "telemetry/bandwidth_log.h"
+#include "telemetry/time_coarsening.h"
+
+namespace smn::telemetry {
+
+/// Footprint report of the store.
+struct LogStoreStats {
+  std::size_t fine_records = 0;
+  std::size_t coarse_summaries = 0;
+  std::size_t fine_bytes = 0;
+  std::size_t coarse_bytes = 0;
+
+  std::size_t total_bytes() const noexcept { return fine_bytes + coarse_bytes; }
+};
+
+class BandwidthLogStore {
+ public:
+  /// Appends records into day-keyed fine segments.
+  void ingest(const BandwidthLog& log);
+
+  /// Rewrites fine segments older than `max_fine_age` (relative to `now`)
+  /// into summaries with `window`. Returns the number of records retired.
+  std::size_t coarsen_older_than(util::SimTime now, util::SimTime max_fine_age,
+                                 util::SimTime window);
+
+  /// Fine records in [begin, end), across segments, timestamp-sorted.
+  BandwidthLog fine_range(util::SimTime begin, util::SimTime end) const;
+
+  /// All coarse summaries produced by retention passes so far.
+  const CoarseBandwidthLog& coarse() const noexcept { return coarse_; }
+
+  LogStoreStats stats() const noexcept;
+
+ private:
+  std::map<util::SimTime, BandwidthLog> segments_;  ///< key: day start
+  CoarseBandwidthLog coarse_;
+};
+
+}  // namespace smn::telemetry

@@ -1,0 +1,171 @@
+#include "telemetry/time_coarsening.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "util/stats.h"
+
+namespace smn::telemetry {
+
+std::vector<WindowSummary> CoarseBandwidthLog::pair_summaries(const std::string& src,
+                                                              const std::string& dst) const {
+  std::vector<WindowSummary> out;
+  for (const WindowSummary& s : summaries_) {
+    if (s.src == src && s.dst == dst) out.push_back(s);
+  }
+  std::sort(out.begin(), out.end(), [](const WindowSummary& a, const WindowSummary& b) {
+    return a.window_start < b.window_start;
+  });
+  return out;
+}
+
+double CoarseBandwidthLog::pair_mean(const std::string& src, const std::string& dst) const {
+  double weighted = 0.0;
+  std::size_t samples = 0;
+  for (const WindowSummary& s : summaries_) {
+    if (s.src == src && s.dst == dst) {
+      weighted += s.mean * static_cast<double>(s.sample_count);
+      samples += s.sample_count;
+    }
+  }
+  return samples ? weighted / static_cast<double>(samples) : 0.0;
+}
+
+double CoarseBandwidthLog::pair_p95_upper(const std::string& src, const std::string& dst) const {
+  double best = 0.0;
+  for (const WindowSummary& s : summaries_) {
+    if (s.src == src && s.dst == dst) best = std::max(best, s.p95);
+  }
+  return best;
+}
+
+BandwidthLog CoarseBandwidthLog::reconstruct(util::SimTime epoch) const {
+  BandwidthLog log;
+  if (epoch <= 0) return log;
+  for (const WindowSummary& s : summaries_) {
+    const util::SimTime end = s.window_start + s.window_length;
+    for (util::SimTime t = s.window_start; t < end; t += epoch) {
+      BandwidthRecord record;
+      record.timestamp = t;
+      record.src = s.src;
+      record.dst = s.dst;
+      record.bw_gbps = s.mean;
+      log.append(std::move(record));
+    }
+  }
+  log.sort();
+  return log;
+}
+
+std::size_t CoarseBandwidthLog::approximate_bytes() const noexcept {
+  std::size_t bytes = 0;
+  for (const WindowSummary& s : summaries_) {
+    // window bounds (2 x 16) + five statistics (~6 each) + names + commas.
+    bytes += 32 + 5 * 6 + s.src.size() + s.dst.size() + 8;
+  }
+  return bytes;
+}
+
+TimeCoarsener::TimeCoarsener(util::SimTime window) : window_(window) {
+  if (window_ <= 0) throw std::invalid_argument("TimeCoarsener: window must be positive");
+}
+
+std::string TimeCoarsener::name() const {
+  return "time-window-" + std::to_string(window_ / util::kMinute) + "min";
+}
+
+CoarseBandwidthLog TimeCoarsener::coarsen(const BandwidthLog& fine) const {
+  // Bucket records by (pair, window index).
+  std::map<std::tuple<std::string, std::string, util::SimTime>, std::vector<double>> buckets;
+  for (const BandwidthRecord& r : fine.records()) {
+    const util::SimTime window_start = (r.timestamp / window_) * window_;
+    buckets[{r.src, r.dst, window_start}].push_back(r.bw_gbps);
+  }
+  CoarseBandwidthLog coarse;
+  for (auto& [key, values] : buckets) {
+    const util::Summary stats = util::summarize(values);
+    WindowSummary s;
+    s.window_start = std::get<2>(key);
+    s.window_length = window_;
+    s.src = std::get<0>(key);
+    s.dst = std::get<1>(key);
+    s.sample_count = stats.count;
+    s.mean = stats.mean;
+    s.p50 = stats.p50;
+    s.p95 = stats.p95;
+    s.min = stats.min;
+    s.max = stats.max;
+    coarse.append(std::move(s));
+  }
+  return coarse;
+}
+
+NestedTimeCoarsener::NestedTimeCoarsener(std::vector<NestedLevel> levels, util::SimTime now,
+                                         util::SimTime epoch)
+    : levels_(std::move(levels)), now_(now), epoch_(epoch) {
+  if (epoch_ <= 0) throw std::invalid_argument("NestedTimeCoarsener: epoch must be positive");
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    if (levels_[i].window <= 0) {
+      throw std::invalid_argument("NestedTimeCoarsener: windows must be positive");
+    }
+    if (i > 0 && (levels_[i].min_age <= levels_[i - 1].min_age ||
+                  levels_[i].window < levels_[i - 1].window)) {
+      throw std::invalid_argument(
+          "NestedTimeCoarsener: levels must have increasing ages and windows");
+    }
+  }
+}
+
+NestedTimeCoarsener NestedTimeCoarsener::standard_ladder(util::SimTime now) {
+  return NestedTimeCoarsener(
+      {
+          {util::kDay, util::kHour},
+          {util::kWeek, util::kDay},
+          {13 * util::kWeek, util::kWeek},
+      },
+      now);
+}
+
+std::string NestedTimeCoarsener::name() const {
+  return "nested-time-" + std::to_string(levels_.size()) + "levels";
+}
+
+util::SimTime NestedTimeCoarsener::window_for_age(util::SimTime age) const noexcept {
+  util::SimTime window = epoch_;
+  for (const NestedLevel& level : levels_) {
+    if (age >= level.min_age) window = level.window;
+  }
+  return window;
+}
+
+CoarseBandwidthLog NestedTimeCoarsener::coarsen(const BandwidthLog& fine) const {
+  std::map<std::tuple<std::string, std::string, util::SimTime, util::SimTime>,
+           std::vector<double>>
+      buckets;  // key: (src, dst, window_start, window_length)
+  for (const BandwidthRecord& r : fine.records()) {
+    const util::SimTime age = std::max<util::SimTime>(0, now_ - r.timestamp);
+    const util::SimTime window = window_for_age(age);
+    const util::SimTime window_start = (r.timestamp / window) * window;
+    buckets[{r.src, r.dst, window_start, window}].push_back(r.bw_gbps);
+  }
+  CoarseBandwidthLog coarse;
+  for (auto& [key, values] : buckets) {
+    const util::Summary stats = util::summarize(values);
+    WindowSummary s;
+    s.src = std::get<0>(key);
+    s.dst = std::get<1>(key);
+    s.window_start = std::get<2>(key);
+    s.window_length = std::get<3>(key);
+    s.sample_count = stats.count;
+    s.mean = stats.mean;
+    s.p50 = stats.p50;
+    s.p95 = stats.p95;
+    s.min = stats.min;
+    s.max = stats.max;
+    coarse.append(std::move(s));
+  }
+  return coarse;
+}
+
+}  // namespace smn::telemetry

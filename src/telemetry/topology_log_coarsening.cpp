@@ -1,0 +1,48 @@
+#include "telemetry/topology_log_coarsening.h"
+
+#include <map>
+#include <stdexcept>
+
+namespace smn::telemetry {
+
+TopologyLogCoarsener::TopologyLogCoarsener(const topology::WanTopology& wan,
+                                           graph::Partition partition) {
+  if (!partition.valid_for(wan.graph())) {
+    throw std::invalid_argument("TopologyLogCoarsener: partition does not cover the WAN");
+  }
+  for (graph::NodeId n = 0; n < wan.datacenter_count(); ++n) {
+    dc_to_group_.emplace(wan.datacenter(n).name,
+                         partition.group_names[partition.group_of[n]]);
+  }
+}
+
+std::string TopologyLogCoarsener::group_of(const std::string& dc_name) const {
+  const auto it = dc_to_group_.find(dc_name);
+  return it == dc_to_group_.end() ? std::string{} : it->second;
+}
+
+BandwidthLog TopologyLogCoarsener::coarsen(const BandwidthLog& fine) const {
+  // Aggregate per (epoch, group pair). Unknown datacenters are dropped —
+  // the coarse view cannot represent them.
+  std::map<std::tuple<util::SimTime, std::string, std::string>, double> sums;
+  for (const BandwidthRecord& r : fine.records()) {
+    const auto src_it = dc_to_group_.find(r.src);
+    const auto dst_it = dc_to_group_.find(r.dst);
+    if (src_it == dc_to_group_.end() || dst_it == dc_to_group_.end()) continue;
+    if (src_it->second == dst_it->second) continue;  // intra-supernode traffic vanishes
+    sums[{r.timestamp, src_it->second, dst_it->second}] += r.bw_gbps;
+  }
+  BandwidthLog coarse;
+  for (const auto& [key, bw] : sums) {
+    BandwidthRecord record;
+    record.timestamp = std::get<0>(key);
+    record.src = std::get<1>(key);
+    record.dst = std::get<2>(key);
+    record.bw_gbps = bw;
+    coarse.append(std::move(record));
+  }
+  coarse.sort();
+  return coarse;
+}
+
+}  // namespace smn::telemetry

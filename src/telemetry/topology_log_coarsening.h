@@ -1,0 +1,41 @@
+// Topology-based coarsening of bandwidth logs (§4): records between
+// datacenter pairs collapse into records between supernode pairs, using the
+// same partition the SupernodeCoarsener applies to the graph — so the
+// coarse log and the coarse topology stay mutually consistent for TE.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "core/coarsening.h"
+#include "graph/contraction.h"
+#include "telemetry/bandwidth_log.h"
+#include "topology/wan.h"
+
+namespace smn::telemetry {
+
+/// Maps fine logs to supernode logs. Demands between datacenters in the
+/// same supernode vanish (they become internal traffic the coarse
+/// optimization cannot see — part of "what's lost" in Table 2); demands
+/// across supernodes sum per epoch.
+class TopologyLogCoarsener final : public core::Coarsener<BandwidthLog, BandwidthLog> {
+ public:
+  /// `partition` must cover `wan`'s datacenters; names resolve through
+  /// `wan`. Throws std::invalid_argument otherwise.
+  TopologyLogCoarsener(const topology::WanTopology& wan, graph::Partition partition);
+
+  std::string name() const override { return "topology-supernode-log"; }
+  BandwidthLog coarsen(const BandwidthLog& fine) const override;
+  std::size_t fine_size(const BandwidthLog& fine) const override { return fine.record_count(); }
+  std::size_t coarse_size(const BandwidthLog& coarse) const override {
+    return coarse.record_count();
+  }
+
+  /// Supernode name for datacenter `dc_name`; empty when unknown.
+  std::string group_of(const std::string& dc_name) const;
+
+ private:
+  std::unordered_map<std::string, std::string> dc_to_group_;
+};
+
+}  // namespace smn::telemetry

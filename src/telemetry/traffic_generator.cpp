@@ -1,0 +1,177 @@
+#include "telemetry/traffic_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numbers>
+#include <set>
+#include <stdexcept>
+
+namespace smn::telemetry {
+namespace {
+
+// Continent -> diurnal phase (fraction of day the local peak shifts by).
+double continent_phase(const std::string& continent) noexcept {
+  if (continent == "na") return 0.00;
+  if (continent == "sa") return 0.05;
+  if (continent == "eu") return 0.25;
+  if (continent == "af") return 0.30;
+  if (continent == "me") return 0.35;
+  if (continent == "as") return 0.45;
+  if (continent == "oc") return 0.60;
+  return 0.0;
+}
+
+// Deterministic 64-bit mix for per-(pair, epoch) noise streams.
+std::uint64_t mix(std::uint64_t a, std::uint64_t b, std::uint64_t c) noexcept {
+  std::uint64_t x = a * 0x9e3779b97f4a7c15ULL ^ b * 0xbf58476d1ce4e5b9ULL ^
+                    c * 0x94d049bb133111ebULL;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+TrafficGenerator::TrafficGenerator(const topology::WanTopology& wan, TrafficConfig config)
+    : wan_(wan), config_(config) {
+  if (config_.epoch <= 0) throw std::invalid_argument("TrafficGenerator: epoch must be positive");
+  if (config_.duration <= 0) {
+    throw std::invalid_argument("TrafficGenerator: duration must be positive");
+  }
+  const std::size_t n = wan_.datacenter_count();
+  if (n < 2) throw std::invalid_argument("TrafficGenerator: need at least two datacenters");
+
+  util::Rng rng(config_.seed);
+  const std::size_t all_pairs = n * (n - 1);
+  std::size_t wanted = config_.active_pairs == 0 ? all_pairs : config_.active_pairs;
+  wanted = std::min(wanted, all_pairs);
+
+  // Sample distinct ordered pairs.
+  std::vector<std::size_t> indices;
+  if (wanted == all_pairs) {
+    indices.resize(all_pairs);
+    for (std::size_t i = 0; i < all_pairs; ++i) indices[i] = i;
+  } else if (config_.intra_continent_fraction <= 0.0) {
+    // Floyd's sampling over the flattened ordered-pair index space.
+    std::vector<bool> chosen(all_pairs, false);
+    for (std::size_t i = all_pairs - wanted; i < all_pairs; ++i) {
+      const auto draw =
+          static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(i)));
+      if (chosen[draw]) {
+        chosen[i] = true;
+        indices.push_back(i);
+      } else {
+        chosen[draw] = true;
+        indices.push_back(draw);
+      }
+    }
+    std::sort(indices.begin(), indices.end());
+  } else {
+    // Locality-biased rejection sampling: a `intra_continent_fraction`
+    // share of pairs stays within one continent.
+    std::vector<std::vector<graph::NodeId>> by_continent;
+    {
+      std::map<std::string, std::size_t> continent_index;
+      for (graph::NodeId node = 0; node < n; ++node) {
+        const std::string& continent = wan_.datacenter(node).continent;
+        const auto [it, inserted] =
+            continent_index.emplace(continent, by_continent.size());
+        if (inserted) by_continent.emplace_back();
+        by_continent[it->second].push_back(node);
+      }
+    }
+    const auto flat_index = [n](graph::NodeId src, graph::NodeId dst) {
+      return static_cast<std::size_t>(src) * (n - 1) +
+             (dst > src ? static_cast<std::size_t>(dst) - 1 : static_cast<std::size_t>(dst));
+    };
+    std::set<std::size_t> chosen;
+    std::size_t attempts = 0;
+    while (chosen.size() < wanted && attempts < wanted * 200) {
+      ++attempts;
+      graph::NodeId src = 0, dst = 0;
+      if (rng.bernoulli(config_.intra_continent_fraction)) {
+        const auto& bucket = by_continent[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(by_continent.size()) - 1))];
+        if (bucket.size() < 2) continue;
+        src = bucket[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(bucket.size()) - 1))];
+        dst = bucket[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(bucket.size()) - 1))];
+      } else {
+        src = static_cast<graph::NodeId>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+        dst = static_cast<graph::NodeId>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+      }
+      if (src == dst) continue;
+      chosen.insert(flat_index(src, dst));
+    }
+    indices.assign(chosen.begin(), chosen.end());
+  }
+
+  pairs_.reserve(indices.size());
+  for (const std::size_t flat : indices) {
+    const auto src = static_cast<graph::NodeId>(flat / (n - 1));
+    std::size_t rem = flat % (n - 1);
+    const auto dst = static_cast<graph::NodeId>(rem >= src ? rem + 1 : rem);
+    TrafficPair pair;
+    pair.src = src;
+    pair.dst = dst;
+    pair.high_volume = rng.bernoulli(config_.high_volume_fraction);
+    const double tier_mean =
+        pair.high_volume ? config_.high_volume_mean_gbps : config_.low_volume_mean_gbps;
+    // Pareto with mean tier_mean: scale = mean * (shape-1)/shape.
+    const double scale = tier_mean * (config_.pareto_shape - 1.0) / config_.pareto_shape;
+    pair.base_gbps = std::min(rng.pareto(scale, config_.pareto_shape), tier_mean * 20.0);
+    pair.diurnal_phase = continent_phase(wan_.datacenter(src).continent);
+    pairs_.push_back(pair);
+  }
+}
+
+std::size_t TrafficGenerator::epoch_count() const noexcept {
+  return static_cast<std::size_t>((config_.duration + config_.epoch - 1) / config_.epoch);
+}
+
+double TrafficGenerator::latent_demand_at(std::size_t index, util::SimTime t) const {
+  const TrafficPair& pair = pairs_.at(index);
+  const double tod = util::time_of_day_fraction(t);
+  const double diurnal =
+      1.0 + config_.diurnal_amplitude *
+                std::sin(2.0 * std::numbers::pi * (tod - pair.diurnal_phase));
+  const int dow = util::day_of_week(t);
+  // 2025-01-01 is Wednesday => dow 3 = Saturday, dow 4 = Sunday.
+  const double weekly = (dow == 3 || dow == 4) ? config_.weekend_factor : 1.0;
+  const double holiday = util::is_holiday(t) ? config_.holiday_spike_factor : 1.0;
+  const double years = static_cast<double>(t) / static_cast<double>(util::kYear);
+  const double growth = std::pow(1.0 + config_.annual_growth, years);
+  return pair.base_gbps * diurnal * weekly * holiday * growth;
+}
+
+double TrafficGenerator::demand_at(std::size_t index, util::SimTime t) const {
+  const auto epoch_index = static_cast<std::uint64_t>(t / config_.epoch);
+  const std::uint64_t h = mix(config_.seed, index, epoch_index);
+  util::Rng noise_rng(h);
+  const double noise = noise_rng.lognormal(0.0, config_.noise_sigma);
+  return latent_demand_at(index, t) * noise;
+}
+
+BandwidthLog TrafficGenerator::generate() const {
+  BandwidthLog log;
+  const std::size_t epochs = epoch_count();
+  for (std::size_t e = 0; e < epochs; ++e) {
+    const util::SimTime t = config_.start + static_cast<util::SimTime>(e) * config_.epoch;
+    for (std::size_t p = 0; p < pairs_.size(); ++p) {
+      BandwidthRecord record;
+      record.timestamp = t;
+      record.src = wan_.datacenter(pairs_[p].src).name;
+      record.dst = wan_.datacenter(pairs_[p].dst).name;
+      record.bw_gbps = demand_at(p, t);
+      log.append(std::move(record));
+    }
+  }
+  return log;
+}
+
+}  // namespace smn::telemetry

@@ -1,0 +1,204 @@
+#include "topology/supernode.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+namespace smn::topology {
+
+SupernodeCoarsener SupernodeCoarsener::by_region() {
+  return SupernodeCoarsener(Mode::kRegion, 0);
+}
+
+SupernodeCoarsener SupernodeCoarsener::by_continent() {
+  return SupernodeCoarsener(Mode::kContinent, 0);
+}
+
+SupernodeCoarsener SupernodeCoarsener::by_target_count(std::size_t target) {
+  if (target == 0) {
+    throw std::invalid_argument("SupernodeCoarsener: target must be >= 1");
+  }
+  return SupernodeCoarsener(Mode::kTargetCount, target);
+}
+
+std::string SupernodeCoarsener::name() const {
+  switch (mode_) {
+    case Mode::kRegion:
+      return "supernode-region";
+    case Mode::kContinent:
+      return "supernode-continent";
+    case Mode::kTargetCount:
+      return "supernode-k" + std::to_string(target_);
+  }
+  return "supernode";
+}
+
+graph::Partition SupernodeCoarsener::partition_for(const WanTopology& wan) const {
+  if (mode_ == Mode::kRegion) return wan.region_partition();
+  if (mode_ == Mode::kContinent) return wan.continent_partition();
+
+  // Target-count mode: agglomerative merging of region groups by centroid
+  // distance until `target_` groups remain.
+  graph::Partition partition = wan.region_partition();
+  const std::size_t group_count = partition.group_count();
+  if (target_ >= group_count) return partition;
+
+  struct Group {
+    double cx = 0.0, cy = 0.0;
+    std::size_t members = 0;
+    bool alive = true;
+    std::string name;
+  };
+  std::vector<Group> groups(group_count);
+  for (std::size_t gid = 0; gid < group_count; ++gid) {
+    groups[gid].name = partition.group_names[gid];
+  }
+  for (graph::NodeId n = 0; n < wan.datacenter_count(); ++n) {
+    Group& g = groups[partition.group_of[n]];
+    g.cx += wan.datacenter(n).x;
+    g.cy += wan.datacenter(n).y;
+    ++g.members;
+  }
+  for (Group& g : groups) {
+    if (g.members > 0) {
+      g.cx /= static_cast<double>(g.members);
+      g.cy /= static_cast<double>(g.members);
+    }
+  }
+
+  // Union-find over groups.
+  std::vector<std::size_t> parent(group_count);
+  for (std::size_t i = 0; i < group_count; ++i) parent[i] = i;
+  const auto find = [&](std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+
+  std::size_t alive = group_count;
+  while (alive > target_) {
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t best_a = 0, best_b = 0;
+    for (std::size_t a = 0; a < group_count; ++a) {
+      if (!groups[a].alive) continue;
+      for (std::size_t b = a + 1; b < group_count; ++b) {
+        if (!groups[b].alive) continue;
+        const double dx = groups[a].cx - groups[b].cx;
+        const double dy = groups[a].cy - groups[b].cy;
+        const double d = dx * dx + dy * dy;
+        if (d < best) {
+          best = d;
+          best_a = a;
+          best_b = b;
+        }
+      }
+    }
+    // Merge b into a: weighted centroid, union in the forest.
+    Group& ga = groups[best_a];
+    Group& gb = groups[best_b];
+    const double total = static_cast<double>(ga.members + gb.members);
+    ga.cx = (ga.cx * static_cast<double>(ga.members) + gb.cx * static_cast<double>(gb.members)) / total;
+    ga.cy = (ga.cy * static_cast<double>(ga.members) + gb.cy * static_cast<double>(gb.members)) / total;
+    ga.members += gb.members;
+    gb.alive = false;
+    parent[find(best_b)] = find(best_a);
+    --alive;
+  }
+
+  // Re-number surviving roots densely and rebuild the partition.
+  graph::Partition merged;
+  merged.group_of.resize(wan.datacenter_count());
+  std::map<std::size_t, graph::NodeId> root_to_id;
+  for (std::size_t gid = 0; gid < group_count; ++gid) {
+    const std::size_t root = find(gid);
+    if (!root_to_id.contains(root)) {
+      const auto id = static_cast<graph::NodeId>(merged.group_names.size());
+      root_to_id.emplace(root, id);
+      merged.group_names.push_back("super-" + std::to_string(id + 1) + "(" +
+                                   groups[root].name + ")");
+    }
+  }
+  for (graph::NodeId n = 0; n < wan.datacenter_count(); ++n) {
+    merged.group_of[n] = root_to_id.at(find(partition.group_of[n]));
+  }
+  return merged;
+}
+
+WanTopology SupernodeCoarsener::coarsen(const WanTopology& wan) const {
+  return coarsen_with_partition(wan, partition_for(wan));
+}
+
+WanTopology SupernodeCoarsener::coarsen_with_partition(const WanTopology& wan,
+                                                       const graph::Partition& partition) {
+  if (!partition.valid_for(wan.graph())) {
+    throw std::invalid_argument("coarsen_with_partition: partition does not cover the WAN");
+  }
+  WanTopology coarse;
+
+  // One synthetic "datacenter" per supernode at the member centroid; the
+  // dominant member continent labels the group.
+  struct Accum {
+    double cx = 0.0, cy = 0.0;
+    std::size_t members = 0;
+    std::map<std::string, std::size_t> continents;
+  };
+  std::vector<Accum> accums(partition.group_count());
+  for (graph::NodeId n = 0; n < wan.datacenter_count(); ++n) {
+    Accum& a = accums[partition.group_of[n]];
+    const Datacenter& dc = wan.datacenter(n);
+    a.cx += dc.x;
+    a.cy += dc.y;
+    ++a.members;
+    ++a.continents[dc.continent];
+  }
+  for (std::size_t gid = 0; gid < partition.group_count(); ++gid) {
+    const Accum& a = accums[gid];
+    Datacenter dc;
+    dc.name = partition.group_names[gid];
+    dc.region = partition.group_names[gid];
+    dc.x = a.members ? a.cx / static_cast<double>(a.members) : 0.0;
+    dc.y = a.members ? a.cy / static_cast<double>(a.members) : 0.0;
+    std::size_t best = 0;
+    for (const auto& [continent, count] : a.continents) {
+      if (count > best) {
+        best = count;
+        dc.continent = continent;
+      }
+    }
+    coarse.add_datacenter(dc);
+  }
+
+  // Merge links crossing group boundaries.
+  struct LinkAccum {
+    double capacity = 0.0;
+    double fiber_limit = 0.0;
+    double latency = std::numeric_limits<double>::infinity();
+    bool subsea = false;
+  };
+  std::map<std::pair<graph::NodeId, graph::NodeId>, LinkAccum> merged;
+  for (std::size_t li = 0; li < wan.link_count(); ++li) {
+    const WanLink& link = wan.link(li);
+    const graph::Edge& fwd = wan.graph().edge(link.forward);
+    graph::NodeId a = partition.group_of[fwd.from];
+    graph::NodeId b = partition.group_of[fwd.to];
+    if (a == b) continue;
+    if (a > b) std::swap(a, b);
+    LinkAccum& acc = merged[{a, b}];
+    acc.capacity += link.capacity_gbps;
+    acc.fiber_limit += link.fiber_limit_gbps;
+    acc.latency = std::min(acc.latency, fwd.weight);
+    acc.subsea = acc.subsea || link.subsea;
+  }
+  for (const auto& [key, acc] : merged) {
+    coarse.add_link(key.first, key.second, acc.capacity, acc.fiber_limit, acc.latency,
+                    acc.subsea);
+  }
+  return coarse;
+}
+
+}  // namespace smn::topology

@@ -1,0 +1,60 @@
+// Topology-based coarsening (§4): grouping datacenters into "supernodes"
+// so TE and capacity planning operate on a contracted graph. Supported
+// granularities: regions (~30 supernodes for a 300-DC WAN), continents
+// (the paper's degenerate 7-node example), or any target supernode count in
+// between (regions merged by geographic proximity) — the knob the Pareto
+// frontier experiment sweeps.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "core/coarsening.h"
+#include "graph/contraction.h"
+#include "topology/wan.h"
+
+namespace smn::topology {
+
+/// Coarsener from a fine WAN to a supernode WAN. Also exposes the node
+/// partition so bandwidth logs can be coarsened consistently with the
+/// topology (telemetry::TopologyLogCoarsener reuses it).
+class SupernodeCoarsener final : public core::Coarsener<WanTopology, WanTopology> {
+ public:
+  /// One supernode per region.
+  static SupernodeCoarsener by_region();
+
+  /// One supernode per continent (7 nodes at planetary scale).
+  static SupernodeCoarsener by_continent();
+
+  /// Approximately `target` supernodes: starts from regions and repeatedly
+  /// merges the two geographically closest groups. `target` >= 1.
+  static SupernodeCoarsener by_target_count(std::size_t target);
+
+  std::string name() const override;
+
+  /// Node partition induced on `wan` by this granularity.
+  graph::Partition partition_for(const WanTopology& wan) const;
+
+  /// Builds the coarse WAN: one datacenter per supernode placed at the
+  /// group centroid; inter-group links merge (capacities and fiber limits
+  /// add, latency takes the minimum, subsea if any member is subsea).
+  WanTopology coarsen(const WanTopology& wan) const override;
+
+  /// Same construction from an explicit partition, for callers that manage
+  /// their own grouping (e.g. the coarse-TE pipeline, which must keep the
+  /// log and topology coarsenings aligned).
+  static WanTopology coarsen_with_partition(const WanTopology& wan,
+                                            const graph::Partition& partition);
+
+  std::size_t fine_size(const WanTopology& wan) const override { return wan.size_measure(); }
+  std::size_t coarse_size(const WanTopology& wan) const override { return wan.size_measure(); }
+
+ private:
+  enum class Mode { kRegion, kContinent, kTargetCount };
+  SupernodeCoarsener(Mode mode, std::size_t target) : mode_(mode), target_(target) {}
+
+  Mode mode_;
+  std::size_t target_ = 0;
+};
+
+}  // namespace smn::topology

@@ -1,0 +1,89 @@
+#include "topology/wan.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace smn::topology {
+
+graph::NodeId WanTopology::add_datacenter(Datacenter dc) {
+  const graph::NodeId id = graph_.add_node(dc.name);
+  dcs_.push_back(std::move(dc));
+  return id;
+}
+
+std::size_t WanTopology::add_link(graph::NodeId a, graph::NodeId b, double capacity_gbps,
+                                  double fiber_limit_gbps, double latency_weight, bool subsea) {
+  if (capacity_gbps <= 0.0) {
+    throw std::invalid_argument("WanTopology::add_link: capacity must be positive");
+  }
+  const auto [fwd, bwd] = graph_.add_bidirectional_edge(a, b, latency_weight, capacity_gbps);
+  WanLink link;
+  link.forward = fwd;
+  link.backward = bwd;
+  link.capacity_gbps = capacity_gbps;
+  link.fiber_limit_gbps = std::max(fiber_limit_gbps, capacity_gbps);
+  link.subsea = subsea;
+  links_.push_back(link);
+  link_of_edge_.resize(graph_.edge_count());
+  link_of_edge_[fwd] = links_.size() - 1;
+  link_of_edge_[bwd] = links_.size() - 1;
+  return links_.size() - 1;
+}
+
+double WanTopology::upgrade_link(std::size_t index, double new_capacity_gbps) {
+  WanLink& link = links_.at(index);
+  const double installed =
+      std::clamp(new_capacity_gbps, link.capacity_gbps, link.fiber_limit_gbps);
+  link.capacity_gbps = installed;
+  graph_.mutable_edge(link.forward).capacity = installed;
+  graph_.mutable_edge(link.backward).capacity = installed;
+  return installed;
+}
+
+namespace {
+
+graph::Partition partition_by(const WanTopology& wan,
+                              const std::string& (*key)(const Datacenter&)) {
+  graph::Partition partition;
+  partition.group_of.resize(wan.datacenter_count());
+  std::map<std::string, graph::NodeId> groups;
+  for (graph::NodeId n = 0; n < wan.datacenter_count(); ++n) {
+    const std::string& k = key(wan.datacenter(n));
+    const auto it = groups.find(k);
+    if (it == groups.end()) {
+      const auto id = static_cast<graph::NodeId>(partition.group_names.size());
+      groups.emplace(k, id);
+      partition.group_names.push_back(k);
+      partition.group_of[n] = id;
+    } else {
+      partition.group_of[n] = it->second;
+    }
+  }
+  return partition;
+}
+
+const std::string& region_key(const Datacenter& dc) { return dc.region; }
+const std::string& continent_key(const Datacenter& dc) { return dc.continent; }
+
+}  // namespace
+
+graph::Partition WanTopology::region_partition() const {
+  return partition_by(*this, &region_key);
+}
+
+graph::Partition WanTopology::continent_partition() const {
+  return partition_by(*this, &continent_key);
+}
+
+std::vector<std::string> WanTopology::regions() const {
+  std::vector<std::string> names;
+  for (const Datacenter& dc : dcs_) {
+    if (std::find(names.begin(), names.end(), dc.region) == names.end()) {
+      names.push_back(dc.region);
+    }
+  }
+  return names;
+}
+
+}  // namespace smn::topology

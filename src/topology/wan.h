@@ -1,0 +1,92 @@
+// Planetary wide-area network model: datacenters grouped into regions and
+// continents, connected by capacitated fiber links. This is the fine
+// structure S of the §4 topology-based coarsening, and the substrate for
+// traffic engineering and capacity planning.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/contraction.h"
+#include "graph/digraph.h"
+
+namespace smn::topology {
+
+/// One datacenter. Names follow "<region>/dc<N>" (e.g. "us-east/dc3") so
+/// region grouping is recoverable from the name alone, as in Listing 1's
+/// "us-e1"-style identifiers.
+struct Datacenter {
+  std::string name;
+  std::string region;
+  std::string continent;
+  double x = 0.0;  ///< abstract map coordinates; link latency ~ distance
+  double y = 0.0;
+};
+
+/// One bidirectional WAN link (a pair of directed graph edges).
+struct WanLink {
+  graph::EdgeId forward = graph::kInvalidEdge;
+  graph::EdgeId backward = graph::kInvalidEdge;
+  double capacity_gbps = 0.0;
+  /// Hard ceiling from fiber in the ground (§1 war story 1: some links
+  /// "can't even be upgraded ... due to fiber constraints"). Upgrades may
+  /// raise capacity only up to this limit.
+  double fiber_limit_gbps = 0.0;
+  bool subsea = false;  ///< inter-continent submarine cable
+
+  bool upgradable() const noexcept { return capacity_gbps < fiber_limit_gbps; }
+};
+
+/// Immutable-topology WAN: links may change capacity (upgrades) but the
+/// node/link structure is fixed after construction.
+class WanTopology {
+ public:
+  /// Adds a datacenter; name must be unique. Returns its node id.
+  graph::NodeId add_datacenter(Datacenter dc);
+
+  /// Adds a bidirectional link between existing datacenters.
+  /// `fiber_limit_gbps` < `capacity_gbps` is clamped up to capacity.
+  std::size_t add_link(graph::NodeId a, graph::NodeId b, double capacity_gbps,
+                       double fiber_limit_gbps, double latency_weight, bool subsea = false);
+
+  const graph::Digraph& graph() const noexcept { return graph_; }
+
+  std::size_t datacenter_count() const noexcept { return dcs_.size(); }
+  std::size_t link_count() const noexcept { return links_.size(); }
+
+  const Datacenter& datacenter(graph::NodeId id) const { return dcs_.at(id); }
+  const WanLink& link(std::size_t index) const { return links_.at(index); }
+
+  std::optional<graph::NodeId> find_datacenter(const std::string& name) const {
+    return graph_.find_node(name);
+  }
+
+  /// Logical link index owning directed edge `e`.
+  std::size_t link_of_edge(graph::EdgeId e) const { return link_of_edge_.at(e); }
+
+  /// Raises the capacity of link `index` to `new_capacity_gbps`, clamped to
+  /// the fiber limit. Returns the capacity actually installed.
+  double upgrade_link(std::size_t index, double new_capacity_gbps);
+
+  /// Partition of datacenters into regions (groups named by region).
+  graph::Partition region_partition() const;
+
+  /// Partition of datacenters into continents.
+  graph::Partition continent_partition() const;
+
+  /// All distinct region names in first-seen order.
+  std::vector<std::string> regions() const;
+
+  /// |S| measure: datacenters + links.
+  std::size_t size_measure() const noexcept { return dcs_.size() + links_.size(); }
+
+ private:
+  graph::Digraph graph_;
+  std::vector<Datacenter> dcs_;
+  std::vector<WanLink> links_;
+  std::vector<std::size_t> link_of_edge_;
+};
+
+}  // namespace smn::topology

@@ -1,0 +1,142 @@
+#include "topology/wan_generator.h"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace smn::topology {
+namespace {
+
+// Continent codes roughly matching cloud region naming.
+constexpr std::array<const char*, 7> kContinentCodes = {"na", "eu", "as", "sa",
+                                                        "af", "oc", "me"};
+
+double distance(const Datacenter& a, const Datacenter& b) noexcept {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace
+
+WanTopology generate_planetary_wan(const WanConfig& config) {
+  if (config.continents < 1 || config.continents > static_cast<int>(kContinentCodes.size())) {
+    throw std::invalid_argument("generate_planetary_wan: continents must be in [1, 7]");
+  }
+  if (config.regions_per_continent < 1 || config.dcs_per_region < 1) {
+    throw std::invalid_argument("generate_planetary_wan: regions and DCs must be positive");
+  }
+  util::Rng rng(config.seed);
+  WanTopology wan;
+
+  struct RegionInfo {
+    std::string name;
+    int continent;
+    std::vector<graph::NodeId> dcs;
+    double cx = 0.0, cy = 0.0;
+  };
+  std::vector<RegionInfo> regions;
+
+  // Lay continents on a wide circle, regions on a smaller circle around
+  // their continent, DCs around their region. Distances then give
+  // plausible latency ordering: intra-region < inter-region < subsea.
+  for (int c = 0; c < config.continents; ++c) {
+    const double cont_angle = 2.0 * 3.14159265358979 * c / config.continents;
+    const double cont_x = 1000.0 * std::cos(cont_angle);
+    const double cont_y = 1000.0 * std::sin(cont_angle);
+    for (int r = 0; r < config.regions_per_continent; ++r) {
+      const double reg_angle = 2.0 * 3.14159265358979 * r / config.regions_per_continent;
+      RegionInfo region;
+      region.continent = c;
+      region.name = std::string(kContinentCodes[static_cast<std::size_t>(c)]) + "-r" +
+                    std::to_string(r + 1);
+      region.cx = cont_x + 180.0 * std::cos(reg_angle);
+      region.cy = cont_y + 180.0 * std::sin(reg_angle);
+      for (int d = 0; d < config.dcs_per_region; ++d) {
+        const double dc_angle = 2.0 * 3.14159265358979 * d / config.dcs_per_region;
+        Datacenter dc;
+        dc.region = region.name;
+        dc.continent = kContinentCodes[static_cast<std::size_t>(c)];
+        dc.name = region.name + "/dc" + std::to_string(d + 1);
+        dc.x = region.cx + 25.0 * std::cos(dc_angle) + rng.uniform(-3.0, 3.0);
+        dc.y = region.cy + 25.0 * std::sin(dc_angle) + rng.uniform(-3.0, 3.0);
+        region.dcs.push_back(wan.add_datacenter(dc));
+      }
+      regions.push_back(std::move(region));
+    }
+  }
+
+  const auto fiber_limit = [&](double capacity) {
+    // Some links are already at the fiber ceiling; others have headroom.
+    if (rng.bernoulli(config.fiber_locked_fraction)) return capacity;
+    return capacity * rng.uniform(1.5, 3.0);
+  };
+
+  const auto connect = [&](graph::NodeId a, graph::NodeId b, double capacity, bool subsea) {
+    const double latency = std::max(1.0, distance(wan.datacenter(a), wan.datacenter(b)));
+    const double jittered = capacity * rng.uniform(0.8, 1.2);
+    wan.add_link(a, b, jittered, fiber_limit(jittered), latency, subsea);
+  };
+
+  // Intra-region: ring + random chords.
+  for (const RegionInfo& region : regions) {
+    const auto& dcs = region.dcs;
+    if (dcs.size() == 1) continue;
+    for (std::size_t i = 0; i < dcs.size(); ++i) {
+      connect(dcs[i], dcs[(i + 1) % dcs.size()], config.intra_region_capacity_gbps, false);
+    }
+    for (std::size_t i = 0; i + 2 < dcs.size(); ++i) {
+      for (std::size_t j = i + 2; j < dcs.size(); ++j) {
+        const bool closes_ring = i == 0 && j + 1 == dcs.size();
+        if (!closes_ring && rng.bernoulli(config.chord_probability)) {
+          connect(dcs[i], dcs[j], config.intra_region_capacity_gbps * 0.5, false);
+        }
+      }
+    }
+  }
+
+  // Inter-region within a continent: full mesh over region gateways, two
+  // gateways per region pair for redundancy.
+  for (std::size_t i = 0; i < regions.size(); ++i) {
+    for (std::size_t j = i + 1; j < regions.size(); ++j) {
+      if (regions[i].continent != regions[j].continent) continue;
+      connect(regions[i].dcs[0], regions[j].dcs[0], config.inter_region_capacity_gbps, false);
+      if (regions[i].dcs.size() > 1 && regions[j].dcs.size() > 1) {
+        connect(regions[i].dcs[1], regions[j].dcs[1], config.inter_region_capacity_gbps * 0.7,
+                false);
+      }
+    }
+  }
+
+  // Subsea cables: ring over continents plus one cross cable, landing at
+  // the first region's gateway DCs.
+  if (config.continents > 1) {
+    std::vector<graph::NodeId> landings;
+    for (int c = 0; c < config.continents; ++c) {
+      landings.push_back(regions[static_cast<std::size_t>(c * config.regions_per_continent)].dcs[0]);
+    }
+    for (std::size_t c = 0; c < landings.size(); ++c) {
+      // A two-continent "ring" would duplicate the single cable.
+      if (landings.size() == 2 && c == 1) break;
+      connect(landings[c], landings[(c + 1) % landings.size()], config.subsea_capacity_gbps, true);
+    }
+    if (landings.size() > 3) {
+      connect(landings[0], landings[landings.size() / 2], config.subsea_capacity_gbps, true);
+    }
+  }
+
+  return wan;
+}
+
+WanTopology generate_test_wan(std::uint64_t seed) {
+  WanConfig config;
+  config.continents = 2;
+  config.regions_per_continent = 2;
+  config.dcs_per_region = 3;
+  config.seed = seed;
+  return generate_planetary_wan(config);
+}
+
+}  // namespace smn::topology

@@ -1,0 +1,44 @@
+// Synthetic planetary WAN generator.
+//
+// §4 describes "a planet-scale wide-area network of roughly 300 datacenters"
+// [26, 46] grouped into fewer than 30 high-traffic regions across 7
+// continents. This generator reproduces that structure: a configurable
+// number of continents, regions per continent, and datacenters per region,
+// with dense intra-region fiber, sparser inter-region links, and subsea
+// cables between continents. Substitution for the proprietary topologies of
+// Azure/B4 (see DESIGN.md §3.2).
+#pragma once
+
+#include "topology/wan.h"
+#include "util/rng.h"
+
+namespace smn::topology {
+
+struct WanConfig {
+  int continents = 7;
+  int regions_per_continent = 4;   ///< ~28 regions total at defaults
+  int dcs_per_region = 11;         ///< ~308 datacenters at defaults
+  double intra_region_capacity_gbps = 3200.0;
+  double inter_region_capacity_gbps = 1600.0;
+  double subsea_capacity_gbps = 800.0;
+  /// Fraction of links already at their fiber limit (non-upgradable),
+  /// driving war story 1.
+  double fiber_locked_fraction = 0.2;
+  /// Extra intra-region chord probability beyond the ring backbone.
+  double chord_probability = 0.3;
+  std::uint64_t seed = 42;
+};
+
+/// Generates a connected WAN per `config`. Deterministic given the seed.
+///
+/// Structure: datacenters in a region form a ring plus random chords;
+/// each pair of regions within a continent is connected through two gateway
+/// datacenters; each continent pair is connected by one or two subsea
+/// cables. Link latency weights grow with coordinate distance.
+WanTopology generate_planetary_wan(const WanConfig& config);
+
+/// Convenience: small WAN for unit tests (2 continents, 2 regions each,
+/// 3 DCs per region).
+WanTopology generate_test_wan(std::uint64_t seed = 7);
+
+}  // namespace smn::topology

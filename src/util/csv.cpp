@@ -1,0 +1,95 @@
+#include "util/csv.h"
+
+#include <sstream>
+
+namespace smn::util {
+namespace {
+
+bool needs_quotes(std::string_view field) noexcept {
+  return field.find_first_of(",\"\n\r") != std::string_view::npos;
+}
+
+std::string quote(std::string_view field) {
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (const char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+std::string csv_join(const std::vector<std::string>& fields) {
+  std::string line;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) line.push_back(',');
+    line += needs_quotes(fields[i]) ? quote(fields[i]) : fields[i];
+  }
+  return line;
+}
+
+std::vector<std::string> csv_split(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c != '\r') {
+      current.push_back(c);
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  out_ << csv_join(fields) << '\n';
+  ++rows_;
+}
+
+CsvDocument CsvDocument::parse(std::string_view text, bool has_header) {
+  CsvDocument doc;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto fields = csv_split(line);
+    if (first && has_header) {
+      doc.header_ = std::move(fields);
+    } else {
+      doc.rows_.push_back(std::move(fields));
+    }
+    first = false;
+  }
+  return doc;
+}
+
+std::optional<std::size_t> CsvDocument::column(std::string_view name) const noexcept {
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (header_[i] == name) return i;
+  }
+  return std::nullopt;
+}
+
+}  // namespace smn::util

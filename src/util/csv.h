@@ -1,0 +1,49 @@
+// Minimal CSV reading/writing for bandwidth logs and experiment outputs.
+// Fields containing commas, quotes, or newlines are quoted per RFC 4180.
+#pragma once
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace smn::util {
+
+/// Serializes one CSV row, quoting fields as needed.
+std::string csv_join(const std::vector<std::string>& fields);
+
+/// Parses one CSV line into fields, honoring RFC-4180 quoting.
+std::vector<std::string> csv_split(std::string_view line);
+
+/// Streaming CSV writer over any std::ostream.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  void write_row(const std::vector<std::string>& fields);
+  std::size_t rows_written() const noexcept { return rows_; }
+
+ private:
+  std::ostream& out_;
+  std::size_t rows_ = 0;
+};
+
+/// In-memory CSV document with an optional header row.
+class CsvDocument {
+ public:
+  /// Parses `text`; when `has_header` the first row becomes the header.
+  static CsvDocument parse(std::string_view text, bool has_header);
+
+  const std::vector<std::string>& header() const noexcept { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const noexcept { return rows_; }
+
+  /// Column index of `name` in the header, if present.
+  std::optional<std::size_t> column(std::string_view name) const noexcept;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace smn::util

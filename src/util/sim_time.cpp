@@ -1,0 +1,107 @@
+#include "util/sim_time.h"
+
+#include <array>
+#include <cstdio>
+
+namespace smn::util {
+namespace {
+
+constexpr int kEpochYear = 2025;
+
+bool is_leap(int year) noexcept {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+int days_in_month(int year, int month) noexcept {
+  static constexpr std::array<int, 12> kDays = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  if (month == 2 && is_leap(year)) return 29;
+  return kDays[static_cast<std::size_t>(month - 1)];
+}
+
+struct CalendarDate {
+  int year;
+  int month;   // 1..12
+  int day;     // 1..31
+  int hour;    // 0..23
+  int minute;  // 0..59
+  int second;  // 0..59
+};
+
+CalendarDate to_calendar(SimTime t) {
+  // Negative times clamp to the epoch; simulations never go earlier.
+  if (t < 0) t = 0;
+  std::int64_t days = t / kDay;
+  std::int64_t rem = t % kDay;
+  CalendarDate d{kEpochYear, 1, 1, 0, 0, 0};
+  d.hour = static_cast<int>(rem / kHour);
+  rem %= kHour;
+  d.minute = static_cast<int>(rem / kMinute);
+  d.second = static_cast<int>(rem % kMinute);
+  while (true) {
+    const int year_days = is_leap(d.year) ? 366 : 365;
+    if (days < year_days) break;
+    days -= year_days;
+    ++d.year;
+  }
+  while (true) {
+    const int month_days = days_in_month(d.year, d.month);
+    if (days < month_days) break;
+    days -= month_days;
+    ++d.month;
+  }
+  d.day = static_cast<int>(days) + 1;
+  return d;
+}
+
+}  // namespace
+
+std::string format_iso8601(SimTime t) {
+  const CalendarDate d = to_calendar(t);
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%04d-%02d-%02dT%02d:%02d", d.year, d.month, d.day, d.hour,
+                d.minute);
+  return buf;
+}
+
+bool parse_iso8601(const std::string& text, SimTime& out) {
+  int year = 0, month = 0, day = 0, hour = 0, minute = 0;
+  if (std::sscanf(text.c_str(), "%d-%d-%dT%d:%d", &year, &month, &day, &hour, &minute) != 5) {
+    return false;
+  }
+  if (year < kEpochYear || month < 1 || month > 12 || day < 1 || hour < 0 || hour > 23 ||
+      minute < 0 || minute > 59) {
+    return false;
+  }
+  if (day > days_in_month(year, month)) return false;
+  std::int64_t days = 0;
+  for (int y = kEpochYear; y < year; ++y) days += is_leap(y) ? 366 : 365;
+  for (int m = 1; m < month; ++m) days += days_in_month(year, m);
+  days += day - 1;
+  out = days * kDay + hour * kHour + minute * kMinute;
+  return true;
+}
+
+int day_of_week(SimTime t) noexcept {
+  if (t < 0) t = 0;
+  return static_cast<int>((t / kDay) % 7);
+}
+
+bool is_holiday(SimTime t) noexcept {
+  const CalendarDate d = to_calendar(t);
+  if (d.month == 1 && d.day == 1) return true;
+  if (d.month == 7 && d.day == 4) return true;
+  if (d.month == 12 && d.day == 25) return true;
+  if (d.month == 11) {
+    // Last Thursday of November. 2025-01-01 is a Wednesday => dow 0 is
+    // Wednesday, Thursday is dow 1.
+    if (day_of_week(t) == 1 && d.day + 7 > 30) return true;
+  }
+  return false;
+}
+
+double time_of_day_fraction(SimTime t) noexcept {
+  if (t < 0) t = 0;
+  return static_cast<double>(t % kDay) / static_cast<double>(kDay);
+}
+
+}  // namespace smn::util

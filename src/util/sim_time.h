@@ -1,0 +1,49 @@
+// Simulated time for telemetry and control loops.
+//
+// The SMN operates over timescales from minutes (incident routing) to years
+// (capacity planning). Everything internal uses a SimTime measured in
+// seconds since a simulated epoch; bandwidth logs render it as ISO 8601
+// (matching Listing 1 of the paper).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace smn::util {
+
+/// Seconds since the simulation epoch (2025-01-01T00:00:00Z by convention).
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kSecond = 1;
+inline constexpr SimTime kMinute = 60;
+inline constexpr SimTime kHour = 60 * kMinute;
+inline constexpr SimTime kDay = 24 * kHour;
+inline constexpr SimTime kWeek = 7 * kDay;
+/// Thirty-day month; telemetry windows only care about relative spans.
+inline constexpr SimTime kMonth = 30 * kDay;
+inline constexpr SimTime kYear = 365 * kDay;
+
+/// Telemetry epoch length used by the paper's bandwidth logs (5 minutes).
+inline constexpr SimTime kTelemetryEpoch = 5 * kMinute;
+
+/// Renders `t` as "YYYY-MM-DDTHH:MM" (Listing 1 format), treating the
+/// simulation epoch as 2025-01-01T00:00 with Gregorian calendar rules.
+std::string format_iso8601(SimTime t);
+
+/// Parses the Listing-1 timestamp format back into a SimTime.
+/// Returns false on malformed input.
+bool parse_iso8601(const std::string& text, SimTime& out);
+
+/// Day-of-week index of `t` (0 = Wednesday, since 2025-01-01 is one).
+int day_of_week(SimTime t) noexcept;
+
+/// True when `t` lands on a simulated US federal holiday (fixed-date
+/// approximation: Jan 1, Jul 4, Dec 25 plus the last Thursday of November).
+/// §4 calls out holiday traffic spikes as the signal time-coarsening risks
+/// destroying, so the traffic generator needs a holiday calendar.
+bool is_holiday(SimTime t) noexcept;
+
+/// Fraction of the day in [0, 1) at time `t`, for diurnal traffic shaping.
+double time_of_day_fraction(SimTime t) noexcept;
+
+}  // namespace smn::util

@@ -1,0 +1,147 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace smn::util {
+
+void RunningStats::add(double value) noexcept {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = n1 + n2;
+  mean_ += delta * n2 / total;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double percentile_sorted(std::span<const double> sorted, double q) noexcept {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted[0];
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double percentile(std::span<const double> values, double q) {
+  std::vector<double> copy(values.begin(), values.end());
+  std::sort(copy.begin(), copy.end());
+  return percentile_sorted(copy, q);
+}
+
+Summary summarize(std::span<const double> values) {
+  Summary s;
+  if (values.empty()) return s;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  RunningStats rs;
+  for (const double v : sorted) rs.add(v);
+  s.count = rs.count();
+  s.mean = rs.mean();
+  s.stddev = rs.stddev();
+  s.min = rs.min();
+  s.max = rs.max();
+  s.sum = rs.sum();
+  s.p50 = percentile_sorted(sorted, 0.50);
+  s.p95 = percentile_sorted(sorted, 0.95);
+  s.p99 = percentile_sorted(sorted, 0.99);
+  return s;
+}
+
+double cosine_similarity(std::span<const double> a, std::span<const double> b) noexcept {
+  if (a.size() != b.size() || a.empty()) return 0.0;
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+double mean_absolute_error(std::span<const double> truth, std::span<const double> estimate) noexcept {
+  if (truth.size() != estimate.size() || truth.empty()) return 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) total += std::abs(truth[i] - estimate[i]);
+  return total / static_cast<double>(truth.size());
+}
+
+double mean_absolute_percentage_error(std::span<const double> truth,
+                                      std::span<const double> estimate) noexcept {
+  if (truth.size() != estimate.size()) return 0.0;
+  double total = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] == 0.0) continue;
+    total += std::abs((truth[i] - estimate[i]) / truth[i]);
+    ++counted;
+  }
+  return counted ? total / static_cast<double>(counted) : 0.0;
+}
+
+double root_mean_squared_error(std::span<const double> truth, std::span<const double> estimate) noexcept {
+  if (truth.size() != estimate.size() || truth.empty()) return 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const double d = truth[i] - estimate[i];
+    total += d * d;
+  }
+  return std::sqrt(total / static_cast<double>(truth.size()));
+}
+
+double pearson_correlation(std::span<const double> a, std::span<const double> b) noexcept {
+  if (a.size() != b.size() || a.size() < 2) return 0.0;
+  RunningStats sa, sb;
+  for (const double v : a) sa.add(v);
+  for (const double v : b) sb.add(v);
+  if (sa.stddev() <= 0.0 || sb.stddev() <= 0.0) return 0.0;
+  double cov = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) cov += (a[i] - sa.mean()) * (b[i] - sb.mean());
+  cov /= static_cast<double>(a.size() - 1);
+  return cov / (sa.stddev() * sb.stddev());
+}
+
+double l2_norm(std::span<const double> v) noexcept {
+  double total = 0.0;
+  for (const double x : v) total += x * x;
+  return std::sqrt(total);
+}
+
+double relative_gap(double optimal, double achieved) noexcept {
+  if (optimal <= 0.0) return 0.0;
+  return std::max(0.0, (optimal - achieved) / optimal);
+}
+
+}  // namespace smn::util

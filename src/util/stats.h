@@ -1,0 +1,86 @@
+// Descriptive statistics used throughout the library: streaming moments
+// (Welford), percentiles, vector similarity, and error metrics that the
+// coarsening-fidelity machinery reports.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace smn::util {
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+/// O(1) memory; numerically stable for long telemetry streams.
+class RunningStats {
+ public:
+  void add(double value) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  std::size_t count() const noexcept { return count_; }
+  double mean() const noexcept { return count_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return count_ ? min_ : 0.0; }
+  double max() const noexcept { return count_ ? max_ : 0.0; }
+  double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Fixed summary of a batch of samples; this is exactly the set of summary
+/// statistics §4's time-based coarsening retains per window.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+  double sum = 0.0;
+};
+
+/// Computes the full Summary of `values` (copies and sorts internally).
+Summary summarize(std::span<const double> values);
+
+/// Linear-interpolated percentile of `sorted` (must be ascending).
+/// `q` in [0, 1]. Empty input yields 0.
+double percentile_sorted(std::span<const double> sorted, double q) noexcept;
+
+/// Convenience: copies, sorts, then interpolates.
+double percentile(std::span<const double> values, double q);
+
+/// Cosine similarity of two equal-length vectors in [0, 1] for
+/// non-negative inputs; 0 if either vector is all-zero.
+/// This is the §5 symptom-explainability primitive.
+double cosine_similarity(std::span<const double> a, std::span<const double> b) noexcept;
+
+/// Mean absolute error between paired vectors (must be equal length).
+double mean_absolute_error(std::span<const double> truth, std::span<const double> estimate) noexcept;
+
+/// Mean absolute percentage error; pairs whose truth is 0 are skipped.
+double mean_absolute_percentage_error(std::span<const double> truth,
+                                      std::span<const double> estimate) noexcept;
+
+/// Root mean squared error between paired vectors.
+double root_mean_squared_error(std::span<const double> truth, std::span<const double> estimate) noexcept;
+
+/// Pearson correlation coefficient; 0 when either side has no variance.
+double pearson_correlation(std::span<const double> a, std::span<const double> b) noexcept;
+
+/// Euclidean (L2) norm.
+double l2_norm(std::span<const double> v) noexcept;
+
+/// Jensen-style relative gap: (optimal - achieved) / optimal, clamped at 0
+/// when optimal is 0. Used to report TE optimality loss under coarsening.
+double relative_gap(double optimal, double achieved) noexcept;
+
+}  // namespace smn::util

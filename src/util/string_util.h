@@ -1,0 +1,28 @@
+// Small string helpers shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace smn::util {
+
+/// Splits on `delim`; empty segments are preserved.
+std::vector<std::string> split(std::string_view text, char delim);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view trim(std::string_view text) noexcept;
+
+/// Joins `parts` with `sep`.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Lowercases ASCII in place and returns the result.
+std::string to_lower(std::string_view text);
+
+/// True when `text` starts with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix) noexcept;
+
+/// printf-style double formatting with fixed precision.
+std::string format_double(double value, int precision);
+
+}  // namespace smn::util

@@ -1,0 +1,63 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/string_util.h"
+
+namespace smn::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw std::invalid_argument("Table::add_row: cell count does not match header");
+  }
+  rows_.push_back(std::move(row));
+}
+
+void Table::add_row_values(const std::vector<double>& values, int precision) {
+  std::vector<std::string> row;
+  row.reserve(values.size());
+  for (const double v : values) row.push_back(format_double(v, precision));
+  add_row(std::move(row));
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  const auto separator = [&] {
+    std::string line = "+";
+    for (const std::size_t w : widths) {
+      line += std::string(w + 2, '-');
+      line += '+';
+    }
+    line += '\n';
+    return line;
+  }();
+
+  const auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line += ' ';
+      line += row[c];
+      line += std::string(widths[c] - row[c].size() + 1, ' ');
+      line += '|';
+    }
+    line += '\n';
+    return line;
+  };
+
+  std::string out = separator;
+  out += render_row(header_);
+  out += separator;
+  for (const auto& row : rows_) out += render_row(row);
+  out += separator;
+  return out;
+}
+
+}  // namespace smn::util

@@ -1,0 +1,31 @@
+// ASCII table rendering for bench binaries: every experiment prints a
+// paper-style table so EXPERIMENTS.md can record paper-vs-measured rows.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace smn::util {
+
+/// Builds and renders a fixed-column ASCII table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; it must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience for mixed numeric/text rows.
+  void add_row_values(const std::vector<double>& values, int precision = 2);
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Renders with column alignment and +---+ separators.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace smn::util

@@ -1,0 +1,171 @@
+#include "capacity/capacity_planner.h"
+
+#include <gtest/gtest.h>
+
+#include "telemetry/time_coarsening.h"
+#include "topology/wan_generator.h"
+
+namespace smn::capacity {
+namespace {
+
+/// Line topology a-b-c: the a-b link is fiber-locked at 100, b-c has
+/// headroom to 300.
+topology::WanTopology line_wan() {
+  topology::WanTopology wan;
+  const auto a = wan.add_datacenter({"w/a", "w", "na", 0, 0});
+  const auto b = wan.add_datacenter({"w/b", "w", "na", 1, 0});
+  const auto c = wan.add_datacenter({"e/c", "e", "na", 2, 0});
+  wan.add_link(a, b, 100.0, 100.0, 1.0);
+  wan.add_link(b, c, 100.0, 300.0, 1.0);
+  return wan;
+}
+
+telemetry::BandwidthLog overload_log(double ab_gbps, double bc_gbps, int epochs,
+                                     int bc_spike_epochs = 0) {
+  telemetry::BandwidthLog log;
+  for (int e = 0; e < epochs; ++e) {
+    const util::SimTime t = e * util::kTelemetryEpoch;
+    log.append({t, "w/a", "w/b", ab_gbps});
+    log.append({t, "w/b", "e/c", e < bc_spike_epochs ? 95.0 : bc_gbps});
+  }
+  return log;
+}
+
+TEST(CapacityPlanner, UtilizationSeriesShape) {
+  const topology::WanTopology wan = line_wan();
+  const CapacityPlanner planner(wan, {});
+  const UtilizationSeries series = planner.compute_utilization(overload_log(50, 50, 10));
+  ASSERT_EQ(series.by_link.size(), wan.link_count());
+  ASSERT_EQ(series.epochs.size(), 10u);
+  for (const auto& link_series : series.by_link) {
+    for (const double u : link_series) EXPECT_NEAR(u, 0.5, 1e-9);
+  }
+}
+
+TEST(CapacityPlanner, NoUpgradesBelowThreshold) {
+  const topology::WanTopology wan = line_wan();
+  const CapacityPlanner planner(wan, {});
+  const CapacityPlan plan = planner.plan(overload_log(50, 50, 20));
+  EXPECT_TRUE(plan.upgrades.empty());
+  EXPECT_TRUE(plan.fiber_build_requests.empty());
+}
+
+TEST(CapacityPlanner, SustainedOverloadUpgradesFeasibleLink) {
+  const topology::WanTopology wan = line_wan();
+  const CapacityPlanner planner(wan, {});
+  const CapacityPlan plan = planner.plan(overload_log(50, 90, 20));
+  ASSERT_EQ(plan.upgrades.size(), 1u);
+  EXPECT_EQ(plan.upgrades[0].name, "w/b<->e/c");
+  // Proposed = peak_util * cap / target = 0.9*100/0.6 = 150, under limit.
+  EXPECT_NEAR(plan.upgrades[0].proposed_capacity_gbps, 150.0, 1.0);
+  EXPECT_FALSE(plan.upgrades[0].fiber_limited);
+  EXPECT_GT(plan.total_added_gbps, 0.0);
+}
+
+TEST(CapacityPlanner, CrossLayerSkipsFiberLockedAndRequestsBuild) {
+  const topology::WanTopology wan = line_wan();
+  const CapacityPlanner planner(wan, {});
+  const CapacityPlan plan = planner.plan(overload_log(90, 50, 20));
+  EXPECT_TRUE(plan.upgrades.empty());
+  ASSERT_EQ(plan.fiber_build_requests.size(), 1u);
+  EXPECT_EQ(plan.fiber_build_requests[0], "w/a<->w/b");
+}
+
+TEST(CapacityPlanner, NaiveModeWastesProposalsOnLockedLinks) {
+  PlannerConfig config;
+  config.cross_layer = false;
+  const topology::WanTopology wan = line_wan();
+  const CapacityPlanner planner(wan, config);
+  const CapacityPlan plan = planner.plan(overload_log(90, 50, 20));
+  EXPECT_GT(plan.wasted_proposals, 0u);
+  EXPECT_TRUE(plan.fiber_build_requests.empty());  // naive mode has no such channel
+}
+
+TEST(CapacityPlanner, CrossLayerIgnoresTransientOverload) {
+  // Spike for 3 of 20 epochs: 15% < sustained_fraction 30%.
+  const topology::WanTopology wan = line_wan();
+  const CapacityPlanner planner(wan, {});
+  const CapacityPlan plan = planner.plan(overload_log(50, 50, 20, 3));
+  EXPECT_TRUE(plan.upgrades.empty());
+}
+
+TEST(CapacityPlanner, NaiveModeChasesTransientOverload) {
+  PlannerConfig config;
+  config.cross_layer = false;
+  const topology::WanTopology wan = line_wan();
+  const CapacityPlanner planner(wan, config);
+  const CapacityPlan plan = planner.plan(overload_log(50, 50, 20, 3));
+  ASSERT_EQ(plan.upgrades.size(), 1u);
+  EXPECT_LT(plan.upgrades[0].overload_fraction, 0.3);
+}
+
+TEST(CapacityPlanner, FiberLimitedUpgradeFlagged) {
+  // b-c overloaded so hard that the proposal exceeds the 300 limit.
+  topology::WanTopology wan = line_wan();
+  const CapacityPlanner planner(wan, {});
+  telemetry::BandwidthLog log;
+  for (int e = 0; e < 20; ++e) {
+    log.append({e * util::kTelemetryEpoch, "w/b", "e/c", 99.0 * 3.0});  // 297% util
+  }
+  const CapacityPlan plan = planner.plan(log);
+  ASSERT_EQ(plan.upgrades.size(), 1u);
+  EXPECT_TRUE(plan.upgrades[0].fiber_limited);
+  EXPECT_DOUBLE_EQ(plan.upgrades[0].proposed_capacity_gbps, 300.0);
+}
+
+TEST(CapacityPlanner, ApplyInstallsUpgrades) {
+  topology::WanTopology wan = line_wan();
+  const CapacityPlanner planner(wan, {});
+  const CapacityPlan plan = planner.plan(overload_log(50, 90, 20));
+  const double installed = CapacityPlanner::apply(wan, plan);
+  EXPECT_NEAR(installed, 50.0, 1.0);
+  EXPECT_NEAR(wan.link(1).capacity_gbps, 150.0, 1.0);
+}
+
+TEST(CapacityPlanner, PlanFromCoarseMatchesWhenDemandIsFlat) {
+  // With constant demand, window means reproduce the fine log exactly, so
+  // the plans agree perfectly.
+  const topology::WanTopology wan = line_wan();
+  const CapacityPlanner planner(wan, {});
+  const telemetry::BandwidthLog fine = overload_log(50, 90, 24);
+  const telemetry::TimeCoarsener coarsener(util::kHour);
+  const CapacityPlan fine_plan = planner.plan(fine);
+  const CapacityPlan coarse_plan = planner.plan_from_coarse(coarsener.coarsen(fine));
+  EXPECT_DOUBLE_EQ(plan_agreement(fine_plan, coarse_plan), 1.0);
+}
+
+TEST(CapacityPlanner, CoarsePlanMissesShortSpike) {
+  // A 95-Gbps spike in 2 of 24 epochs is averaged away by a 2-hour window,
+  // so the naive planner (which reacts to any exceedance) diverges between
+  // fine and coarse inputs — the §4 "what's lost".
+  const topology::WanTopology wan = line_wan();
+  PlannerConfig config;
+  config.cross_layer = false;
+  const CapacityPlanner planner(wan, config);
+  const telemetry::BandwidthLog fine = overload_log(50, 50, 24, 2);
+  const telemetry::TimeCoarsener coarsener(2 * util::kHour);
+  const CapacityPlan fine_plan = planner.plan(fine);
+  const CapacityPlan coarse_plan = planner.plan_from_coarse(coarsener.coarsen(fine));
+  EXPECT_EQ(fine_plan.upgrades.size(), 1u);
+  EXPECT_TRUE(coarse_plan.upgrades.empty());
+  EXPECT_LT(plan_agreement(fine_plan, coarse_plan), 1.0);
+}
+
+TEST(PlanAgreement, JaccardSemantics) {
+  CapacityPlan a, b;
+  EXPECT_DOUBLE_EQ(plan_agreement(a, b), 1.0);  // both empty
+  a.upgrades.push_back({.link_index = 0, .name = "x"});
+  EXPECT_DOUBLE_EQ(plan_agreement(a, b), 0.0);
+  b.upgrades.push_back({.link_index = 0, .name = "x"});
+  b.upgrades.push_back({.link_index = 1, .name = "y"});
+  EXPECT_DOUBLE_EQ(plan_agreement(a, b), 0.5);
+}
+
+TEST(CapacityPlanner, EmptyLogYieldsEmptyPlan) {
+  const topology::WanTopology wan = line_wan();
+  const CapacityPlanner planner(wan, {});
+  EXPECT_TRUE(planner.plan({}).upgrades.empty());
+}
+
+}  // namespace
+}  // namespace smn::capacity

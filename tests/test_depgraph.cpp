@@ -1,0 +1,196 @@
+// Service graphs, the CDG coarsener, and the Reddit deployment (Fig. 3).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "depgraph/cdg.h"
+#include "depgraph/reddit.h"
+#include "depgraph/service_graph.h"
+#include "graph/reachability.h"
+
+namespace smn::depgraph {
+namespace {
+
+ServiceGraph tiny_graph() {
+  ServiceGraph sg;
+  sg.add_component({"lb", ComponentKind::kLoadBalancer, "app", Layer::kL7Application});
+  sg.add_component({"api", ComponentKind::kAppServer, "app", Layer::kL7Application});
+  sg.add_component({"db", ComponentKind::kDatabase, "data", Layer::kL7Application});
+  sg.add_component({"hv", ComponentKind::kHypervisor, "infra", Layer::kL1Physical});
+  sg.add_dependency("lb", "api");
+  sg.add_dependency("api", "db");
+  sg.add_dependency("api", "hv");
+  sg.add_dependency("db", "hv");
+  return sg;
+}
+
+TEST(ServiceGraph, TeamsInFirstSeenOrder) {
+  const ServiceGraph sg = tiny_graph();
+  ASSERT_EQ(sg.teams().size(), 3u);
+  EXPECT_EQ(sg.teams()[0], "app");
+  EXPECT_EQ(sg.teams()[1], "data");
+  EXPECT_EQ(sg.teams()[2], "infra");
+}
+
+TEST(ServiceGraph, TeamIndexPerComponent) {
+  const ServiceGraph sg = tiny_graph();
+  EXPECT_EQ(sg.team_index(0), 0u);
+  EXPECT_EQ(sg.team_index(2), 1u);
+  EXPECT_EQ(sg.team_index(3), 2u);
+}
+
+TEST(ServiceGraph, ComponentsOfTeam) {
+  const ServiceGraph sg = tiny_graph();
+  EXPECT_EQ(sg.components_of_team("app").size(), 2u);
+  EXPECT_EQ(sg.components_of_team("infra").size(), 1u);
+  EXPECT_TRUE(sg.components_of_team("ghost").empty());
+}
+
+TEST(ServiceGraph, UnknownDependencyNameThrows) {
+  ServiceGraph sg = tiny_graph();
+  EXPECT_THROW(sg.add_dependency("lb", "nope"), std::invalid_argument);
+  EXPECT_THROW(sg.add_dependency("nope", "lb"), std::invalid_argument);
+}
+
+TEST(ServiceGraph, SizeMeasure) {
+  const ServiceGraph sg = tiny_graph();
+  EXPECT_EQ(sg.size_measure(), 4u + 4u);
+}
+
+TEST(Cdg, ManualConstruction) {
+  Cdg cdg({"a", "b", "c"});
+  cdg.add_dependency("a", "b");
+  cdg.add_dependency("b", "c");
+  EXPECT_EQ(cdg.team_count(), 3u);
+  EXPECT_EQ(cdg.graph().edge_count(), 2u);
+  EXPECT_THROW(cdg.add_dependency("a", "nope"), std::invalid_argument);
+}
+
+TEST(Cdg, IgnoresSelfLoopsAndDuplicates) {
+  Cdg cdg({"a", "b"});
+  cdg.add_dependency(0, 0);
+  cdg.add_dependency(0, 1);
+  cdg.add_dependency(0, 1);
+  EXPECT_EQ(cdg.graph().edge_count(), 1u);
+}
+
+TEST(Cdg, PredictedSyndromeIsDependentsPlusSelf) {
+  // a -> b -> c: if c fails, a, b, c all show symptoms; if a fails, only a.
+  Cdg cdg({"a", "b", "c"});
+  cdg.add_dependency("a", "b");
+  cdg.add_dependency("b", "c");
+  const auto c_fails = cdg.predicted_syndrome(2);
+  EXPECT_EQ(c_fails, (std::vector<double>{1.0, 1.0, 1.0}));
+  const auto a_fails = cdg.predicted_syndrome(0);
+  EXPECT_EQ(a_fails, (std::vector<double>{1.0, 0.0, 0.0}));
+}
+
+TEST(CdgCoarsener, ProjectsTeamsAndDedupes) {
+  const ServiceGraph sg = tiny_graph();
+  const Cdg cdg = CdgCoarsener().coarsen(sg);
+  EXPECT_EQ(cdg.team_count(), 3u);
+  // Expected team edges: app->data, app->infra, data->infra.
+  EXPECT_EQ(cdg.graph().edge_count(), 3u);
+  EXPECT_TRUE(cdg.graph().find_edge(*cdg.find_team("app"), *cdg.find_team("data")).has_value());
+  EXPECT_TRUE(cdg.graph().find_edge(*cdg.find_team("data"), *cdg.find_team("infra")).has_value());
+  EXPECT_FALSE(cdg.graph().find_edge(*cdg.find_team("infra"), *cdg.find_team("app")).has_value());
+}
+
+TEST(CdgCoarsener, IntraTeamEdgesVanish) {
+  const ServiceGraph sg = tiny_graph();  // lb -> api is intra-app
+  const Cdg cdg = CdgCoarsener().coarsen(sg);
+  const auto app = *cdg.find_team("app");
+  EXPECT_FALSE(cdg.graph().find_edge(app, app).has_value());
+}
+
+TEST(CdgCoarsener, SizeLawHolds) {
+  const ServiceGraph sg = build_reddit_deployment();
+  const CdgCoarsener coarsener;
+  const Cdg cdg = coarsener.coarsen(sg);
+  EXPECT_LT(coarsener.coarse_size(cdg), coarsener.fine_size(sg));
+  EXPECT_GT(coarsener.reduction_factor(sg, cdg), 2.0);
+}
+
+TEST(Reddit, HasEightTeams) {
+  const ServiceGraph sg = build_reddit_deployment();
+  EXPECT_EQ(sg.teams().size(), 8u);  // §5: "We identify 8 teams"
+  const std::set<std::string> teams(sg.teams().begin(), sg.teams().end());
+  EXPECT_TRUE(teams.contains(kTeamNetwork));
+  EXPECT_TRUE(teams.contains(kTeamApplication));
+  EXPECT_TRUE(teams.contains(kTeamInfrastructure));
+  EXPECT_TRUE(teams.contains(kTeamMonitoring));
+}
+
+TEST(Reddit, ComponentScale) {
+  const ServiceGraph sg = build_reddit_deployment();
+  EXPECT_GE(sg.component_count(), 35u);
+  EXPECT_GE(sg.graph().edge_count(), 60u);
+}
+
+TEST(Reddit, EveryTeamHasComponents) {
+  const ServiceGraph sg = build_reddit_deployment();
+  for (const std::string& team : sg.teams()) {
+    EXPECT_FALSE(sg.components_of_team(team).empty()) << team;
+  }
+}
+
+TEST(Reddit, ClusterProbesDependOnWan) {
+  // War story 3's structural premise.
+  const ServiceGraph sg = build_reddit_deployment();
+  const auto probe = *sg.find("probe-cluster-a");
+  const auto wan = *sg.find("wan-link-east");
+  const auto reach = graph::reachable_from(sg.graph(), probe);
+  EXPECT_TRUE(reach[wan]);
+}
+
+TEST(Reddit, AppServersDependOnDatabaseTransitively) {
+  const ServiceGraph sg = build_reddit_deployment();
+  const auto app = *sg.find("app-r2-1");
+  const auto pg = *sg.find("postgres-primary");
+  EXPECT_TRUE(graph::reachable_from(sg.graph(), app)[pg]);
+}
+
+TEST(Reddit, HypervisorFanOutSpansTeams) {
+  // The fan-out confounder: a hypervisor has dependents in >= 3 teams.
+  const ServiceGraph sg = build_reddit_deployment();
+  const auto hv = *sg.find("hypervisor-2");
+  const auto dependents = graph::reverse_reachable(sg.graph(), hv);
+  std::set<std::string> teams;
+  for (graph::NodeId n = 0; n < sg.component_count(); ++n) {
+    if (dependents[n]) teams.insert(sg.component(n).team);
+  }
+  EXPECT_GE(teams.size(), 3u);
+}
+
+TEST(Reddit, CdgSyndromesAreDistinctPerTeam) {
+  // Explainability can only separate teams whose predicted syndromes
+  // differ; the Reddit CDG guarantees that.
+  const ServiceGraph sg = build_reddit_deployment();
+  const Cdg cdg = CdgCoarsener().coarsen(sg);
+  std::set<std::vector<double>> syndromes;
+  for (graph::NodeId t = 0; t < cdg.team_count(); ++t) {
+    syndromes.insert(cdg.predicted_syndrome(t));
+  }
+  EXPECT_EQ(syndromes.size(), cdg.team_count());
+}
+
+TEST(Reddit, ToStringRendersAllTeams) {
+  const ServiceGraph sg = build_reddit_deployment();
+  const Cdg cdg = CdgCoarsener().coarsen(sg);
+  const std::string rendered = cdg.to_string();
+  for (const std::string& team : sg.teams()) {
+    EXPECT_NE(rendered.find(team), std::string::npos) << team;
+  }
+}
+
+TEST(Reddit, NetworkIsALeafDependency) {
+  // Nothing the network team runs depends on application services: network
+  // is at the bottom of the stack in the CDG.
+  const ServiceGraph sg = build_reddit_deployment();
+  const Cdg cdg = CdgCoarsener().coarsen(sg);
+  const auto network = *cdg.find_team(kTeamNetwork);
+  EXPECT_TRUE(cdg.graph().out_edges(network).empty());
+}
+
+}  // namespace
+}  // namespace smn::depgraph

@@ -1,0 +1,140 @@
+#include "graph/contraction.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace smn::graph {
+namespace {
+
+/// Two groups of two nodes with intra- and inter-group edges.
+Digraph make_grouped() {
+  Digraph g;
+  g.add_node("g1/a");
+  g.add_node("g1/b");
+  g.add_node("g2/c");
+  g.add_node("g2/d");
+  g.add_edge(0, 1, 1.0, 10.0);  // intra group 1
+  g.add_edge(0, 2, 2.0, 20.0);  // inter
+  g.add_edge(1, 3, 3.0, 30.0);  // inter (merges with previous into g1->g2)
+  g.add_edge(3, 2, 1.0, 5.0);   // intra group 2
+  g.add_edge(2, 0, 4.0, 40.0);  // inter back edge g2->g1
+  return g;
+}
+
+Partition two_groups() {
+  Partition p;
+  p.group_of = {0, 0, 1, 1};
+  p.group_names = {"g1", "g2"};
+  return p;
+}
+
+TEST(Partition, ValidityChecks) {
+  const Digraph g = make_grouped();
+  Partition p = two_groups();
+  EXPECT_TRUE(p.valid_for(g));
+  p.group_of.pop_back();
+  EXPECT_FALSE(p.valid_for(g));  // wrong size
+  p = two_groups();
+  p.group_of[0] = 7;
+  EXPECT_FALSE(p.valid_for(g));  // group out of range
+}
+
+TEST(Contract, NodeAndEdgeCounts) {
+  const Digraph g = make_grouped();
+  const ContractedGraph result = contract(g, two_groups());
+  EXPECT_EQ(result.coarse.node_count(), 2u);
+  // g1->g2 (merged from two) and g2->g1: 2 coarse edges.
+  EXPECT_EQ(result.coarse.edge_count(), 2u);
+}
+
+TEST(Contract, CoarseningShrinks) {
+  const Digraph g = make_grouped();
+  const ContractedGraph result = contract(g, two_groups());
+  EXPECT_LT(result.coarse.size_measure(), g.size_measure());  // |s| < |S|
+}
+
+TEST(Contract, CapacitiesAddWeightsTakeMin) {
+  const Digraph g = make_grouped();
+  const ContractedGraph result = contract(g, two_groups());
+  const auto e12 = result.coarse.find_edge(0, 1);
+  ASSERT_TRUE(e12.has_value());
+  EXPECT_DOUBLE_EQ(result.coarse.edge(*e12).capacity, 50.0);  // 20 + 30
+  EXPECT_DOUBLE_EQ(result.coarse.edge(*e12).weight, 2.0);     // min(2, 3)
+}
+
+TEST(Contract, IntraGroupEdgesVanish) {
+  const Digraph g = make_grouped();
+  const ContractedGraph result = contract(g, two_groups());
+  EXPECT_EQ(result.edge_map[0], kInvalidEdge);  // intra g1
+  EXPECT_EQ(result.edge_map[3], kInvalidEdge);  // intra g2
+}
+
+TEST(Contract, EdgeMembersTrackMergedFineEdges) {
+  const Digraph g = make_grouped();
+  const ContractedGraph result = contract(g, two_groups());
+  const auto e12 = result.coarse.find_edge(0, 1);
+  ASSERT_TRUE(e12.has_value());
+  const auto& members = result.edge_members[*e12];
+  ASSERT_EQ(members.size(), 2u);
+  EXPECT_EQ(members[0], 1u);
+  EXPECT_EQ(members[1], 2u);
+}
+
+TEST(Contract, NodeMapMatchesPartition) {
+  const Digraph g = make_grouped();
+  const Partition p = two_groups();
+  const ContractedGraph result = contract(g, p);
+  EXPECT_EQ(result.node_map, p.group_of);
+}
+
+TEST(Contract, InvalidPartitionThrows) {
+  const Digraph g = make_grouped();
+  Partition bad;
+  bad.group_of = {0, 0};
+  bad.group_names = {"g"};
+  EXPECT_THROW(contract(g, bad), std::invalid_argument);
+}
+
+TEST(Contract, CapacityConservedAcrossCut) {
+  // Total inter-group capacity is invariant under contraction.
+  const Digraph g = make_grouped();
+  const Partition p = two_groups();
+  const ContractedGraph result = contract(g, p);
+  double fine_cut = 0.0;
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    if (p.group_of[g.edge(e).from] != p.group_of[g.edge(e).to]) fine_cut += g.edge(e).capacity;
+  }
+  double coarse_cut = 0.0;
+  for (EdgeId e = 0; e < result.coarse.edge_count(); ++e) {
+    coarse_cut += result.coarse.edge(e).capacity;
+  }
+  EXPECT_DOUBLE_EQ(fine_cut, coarse_cut);
+}
+
+TEST(PartitionByPrefix, GroupsByDelimiter) {
+  Digraph g;
+  g.add_node("us-east/dc1");
+  g.add_node("us-east/dc2");
+  g.add_node("eu-west/dc1");
+  g.add_node("standalone");
+  const Partition p = partition_by_name_prefix(g, '/');
+  ASSERT_EQ(p.group_names.size(), 3u);
+  EXPECT_EQ(p.group_of[0], p.group_of[1]);
+  EXPECT_NE(p.group_of[0], p.group_of[2]);
+  EXPECT_EQ(p.group_names[p.group_of[3]], "standalone");
+}
+
+TEST(PartitionByPrefix, SinglePartitionContractsToPoint) {
+  Digraph g;
+  g.add_node("x/a");
+  g.add_node("x/b");
+  g.add_edge(0, 1, 1.0, 5.0);
+  const Partition p = partition_by_name_prefix(g, '/');
+  const ContractedGraph result = contract(g, p);
+  EXPECT_EQ(result.coarse.node_count(), 1u);
+  EXPECT_EQ(result.coarse.edge_count(), 0u);
+}
+
+}  // namespace
+}  // namespace smn::graph

@@ -1,0 +1,134 @@
+#include "graph/digraph.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace smn::graph {
+namespace {
+
+TEST(Digraph, EmptyGraph) {
+  Digraph g;
+  EXPECT_EQ(g.node_count(), 0u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_EQ(g.size_measure(), 0u);
+}
+
+TEST(Digraph, AddNodesAssignsSequentialIds) {
+  Digraph g;
+  EXPECT_EQ(g.add_node("a"), 0u);
+  EXPECT_EQ(g.add_node("b"), 1u);
+  EXPECT_EQ(g.node_count(), 2u);
+  EXPECT_EQ(g.node_name(0), "a");
+  EXPECT_EQ(g.node_name(1), "b");
+}
+
+TEST(Digraph, DuplicateNameThrows) {
+  Digraph g;
+  g.add_node("a");
+  EXPECT_THROW(g.add_node("a"), std::invalid_argument);
+}
+
+TEST(Digraph, FindNode) {
+  Digraph g;
+  g.add_node("x");
+  EXPECT_TRUE(g.find_node("x").has_value());
+  EXPECT_EQ(*g.find_node("x"), 0u);
+  EXPECT_FALSE(g.find_node("y").has_value());
+}
+
+TEST(Digraph, AddEdgeTracksAdjacency) {
+  Digraph g;
+  const NodeId a = g.add_node("a");
+  const NodeId b = g.add_node("b");
+  const EdgeId e = g.add_edge(a, b, 2.5, 100.0);
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_EQ(g.edge(e).from, a);
+  EXPECT_EQ(g.edge(e).to, b);
+  EXPECT_EQ(g.edge(e).weight, 2.5);
+  EXPECT_EQ(g.edge(e).capacity, 100.0);
+  ASSERT_EQ(g.out_edges(a).size(), 1u);
+  EXPECT_EQ(g.out_edges(a)[0], e);
+  ASSERT_EQ(g.in_edges(b).size(), 1u);
+  EXPECT_TRUE(g.out_edges(b).empty());
+  EXPECT_TRUE(g.in_edges(a).empty());
+}
+
+TEST(Digraph, AddEdgeValidatesEndpoints) {
+  Digraph g;
+  g.add_node("a");
+  EXPECT_THROW(g.add_edge(0, 5), std::out_of_range);
+  EXPECT_THROW(g.add_edge(5, 0), std::out_of_range);
+}
+
+TEST(Digraph, BidirectionalEdgePair) {
+  Digraph g;
+  const NodeId a = g.add_node("a");
+  const NodeId b = g.add_node("b");
+  const auto [fwd, bwd] = g.add_bidirectional_edge(a, b, 1.0, 50.0);
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_EQ(g.edge(fwd).from, a);
+  EXPECT_EQ(g.edge(bwd).from, b);
+  EXPECT_EQ(g.edge(fwd).capacity, g.edge(bwd).capacity);
+}
+
+TEST(Digraph, FindEdgeReturnsFirstMatch) {
+  Digraph g;
+  const NodeId a = g.add_node("a");
+  const NodeId b = g.add_node("b");
+  EXPECT_FALSE(g.find_edge(a, b).has_value());
+  const EdgeId e1 = g.add_edge(a, b);
+  g.add_edge(a, b);  // parallel edge
+  ASSERT_TRUE(g.find_edge(a, b).has_value());
+  EXPECT_EQ(*g.find_edge(a, b), e1);
+  EXPECT_FALSE(g.find_edge(b, a).has_value());
+}
+
+TEST(Digraph, MutableEdgeUpdatesCapacity) {
+  Digraph g;
+  const NodeId a = g.add_node("a");
+  const NodeId b = g.add_node("b");
+  const EdgeId e = g.add_edge(a, b, 1.0, 10.0);
+  g.mutable_edge(e).capacity = 99.0;
+  EXPECT_EQ(g.edge(e).capacity, 99.0);
+}
+
+TEST(Digraph, MultigraphAllowed) {
+  Digraph g;
+  const NodeId a = g.add_node("a");
+  const NodeId b = g.add_node("b");
+  g.add_edge(a, b, 1.0);
+  g.add_edge(a, b, 2.0);
+  EXPECT_EQ(g.out_edges(a).size(), 2u);
+}
+
+TEST(Digraph, SelfLoopAllowed) {
+  Digraph g;
+  const NodeId a = g.add_node("a");
+  const EdgeId e = g.add_edge(a, a);
+  EXPECT_EQ(g.edge(e).from, g.edge(e).to);
+  EXPECT_EQ(g.out_edges(a).size(), 1u);
+  EXPECT_EQ(g.in_edges(a).size(), 1u);
+}
+
+TEST(Digraph, NodesListsAllIds) {
+  Digraph g;
+  g.add_node("a");
+  g.add_node("b");
+  g.add_node("c");
+  const auto ids = g.nodes();
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_EQ(ids[0], 0u);
+  EXPECT_EQ(ids[2], 2u);
+}
+
+TEST(Digraph, SizeMeasureCountsNodesPlusEdges) {
+  Digraph g;
+  const NodeId a = g.add_node("a");
+  const NodeId b = g.add_node("b");
+  g.add_edge(a, b);
+  EXPECT_EQ(g.size_measure(), 3u);
+}
+
+}  // namespace
+}  // namespace smn::graph

@@ -1,0 +1,130 @@
+#include "graph/reachability.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/scc.h"
+
+namespace smn::graph {
+namespace {
+
+/// Chain with a side branch: a -> b -> c, d -> b.
+Digraph make_chain() {
+  Digraph g;
+  const NodeId a = g.add_node("a");
+  const NodeId b = g.add_node("b");
+  const NodeId c = g.add_node("c");
+  const NodeId d = g.add_node("d");
+  g.add_edge(a, b);
+  g.add_edge(b, c);
+  g.add_edge(d, b);
+  return g;
+}
+
+TEST(Reachability, ForwardIncludesSource) {
+  const Digraph g = make_chain();
+  const auto reach = reachable_from(g, 0);
+  EXPECT_TRUE(reach[0]);
+  EXPECT_TRUE(reach[1]);
+  EXPECT_TRUE(reach[2]);
+  EXPECT_FALSE(reach[3]);
+}
+
+TEST(Reachability, ReverseFindsDependents) {
+  const Digraph g = make_chain();
+  // Who can reach b? a, d, and b itself.
+  const auto dependents = reverse_reachable(g, 1);
+  EXPECT_TRUE(dependents[0]);
+  EXPECT_TRUE(dependents[1]);
+  EXPECT_FALSE(dependents[2]);
+  EXPECT_TRUE(dependents[3]);
+}
+
+TEST(Reachability, MatrixConsistentWithSingleQueries) {
+  const Digraph g = make_chain();
+  const auto matrix = reachability_matrix(g);
+  for (NodeId n = 0; n < g.node_count(); ++n) {
+    EXPECT_EQ(matrix[n], reachable_from(g, n));
+  }
+}
+
+TEST(Reachability, OutOfRangeSourceIsEmpty) {
+  const Digraph g = make_chain();
+  const auto reach = reachable_from(g, 99);
+  for (const bool r : reach) EXPECT_FALSE(r);
+}
+
+TEST(TopologicalSort, DagOrderRespectsEdges) {
+  const Digraph g = make_chain();
+  const auto order = topological_sort(g);
+  ASSERT_EQ(order.size(), g.node_count());
+  std::vector<std::size_t> position(g.node_count());
+  for (std::size_t i = 0; i < order.size(); ++i) position[order[i]] = i;
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    EXPECT_LT(position[g.edge(e).from], position[g.edge(e).to]);
+  }
+}
+
+TEST(TopologicalSort, CycleYieldsEmpty) {
+  Digraph g;
+  const NodeId a = g.add_node("a");
+  const NodeId b = g.add_node("b");
+  g.add_edge(a, b);
+  g.add_edge(b, a);
+  EXPECT_TRUE(topological_sort(g).empty());
+  EXPECT_FALSE(is_dag(g));
+}
+
+TEST(TopologicalSort, DagDetection) {
+  EXPECT_TRUE(is_dag(make_chain()));
+  EXPECT_TRUE(is_dag(Digraph{}));
+}
+
+TEST(Scc, SingletonComponentsInDag) {
+  const Digraph g = make_chain();
+  const SccResult scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.component_count, g.node_count());
+}
+
+TEST(Scc, CycleCollapsesToOneComponent) {
+  Digraph g;
+  const NodeId a = g.add_node("a");
+  const NodeId b = g.add_node("b");
+  const NodeId c = g.add_node("c");
+  const NodeId d = g.add_node("d");
+  g.add_edge(a, b);
+  g.add_edge(b, c);
+  g.add_edge(c, a);  // cycle a-b-c
+  g.add_edge(c, d);
+  const SccResult scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.component_count, 2u);
+  EXPECT_EQ(scc.component_of[0], scc.component_of[1]);
+  EXPECT_EQ(scc.component_of[1], scc.component_of[2]);
+  EXPECT_NE(scc.component_of[0], scc.component_of[3]);
+}
+
+TEST(Scc, TwoSeparateCycles) {
+  Digraph g;
+  for (int i = 0; i < 4; ++i) g.add_node(std::to_string(i));
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(2, 3);
+  g.add_edge(3, 2);
+  const SccResult scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.component_count, 2u);
+  EXPECT_EQ(scc.component_of[0], scc.component_of[1]);
+  EXPECT_EQ(scc.component_of[2], scc.component_of[3]);
+  EXPECT_NE(scc.component_of[0], scc.component_of[2]);
+}
+
+TEST(Scc, EveryNodeAssigned) {
+  Digraph g;
+  for (int i = 0; i < 50; ++i) g.add_node(std::to_string(i));
+  for (int i = 0; i + 1 < 50; ++i) g.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(i + 1));
+  g.add_edge(49, 25);  // back edge creates one big SCC of 25..49
+  const SccResult scc = strongly_connected_components(g);
+  for (const NodeId c : scc.component_of) EXPECT_NE(c, kInvalidNode);
+  EXPECT_EQ(scc.component_count, 26u);  // 25 singletons + one 25-node SCC
+}
+
+}  // namespace
+}  // namespace smn::graph

@@ -1,0 +1,170 @@
+#include "graph/shortest_path.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace smn::graph {
+namespace {
+
+/// Diamond: a->b (1), a->c (2), b->d (2), c->d (0.5), b->c (0.5).
+Digraph make_diamond() {
+  Digraph g;
+  const NodeId a = g.add_node("a");
+  const NodeId b = g.add_node("b");
+  const NodeId c = g.add_node("c");
+  const NodeId d = g.add_node("d");
+  g.add_edge(a, b, 1.0);
+  g.add_edge(a, c, 2.0);
+  g.add_edge(b, d, 2.0);
+  g.add_edge(c, d, 0.5);
+  g.add_edge(b, c, 0.5);
+  return g;
+}
+
+TEST(Dijkstra, ShortestDistances) {
+  const Digraph g = make_diamond();
+  const ShortestPathTree tree = dijkstra(g, 0);
+  EXPECT_DOUBLE_EQ(tree.distance[0], 0.0);
+  EXPECT_DOUBLE_EQ(tree.distance[1], 1.0);
+  EXPECT_DOUBLE_EQ(tree.distance[2], 1.5);  // a->b->c
+  EXPECT_DOUBLE_EQ(tree.distance[3], 2.0);  // a->b->c->d
+}
+
+TEST(Dijkstra, UnreachableNodesAreInfinite) {
+  Digraph g;
+  g.add_node("a");
+  g.add_node("island");
+  const ShortestPathTree tree = dijkstra(g, 0);
+  EXPECT_TRUE(std::isinf(tree.distance[1]));
+  EXPECT_EQ(tree.parent_edge[1], kInvalidEdge);
+}
+
+TEST(Dijkstra, EdgeMaskDisablesEdges) {
+  const Digraph g = make_diamond();
+  std::vector<bool> mask(g.edge_count(), true);
+  mask[0] = false;  // kill a->b
+  const ShortestPathTree tree = dijkstra(g, 0, mask);
+  EXPECT_DOUBLE_EQ(tree.distance[1], std::numeric_limits<double>::infinity());
+  EXPECT_DOUBLE_EQ(tree.distance[2], 2.0);  // direct a->c now
+  EXPECT_DOUBLE_EQ(tree.distance[3], 2.5);
+}
+
+TEST(Dijkstra, MaskSizeMismatchThrows) {
+  const Digraph g = make_diamond();
+  EXPECT_THROW(dijkstra(g, 0, std::vector<bool>{true}), std::invalid_argument);
+}
+
+TEST(ShortestPath, ReconstructsEdgeSequence) {
+  const Digraph g = make_diamond();
+  const auto path = shortest_path(g, 0, 3);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_DOUBLE_EQ(path->cost, 2.0);
+  const auto nodes = path_nodes(g, *path, 0);
+  ASSERT_EQ(nodes.size(), 4u);
+  EXPECT_EQ(nodes[0], 0u);
+  EXPECT_EQ(nodes[1], 1u);
+  EXPECT_EQ(nodes[2], 2u);
+  EXPECT_EQ(nodes[3], 3u);
+}
+
+TEST(ShortestPath, SourceEqualsTarget) {
+  const Digraph g = make_diamond();
+  const auto path = shortest_path(g, 2, 2);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_TRUE(path->empty());
+  EXPECT_DOUBLE_EQ(path->cost, 0.0);
+}
+
+TEST(ShortestPath, NoPathReturnsNullopt) {
+  Digraph g;
+  g.add_node("a");
+  g.add_node("b");
+  g.add_edge(1, 0);  // only b->a
+  EXPECT_FALSE(shortest_path(g, 0, 1).has_value());
+}
+
+TEST(Yen, FirstPathIsShortest) {
+  const Digraph g = make_diamond();
+  const auto paths = yen_k_shortest_paths(g, 0, 3, 3);
+  ASSERT_FALSE(paths.empty());
+  EXPECT_DOUBLE_EQ(paths[0].cost, 2.0);
+}
+
+TEST(Yen, PathsAreSortedAndDistinct) {
+  const Digraph g = make_diamond();
+  const auto paths = yen_k_shortest_paths(g, 0, 3, 5);
+  // Diamond has exactly 3 simple a->d paths: abcd (2), abd (3), acd (2.5).
+  ASSERT_EQ(paths.size(), 3u);
+  EXPECT_DOUBLE_EQ(paths[0].cost, 2.0);
+  EXPECT_DOUBLE_EQ(paths[1].cost, 2.5);
+  EXPECT_DOUBLE_EQ(paths[2].cost, 3.0);
+  std::set<std::vector<EdgeId>> unique;
+  for (const auto& p : paths) unique.insert(p.edges);
+  EXPECT_EQ(unique.size(), paths.size());
+}
+
+TEST(Yen, PathsAreLoopless) {
+  // Graph with a tempting cycle.
+  Digraph g;
+  const NodeId a = g.add_node("a");
+  const NodeId b = g.add_node("b");
+  const NodeId c = g.add_node("c");
+  g.add_edge(a, b, 1.0);
+  g.add_edge(b, c, 1.0);
+  g.add_edge(c, b, 0.1);
+  g.add_edge(b, a, 0.1);
+  g.add_edge(a, c, 5.0);
+  const auto paths = yen_k_shortest_paths(g, a, c, 10);
+  for (const auto& p : paths) {
+    std::set<NodeId> visited;
+    visited.insert(a);
+    NodeId current = a;
+    for (const EdgeId e : p.edges) {
+      current = g.edge(e).to;
+      EXPECT_TRUE(visited.insert(current).second) << "loop detected";
+    }
+  }
+}
+
+TEST(Yen, KZeroReturnsEmpty) {
+  const Digraph g = make_diamond();
+  EXPECT_TRUE(yen_k_shortest_paths(g, 0, 3, 0).empty());
+}
+
+TEST(Yen, DisconnectedReturnsEmpty) {
+  Digraph g;
+  g.add_node("a");
+  g.add_node("b");
+  EXPECT_TRUE(yen_k_shortest_paths(g, 0, 1, 3).empty());
+}
+
+class YenKSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(YenKSweep, CostsNonDecreasingOnGrid) {
+  // 3x3 grid graph, many alternative paths.
+  Digraph g;
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      g.add_node(std::to_string(r) + "," + std::to_string(c));
+    }
+  }
+  const auto id = [](int r, int c) { return static_cast<NodeId>(r * 3 + c); };
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      if (c + 1 < 3) g.add_bidirectional_edge(id(r, c), id(r, c + 1), 1.0 + 0.01 * r);
+      if (r + 1 < 3) g.add_bidirectional_edge(id(r, c), id(r + 1, c), 1.0 + 0.01 * c);
+    }
+  }
+  const auto paths = yen_k_shortest_paths(g, id(0, 0), id(2, 2), GetParam());
+  EXPECT_LE(paths.size(), GetParam());
+  for (std::size_t i = 1; i < paths.size(); ++i) {
+    EXPECT_GE(paths[i].cost, paths[i - 1].cost - 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, YenKSweep, ::testing::Values(1, 2, 4, 8, 16));
+
+}  // namespace
+}  // namespace smn::graph

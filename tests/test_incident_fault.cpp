@@ -1,0 +1,109 @@
+#include "incident/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "depgraph/reddit.h"
+
+namespace smn::incident {
+namespace {
+
+TEST(Fault, AllTypesNamed) {
+  std::set<std::string> names;
+  for (const FaultType type : all_fault_types()) {
+    const std::string name = fault_type_name(type);
+    EXPECT_NE(name, "unknown");
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name " << name;
+  }
+  EXPECT_EQ(names.size(), 14u);
+}
+
+TEST(Fault, ApplicabilityRespectsComponentSemantics) {
+  using K = depgraph::ComponentKind;
+  EXPECT_TRUE(fault_applicable(FaultType::kHypervisorFailure, K::kHypervisor));
+  EXPECT_FALSE(fault_applicable(FaultType::kHypervisorFailure, K::kAppServer));
+  EXPECT_TRUE(fault_applicable(FaultType::kWavelengthDegrade, K::kWanLink));
+  EXPECT_FALSE(fault_applicable(FaultType::kWavelengthDegrade, K::kSwitch));
+  EXPECT_TRUE(fault_applicable(FaultType::kFirewallRule, K::kFirewall));
+  EXPECT_FALSE(fault_applicable(FaultType::kFirewallRule, K::kDatabase));
+  EXPECT_TRUE(fault_applicable(FaultType::kLockContention, K::kDatabase));
+  EXPECT_TRUE(fault_applicable(FaultType::kLockContention, K::kNoSqlStore));
+  EXPECT_FALSE(fault_applicable(FaultType::kLockContention, K::kCache));
+  EXPECT_TRUE(fault_applicable(FaultType::kProcessCrash, K::kAppServer));
+  EXPECT_FALSE(fault_applicable(FaultType::kProcessCrash, K::kWanLink));
+}
+
+TEST(Fault, EveryKindHasAtLeastOneFault) {
+  using K = depgraph::ComponentKind;
+  for (const K kind : {K::kLoadBalancer, K::kAppServer, K::kCache, K::kDatabase,
+                       K::kNoSqlStore, K::kQueue, K::kWorker, K::kSearch, K::kDns,
+                       K::kFirewall, K::kSwitch, K::kFabric, K::kWanLink, K::kHypervisor,
+                       K::kStorage, K::kMonitor}) {
+    bool any = false;
+    for (const FaultType type : all_fault_types()) any = any || fault_applicable(type, kind);
+    EXPECT_TRUE(any) << "kind has no applicable fault";
+  }
+}
+
+TEST(Fault, ProfilesVaryByVariant) {
+  const FaultProfile v0 = fault_profile(FaultType::kProcessCrash, 0);
+  const FaultProfile v1 = fault_profile(FaultType::kProcessCrash, 1);
+  const FaultProfile v2 = fault_profile(FaultType::kProcessCrash, 2);
+  EXPECT_NE(v0.severity_lo, v2.severity_lo);
+  // Odd variants propagate differently ("not injected in the same way").
+  EXPECT_NE(v0.propagation_modifier, v1.propagation_modifier);
+}
+
+TEST(Fault, ProfileSeverityBandsAreValid) {
+  for (const FaultType type : all_fault_types()) {
+    for (std::size_t v = 0; v < kVariantsPerFault; ++v) {
+      const FaultProfile p = fault_profile(type, v);
+      EXPECT_GT(p.severity_lo, 0.0);
+      EXPECT_GT(p.severity_hi, p.severity_lo);
+      EXPECT_LE(p.severity_hi, 1.01);
+      EXPECT_GT(p.propagation_modifier, 0.0);
+      EXPECT_GT(p.attenuation_modifier, 0.0);
+    }
+  }
+}
+
+TEST(Fault, SelfSignalOrdering) {
+  // Misconfiguration faults are near-silent locally; crashes are loud.
+  EXPECT_LT(fault_self_signal(FaultType::kFirewallRule), 0.1);
+  EXPECT_LT(fault_self_signal(FaultType::kBadTimeout), 0.3);
+  EXPECT_GT(fault_self_signal(FaultType::kProcessCrash), 0.8);
+  EXPECT_GT(fault_self_signal(FaultType::kCpuSaturation), 0.8);
+  for (const FaultType type : all_fault_types()) {
+    EXPECT_GE(fault_self_signal(type), 0.0);
+    EXPECT_LE(fault_self_signal(type), 1.0);
+  }
+}
+
+TEST(Fault, EnumerationCoversGraph) {
+  const depgraph::ServiceGraph sg = depgraph::build_reddit_deployment();
+  const std::vector<Fault> faults = enumerate_faults(sg);
+  EXPECT_GT(faults.size(), 100u);
+  // Every fault is applicable and every variant < kVariantsPerFault.
+  std::set<graph::NodeId> components;
+  for (const Fault& f : faults) {
+    EXPECT_TRUE(fault_applicable(f.type, sg.component(f.component).kind));
+    EXPECT_LT(f.variant, kVariantsPerFault);
+    components.insert(f.component);
+  }
+  // Every component is injectable somehow.
+  EXPECT_EQ(components.size(), sg.component_count());
+}
+
+TEST(Fault, EnumerationHasAllVariantsPerCombo) {
+  const depgraph::ServiceGraph sg = depgraph::build_reddit_deployment();
+  const std::vector<Fault> faults = enumerate_faults(sg);
+  std::map<std::pair<int, graph::NodeId>, std::size_t> variants;
+  for (const Fault& f : faults) {
+    ++variants[{static_cast<int>(f.type), f.component}];
+  }
+  for (const auto& [_, count] : variants) EXPECT_EQ(count, kVariantsPerFault);
+}
+
+}  // namespace
+}  // namespace smn::incident

@@ -1,0 +1,163 @@
+// Feature extraction and symptom explainability (§5).
+#include <gtest/gtest.h>
+
+#include "depgraph/reddit.h"
+#include "incident/explainability.h"
+#include "incident/features.h"
+
+namespace smn::incident {
+namespace {
+
+struct Fixture {
+  depgraph::ServiceGraph sg = depgraph::build_reddit_deployment();
+  depgraph::Cdg cdg = depgraph::CdgCoarsener().coarsen(sg);
+  IncidentSimulator sim{sg};
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+Incident simulate(const char* component, FaultType type, std::uint64_t seed) {
+  util::Rng rng(seed);
+  return fixture().sim.simulate(Fault{type, *fixture().sg.find(component), 0}, rng);
+}
+
+TEST(Explainability, ScoresAreNormalized) {
+  const Incident inc = simulate("postgres-primary", FaultType::kDiskPressure, 1);
+  const auto scores = explainability_vector(fixture().cdg, inc.team_syndrome_binary);
+  ASSERT_EQ(scores.size(), fixture().cdg.team_count());
+  for (const double s : scores) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0 + 1e-12);
+  }
+}
+
+TEST(Explainability, PerfectSyndromeScoresOne) {
+  // Observed syndrome identical to a team's prediction => cosine 1 for it.
+  const auto& cdg = fixture().cdg;
+  const auto team = *cdg.find_team(depgraph::kTeamDatabase);
+  const auto predicted = cdg.predicted_syndrome(team);
+  EXPECT_NEAR(symptom_explainability(cdg, team, predicted), 1.0, 1e-12);
+}
+
+TEST(Explainability, EmptySyndromeScoresZero) {
+  const auto& cdg = fixture().cdg;
+  const std::vector<double> empty(cdg.team_count(), 0.0);
+  for (graph::NodeId t = 0; t < cdg.team_count(); ++t) {
+    EXPECT_EQ(symptom_explainability(cdg, t, empty), 0.0);
+  }
+}
+
+TEST(Explainability, RoutesCleanSyndromeToRightTeam) {
+  // With a noiseless full-propagation incident, argmax cosine must hit the
+  // root team for a fault whose syndrome is unique. A database fault's
+  // syndrome (db + app + messaging + monitoring) matches the database
+  // team's prediction exactly.
+  SimulatorConfig config;
+  config.propagation_probability = 1.0;
+  config.false_symptom_probability = 0.0;
+  config.missed_symptom_probability = 0.0;
+  const IncidentSimulator sim(fixture().sg, config);
+  util::Rng rng(2);
+  const Fault fault{FaultType::kLockContention, *fixture().sg.find("postgres-primary"), 2};
+  const Incident inc = sim.simulate(fault, rng);
+  EXPECT_EQ(route_by_explainability(fixture().cdg, inc.team_syndrome_binary), inc.root_team);
+}
+
+TEST(Explainability, SharedHostFaultIsStructurallyAmbiguous) {
+  // Coarsening can create false dependencies (§5, Figure 3 discussion): a
+  // hypervisor hosting the database produces a syndrome the CDG cannot
+  // distinguish from a database failure, so cosine routing may legitimately
+  // pick either the infrastructure or the database team. Document that.
+  SimulatorConfig config;
+  config.propagation_probability = 1.0;
+  config.false_symptom_probability = 0.0;
+  config.missed_symptom_probability = 0.0;
+  const IncidentSimulator sim(fixture().sg, config);
+  util::Rng rng(2);
+  const Fault fault{FaultType::kHypervisorFailure, *fixture().sg.find("hypervisor-3"), 0};
+  const Incident inc = sim.simulate(fault, rng);
+  const std::size_t routed = route_by_explainability(fixture().cdg, inc.team_syndrome_binary);
+  const auto infra = *fixture().cdg.find_team(depgraph::kTeamInfrastructure);
+  const auto database = *fixture().cdg.find_team(depgraph::kTeamDatabase);
+  EXPECT_TRUE(routed == infra || routed == database);
+}
+
+TEST(Features, DimensionsMatchContract) {
+  const FeatureExtractor extractor(fixture().sg, fixture().cdg);
+  const Incident inc = simulate("rabbitmq", FaultType::kProcessCrash, 3);
+  EXPECT_EQ(extractor.health_features(inc).size(), extractor.health_dim());
+  EXPECT_EQ(extractor.explainability_features(inc).size(), 2 * extractor.team_count());
+  EXPECT_EQ(extractor.combined_features(inc).size(), extractor.combined_dim());
+  EXPECT_EQ(extractor.combined_dim(), extractor.health_dim() + 2 * extractor.team_count());
+}
+
+TEST(Features, CombinedIsConcatenation) {
+  const FeatureExtractor extractor(fixture().sg, fixture().cdg);
+  const Incident inc = simulate("search-solr", FaultType::kBadTimeout, 4);
+  const auto health = extractor.health_features(inc);
+  const auto explain = extractor.explainability_features(inc);
+  const auto combined = extractor.combined_features(inc);
+  for (std::size_t i = 0; i < health.size(); ++i) EXPECT_EQ(combined[i], health[i]);
+  for (std::size_t i = 0; i < explain.size(); ++i) {
+    EXPECT_EQ(combined[health.size() + i], explain[i]);
+  }
+}
+
+TEST(Features, MarginsIdentifyArgmax) {
+  const FeatureExtractor extractor(fixture().sg, fixture().cdg);
+  const Incident inc = simulate("cassandra-2", FaultType::kMemoryLeak, 5);
+  const auto explain = extractor.explainability_features(inc);
+  const std::size_t teams = extractor.team_count();
+  // Exactly the argmax team can have a positive margin.
+  std::size_t positive = 0;
+  std::size_t argmax = 0;
+  for (std::size_t t = 1; t < teams; ++t) {
+    if (explain[t] > explain[argmax]) argmax = t;
+  }
+  for (std::size_t t = 0; t < teams; ++t) {
+    if (explain[teams + t] > 0.0) {
+      ++positive;
+      EXPECT_EQ(t, argmax);
+    }
+  }
+  EXPECT_LE(positive, 1u);
+}
+
+TEST(Features, LocalBlockMatchesSlice) {
+  const FeatureExtractor extractor(fixture().sg, fixture().cdg);
+  const Incident inc = simulate("haproxy-2", FaultType::kCertExpiry, 6);
+  const auto health = extractor.health_features(inc);
+  for (std::size_t t = 0; t < extractor.team_count(); ++t) {
+    const auto local = extractor.team_local_features(inc, t);
+    ASSERT_EQ(local.size(), kHealthFeaturesPerTeam);
+    for (std::size_t c = 0; c < kHealthFeaturesPerTeam; ++c) {
+      EXPECT_EQ(local[c], health[t * kHealthFeaturesPerTeam + c]);
+    }
+  }
+}
+
+TEST(Features, VictimTeamLooksSickerThanSilentRoot) {
+  // Fan-out confounder check at the feature level: for a silent firewall
+  // fault with deterministic propagation and no noise, the application
+  // team's mean latency inflation exceeds the network team's.
+  SimulatorConfig config;
+  config.metric_noise_sigma = 0.0;
+  config.propagation_probability = 1.0;
+  const IncidentSimulator sim(fixture().sg, config);
+  util::Rng rng(7);
+  const Fault fault{FaultType::kFirewallRule, *fixture().sg.find("firewall"), 0};
+  const Incident inc = sim.simulate(fault, rng);
+  const FeatureExtractor extractor(fixture().sg, fixture().cdg);
+  const auto health = extractor.health_features(inc);
+  const auto network = *fixture().cdg.find_team(depgraph::kTeamNetwork);
+  const auto application = *fixture().cdg.find_team(depgraph::kTeamApplication);
+  const double network_latency = health[network * kHealthFeaturesPerTeam];
+  const double app_latency = health[application * kHealthFeaturesPerTeam];
+  EXPECT_GT(app_latency, network_latency);
+}
+
+}  // namespace
+}  // namespace smn::incident

@@ -1,0 +1,81 @@
+#include "incident/mttr.h"
+
+#include <gtest/gtest.h>
+
+#include "depgraph/reddit.h"
+#include "incident/routing_experiment.h"
+#include "util/stats.h"
+
+namespace smn::incident {
+namespace {
+
+TEST(Mttr, CorrectAutomatedIsFastest) {
+  const MttrModel model;
+  util::Rng rng(1);
+  util::RunningStats correct_auto, correct_manual, wrong_auto;
+  for (int i = 0; i < 5000; ++i) {
+    correct_auto.add(sample_mttr_minutes(model, true, true, rng));
+    correct_manual.add(sample_mttr_minutes(model, true, false, rng));
+    wrong_auto.add(sample_mttr_minutes(model, false, true, rng));
+  }
+  EXPECT_LT(correct_auto.mean(), correct_manual.mean());
+  EXPECT_LT(correct_manual.mean(), wrong_auto.mean() + model.manual_routing_minutes);
+  // Expected values: correct+auto = 5 + 1 + 60 = 66 min.
+  EXPECT_NEAR(correct_auto.mean(), 66.0, 3.0);
+  // Manual routing adds 29 min.
+  EXPECT_NEAR(correct_manual.mean() - correct_auto.mean(), 29.0, 3.0);
+  // A mis-route adds wrong-team investigation (45) + bounce (15) +
+  // re-triage (30) = 90 min on average.
+  EXPECT_NEAR(wrong_auto.mean() - correct_auto.mean(), 90.0, 5.0);
+}
+
+TEST(Mttr, FloorIsDeterministicPart) {
+  const MttrModel model;
+  util::Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_GE(sample_mttr_minutes(model, true, true, rng),
+              model.detection_minutes + model.automated_routing_minutes);
+  }
+}
+
+TEST(Mttr, EvaluateAggregatesOverIncidents) {
+  const depgraph::ServiceGraph sg = depgraph::build_reddit_deployment();
+  RoutingExperimentConfig config;
+  config.num_incidents = 64;
+  const IncidentDataset ds = generate_incident_dataset(sg, config);
+
+  // Oracle router: always correct.
+  const MttrStats oracle = evaluate_mttr(
+      ds.incidents, [](const Incident& inc) { return inc.root_team; }, true);
+  EXPECT_DOUBLE_EQ(oracle.first_assignment_accuracy, 1.0);
+  EXPECT_NEAR(oracle.mean_minutes, 66.0, 20.0);
+  EXPECT_GE(oracle.p95_minutes, oracle.mean_minutes);
+
+  // Adversarial router: always wrong.
+  const MttrStats adversary = evaluate_mttr(
+      ds.incidents, [](const Incident& inc) { return (inc.root_team + 1) % 8; }, true);
+  EXPECT_DOUBLE_EQ(adversary.first_assignment_accuracy, 0.0);
+  EXPECT_GT(adversary.mean_minutes, oracle.mean_minutes + 60.0);
+}
+
+TEST(Mttr, EmptyIncidentsYieldZeroStats) {
+  const MttrStats stats =
+      evaluate_mttr({}, [](const Incident&) { return std::size_t{0}; }, true);
+  EXPECT_EQ(stats.mean_minutes, 0.0);
+  EXPECT_EQ(stats.first_assignment_accuracy, 0.0);
+}
+
+TEST(Mttr, DeterministicGivenSeed) {
+  const depgraph::ServiceGraph sg = depgraph::build_reddit_deployment();
+  RoutingExperimentConfig config;
+  config.num_incidents = 32;
+  const IncidentDataset ds = generate_incident_dataset(sg, config);
+  const auto router = [](const Incident& inc) { return inc.root_team; };
+  const MttrStats a = evaluate_mttr(ds.incidents, router, true, {}, 7);
+  const MttrStats b = evaluate_mttr(ds.incidents, router, true, {}, 7);
+  EXPECT_DOUBLE_EQ(a.mean_minutes, b.mean_minutes);
+  EXPECT_DOUBLE_EQ(a.p95_minutes, b.p95_minutes);
+}
+
+}  // namespace
+}  // namespace smn::incident

@@ -1,0 +1,187 @@
+#include "incident/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "depgraph/reddit.h"
+#include "graph/reachability.h"
+
+namespace smn::incident {
+namespace {
+
+const depgraph::ServiceGraph& reddit() {
+  static const depgraph::ServiceGraph sg = depgraph::build_reddit_deployment();
+  return sg;
+}
+
+Fault fault_on(const char* component, FaultType type, std::size_t variant = 0) {
+  return Fault{type, *reddit().find(component), variant};
+}
+
+TEST(Simulator, RootSeverityWithinProfileBand) {
+  const IncidentSimulator sim(reddit());
+  util::Rng rng(1);
+  const Fault fault = fault_on("postgres-primary", FaultType::kDiskPressure, 2);
+  const FaultProfile profile = fault_profile(fault.type, fault.variant);
+  for (int i = 0; i < 20; ++i) {
+    const Incident inc = sim.simulate(fault, rng);
+    EXPECT_GE(inc.severity[fault.component], profile.severity_lo - 1e-9);
+    EXPECT_LE(inc.severity[fault.component], std::min(1.0, profile.severity_hi) + 1e-9);
+  }
+}
+
+TEST(Simulator, LabelIsRootTeam) {
+  const IncidentSimulator sim(reddit());
+  util::Rng rng(2);
+  const Incident inc = sim.simulate(fault_on("wan-link-east", FaultType::kLinkFlap), rng);
+  EXPECT_EQ(reddit().teams()[inc.root_team], depgraph::kTeamNetwork);
+}
+
+TEST(Simulator, SeverityOnlyOnDependents) {
+  // Degradation may only appear at the root or its transitive dependents.
+  const IncidentSimulator sim(reddit());
+  util::Rng rng(3);
+  const Fault fault = fault_on("memcached-1", FaultType::kProcessCrash);
+  const auto dependents = graph::reverse_reachable(reddit().graph(), fault.component);
+  for (int i = 0; i < 10; ++i) {
+    const Incident inc = sim.simulate(fault, rng);
+    for (graph::NodeId n = 0; n < reddit().component_count(); ++n) {
+      if (!dependents[n]) {
+        EXPECT_EQ(inc.severity[n], 0.0) << reddit().component(n).name;
+      }
+    }
+  }
+}
+
+TEST(Simulator, FanOutFromLowLayerIsWide) {
+  // Hypervisor failures must degrade components in several teams — the
+  // paper's fan-out confounder.
+  SimulatorConfig config;
+  config.propagation_probability = 1.0;  // deterministic propagation
+  const IncidentSimulator sim(reddit(), config);
+  util::Rng rng(4);
+  const Incident inc = sim.simulate(fault_on("hypervisor-2", FaultType::kHypervisorFailure), rng);
+  std::set<std::size_t> degraded_teams;
+  for (graph::NodeId n = 0; n < reddit().component_count(); ++n) {
+    if (inc.severity[n] > 0.2) degraded_teams.insert(reddit().team_index(n));
+  }
+  EXPECT_GE(degraded_teams.size(), 3u);
+}
+
+TEST(Simulator, SilentFaultHidesRootMetrics) {
+  // A firewall rule fault must leave the firewall's own metrics close to
+  // baseline while degrading dependents.
+  SimulatorConfig config;
+  config.metric_noise_sigma = 0.0;
+  config.propagation_probability = 1.0;
+  config.false_symptom_probability = 0.0;
+  config.missed_symptom_probability = 0.0;
+  const IncidentSimulator sim(reddit(), config);
+  util::Rng rng(5);
+  const Fault fault = fault_on("firewall", FaultType::kFirewallRule);
+  const Incident inc = sim.simulate(fault, rng);
+  const HealthMetrics base = sim.baseline(fault.component);
+  // Root latency inflated by < 10% despite severity >= 0.45.
+  EXPECT_GT(inc.severity[fault.component], 0.4);
+  EXPECT_LT(inc.metrics[fault.component].latency_ms / base.latency_ms, 1.1);
+  // Its dependent (haproxy) is visibly degraded.
+  const auto haproxy = *reddit().find("haproxy-1");
+  EXPECT_GT(inc.metrics[haproxy].latency_ms / sim.baseline(haproxy).latency_ms, 1.3);
+}
+
+TEST(Simulator, LoudFaultShowsRootMetrics) {
+  SimulatorConfig config;
+  config.metric_noise_sigma = 0.0;
+  const IncidentSimulator sim(reddit(), config);
+  util::Rng rng(6);
+  const Fault fault = fault_on("app-r2-1", FaultType::kCpuSaturation);
+  const Incident inc = sim.simulate(fault, rng);
+  EXPECT_GT(inc.metrics[fault.component].latency_ms /
+                sim.baseline(fault.component).latency_ms,
+            1.4);
+}
+
+TEST(Simulator, SyndromeConsistentWithSymptoms) {
+  const IncidentSimulator sim(reddit());
+  util::Rng rng(7);
+  const Incident inc = sim.simulate(fault_on("rabbitmq", FaultType::kProcessCrash), rng);
+  const std::size_t teams = reddit().teams().size();
+  ASSERT_EQ(inc.team_syndrome.size(), teams);
+  ASSERT_EQ(inc.team_syndrome_binary.size(), teams);
+  for (std::size_t t = 0; t < teams; ++t) {
+    EXPECT_GE(inc.team_syndrome[t], 0.0);
+    EXPECT_LE(inc.team_syndrome[t], 1.0);
+    EXPECT_EQ(inc.team_syndrome_binary[t] > 0.0, inc.team_syndrome[t] > 0.0);
+  }
+  // Recompute fractions from the symptom vector.
+  std::vector<std::size_t> sizes(teams, 0), hits(teams, 0);
+  for (graph::NodeId n = 0; n < reddit().component_count(); ++n) {
+    ++sizes[reddit().team_index(n)];
+    if (inc.symptom[n]) ++hits[reddit().team_index(n)];
+  }
+  for (std::size_t t = 0; t < teams; ++t) {
+    EXPECT_NEAR(inc.team_syndrome[t],
+                static_cast<double>(hits[t]) / static_cast<double>(sizes[t]), 1e-12);
+  }
+}
+
+TEST(Simulator, NoNoiseNoFalseSymptoms) {
+  SimulatorConfig config;
+  config.false_symptom_probability = 0.0;
+  config.missed_symptom_probability = 0.0;
+  config.propagation_probability = 1.0;
+  const IncidentSimulator sim(reddit(), config);
+  util::Rng rng(8);
+  const Fault fault = fault_on("cassandra-1", FaultType::kLockContention, 3);
+  const Incident inc = sim.simulate(fault, rng);
+  const double self_signal = fault_self_signal(fault.type);
+  for (graph::NodeId n = 0; n < reddit().component_count(); ++n) {
+    const double observed =
+        n == fault.component ? inc.severity[n] * self_signal : inc.severity[n];
+    EXPECT_EQ(inc.symptom[n], observed >= config.symptom_threshold)
+        << reddit().component(n).name;
+  }
+}
+
+TEST(Simulator, DeterministicGivenRngState) {
+  const IncidentSimulator sim(reddit());
+  util::Rng rng_a(9), rng_b(9);
+  const Fault fault = fault_on("dns", FaultType::kDnsMisconfig);
+  const Incident a = sim.simulate(fault, rng_a);
+  const Incident b = sim.simulate(fault, rng_b);
+  EXPECT_EQ(a.severity, b.severity);
+  EXPECT_EQ(a.symptom, b.symptom);
+  EXPECT_EQ(a.team_syndrome, b.team_syndrome);
+}
+
+TEST(Simulator, MetricsStayInValidRanges) {
+  const IncidentSimulator sim(reddit());
+  util::Rng rng(10);
+  for (int i = 0; i < 30; ++i) {
+    const Incident inc = sim.simulate(fault_on("mcrouter", FaultType::kMemoryLeak,
+                                               static_cast<std::size_t>(i) % 4),
+                                      rng);
+    for (const HealthMetrics& m : inc.metrics) {
+      EXPECT_GT(m.latency_ms, 0.0);
+      EXPECT_GE(m.error_rate, 0.0);
+      EXPECT_LE(m.error_rate, 1.0);
+      EXPECT_GE(m.cpu_util, 0.0);
+      EXPECT_LE(m.cpu_util, 1.0);
+      EXPECT_GE(m.qps_ratio, 0.0);
+      EXPECT_LE(m.qps_ratio, 1.5);
+    }
+  }
+}
+
+TEST(Simulator, AttenuationNeverAmplifiesBeyondRoot) {
+  SimulatorConfig config;
+  config.propagation_probability = 1.0;
+  const IncidentSimulator sim(reddit(), config);
+  util::Rng rng(11);
+  const Fault fault = fault_on("cluster-fabric", FaultType::kPacketLoss);
+  const Incident inc = sim.simulate(fault, rng);
+  const double root = inc.severity[fault.component];
+  for (const double s : inc.severity) EXPECT_LE(s, root + 1e-9);
+}
+
+}  // namespace
+}  // namespace smn::incident

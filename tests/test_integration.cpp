@@ -1,0 +1,184 @@
+// Cross-module integration: the full pipelines the paper's evaluation runs.
+#include <gtest/gtest.h>
+
+#include "capacity/capacity_planner.h"
+#include "depgraph/reddit.h"
+#include "incident/routing_experiment.h"
+#include "smn/smn_controller.h"
+#include "te/coarse_te.h"
+#include "telemetry/log_store.h"
+#include "telemetry/topology_log_coarsening.h"
+#include "telemetry/traffic_generator.h"
+#include "topology/supernode.h"
+#include "topology/wan_generator.h"
+
+namespace smn {
+namespace {
+
+// --- Pipeline 1 (§4): traffic -> logs -> coarsen -> TE on both -> fidelity.
+TEST(Integration, CoarseBandwidthLogPipeline) {
+  topology::WanConfig wan_config;
+  wan_config.continents = 3;
+  wan_config.regions_per_continent = 2;
+  wan_config.dcs_per_region = 5;
+  const topology::WanTopology wan = topology::generate_planetary_wan(wan_config);
+
+  telemetry::TrafficConfig traffic;
+  traffic.duration = 6 * util::kHour;
+  traffic.active_pairs = 80;
+  traffic.seed = 101;
+  const telemetry::BandwidthLog fine_log =
+      telemetry::TrafficGenerator(wan, traffic).generate();
+
+  // Topology-coarsen the log consistently with the graph coarsening.
+  const auto coarsener = topology::SupernodeCoarsener::by_region();
+  const graph::Partition partition = coarsener.partition_for(wan);
+  const telemetry::TopologyLogCoarsener log_coarsener(wan, partition);
+  const telemetry::BandwidthLog coarse_log = log_coarsener.coarsen(fine_log);
+  EXPECT_LT(coarse_log.record_count(), fine_log.record_count());
+
+  // TE fidelity with the same demands.
+  const auto commodities =
+      te::DemandMatrix::from_log(fine_log, te::DemandStatistic::kMean).to_commodities(wan);
+  const te::CoarseTeReport report = te::evaluate_coarse_te(wan, partition, commodities);
+  EXPECT_GT(report.fidelity, 0.2);
+  EXPECT_GT(report.topology_reduction, 1.5);
+  // Coarse solve must be cheaper in shortest-path work.
+  EXPECT_LT(report.coarse_sp_calls, report.fine_sp_calls);
+}
+
+// --- Pipeline 2 (§4): logs -> store with retention -> capacity planning.
+TEST(Integration, LogStoreToCapacityPlanning) {
+  topology::WanTopology wan;
+  const auto a = wan.add_datacenter({"w/a", "w", "na", 0, 0});
+  const auto b = wan.add_datacenter({"e/b", "e", "na", 5, 0});
+  wan.add_link(a, b, 100.0, 400.0, 1.0);
+
+  telemetry::BandwidthLogStore store;
+  telemetry::BandwidthLog log;
+  for (util::SimTime t = 0; t < 2 * util::kDay; t += util::kTelemetryEpoch) {
+    log.append({t, "w/a", "e/b", 90.0});
+  }
+  store.ingest(log);
+  store.coarsen_older_than(2 * util::kDay, util::kDay, util::kHour);
+
+  // Plan from the fine tail...
+  const capacity::CapacityPlanner planner(wan, {});
+  const capacity::CapacityPlan fine_plan =
+      planner.plan(store.fine_range(util::kDay, 2 * util::kDay));
+  // ...and from the coarsened history.
+  const capacity::CapacityPlan coarse_plan = planner.plan_from_coarse(store.coarse());
+  ASSERT_EQ(fine_plan.upgrades.size(), 1u);
+  ASSERT_EQ(coarse_plan.upgrades.size(), 1u);
+  EXPECT_DOUBLE_EQ(capacity::plan_agreement(fine_plan, coarse_plan), 1.0);
+}
+
+// --- Pipeline 3 (§5): incidents through the full SMN controller.
+TEST(Integration, IncidentLifecycleThroughController) {
+  const depgraph::ServiceGraph sg = depgraph::build_reddit_deployment();
+  const topology::WanTopology wan = topology::generate_test_wan();
+  smn::SmnConfig config;
+  config.clto.training_incidents = 240;
+  config.clto.forest_trees = 60;
+  smn::SmnController controller(sg, wan, config);
+
+  incident::RoutingExperimentConfig gen_config;
+  gen_config.num_incidents = 48;
+  gen_config.seed = 777;
+  const incident::IncidentDataset incidents =
+      incident::generate_incident_dataset(sg, gen_config);
+
+  std::size_t correct = 0;
+  util::SimTime now = 0;
+  for (const incident::Incident& inc : incidents.incidents) {
+    now += util::kMinute;
+    const smn::RoutingDecision decision = controller.handle_incident(inc, now);
+    if (decision.team == inc.root_team) ++correct;
+  }
+  // The trained router must beat random routing (1/8) by a wide margin on
+  // fresh incidents.
+  const double accuracy =
+      static_cast<double>(correct) / static_cast<double>(incidents.incidents.size());
+  EXPECT_GT(accuracy, 0.4);
+  EXPECT_EQ(controller.incidents_handled(), incidents.incidents.size());
+  // Everything was archived and feedback flowed.
+  EXPECT_EQ(controller.clds().record_count("incidents"), incidents.incidents.size());
+  EXPECT_GE(controller.feedback().of_kind(smn::FeedbackKind::kIncidentAssignment).size(),
+            incidents.incidents.size());
+}
+
+// --- Pipeline 4 (§6): a week of controller operation with control loops.
+TEST(Integration, WeekOfControlLoops) {
+  const depgraph::ServiceGraph sg = depgraph::build_reddit_deployment();
+  const topology::WanTopology wan = topology::generate_test_wan();
+  smn::SmnConfig config;
+  config.clto.training_incidents = 120;
+  config.clto.forest_trees = 30;
+  config.retention.fine_horizon = 2 * util::kDay;
+  config.retention.coarse_window = util::kDay;
+  config.retention.failure_free_sample_rate = 0.0;
+  smn::SmnController controller(sg, wan, config);
+
+  telemetry::TrafficConfig traffic;
+  traffic.duration = util::kWeek;
+  traffic.active_pairs = 10;
+  traffic.seed = 55;
+  const telemetry::TrafficGenerator gen(wan, traffic);
+  controller.bandwidth_store().ingest(gen.generate());
+
+  for (util::SimTime t = 0; t < util::kWeek; t += util::kHour) {
+    controller.tick(t);
+    smn::Record r;
+    r.timestamp = t;
+    r.numeric["error_rate"] = 0.001;
+    controller.ingest_telemetry("telemetry.application", r);
+  }
+  // Retention loop ran and summarized old telemetry.
+  const smn::LakeStats stats = controller.clds().stats();
+  EXPECT_GT(stats.summaries, 0u);
+  // Capacity planning runs off the bandwidth store; any upgrade it
+  // proposes must be justified by sustained overload (cross-layer rules).
+  const auto plan = controller.run_capacity_planning(util::kWeek);
+  for (const auto& upgrade : plan.upgrades) {
+    EXPECT_GE(upgrade.overload_fraction, 0.3);
+    EXPECT_GT(upgrade.proposed_capacity_gbps, upgrade.old_capacity_gbps);
+  }
+}
+
+// --- The |s| < |S| law across every coarsening in the library.
+TEST(Integration, AllCoarseningsShrink) {
+  // Topology.
+  const topology::WanTopology wan = topology::generate_planetary_wan({});
+  const auto region = topology::SupernodeCoarsener::by_region();
+  EXPECT_GT(region.reduction_factor(wan, region.coarsen(wan)), 1.0);
+
+  // Bandwidth logs (time + topology).
+  telemetry::TrafficConfig traffic;
+  traffic.duration = util::kDay;
+  traffic.active_pairs = 200;
+  const telemetry::BandwidthLog log = telemetry::TrafficGenerator(wan, traffic).generate();
+  const telemetry::TimeCoarsener time_coarsener(util::kHour);
+  EXPECT_GT(time_coarsener.reduction_factor(log, time_coarsener.coarsen(log)), 1.0);
+  const telemetry::TopologyLogCoarsener topo_coarsener(wan, wan.region_partition());
+  EXPECT_GT(topo_coarsener.reduction_factor(log, topo_coarsener.coarsen(log)), 1.0);
+
+  // Dependency graph.
+  const depgraph::ServiceGraph sg = depgraph::build_reddit_deployment();
+  const depgraph::CdgCoarsener cdg_coarsener;
+  EXPECT_GT(cdg_coarsener.reduction_factor(sg, cdg_coarsener.coarsen(sg)), 1.0);
+}
+
+// --- The coarsening registry knows the paper's two examples (Table 2).
+TEST(Integration, RegistryMatchesTable2) {
+  const auto& registry = core::CoarseningRegistry::instance();
+  const auto* bw = registry.find("coarse-bw-logs");
+  ASSERT_NE(bw, nullptr);
+  EXPECT_EQ(bw->mapping, "Nodes -> Meta Nodes");
+  const auto* cdg = registry.find("cdg");
+  ASSERT_NE(cdg, nullptr);
+  EXPECT_EQ(cdg->whats_gained, "Extra signal for incident routing");
+  EXPECT_GE(registry.entries().size(), 2u);
+}
+
+}  // namespace
+}  // namespace smn

@@ -1,0 +1,177 @@
+#include "lp/mcf.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/wan_generator.h"
+
+namespace smn::lp {
+namespace {
+
+/// s -> t via two parallel 2-hop paths with capacities 10 and 5.
+graph::Digraph two_path_graph() {
+  graph::Digraph g;
+  const auto s = g.add_node("s");
+  const auto a = g.add_node("a");
+  const auto b = g.add_node("b");
+  const auto t = g.add_node("t");
+  g.add_edge(s, a, 1.0, 10.0);
+  g.add_edge(a, t, 1.0, 10.0);
+  g.add_edge(s, b, 1.0, 5.0);
+  g.add_edge(b, t, 1.0, 5.0);
+  return g;
+}
+
+TEST(Mcf, SingleCommodityMaxFlow) {
+  const graph::Digraph g = two_path_graph();
+  const std::vector<Commodity> demands = {{0, 3, 30.0}};
+  const McfResult result = max_concurrent_flow(g, demands, {.epsilon = 0.02});
+  // Max flow is 15; demand 30 => lambda* = 0.5.
+  EXPECT_GT(result.lambda, 0.45);
+  EXPECT_LE(result.lambda, 0.5 + 1e-9);
+}
+
+TEST(Mcf, FullySatisfiableDemand) {
+  const graph::Digraph g = two_path_graph();
+  const std::vector<Commodity> demands = {{0, 3, 10.0}};
+  const McfResult result = max_concurrent_flow(g, demands, {.epsilon = 0.02});
+  EXPECT_GT(result.lambda, 1.3);  // 15/10 with slack for approximation
+}
+
+TEST(Mcf, SolutionIsCapacityFeasible) {
+  const graph::Digraph g = two_path_graph();
+  const std::vector<Commodity> demands = {{0, 3, 30.0}, {1, 3, 5.0}};
+  const McfResult result = max_concurrent_flow(g, demands);
+  for (graph::EdgeId e = 0; e < g.edge_count(); ++e) {
+    EXPECT_LE(result.edge_flow[e], g.edge(e).capacity + 1e-9);
+  }
+}
+
+TEST(Mcf, PathDecompositionMatchesEdgeFlows) {
+  const graph::Digraph g = two_path_graph();
+  const std::vector<Commodity> demands = {{0, 3, 30.0}};
+  const McfResult result = max_concurrent_flow(g, demands);
+  std::vector<double> reconstructed(g.edge_count(), 0.0);
+  for (const PathFlow& p : result.paths) {
+    for (const graph::EdgeId e : p.edges) reconstructed[e] += p.flow;
+  }
+  for (graph::EdgeId e = 0; e < g.edge_count(); ++e) {
+    EXPECT_NEAR(reconstructed[e], result.edge_flow[e], 1e-9);
+  }
+}
+
+TEST(Mcf, RoutedMatchesLambdaTimesDemand) {
+  const graph::Digraph g = two_path_graph();
+  const std::vector<Commodity> demands = {{0, 3, 20.0}};
+  const McfResult result = max_concurrent_flow(g, demands);
+  EXPECT_GE(result.routed[0] + 1e-9, result.lambda * demands[0].demand);
+}
+
+TEST(Mcf, TwoCommoditySharedBottleneck) {
+  // Both commodities cross one shared edge of capacity 10.
+  graph::Digraph g;
+  const auto s1 = g.add_node("s1");
+  const auto s2 = g.add_node("s2");
+  const auto m = g.add_node("m");
+  const auto n = g.add_node("n");
+  const auto t1 = g.add_node("t1");
+  const auto t2 = g.add_node("t2");
+  g.add_edge(s1, m, 1.0, 100.0);
+  g.add_edge(s2, m, 1.0, 100.0);
+  g.add_edge(m, n, 1.0, 10.0);  // bottleneck
+  g.add_edge(n, t1, 1.0, 100.0);
+  g.add_edge(n, t2, 1.0, 100.0);
+  const std::vector<Commodity> demands = {{s1, t1, 10.0}, {s2, t2, 10.0}};
+  const McfResult result = max_concurrent_flow(g, demands, {.epsilon = 0.02});
+  // lambda* = 0.5 (10 units shared by 20 demanded).
+  EXPECT_NEAR(result.lambda, 0.5, 0.05);
+}
+
+TEST(Mcf, DisconnectedCommodityGivesZeroLambda) {
+  graph::Digraph g;
+  g.add_node("a");
+  g.add_node("b");
+  g.add_node("c");
+  g.add_edge(0, 1, 1.0, 10.0);
+  const std::vector<Commodity> demands = {{0, 1, 5.0}, {0, 2, 5.0}};
+  const McfResult result = max_concurrent_flow(g, demands);
+  EXPECT_EQ(result.lambda, 0.0);
+}
+
+TEST(Mcf, ZeroDemandsIgnored) {
+  const graph::Digraph g = two_path_graph();
+  const std::vector<Commodity> demands = {{0, 3, 0.0}};
+  const McfResult result = max_concurrent_flow(g, demands);
+  EXPECT_EQ(result.lambda, 0.0);
+  EXPECT_EQ(result.total_flow, 0.0);
+}
+
+TEST(Mcf, InvalidInputsThrow) {
+  const graph::Digraph g = two_path_graph();
+  EXPECT_THROW(max_concurrent_flow(g, {{0, 3, -1.0}}), std::invalid_argument);
+  EXPECT_THROW(max_concurrent_flow(g, {{0, 99, 1.0}}), std::invalid_argument);
+  EXPECT_THROW(max_concurrent_flow(g, {{0, 3, 1.0}}, {.epsilon = 0.0}), std::invalid_argument);
+  EXPECT_THROW(max_concurrent_flow(g, {{0, 3, 1.0}}, {.epsilon = 1.0}), std::invalid_argument);
+}
+
+TEST(Mcf, ApproximationWithinBoundOfExact) {
+  // Exact optimum computable by hand: single commodity, series-parallel.
+  const graph::Digraph g = two_path_graph();
+  const std::vector<Commodity> demands = {{0, 3, 15.0}};  // lambda* = 1.0
+  for (const double eps : {0.3, 0.1, 0.05}) {
+    const McfResult result = max_concurrent_flow(g, demands, {.epsilon = eps});
+    EXPECT_GE(result.lambda, (1.0 - 3.0 * eps)) << "eps=" << eps;
+    EXPECT_LE(result.lambda, 1.0 + 1e-9);
+  }
+}
+
+TEST(Mcf, TighterEpsilonNotWorse) {
+  const graph::Digraph g = two_path_graph();
+  const std::vector<Commodity> demands = {{0, 3, 30.0}, {1, 3, 4.0}};
+  const double loose = max_concurrent_flow(g, demands, {.epsilon = 0.3}).lambda;
+  const double tight = max_concurrent_flow(g, demands, {.epsilon = 0.03}).lambda;
+  EXPECT_GE(tight, loose - 0.05);
+}
+
+TEST(Mcf, WorksOnGeneratedWan) {
+  const topology::WanTopology wan = topology::generate_test_wan();
+  std::vector<Commodity> demands;
+  demands.push_back({0, static_cast<graph::NodeId>(wan.datacenter_count() - 1), 100.0});
+  demands.push_back({1, static_cast<graph::NodeId>(wan.datacenter_count() - 2), 200.0});
+  const McfResult result = max_concurrent_flow(wan.graph(), demands);
+  EXPECT_GT(result.lambda, 0.0);
+  EXPECT_GT(result.sp_calls, 0u);
+  for (graph::EdgeId e = 0; e < wan.graph().edge_count(); ++e) {
+    EXPECT_LE(result.edge_flow[e], wan.graph().edge(e).capacity + 1e-9);
+  }
+}
+
+TEST(FixedRouting, ComputesLambdaAndUtilization) {
+  const graph::Digraph g = two_path_graph();
+  const std::vector<Commodity> demands = {{0, 3, 20.0}};
+  // Route everything over the capacity-10 path.
+  const std::vector<RoutedDemand> routing = {{0, {0, 1}, 1.0}};
+  const FixedRoutingResult result = evaluate_fixed_routing(g, demands, routing);
+  EXPECT_NEAR(result.lambda, 0.5, 1e-12);  // 10 / 20
+  EXPECT_NEAR(result.max_utilization, 2.0, 1e-12);
+  EXPECT_NEAR(result.edge_load[0], 20.0, 1e-12);
+  EXPECT_NEAR(result.edge_load[2], 0.0, 1e-12);
+}
+
+TEST(FixedRouting, SplitRouting) {
+  const graph::Digraph g = two_path_graph();
+  const std::vector<Commodity> demands = {{0, 3, 12.0}};
+  const std::vector<RoutedDemand> routing = {{0, {0, 1}, 2.0 / 3.0}, {0, {2, 3}, 1.0 / 3.0}};
+  const FixedRoutingResult result = evaluate_fixed_routing(g, demands, routing);
+  // Loads: 8 on cap-10 path, 4 on cap-5 path => lambda = min(10/8, 5/4).
+  EXPECT_NEAR(result.lambda, 1.25, 1e-9);
+}
+
+TEST(FixedRouting, EmptyRoutingHasZeroLambda) {
+  const graph::Digraph g = two_path_graph();
+  const FixedRoutingResult result = evaluate_fixed_routing(g, {{0, 3, 5.0}}, {});
+  EXPECT_EQ(result.lambda, 0.0);
+  EXPECT_EQ(result.max_utilization, 0.0);
+}
+
+}  // namespace
+}  // namespace smn::lp

@@ -1,0 +1,150 @@
+#include "lp/simplex.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace smn::lp {
+namespace {
+
+TEST(Simplex, TextbookTwoVariable) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 => optimum 36 at (2, 6).
+  LinearProgram lp(2);
+  lp.set_objective(0, 3.0);
+  lp.set_objective(1, 5.0);
+  lp.add_constraint({0}, {1.0}, 4.0);
+  lp.add_constraint({1}, {2.0}, 12.0);
+  lp.add_constraint({0, 1}, {3.0, 2.0}, 18.0);
+  const LpResult result = lp.maximize();
+  ASSERT_TRUE(result.optimal());
+  EXPECT_NEAR(result.objective, 36.0, 1e-9);
+  EXPECT_NEAR(result.x[0], 2.0, 1e-9);
+  EXPECT_NEAR(result.x[1], 6.0, 1e-9);
+}
+
+TEST(Simplex, SingleVariableBound) {
+  LinearProgram lp(1);
+  lp.set_objective(0, 1.0);
+  lp.add_constraint({0}, {2.0}, 10.0);
+  const LpResult result = lp.maximize();
+  ASSERT_TRUE(result.optimal());
+  EXPECT_NEAR(result.objective, 5.0, 1e-9);
+}
+
+TEST(Simplex, UnboundedDetected) {
+  LinearProgram lp(2);
+  lp.set_objective(0, 1.0);
+  lp.add_constraint({1}, {1.0}, 5.0);  // x0 unconstrained
+  EXPECT_EQ(lp.maximize().status, LpStatus::kUnbounded);
+}
+
+TEST(Simplex, UnconstrainedNonPositiveObjectiveIsOptimalAtZero) {
+  LinearProgram lp(2);
+  lp.set_objective(0, -1.0);
+  const LpResult result = lp.maximize();
+  ASSERT_TRUE(result.optimal());
+  EXPECT_EQ(result.objective, 0.0);
+}
+
+TEST(Simplex, UnconstrainedPositiveObjectiveIsUnbounded) {
+  LinearProgram lp(1);
+  lp.set_objective(0, 1.0);
+  EXPECT_EQ(lp.maximize().status, LpStatus::kUnbounded);
+}
+
+TEST(Simplex, ZeroObjectiveIsTriviallyOptimal) {
+  LinearProgram lp(2);
+  lp.add_constraint({0, 1}, {1.0, 1.0}, 3.0);
+  const LpResult result = lp.maximize();
+  ASSERT_TRUE(result.optimal());
+  EXPECT_EQ(result.objective, 0.0);
+}
+
+TEST(Simplex, NegativeRhsRejected) {
+  LinearProgram lp(1);
+  EXPECT_THROW(lp.add_constraint({0}, {1.0}, -1.0), std::invalid_argument);
+}
+
+TEST(Simplex, MismatchedVectorsRejected) {
+  LinearProgram lp(2);
+  EXPECT_THROW(lp.add_constraint({0, 1}, {1.0}, 1.0), std::invalid_argument);
+}
+
+TEST(Simplex, ZeroVariablesRejected) {
+  EXPECT_THROW(LinearProgram(0), std::invalid_argument);
+}
+
+TEST(Simplex, RepeatedVarsInConstraintAccumulate) {
+  // x + x <= 4 means x <= 2.
+  LinearProgram lp(1);
+  lp.set_objective(0, 1.0);
+  lp.add_constraint({0, 0}, {1.0, 1.0}, 4.0);
+  const LpResult result = lp.maximize();
+  ASSERT_TRUE(result.optimal());
+  EXPECT_NEAR(result.objective, 2.0, 1e-9);
+}
+
+TEST(Simplex, DegenerateTiesTerminate) {
+  // Degenerate LP that cycles without Bland's rule.
+  LinearProgram lp(4);
+  lp.set_objective(0, 10.0);
+  lp.set_objective(1, -57.0);
+  lp.set_objective(2, -9.0);
+  lp.set_objective(3, -24.0);
+  lp.add_constraint({0, 1, 2, 3}, {0.5, -5.5, -2.5, 9.0}, 0.0);
+  lp.add_constraint({0, 1, 2, 3}, {0.5, -1.5, -0.5, 1.0}, 0.0);
+  lp.add_constraint({0}, {1.0}, 1.0);
+  const LpResult result = lp.maximize();
+  ASSERT_TRUE(result.optimal());
+  EXPECT_NEAR(result.objective, 1.0, 1e-6);
+}
+
+TEST(Simplex, MaxFlowAsLp) {
+  // Two parallel paths with capacities 3 and 4: max s-t flow = 7.
+  // Variables: f1, f2. max f1 + f2, f1 <= 3, f2 <= 4.
+  LinearProgram lp(2);
+  lp.set_objective(0, 1.0);
+  lp.set_objective(1, 1.0);
+  lp.add_constraint({0}, {1.0}, 3.0);
+  lp.add_constraint({1}, {1.0}, 4.0);
+  const LpResult result = lp.maximize();
+  ASSERT_TRUE(result.optimal());
+  EXPECT_NEAR(result.objective, 7.0, 1e-9);
+}
+
+class SimplexRandomSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexRandomSweep, SolutionIsFeasibleAndComplementary) {
+  // Random LPs: verify the returned point is feasible and no constraint is
+  // violated; objective must be >= any of a few random feasible points.
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const std::size_t n = 4, m = 6;
+  LinearProgram lp(n);
+  std::vector<std::vector<double>> rows(m, std::vector<double>(n));
+  std::vector<double> rhs(m);
+  for (std::size_t v = 0; v < n; ++v) lp.set_objective(v, rng.uniform(0.1, 2.0));
+  for (std::size_t r = 0; r < m; ++r) {
+    std::vector<std::size_t> vars(n);
+    std::vector<double> coeffs(n);
+    for (std::size_t v = 0; v < n; ++v) {
+      vars[v] = v;
+      coeffs[v] = rng.uniform(0.1, 1.0);
+      rows[r][v] = coeffs[v];
+    }
+    rhs[r] = rng.uniform(1.0, 10.0);
+    lp.add_constraint(vars, coeffs, rhs[r]);
+  }
+  const LpResult result = lp.maximize();
+  ASSERT_TRUE(result.optimal());
+  for (std::size_t r = 0; r < m; ++r) {
+    double lhs = 0.0;
+    for (std::size_t v = 0; v < n; ++v) lhs += rows[r][v] * result.x[v];
+    EXPECT_LE(lhs, rhs[r] + 1e-7);
+  }
+  for (const double x : result.x) EXPECT_GE(x, -1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Instances, SimplexRandomSweep, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace smn::lp

@@ -1,0 +1,293 @@
+// Dataset, CART tree, and Random Forest.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/dataset.h"
+#include "ml/decision_tree.h"
+#include "ml/random_forest.h"
+#include "util/rng.h"
+
+namespace smn::ml {
+namespace {
+
+/// Two well-separated Gaussian blobs in 2D.
+Dataset blobs(std::size_t per_class, double separation, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Dataset data(2, 2);
+  for (std::size_t i = 0; i < per_class; ++i) {
+    data.add({rng.normal(0.0, 1.0), rng.normal(0.0, 1.0)}, 0, i % 10);
+    data.add({rng.normal(separation, 1.0), rng.normal(separation, 1.0)}, 1, 10 + i % 10);
+  }
+  return data;
+}
+
+/// XOR pattern: requires at least depth-2 interaction.
+Dataset xor_data(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Dataset data(2, 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = rng.uniform(-1.0, 1.0);
+    const double y = rng.uniform(-1.0, 1.0);
+    data.add({x, y}, (x > 0) != (y > 0) ? 1 : 0, i % 8);
+  }
+  return data;
+}
+
+TEST(Dataset, AddAndAccess) {
+  Dataset data(3, 2);
+  data.add({1.0, 2.0, 3.0}, 1, 5);
+  EXPECT_EQ(data.size(), 1u);
+  EXPECT_EQ(data.label(0), 1u);
+  EXPECT_EQ(data.group(0), 5u);
+  EXPECT_DOUBLE_EQ(data.row(0)[2], 3.0);
+}
+
+TEST(Dataset, ValidatesInput) {
+  Dataset data(2, 2);
+  EXPECT_THROW(data.add({1.0}, 0), std::invalid_argument);
+  EXPECT_THROW(data.add({1.0, 2.0}, 5), std::invalid_argument);
+}
+
+TEST(Dataset, Subset) {
+  Dataset data = blobs(10, 3.0, 1);
+  const Dataset sub = data.subset({0, 2, 4});
+  EXPECT_EQ(sub.size(), 3u);
+  EXPECT_EQ(sub.label(0), data.label(0));
+  EXPECT_EQ(sub.group(2), data.group(4));
+}
+
+TEST(Dataset, SelectFeatures) {
+  Dataset data(3, 2);
+  data.add({1.0, 2.0, 3.0}, 0);
+  const Dataset selected = data.select_features({2, 0});
+  EXPECT_EQ(selected.num_features(), 2u);
+  EXPECT_DOUBLE_EQ(selected.row(0)[0], 3.0);
+  EXPECT_DOUBLE_EQ(selected.row(0)[1], 1.0);
+}
+
+TEST(Dataset, Relabel) {
+  Dataset data(1, 3);
+  data.add({0.0}, 0);
+  data.add({0.0}, 1);
+  data.add({0.0}, 2);
+  const Dataset binary = data.relabel({0, 1, 1}, 2);
+  EXPECT_EQ(binary.num_classes(), 2u);
+  EXPECT_EQ(binary.label(2), 1u);
+  EXPECT_THROW(data.relabel({0, 1}, 2), std::invalid_argument);
+}
+
+TEST(Dataset, SplitByGroupKeepsGroupsIntact) {
+  const Dataset data = blobs(40, 3.0, 2);
+  util::Rng rng(3);
+  const auto [train, test] = data.split_by_group(0.3, rng);
+  EXPECT_EQ(train.size() + test.size(), data.size());
+  EXPECT_GT(test.size(), 0u);
+  std::set<std::size_t> train_groups, test_groups;
+  for (std::size_t i = 0; i < train.size(); ++i) train_groups.insert(train.group(i));
+  for (std::size_t i = 0; i < test.size(); ++i) test_groups.insert(test.group(i));
+  for (const std::size_t g : test_groups) {
+    EXPECT_FALSE(train_groups.contains(g)) << "group " << g << " straddles the split";
+  }
+}
+
+TEST(Dataset, ClassCounts) {
+  Dataset data(1, 3);
+  data.add({0.0}, 0);
+  data.add({0.0}, 2);
+  data.add({0.0}, 2);
+  const auto counts = data.class_counts();
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 0u);
+  EXPECT_EQ(counts[2], 2u);
+}
+
+TEST(DecisionTree, FitsSeparableBlobs) {
+  const Dataset data = blobs(100, 4.0, 4);
+  DecisionTree tree;
+  util::Rng rng(5);
+  tree.fit(data, {}, rng);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (tree.predict(data.row(i)) == data.label(i)) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(data.size()), 0.95);
+}
+
+TEST(DecisionTree, SolvesXor) {
+  const Dataset data = xor_data(400, 6);
+  DecisionTree tree;
+  util::Rng rng(7);
+  tree.fit(data, {}, rng);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (tree.predict(data.row(i)) == data.label(i)) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(data.size()), 0.9);
+}
+
+TEST(DecisionTree, PureDataYieldsSingleLeaf) {
+  Dataset data(1, 2);
+  for (int i = 0; i < 10; ++i) data.add({static_cast<double>(i)}, 1);
+  DecisionTree tree;
+  util::Rng rng(8);
+  tree.fit(data, {}, rng);
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_EQ(tree.predict(std::vector<double>{42.0}), 1u);
+}
+
+TEST(DecisionTree, DepthLimitRespected) {
+  const Dataset data = xor_data(200, 9);
+  DecisionTree tree;
+  util::Rng rng(10);
+  TreeConfig config;
+  config.max_depth = 2;
+  tree.fit(data, config, rng);
+  EXPECT_LE(tree.depth(), 2u);
+}
+
+TEST(DecisionTree, ProbabilitiesSumToOne) {
+  const Dataset data = blobs(50, 2.0, 11);
+  DecisionTree tree;
+  util::Rng rng(12);
+  tree.fit(data, {}, rng);
+  const auto proba = tree.predict_proba(data.row(0));
+  ASSERT_EQ(proba.size(), 2u);
+  EXPECT_NEAR(proba[0] + proba[1], 1.0, 1e-9);
+}
+
+TEST(DecisionTree, EmptyDatasetThrows) {
+  Dataset data(1, 2);
+  DecisionTree tree;
+  util::Rng rng(13);
+  EXPECT_THROW(tree.fit(data, {}, rng), std::invalid_argument);
+}
+
+TEST(RandomForest, BeatsChanceOnXor) {
+  const Dataset train = xor_data(600, 14);
+  const Dataset test = xor_data(200, 15);
+  RandomForest forest;
+  ForestConfig config;
+  config.num_trees = 50;
+  forest.fit(train, config);
+  EXPECT_GT(accuracy(forest, test), 0.85);
+}
+
+TEST(RandomForest, DeterministicGivenSeed) {
+  const Dataset data = blobs(50, 2.0, 16);
+  RandomForest a, b;
+  ForestConfig config;
+  config.num_trees = 20;
+  config.seed = 99;
+  a.fit(data, config);
+  b.fit(data, config);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(a.predict(data.row(i)), b.predict(data.row(i)));
+  }
+}
+
+TEST(RandomForest, ValidatesConfig) {
+  const Dataset data = blobs(10, 2.0, 17);
+  RandomForest forest;
+  ForestConfig config;
+  config.num_trees = 0;
+  EXPECT_THROW(forest.fit(data, config), std::invalid_argument);
+  EXPECT_THROW(forest.fit(Dataset(1, 2), {}), std::invalid_argument);
+}
+
+TEST(RandomForest, ClassProbaConsistentWithArgmax) {
+  const Dataset data = blobs(80, 3.0, 18);
+  RandomForest forest;
+  forest.fit(data, {});
+  for (std::size_t i = 0; i < 10; ++i) {
+    const auto proba = forest.predict_proba(data.row(i));
+    const std::size_t argmax = forest.predict(data.row(i));
+    for (std::size_t c = 0; c < proba.size(); ++c) {
+      EXPECT_LE(proba[c], proba[argmax] + 1e-12);
+    }
+    EXPECT_DOUBLE_EQ(forest.predict_class_proba(data.row(i), argmax), proba[argmax]);
+  }
+}
+
+TEST(Metrics, ConfusionMatrixDiagonalOnPerfectData) {
+  const Dataset data = blobs(100, 6.0, 19);
+  RandomForest forest;
+  forest.fit(data, {});
+  const auto matrix = confusion_matrix(forest, data);
+  std::size_t off_diagonal = 0;
+  for (std::size_t r = 0; r < matrix.size(); ++r) {
+    for (std::size_t c = 0; c < matrix.size(); ++c) {
+      if (r != c) off_diagonal += matrix[r][c];
+    }
+  }
+  EXPECT_LT(static_cast<double>(off_diagonal) / static_cast<double>(data.size()), 0.02);
+}
+
+TEST(Metrics, MacroF1PerfectIsOne) {
+  const Dataset data = blobs(50, 8.0, 20);
+  RandomForest forest;
+  forest.fit(data, {});
+  EXPECT_GT(macro_f1(forest, data), 0.97);
+}
+
+TEST(Metrics, AccuracyEmptyDatasetIsZero) {
+  const Dataset data = blobs(10, 2.0, 21);
+  RandomForest forest;
+  forest.fit(data, {});
+  EXPECT_EQ(accuracy(forest, Dataset(2, 2)), 0.0);
+}
+
+TEST(PermutationImportance, InformativeFeatureDominates) {
+  // Feature 0 decides the label; feature 1 is noise.
+  util::Rng gen(30);
+  Dataset data(2, 2);
+  for (int i = 0; i < 400; ++i) {
+    const double x = gen.uniform(-1.0, 1.0);
+    data.add({x, gen.uniform(-1.0, 1.0)}, x > 0 ? 1 : 0);
+  }
+  RandomForest forest;
+  forest.fit(data, {});
+  util::Rng rng(31);
+  const auto importance = permutation_importance(forest, data, rng);
+  ASSERT_EQ(importance.size(), 2u);
+  EXPECT_GT(importance[0], 0.2);
+  EXPECT_GT(importance[0], 10.0 * std::max(importance[1], 0.001));
+}
+
+TEST(PermutationImportance, ZeroForEmptyInputs) {
+  Dataset data = blobs(20, 3.0, 32);
+  RandomForest forest;
+  forest.fit(data, {});
+  util::Rng rng(33);
+  EXPECT_EQ(permutation_importance(forest, Dataset(2, 2), rng),
+            std::vector<double>(2, 0.0));
+  EXPECT_EQ(permutation_importance(forest, data, rng, 0),
+            std::vector<double>(2, 0.0));
+}
+
+TEST(PermutationImportance, DeterministicGivenRng) {
+  Dataset data = blobs(50, 3.0, 34);
+  RandomForest forest;
+  forest.fit(data, {});
+  util::Rng rng_a(35), rng_b(35);
+  EXPECT_EQ(permutation_importance(forest, data, rng_a),
+            permutation_importance(forest, data, rng_b));
+}
+
+class TreeCountSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TreeCountSweep, MoreTreesNeverHurtMuch) {
+  const Dataset train = xor_data(400, 22);
+  const Dataset test = xor_data(150, 23);
+  RandomForest forest;
+  ForestConfig config;
+  config.num_trees = GetParam();
+  forest.fit(train, config);
+  EXPECT_EQ(forest.tree_count(), GetParam());
+  EXPECT_GT(accuracy(forest, test), GetParam() >= 10 ? 0.8 : 0.6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TreeCountSweep, ::testing::Values(1, 5, 10, 50, 100));
+
+}  // namespace
+}  // namespace smn::ml

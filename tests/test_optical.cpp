@@ -1,0 +1,241 @@
+// Optical substrate: modulation ladder, margins, flap model, SRLGs, and
+// risk-aware path diversity (§7 / war story 2 foundations).
+#include <gtest/gtest.h>
+
+#include "optical/optical.h"
+#include "optical/risk_aware.h"
+#include "topology/wan_generator.h"
+#include "util/stats.h"
+
+namespace smn::optical {
+namespace {
+
+/// Two conduits, one span each, one wavelength over both spans.
+OpticalNetwork tiny_network(Modulation modulation = Modulation::kQpsk100,
+                            double base_margin = 9.0) {
+  OpticalNetwork net;
+  const std::size_t c1 = net.add_conduit({"duct-1", 0.1});
+  const std::size_t c2 = net.add_conduit({"duct-2", 0.2});
+  const std::size_t s1 = net.add_span({"span-1", c1, 80.0});
+  const std::size_t s2 = net.add_span({"span-2", c2, 80.0});
+  Wavelength w;
+  w.id = "w1";
+  w.spans = {s1, s2};
+  w.modulation = modulation;
+  w.base_margin_db = base_margin;
+  w.logical_link = 0;
+  net.add_wavelength(std::move(w));
+  return net;
+}
+
+TEST(Modulation, RateLadder) {
+  EXPECT_EQ(modulation_gbps(Modulation::kQpsk100), 100.0);
+  EXPECT_EQ(modulation_gbps(Modulation::k8Qam200), 200.0);
+  EXPECT_EQ(modulation_gbps(Modulation::k16Qam400), 400.0);
+  EXPECT_EQ(modulation_gbps(Modulation::k64Qam800), 800.0);
+}
+
+TEST(Modulation, OsnrRequirementsIncrease) {
+  const auto mods = all_modulations();
+  for (std::size_t i = 1; i < mods.size(); ++i) {
+    EXPECT_GT(required_osnr_delta_db(mods[i]), required_osnr_delta_db(mods[i - 1]));
+  }
+  EXPECT_EQ(required_osnr_delta_db(Modulation::kQpsk100), 0.0);
+}
+
+TEST(OpticalNetwork, ValidatesReferences) {
+  OpticalNetwork net;
+  EXPECT_THROW(net.add_span({"s", 0, 80.0}), std::invalid_argument);
+  net.add_conduit({"c", 0.1});
+  net.add_span({"s", 0, 80.0});
+  Wavelength w;
+  w.id = "w";
+  EXPECT_THROW(net.add_wavelength(w), std::invalid_argument);  // empty path
+  w.spans = {5};
+  EXPECT_THROW(net.add_wavelength(w), std::invalid_argument);  // unknown span
+}
+
+TEST(OpticalNetwork, MarginShrinksWithModulation) {
+  OpticalNetwork net = tiny_network();
+  const double qpsk = net.margin_db(0);
+  net.set_modulation(0, Modulation::k16Qam400);
+  const double qam16 = net.margin_db(0);
+  EXPECT_NEAR(qpsk - qam16, 6.5, 1e-9);
+}
+
+TEST(Underlay, LongerLinksCommissionWithLowerMargins) {
+  // Subsea/transcontinental wavelengths have less OSNR headroom than
+  // intra-region ones (ASE noise accumulates with distance).
+  const topology::WanTopology wan = topology::generate_test_wan();
+  const OpticalNetwork optical = build_underlay(wan);
+  util::RunningStats short_margin, long_margin;
+  for (std::size_t i = 0; i < optical.wavelength_count(); ++i) {
+    const Wavelength& w = optical.wavelength(i);
+    double length_km = 0.0;
+    for (const std::size_t s : w.spans) length_km += optical.span(s).length_km;
+    (length_km < 600.0 ? short_margin : long_margin).add(w.base_margin_db);
+  }
+  ASSERT_GT(short_margin.count(), 0u);
+  ASSERT_GT(long_margin.count(), 0u);
+  EXPECT_GT(short_margin.mean(), long_margin.mean());
+}
+
+TEST(OpticalNetwork, FlapRateGrowsAsMarginErodes) {
+  // War story 2's physics: pushing 200G->400G raises the flap rate.
+  OpticalNetwork net = tiny_network(Modulation::k8Qam200);
+  const double at_200g = net.flap_rate_per_day(0);
+  net.set_modulation(0, Modulation::k16Qam400);
+  const double at_400g = net.flap_rate_per_day(0);
+  EXPECT_GT(at_400g, 5.0 * at_200g);
+}
+
+TEST(OpticalNetwork, FlapRateCapsAtZeroMargin) {
+  OpticalNetwork net = tiny_network(Modulation::k64Qam800, /*base_margin=*/1.0);
+  const FlapModel model;
+  EXPECT_NEAR(net.flap_rate_per_day(0, model), model.zero_margin_flaps_per_day, 1e-9);
+}
+
+TEST(OpticalNetwork, BestSafeModulationRespectsMargin) {
+  const OpticalNetwork net = tiny_network(Modulation::kQpsk100, /*base_margin=*/9.0);
+  // margin at QPSK = 9; need >= 2 dB residual: 16QAM (9-6.5=2.5) ok,
+  // 64QAM (9-10.5 < 0) not.
+  EXPECT_EQ(net.best_safe_modulation(0, 2.0), Modulation::k16Qam400);
+  EXPECT_EQ(net.best_safe_modulation(0, 5.0), Modulation::k8Qam200);
+  EXPECT_EQ(net.best_safe_modulation(0, 8.0), Modulation::kQpsk100);
+}
+
+TEST(OpticalNetwork, LinkCapacitySumsWavelengths) {
+  OpticalNetwork net = tiny_network();
+  Wavelength w2;
+  w2.id = "w2";
+  w2.spans = {0};
+  w2.modulation = Modulation::k8Qam200;
+  w2.logical_link = 0;
+  net.add_wavelength(std::move(w2));
+  EXPECT_DOUBLE_EQ(net.link_capacity_gbps(0), 300.0);
+  EXPECT_DOUBLE_EQ(net.link_capacity_gbps(1), 0.0);
+}
+
+TEST(OpticalNetwork, RiskAssessmentFindsSrlgPartners) {
+  OpticalNetwork net;
+  const std::size_t shared = net.add_conduit({"shared-duct", 0.3});
+  const std::size_t solo = net.add_conduit({"solo-duct", 0.1});
+  const std::size_t s_shared = net.add_span({"s-shared", shared, 80.0});
+  const std::size_t s_solo = net.add_span({"s-solo", solo, 80.0});
+  Wavelength w1{"w1", {s_shared}, Modulation::kQpsk100, 9.0, 0};
+  Wavelength w2{"w2", {s_shared, s_solo}, Modulation::kQpsk100, 9.0, 1};
+  net.add_wavelength(w1);
+  net.add_wavelength(w2);
+  const auto risks = net.assess_risks();
+  ASSERT_EQ(risks.size(), 2u);
+  for (const LinkRisk& risk : risks) {
+    ASSERT_EQ(risk.srlg_partners.size(), 1u);
+    EXPECT_NE(*risk.srlg_partners.begin(), risk.logical_link);
+  }
+  // Link 1 traverses both conduits: 0.3 + 0.1 cuts/year.
+  const auto& link1 = risks[0].logical_link == 1 ? risks[0] : risks[1];
+  EXPECT_NEAR(link1.expected_cuts_per_year, 0.4, 1e-9);
+  const auto groups = net.shared_risk_groups();
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].size(), 2u);
+}
+
+TEST(Underlay, CoversEveryLink) {
+  const topology::WanTopology wan = topology::generate_test_wan();
+  const OpticalNetwork optical = build_underlay(wan);
+  EXPECT_GT(optical.wavelength_count(), wan.link_count());
+  for (std::size_t li = 0; li < wan.link_count(); ++li) {
+    // Underlay provisions at least ~the link capacity in 100G lambdas.
+    EXPECT_GE(optical.link_capacity_gbps(li), wan.link(li).capacity_gbps - 100.0);
+  }
+}
+
+TEST(Underlay, ExitConduitsCreateSrlgs) {
+  // Links leaving the same datacenter share its exit conduit.
+  const topology::WanTopology wan = topology::generate_test_wan();
+  const OpticalNetwork optical = build_underlay(wan);
+  EXPECT_FALSE(optical.shared_risk_groups().empty());
+}
+
+TEST(RiskAware, FindsDisjointPairOnGeneratedWan) {
+  const topology::WanTopology wan = topology::generate_test_wan();
+  const OpticalNetwork optical = build_underlay(wan);
+  const auto pair = find_srlg_disjoint_pair(wan, optical, 0, 5);
+  ASSERT_TRUE(pair.has_value());
+  EXPECT_FALSE(pair->primary.empty());
+  EXPECT_FALSE(pair->backup.empty());
+  if (pair->srlg_disjoint) {
+    const auto primary = path_conduits(wan, optical, pair->primary);
+    const auto backup = path_conduits(wan, optical, pair->backup);
+    for (const std::size_t c : primary) {
+      EXPECT_FALSE(backup.contains(c)) << "conduit " << c << " shared";
+    }
+  }
+}
+
+TEST(RiskAware, DetectsHiddenSrlgOnSharedConduit) {
+  // Two parallel links that ride the same trunk conduit: edge-disjoint
+  // paths exist but conduit-disjoint ones do not.
+  topology::WanTopology wan;
+  const auto a = wan.add_datacenter({"r/a", "r", "na", 0, 0});
+  const auto b = wan.add_datacenter({"r/b", "r", "na", 1, 0});
+  wan.add_link(a, b, 100.0, 200.0, 1.0);
+  wan.add_link(a, b, 100.0, 200.0, 1.2);
+
+  OpticalNetwork optical;
+  const std::size_t duct = optical.add_conduit({"one-duct", 0.2});
+  const std::size_t s1 = optical.add_span({"s1", duct, 50.0});
+  const std::size_t s2 = optical.add_span({"s2", duct, 50.0});
+  optical.add_wavelength({"w1", {s1}, Modulation::kQpsk100, 9.0, 0});
+  optical.add_wavelength({"w2", {s2}, Modulation::kQpsk100, 9.0, 1});
+
+  const auto pair = find_srlg_disjoint_pair(wan, optical, a, b);
+  ASSERT_TRUE(pair.has_value());
+  EXPECT_FALSE(pair->srlg_disjoint);  // only edge-disjoint is possible
+}
+
+TEST(RiskAware, SingleThreadedCutReportsPrimaryWithoutBackup) {
+  // Two continents joined by exactly one cable: inter-continent pairs have
+  // a primary but no disjoint backup of any kind.
+  const topology::WanTopology wan = topology::generate_test_wan();
+  const OpticalNetwork optical = build_underlay(wan);
+  graph::NodeId other_continent = graph::kInvalidNode;
+  for (graph::NodeId n = 0; n < wan.datacenter_count(); ++n) {
+    if (wan.datacenter(n).continent != wan.datacenter(0).continent) {
+      other_continent = n;
+      break;
+    }
+  }
+  ASSERT_NE(other_continent, graph::kInvalidNode);
+  const auto pair = find_srlg_disjoint_pair(wan, optical, 0, other_continent);
+  ASSERT_TRUE(pair.has_value());
+  EXPECT_FALSE(pair->primary.empty());
+  EXPECT_FALSE(pair->has_backup());
+  EXPECT_FALSE(pair->srlg_disjoint);
+}
+
+TEST(RiskAware, DisconnectedReturnsNullopt) {
+  topology::WanTopology wan;
+  wan.add_datacenter({"r/a", "r", "na", 0, 0});
+  wan.add_datacenter({"r/b", "r", "na", 1, 0});
+  wan.add_datacenter({"r/c", "r", "na", 2, 0});
+  wan.add_link(0, 1, 100.0, 100.0, 1.0);  // c is isolated
+  OpticalNetwork optical;
+  optical.add_conduit({"d", 0.1});
+  const std::size_t s = optical.add_span({"s", 0, 10.0});
+  optical.add_wavelength({"w", {s}, Modulation::kQpsk100, 9.0, 0});
+  EXPECT_FALSE(find_srlg_disjoint_pair(wan, optical, 0, 2).has_value());
+}
+
+TEST(RiskAware, CoverageOnPlanetaryWan) {
+  const topology::WanTopology wan = topology::generate_test_wan();
+  const OpticalNetwork optical = build_underlay(wan);
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> pairs;
+  for (graph::NodeId n = 1; n < wan.datacenter_count(); n += 3) pairs.emplace_back(0, n);
+  const double coverage = srlg_diverse_coverage(wan, optical, pairs);
+  EXPECT_GE(coverage, 0.0);
+  EXPECT_LE(coverage, 1.0);
+}
+
+}  // namespace
+}  // namespace smn::optical

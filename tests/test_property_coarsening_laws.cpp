@@ -1,0 +1,203 @@
+// Property tests for the §3 coarsening laws (Figure 2), swept across
+// configurations for every coarsening in the library:
+//
+//   LAW 1 (size):        |s| < |S| on non-degenerate inputs
+//   LAW 2 (determinism): C(S) is a pure function of S
+//   LAW 3 (fidelity):    acting on s approximates acting on S, with error
+//                        bounded and monotone in the coarsening knob
+//   LAW 4 (composition): coarsenings compose (topology ∘ time on logs)
+#include <gtest/gtest.h>
+
+#include "depgraph/cdg.h"
+#include "depgraph/reddit.h"
+#include "telemetry/time_coarsening.h"
+#include "telemetry/topology_log_coarsening.h"
+#include "telemetry/traffic_generator.h"
+#include "topology/supernode.h"
+#include "topology/wan_generator.h"
+#include "util/stats.h"
+
+namespace smn {
+namespace {
+
+struct WanCase {
+  int continents;
+  int regions_per_continent;
+  int dcs_per_region;
+  std::uint64_t seed;
+};
+
+class WanSweep : public ::testing::TestWithParam<WanCase> {
+ protected:
+  topology::WanTopology wan() const {
+    const WanCase& c = GetParam();
+    topology::WanConfig config;
+    config.continents = c.continents;
+    config.regions_per_continent = c.regions_per_continent;
+    config.dcs_per_region = c.dcs_per_region;
+    config.seed = c.seed;
+    return topology::generate_planetary_wan(config);
+  }
+};
+
+TEST_P(WanSweep, SupernodeSizeLawAcrossGranularities) {
+  const topology::WanTopology fine = wan();
+  std::size_t previous_size = fine.size_measure() + 1;
+  // Region -> continent: monotone shrinking, every level strictly smaller
+  // than the fine structure.
+  for (const auto& coarsener :
+       {topology::SupernodeCoarsener::by_region(), topology::SupernodeCoarsener::by_continent()}) {
+    const topology::WanTopology coarse = coarsener.coarsen(fine);
+    EXPECT_LT(coarse.size_measure(), fine.size_measure()) << coarsener.name();
+    EXPECT_LE(coarse.size_measure(), previous_size) << coarsener.name();
+    previous_size = coarse.size_measure();
+  }
+}
+
+TEST_P(WanSweep, SupernodeDeterminism) {
+  const topology::WanTopology fine = wan();
+  const auto coarsener = topology::SupernodeCoarsener::by_region();
+  const topology::WanTopology a = coarsener.coarsen(fine);
+  const topology::WanTopology b = coarsener.coarsen(fine);
+  ASSERT_EQ(a.datacenter_count(), b.datacenter_count());
+  ASSERT_EQ(a.link_count(), b.link_count());
+  for (std::size_t li = 0; li < a.link_count(); ++li) {
+    EXPECT_DOUBLE_EQ(a.link(li).capacity_gbps, b.link(li).capacity_gbps);
+  }
+}
+
+TEST_P(WanSweep, SupernodeCapacityConservationLaw) {
+  // Cross-group capacity is conserved exactly at every granularity.
+  const topology::WanTopology fine = wan();
+  for (const auto& coarsener :
+       {topology::SupernodeCoarsener::by_region(), topology::SupernodeCoarsener::by_continent()}) {
+    const graph::Partition partition = coarsener.partition_for(fine);
+    double fine_cross = 0.0;
+    for (std::size_t li = 0; li < fine.link_count(); ++li) {
+      const auto& e = fine.graph().edge(fine.link(li).forward);
+      if (partition.group_of[e.from] != partition.group_of[e.to]) {
+        fine_cross += fine.link(li).capacity_gbps;
+      }
+    }
+    const topology::WanTopology coarse = coarsener.coarsen(fine);
+    double coarse_total = 0.0;
+    for (std::size_t li = 0; li < coarse.link_count(); ++li) {
+      coarse_total += coarse.link(li).capacity_gbps;
+    }
+    EXPECT_NEAR(fine_cross, coarse_total, 1e-6) << coarsener.name();
+  }
+}
+
+TEST_P(WanSweep, LogCoarseningsComposeAndShrinkMultiplicatively) {
+  // LAW 4: topology ∘ time compose; the composed reduction is at least the
+  // max of the individual reductions.
+  const topology::WanTopology fine_wan = wan();
+  telemetry::TrafficConfig traffic;
+  traffic.duration = 6 * util::kHour;
+  traffic.active_pairs = 60;
+  traffic.seed = GetParam().seed + 1;
+  const telemetry::BandwidthLog fine =
+      telemetry::TrafficGenerator(fine_wan, traffic).generate();
+
+  const telemetry::TopologyLogCoarsener topo(fine_wan, fine_wan.region_partition());
+  const telemetry::TimeCoarsener time(util::kHour);
+
+  const telemetry::BandwidthLog topo_log = topo.coarsen(fine);
+  const telemetry::CoarseBandwidthLog time_log = time.coarsen(fine);
+  const telemetry::CoarseBandwidthLog composed = time.coarsen(topo_log);
+
+  ASSERT_GT(composed.summary_count(), 0u);
+  const double topo_reduction = static_cast<double>(fine.record_count()) /
+                                static_cast<double>(topo_log.record_count());
+  const double time_reduction = static_cast<double>(fine.record_count()) /
+                                static_cast<double>(time_log.summary_count());
+  const double composed_reduction = static_cast<double>(fine.record_count()) /
+                                    static_cast<double>(composed.summary_count());
+  EXPECT_GT(topo_reduction, 1.0);
+  EXPECT_GT(time_reduction, 1.0);
+  EXPECT_GE(composed_reduction, std::max(topo_reduction, time_reduction) - 1e-9);
+}
+
+TEST_P(WanSweep, TimeCoarseningMeanFidelityIsLossless) {
+  // LAW 3, exact case: sample-weighted window means reproduce per-pair
+  // means exactly at ANY window size.
+  const topology::WanTopology fine_wan = wan();
+  telemetry::TrafficConfig traffic;
+  traffic.duration = util::kDay;
+  traffic.active_pairs = 20;
+  traffic.seed = GetParam().seed + 2;
+  const telemetry::BandwidthLog fine =
+      telemetry::TrafficGenerator(fine_wan, traffic).generate();
+  const auto series = fine.series_by_pair();
+  for (const util::SimTime window : {2 * util::kHour, 7 * util::kHour, util::kDay}) {
+    const telemetry::CoarseBandwidthLog coarse =
+        telemetry::TimeCoarsener(window).coarsen(fine);
+    for (const auto& [pair, points] : series) {
+      util::RunningStats truth;
+      for (const auto& [_, v] : points) truth.add(v);
+      EXPECT_NEAR(coarse.pair_mean(pair.first, pair.second), truth.mean(), 1e-9)
+          << pair.first << "->" << pair.second << " window " << window;
+    }
+  }
+}
+
+TEST_P(WanSweep, TimeCoarseningPeakErrorMonotoneInWindow) {
+  // LAW 3, monotone case: reconstructed peaks can only get worse (or stay
+  // equal) as windows widen.
+  const topology::WanTopology fine_wan = wan();
+  telemetry::TrafficConfig traffic;
+  traffic.duration = util::kDay;
+  traffic.active_pairs = 10;
+  traffic.seed = GetParam().seed + 3;
+  const telemetry::BandwidthLog fine =
+      telemetry::TrafficGenerator(fine_wan, traffic).generate();
+
+  const auto pair = fine.records().front();
+  double truth_peak = 0.0;
+  for (const auto& r : fine.records()) {
+    if (r.src == pair.src && r.dst == pair.dst) truth_peak = std::max(truth_peak, r.bw_gbps);
+  }
+  double previous_reconstructed_peak = truth_peak;
+  for (const util::SimTime window : {util::kHour, 4 * util::kHour, util::kDay}) {
+    const telemetry::BandwidthLog reconstructed =
+        telemetry::TimeCoarsener(window).coarsen(fine).reconstruct(util::kTelemetryEpoch);
+    double peak = 0.0;
+    for (const auto& r : reconstructed.records()) {
+      if (r.src == pair.src && r.dst == pair.dst) peak = std::max(peak, r.bw_gbps);
+    }
+    EXPECT_LE(peak, previous_reconstructed_peak + 1e-9) << "window " << window;
+    EXPECT_LE(peak, truth_peak + 1e-9);
+    previous_reconstructed_peak = peak;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Wans, WanSweep,
+                         ::testing::Values(WanCase{2, 2, 3, 1}, WanCase{3, 2, 4, 2},
+                                           WanCase{4, 3, 3, 3}, WanCase{5, 2, 5, 4},
+                                           WanCase{7, 4, 11, 5}));
+
+class CdgSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CdgSeedSweep, CdgLawsHoldOnChurnedDeployments) {
+  const depgraph::ServiceGraph sg =
+      depgraph::build_reddit_deployment_churned(GetParam());
+  const depgraph::CdgCoarsener coarsener;
+  const depgraph::Cdg cdg = coarsener.coarsen(sg);
+  // LAW 1.
+  EXPECT_LT(coarsener.coarse_size(cdg), coarsener.fine_size(sg));
+  // LAW 2.
+  const depgraph::Cdg again = coarsener.coarsen(sg);
+  EXPECT_EQ(cdg.to_string(), again.to_string());
+  // Syndrome sanity on every team: predicted syndromes are 0/1 vectors
+  // that include the team itself.
+  for (graph::NodeId t = 0; t < cdg.team_count(); ++t) {
+    const auto syndrome = cdg.predicted_syndrome(t);
+    EXPECT_EQ(syndrome[t], 1.0);
+    for (const double v : syndrome) EXPECT_TRUE(v == 0.0 || v == 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CdgSeedSweep, ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+}  // namespace smn

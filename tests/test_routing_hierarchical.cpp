@@ -1,0 +1,108 @@
+// Hierarchical routing as a coarsening (§3's Kleinrock–Kamoun precedent).
+#include <gtest/gtest.h>
+
+#include "routing/hierarchical.h"
+#include "topology/supernode.h"
+#include "topology/wan_generator.h"
+
+namespace smn::routing {
+namespace {
+
+const topology::WanTopology& test_wan() {
+  static const topology::WanTopology wan = topology::generate_test_wan();
+  return wan;
+}
+
+TEST(Hierarchical, TableSizeFollowsKleinrockKamoun) {
+  const auto partition = test_wan().region_partition();
+  const auto report = evaluate_hierarchical_routing(test_wan(), partition);
+  const std::size_t n = test_wan().datacenter_count();
+  EXPECT_EQ(report.flat_entries, n * (n - 1));
+  // 12 nodes, 4 areas of 3: per node 2 + 3 = 5 entries.
+  EXPECT_EQ(report.hierarchical_entries, n * 5);
+  EXPECT_GT(report.table_reduction, 1.0);
+}
+
+TEST(Hierarchical, StretchAtLeastOne) {
+  const auto report =
+      evaluate_hierarchical_routing(test_wan(), test_wan().region_partition());
+  EXPECT_GE(report.mean_stretch, 1.0);
+  EXPECT_GE(report.p95_stretch, report.mean_stretch - 1e-9);
+  EXPECT_GE(report.max_stretch, report.p95_stretch - 1e-9);
+  for (const PathStretch& s : report.samples) {
+    EXPECT_GE(s.stretch, 1.0);
+    EXPECT_GT(s.flat_cost, 0.0);
+  }
+}
+
+TEST(Hierarchical, IdentityPartitionHasNoStretch) {
+  // One area per node degenerates to flat routing over gateways = nodes.
+  graph::Partition identity;
+  identity.group_of.resize(test_wan().datacenter_count());
+  for (graph::NodeId n = 0; n < test_wan().datacenter_count(); ++n) {
+    identity.group_of[n] = n;
+    identity.group_names.push_back(test_wan().datacenter(n).name);
+  }
+  const auto report = evaluate_hierarchical_routing(test_wan(), identity);
+  EXPECT_NEAR(report.mean_stretch, 1.0, 1e-9);
+  // ...but the table "reduction" also disappears.
+  EXPECT_NEAR(report.table_reduction, 1.0, 1e-9);
+}
+
+TEST(Hierarchical, SingleAreaHasNoStretchEither) {
+  // One giant area: routing is intra-area shortest path everywhere.
+  graph::Partition one;
+  one.group_of.assign(test_wan().datacenter_count(), 0);
+  one.group_names = {"all"};
+  const auto report = evaluate_hierarchical_routing(test_wan(), one);
+  EXPECT_NEAR(report.mean_stretch, 1.0, 1e-9);
+}
+
+TEST(Hierarchical, AreaPartitionsReduceStateVsFlat) {
+  // The §3 tradeoff on the planetary WAN: any non-trivial area partition
+  // cuts forwarding state relative to flat routing (the K-K table size is
+  // minimized near sqrt(n)-sized areas, so region vs continent ordering is
+  // topology-dependent — both must simply beat flat).
+  topology::WanConfig config;
+  config.continents = 4;
+  config.regions_per_continent = 3;
+  config.dcs_per_region = 4;
+  const topology::WanTopology wan = topology::generate_planetary_wan(config);
+  const auto regions =
+      evaluate_hierarchical_routing(wan, wan.region_partition(), /*sample_pairs=*/400);
+  const auto continents =
+      evaluate_hierarchical_routing(wan, wan.continent_partition(), /*sample_pairs=*/400);
+  EXPECT_LT(regions.hierarchical_entries, regions.flat_entries);
+  EXPECT_LT(continents.hierarchical_entries, continents.flat_entries);
+  EXPECT_GE(continents.mean_stretch, 1.0);
+  EXPECT_GE(regions.mean_stretch, 1.0);
+}
+
+TEST(Hierarchical, SampledEvaluationBounded) {
+  const auto report = evaluate_hierarchical_routing(test_wan(),
+                                                    test_wan().region_partition(), 50);
+  EXPECT_LE(report.samples.size() + report.unreachable_pairs, 50u);
+}
+
+TEST(Hierarchical, InvalidPartitionThrows) {
+  graph::Partition bad;
+  bad.group_of = {0};
+  bad.group_names = {"g"};
+  EXPECT_THROW(evaluate_hierarchical_routing(test_wan(), bad), std::invalid_argument);
+}
+
+TEST(Hierarchical, IntraAreaPairsDontStretchMuch) {
+  // Same-area pairs route within the area; on the generated WAN regions
+  // are internally well connected, so their stretch stays small.
+  const auto report =
+      evaluate_hierarchical_routing(test_wan(), test_wan().region_partition());
+  const auto partition = test_wan().region_partition();
+  for (const PathStretch& s : report.samples) {
+    if (partition.group_of[s.src] == partition.group_of[s.dst]) {
+      EXPECT_LT(s.stretch, 1.5) << s.src << "->" << s.dst;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace smn::routing

@@ -1,0 +1,132 @@
+// AIOps hooks: denoiser, incident enricher, mitigation engine (§6).
+#include <gtest/gtest.h>
+
+#include "depgraph/reddit.h"
+#include "smn/aiops.h"
+
+namespace smn::smn {
+namespace {
+
+TEST(Denoiser, ClampsOutliers) {
+  TelemetryDenoiser denoiser(/*window=*/32, /*k_sigma=*/4.0);
+  // Warm up with a stable stream.
+  for (int i = 0; i < 20; ++i) {
+    Record r;
+    r.numeric["latency"] = 10.0 + 0.1 * (i % 3);
+    denoiser.denoise("d", r);
+  }
+  Record spike;
+  spike.numeric["latency"] = 10000.0;
+  const std::size_t clamped = denoiser.denoise("d", spike);
+  EXPECT_EQ(clamped, 1u);
+  EXPECT_LT(spike.numeric["latency"], 20.0);  // replaced by window median
+  EXPECT_EQ(denoiser.total_clamped(), 1u);
+}
+
+TEST(Denoiser, LeavesNormalValuesAlone) {
+  TelemetryDenoiser denoiser;
+  for (int i = 0; i < 30; ++i) {
+    Record r;
+    r.numeric["v"] = 5.0 + (i % 5);
+    EXPECT_EQ(denoiser.denoise("d", r), 0u);
+  }
+}
+
+TEST(Denoiser, PerDatasetFieldIsolation) {
+  TelemetryDenoiser denoiser;
+  for (int i = 0; i < 20; ++i) {
+    Record r;
+    r.numeric["v"] = 1.0;
+    denoiser.denoise("a", r);
+  }
+  // Same field name in a different dataset has no history: no clamping.
+  Record r;
+  r.numeric["v"] = 100000.0;
+  EXPECT_EQ(denoiser.denoise("b", r), 0u);
+}
+
+TEST(Denoiser, NoHistoryNoClamp) {
+  TelemetryDenoiser denoiser;
+  Record r;
+  r.numeric["fresh"] = 1e9;
+  EXPECT_EQ(denoiser.denoise("d", r), 0u);
+  EXPECT_DOUBLE_EQ(r.numeric["fresh"], 1e9);
+}
+
+TEST(Enricher, TopKBySimilarity) {
+  IncidentEnricher enricher;
+  enricher.add_resolved({1, {1.0, 0.0, 0.0}, "network", "reverted rule"});
+  enricher.add_resolved({2, {0.0, 1.0, 0.0}, "database", "failover"});
+  enricher.add_resolved({3, {0.9, 0.1, 0.0}, "network", "replaced optic"});
+  const auto similar = enricher.similar({1.0, 0.05, 0.0}, 2);
+  ASSERT_EQ(similar.size(), 2u);
+  EXPECT_EQ(similar[0].id, 1u);
+  EXPECT_EQ(similar[1].id, 3u);
+  EXPECT_GT(similar[0].similarity, similar[1].similarity);
+  EXPECT_EQ(similar[0].resolved_team, "network");
+}
+
+TEST(Enricher, SkipsMismatchedDimensions) {
+  IncidentEnricher enricher;
+  enricher.add_resolved({1, {1.0, 2.0}, "x", ""});
+  EXPECT_TRUE(enricher.similar({1.0, 2.0, 3.0}, 5).empty());
+}
+
+TEST(Enricher, EmptyArchive) {
+  IncidentEnricher enricher;
+  EXPECT_TRUE(enricher.similar({1.0}, 3).empty());
+  EXPECT_EQ(enricher.archive_size(), 0u);
+}
+
+TEST(Mitigation, ProposesKindAppropriateActions) {
+  const depgraph::ServiceGraph sg = depgraph::build_reddit_deployment();
+  incident::Incident inc;
+  inc.severity.assign(sg.component_count(), 0.0);
+  inc.severity[*sg.find("app-r2-1")] = 0.9;        // restartable
+  inc.severity[*sg.find("wan-link-east")] = 0.8;   // drainable
+  inc.severity[*sg.find("postgres-primary")] = 0.7;  // failover
+  inc.severity[*sg.find("hypervisor-1")] = 0.95;   // humans only
+  inc.severity[*sg.find("memcached-1")] = 0.2;     // below threshold
+  const MitigationEngine engine;
+  const auto actions = engine.propose(sg, inc, 0.6);
+  ASSERT_EQ(actions.size(), 3u);
+  std::map<std::string, std::string> by_component;
+  for (const auto& a : actions) by_component[a.component] = a.action;
+  EXPECT_EQ(by_component["app-r2-1"], "restart");
+  EXPECT_EQ(by_component["wan-link-east"], "drain-traffic");
+  EXPECT_EQ(by_component["postgres-primary"], "failover");
+  EXPECT_FALSE(by_component.contains("hypervisor-1"));
+}
+
+TEST(Mitigation, PublishEmitsFeedback) {
+  const depgraph::ServiceGraph sg = depgraph::build_reddit_deployment();
+  incident::Incident inc;
+  inc.severity.assign(sg.component_count(), 0.0);
+  inc.severity[*sg.find("vote-worker")] = 0.9;
+  const MitigationEngine engine;
+  FeedbackBus bus;
+  engine.publish(engine.propose(sg, inc), bus, 100, 7);
+  ASSERT_EQ(bus.size(), 1u);
+  EXPECT_EQ(bus.all()[0].kind, FeedbackKind::kMitigation);
+  EXPECT_EQ(bus.all()[0].incident_id, 7u);
+  EXPECT_NE(bus.all()[0].subject.find("restart vote-worker"), std::string::npos);
+}
+
+TEST(FeedbackBus, FiltersByTargetAndKind) {
+  FeedbackBus bus;
+  bus.publish({FeedbackKind::kIncidentAssignment, "network", Priority::kHigh, "s", "", 0, 1});
+  bus.publish({FeedbackKind::kInformational, "database", Priority::kLow, "s", "", 0, 1});
+  bus.publish({FeedbackKind::kIncidentAssignment, "database", Priority::kHigh, "s", "", 0, 2});
+  EXPECT_EQ(bus.for_target("database").size(), 2u);
+  EXPECT_EQ(bus.of_kind(FeedbackKind::kIncidentAssignment).size(), 2u);
+  EXPECT_EQ(bus.size(), 3u);
+}
+
+TEST(Feedback, KindAndPriorityNames) {
+  EXPECT_EQ(feedback_kind_name(FeedbackKind::kFiberBuildRequest), "fiber-build-request");
+  EXPECT_EQ(feedback_kind_name(FeedbackKind::kMitigation), "mitigation");
+  EXPECT_EQ(priority_name(Priority::kCritical), "critical");
+}
+
+}  // namespace
+}  // namespace smn::smn

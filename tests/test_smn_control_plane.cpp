@@ -1,0 +1,111 @@
+// RIB/FIB/MIB and multi-timescale control loops (§2's generalized control
+// plane).
+#include <gtest/gtest.h>
+
+#include "smn/control_plane.h"
+
+namespace smn::smn {
+namespace {
+
+TEST(Rib, BestRouteByMetric) {
+  Rib rib;
+  rib.add_route({"dc-a", "via-x", 20, "bgp"});
+  rib.add_route({"dc-a", "via-y", 10, "te-controller"});
+  const auto best = rib.best_route("dc-a");
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->next_hop, "via-y");
+  EXPECT_EQ(rib.size(), 2u);
+}
+
+TEST(Rib, TieBreaksByProtocolName) {
+  Rib rib;
+  rib.add_route({"p", "hop-b", 10, "bgp"});
+  rib.add_route({"p", "hop-s", 10, "static"});
+  EXPECT_EQ(rib.best_route("p")->protocol, "bgp");
+}
+
+TEST(Rib, WithdrawRemovesProtocolRoutes) {
+  Rib rib;
+  rib.add_route({"p", "a", 10, "bgp"});
+  rib.add_route({"p", "b", 20, "static"});
+  rib.withdraw("p", "bgp");
+  EXPECT_EQ(rib.size(), 1u);
+  EXPECT_EQ(rib.best_route("p")->next_hop, "b");
+  rib.withdraw("p", "static");
+  EXPECT_FALSE(rib.best_route("p").has_value());
+  EXPECT_TRUE(rib.prefixes().empty());
+}
+
+TEST(Rib, MissingPrefix) {
+  Rib rib;
+  EXPECT_FALSE(rib.best_route("nope").has_value());
+  EXPECT_TRUE(rib.routes("nope").empty());
+  rib.withdraw("nope", "bgp");  // no-op, no crash
+}
+
+TEST(Fib, ProgramsBestRoutes) {
+  Rib rib;
+  rib.add_route({"a", "hop1", 5, "static"});
+  rib.add_route({"b", "hop2", 5, "static"});
+  Fib fib;
+  EXPECT_EQ(fib.program_from(rib), 2u);
+  EXPECT_EQ(fib.size(), 2u);
+  EXPECT_EQ(fib.lookup("a")->next_hop, "hop1");
+  EXPECT_FALSE(fib.lookup("c").has_value());
+}
+
+TEST(Fib, ReprogramCountsOnlyChanges) {
+  Rib rib;
+  rib.add_route({"a", "hop1", 5, "static"});
+  Fib fib;
+  fib.program_from(rib);
+  EXPECT_EQ(fib.program_from(rib), 0u);  // no change
+  rib.add_route({"a", "hop2", 1, "te-controller"});
+  EXPECT_EQ(fib.program_from(rib), 1u);  // next hop changed
+  rib.withdraw("a", "te-controller");
+  rib.withdraw("a", "static");
+  EXPECT_EQ(fib.program_from(rib), 1u);  // withdrawal
+  EXPECT_EQ(fib.size(), 0u);
+}
+
+TEST(Mib, GaugesAndCounters) {
+  Mib mib;
+  mib.set_gauge("link-1", "utilization", 0.7);
+  mib.increment_counter("link-1", "flaps");
+  mib.increment_counter("link-1", "flaps", 2.0);
+  EXPECT_DOUBLE_EQ(*mib.get("link-1", "utilization"), 0.7);
+  EXPECT_DOUBLE_EQ(*mib.get("link-1", "flaps"), 3.0);
+  EXPECT_FALSE(mib.get("link-1", "missing").has_value());
+  EXPECT_EQ(mib.object_entries("link-1").size(), 2u);
+  EXPECT_EQ(mib.size(), 2u);
+}
+
+TEST(ControlLoops, RunAtTheirTimescales) {
+  ControlLoopRunner runner;
+  int fast_runs = 0, slow_runs = 0;
+  runner.add_loop({"fast", util::kMinute, [&](util::SimTime) { ++fast_runs; }});
+  runner.add_loop({"slow", util::kHour, [&](util::SimTime) { ++slow_runs; }});
+  for (util::SimTime t = 0; t <= util::kHour; t += util::kMinute) runner.tick(t);
+  EXPECT_EQ(fast_runs, 61);
+  EXPECT_EQ(slow_runs, 2);  // t=0 and t=3600
+}
+
+TEST(ControlLoops, FirstTickRunsEverything) {
+  ControlLoopRunner runner;
+  int runs = 0;
+  runner.add_loop({"loop", util::kYear, [&](util::SimTime) { ++runs; }});
+  EXPECT_EQ(runner.tick(0), 1u);
+  EXPECT_EQ(runner.tick(1), 0u);
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(ControlLoops, BodyReceivesNow) {
+  ControlLoopRunner runner;
+  util::SimTime seen = -1;
+  runner.add_loop({"probe", util::kMinute, [&](util::SimTime now) { seen = now; }});
+  runner.tick(12345);
+  EXPECT_EQ(seen, 12345);
+}
+
+}  // namespace
+}  // namespace smn::smn

@@ -1,0 +1,208 @@
+// The top-level SMN controller, the CLTO, and the war stories.
+#include <gtest/gtest.h>
+
+#include "depgraph/reddit.h"
+#include "smn/smn_controller.h"
+#include "optical/optical.h"
+#include "smn/war_stories.h"
+#include "topology/wan_generator.h"
+
+namespace smn::smn {
+namespace {
+
+/// Shared fixture: Clto training is the expensive part, do it once.
+struct World {
+  depgraph::ServiceGraph sg = depgraph::build_reddit_deployment();
+  topology::WanTopology wan = topology::generate_test_wan();
+  SmnController controller{sg, wan};
+};
+
+World& world() {
+  static World w;
+  return w;
+}
+
+incident::Incident simulate(const char* component, incident::FaultType type,
+                            std::uint64_t seed, std::size_t variant = 0) {
+  incident::IncidentSimulator sim(world().sg);
+  util::Rng rng(seed);
+  return sim.simulate({type, *world().sg.find(component), variant}, rng);
+}
+
+TEST(Clto, TrainsToUsefulHoldoutAccuracy) {
+  EXPECT_GT(world().controller.clto().router_holdout_accuracy(), 0.4);
+}
+
+TEST(Clto, RouteIncidentPublishesAssignment) {
+  World& w = world();
+  const std::size_t before = w.controller.feedback().size();
+  const auto inc = simulate("postgres-primary", incident::FaultType::kDiskPressure, 3);
+  const RoutingDecision decision = w.controller.clto().route_incident(inc, util::kHour, 1001);
+  EXPECT_LT(decision.team, w.sg.teams().size());
+  EXPECT_FALSE(decision.team_name.empty());
+  EXPECT_GT(decision.confidence, 0.0);
+  const auto assignments = w.controller.feedback().of_kind(FeedbackKind::kIncidentAssignment);
+  ASSERT_GT(w.controller.feedback().size(), before);
+  ASSERT_FALSE(assignments.empty());
+  EXPECT_EQ(assignments.back().target, decision.team_name);
+  EXPECT_EQ(assignments.back().incident_id, 1001u);
+}
+
+TEST(Clto, InformsSymptomaticTeams) {
+  World& w = world();
+  const auto inc = simulate("hypervisor-2", incident::FaultType::kHypervisorFailure, 4);
+  const RoutingDecision decision = w.controller.clto().route_incident(inc, util::kHour, 1002);
+  // A fan-out fault leaves several symptomatic teams to inform.
+  EXPECT_GE(decision.informed_teams.size(), 1u);
+  for (const std::string& team : decision.informed_teams) {
+    EXPECT_NE(team, decision.team_name);
+  }
+}
+
+TEST(Clto, CapacityPlanPublishesFeedback) {
+  // Dedicated small world so feedback counts are isolated.
+  const depgraph::ServiceGraph sg = depgraph::build_reddit_deployment();
+  FeedbackBus bus;
+  CltoConfig config;
+  config.training_incidents = 80;
+  config.forest_trees = 20;
+  Clto clto(sg, bus, config);
+
+  topology::WanTopology wan;
+  const auto a = wan.add_datacenter({"w/a", "w", "na", 0, 0});
+  const auto b = wan.add_datacenter({"w/b", "w", "na", 1, 0});
+  const auto c = wan.add_datacenter({"e/c", "e", "na", 2, 0});
+  wan.add_link(a, b, 100.0, 100.0, 1.0);  // locked
+  wan.add_link(b, c, 100.0, 300.0, 1.0);
+  telemetry::BandwidthLog log;
+  for (int e = 0; e < 20; ++e) {
+    log.append({e * util::kTelemetryEpoch, "w/a", "w/b", 90.0});
+    log.append({e * util::kTelemetryEpoch, "w/b", "e/c", 90.0});
+  }
+  const auto plan = clto.plan_capacity(wan, log, util::kDay);
+  EXPECT_EQ(plan.upgrades.size(), 1u);
+  EXPECT_EQ(plan.fiber_build_requests.size(), 1u);
+  EXPECT_EQ(bus.of_kind(FeedbackKind::kCapacityUpgrade).size(), 1u);
+  const auto fiber = bus.of_kind(FeedbackKind::kFiberBuildRequest);
+  ASSERT_EQ(fiber.size(), 1u);
+  EXPECT_EQ(fiber[0].target, "external:fiber-provider");
+}
+
+TEST(SmnController, IngestCountsAndDenoises) {
+  World& w = world();
+  Record r;
+  r.timestamp = 0;
+  r.numeric["latency_ms"] = 10.0;
+  w.controller.ingest_telemetry("telemetry.application", r);
+  EXPECT_GE(w.controller.clds().record_count("telemetry.application"), 1u);
+  EXPECT_GE(*w.controller.mib().get("smn", "records_ingested"), 1.0);
+}
+
+TEST(SmnController, HandleIncidentRunsFullPipeline) {
+  World& w = world();
+  // Variant 3 injects at high severity (>= 0.71), ensuring the mitigation
+  // threshold (0.6) is crossed at the root.
+  const auto inc = simulate("rabbitmq", incident::FaultType::kProcessCrash, 5, 3);
+  const RoutingDecision decision = w.controller.handle_incident(inc, 2 * util::kHour);
+  EXPECT_FALSE(decision.team_name.empty());
+  // Incident archived in the CLDS.
+  EXPECT_GE(w.controller.clds().record_count("incidents"), 1u);
+  // Enricher remembers it.
+  EXPECT_GE(w.controller.enricher().archive_size(), 1u);
+  // Crash at severity >= 0.6 triggers at least one mitigation proposal.
+  EXPECT_FALSE(w.controller.feedback().of_kind(FeedbackKind::kMitigation).empty());
+}
+
+TEST(SmnController, ControlPlaneSeeded) {
+  World& w = world();
+  EXPECT_GT(w.controller.rib().size(), 0u);
+  EXPECT_GT(w.controller.fib().size(), 0u);
+  const std::string first_dc = w.wan.datacenter(0).name;
+  EXPECT_TRUE(w.controller.fib().lookup(first_dc).has_value());
+}
+
+TEST(SmnController, TickRunsLoops) {
+  World& w = world();
+  EXPECT_GT(w.controller.tick(0), 0u);
+}
+
+TEST(SmnController, RetentionReducesLake) {
+  World& w = world();
+  for (util::SimTime t = 0; t < 20 * util::kDay; t += util::kHour) {
+    Record r;
+    r.timestamp = t;
+    r.numeric["cpu_util"] = 0.5;
+    w.controller.ingest_telemetry("telemetry.network", r);
+  }
+  const std::size_t retired = w.controller.run_retention(20 * util::kDay);
+  EXPECT_GT(retired, 0u);
+}
+
+TEST(SmnController, IngestsOpticalRisksAndAnswersQueries) {
+  World& w = world();
+  const optical::OpticalNetwork underlay = optical::build_underlay(w.wan, 77);
+  const std::size_t written = w.controller.ingest_optical_risks(underlay, util::kDay);
+  EXPECT_GT(written, w.wan.link_count());  // risks + cartography
+  // Query the risk dataset through the controller's query interface.
+  Query q;
+  q.dataset = "optical.link-risk";
+  q.group_by_tag = "link";
+  q.aggregation = Aggregation::kMax;
+  q.field = "flaps_per_day";
+  const auto rows = w.controller.query("network", q);
+  EXPECT_EQ(rows.size(), w.wan.link_count());
+  for (const QueryRow& row : rows) EXPECT_GE(row.value, 0.0);
+  // Dependency cartography landed too.
+  Query deps;
+  deps.dataset = "cross-layer.deps";
+  EXPECT_GT(w.controller.query("smn", deps)[0].matched, 0u);
+}
+
+TEST(SmnController, Table1HasSevenAspects) {
+  const auto rows = SmnController::sdn_vs_smn();
+  ASSERT_EQ(rows.size(), 7u);
+  EXPECT_EQ(rows[0].aspect, "Scope");
+  EXPECT_EQ(rows[0].sdn, "Data Plane");
+  EXPECT_EQ(rows[0].smn, "All Planes");
+  EXPECT_EQ(rows[6].smn, "L1-L7");
+}
+
+TEST(WarStories, CapacityTeInTheDark) {
+  const WarStoryReport report = run_war_story_capacity_te();
+  EXPECT_EQ(report.id, "WS1");
+  EXPECT_TRUE(report.smn_improved) << report.siloed_outcome << " | " << report.smn_outcome;
+  EXPECT_GT(report.siloed_cost, report.smn_cost);
+}
+
+TEST(WarStories, WavelengthModulation) {
+  const WarStoryReport report = run_war_story_wavelength();
+  EXPECT_EQ(report.id, "WS2");
+  EXPECT_TRUE(report.smn_improved) << report.smn_outcome;
+  EXPECT_NE(report.smn_outcome.find("modulation 200G->400G"), std::string::npos);
+  EXPECT_GT(report.siloed_cost / report.smn_cost, 100.0);  // weeks vs one tick
+}
+
+TEST(WarStories, WanFlapRouting) {
+  const WarStoryReport report = run_war_story_wan_flap();
+  EXPECT_EQ(report.id, "WS3");
+  EXPECT_TRUE(report.smn_improved) << report.siloed_outcome << " | " << report.smn_outcome;
+}
+
+TEST(WarStories, DatabaseAlertStorm) {
+  const WarStoryReport report = run_war_story_alert_storm();
+  EXPECT_EQ(report.id, "WS4");
+  EXPECT_TRUE(report.smn_improved) << report.siloed_outcome << " | " << report.smn_outcome;
+  EXPECT_GT(report.siloed_cost, 1.0);  // several siloed incidents
+  EXPECT_EQ(report.smn_cost, 1.0);     // one SMN incident
+}
+
+TEST(WarStories, RunAllReturnsFour) {
+  const auto reports = run_all_war_stories();
+  ASSERT_EQ(reports.size(), 4u);
+  for (const WarStoryReport& r : reports) {
+    EXPECT_TRUE(r.smn_improved) << r.id << ": " << r.smn_outcome;
+  }
+}
+
+}  // namespace
+}  // namespace smn::smn

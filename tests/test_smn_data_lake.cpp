@@ -1,0 +1,231 @@
+// CLDS: catalog, access control, cross-team queries, retention.
+#include <gtest/gtest.h>
+
+#include "smn/data_lake.h"
+
+namespace smn::smn {
+namespace {
+
+DataCatalog sample_catalog() {
+  DataCatalog catalog;
+  catalog.register_dataset({.name = "telemetry.network",
+                            .owner_team = "network",
+                            .type = DataType::kTelemetry,
+                            .schema = {{"bw_gbps", "Gbps", true}},
+                            .description = "link telemetry"});
+  catalog.register_dataset({.name = "alerts.db",
+                            .owner_team = "database",
+                            .type = DataType::kAlert,
+                            .schema = {{"severity", "fraction", true}},
+                            .description = "db alerts"});
+  catalog.register_dataset({.name = "secrets.audit",
+                            .owner_team = "security",
+                            .type = DataType::kLog,
+                            .schema = {},
+                            .description = "restricted",
+                            .readers = {"security", "smn"}});
+  return catalog;
+}
+
+Record make_record(util::SimTime t, double value, std::uint64_t incident = 0) {
+  Record r;
+  r.timestamp = t;
+  r.numeric["value"] = value;
+  r.incident_id = incident;
+  return r;
+}
+
+TEST(Catalog, RegisterAndFind) {
+  const DataCatalog catalog = sample_catalog();
+  EXPECT_EQ(catalog.size(), 3u);
+  ASSERT_NE(catalog.find("alerts.db"), nullptr);
+  EXPECT_EQ(catalog.find("alerts.db")->owner_team, "database");
+  EXPECT_EQ(catalog.find("missing"), nullptr);
+}
+
+TEST(Catalog, EmptyNameRejected) {
+  DataCatalog catalog;
+  EXPECT_THROW(catalog.register_dataset({}), std::invalid_argument);
+}
+
+TEST(Catalog, FieldSchemaLookup) {
+  const DataCatalog catalog = sample_catalog();
+  const auto field = catalog.find("telemetry.network")->field("bw_gbps");
+  ASSERT_TRUE(field.has_value());
+  EXPECT_EQ(field->unit, "Gbps");
+  EXPECT_FALSE(catalog.find("telemetry.network")->field("nope").has_value());
+}
+
+TEST(Catalog, DiscoveryFiltersByTypeAndAcl) {
+  const DataCatalog catalog = sample_catalog();
+  // Any team can discover open datasets.
+  EXPECT_EQ(catalog.discover(DataType::kTelemetry, "application").size(), 1u);
+  // Restricted dataset only for its readers/owner.
+  EXPECT_TRUE(catalog.discover(DataType::kLog, "application").empty());
+  EXPECT_EQ(catalog.discover(DataType::kLog, "security").size(), 1u);
+  EXPECT_EQ(catalog.discover(DataType::kLog, "smn").size(), 1u);
+}
+
+TEST(Catalog, OwnedBy) {
+  const DataCatalog catalog = sample_catalog();
+  EXPECT_EQ(catalog.owned_by("network").size(), 1u);
+  EXPECT_TRUE(catalog.owned_by("nobody").empty());
+}
+
+TEST(DataLake, IngestRequiresCatalogEntry) {
+  DataLake lake(sample_catalog());
+  EXPECT_THROW(lake.ingest("unregistered", make_record(0, 1.0)), std::invalid_argument);
+  lake.ingest("telemetry.network", make_record(0, 1.0));
+  EXPECT_EQ(lake.record_count("telemetry.network"), 1u);
+}
+
+TEST(DataLake, StrictSchemaRejectsUndeclaredFields) {
+  DataLake lake(sample_catalog());
+  lake.set_strict_schema(true);
+  Record ok = make_record(0, 1.0);  // field "value"... not declared!
+  EXPECT_THROW(lake.ingest("telemetry.network", ok), std::invalid_argument);
+  Record declared;
+  declared.numeric["bw_gbps"] = 42.0;
+  EXPECT_NO_THROW(lake.ingest("telemetry.network", declared));
+  // Loose mode accepts anything.
+  lake.set_strict_schema(false);
+  EXPECT_NO_THROW(lake.ingest("telemetry.network", make_record(0, 1.0)));
+}
+
+TEST(DataLake, QueryTimeRangeAndFilter) {
+  DataLake lake(sample_catalog());
+  for (int i = 0; i < 10; ++i) {
+    lake.ingest("telemetry.network", make_record(i * util::kMinute, i));
+  }
+  const auto all = lake.query("telemetry.network", "network", 0, util::kHour);
+  EXPECT_EQ(all.size(), 10u);
+  const auto windowed =
+      lake.query("telemetry.network", "network", 2 * util::kMinute, 5 * util::kMinute);
+  EXPECT_EQ(windowed.size(), 3u);
+  const auto filtered = lake.query("telemetry.network", "network", 0, util::kHour,
+                                   [](const Record& r) { return *r.value("value") > 6.5; });
+  EXPECT_EQ(filtered.size(), 3u);
+}
+
+TEST(DataLake, QueryEnforcesAcl) {
+  DataLake lake(sample_catalog());
+  lake.ingest("secrets.audit", make_record(0, 1.0));
+  EXPECT_THROW(lake.query("secrets.audit", "application", 0, 10), std::runtime_error);
+  EXPECT_NO_THROW(lake.query("secrets.audit", "security", 0, 10));
+  EXPECT_THROW(lake.query("ghost", "smn", 0, 10), std::invalid_argument);
+}
+
+TEST(DataLake, QueryByTypeMergesAndTags) {
+  DataLake lake(sample_catalog());
+  lake.ingest("alerts.db", make_record(5, 0.3));
+  const auto merged = lake.query_by_type(DataType::kAlert, "smn", 0, 10);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(*merged[0].tag("__dataset"), "alerts.db");
+}
+
+TEST(DataLake, QueryByTypeSortsByTime) {
+  DataCatalog catalog = sample_catalog();
+  catalog.register_dataset({.name = "alerts.app",
+                            .owner_team = "application",
+                            .type = DataType::kAlert,
+                            .schema = {},
+                            .description = "app alerts"});
+  DataLake lake(catalog);
+  lake.ingest("alerts.app", make_record(9, 1.0));
+  lake.ingest("alerts.db", make_record(3, 1.0));
+  const auto merged = lake.query_by_type(DataType::kAlert, "smn", 0, 100);
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_LT(merged[0].timestamp, merged[1].timestamp);
+}
+
+TEST(DataLake, RetentionSummarizesOldRecords) {
+  DataLake lake(sample_catalog());
+  // 30 days of hourly records.
+  for (util::SimTime t = 0; t < 30 * util::kDay; t += util::kHour) {
+    lake.ingest("telemetry.network", make_record(t, 10.0));
+  }
+  RetentionPolicy policy;
+  policy.fine_horizon = 7 * util::kDay;
+  policy.coarse_window = util::kDay;
+  policy.failure_free_sample_rate = 0.0;
+  const std::size_t before = lake.record_count("telemetry.network");
+  const std::size_t retired = lake.apply_retention(30 * util::kDay, policy);
+  EXPECT_GT(retired, 0u);
+  EXPECT_LT(lake.record_count("telemetry.network"), before);
+  const auto summaries = lake.summaries("telemetry.network");
+  EXPECT_GT(summaries.size(), 0u);
+  for (const AgedSummary& s : summaries) {
+    EXPECT_EQ(s.field, "value");
+    EXPECT_NEAR(s.mean, 10.0, 1e-9);
+    EXPECT_EQ(s.window_length, util::kDay);
+  }
+}
+
+TEST(DataLake, RetentionKeepsIncidentLinkedRecords) {
+  DataLake lake(sample_catalog());
+  lake.ingest("alerts.db", make_record(0, 0.9, /*incident=*/42));
+  lake.ingest("alerts.db", make_record(0, 0.1));
+  RetentionPolicy policy;
+  policy.fine_horizon = util::kDay;
+  policy.failure_free_sample_rate = 0.0;
+  lake.apply_retention(util::kYear, policy);
+  const auto kept = lake.query("alerts.db", "smn", 0, 10);
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].incident_id, 42u);
+  EXPECT_EQ(lake.stats().retained_incident_records, 1u);
+}
+
+TEST(DataLake, RetentionSamplesNegativeExamples) {
+  DataLake lake(sample_catalog(), /*seed=*/5);
+  for (int i = 0; i < 2000; ++i) {
+    lake.ingest("telemetry.network", make_record(i, 1.0));
+  }
+  RetentionPolicy policy;
+  policy.fine_horizon = util::kDay;
+  policy.failure_free_sample_rate = 0.05;
+  lake.apply_retention(util::kYear, policy);
+  const std::size_t samples = lake.stats().retained_negative_samples;
+  EXPECT_GT(samples, 50u);
+  EXPECT_LT(samples, 200u);  // ~100 expected
+}
+
+TEST(DataLake, RetentionDropsBeyondCoarseHorizon) {
+  DataLake lake(sample_catalog());
+  lake.ingest("telemetry.network", make_record(0, 1.0));
+  RetentionPolicy policy;
+  policy.fine_horizon = util::kDay;
+  policy.coarse_horizon = 30 * util::kDay;
+  policy.failure_free_sample_rate = 0.0;
+  lake.apply_retention(10 * util::kYear, policy);
+  EXPECT_EQ(lake.record_count("telemetry.network"), 0u);
+  EXPECT_TRUE(lake.summaries("telemetry.network").empty());
+}
+
+TEST(DataLake, StatsAggregate) {
+  DataLake lake(sample_catalog());
+  lake.ingest("telemetry.network", make_record(0, 1.0));
+  lake.ingest("alerts.db", make_record(0, 0.5));
+  const LakeStats stats = lake.stats();
+  EXPECT_EQ(stats.raw_records, 2u);
+  EXPECT_GT(stats.raw_bytes, 0u);
+  EXPECT_EQ(stats.summaries, 0u);
+}
+
+TEST(Record, ValueAndTagAccessors) {
+  Record r = make_record(0, 3.5);
+  r.tags["object"] = "link:x";
+  EXPECT_EQ(*r.value("value"), 3.5);
+  EXPECT_FALSE(r.value("missing").has_value());
+  EXPECT_EQ(*r.tag("object"), "link:x");
+  EXPECT_FALSE(r.tag("missing").has_value());
+  EXPECT_GT(r.approximate_bytes(), 16u);
+}
+
+TEST(Record, DataTypeNames) {
+  EXPECT_EQ(data_type_name(DataType::kAlert), "alert");
+  EXPECT_EQ(data_type_name(DataType::kTelemetry), "telemetry");
+  EXPECT_EQ(data_type_name(DataType::kDependency), "dependency");
+}
+
+}  // namespace
+}  // namespace smn::smn

@@ -1,0 +1,173 @@
+// The CLDS query interface (§2/§6 "architecture and interfaces").
+#include <gtest/gtest.h>
+
+#include "smn/query.h"
+
+namespace smn::smn {
+namespace {
+
+DataLake populated_lake() {
+  DataCatalog catalog;
+  catalog.register_dataset({.name = "alerts.app",
+                            .owner_team = "application",
+                            .type = DataType::kAlert,
+                            .schema = {{"severity", "fraction", true}},
+                            .description = "app alerts"});
+  catalog.register_dataset({.name = "alerts.db",
+                            .owner_team = "database",
+                            .type = DataType::kAlert,
+                            .schema = {{"severity", "fraction", true}},
+                            .description = "db alerts"});
+  catalog.register_dataset({.name = "secrets",
+                            .owner_team = "security",
+                            .type = DataType::kAlert,
+                            .schema = {},
+                            .description = "restricted",
+                            .readers = {"security"}});
+  DataLake lake(catalog);
+  for (int i = 0; i < 10; ++i) {
+    Record r;
+    r.timestamp = i * util::kMinute;
+    r.numeric["severity"] = 0.1 * i;
+    r.tags["component"] = i % 2 ? "app-1" : "app-2";
+    lake.ingest("alerts.app", r);
+  }
+  for (int i = 0; i < 4; ++i) {
+    Record r;
+    r.timestamp = i * util::kMinute;
+    r.numeric["severity"] = 0.9;
+    r.tags["component"] = "pg";
+    lake.ingest("alerts.db", r);
+  }
+  return lake;
+}
+
+Query dataset_query(const std::string& dataset) {
+  Query q;
+  q.dataset = dataset;
+  return q;
+}
+
+TEST(Query, CountWholeDataset) {
+  const DataLake lake = populated_lake();
+  const auto rows = run_query(lake, "smn", dataset_query("alerts.app"));
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].matched, 10u);
+  EXPECT_EQ(rows[0].value, 10.0);
+  EXPECT_EQ(rows[0].group, "");
+}
+
+TEST(Query, TimeRangeRestricts) {
+  const DataLake lake = populated_lake();
+  Query q = dataset_query("alerts.app");
+  q.begin = 2 * util::kMinute;
+  q.end = 5 * util::kMinute;
+  const auto rows = run_query(lake, "smn", q);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].matched, 3u);
+}
+
+TEST(Query, TagEqualsFilter) {
+  const DataLake lake = populated_lake();
+  Query q = dataset_query("alerts.app");
+  q.tag_equals = {{"component", "app-1"}};
+  const auto rows = run_query(lake, "smn", q);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].matched, 5u);
+  // Missing tag never matches.
+  q.tag_equals = {{"nope", "x"}};
+  EXPECT_TRUE(run_query(lake, "smn", q).empty());
+}
+
+TEST(Query, NumericPredicateHalfOpen) {
+  const DataLake lake = populated_lake();
+  Query q = dataset_query("alerts.app");
+  q.numeric = {{"severity", 0.3, 0.7}};  // [0.3, 0.7)
+  const auto rows = run_query(lake, "smn", q);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].matched, 4u);  // 0.3, 0.4, 0.5, 0.6
+}
+
+TEST(Query, GroupByTag) {
+  const DataLake lake = populated_lake();
+  Query q = dataset_query("alerts.app");
+  q.group_by_tag = "component";
+  q.aggregation = Aggregation::kMax;
+  q.field = "severity";
+  const auto rows = run_query(lake, "smn", q);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].group, "app-1");
+  EXPECT_NEAR(rows[0].value, 0.9, 1e-12);  // odd i up to 9
+  EXPECT_EQ(rows[1].group, "app-2");
+  EXPECT_NEAR(rows[1].value, 0.8, 1e-12);
+}
+
+TEST(Query, Aggregations) {
+  const DataLake lake = populated_lake();
+  Query q = dataset_query("alerts.app");
+  q.field = "severity";
+  q.aggregation = Aggregation::kSum;
+  EXPECT_NEAR(run_query(lake, "smn", q)[0].value, 4.5, 1e-9);
+  q.aggregation = Aggregation::kMean;
+  EXPECT_NEAR(run_query(lake, "smn", q)[0].value, 0.45, 1e-9);
+  q.aggregation = Aggregation::kMin;
+  EXPECT_NEAR(run_query(lake, "smn", q)[0].value, 0.0, 1e-12);
+  q.aggregation = Aggregation::kP95;
+  EXPECT_NEAR(run_query(lake, "smn", q)[0].value, 0.855, 1e-9);
+}
+
+TEST(Query, CrossTeamTypeSweepGroupsByDataset) {
+  const DataLake lake = populated_lake();
+  Query q;
+  q.type = DataType::kAlert;
+  q.group_by_tag = "__dataset";
+  const auto rows = run_query(lake, "smn", q);
+  // "secrets" is ACL-filtered out for team smn; app + db remain.
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].group, "alerts.app");
+  EXPECT_EQ(rows[0].matched, 10u);
+  EXPECT_EQ(rows[1].group, "alerts.db");
+  EXPECT_EQ(rows[1].matched, 4u);
+}
+
+TEST(Query, AclEnforcedForDatasetQueries) {
+  const DataLake lake = populated_lake();
+  EXPECT_THROW(run_query(lake, "application", dataset_query("secrets")), std::runtime_error);
+  EXPECT_NO_THROW(run_query(lake, "security", dataset_query("secrets")));
+}
+
+TEST(Query, ValidatesShape) {
+  const DataLake lake = populated_lake();
+  Query both = dataset_query("alerts.app");
+  both.type = DataType::kAlert;
+  EXPECT_THROW(run_query(lake, "smn", both), std::invalid_argument);
+  Query neither;
+  EXPECT_THROW(run_query(lake, "smn", neither), std::invalid_argument);
+  Query no_field = dataset_query("alerts.app");
+  no_field.aggregation = Aggregation::kMean;
+  EXPECT_THROW(run_query(lake, "smn", no_field), std::invalid_argument);
+  EXPECT_THROW(run_query(lake, "smn", dataset_query("ghost")), std::invalid_argument);
+}
+
+TEST(Query, WarStory4AsAQuery) {
+  // "alerts of the Database service in aggregate from other services are
+  // over threshold": one grouped count answers it.
+  const DataLake lake = populated_lake();
+  Query q;
+  q.type = DataType::kAlert;
+  q.group_by_tag = "__dataset";
+  q.numeric = {{"severity", 0.5, 10.0}};
+  const auto rows = run_query(lake, "smn", q);
+  // app has severities >= 0.5: 0.5..0.9 (5 records); db: 4 records at 0.9.
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].matched, 5u);
+  EXPECT_EQ(rows[1].matched, 4u);
+}
+
+TEST(Query, AggregationNames) {
+  EXPECT_EQ(aggregation_name(Aggregation::kCount), "count");
+  EXPECT_EQ(aggregation_name(Aggregation::kP95), "p95");
+}
+
+}  // namespace
+}  // namespace smn::smn

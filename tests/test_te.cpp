@@ -1,0 +1,146 @@
+// Demand matrices and the TE controller.
+#include <gtest/gtest.h>
+
+#include "te/demand.h"
+#include "te/te_controller.h"
+#include "telemetry/time_coarsening.h"
+#include "telemetry/traffic_generator.h"
+#include "topology/wan_generator.h"
+
+namespace smn::te {
+namespace {
+
+const topology::WanTopology& test_wan() {
+  static const topology::WanTopology wan = topology::generate_test_wan();
+  return wan;
+}
+
+telemetry::BandwidthLog sample_log() {
+  telemetry::BandwidthLog log;
+  const std::string a = test_wan().datacenter(0).name;
+  const std::string b = test_wan().datacenter(3).name;
+  for (int i = 0; i < 20; ++i) {
+    log.append({i * util::kTelemetryEpoch, a, b, 100.0 + i});  // 100..119
+  }
+  return log;
+}
+
+TEST(DemandMatrix, FromLogMean) {
+  const DemandMatrix m = DemandMatrix::from_log(sample_log(), DemandStatistic::kMean);
+  ASSERT_EQ(m.size(), 1u);
+  EXPECT_NEAR(m.entries()[0].gbps, 109.5, 1e-9);
+}
+
+TEST(DemandMatrix, FromLogP95AndMax) {
+  const DemandMatrix p95 = DemandMatrix::from_log(sample_log(), DemandStatistic::kP95);
+  const DemandMatrix max = DemandMatrix::from_log(sample_log(), DemandStatistic::kMax);
+  EXPECT_NEAR(p95.entries()[0].gbps, 118.05, 0.01);
+  EXPECT_DOUBLE_EQ(max.entries()[0].gbps, 119.0);
+}
+
+TEST(DemandMatrix, FromCoarseLogStatistics) {
+  const telemetry::TimeCoarsener coarsener(util::kHour);
+  const telemetry::CoarseBandwidthLog coarse = coarsener.coarsen(sample_log());
+  const DemandMatrix mean = DemandMatrix::from_coarse_log(coarse, DemandStatistic::kMean);
+  ASSERT_EQ(mean.size(), 1u);
+  EXPECT_NEAR(mean.entries()[0].gbps, 109.5, 1e-9);  // weighted mean preserved
+  const DemandMatrix max = DemandMatrix::from_coarse_log(coarse, DemandStatistic::kMax);
+  EXPECT_DOUBLE_EQ(max.entries()[0].gbps, 119.0);
+}
+
+TEST(DemandMatrix, ToCommoditiesResolvesNames) {
+  const DemandMatrix m = DemandMatrix::from_log(sample_log(), DemandStatistic::kMean);
+  std::size_t unresolved = 7;
+  const auto commodities = m.to_commodities(test_wan(), &unresolved);
+  ASSERT_EQ(commodities.size(), 1u);
+  EXPECT_EQ(unresolved, 0u);
+  EXPECT_EQ(commodities[0].src, 0u);
+  EXPECT_EQ(commodities[0].dst, 3u);
+}
+
+TEST(DemandMatrix, UnresolvedNamesCounted) {
+  DemandMatrix m;
+  m.add({"ghost-dc", test_wan().datacenter(0).name, 10.0});
+  std::size_t unresolved = 0;
+  EXPECT_TRUE(m.to_commodities(test_wan(), &unresolved).empty());
+  EXPECT_EQ(unresolved, 1u);
+}
+
+TEST(DemandMatrix, TotalGbps) {
+  DemandMatrix m;
+  m.add({"a", "b", 5.0});
+  m.add({"c", "d", 7.0});
+  EXPECT_DOUBLE_EQ(m.total_gbps(), 12.0);
+}
+
+TEST(TeController, MaxConcurrentSolvesAndReportsUtilization) {
+  const TeController controller(test_wan());
+  std::vector<lp::Commodity> demands = {{0, 5, 500.0}, {2, 9, 800.0}};
+  const TeSolution solution = controller.solve_max_concurrent(demands);
+  EXPECT_GT(solution.lambda, 0.0);
+  EXPECT_GT(solution.total_flow_gbps, 0.0);
+  ASSERT_EQ(solution.edge_utilization.size(), test_wan().graph().edge_count());
+  for (const double u : solution.edge_utilization) {
+    EXPECT_GE(u, 0.0);
+    EXPECT_LE(u, 1.0 + 1e-9);
+  }
+}
+
+TEST(TeController, MaxMinFairAllocationsRespectDemandsAndCapacity) {
+  const TeController controller(test_wan());
+  std::vector<lp::Commodity> demands = {{0, 5, 100.0}, {1, 7, 50.0}, {3, 10, 200.0}};
+  const TeSolution solution = controller.solve_max_min_fair(demands);
+  ASSERT_EQ(solution.allocation.size(), demands.size());
+  for (std::size_t j = 0; j < demands.size(); ++j) {
+    EXPECT_GE(solution.allocation[j], 0.0);
+    EXPECT_LE(solution.allocation[j], demands[j].demand + 1e-6);
+  }
+  for (const double u : solution.edge_utilization) EXPECT_LE(u, 1.0 + 1e-6);
+}
+
+TEST(TeController, MaxMinSmallDemandsFullySatisfied) {
+  const TeController controller(test_wan());
+  std::vector<lp::Commodity> demands = {{0, 5, 1.0}, {1, 7, 2.0}};
+  const TeSolution solution = controller.solve_max_min_fair(demands);
+  EXPECT_NEAR(solution.allocation[0], 1.0, 1e-6);
+  EXPECT_NEAR(solution.allocation[1], 2.0, 1e-6);
+  EXPECT_GE(solution.lambda, 1.0 - 1e-6);
+}
+
+TEST(TeController, MaxMinIgnoresDegenerateCommodities) {
+  const TeController controller(test_wan());
+  std::vector<lp::Commodity> demands = {{0, 0, 10.0}, {1, 7, 0.0}, {2, 9, 5.0}};
+  const TeSolution solution = controller.solve_max_min_fair(demands);
+  EXPECT_EQ(solution.allocation[0], 0.0);
+  EXPECT_EQ(solution.allocation[1], 0.0);
+  EXPECT_GT(solution.allocation[2], 0.0);
+}
+
+TEST(TeController, ShortestPathRoutingLoadsEdges) {
+  const TeController controller(test_wan());
+  std::vector<lp::Commodity> demands = {{0, 5, 100.0}};
+  const lp::FixedRoutingResult result = controller.shortest_path_routing(demands);
+  double total_load = 0.0;
+  for (const double l : result.edge_load) total_load += l;
+  EXPECT_GT(total_load, 0.0);
+  EXPECT_GT(result.lambda, 0.0);
+}
+
+TEST(TeController, EndToEndLogToSolution) {
+  // Full chain: synthetic traffic -> demand matrix -> TE solve.
+  telemetry::TrafficConfig config;
+  config.duration = util::kHour;
+  config.active_pairs = 15;
+  config.seed = 31;
+  const telemetry::BandwidthLog log =
+      telemetry::TrafficGenerator(test_wan(), config).generate();
+  const DemandMatrix matrix = DemandMatrix::from_log(log, DemandStatistic::kP95);
+  const auto commodities = matrix.to_commodities(test_wan());
+  ASSERT_EQ(commodities.size(), 15u);
+  const TeController controller(test_wan());
+  const TeSolution solution = controller.solve_max_concurrent(commodities);
+  EXPECT_GT(solution.lambda, 0.0);
+}
+
+}  // namespace
+}  // namespace smn::te

@@ -1,0 +1,152 @@
+// The §4 coarse-TE pipeline: aggregation, realization, Pareto behavior.
+#include <gtest/gtest.h>
+
+#include "te/coarse_te.h"
+#include "telemetry/traffic_generator.h"
+#include "topology/supernode.h"
+#include "topology/wan_generator.h"
+
+namespace smn::te {
+namespace {
+
+struct Fixture {
+  topology::WanTopology wan;
+  std::vector<lp::Commodity> commodities;
+};
+
+Fixture make_fixture(std::size_t pairs = 40, std::uint64_t seed = 17) {
+  Fixture f{topology::generate_test_wan(seed), {}};
+  telemetry::TrafficConfig config;
+  config.duration = util::kHour;
+  config.active_pairs = pairs;
+  config.seed = seed;
+  const telemetry::TrafficGenerator gen(f.wan, config);
+  const telemetry::BandwidthLog log = gen.generate();
+  const DemandMatrix matrix = DemandMatrix::from_log(log, DemandStatistic::kMean);
+  f.commodities = matrix.to_commodities(f.wan);
+  return f;
+}
+
+TEST(AggregateCommodities, SumsByGroupPairAndDropsIntra) {
+  const Fixture f = make_fixture();
+  const graph::Partition partition = f.wan.region_partition();
+  const auto coarse = aggregate_commodities(f.wan, partition, f.commodities);
+  // Every coarse commodity crosses groups.
+  for (const lp::Commodity& c : coarse) EXPECT_NE(c.src, c.dst);
+  // Volume conservation over cross-group demands.
+  double fine_cross = 0.0;
+  for (const lp::Commodity& c : f.commodities) {
+    if (partition.group_of[c.src] != partition.group_of[c.dst]) fine_cross += c.demand;
+  }
+  double coarse_total = 0.0;
+  for (const lp::Commodity& c : coarse) coarse_total += c.demand;
+  EXPECT_NEAR(fine_cross, coarse_total, 1e-9);
+  EXPECT_LE(coarse.size(), f.commodities.size());
+}
+
+TEST(AggregateCommodities, InvalidPartitionThrows) {
+  const Fixture f = make_fixture();
+  graph::Partition bad;
+  bad.group_of = {0};
+  bad.group_names = {"g"};
+  EXPECT_THROW(aggregate_commodities(f.wan, bad, f.commodities), std::invalid_argument);
+}
+
+TEST(EvaluateCoarseTe, ReportIsInternallyConsistent) {
+  const Fixture f = make_fixture();
+  const graph::Partition partition = f.wan.region_partition();
+  const CoarseTeReport report = evaluate_coarse_te(f.wan, partition, f.commodities);
+  EXPECT_EQ(report.supernode_count, partition.group_count());
+  EXPECT_EQ(report.fine_commodities, f.commodities.size());
+  EXPECT_GT(report.topology_reduction, 1.0);
+  EXPECT_GE(report.demand_reduction, 1.0);
+  EXPECT_GT(report.lambda_fine, 0.0);
+  EXPECT_GT(report.lambda_realized, 0.0);
+  EXPECT_GE(report.fidelity, 0.0);
+  EXPECT_LE(report.fidelity, 1.0);
+  EXPECT_GT(report.fine_sp_calls, report.coarse_sp_calls);
+}
+
+TEST(EvaluateCoarseTe, RealizedNeverBeatsFineOptimum) {
+  // The realized routing is one feasible routing; the fine GK solve is a
+  // (1-eps)-approximation of the optimum, so allow the epsilon slack.
+  const Fixture f = make_fixture();
+  const CoarseTeReport report =
+      evaluate_coarse_te(f.wan, f.wan.region_partition(), f.commodities, {.epsilon = 0.03});
+  EXPECT_LE(report.lambda_realized, report.lambda_fine / (1.0 - 3 * 0.03) + 1e-6);
+}
+
+TEST(EvaluateCoarseTe, CoarserPartitionLosesMoreOptimality) {
+  const Fixture f = make_fixture(60);
+  const CoarseTeReport by_region =
+      evaluate_coarse_te(f.wan, f.wan.region_partition(), f.commodities);
+  const CoarseTeReport by_continent =
+      evaluate_coarse_te(f.wan, f.wan.continent_partition(), f.commodities);
+  // Continent-level coarsening reduces more ...
+  EXPECT_GT(by_continent.topology_reduction, by_region.topology_reduction);
+  // ... and does not *gain* fidelity (allow small solver noise).
+  EXPECT_LE(by_continent.fidelity, by_region.fidelity + 0.1);
+}
+
+TEST(EvaluateCoarseTe, IdentityPartitionIsNearLossless) {
+  // One group per datacenter: coarse graph == fine graph.
+  const Fixture f = make_fixture(20);
+  graph::Partition identity;
+  identity.group_of.resize(f.wan.datacenter_count());
+  for (graph::NodeId n = 0; n < f.wan.datacenter_count(); ++n) {
+    identity.group_of[n] = n;
+    identity.group_names.push_back(f.wan.datacenter(n).name);
+  }
+  const CoarseTeReport report = evaluate_coarse_te(f.wan, identity, f.commodities);
+  EXPECT_NEAR(report.topology_reduction, 1.0, 1e-9);
+  EXPECT_GT(report.fidelity, 0.5);
+}
+
+TEST(RealizeCoarseSolution, LoadsOnlyExistingEdges) {
+  const Fixture f = make_fixture();
+  const graph::Partition partition = f.wan.region_partition();
+  const topology::WanTopology coarse =
+      topology::SupernodeCoarsener::coarsen_with_partition(f.wan, partition);
+  const auto coarse_commodities = aggregate_commodities(f.wan, partition, f.commodities);
+  const lp::McfResult coarse_solution =
+      lp::max_concurrent_flow(coarse.graph(), coarse_commodities);
+  const lp::FixedRoutingResult realized = realize_coarse_solution(
+      f.wan, partition, coarse, coarse_solution, f.commodities, coarse_commodities);
+  ASSERT_EQ(realized.edge_load.size(), f.wan.graph().edge_count());
+  double total = 0.0;
+  for (const double l : realized.edge_load) {
+    EXPECT_GE(l, 0.0);
+    total += l;
+  }
+  EXPECT_GT(total, 0.0);
+  EXPECT_GT(realized.lambda, 0.0);
+}
+
+class PartitionSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PartitionSweep, FidelityAndReductionWellFormed) {
+  topology::WanConfig wan_config;
+  wan_config.continents = 3;
+  wan_config.regions_per_continent = 3;
+  wan_config.dcs_per_region = 4;
+  const topology::WanTopology wan = topology::generate_planetary_wan(wan_config);
+  telemetry::TrafficConfig traffic;
+  traffic.duration = util::kHour;
+  traffic.active_pairs = 60;
+  traffic.seed = 23;
+  const telemetry::BandwidthLog log = telemetry::TrafficGenerator(wan, traffic).generate();
+  const auto commodities =
+      DemandMatrix::from_log(log, DemandStatistic::kMean).to_commodities(wan);
+  const auto coarsener = topology::SupernodeCoarsener::by_target_count(GetParam());
+  const CoarseTeReport report =
+      evaluate_coarse_te(wan, coarsener.partition_for(wan), commodities);
+  EXPECT_EQ(report.supernode_count, GetParam());
+  EXPECT_GT(report.topology_reduction, 1.0);
+  EXPECT_GT(report.fidelity, 0.0);
+  EXPECT_LE(report.fidelity, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, PartitionSweep, ::testing::Values(9, 6, 3, 2));
+
+}  // namespace
+}  // namespace smn::te

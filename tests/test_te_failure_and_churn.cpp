@@ -1,0 +1,114 @@
+// Failure-restoration analysis (§7 / [48]) and CDG stability under
+// deployment churn (§2's maintainability challenge).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "depgraph/cdg.h"
+#include "depgraph/reddit.h"
+#include "te/failure_analysis.h"
+#include "topology/wan_generator.h"
+
+namespace smn {
+namespace {
+
+TEST(FailureSweep, RedundantLinkBarelyHurts) {
+  // Triangle: failing one of three links leaves an alternative path.
+  topology::WanTopology wan;
+  const auto a = wan.add_datacenter({"r/a", "r", "na", 0, 0});
+  const auto b = wan.add_datacenter({"r/b", "r", "na", 1, 0});
+  const auto c = wan.add_datacenter({"r/c", "r", "na", 2, 0});
+  wan.add_link(a, b, 100.0, 100.0, 1.0);
+  wan.add_link(b, c, 100.0, 100.0, 1.0);
+  wan.add_link(a, c, 100.0, 100.0, 1.0);
+  const std::vector<lp::Commodity> demands = {{a, b, 50.0}};
+  const te::FailureSweepReport report = te::single_link_failure_sweep(wan, demands);
+  ASSERT_EQ(report.impacts.size(), 3u);
+  for (const te::FailureImpact& impact : report.impacts) {
+    EXPECT_FALSE(impact.partitioned) << impact.link_name;
+    // Intact: 200 Gbps of a->b paths (direct + via c) => lambda 4; any
+    // single failure leaves the other 100 Gbps => lambda 2, a 50% drop but
+    // never an outage.
+    EXPECT_GT(impact.lambda_after, 1.8);
+    EXPECT_LT(impact.drop_fraction, 0.6);
+  }
+  EXPECT_GT(report.lambda_intact, 3.5);
+}
+
+TEST(FailureSweep, BridgeLinkPartitions) {
+  // Line a-b-c: failing either link severs the a->c commodity.
+  topology::WanTopology wan;
+  const auto a = wan.add_datacenter({"r/a", "r", "na", 0, 0});
+  const auto b = wan.add_datacenter({"r/b", "r", "na", 1, 0});
+  const auto c = wan.add_datacenter({"r/c", "r", "na", 2, 0});
+  wan.add_link(a, b, 100.0, 100.0, 1.0);
+  wan.add_link(b, c, 100.0, 100.0, 1.0);
+  const std::vector<lp::Commodity> demands = {{a, c, 10.0}};
+  const te::FailureSweepReport report = te::single_link_failure_sweep(wan, demands);
+  for (const te::FailureImpact& impact : report.impacts) {
+    EXPECT_TRUE(impact.partitioned);
+    EXPECT_DOUBLE_EQ(impact.drop_fraction, 1.0);
+  }
+  EXPECT_DOUBLE_EQ(report.worst_drop, 1.0);
+}
+
+TEST(FailureSweep, SampledSubsetRespected) {
+  const topology::WanTopology wan = topology::generate_test_wan();
+  const std::vector<lp::Commodity> demands = {{0, 5, 100.0}};
+  const te::FailureSweepReport report =
+      te::single_link_failure_sweep(wan, demands, {0, 2, 4});
+  ASSERT_EQ(report.impacts.size(), 3u);
+  EXPECT_EQ(report.impacts[1].link, 2u);
+  EXPECT_GT(report.lambda_intact, 0.0);
+}
+
+TEST(Churn, ChurnedDeploymentsVaryAtFineGrain) {
+  const depgraph::ServiceGraph a = depgraph::build_reddit_deployment_churned(1);
+  const depgraph::ServiceGraph b = depgraph::build_reddit_deployment_churned(2);
+  const double distance = depgraph::dependency_edit_distance(a, b);
+  EXPECT_GT(distance, 0.15);  // substantial fine-grained maintenance burden
+  EXPECT_LT(distance, 1.0);
+  // Same graph is distance zero.
+  EXPECT_DOUBLE_EQ(depgraph::dependency_edit_distance(a, a), 0.0);
+}
+
+TEST(Churn, CdgIsInvariantAcrossChurn) {
+  // The §5 maintainability argument: replica counts and placements change,
+  // the team-level CDG does not.
+  const depgraph::Cdg canonical =
+      depgraph::CdgCoarsener().coarsen(depgraph::build_reddit_deployment());
+  const auto team_edges = [](const depgraph::Cdg& cdg) {
+    std::set<std::pair<std::string, std::string>> edges;
+    for (graph::EdgeId e = 0; e < cdg.graph().edge_count(); ++e) {
+      const auto& edge = cdg.graph().edge(e);
+      edges.emplace(cdg.team_name(edge.from), cdg.team_name(edge.to));
+    }
+    return edges;
+  };
+  const auto canonical_edges = team_edges(canonical);
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const depgraph::ServiceGraph churned = depgraph::build_reddit_deployment_churned(seed);
+    const depgraph::Cdg cdg = depgraph::CdgCoarsener().coarsen(churned);
+    EXPECT_EQ(team_edges(cdg), canonical_edges) << "seed " << seed;
+  }
+}
+
+TEST(Churn, ChurnedDeploymentsKeepEightTeams) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const depgraph::ServiceGraph sg = depgraph::build_reddit_deployment_churned(seed);
+    EXPECT_EQ(sg.teams().size(), 8u);
+    for (const std::string& team : sg.teams()) {
+      EXPECT_FALSE(sg.components_of_team(team).empty()) << team;
+    }
+  }
+}
+
+TEST(Churn, DeterministicGivenSeed) {
+  const depgraph::ServiceGraph a = depgraph::build_reddit_deployment_churned(9);
+  const depgraph::ServiceGraph b = depgraph::build_reddit_deployment_churned(9);
+  EXPECT_DOUBLE_EQ(depgraph::dependency_edit_distance(a, b), 0.0);
+  EXPECT_EQ(a.component_count(), b.component_count());
+}
+
+}  // namespace
+}  // namespace smn

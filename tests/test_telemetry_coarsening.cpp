@@ -1,0 +1,267 @@
+// Time-based and topology-based bandwidth-log coarsening (§4).
+#include <gtest/gtest.h>
+
+#include "telemetry/time_coarsening.h"
+#include "telemetry/topology_log_coarsening.h"
+#include "util/stats.h"
+#include "telemetry/traffic_generator.h"
+#include "topology/supernode.h"
+#include "topology/wan_generator.h"
+
+namespace smn::telemetry {
+namespace {
+
+BandwidthLog hourly_log() {
+  // One pair, 12 records at 5-minute epochs = one hour, values 1..12.
+  BandwidthLog log;
+  for (int i = 0; i < 12; ++i) {
+    log.append({i * util::kTelemetryEpoch, "a", "b", static_cast<double>(i + 1)});
+  }
+  return log;
+}
+
+TEST(TimeCoarsener, RejectsNonPositiveWindow) {
+  EXPECT_THROW(TimeCoarsener(0), std::invalid_argument);
+  EXPECT_THROW(TimeCoarsener(-5), std::invalid_argument);
+}
+
+TEST(TimeCoarsener, SingleWindowSummary) {
+  const TimeCoarsener coarsener(util::kHour);
+  const CoarseBandwidthLog coarse = coarsener.coarsen(hourly_log());
+  ASSERT_EQ(coarse.summary_count(), 1u);
+  const WindowSummary& s = coarse.summaries()[0];
+  EXPECT_EQ(s.sample_count, 12u);
+  EXPECT_DOUBLE_EQ(s.mean, 6.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 12.0);
+  EXPECT_EQ(s.window_start, 0);
+  EXPECT_EQ(s.window_length, util::kHour);
+}
+
+TEST(TimeCoarsener, SizeLawHolds) {
+  const TimeCoarsener coarsener(util::kHour);
+  const BandwidthLog fine = hourly_log();
+  const CoarseBandwidthLog coarse = coarsener.coarsen(fine);
+  EXPECT_LT(coarsener.coarse_size(coarse), coarsener.fine_size(fine));
+  EXPECT_DOUBLE_EQ(coarsener.reduction_factor(fine, coarse), 12.0);
+}
+
+TEST(TimeCoarsener, SeparateWindowsPerPair) {
+  BandwidthLog log = hourly_log();
+  log.append({0, "x", "y", 100.0});
+  const TimeCoarsener coarsener(util::kHour);
+  const CoarseBandwidthLog coarse = coarsener.coarsen(log);
+  EXPECT_EQ(coarse.summary_count(), 2u);
+  EXPECT_DOUBLE_EQ(coarse.pair_mean("x", "y"), 100.0);
+  EXPECT_DOUBLE_EQ(coarse.pair_mean("a", "b"), 6.5);
+}
+
+TEST(TimeCoarsener, WeightedPairMeanAcrossWindows) {
+  // Two windows with different sample counts: weighted mean, not mean of
+  // means.
+  BandwidthLog log;
+  log.append({0, "a", "b", 10.0});
+  log.append({5 * util::kMinute, "a", "b", 20.0});
+  log.append({util::kHour, "a", "b", 40.0});
+  const TimeCoarsener coarsener(util::kHour);
+  const CoarseBandwidthLog coarse = coarsener.coarsen(log);
+  EXPECT_EQ(coarse.summary_count(), 2u);
+  EXPECT_NEAR(coarse.pair_mean("a", "b"), (10.0 + 20.0 + 40.0) / 3.0, 1e-12);
+}
+
+TEST(TimeCoarsener, ReconstructPreservesVolumeForAlignedWindows) {
+  const BandwidthLog fine = hourly_log();
+  const TimeCoarsener coarsener(util::kHour);
+  const BandwidthLog reconstructed =
+      coarsener.coarsen(fine).reconstruct(util::kTelemetryEpoch);
+  EXPECT_EQ(reconstructed.record_count(), fine.record_count());
+  EXPECT_NEAR(reconstructed.total_volume(), fine.total_volume(), 1e-9);
+}
+
+TEST(TimeCoarsener, ReconstructLosesWithinWindowVariation) {
+  const BandwidthLog fine = hourly_log();
+  const TimeCoarsener coarsener(util::kHour);
+  const BandwidthLog reconstructed =
+      coarsener.coarsen(fine).reconstruct(util::kTelemetryEpoch);
+  // All reconstructed values are the window mean — the spike at value 12
+  // is gone (what's lost).
+  for (const BandwidthRecord& r : reconstructed.records()) {
+    EXPECT_DOUBLE_EQ(r.bw_gbps, 6.5);
+  }
+}
+
+TEST(TimeCoarsener, P95UpperBoundsWindowP95) {
+  const BandwidthLog fine = hourly_log();
+  const CoarseBandwidthLog coarse = TimeCoarsener(30 * util::kMinute).coarsen(fine);
+  const double upper = coarse.pair_p95_upper("a", "b");
+  for (const WindowSummary& s : coarse.summaries()) EXPECT_LE(s.p95, upper);
+}
+
+TEST(TimeCoarsener, BytesShrink) {
+  BandwidthLog fine;
+  const TrafficConfig config{.duration = util::kDay, .active_pairs = 10, .seed = 3};
+  const topology::WanTopology wan = topology::generate_test_wan();
+  fine = TrafficGenerator(wan, config).generate();
+  const CoarseBandwidthLog coarse = TimeCoarsener(util::kHour).coarsen(fine);
+  EXPECT_LT(coarse.approximate_bytes(), fine.approximate_bytes());
+}
+
+TEST(NestedTimeCoarsener, ValidatesLadder) {
+  EXPECT_THROW(NestedTimeCoarsener({{util::kDay, 0}}, 0), std::invalid_argument);
+  EXPECT_THROW(NestedTimeCoarsener({{util::kDay, util::kHour}, {util::kDay, util::kDay}}, 0),
+               std::invalid_argument);
+  EXPECT_THROW(NestedTimeCoarsener({{util::kDay, util::kDay}, {util::kWeek, util::kHour}}, 0),
+               std::invalid_argument);
+  EXPECT_NO_THROW(NestedTimeCoarsener::standard_ladder(util::kMonth));
+}
+
+TEST(NestedTimeCoarsener, WindowForAgeLadder) {
+  const NestedTimeCoarsener nested = NestedTimeCoarsener::standard_ladder(0);
+  EXPECT_EQ(nested.window_for_age(0), util::kTelemetryEpoch);
+  EXPECT_EQ(nested.window_for_age(2 * util::kDay), util::kHour);
+  EXPECT_EQ(nested.window_for_age(2 * util::kWeek), util::kDay);
+  EXPECT_EQ(nested.window_for_age(20 * util::kWeek), util::kWeek);
+}
+
+TEST(NestedTimeCoarsener, RecentDataStaysFine) {
+  // 3 days of data, "now" at day 3: day 3-2 raw-ish (epoch windows),
+  // earlier hours coarsen.
+  const topology::WanTopology wan = topology::generate_test_wan();
+  const TrafficConfig config{.duration = 3 * util::kDay, .active_pairs = 5, .seed = 4};
+  const BandwidthLog fine = TrafficGenerator(wan, config).generate();
+  const NestedTimeCoarsener nested = NestedTimeCoarsener::standard_ladder(3 * util::kDay);
+  const CoarseBandwidthLog coarse = nested.coarsen(fine);
+  // Every summary in the most recent day has a single sample (epoch
+  // granularity); older ones aggregate more.
+  bool saw_fine = false, saw_coarse = false;
+  for (const WindowSummary& s : coarse.summaries()) {
+    const util::SimTime age = 3 * util::kDay - s.window_start;
+    if (age <= util::kDay) {
+      EXPECT_EQ(s.sample_count, 1u);
+      saw_fine = true;
+    } else if (s.sample_count > 1) {
+      saw_coarse = true;
+    }
+  }
+  EXPECT_TRUE(saw_fine);
+  EXPECT_TRUE(saw_coarse);
+}
+
+TEST(NestedTimeCoarsener, ReducesMoreThanUniformFineWindow) {
+  const topology::WanTopology wan = topology::generate_test_wan();
+  const TrafficConfig config{.duration = 4 * util::kWeek, .active_pairs = 5, .seed = 5};
+  const BandwidthLog fine = TrafficGenerator(wan, config).generate();
+  const NestedTimeCoarsener nested = NestedTimeCoarsener::standard_ladder(4 * util::kWeek);
+  const TimeCoarsener hourly(util::kHour);
+  EXPECT_LT(nested.coarse_size(nested.coarsen(fine)),
+            hourly.coarse_size(hourly.coarsen(fine)));
+}
+
+TEST(TopologyLogCoarsener, AggregatesByGroupPerEpoch) {
+  const topology::WanTopology wan = topology::generate_test_wan();
+  const auto partition = wan.region_partition();
+  const TopologyLogCoarsener coarsener(wan, partition);
+
+  BandwidthLog fine;
+  // Two DCs in region 0 both send to a DC in region 1 at the same epoch.
+  const std::string src1 = wan.datacenter(0).name;
+  const std::string src2 = wan.datacenter(1).name;
+  std::string dst;
+  for (graph::NodeId n = 0; n < wan.datacenter_count(); ++n) {
+    if (partition.group_of[n] != partition.group_of[0]) {
+      dst = wan.datacenter(n).name;
+      break;
+    }
+  }
+  ASSERT_FALSE(dst.empty());
+  fine.append({0, src1, dst, 10.0});
+  fine.append({0, src2, dst, 15.0});
+  const BandwidthLog coarse = coarsener.coarsen(fine);
+  ASSERT_EQ(coarse.record_count(), 1u);
+  EXPECT_DOUBLE_EQ(coarse.records()[0].bw_gbps, 25.0);
+  EXPECT_EQ(coarse.records()[0].src, coarsener.group_of(src1));
+}
+
+TEST(TopologyLogCoarsener, IntraGroupTrafficVanishes) {
+  const topology::WanTopology wan = topology::generate_test_wan();
+  const TopologyLogCoarsener coarsener(wan, wan.region_partition());
+  BandwidthLog fine;
+  fine.append({0, wan.datacenter(0).name, wan.datacenter(1).name, 50.0});  // same region
+  EXPECT_EQ(coarsener.coarsen(fine).record_count(), 0u);
+}
+
+TEST(TopologyLogCoarsener, UnknownDatacentersDropped) {
+  const topology::WanTopology wan = topology::generate_test_wan();
+  const TopologyLogCoarsener coarsener(wan, wan.region_partition());
+  BandwidthLog fine;
+  fine.append({0, "no-such-dc", wan.datacenter(0).name, 5.0});
+  EXPECT_EQ(coarsener.coarsen(fine).record_count(), 0u);
+  EXPECT_EQ(coarsener.group_of("no-such-dc"), "");
+}
+
+TEST(TopologyLogCoarsener, CrossGroupVolumeConserved) {
+  const topology::WanTopology wan = topology::generate_test_wan();
+  const auto partition = wan.region_partition();
+  const TopologyLogCoarsener coarsener(wan, partition);
+  const TrafficConfig config{.duration = util::kHour, .active_pairs = 30, .seed = 6};
+  const BandwidthLog fine = TrafficGenerator(wan, config).generate();
+  double cross_volume = 0.0;
+  for (const BandwidthRecord& r : fine.records()) {
+    const auto src = wan.find_datacenter(r.src);
+    const auto dst = wan.find_datacenter(r.dst);
+    if (partition.group_of[*src] != partition.group_of[*dst]) cross_volume += r.bw_gbps;
+  }
+  EXPECT_NEAR(coarsener.coarsen(fine).total_volume(), cross_volume, 1e-6);
+}
+
+TEST(TopologyLogCoarsener, InvalidPartitionThrows) {
+  const topology::WanTopology wan = topology::generate_test_wan();
+  graph::Partition bad;
+  bad.group_of = {0};
+  bad.group_names = {"g"};
+  EXPECT_THROW(TopologyLogCoarsener(wan, bad), std::invalid_argument);
+}
+
+TEST(TopologyLogCoarsener, TenXReductionAtPlanetaryScale) {
+  // The §4 estimate: coarsening ~300 DCs into <30 regions cuts log rows by
+  // ~10X (given pair mixing across regions).
+  const topology::WanTopology wan = topology::generate_planetary_wan({});
+  const TopologyLogCoarsener coarsener(wan, wan.region_partition());
+  const TrafficConfig config{.duration = util::kHour, .active_pairs = 3000, .seed = 8};
+  const BandwidthLog fine = TrafficGenerator(wan, config).generate();
+  const BandwidthLog coarse = coarsener.coarsen(fine);
+  const double reduction = static_cast<double>(fine.record_count()) /
+                           static_cast<double>(coarse.record_count());
+  EXPECT_GT(reduction, 3.0);
+}
+
+class WindowSweep : public ::testing::TestWithParam<util::SimTime> {};
+
+TEST_P(WindowSweep, ReductionGrowsWithWindow) {
+  const topology::WanTopology wan = topology::generate_test_wan();
+  const TrafficConfig config{.duration = util::kDay, .active_pairs = 8, .seed = 9};
+  const BandwidthLog fine = TrafficGenerator(wan, config).generate();
+  const TimeCoarsener coarsener(GetParam());
+  const CoarseBandwidthLog coarse = coarsener.coarsen(fine);
+  const double expected = static_cast<double>(GetParam()) / util::kTelemetryEpoch;
+  EXPECT_NEAR(coarsener.reduction_factor(fine, coarse), expected, expected * 0.2);
+  // Volume-weighted mean is preserved exactly per pair.
+  EXPECT_NEAR(coarse.pair_mean(fine.records()[0].src, fine.records()[0].dst),
+              [&] {
+                util::RunningStats s;
+                for (const BandwidthRecord& r : fine.records()) {
+                  if (r.src == fine.records()[0].src && r.dst == fine.records()[0].dst) {
+                    s.add(r.bw_gbps);
+                  }
+                }
+                return s.mean();
+              }(),
+              1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, WindowSweep,
+                         ::testing::Values(util::kHour, 2 * util::kHour, 6 * util::kHour,
+                                           12 * util::kHour, util::kDay));
+
+}  // namespace
+}  // namespace smn::telemetry

@@ -1,0 +1,105 @@
+#include "telemetry/bandwidth_log.h"
+
+#include <gtest/gtest.h>
+
+namespace smn::telemetry {
+namespace {
+
+BandwidthLog make_sample() {
+  BandwidthLog log;
+  log.append({10 * util::kMinute, "us-e1", "eu-w1", 1325.0});
+  log.append({0, "us-e1", "eu-w1", 1250.0});
+  log.append({5 * util::kMinute, "us-w2", "ap-se1", 980.0});
+  return log;
+}
+
+TEST(BandwidthLog, AppendAndCount) {
+  const BandwidthLog log = make_sample();
+  EXPECT_EQ(log.record_count(), 3u);
+  EXPECT_FALSE(log.empty());
+}
+
+TEST(BandwidthLog, SortOrdersByTimestampThenNames) {
+  BandwidthLog log = make_sample();
+  log.sort();
+  EXPECT_EQ(log.records()[0].timestamp, 0);
+  EXPECT_EQ(log.records()[2].bw_gbps, 1325.0);
+}
+
+TEST(BandwidthLog, TimeRange) {
+  const BandwidthLog log = make_sample();
+  const auto [lo, hi] = log.time_range();
+  EXPECT_EQ(lo, 0);
+  EXPECT_EQ(hi, 10 * util::kMinute);
+  EXPECT_EQ(BandwidthLog{}.time_range(), (std::pair<util::SimTime, util::SimTime>{0, 0}));
+}
+
+TEST(BandwidthLog, PairsFirstSeenOrder) {
+  const BandwidthLog log = make_sample();
+  const auto pairs = log.pairs();
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_EQ(pairs[0].first, "us-e1");
+  EXPECT_EQ(pairs[1].second, "ap-se1");
+}
+
+TEST(BandwidthLog, SeriesByPair) {
+  const BandwidthLog log = make_sample();
+  const auto series = log.series_by_pair();
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_EQ(series.at({"us-e1", "eu-w1"}).size(), 2u);
+}
+
+TEST(BandwidthLog, TotalVolume) {
+  EXPECT_DOUBLE_EQ(make_sample().total_volume(), 1325.0 + 1250.0 + 980.0);
+}
+
+TEST(BandwidthLog, ListingFormatMatchesPaper) {
+  BandwidthLog log;
+  util::SimTime june1 = 0;
+  ASSERT_TRUE(util::parse_iso8601("2025-06-01T00:00", june1));
+  log.append({june1, "us-e1", "eu-w1", 1250.0});
+  const std::string text = log.to_listing_format();
+  EXPECT_NE(text.find("# Format: ts, src_dc, dst_dc, bw_Gbps"), std::string::npos);
+  EXPECT_NE(text.find("2025-06-01T00:00, us-e1, eu-w1, 1250"), std::string::npos);
+}
+
+TEST(BandwidthLog, ListingRoundTrip) {
+  BandwidthLog log = make_sample();
+  log.sort();
+  std::size_t skipped = 0;
+  const BandwidthLog parsed = BandwidthLog::from_listing_format(log.to_listing_format(), &skipped);
+  EXPECT_EQ(skipped, 0u);
+  ASSERT_EQ(parsed.record_count(), log.record_count());
+  for (std::size_t i = 0; i < parsed.record_count(); ++i) {
+    EXPECT_EQ(parsed.records()[i].timestamp, log.records()[i].timestamp);
+    EXPECT_EQ(parsed.records()[i].src, log.records()[i].src);
+    EXPECT_NEAR(parsed.records()[i].bw_gbps, log.records()[i].bw_gbps, 0.5);
+  }
+}
+
+TEST(BandwidthLog, ParserSkipsMalformedLines) {
+  const std::string text =
+      "# comment\n"
+      "2025-06-01T00:00, a, b, 100\n"
+      "not a record\n"
+      "2025-06-01T00:05, a, b\n"        // missing field
+      "2025-99-01T00:00, a, b, 100\n"   // bad month
+      "2025-06-01T00:10, a, b, -5\n"    // negative bandwidth
+      "2025-06-01T00:15, a, b, abc\n"   // non-numeric
+      "2025-06-01T00:20, a, b, 200\n";
+  std::size_t skipped = 0;
+  const BandwidthLog parsed = BandwidthLog::from_listing_format(text, &skipped);
+  EXPECT_EQ(parsed.record_count(), 2u);
+  EXPECT_EQ(skipped, 5u);
+}
+
+TEST(BandwidthLog, ApproximateBytesScalesWithRecords) {
+  BandwidthLog log = make_sample();
+  const std::size_t bytes3 = log.approximate_bytes();
+  log.append({0, "x", "y", 1.0});
+  EXPECT_GT(log.approximate_bytes(), bytes3);
+  EXPECT_GT(bytes3, 3 * 20u);  // at least ~20 bytes/record
+}
+
+}  // namespace
+}  // namespace smn::telemetry

@@ -1,0 +1,85 @@
+#include "telemetry/log_store.h"
+
+#include <gtest/gtest.h>
+
+#include "telemetry/traffic_generator.h"
+#include "topology/wan_generator.h"
+
+namespace smn::telemetry {
+namespace {
+
+BandwidthLog three_days_log() {
+  const topology::WanTopology wan = topology::generate_test_wan();
+  TrafficConfig config;
+  config.duration = 3 * util::kDay;
+  config.active_pairs = 4;
+  config.seed = 21;
+  return TrafficGenerator(wan, config).generate();
+}
+
+TEST(BandwidthLogStore, IngestCounts) {
+  BandwidthLogStore store;
+  const BandwidthLog log = three_days_log();
+  store.ingest(log);
+  EXPECT_EQ(store.stats().fine_records, log.record_count());
+  EXPECT_EQ(store.stats().coarse_summaries, 0u);
+}
+
+TEST(BandwidthLogStore, FineRangeFilters) {
+  BandwidthLogStore store;
+  store.ingest(three_days_log());
+  const BandwidthLog day2 = store.fine_range(util::kDay, 2 * util::kDay);
+  EXPECT_GT(day2.record_count(), 0u);
+  for (const BandwidthRecord& r : day2.records()) {
+    EXPECT_GE(r.timestamp, util::kDay);
+    EXPECT_LT(r.timestamp, 2 * util::kDay);
+  }
+}
+
+TEST(BandwidthLogStore, CoarsenOlderThanRetiresAndSummarizes) {
+  BandwidthLogStore store;
+  const BandwidthLog log = three_days_log();
+  store.ingest(log);
+  const std::size_t before_bytes = store.stats().total_bytes();
+  // Keep the last day fine; coarsen everything older into hourly windows.
+  const std::size_t retired =
+      store.coarsen_older_than(3 * util::kDay, util::kDay, util::kHour);
+  EXPECT_GT(retired, 0u);
+  const LogStoreStats stats = store.stats();
+  EXPECT_EQ(stats.fine_records, log.record_count() - retired);
+  EXPECT_GT(stats.coarse_summaries, 0u);
+  EXPECT_LT(stats.total_bytes(), before_bytes);
+}
+
+TEST(BandwidthLogStore, RecentSegmentsSurviveRetention) {
+  BandwidthLogStore store;
+  store.ingest(three_days_log());
+  store.coarsen_older_than(3 * util::kDay, util::kDay, util::kHour);
+  // Day 3 records must still be queryable fine-grained.
+  const BandwidthLog recent = store.fine_range(2 * util::kDay, 3 * util::kDay);
+  EXPECT_GT(recent.record_count(), 0u);
+  // Day 1 records are gone from the fine store.
+  EXPECT_EQ(store.fine_range(0, util::kDay).record_count(), 0u);
+}
+
+TEST(BandwidthLogStore, RepeatedRetentionIsIdempotent) {
+  BandwidthLogStore store;
+  store.ingest(three_days_log());
+  store.coarsen_older_than(3 * util::kDay, util::kDay, util::kHour);
+  const std::size_t second = store.coarsen_older_than(3 * util::kDay, util::kDay, util::kHour);
+  EXPECT_EQ(second, 0u);
+}
+
+TEST(BandwidthLogStore, SummariesCoverRetiredRange) {
+  BandwidthLogStore store;
+  store.ingest(three_days_log());
+  store.coarsen_older_than(3 * util::kDay, util::kDay, util::kHour);
+  for (const WindowSummary& s : store.coarse().summaries()) {
+    EXPECT_LT(s.window_start, 2 * util::kDay);
+    EXPECT_EQ(s.window_length, util::kHour);
+    EXPECT_GT(s.sample_count, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace smn::telemetry

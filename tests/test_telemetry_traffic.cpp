@@ -1,0 +1,172 @@
+#include "telemetry/traffic_generator.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/wan_generator.h"
+#include "util/stats.h"
+
+namespace smn::telemetry {
+namespace {
+
+const topology::WanTopology& test_wan() {
+  static const topology::WanTopology wan = topology::generate_test_wan();
+  return wan;
+}
+
+TrafficConfig small_config() {
+  TrafficConfig config;
+  config.duration = util::kDay;
+  config.active_pairs = 20;
+  config.seed = 77;
+  return config;
+}
+
+TEST(TrafficGenerator, PairCountRespected) {
+  const TrafficGenerator gen(test_wan(), small_config());
+  EXPECT_EQ(gen.pairs().size(), 20u);
+}
+
+TEST(TrafficGenerator, AllPairsWhenZero) {
+  TrafficConfig config = small_config();
+  config.active_pairs = 0;
+  const TrafficGenerator gen(test_wan(), config);
+  const std::size_t n = test_wan().datacenter_count();
+  EXPECT_EQ(gen.pairs().size(), n * (n - 1));
+}
+
+TEST(TrafficGenerator, PairsAreDistinctAndValid) {
+  const TrafficGenerator gen(test_wan(), small_config());
+  std::set<std::pair<graph::NodeId, graph::NodeId>> seen;
+  for (const TrafficPair& p : gen.pairs()) {
+    EXPECT_NE(p.src, p.dst);
+    EXPECT_LT(p.src, test_wan().datacenter_count());
+    EXPECT_LT(p.dst, test_wan().datacenter_count());
+    EXPECT_TRUE(seen.emplace(p.src, p.dst).second) << "duplicate pair";
+  }
+}
+
+TEST(TrafficGenerator, DemandsArePositiveAndDeterministic) {
+  const TrafficGenerator gen_a(test_wan(), small_config());
+  const TrafficGenerator gen_b(test_wan(), small_config());
+  for (std::size_t p = 0; p < gen_a.pairs().size(); ++p) {
+    for (util::SimTime t = 0; t < util::kDay; t += util::kHour) {
+      const double d = gen_a.demand_at(p, t);
+      EXPECT_GT(d, 0.0);
+      EXPECT_DOUBLE_EQ(d, gen_b.demand_at(p, t));
+    }
+  }
+}
+
+TEST(TrafficGenerator, GenerateEmitsAllEpochs) {
+  const TrafficGenerator gen(test_wan(), small_config());
+  const BandwidthLog log = gen.generate();
+  EXPECT_EQ(gen.epoch_count(), static_cast<std::size_t>(util::kDay / util::kTelemetryEpoch));
+  EXPECT_EQ(log.record_count(), gen.epoch_count() * gen.pairs().size());
+  // Timestamps ascending.
+  for (std::size_t i = 1; i < log.record_count(); ++i) {
+    EXPECT_LE(log.records()[i - 1].timestamp, log.records()[i].timestamp);
+  }
+}
+
+TEST(TrafficGenerator, WeekendDemandLower) {
+  TrafficConfig config = small_config();
+  config.duration = util::kWeek;
+  config.noise_sigma = 0.0;  // isolate the weekly pattern
+  const TrafficGenerator gen(test_wan(), config);
+  // 2025-01-04 (day 3) is a Saturday, 2025-01-02 (day 1) a Thursday.
+  const util::SimTime thursday_noon = util::kDay + 12 * util::kHour;
+  const util::SimTime saturday_noon = 3 * util::kDay + 12 * util::kHour;
+  const double weekday = gen.latent_demand_at(0, thursday_noon);
+  const double weekend = gen.latent_demand_at(0, saturday_noon);
+  EXPECT_NEAR(weekend / weekday, config.weekend_factor, 0.02);
+}
+
+TEST(TrafficGenerator, HolidaySpike) {
+  TrafficConfig config = small_config();
+  config.noise_sigma = 0.0;
+  const TrafficGenerator gen(test_wan(), config);
+  // Day 0 is Jan 1 (holiday); compare to Jan 8 (same weekday, no holiday).
+  const double holiday = gen.latent_demand_at(0, 12 * util::kHour);
+  const double normal = gen.latent_demand_at(0, util::kWeek + 12 * util::kHour);
+  EXPECT_GT(holiday / normal, 1.8);  // spike factor 2.2 modulo growth drift
+}
+
+TEST(TrafficGenerator, DiurnalCycleHasAmplitude) {
+  TrafficConfig config = small_config();
+  config.noise_sigma = 0.0;
+  const TrafficGenerator gen(test_wan(), config);
+  // Use a non-holiday weekday: Jan 2.
+  double lo = 1e18, hi = 0.0;
+  for (util::SimTime t = util::kDay; t < 2 * util::kDay; t += util::kHour) {
+    const double d = gen.latent_demand_at(0, t);
+    lo = std::min(lo, d);
+    hi = std::max(hi, d);
+  }
+  EXPECT_GT(hi / lo, 1.5);  // amplitude 0.35 => ratio (1.35/0.65) ~ 2.1
+}
+
+TEST(TrafficGenerator, AnnualGrowthCompounds) {
+  TrafficConfig config = small_config();
+  config.noise_sigma = 0.0;
+  config.diurnal_amplitude = 0.0;
+  const TrafficGenerator gen(test_wan(), config);
+  // Compare the same non-holiday weekday one year apart (day 8 vs day 372,
+  // both Thursdays, neither a holiday).
+  const double now = gen.latent_demand_at(0, 8 * util::kDay + 12 * util::kHour);
+  const double next_year = gen.latent_demand_at(0, 372 * util::kDay + 12 * util::kHour);
+  EXPECT_NEAR(next_year / now, 1.30, 0.02);
+}
+
+TEST(TrafficGenerator, HighVolumeFractionApproximatelyRespected) {
+  TrafficConfig config = small_config();
+  config.active_pairs = 1000;
+  config.duration = util::kHour;
+  topology::WanConfig wan_config;
+  wan_config.continents = 3;
+  wan_config.regions_per_continent = 3;
+  wan_config.dcs_per_region = 6;
+  const topology::WanTopology wan = topology::generate_planetary_wan(wan_config);
+  const TrafficGenerator gen(wan, config);
+  std::size_t high = 0;
+  for (const TrafficPair& p : gen.pairs()) high += p.high_volume;
+  const double fraction = static_cast<double>(high) / static_cast<double>(gen.pairs().size());
+  EXPECT_NEAR(fraction, 0.10, 0.03);  // "<= 10% of pairs high volume" [27]
+}
+
+TEST(TrafficGenerator, HighVolumePairsCarryMoreTraffic) {
+  TrafficConfig config = small_config();
+  config.active_pairs = 500;
+  const topology::WanTopology wan = topology::generate_planetary_wan({});
+  const TrafficGenerator gen(wan, config);
+  util::RunningStats high, low;
+  for (const TrafficPair& p : gen.pairs()) {
+    (p.high_volume ? high : low).add(p.base_gbps);
+  }
+  ASSERT_GT(high.count(), 0u);
+  ASSERT_GT(low.count(), 0u);
+  EXPECT_GT(high.mean(), 5.0 * low.mean());
+}
+
+TEST(TrafficGenerator, RejectsDegenerateConfigs) {
+  TrafficConfig config = small_config();
+  config.epoch = 0;
+  EXPECT_THROW(TrafficGenerator(test_wan(), config), std::invalid_argument);
+  config = small_config();
+  config.duration = 0;
+  EXPECT_THROW(TrafficGenerator(test_wan(), config), std::invalid_argument);
+}
+
+TEST(TrafficGenerator, NoiseIsMultiplicativeAroundLatent) {
+  const TrafficGenerator gen(test_wan(), small_config());
+  // demand = latent * lognormal(0, 0.08): ratio stays within broad bounds.
+  for (std::size_t p = 0; p < 5; ++p) {
+    for (util::SimTime t = 0; t < util::kDay; t += 2 * util::kHour) {
+      const double ratio = gen.demand_at(p, t) / gen.latent_demand_at(p, t);
+      EXPECT_GT(ratio, 0.5);
+      EXPECT_LT(ratio, 2.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace smn::telemetry

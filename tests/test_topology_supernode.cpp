@@ -1,0 +1,153 @@
+#include "topology/supernode.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "graph/reachability.h"
+#include "topology/wan_generator.h"
+
+namespace smn::topology {
+namespace {
+
+TEST(Supernode, ByRegionCollapsesToRegionCount) {
+  const WanTopology wan = generate_planetary_wan({});
+  const WanTopology coarse = SupernodeCoarsener::by_region().coarsen(wan);
+  EXPECT_EQ(coarse.datacenter_count(), wan.regions().size());
+}
+
+TEST(Supernode, ByContinentCollapsesToSeven) {
+  const WanTopology wan = generate_planetary_wan({});
+  const WanTopology coarse = SupernodeCoarsener::by_continent().coarsen(wan);
+  EXPECT_EQ(coarse.datacenter_count(), 7u);  // the paper's degenerate case
+}
+
+TEST(Supernode, CoarseningShrinksSizeMeasure) {
+  const WanTopology wan = generate_planetary_wan({});
+  for (const auto& coarsener :
+       {SupernodeCoarsener::by_region(), SupernodeCoarsener::by_continent()}) {
+    const WanTopology coarse = coarsener.coarsen(wan);
+    EXPECT_LT(coarse.size_measure(), wan.size_measure()) << coarsener.name();
+    EXPECT_GT(coarsener.reduction_factor(wan, coarse), 1.0);
+  }
+}
+
+TEST(Supernode, CrossGroupCapacityConserved) {
+  const WanTopology wan = generate_test_wan();
+  const SupernodeCoarsener coarsener = SupernodeCoarsener::by_region();
+  const graph::Partition partition = coarsener.partition_for(wan);
+  const WanTopology coarse = coarsener.coarsen(wan);
+
+  double fine_cross = 0.0;
+  for (std::size_t li = 0; li < wan.link_count(); ++li) {
+    const auto& e = wan.graph().edge(wan.link(li).forward);
+    if (partition.group_of[e.from] != partition.group_of[e.to]) {
+      fine_cross += wan.link(li).capacity_gbps;
+    }
+  }
+  double coarse_total = 0.0;
+  for (std::size_t li = 0; li < coarse.link_count(); ++li) {
+    coarse_total += coarse.link(li).capacity_gbps;
+  }
+  EXPECT_NEAR(fine_cross, coarse_total, 1e-6);
+}
+
+TEST(Supernode, CoarseGraphStaysConnected) {
+  const WanTopology wan = generate_planetary_wan({});
+  const WanTopology coarse = SupernodeCoarsener::by_region().coarsen(wan);
+  const auto reach = graph::reachable_from(coarse.graph(), 0);
+  for (graph::NodeId n = 0; n < coarse.datacenter_count(); ++n) EXPECT_TRUE(reach[n]);
+}
+
+TEST(Supernode, TargetCountHitsTarget) {
+  const WanTopology wan = generate_planetary_wan({});
+  for (const std::size_t target : {20u, 14u, 10u, 7u, 3u}) {
+    const auto coarsener = SupernodeCoarsener::by_target_count(target);
+    const graph::Partition partition = coarsener.partition_for(wan);
+    EXPECT_EQ(partition.group_count(), target) << coarsener.name();
+  }
+}
+
+TEST(Supernode, TargetAboveRegionCountKeepsRegions) {
+  const WanTopology wan = generate_test_wan();  // 4 regions
+  const auto coarsener = SupernodeCoarsener::by_target_count(100);
+  EXPECT_EQ(coarsener.partition_for(wan).group_count(), wan.regions().size());
+}
+
+TEST(Supernode, TargetZeroRejected) {
+  EXPECT_THROW(SupernodeCoarsener::by_target_count(0), std::invalid_argument);
+}
+
+TEST(Supernode, TargetMergingIsGeographic) {
+  // Merged groups must be spatially coherent: every merge step joined the
+  // two closest groups, so regions of the same continent (clustered on the
+  // map) collapse before regions of different continents.
+  const WanTopology wan = generate_planetary_wan({});
+  const auto coarsener = SupernodeCoarsener::by_target_count(7);
+  const graph::Partition partition = coarsener.partition_for(wan);
+  // With 7 targets on 7 continent clusters, each group should be exactly
+  // one continent.
+  std::map<graph::NodeId, std::set<std::string>> continents_per_group;
+  for (graph::NodeId n = 0; n < wan.datacenter_count(); ++n) {
+    continents_per_group[partition.group_of[n]].insert(wan.datacenter(n).continent);
+  }
+  for (const auto& [group, continents] : continents_per_group) {
+    EXPECT_EQ(continents.size(), 1u) << "group " << group << " spans continents";
+  }
+}
+
+TEST(Supernode, PartitionConsistentWithCoarsening) {
+  const WanTopology wan = generate_test_wan();
+  const SupernodeCoarsener coarsener = SupernodeCoarsener::by_region();
+  const graph::Partition partition = coarsener.partition_for(wan);
+  const WanTopology coarse = coarsener.coarsen(wan);
+  // Coarse datacenter ids equal partition group ids (names match).
+  for (std::size_t gid = 0; gid < partition.group_count(); ++gid) {
+    EXPECT_EQ(coarse.datacenter(static_cast<graph::NodeId>(gid)).name,
+              partition.group_names[gid]);
+  }
+}
+
+TEST(Supernode, SubseaFlagSurvivesMerging) {
+  const WanTopology wan = generate_planetary_wan({});
+  const WanTopology coarse = SupernodeCoarsener::by_continent().coarsen(wan);
+  std::size_t subsea = 0;
+  for (std::size_t li = 0; li < coarse.link_count(); ++li) {
+    if (coarse.link(li).subsea) ++subsea;
+  }
+  EXPECT_GT(subsea, 0u);
+}
+
+TEST(Supernode, CoarsenWithExplicitPartitionMatches) {
+  const WanTopology wan = generate_test_wan();
+  const SupernodeCoarsener coarsener = SupernodeCoarsener::by_region();
+  const WanTopology via_mode = coarsener.coarsen(wan);
+  const WanTopology via_partition =
+      SupernodeCoarsener::coarsen_with_partition(wan, coarsener.partition_for(wan));
+  EXPECT_EQ(via_mode.datacenter_count(), via_partition.datacenter_count());
+  EXPECT_EQ(via_mode.link_count(), via_partition.link_count());
+}
+
+TEST(Supernode, InvalidPartitionThrows) {
+  const WanTopology wan = generate_test_wan();
+  graph::Partition bad;
+  bad.group_of = {0};
+  bad.group_names = {"g"};
+  EXPECT_THROW(SupernodeCoarsener::coarsen_with_partition(wan, bad), std::invalid_argument);
+}
+
+class TargetSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TargetSweep, ReductionGrowsAsTargetShrinks) {
+  const WanTopology wan = generate_planetary_wan({});
+  const auto coarsener = SupernodeCoarsener::by_target_count(GetParam());
+  const WanTopology coarse = coarsener.coarsen(wan);
+  EXPECT_EQ(coarse.datacenter_count(), GetParam());
+  EXPECT_GT(coarsener.reduction_factor(wan, coarse), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, TargetSweep, ::testing::Values(25, 20, 15, 10, 7, 5, 2));
+
+}  // namespace
+}  // namespace smn::topology

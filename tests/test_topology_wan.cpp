@@ -1,0 +1,173 @@
+#include "topology/wan.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/reachability.h"
+#include "topology/wan_generator.h"
+
+namespace smn::topology {
+namespace {
+
+TEST(WanTopology, AddDatacenterAndLink) {
+  WanTopology wan;
+  const auto a = wan.add_datacenter({"r1/dc1", "r1", "na", 0, 0});
+  const auto b = wan.add_datacenter({"r1/dc2", "r1", "na", 1, 0});
+  const std::size_t link = wan.add_link(a, b, 100.0, 200.0, 5.0);
+  EXPECT_EQ(wan.datacenter_count(), 2u);
+  EXPECT_EQ(wan.link_count(), 1u);
+  EXPECT_EQ(wan.link(link).capacity_gbps, 100.0);
+  EXPECT_TRUE(wan.link(link).upgradable());
+  EXPECT_EQ(wan.graph().edge_count(), 2u);  // bidirectional
+  EXPECT_EQ(wan.link_of_edge(wan.link(link).forward), link);
+  EXPECT_EQ(wan.link_of_edge(wan.link(link).backward), link);
+}
+
+TEST(WanTopology, FiberLimitClampsUpToCapacity) {
+  WanTopology wan;
+  const auto a = wan.add_datacenter({"r/d1", "r", "na", 0, 0});
+  const auto b = wan.add_datacenter({"r/d2", "r", "na", 1, 0});
+  // fiber limit below capacity is raised to capacity (locked link).
+  const std::size_t link = wan.add_link(a, b, 100.0, 50.0, 1.0);
+  EXPECT_EQ(wan.link(link).fiber_limit_gbps, 100.0);
+  EXPECT_FALSE(wan.link(link).upgradable());
+}
+
+TEST(WanTopology, ZeroCapacityLinkRejected) {
+  WanTopology wan;
+  const auto a = wan.add_datacenter({"r/d1", "r", "na", 0, 0});
+  const auto b = wan.add_datacenter({"r/d2", "r", "na", 1, 0});
+  EXPECT_THROW(wan.add_link(a, b, 0.0, 0.0, 1.0), std::invalid_argument);
+}
+
+TEST(WanTopology, UpgradeClampsToFiberLimit) {
+  WanTopology wan;
+  const auto a = wan.add_datacenter({"r/d1", "r", "na", 0, 0});
+  const auto b = wan.add_datacenter({"r/d2", "r", "na", 1, 0});
+  const std::size_t link = wan.add_link(a, b, 100.0, 150.0, 1.0);
+  EXPECT_DOUBLE_EQ(wan.upgrade_link(link, 400.0), 150.0);
+  EXPECT_DOUBLE_EQ(wan.link(link).capacity_gbps, 150.0);
+  // Graph edge capacities follow.
+  EXPECT_DOUBLE_EQ(wan.graph().edge(wan.link(link).forward).capacity, 150.0);
+  EXPECT_DOUBLE_EQ(wan.graph().edge(wan.link(link).backward).capacity, 150.0);
+}
+
+TEST(WanTopology, UpgradeNeverShrinks) {
+  WanTopology wan;
+  const auto a = wan.add_datacenter({"r/d1", "r", "na", 0, 0});
+  const auto b = wan.add_datacenter({"r/d2", "r", "na", 1, 0});
+  const std::size_t link = wan.add_link(a, b, 100.0, 200.0, 1.0);
+  EXPECT_DOUBLE_EQ(wan.upgrade_link(link, 10.0), 100.0);
+}
+
+TEST(WanTopology, PartitionsByRegionAndContinent) {
+  WanTopology wan;
+  wan.add_datacenter({"r1/d1", "r1", "na", 0, 0});
+  wan.add_datacenter({"r1/d2", "r1", "na", 1, 0});
+  wan.add_datacenter({"r2/d1", "r2", "eu", 2, 0});
+  const auto regions = wan.region_partition();
+  EXPECT_EQ(regions.group_count(), 2u);
+  EXPECT_EQ(regions.group_of[0], regions.group_of[1]);
+  const auto continents = wan.continent_partition();
+  EXPECT_EQ(continents.group_count(), 2u);
+  EXPECT_TRUE(regions.valid_for(wan.graph()));
+  EXPECT_TRUE(continents.valid_for(wan.graph()));
+}
+
+TEST(Generator, DefaultsApproximatePlanetaryScale) {
+  // ~7 continents x 4 regions x 11 DCs = 308 datacenters, close to the
+  // paper's "roughly 300 datacenters ... less than 30 high traffic regions".
+  const WanConfig config;
+  const WanTopology wan = generate_planetary_wan(config);
+  EXPECT_EQ(wan.datacenter_count(), 308u);
+  EXPECT_EQ(wan.regions().size(), 28u);
+  EXPECT_EQ(wan.continent_partition().group_count(), 7u);
+}
+
+TEST(Generator, GraphIsStronglyConnected) {
+  const WanTopology wan = generate_test_wan();
+  const auto reach = graph::reachable_from(wan.graph(), 0);
+  for (graph::NodeId n = 0; n < wan.datacenter_count(); ++n) {
+    EXPECT_TRUE(reach[n]) << "unreachable: " << wan.datacenter(n).name;
+  }
+}
+
+TEST(Generator, DeterministicGivenSeed) {
+  const WanTopology a = generate_test_wan(5);
+  const WanTopology b = generate_test_wan(5);
+  ASSERT_EQ(a.link_count(), b.link_count());
+  for (std::size_t i = 0; i < a.link_count(); ++i) {
+    EXPECT_DOUBLE_EQ(a.link(i).capacity_gbps, b.link(i).capacity_gbps);
+  }
+}
+
+TEST(Generator, FiberLimitsAtLeastCapacity) {
+  const WanTopology wan = generate_planetary_wan({});
+  for (std::size_t i = 0; i < wan.link_count(); ++i) {
+    EXPECT_GE(wan.link(i).fiber_limit_gbps, wan.link(i).capacity_gbps);
+  }
+}
+
+TEST(Generator, SomeLinksAreFiberLocked) {
+  const WanTopology wan = generate_planetary_wan({});
+  std::size_t locked = 0;
+  for (std::size_t i = 0; i < wan.link_count(); ++i) {
+    if (!wan.link(i).upgradable()) ++locked;
+  }
+  // config.fiber_locked_fraction = 0.2 by default; allow slack.
+  const double fraction = static_cast<double>(locked) / static_cast<double>(wan.link_count());
+  EXPECT_GT(fraction, 0.1);
+  EXPECT_LT(fraction, 0.35);
+}
+
+TEST(Generator, SubseaLinksConnectContinents) {
+  const WanTopology wan = generate_planetary_wan({});
+  std::size_t subsea = 0;
+  for (std::size_t i = 0; i < wan.link_count(); ++i) {
+    const WanLink& link = wan.link(i);
+    if (!link.subsea) continue;
+    ++subsea;
+    const auto& e = wan.graph().edge(link.forward);
+    EXPECT_NE(wan.datacenter(e.from).continent, wan.datacenter(e.to).continent);
+  }
+  EXPECT_GE(subsea, 7u);  // ring over 7 continents + cross cable
+}
+
+TEST(Generator, NamesEncodeRegions) {
+  const WanTopology wan = generate_test_wan();
+  for (graph::NodeId n = 0; n < wan.datacenter_count(); ++n) {
+    const Datacenter& dc = wan.datacenter(n);
+    EXPECT_TRUE(dc.name.starts_with(dc.region + "/"));
+  }
+}
+
+TEST(Generator, RejectsBadConfig) {
+  WanConfig config;
+  config.continents = 0;
+  EXPECT_THROW(generate_planetary_wan(config), std::invalid_argument);
+  config.continents = 8;
+  EXPECT_THROW(generate_planetary_wan(config), std::invalid_argument);
+  config.continents = 2;
+  config.dcs_per_region = 0;
+  EXPECT_THROW(generate_planetary_wan(config), std::invalid_argument);
+}
+
+class GeneratorScaleSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(GeneratorScaleSweep, ScalesWithRegionCount) {
+  WanConfig config;
+  config.continents = 3;
+  config.regions_per_continent = GetParam();
+  config.dcs_per_region = 4;
+  const WanTopology wan = generate_planetary_wan(config);
+  EXPECT_EQ(wan.datacenter_count(), static_cast<std::size_t>(3 * GetParam() * 4));
+  EXPECT_EQ(wan.regions().size(), static_cast<std::size_t>(3 * GetParam()));
+  const auto reach = graph::reachable_from(wan.graph(), 0);
+  for (graph::NodeId n = 0; n < wan.datacenter_count(); ++n) EXPECT_TRUE(reach[n]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Regions, GeneratorScaleSweep, ::testing::Values(1, 2, 3, 5, 8));
+
+}  // namespace
+}  // namespace smn::topology

@@ -1,0 +1,144 @@
+// CSV, string helpers, table rendering, and logging.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace smn::util {
+namespace {
+
+TEST(Csv, JoinPlainFields) {
+  EXPECT_EQ(csv_join({"a", "b", "c"}), "a,b,c");
+}
+
+TEST(Csv, JoinQuotesSpecials) {
+  EXPECT_EQ(csv_join({"a,b", "he said \"hi\"", "line\nbreak"}),
+            "\"a,b\",\"he said \"\"hi\"\"\",\"line\nbreak\"");
+}
+
+TEST(Csv, SplitPlain) {
+  const auto fields = csv_split("a,b,c");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(Csv, SplitQuoted) {
+  const auto fields = csv_split("\"a,b\",\"x\"\"y\",plain");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a,b");
+  EXPECT_EQ(fields[1], "x\"y");
+  EXPECT_EQ(fields[2], "plain");
+}
+
+TEST(Csv, SplitPreservesEmptyFields) {
+  const auto fields = csv_split("a,,c,");
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(Csv, RoundTripThroughJoinAndSplit) {
+  const std::vector<std::string> original = {"plain", "with,comma", "with\"quote", ""};
+  EXPECT_EQ(csv_split(csv_join(original)), original);
+}
+
+TEST(Csv, WriterCountsRows) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.write_row({"h1", "h2"});
+  writer.write_row({"1", "2"});
+  EXPECT_EQ(writer.rows_written(), 2u);
+  EXPECT_EQ(out.str(), "h1,h2\n1,2\n");
+}
+
+TEST(Csv, DocumentParseWithHeader) {
+  const auto doc = CsvDocument::parse("name,value\nfoo,1\nbar,2\n", true);
+  ASSERT_EQ(doc.header().size(), 2u);
+  ASSERT_EQ(doc.rows().size(), 2u);
+  EXPECT_EQ(doc.rows()[1][0], "bar");
+  ASSERT_TRUE(doc.column("value").has_value());
+  EXPECT_EQ(*doc.column("value"), 1u);
+  EXPECT_FALSE(doc.column("missing").has_value());
+}
+
+TEST(Csv, DocumentSkipsBlankLines) {
+  const auto doc = CsvDocument::parse("a,b\n\n1,2\n\n", true);
+  EXPECT_EQ(doc.rows().size(), 1u);
+}
+
+TEST(StringUtil, Split) {
+  const auto parts = split("a/b//c", '/');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(StringUtil, SplitNoDelimiter) {
+  const auto parts = split("abc", '/');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StringUtil, Trim) {
+  EXPECT_EQ(trim("  hi  "), "hi");
+  EXPECT_EQ(trim("\t\nx"), "x");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(StringUtil, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(StringUtil, ToLowerAndStartsWith) {
+  EXPECT_EQ(to_lower("AbC-123"), "abc-123");
+  EXPECT_TRUE(starts_with("us-east/dc1", "us-east"));
+  EXPECT_FALSE(starts_with("us", "us-east"));
+}
+
+TEST(StringUtil, FormatDouble) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(10.0, 0), "10");
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22222"});
+  const std::string rendered = t.render();
+  EXPECT_NE(rendered.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(rendered.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, RejectsWrongArity) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, NumericRowFormatting) {
+  Table t({"x", "y"});
+  t.add_row_values({1.23456, 2.0}, 3);
+  EXPECT_NE(t.render().find("1.235"), std::string::npos);
+}
+
+TEST(Logging, LevelsFilter) {
+  const LogLevel saved = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  // Message below threshold is dropped silently — just exercise the path.
+  log_info() << "this should not crash";
+  log_error() << "neither should this";
+  set_log_level(saved);
+}
+
+}  // namespace
+}  // namespace smn::util

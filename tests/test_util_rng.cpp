@@ -1,0 +1,222 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace smn::util {
+namespace {
+
+TEST(Rng, DeterministicGivenSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(13);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(2, 5);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all four values appear
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+  Rng rng(13);
+  EXPECT_EQ(rng.uniform_int(9, 9), 9);
+  EXPECT_EQ(rng.uniform_int(9, 3), 9);  // inverted range clamps to lo
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(19);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(23);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double z = rng.normal();
+    sum += z;
+    sum_sq += z * z;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalShiftScale) {
+  Rng rng(29);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(31);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, ParetoLowerBound) {
+  Rng rng(37);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(rng.pareto(3.0, 2.0), 3.0);
+}
+
+TEST(Rng, ParetoMeanMatchesTheory) {
+  // Mean of Pareto(x_m, alpha) = alpha * x_m / (alpha - 1) for alpha > 1.
+  Rng rng(41);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.pareto(1.0, 3.0);
+  EXPECT_NEAR(sum / n, 1.5, 0.05);
+}
+
+TEST(Rng, PoissonSmallMean) {
+  Rng rng(43);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(3.0));
+  EXPECT_NEAR(sum / n, 3.0, 0.05);
+}
+
+TEST(Rng, PoissonLargeMeanUsesNormalApprox) {
+  Rng rng(47);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(200.0));
+  EXPECT_NEAR(sum / n, 200.0, 2.0);
+}
+
+TEST(Rng, PoissonZeroMean) {
+  Rng rng(53);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+  EXPECT_EQ(rng.poisson(-1.0), 0u);
+}
+
+TEST(Rng, WeightedIndexFollowsWeights) {
+  Rng rng(59);
+  const std::vector<double> weights = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[rng.weighted_index(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(Rng, WeightedIndexAllZeroFallsBackToUniform) {
+  Rng rng(61);
+  const std::vector<double> weights = {0.0, 0.0, 0.0, 0.0};
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.weighted_index(weights));
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Rng, WeightedIndexEmptyReturnsZero) {
+  Rng rng(67);
+  EXPECT_EQ(rng.weighted_index({}), 0u);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(71);
+  std::vector<int> items = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  std::vector<int> shuffled = items;
+  rng.shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, items);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(73);
+  Rng child = parent.fork();
+  // The child stream must differ from the parent continuing stream.
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent() == child()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeedSweep, LognormalMedianNearOne) {
+  Rng rng(GetParam());
+  std::vector<double> values(20001);
+  for (double& v : values) v = rng.lognormal(0.0, 0.5);
+  std::sort(values.begin(), values.end());
+  EXPECT_NEAR(values[values.size() / 2], 1.0, 0.05);
+}
+
+TEST_P(RngSeedSweep, RawDrawsCoverHighAndLowBits) {
+  Rng rng(GetParam());
+  std::uint64_t ones = 0, zeros = 0;
+  for (int i = 0; i < 64; ++i) {
+    const std::uint64_t v = rng();
+    ones |= v;
+    zeros |= ~v;
+  }
+  EXPECT_EQ(ones, ~0ULL);   // every bit position was 1 at least once
+  EXPECT_EQ(zeros, ~0ULL);  // and 0 at least once
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(1, 2, 42, 12345, 0xdeadbeef));
+
+}  // namespace
+}  // namespace smn::util

@@ -1,0 +1,113 @@
+#include "util/sim_time.h"
+
+#include <gtest/gtest.h>
+
+namespace smn::util {
+namespace {
+
+TEST(SimTime, EpochFormatsAsJan2025) {
+  EXPECT_EQ(format_iso8601(0), "2025-01-01T00:00");
+}
+
+TEST(SimTime, FormatsHoursAndMinutes) {
+  EXPECT_EQ(format_iso8601(kHour * 5 + kMinute * 7), "2025-01-01T05:07");
+}
+
+TEST(SimTime, FormatsAcrossMonths) {
+  // January has 31 days.
+  EXPECT_EQ(format_iso8601(31 * kDay), "2025-02-01T00:00");
+  // 2025 is not a leap year: Feb has 28 days.
+  EXPECT_EQ(format_iso8601((31 + 28) * kDay), "2025-03-01T00:00");
+}
+
+TEST(SimTime, FormatsAcrossYears) {
+  EXPECT_EQ(format_iso8601(365 * kDay), "2026-01-01T00:00");
+}
+
+TEST(SimTime, LeapYear2028Handled) {
+  // 2025(365) + 2026(365) + 2027(365) days to reach 2028.
+  const SimTime start_2028 = 3 * 365 * kDay;
+  EXPECT_EQ(format_iso8601(start_2028 + 59 * kDay), "2028-02-29T00:00");
+}
+
+TEST(SimTime, NegativeClampsToEpoch) {
+  EXPECT_EQ(format_iso8601(-100), "2025-01-01T00:00");
+}
+
+TEST(SimTime, ParseRejectsMalformed) {
+  SimTime t = 0;
+  EXPECT_FALSE(parse_iso8601("garbage", t));
+  EXPECT_FALSE(parse_iso8601("2025-13-01T00:00", t));
+  EXPECT_FALSE(parse_iso8601("2025-02-30T00:00", t));
+  EXPECT_FALSE(parse_iso8601("2024-01-01T00:00", t));  // before epoch
+  EXPECT_FALSE(parse_iso8601("2025-01-01T25:00", t));
+}
+
+TEST(SimTime, ListingOneTimestampParses) {
+  // The exact timestamp from the paper's Listing 1.
+  SimTime t = 0;
+  ASSERT_TRUE(parse_iso8601("2025-06-01T00:05", t));
+  EXPECT_EQ(format_iso8601(t), "2025-06-01T00:05");
+}
+
+TEST(SimTime, DayOfWeekAnchors) {
+  EXPECT_EQ(day_of_week(0), 0);          // 2025-01-01 is a Wednesday (index 0)
+  EXPECT_EQ(day_of_week(kDay), 1);       // Thursday
+  EXPECT_EQ(day_of_week(3 * kDay), 3);   // Saturday
+  EXPECT_EQ(day_of_week(7 * kDay), 0);   // next Wednesday
+}
+
+TEST(SimTime, Holidays) {
+  EXPECT_TRUE(is_holiday(0));  // New Year
+  SimTime july4 = 0;
+  ASSERT_TRUE(parse_iso8601("2025-07-04T12:00", july4));
+  EXPECT_TRUE(is_holiday(july4));
+  SimTime christmas = 0;
+  ASSERT_TRUE(parse_iso8601("2025-12-25T00:00", christmas));
+  EXPECT_TRUE(is_holiday(christmas));
+  SimTime ordinary = 0;
+  ASSERT_TRUE(parse_iso8601("2025-03-11T00:00", ordinary));
+  EXPECT_FALSE(is_holiday(ordinary));
+}
+
+TEST(SimTime, ThanksgivingIsLastThursdayOfNovember) {
+  // 2025-11-27 is the last Thursday of November 2025.
+  SimTime thanksgiving = 0;
+  ASSERT_TRUE(parse_iso8601("2025-11-27T00:00", thanksgiving));
+  EXPECT_TRUE(is_holiday(thanksgiving));
+  SimTime earlier_thursday = 0;
+  ASSERT_TRUE(parse_iso8601("2025-11-20T00:00", earlier_thursday));
+  EXPECT_FALSE(is_holiday(earlier_thursday));
+}
+
+TEST(SimTime, TimeOfDayFraction) {
+  EXPECT_DOUBLE_EQ(time_of_day_fraction(0), 0.0);
+  EXPECT_DOUBLE_EQ(time_of_day_fraction(12 * kHour), 0.5);
+  EXPECT_DOUBLE_EQ(time_of_day_fraction(kDay + 6 * kHour), 0.25);
+}
+
+TEST(SimTime, ConstantsAreConsistent) {
+  EXPECT_EQ(kMinute, 60);
+  EXPECT_EQ(kHour, 3600);
+  EXPECT_EQ(kDay, 86400);
+  EXPECT_EQ(kWeek, 7 * kDay);
+  EXPECT_EQ(kTelemetryEpoch, 5 * kMinute);
+}
+
+class RoundTripSweep : public ::testing::TestWithParam<SimTime> {};
+
+TEST_P(RoundTripSweep, FormatParseRoundTrip) {
+  // Round-trip holds at minute granularity (the Listing-1 format).
+  const SimTime t = (GetParam() / kMinute) * kMinute;
+  SimTime parsed = 0;
+  ASSERT_TRUE(parse_iso8601(format_iso8601(t), parsed));
+  EXPECT_EQ(parsed, t);
+}
+
+INSTANTIATE_TEST_SUITE_P(Times, RoundTripSweep,
+                         ::testing::Values(0, kMinute, kHour, kDay - kMinute, kDay, 31 * kDay,
+                                           100 * kDay, 365 * kDay, 400 * kDay, 3 * 365 * kDay,
+                                           (3 * 365 + 60) * kDay, 10 * 365 * kDay));
+
+}  // namespace
+}  // namespace smn::util

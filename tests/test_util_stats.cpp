@@ -1,0 +1,222 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace smn::util {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+  EXPECT_EQ(s.sum(), 5.0);
+}
+
+TEST(RunningStats, MatchesDirectComputation) {
+  const std::vector<double> values = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  RunningStats s;
+  for (const double v : values) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 = 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  Rng rng(5);
+  RunningStats merged_a, merged_b, sequential;
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.normal(3.0, 2.0);
+    (i % 2 ? merged_a : merged_b).add(v);
+    sequential.add(v);
+  }
+  merged_a.merge(merged_b);
+  EXPECT_EQ(merged_a.count(), sequential.count());
+  EXPECT_NEAR(merged_a.mean(), sequential.mean(), 1e-9);
+  EXPECT_NEAR(merged_a.variance(), sequential.variance(), 1e-9);
+  EXPECT_EQ(merged_a.min(), sequential.min());
+  EXPECT_EQ(merged_a.max(), sequential.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);  // no-op
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);  // copy
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_EQ(b.mean(), 2.0);
+}
+
+TEST(Percentile, SortedInterpolation) {
+  const std::vector<double> sorted = {10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 1.0), 50.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 0.5), 30.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 0.25), 20.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 0.125), 15.0);  // interpolated
+}
+
+TEST(Percentile, EmptyAndSingle) {
+  EXPECT_EQ(percentile_sorted({}, 0.5), 0.0);
+  const std::vector<double> one = {7.0};
+  EXPECT_EQ(percentile_sorted(one, 0.99), 7.0);
+}
+
+TEST(Percentile, UnsortedConvenience) {
+  const std::vector<double> values = {50.0, 10.0, 30.0, 20.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(values, 0.5), 30.0);
+}
+
+TEST(Percentile, ClampsOutOfRangeQ) {
+  const std::vector<double> sorted = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 1.5), 2.0);
+}
+
+TEST(Summarize, FullSummary) {
+  std::vector<double> values(100);
+  for (int i = 0; i < 100; ++i) values[static_cast<std::size_t>(i)] = i + 1.0;  // 1..100
+  const Summary s = summarize(values);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 100.0);
+  EXPECT_NEAR(s.p50, 50.5, 1e-9);
+  EXPECT_NEAR(s.p95, 95.05, 1e-9);
+  EXPECT_NEAR(s.p99, 99.01, 1e-9);
+  EXPECT_DOUBLE_EQ(s.sum, 5050.0);
+}
+
+TEST(Summarize, EmptyInput) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(CosineSimilarity, IdenticalVectorsGiveOne) {
+  const std::vector<double> v = {1.0, 2.0, 3.0};
+  EXPECT_NEAR(cosine_similarity(v, v), 1.0, 1e-12);
+}
+
+TEST(CosineSimilarity, OrthogonalVectorsGiveZero) {
+  const std::vector<double> a = {1.0, 0.0};
+  const std::vector<double> b = {0.0, 1.0};
+  EXPECT_DOUBLE_EQ(cosine_similarity(a, b), 0.0);
+}
+
+TEST(CosineSimilarity, ScaleInvariant) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> b = {10.0, 20.0, 30.0};
+  EXPECT_NEAR(cosine_similarity(a, b), 1.0, 1e-12);
+}
+
+TEST(CosineSimilarity, ZeroVectorGivesZero) {
+  const std::vector<double> a = {0.0, 0.0};
+  const std::vector<double> b = {1.0, 1.0};
+  EXPECT_DOUBLE_EQ(cosine_similarity(a, b), 0.0);
+}
+
+TEST(CosineSimilarity, MismatchedSizesGiveZero) {
+  const std::vector<double> a = {1.0};
+  const std::vector<double> b = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(cosine_similarity(a, b), 0.0);
+}
+
+TEST(CosineSimilarity, KnownValue) {
+  // cos of {1,1,0} vs {1,0,0} = 1/sqrt(2).
+  const std::vector<double> a = {1.0, 1.0, 0.0};
+  const std::vector<double> b = {1.0, 0.0, 0.0};
+  EXPECT_NEAR(cosine_similarity(a, b), 1.0 / std::sqrt(2.0), 1e-12);
+}
+
+TEST(ErrorMetrics, MaeRmseMape) {
+  const std::vector<double> truth = {10.0, 20.0, 30.0};
+  const std::vector<double> estimate = {12.0, 18.0, 30.0};
+  EXPECT_NEAR(mean_absolute_error(truth, estimate), 4.0 / 3.0, 1e-12);
+  EXPECT_NEAR(root_mean_squared_error(truth, estimate), std::sqrt(8.0 / 3.0), 1e-12);
+  EXPECT_NEAR(mean_absolute_percentage_error(truth, estimate), (0.2 + 0.1 + 0.0) / 3.0, 1e-12);
+}
+
+TEST(ErrorMetrics, MapeSkipsZeroTruth) {
+  const std::vector<double> truth = {0.0, 10.0};
+  const std::vector<double> estimate = {5.0, 11.0};
+  EXPECT_NEAR(mean_absolute_percentage_error(truth, estimate), 0.1, 1e-12);
+}
+
+TEST(ErrorMetrics, PerfectEstimate) {
+  const std::vector<double> v = {1.0, 2.0, 3.0};
+  EXPECT_EQ(mean_absolute_error(v, v), 0.0);
+  EXPECT_EQ(root_mean_squared_error(v, v), 0.0);
+}
+
+TEST(PearsonCorrelation, PerfectPositiveAndNegative) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y = {2.0, 4.0, 6.0, 8.0};
+  std::vector<double> neg = {8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(pearson_correlation(x, y), 1.0, 1e-12);
+  EXPECT_NEAR(pearson_correlation(x, neg), -1.0, 1e-12);
+}
+
+TEST(PearsonCorrelation, ConstantSeriesGivesZero) {
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  const std::vector<double> c = {5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(pearson_correlation(x, c), 0.0);
+}
+
+TEST(L2Norm, KnownValue) {
+  const std::vector<double> v = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(l2_norm(v), 5.0);
+}
+
+TEST(RelativeGap, Basics) {
+  EXPECT_DOUBLE_EQ(relative_gap(100.0, 80.0), 0.2);
+  EXPECT_DOUBLE_EQ(relative_gap(100.0, 120.0), 0.0);  // clamped
+  EXPECT_DOUBLE_EQ(relative_gap(0.0, 5.0), 0.0);
+}
+
+class PercentileSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PercentileSweep, MonotoneInQ) {
+  Rng rng(99);
+  std::vector<double> values(1000);
+  for (double& v : values) v = rng.uniform(0.0, 100.0);
+  const double q = GetParam();
+  EXPECT_LE(percentile(values, q), percentile(values, std::min(1.0, q + 0.1)) + 1e-12);
+}
+
+TEST_P(PercentileSweep, WithinDataRange) {
+  Rng rng(100);
+  std::vector<double> values(500);
+  for (double& v : values) v = rng.normal(0.0, 10.0);
+  const double p = percentile(values, GetParam());
+  const Summary s = summarize(values);
+  EXPECT_GE(p, s.min);
+  EXPECT_LE(p, s.max);
+}
+
+INSTANTIATE_TEST_SUITE_P(Quantiles, PercentileSweep,
+                         ::testing::Values(0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0));
+
+}  // namespace
+}  // namespace smn::util
