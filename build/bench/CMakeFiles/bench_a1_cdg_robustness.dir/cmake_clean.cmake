@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a1_cdg_robustness.dir/bench_a1_cdg_robustness.cpp.o"
+  "CMakeFiles/bench_a1_cdg_robustness.dir/bench_a1_cdg_robustness.cpp.o.d"
+  "bench_a1_cdg_robustness"
+  "bench_a1_cdg_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a1_cdg_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a2_wavelength_policy.dir/bench_a2_wavelength_policy.cpp.o"
+  "CMakeFiles/bench_a2_wavelength_policy.dir/bench_a2_wavelength_policy.cpp.o.d"
+  "bench_a2_wavelength_policy"
+  "bench_a2_wavelength_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_wavelength_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

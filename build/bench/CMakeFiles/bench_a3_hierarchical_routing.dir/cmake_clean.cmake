@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a3_hierarchical_routing.dir/bench_a3_hierarchical_routing.cpp.o"
+  "CMakeFiles/bench_a3_hierarchical_routing.dir/bench_a3_hierarchical_routing.cpp.o.d"
+  "bench_a3_hierarchical_routing"
+  "bench_a3_hierarchical_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a3_hierarchical_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a4_mttr.dir/bench_a4_mttr.cpp.o"
+  "CMakeFiles/bench_a4_mttr.dir/bench_a4_mttr.cpp.o.d"
+  "bench_a4_mttr"
+  "bench_a4_mttr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a4_mttr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a5_forecasting.dir/bench_a5_forecasting.cpp.o"
+  "CMakeFiles/bench_a5_forecasting.dir/bench_a5_forecasting.cpp.o.d"
+  "bench_a5_forecasting"
+  "bench_a5_forecasting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a5_forecasting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a6_failure_restoration.dir/bench_a6_failure_restoration.cpp.o"
+  "CMakeFiles/bench_a6_failure_restoration.dir/bench_a6_failure_restoration.cpp.o.d"
+  "bench_a6_failure_restoration"
+  "bench_a6_failure_restoration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a6_failure_restoration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

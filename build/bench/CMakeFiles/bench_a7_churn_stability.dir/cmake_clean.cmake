@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a7_churn_stability.dir/bench_a7_churn_stability.cpp.o"
+  "CMakeFiles/bench_a7_churn_stability.dir/bench_a7_churn_stability.cpp.o.d"
+  "bench_a7_churn_stability"
+  "bench_a7_churn_stability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a7_churn_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a8_log_compression.dir/bench_a8_log_compression.cpp.o"
+  "CMakeFiles/bench_a8_log_compression.dir/bench_a8_log_compression.cpp.o.d"
+  "bench_a8_log_compression"
+  "bench_a8_log_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a8_log_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

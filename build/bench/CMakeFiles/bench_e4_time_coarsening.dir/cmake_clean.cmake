@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_time_coarsening.dir/bench_e4_time_coarsening.cpp.o"
+  "CMakeFiles/bench_e4_time_coarsening.dir/bench_e4_time_coarsening.cpp.o.d"
+  "bench_e4_time_coarsening"
+  "bench_e4_time_coarsening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_time_coarsening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

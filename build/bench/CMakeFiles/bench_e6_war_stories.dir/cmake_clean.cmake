@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_war_stories.dir/bench_e6_war_stories.cpp.o"
+  "CMakeFiles/bench_e6_war_stories.dir/bench_e6_war_stories.cpp.o.d"
+  "bench_e6_war_stories"
+  "bench_e6_war_stories.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_war_stories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

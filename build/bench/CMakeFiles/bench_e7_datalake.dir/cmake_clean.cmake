@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_datalake.dir/bench_e7_datalake.cpp.o"
+  "CMakeFiles/bench_e7_datalake.dir/bench_e7_datalake.cpp.o.d"
+  "bench_e7_datalake"
+  "bench_e7_datalake.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_datalake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

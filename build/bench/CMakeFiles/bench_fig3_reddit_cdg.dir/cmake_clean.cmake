@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_reddit_cdg.dir/bench_fig3_reddit_cdg.cpp.o"
+  "CMakeFiles/bench_fig3_reddit_cdg.dir/bench_fig3_reddit_cdg.cpp.o.d"
+  "bench_fig3_reddit_cdg"
+  "bench_fig3_reddit_cdg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_reddit_cdg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_sdn_vs_smn.dir/bench_table1_sdn_vs_smn.cpp.o"
+  "CMakeFiles/bench_table1_sdn_vs_smn.dir/bench_table1_sdn_vs_smn.cpp.o.d"
+  "bench_table1_sdn_vs_smn"
+  "bench_table1_sdn_vs_smn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_sdn_vs_smn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

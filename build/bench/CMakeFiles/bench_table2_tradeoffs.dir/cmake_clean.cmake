@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_tradeoffs.dir/bench_table2_tradeoffs.cpp.o"
+  "CMakeFiles/bench_table2_tradeoffs.dir/bench_table2_tradeoffs.cpp.o.d"
+  "bench_table2_tradeoffs"
+  "bench_table2_tradeoffs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_tradeoffs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_cross_layer_cartography.dir/cross_layer_cartography.cpp.o"
+  "CMakeFiles/example_cross_layer_cartography.dir/cross_layer_cartography.cpp.o.d"
+  "example_cross_layer_cartography"
+  "example_cross_layer_cartography.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_cross_layer_cartography.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_incident_routing.dir/incident_routing.cpp.o"
+  "CMakeFiles/example_incident_routing.dir/incident_routing.cpp.o.d"
+  "example_incident_routing"
+  "example_incident_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_incident_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

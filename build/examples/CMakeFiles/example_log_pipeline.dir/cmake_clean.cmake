@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_log_pipeline.dir/log_pipeline.cpp.o"
+  "CMakeFiles/example_log_pipeline.dir/log_pipeline.cpp.o.d"
+  "example_log_pipeline"
+  "example_log_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_log_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_war_stories.dir/war_stories.cpp.o"
+  "CMakeFiles/example_war_stories.dir/war_stories.cpp.o.d"
+  "example_war_stories"
+  "example_war_stories.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_war_stories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

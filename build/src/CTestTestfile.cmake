@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("core")
+subdirs("graph")
+subdirs("topology")
+subdirs("optical")
+subdirs("routing")
+subdirs("telemetry")
+subdirs("logs")
+subdirs("lp")
+subdirs("te")
+subdirs("capacity")
+subdirs("depgraph")
+subdirs("incident")
+subdirs("ml")
+subdirs("smn")

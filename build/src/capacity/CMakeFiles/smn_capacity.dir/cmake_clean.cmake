@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smn_capacity.dir/capacity_planner.cpp.o"
+  "CMakeFiles/smn_capacity.dir/capacity_planner.cpp.o.d"
+  "libsmn_capacity.a"
+  "libsmn_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smn_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smn_core.dir/coarsening.cpp.o"
+  "CMakeFiles/smn_core.dir/coarsening.cpp.o.d"
+  "CMakeFiles/smn_core.dir/fidelity.cpp.o"
+  "CMakeFiles/smn_core.dir/fidelity.cpp.o.d"
+  "libsmn_core.a"
+  "libsmn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

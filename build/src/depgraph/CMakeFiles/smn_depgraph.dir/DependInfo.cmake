@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/depgraph/cdg.cpp" "src/depgraph/CMakeFiles/smn_depgraph.dir/cdg.cpp.o" "gcc" "src/depgraph/CMakeFiles/smn_depgraph.dir/cdg.cpp.o.d"
+  "/root/repo/src/depgraph/reddit.cpp" "src/depgraph/CMakeFiles/smn_depgraph.dir/reddit.cpp.o" "gcc" "src/depgraph/CMakeFiles/smn_depgraph.dir/reddit.cpp.o.d"
+  "/root/repo/src/depgraph/service_graph.cpp" "src/depgraph/CMakeFiles/smn_depgraph.dir/service_graph.cpp.o" "gcc" "src/depgraph/CMakeFiles/smn_depgraph.dir/service_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/smn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/smn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/smn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smn_depgraph.dir/cdg.cpp.o"
+  "CMakeFiles/smn_depgraph.dir/cdg.cpp.o.d"
+  "CMakeFiles/smn_depgraph.dir/reddit.cpp.o"
+  "CMakeFiles/smn_depgraph.dir/reddit.cpp.o.d"
+  "CMakeFiles/smn_depgraph.dir/service_graph.cpp.o"
+  "CMakeFiles/smn_depgraph.dir/service_graph.cpp.o.d"
+  "libsmn_depgraph.a"
+  "libsmn_depgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smn_depgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smn_graph.dir/contraction.cpp.o"
+  "CMakeFiles/smn_graph.dir/contraction.cpp.o.d"
+  "CMakeFiles/smn_graph.dir/digraph.cpp.o"
+  "CMakeFiles/smn_graph.dir/digraph.cpp.o.d"
+  "CMakeFiles/smn_graph.dir/reachability.cpp.o"
+  "CMakeFiles/smn_graph.dir/reachability.cpp.o.d"
+  "CMakeFiles/smn_graph.dir/scc.cpp.o"
+  "CMakeFiles/smn_graph.dir/scc.cpp.o.d"
+  "CMakeFiles/smn_graph.dir/shortest_path.cpp.o"
+  "CMakeFiles/smn_graph.dir/shortest_path.cpp.o.d"
+  "libsmn_graph.a"
+  "libsmn_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smn_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/incident/explainability.cpp" "src/incident/CMakeFiles/smn_incident.dir/explainability.cpp.o" "gcc" "src/incident/CMakeFiles/smn_incident.dir/explainability.cpp.o.d"
+  "/root/repo/src/incident/fault.cpp" "src/incident/CMakeFiles/smn_incident.dir/fault.cpp.o" "gcc" "src/incident/CMakeFiles/smn_incident.dir/fault.cpp.o.d"
+  "/root/repo/src/incident/features.cpp" "src/incident/CMakeFiles/smn_incident.dir/features.cpp.o" "gcc" "src/incident/CMakeFiles/smn_incident.dir/features.cpp.o.d"
+  "/root/repo/src/incident/mttr.cpp" "src/incident/CMakeFiles/smn_incident.dir/mttr.cpp.o" "gcc" "src/incident/CMakeFiles/smn_incident.dir/mttr.cpp.o.d"
+  "/root/repo/src/incident/routing_experiment.cpp" "src/incident/CMakeFiles/smn_incident.dir/routing_experiment.cpp.o" "gcc" "src/incident/CMakeFiles/smn_incident.dir/routing_experiment.cpp.o.d"
+  "/root/repo/src/incident/simulator.cpp" "src/incident/CMakeFiles/smn_incident.dir/simulator.cpp.o" "gcc" "src/incident/CMakeFiles/smn_incident.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/depgraph/CMakeFiles/smn_depgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/smn_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/smn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/smn_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/smn_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

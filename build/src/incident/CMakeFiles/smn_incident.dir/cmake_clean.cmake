@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smn_incident.dir/explainability.cpp.o"
+  "CMakeFiles/smn_incident.dir/explainability.cpp.o.d"
+  "CMakeFiles/smn_incident.dir/fault.cpp.o"
+  "CMakeFiles/smn_incident.dir/fault.cpp.o.d"
+  "CMakeFiles/smn_incident.dir/features.cpp.o"
+  "CMakeFiles/smn_incident.dir/features.cpp.o.d"
+  "CMakeFiles/smn_incident.dir/mttr.cpp.o"
+  "CMakeFiles/smn_incident.dir/mttr.cpp.o.d"
+  "CMakeFiles/smn_incident.dir/routing_experiment.cpp.o"
+  "CMakeFiles/smn_incident.dir/routing_experiment.cpp.o.d"
+  "CMakeFiles/smn_incident.dir/simulator.cpp.o"
+  "CMakeFiles/smn_incident.dir/simulator.cpp.o.d"
+  "libsmn_incident.a"
+  "libsmn_incident.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smn_incident.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

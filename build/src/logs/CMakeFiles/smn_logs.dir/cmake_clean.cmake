@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smn_logs.dir/log_generator.cpp.o"
+  "CMakeFiles/smn_logs.dir/log_generator.cpp.o.d"
+  "CMakeFiles/smn_logs.dir/template_miner.cpp.o"
+  "CMakeFiles/smn_logs.dir/template_miner.cpp.o.d"
+  "libsmn_logs.a"
+  "libsmn_logs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smn_logs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smn_lp.dir/mcf.cpp.o"
+  "CMakeFiles/smn_lp.dir/mcf.cpp.o.d"
+  "CMakeFiles/smn_lp.dir/simplex.cpp.o"
+  "CMakeFiles/smn_lp.dir/simplex.cpp.o.d"
+  "libsmn_lp.a"
+  "libsmn_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smn_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smn_ml.dir/dataset.cpp.o"
+  "CMakeFiles/smn_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/smn_ml.dir/decision_tree.cpp.o"
+  "CMakeFiles/smn_ml.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/smn_ml.dir/random_forest.cpp.o"
+  "CMakeFiles/smn_ml.dir/random_forest.cpp.o.d"
+  "libsmn_ml.a"
+  "libsmn_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smn_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

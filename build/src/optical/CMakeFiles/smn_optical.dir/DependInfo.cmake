@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optical/optical.cpp" "src/optical/CMakeFiles/smn_optical.dir/optical.cpp.o" "gcc" "src/optical/CMakeFiles/smn_optical.dir/optical.cpp.o.d"
+  "/root/repo/src/optical/risk_aware.cpp" "src/optical/CMakeFiles/smn_optical.dir/risk_aware.cpp.o" "gcc" "src/optical/CMakeFiles/smn_optical.dir/risk_aware.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topology/CMakeFiles/smn_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/smn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/smn_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/smn_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

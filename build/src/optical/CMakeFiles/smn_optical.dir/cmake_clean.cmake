@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smn_optical.dir/optical.cpp.o"
+  "CMakeFiles/smn_optical.dir/optical.cpp.o.d"
+  "CMakeFiles/smn_optical.dir/risk_aware.cpp.o"
+  "CMakeFiles/smn_optical.dir/risk_aware.cpp.o.d"
+  "libsmn_optical.a"
+  "libsmn_optical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smn_optical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smn_routing.dir/hierarchical.cpp.o"
+  "CMakeFiles/smn_routing.dir/hierarchical.cpp.o.d"
+  "libsmn_routing.a"
+  "libsmn_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smn_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

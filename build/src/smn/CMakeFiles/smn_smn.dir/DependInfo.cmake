@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/smn/aiops.cpp" "src/smn/CMakeFiles/smn_smn.dir/aiops.cpp.o" "gcc" "src/smn/CMakeFiles/smn_smn.dir/aiops.cpp.o.d"
+  "/root/repo/src/smn/catalog.cpp" "src/smn/CMakeFiles/smn_smn.dir/catalog.cpp.o" "gcc" "src/smn/CMakeFiles/smn_smn.dir/catalog.cpp.o.d"
+  "/root/repo/src/smn/clto.cpp" "src/smn/CMakeFiles/smn_smn.dir/clto.cpp.o" "gcc" "src/smn/CMakeFiles/smn_smn.dir/clto.cpp.o.d"
+  "/root/repo/src/smn/control_plane.cpp" "src/smn/CMakeFiles/smn_smn.dir/control_plane.cpp.o" "gcc" "src/smn/CMakeFiles/smn_smn.dir/control_plane.cpp.o.d"
+  "/root/repo/src/smn/data_lake.cpp" "src/smn/CMakeFiles/smn_smn.dir/data_lake.cpp.o" "gcc" "src/smn/CMakeFiles/smn_smn.dir/data_lake.cpp.o.d"
+  "/root/repo/src/smn/feedback.cpp" "src/smn/CMakeFiles/smn_smn.dir/feedback.cpp.o" "gcc" "src/smn/CMakeFiles/smn_smn.dir/feedback.cpp.o.d"
+  "/root/repo/src/smn/model_registry.cpp" "src/smn/CMakeFiles/smn_smn.dir/model_registry.cpp.o" "gcc" "src/smn/CMakeFiles/smn_smn.dir/model_registry.cpp.o.d"
+  "/root/repo/src/smn/query.cpp" "src/smn/CMakeFiles/smn_smn.dir/query.cpp.o" "gcc" "src/smn/CMakeFiles/smn_smn.dir/query.cpp.o.d"
+  "/root/repo/src/smn/record.cpp" "src/smn/CMakeFiles/smn_smn.dir/record.cpp.o" "gcc" "src/smn/CMakeFiles/smn_smn.dir/record.cpp.o.d"
+  "/root/repo/src/smn/smn_controller.cpp" "src/smn/CMakeFiles/smn_smn.dir/smn_controller.cpp.o" "gcc" "src/smn/CMakeFiles/smn_smn.dir/smn_controller.cpp.o.d"
+  "/root/repo/src/smn/war_stories.cpp" "src/smn/CMakeFiles/smn_smn.dir/war_stories.cpp.o" "gcc" "src/smn/CMakeFiles/smn_smn.dir/war_stories.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/incident/CMakeFiles/smn_incident.dir/DependInfo.cmake"
+  "/root/repo/build/src/depgraph/CMakeFiles/smn_depgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/smn_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/capacity/CMakeFiles/smn_capacity.dir/DependInfo.cmake"
+  "/root/repo/build/src/te/CMakeFiles/smn_te.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/smn_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/logs/CMakeFiles/smn_logs.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/smn_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/optical/CMakeFiles/smn_optical.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/smn_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/smn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/smn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/smn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smn_smn.dir/aiops.cpp.o"
+  "CMakeFiles/smn_smn.dir/aiops.cpp.o.d"
+  "CMakeFiles/smn_smn.dir/catalog.cpp.o"
+  "CMakeFiles/smn_smn.dir/catalog.cpp.o.d"
+  "CMakeFiles/smn_smn.dir/clto.cpp.o"
+  "CMakeFiles/smn_smn.dir/clto.cpp.o.d"
+  "CMakeFiles/smn_smn.dir/control_plane.cpp.o"
+  "CMakeFiles/smn_smn.dir/control_plane.cpp.o.d"
+  "CMakeFiles/smn_smn.dir/data_lake.cpp.o"
+  "CMakeFiles/smn_smn.dir/data_lake.cpp.o.d"
+  "CMakeFiles/smn_smn.dir/feedback.cpp.o"
+  "CMakeFiles/smn_smn.dir/feedback.cpp.o.d"
+  "CMakeFiles/smn_smn.dir/model_registry.cpp.o"
+  "CMakeFiles/smn_smn.dir/model_registry.cpp.o.d"
+  "CMakeFiles/smn_smn.dir/query.cpp.o"
+  "CMakeFiles/smn_smn.dir/query.cpp.o.d"
+  "CMakeFiles/smn_smn.dir/record.cpp.o"
+  "CMakeFiles/smn_smn.dir/record.cpp.o.d"
+  "CMakeFiles/smn_smn.dir/smn_controller.cpp.o"
+  "CMakeFiles/smn_smn.dir/smn_controller.cpp.o.d"
+  "CMakeFiles/smn_smn.dir/war_stories.cpp.o"
+  "CMakeFiles/smn_smn.dir/war_stories.cpp.o.d"
+  "libsmn_smn.a"
+  "libsmn_smn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smn_smn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for smn_smn.
+# This may be replaced when dependencies are built.

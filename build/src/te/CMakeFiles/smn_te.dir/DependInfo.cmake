@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/te/coarse_te.cpp" "src/te/CMakeFiles/smn_te.dir/coarse_te.cpp.o" "gcc" "src/te/CMakeFiles/smn_te.dir/coarse_te.cpp.o.d"
+  "/root/repo/src/te/demand.cpp" "src/te/CMakeFiles/smn_te.dir/demand.cpp.o" "gcc" "src/te/CMakeFiles/smn_te.dir/demand.cpp.o.d"
+  "/root/repo/src/te/failure_analysis.cpp" "src/te/CMakeFiles/smn_te.dir/failure_analysis.cpp.o" "gcc" "src/te/CMakeFiles/smn_te.dir/failure_analysis.cpp.o.d"
+  "/root/repo/src/te/te_controller.cpp" "src/te/CMakeFiles/smn_te.dir/te_controller.cpp.o" "gcc" "src/te/CMakeFiles/smn_te.dir/te_controller.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lp/CMakeFiles/smn_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/smn_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/smn_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/smn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/smn_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/smn_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smn_te.dir/coarse_te.cpp.o"
+  "CMakeFiles/smn_te.dir/coarse_te.cpp.o.d"
+  "CMakeFiles/smn_te.dir/demand.cpp.o"
+  "CMakeFiles/smn_te.dir/demand.cpp.o.d"
+  "CMakeFiles/smn_te.dir/failure_analysis.cpp.o"
+  "CMakeFiles/smn_te.dir/failure_analysis.cpp.o.d"
+  "CMakeFiles/smn_te.dir/te_controller.cpp.o"
+  "CMakeFiles/smn_te.dir/te_controller.cpp.o.d"
+  "libsmn_te.a"
+  "libsmn_te.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smn_te.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

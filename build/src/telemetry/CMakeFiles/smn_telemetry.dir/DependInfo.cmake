@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telemetry/bandwidth_log.cpp" "src/telemetry/CMakeFiles/smn_telemetry.dir/bandwidth_log.cpp.o" "gcc" "src/telemetry/CMakeFiles/smn_telemetry.dir/bandwidth_log.cpp.o.d"
+  "/root/repo/src/telemetry/forecast.cpp" "src/telemetry/CMakeFiles/smn_telemetry.dir/forecast.cpp.o" "gcc" "src/telemetry/CMakeFiles/smn_telemetry.dir/forecast.cpp.o.d"
+  "/root/repo/src/telemetry/log_store.cpp" "src/telemetry/CMakeFiles/smn_telemetry.dir/log_store.cpp.o" "gcc" "src/telemetry/CMakeFiles/smn_telemetry.dir/log_store.cpp.o.d"
+  "/root/repo/src/telemetry/time_coarsening.cpp" "src/telemetry/CMakeFiles/smn_telemetry.dir/time_coarsening.cpp.o" "gcc" "src/telemetry/CMakeFiles/smn_telemetry.dir/time_coarsening.cpp.o.d"
+  "/root/repo/src/telemetry/topology_log_coarsening.cpp" "src/telemetry/CMakeFiles/smn_telemetry.dir/topology_log_coarsening.cpp.o" "gcc" "src/telemetry/CMakeFiles/smn_telemetry.dir/topology_log_coarsening.cpp.o.d"
+  "/root/repo/src/telemetry/traffic_generator.cpp" "src/telemetry/CMakeFiles/smn_telemetry.dir/traffic_generator.cpp.o" "gcc" "src/telemetry/CMakeFiles/smn_telemetry.dir/traffic_generator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topology/CMakeFiles/smn_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/smn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/smn_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/smn_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

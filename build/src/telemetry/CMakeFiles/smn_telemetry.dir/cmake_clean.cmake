@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smn_telemetry.dir/bandwidth_log.cpp.o"
+  "CMakeFiles/smn_telemetry.dir/bandwidth_log.cpp.o.d"
+  "CMakeFiles/smn_telemetry.dir/forecast.cpp.o"
+  "CMakeFiles/smn_telemetry.dir/forecast.cpp.o.d"
+  "CMakeFiles/smn_telemetry.dir/log_store.cpp.o"
+  "CMakeFiles/smn_telemetry.dir/log_store.cpp.o.d"
+  "CMakeFiles/smn_telemetry.dir/time_coarsening.cpp.o"
+  "CMakeFiles/smn_telemetry.dir/time_coarsening.cpp.o.d"
+  "CMakeFiles/smn_telemetry.dir/topology_log_coarsening.cpp.o"
+  "CMakeFiles/smn_telemetry.dir/topology_log_coarsening.cpp.o.d"
+  "CMakeFiles/smn_telemetry.dir/traffic_generator.cpp.o"
+  "CMakeFiles/smn_telemetry.dir/traffic_generator.cpp.o.d"
+  "libsmn_telemetry.a"
+  "libsmn_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smn_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/supernode.cpp" "src/topology/CMakeFiles/smn_topology.dir/supernode.cpp.o" "gcc" "src/topology/CMakeFiles/smn_topology.dir/supernode.cpp.o.d"
+  "/root/repo/src/topology/wan.cpp" "src/topology/CMakeFiles/smn_topology.dir/wan.cpp.o" "gcc" "src/topology/CMakeFiles/smn_topology.dir/wan.cpp.o.d"
+  "/root/repo/src/topology/wan_generator.cpp" "src/topology/CMakeFiles/smn_topology.dir/wan_generator.cpp.o" "gcc" "src/topology/CMakeFiles/smn_topology.dir/wan_generator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/smn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/smn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/smn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smn_topology.dir/supernode.cpp.o"
+  "CMakeFiles/smn_topology.dir/supernode.cpp.o.d"
+  "CMakeFiles/smn_topology.dir/wan.cpp.o"
+  "CMakeFiles/smn_topology.dir/wan.cpp.o.d"
+  "CMakeFiles/smn_topology.dir/wan_generator.cpp.o"
+  "CMakeFiles/smn_topology.dir/wan_generator.cpp.o.d"
+  "libsmn_topology.a"
+  "libsmn_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smn_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smn_util.dir/csv.cpp.o"
+  "CMakeFiles/smn_util.dir/csv.cpp.o.d"
+  "CMakeFiles/smn_util.dir/logging.cpp.o"
+  "CMakeFiles/smn_util.dir/logging.cpp.o.d"
+  "CMakeFiles/smn_util.dir/rng.cpp.o"
+  "CMakeFiles/smn_util.dir/rng.cpp.o.d"
+  "CMakeFiles/smn_util.dir/sim_time.cpp.o"
+  "CMakeFiles/smn_util.dir/sim_time.cpp.o.d"
+  "CMakeFiles/smn_util.dir/stats.cpp.o"
+  "CMakeFiles/smn_util.dir/stats.cpp.o.d"
+  "CMakeFiles/smn_util.dir/string_util.cpp.o"
+  "CMakeFiles/smn_util.dir/string_util.cpp.o.d"
+  "CMakeFiles/smn_util.dir/table.cpp.o"
+  "CMakeFiles/smn_util.dir/table.cpp.o.d"
+  "libsmn_util.a"
+  "libsmn_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smn_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

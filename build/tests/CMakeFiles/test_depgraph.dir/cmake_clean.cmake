@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_depgraph.dir/test_depgraph.cpp.o"
+  "CMakeFiles/test_depgraph.dir/test_depgraph.cpp.o.d"
+  "test_depgraph"
+  "test_depgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_depgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph_contraction.dir/test_graph_contraction.cpp.o"
+  "CMakeFiles/test_graph_contraction.dir/test_graph_contraction.cpp.o.d"
+  "test_graph_contraction"
+  "test_graph_contraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph_contraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph_digraph.dir/test_graph_digraph.cpp.o"
+  "CMakeFiles/test_graph_digraph.dir/test_graph_digraph.cpp.o.d"
+  "test_graph_digraph"
+  "test_graph_digraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph_digraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_incident_fault.dir/test_incident_fault.cpp.o"
+  "CMakeFiles/test_incident_fault.dir/test_incident_fault.cpp.o.d"
+  "test_incident_fault"
+  "test_incident_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_incident_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_incident_features.dir/test_incident_features.cpp.o"
+  "CMakeFiles/test_incident_features.dir/test_incident_features.cpp.o.d"
+  "test_incident_features"
+  "test_incident_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_incident_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

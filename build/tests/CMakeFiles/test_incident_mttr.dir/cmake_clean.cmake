@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_incident_mttr.dir/test_incident_mttr.cpp.o"
+  "CMakeFiles/test_incident_mttr.dir/test_incident_mttr.cpp.o.d"
+  "test_incident_mttr"
+  "test_incident_mttr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_incident_mttr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

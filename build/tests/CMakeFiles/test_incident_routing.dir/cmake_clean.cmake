@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_incident_routing.dir/test_incident_routing.cpp.o"
+  "CMakeFiles/test_incident_routing.dir/test_incident_routing.cpp.o.d"
+  "test_incident_routing"
+  "test_incident_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_incident_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_incident_simulator.dir/test_incident_simulator.cpp.o"
+  "CMakeFiles/test_incident_simulator.dir/test_incident_simulator.cpp.o.d"
+  "test_incident_simulator"
+  "test_incident_simulator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_incident_simulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_logs.dir/test_logs.cpp.o"
+  "CMakeFiles/test_logs.dir/test_logs.cpp.o.d"
+  "test_logs"
+  "test_logs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_logs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

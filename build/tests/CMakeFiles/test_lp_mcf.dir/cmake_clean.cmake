@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lp_mcf.dir/test_lp_mcf.cpp.o"
+  "CMakeFiles/test_lp_mcf.dir/test_lp_mcf.cpp.o.d"
+  "test_lp_mcf"
+  "test_lp_mcf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lp_mcf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

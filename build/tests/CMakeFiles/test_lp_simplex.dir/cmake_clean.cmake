@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lp_simplex.dir/test_lp_simplex.cpp.o"
+  "CMakeFiles/test_lp_simplex.dir/test_lp_simplex.cpp.o.d"
+  "test_lp_simplex"
+  "test_lp_simplex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lp_simplex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_coarsening_laws.dir/test_property_coarsening_laws.cpp.o"
+  "CMakeFiles/test_property_coarsening_laws.dir/test_property_coarsening_laws.cpp.o.d"
+  "test_property_coarsening_laws"
+  "test_property_coarsening_laws.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_coarsening_laws.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

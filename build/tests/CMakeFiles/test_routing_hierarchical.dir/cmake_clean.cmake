@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_routing_hierarchical.dir/test_routing_hierarchical.cpp.o"
+  "CMakeFiles/test_routing_hierarchical.dir/test_routing_hierarchical.cpp.o.d"
+  "test_routing_hierarchical"
+  "test_routing_hierarchical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_routing_hierarchical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_smn_aiops.dir/test_smn_aiops.cpp.o"
+  "CMakeFiles/test_smn_aiops.dir/test_smn_aiops.cpp.o.d"
+  "test_smn_aiops"
+  "test_smn_aiops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_smn_aiops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_smn_aiops.
+# This may be replaced when dependencies are built.

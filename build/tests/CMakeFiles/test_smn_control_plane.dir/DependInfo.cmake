@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_smn_control_plane.cpp" "tests/CMakeFiles/test_smn_control_plane.dir/test_smn_control_plane.cpp.o" "gcc" "tests/CMakeFiles/test_smn_control_plane.dir/test_smn_control_plane.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/smn/CMakeFiles/smn_smn.dir/DependInfo.cmake"
+  "/root/repo/build/src/incident/CMakeFiles/smn_incident.dir/DependInfo.cmake"
+  "/root/repo/build/src/depgraph/CMakeFiles/smn_depgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/smn_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/capacity/CMakeFiles/smn_capacity.dir/DependInfo.cmake"
+  "/root/repo/build/src/te/CMakeFiles/smn_te.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/smn_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/logs/CMakeFiles/smn_logs.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/smn_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/optical/CMakeFiles/smn_optical.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/smn_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/smn_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/smn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/smn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/smn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

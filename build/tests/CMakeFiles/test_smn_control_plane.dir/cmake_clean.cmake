@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_smn_control_plane.dir/test_smn_control_plane.cpp.o"
+  "CMakeFiles/test_smn_control_plane.dir/test_smn_control_plane.cpp.o.d"
+  "test_smn_control_plane"
+  "test_smn_control_plane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_smn_control_plane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

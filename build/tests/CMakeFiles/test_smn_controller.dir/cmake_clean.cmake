@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_smn_controller.dir/test_smn_controller.cpp.o"
+  "CMakeFiles/test_smn_controller.dir/test_smn_controller.cpp.o.d"
+  "test_smn_controller"
+  "test_smn_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_smn_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_smn_data_lake.dir/test_smn_data_lake.cpp.o"
+  "CMakeFiles/test_smn_data_lake.dir/test_smn_data_lake.cpp.o.d"
+  "test_smn_data_lake"
+  "test_smn_data_lake.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_smn_data_lake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

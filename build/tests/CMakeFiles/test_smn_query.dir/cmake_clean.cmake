@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_smn_query.dir/test_smn_query.cpp.o"
+  "CMakeFiles/test_smn_query.dir/test_smn_query.cpp.o.d"
+  "test_smn_query"
+  "test_smn_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_smn_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

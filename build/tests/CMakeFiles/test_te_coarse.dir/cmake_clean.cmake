@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_te_coarse.dir/test_te_coarse.cpp.o"
+  "CMakeFiles/test_te_coarse.dir/test_te_coarse.cpp.o.d"
+  "test_te_coarse"
+  "test_te_coarse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_te_coarse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

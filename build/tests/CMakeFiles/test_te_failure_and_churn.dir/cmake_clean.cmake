@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_te_failure_and_churn.dir/test_te_failure_and_churn.cpp.o"
+  "CMakeFiles/test_te_failure_and_churn.dir/test_te_failure_and_churn.cpp.o.d"
+  "test_te_failure_and_churn"
+  "test_te_failure_and_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_te_failure_and_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_telemetry_coarsening.dir/test_telemetry_coarsening.cpp.o"
+  "CMakeFiles/test_telemetry_coarsening.dir/test_telemetry_coarsening.cpp.o.d"
+  "test_telemetry_coarsening"
+  "test_telemetry_coarsening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_telemetry_coarsening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

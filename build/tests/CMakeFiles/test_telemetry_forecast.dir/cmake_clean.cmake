@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_telemetry_forecast.dir/test_telemetry_forecast.cpp.o"
+  "CMakeFiles/test_telemetry_forecast.dir/test_telemetry_forecast.cpp.o.d"
+  "test_telemetry_forecast"
+  "test_telemetry_forecast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_telemetry_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_telemetry_log.dir/test_telemetry_log.cpp.o"
+  "CMakeFiles/test_telemetry_log.dir/test_telemetry_log.cpp.o.d"
+  "test_telemetry_log"
+  "test_telemetry_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_telemetry_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_telemetry_traffic.dir/test_telemetry_traffic.cpp.o"
+  "CMakeFiles/test_telemetry_traffic.dir/test_telemetry_traffic.cpp.o.d"
+  "test_telemetry_traffic"
+  "test_telemetry_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_telemetry_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

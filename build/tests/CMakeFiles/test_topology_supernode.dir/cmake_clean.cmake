@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_topology_supernode.dir/test_topology_supernode.cpp.o"
+  "CMakeFiles/test_topology_supernode.dir/test_topology_supernode.cpp.o.d"
+  "test_topology_supernode"
+  "test_topology_supernode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_topology_supernode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_topology_wan.dir/test_topology_wan.cpp.o"
+  "CMakeFiles/test_topology_wan.dir/test_topology_wan.cpp.o.d"
+  "test_topology_wan"
+  "test_topology_wan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_topology_wan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
