@@ -1,0 +1,356 @@
+// PR-1 performance bench — the TE solver hot path on a ~300-DC planetary
+// WAN. Measures the batched (source-grouped, path-cached, workspace-reusing)
+// MCF solver against a faithful reimplementation of the original serial
+// solver (one full Dijkstra per augmentation), plus the coarse-TE pipeline
+// and the threaded failure/window sweeps at 1/2/4/8 workers.
+//
+// Writes BENCH_te_hotpath.json into the working directory:
+//   {
+//     "machine": {"hardware_concurrency": N},
+//     "instance": {...},
+//     "seed_serial": {"wall_ms", "sp_calls", "lambda"},
+//     "fine_batched": {..., "speedup_vs_seed", "sp_calls_ratio"},
+//     "fine_unbatched": {...},          // new workspace, legacy schedule
+//     "coarse": {...},                  // MCF on the coarsened WAN
+//     "threads": [{"threads", "failure_sweep_ms", "windows_ms",
+//                  "mcf_speedup_vs_seed", "lambda_max_abs_dev"}, ...]
+//   }
+// lambda_max_abs_dev compares every lambda produced at T threads against
+// the T=1 run; the solvers are deterministic, so it must print as 0.
+//
+// `--smoke` shrinks the instance and repetitions for CI (see bench_smoke
+// ctest label).
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <queue>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "lp/mcf.h"
+#include "te/coarse_te.h"
+#include "te/demand.h"
+#include "te/failure_analysis.h"
+#include "telemetry/traffic_generator.h"
+#include "topology/supernode.h"
+#include "topology/wan_generator.h"
+
+namespace {
+
+using namespace smn;
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// ---------------------------------------------------------------------------
+// Faithful reimplementation of the pre-PR serial solver: per augmentation,
+// one full Dijkstra (fresh O(V + E) buffers, no batching, no caching).
+// Kept here verbatim so the speedup baseline cannot silently drift as the
+// library solver evolves.
+// ---------------------------------------------------------------------------
+
+std::vector<graph::EdgeId> seed_sp(const graph::Digraph& g, const std::vector<double>& length,
+                                   graph::NodeId src, graph::NodeId dst) {
+  std::vector<double> dist(g.node_count(), kInf);
+  std::vector<graph::EdgeId> parent(g.node_count(), graph::kInvalidEdge);
+  using Item = std::pair<double, graph::NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist[src] = 0.0;
+  heap.emplace(0.0, src);
+  while (!heap.empty()) {
+    const auto [d, node] = heap.top();
+    heap.pop();
+    if (node == dst) break;
+    if (d > dist[node]) continue;
+    for (const graph::EdgeId e : g.out_edges(node)) {
+      const graph::Edge& edge = g.edge(e);
+      if (edge.capacity <= 0.0) continue;
+      const double next = d + length[e];
+      if (next < dist[edge.to]) {
+        dist[edge.to] = next;
+        parent[edge.to] = e;
+        heap.emplace(next, edge.to);
+      }
+    }
+  }
+  std::vector<graph::EdgeId> path;
+  if (dist[dst] == kInf) return path;
+  for (graph::NodeId node = dst; node != src;) {
+    const graph::EdgeId e = parent[node];
+    path.push_back(e);
+    node = g.edge(e).from;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+lp::McfResult seed_mcf(const graph::Digraph& g, const std::vector<lp::Commodity>& commodities,
+                       double eps) {
+  std::vector<std::size_t> active;
+  for (std::size_t j = 0; j < commodities.size(); ++j) {
+    if (commodities[j].demand > 0.0 && commodities[j].src != commodities[j].dst) {
+      active.push_back(j);
+    }
+  }
+  lp::McfResult result;
+  result.edge_flow.assign(g.edge_count(), 0.0);
+  result.routed.assign(commodities.size(), 0.0);
+  if (active.empty() || g.edge_count() == 0) return result;
+  const auto m = static_cast<double>(g.edge_count());
+  const double delta = std::pow(m / (1.0 - eps), -1.0 / eps);
+  std::vector<double> length(g.edge_count());
+  for (graph::EdgeId e = 0; e < g.edge_count(); ++e) {
+    const double cap = g.edge(e).capacity;
+    length[e] = cap > 0.0 ? delta / cap : kInf;
+  }
+  std::vector<double> raw_edge_flow(g.edge_count(), 0.0);
+  std::vector<double> raw_routed(commodities.size(), 0.0);
+  const auto dual = [&] {
+    double total = 0.0;
+    for (graph::EdgeId e = 0; e < g.edge_count(); ++e) {
+      const double cap = g.edge(e).capacity;
+      if (cap > 0.0) total += cap * length[e];
+    }
+    return total;
+  };
+  bool some_routable = false;
+  for (std::size_t phase = 0; phase < 1000 && dual() < 1.0; ++phase) {
+    bool progress = false;
+    for (const std::size_t j : active) {
+      double remaining = commodities[j].demand;
+      while (remaining > 0.0 && dual() < 1.0) {
+        const auto path = seed_sp(g, length, commodities[j].src, commodities[j].dst);
+        ++result.sp_calls;
+        if (path.empty()) break;
+        some_routable = true;
+        double bottleneck = remaining;
+        for (const graph::EdgeId e : path) {
+          bottleneck = std::min(bottleneck, g.edge(e).capacity);
+        }
+        for (const graph::EdgeId e : path) {
+          raw_edge_flow[e] += bottleneck;
+          length[e] *= 1.0 + eps * bottleneck / g.edge(e).capacity;
+        }
+        raw_routed[j] += bottleneck;
+        remaining -= bottleneck;
+        progress = true;
+      }
+    }
+    if (!progress) break;
+  }
+  if (!some_routable) return result;
+  double scale = kInf;
+  for (graph::EdgeId e = 0; e < g.edge_count(); ++e) {
+    if (raw_edge_flow[e] > 0.0) scale = std::min(scale, g.edge(e).capacity / raw_edge_flow[e]);
+  }
+  if (scale == kInf) scale = 0.0;
+  double lambda = kInf;
+  for (const std::size_t j : active) {
+    lambda = std::min(lambda, raw_routed[j] * scale / commodities[j].demand);
+  }
+  result.lambda = lambda == kInf ? 0.0 : lambda;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+
+struct Timed {
+  double wall_ms = 0.0;
+  std::size_t sp_calls = 0;
+  double lambda = 0.0;
+};
+
+/// Runs `solve` `reps` times; keeps the minimum wall time (the runs are
+/// deterministic, so min is the least-noise estimator).
+template <typename F>
+Timed timed_min(int reps, F&& solve) {
+  Timed best;
+  best.wall_ms = kInf;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = Clock::now();
+    const lp::McfResult result = solve();
+    const double wall = ms_since(start);
+    if (wall < best.wall_ms) best.wall_ms = wall;
+    best.sp_calls = result.sp_calls;
+    best.lambda = result.lambda;
+  }
+  return best;
+}
+
+void print_timed(std::FILE* out, const char* key, const Timed& t, const Timed* baseline) {
+  std::fprintf(out, "  \"%s\": {\"wall_ms\": %.3f, \"sp_calls\": %zu, \"lambda\": %.12f", key,
+               t.wall_ms, t.sp_calls, t.lambda);
+  if (baseline != nullptr) {
+    std::fprintf(out, ", \"speedup_vs_seed\": %.3f, \"sp_calls_ratio\": %.3f",
+                 baseline->wall_ms / t.wall_ms,
+                 static_cast<double>(baseline->sp_calls) / static_cast<double>(t.sp_calls));
+  }
+  std::fprintf(out, "}");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  // ~300-DC planetary WAN (default config: 7 continents x 4 regions x 11
+  // DCs = 308) with an hour of traffic between 2000 DC pairs. Smoke mode
+  // shrinks the WAN so the bench_smoke ctest run stays fast.
+  topology::WanConfig config;
+  if (smoke) {
+    config.regions_per_continent = 2;
+    config.dcs_per_region = 3;
+  }
+  telemetry::TrafficConfig traffic;
+  traffic.duration = util::kHour;
+  traffic.active_pairs = smoke ? 200 : 2000;
+  traffic.seed = 9;
+  const double eps = 0.1;
+  const int reps = smoke ? 1 : 3;
+
+  const auto wan = topology::generate_planetary_wan(config);
+  const auto log = telemetry::TrafficGenerator(wan, traffic).generate();
+  const auto commodities =
+      te::DemandMatrix::from_log(log, te::DemandStatistic::kMean).to_commodities(wan);
+
+  std::printf("instance: %zu DCs, %zu links, %zu commodities\n", wan.graph().node_count(),
+              wan.graph().edge_count() / 2, commodities.size());
+
+  // --- Fine-grained MCF: seed serial vs new solver (both schedules). ---
+  const Timed seed = timed_min(reps, [&] { return seed_mcf(wan.graph(), commodities, eps); });
+  lp::McfOptions batched_opt;
+  batched_opt.epsilon = eps;
+  batched_opt.batch_by_source = true;
+  const Timed fine_batched =
+      timed_min(reps, [&] { return lp::max_concurrent_flow(wan.graph(), commodities, batched_opt); });
+  lp::McfOptions unbatched_opt = batched_opt;
+  unbatched_opt.batch_by_source = false;
+  const Timed fine_unbatched = timed_min(
+      reps, [&] { return lp::max_concurrent_flow(wan.graph(), commodities, unbatched_opt); });
+
+  std::printf("seed serial:    %8.1f ms  sp=%zu  lambda=%.6f\n", seed.wall_ms, seed.sp_calls,
+              seed.lambda);
+  std::printf("fine batched:   %8.1f ms  sp=%zu  lambda=%.6f  (%.2fx, sp %.2fx)\n",
+              fine_batched.wall_ms, fine_batched.sp_calls, fine_batched.lambda,
+              seed.wall_ms / fine_batched.wall_ms,
+              static_cast<double>(seed.sp_calls) / static_cast<double>(fine_batched.sp_calls));
+  std::printf("fine unbatched: %8.1f ms  sp=%zu  lambda=%.6f  (%.2fx)\n", fine_unbatched.wall_ms,
+              fine_unbatched.sp_calls, fine_unbatched.lambda,
+              seed.wall_ms / fine_unbatched.wall_ms);
+
+  // --- Coarse MCF (the §4 tractability claim). ---
+  const auto coarsener = topology::SupernodeCoarsener::by_target_count(smoke ? 14 : 28);
+  const graph::Partition partition = coarsener.partition_for(wan);
+  const auto coarse_wan = topology::SupernodeCoarsener::coarsen_with_partition(wan, partition);
+  const auto coarse_commodities = te::aggregate_commodities(wan, partition, commodities);
+  const Timed coarse = timed_min(
+      reps, [&] { return lp::max_concurrent_flow(coarse_wan.graph(), coarse_commodities,
+                                                 batched_opt); });
+  std::printf("coarse batched: %8.1f ms  sp=%zu  lambda=%.6f  (%.2fx)\n", coarse.wall_ms,
+              coarse.sp_calls, coarse.lambda, seed.wall_ms / coarse.wall_ms);
+
+  // --- Threaded sweeps: failure scenarios and TE windows. ---
+  std::vector<std::size_t> links;
+  for (std::size_t l = 0; l < (smoke ? 2u : 8u); ++l) links.push_back(l);
+  std::vector<std::vector<lp::Commodity>> windows;
+  for (std::size_t w = 0; w < (smoke ? 2u : 4u); ++w) {
+    telemetry::TrafficConfig wtraffic = traffic;
+    wtraffic.seed = 100 + w;
+    const auto wlog = telemetry::TrafficGenerator(wan, wtraffic).generate();
+    windows.push_back(
+        te::DemandMatrix::from_log(wlog, te::DemandStatistic::kMean).to_commodities(wan));
+  }
+
+  struct ThreadRow {
+    std::size_t threads = 1;
+    double failure_ms = 0.0;
+    double windows_ms = 0.0;
+    double lambda_dev = 0.0;
+  };
+  std::vector<ThreadRow> rows;
+  std::vector<double> reference_lambdas;
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    if (smoke && threads > 2) break;
+    ThreadRow row;
+    row.threads = threads;
+
+    te::FailureSweepOptions fail_opt;
+    fail_opt.epsilon = eps;
+    fail_opt.threads = threads;
+    auto start = Clock::now();
+    const auto sweep = te::single_link_failure_sweep(wan, commodities, links, fail_opt);
+    row.failure_ms = ms_since(start);
+
+    te::TeOptions te_opt;
+    te_opt.epsilon = eps;
+    te_opt.threads = threads;
+    start = Clock::now();
+    const auto reports = te::evaluate_coarse_te_windows(wan, partition, windows, te_opt);
+    row.windows_ms = ms_since(start);
+
+    // Determinism check: every lambda must match the threads=1 run exactly.
+    std::vector<double> lambdas{sweep.lambda_intact};
+    for (const auto& impact : sweep.impacts) lambdas.push_back(impact.lambda_after);
+    for (const auto& report : reports) {
+      lambdas.push_back(report.lambda_fine);
+      lambdas.push_back(report.lambda_realized);
+    }
+    if (reference_lambdas.empty()) {
+      reference_lambdas = lambdas;
+    } else {
+      for (std::size_t i = 0; i < lambdas.size(); ++i) {
+        row.lambda_dev = std::max(row.lambda_dev,
+                                  std::fabs(lambdas[i] - reference_lambdas[i]));
+      }
+    }
+    std::printf("threads=%zu: failure sweep %.1f ms, %zu windows %.1f ms, lambda dev %.3g\n",
+                row.threads, row.failure_ms, windows.size(), row.windows_ms, row.lambda_dev);
+    rows.push_back(row);
+  }
+
+  // --- JSON report. ---
+  std::FILE* out = std::fopen("BENCH_te_hotpath.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_te_hotpath.json\n");
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"machine\": {\"hardware_concurrency\": %u},\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(out,
+               "  \"instance\": {\"dcs\": %zu, \"links\": %zu, \"commodities\": %zu, "
+               "\"epsilon\": %.3f, \"smoke\": %s},\n",
+               wan.graph().node_count(), wan.graph().edge_count() / 2, commodities.size(), eps,
+               smoke ? "true" : "false");
+  print_timed(out, "seed_serial", seed, nullptr);
+  std::fprintf(out, ",\n");
+  print_timed(out, "fine_batched", fine_batched, &seed);
+  std::fprintf(out, ",\n");
+  print_timed(out, "fine_unbatched", fine_unbatched, &seed);
+  std::fprintf(out, ",\n");
+  print_timed(out, "coarse", coarse, &seed);
+  std::fprintf(out, ",\n  \"threads\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(out,
+                 "    {\"threads\": %zu, \"failure_sweep_ms\": %.3f, \"windows_ms\": %.3f, "
+                 "\"mcf_speedup_vs_seed\": %.3f, \"lambda_max_abs_dev\": %.3g}%s\n",
+                 rows[i].threads, rows[i].failure_ms, rows[i].windows_ms,
+                 seed.wall_ms / fine_batched.wall_ms, rows[i].lambda_dev,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote BENCH_te_hotpath.json\n");
+  return 0;
+}

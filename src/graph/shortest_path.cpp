@@ -1,8 +1,8 @@
 #include "graph/shortest_path.h"
 
 #include <algorithm>
+#include <functional>
 #include <limits>
-#include <queue>
 #include <set>
 #include <stdexcept>
 
@@ -11,57 +11,204 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-bool edge_is_enabled(const std::vector<bool>& mask, EdgeId e) noexcept {
-  return mask.empty() || mask[e];
+void check_mask(const Digraph& g, const std::vector<bool>& edge_enabled, const char* who) {
+  if (!edge_enabled.empty() && edge_enabled.size() != g.edge_count()) {
+    throw std::invalid_argument(std::string(who) + ": edge mask size mismatch");
+  }
 }
 
 }  // namespace
 
-ShortestPathTree dijkstra(const Digraph& g, NodeId source, const std::vector<bool>& edge_enabled) {
-  if (!edge_enabled.empty() && edge_enabled.size() != g.edge_count()) {
-    throw std::invalid_argument("dijkstra: edge mask size mismatch");
+void CsrAdjacency::build(const Digraph& g) {
+  offset_.assign(g.node_count() + 1, 0);
+  entries_.clear();
+  entries_.reserve(g.edge_count());
+  for (NodeId node = 0; node < g.node_count(); ++node) {
+    offset_[node] = entries_.size();
+    for (const EdgeId e : g.out_edges(node)) {
+      const Edge& edge = g.edge(e);
+      entries_.push_back({edge.to, e, edge.weight});
+    }
   }
+  offset_[g.node_count()] = entries_.size();
+}
+
+void DijkstraWorkspace::ensure_size(std::size_t node_count) {
+  if (stamp_.size() != node_count) {
+    dist_.resize(node_count);
+    parent_.resize(node_count);
+    stamp_.assign(node_count, 0);
+    target_stamp_.assign(node_count, 0);
+    generation_ = 0;
+  }
+}
+
+void DijkstraWorkspace::touch(NodeId node) { stamp_[node] = generation_; }
+
+void DijkstraWorkspace::heap_push(std::pair<double, NodeId> value) {
+  heap_.push_back(value);
+  std::size_t i = heap_.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) >> 2;
+    if (!(value < heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = value;
+}
+
+std::pair<double, NodeId> DijkstraWorkspace::heap_pop() {
+  const auto top = heap_.front();
+  const auto last = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  if (n > 0) {
+    std::size_t i = 0;
+    for (;;) {
+      const std::size_t first_child = (i << 2) + 1;
+      if (first_child >= n) break;
+      std::size_t best = first_child;
+      const std::size_t end = std::min(first_child + 4, n);
+      for (std::size_t c = first_child + 1; c < end; ++c) {
+        if (heap_[c] < heap_[best]) best = c;
+      }
+      if (!(heap_[best] < last)) break;
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    heap_[i] = last;
+  }
+  return top;
+}
+
+void DijkstraWorkspace::run(const Digraph& g, const Query& query) {
+  ensure_size(g.node_count());
+  if (++generation_ == 0) {
+    // Stamp wrap-around: invalidate everything once, then restart at 1.
+    std::fill(stamp_.begin(), stamp_.end(), 0u);
+    std::fill(target_stamp_.begin(), target_stamp_.end(), 0u);
+    generation_ = 1;
+  }
+  heap_.clear();
+  if (query.source >= g.node_count()) return;
+
+  // Multi-target mode: count distinct pending targets; the search stops
+  // when the last one settles.
+  std::size_t pending_targets = 0;
+  if (query.targets != nullptr) {
+    for (const NodeId t : *query.targets) {
+      if (t < g.node_count() && target_stamp_[t] != generation_) {
+        target_stamp_[t] = generation_;
+        ++pending_targets;
+      }
+    }
+  }
+
+  const std::vector<double>* length = query.edge_length;
+  const std::vector<bool>* enabled = query.edge_enabled;
+
+  dist_[query.source] = 0.0;
+  parent_[query.source] = kInvalidEdge;
+  touch(query.source);
+  heap_.emplace_back(0.0, query.source);
+
+  // Pops ascend in (distance, node) order — same settle order, and
+  // therefore the same parent selection, as the legacy
+  // std::priority_queue<greater<>> implementation.
+  while (!heap_.empty()) {
+    const auto [d, node] = heap_pop();
+    if (d > dist_[node]) continue;  // stale entry
+    if (node == query.target) break;
+    if (pending_targets > 0 && target_stamp_[node] == generation_) {
+      target_stamp_[node] = 0;  // settled (generation_ is never 0)
+      if (--pending_targets == 0) break;
+    }
+    const auto relax = [&](EdgeId e, NodeId to, double edge_cost) {
+      const double next = d + edge_cost;
+      const double current = stamp_[to] == generation_ ? dist_[to] : kInf;
+      if (next < current) {  // +inf lengths (disabled edges) never pass
+        dist_[to] = next;
+        parent_[to] = e;
+        touch(to);
+        heap_push({next, to});
+      }
+    };
+    if (query.csr != nullptr && !query.csr->empty()) {
+      // Flattened adjacency: same entries in the same order, but one
+      // contiguous 16-byte load per edge instead of two indirections.
+      for (const CsrAdjacency::Entry& ent : query.csr->out(node)) {
+        if (enabled != nullptr && !(*enabled)[ent.edge]) continue;
+        relax(ent.edge, ent.to, length != nullptr ? (*length)[ent.edge] : ent.weight);
+      }
+    } else {
+      for (const EdgeId e : g.out_edges(node)) {
+        if (enabled != nullptr && !(*enabled)[e]) continue;
+        const Edge& edge = g.edge(e);
+        relax(e, edge.to, length != nullptr ? (*length)[e] : edge.weight);
+      }
+    }
+  }
+}
+
+std::vector<EdgeId> DijkstraWorkspace::path_to(const Digraph& g, NodeId source,
+                                               NodeId target) const {
+  std::vector<EdgeId> edges;
+  path_into(g, source, target, edges);
+  return edges;
+}
+
+void DijkstraWorkspace::path_into(const Digraph& g, NodeId source, NodeId target,
+                                  std::vector<EdgeId>& out) const {
+  out.clear();
+  if (!reached(target)) return;
+  for (NodeId node = target; node != source;) {
+    const EdgeId e = parent_edge(node);
+    if (e == kInvalidEdge) {  // target not on the last run's tree
+      out.clear();
+      return;
+    }
+    out.push_back(e);
+    node = g.edge(e).from;
+  }
+  std::reverse(out.begin(), out.end());
+}
+
+ShortestPathTree dijkstra(const Digraph& g, NodeId source, const std::vector<bool>& edge_enabled) {
+  check_mask(g, edge_enabled, "dijkstra");
   ShortestPathTree tree;
   tree.distance.assign(g.node_count(), kInf);
   tree.parent_edge.assign(g.node_count(), kInvalidEdge);
   if (source >= g.node_count()) return tree;
 
-  using Item = std::pair<double, NodeId>;  // (distance, node)
-  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
-  tree.distance[source] = 0.0;
-  heap.emplace(0.0, source);
-
-  while (!heap.empty()) {
-    const auto [dist, node] = heap.top();
-    heap.pop();
-    if (dist > tree.distance[node]) continue;  // stale entry
-    for (const EdgeId e : g.out_edges(node)) {
-      if (!edge_is_enabled(edge_enabled, e)) continue;
-      const Edge& edge = g.edge(e);
-      const double next = dist + edge.weight;
-      if (next < tree.distance[edge.to]) {
-        tree.distance[edge.to] = next;
-        tree.parent_edge[edge.to] = e;
-        heap.emplace(next, edge.to);
-      }
-    }
+  static thread_local DijkstraWorkspace workspace;
+  workspace.run(g, {.source = source,
+                    .edge_enabled = edge_enabled.empty() ? nullptr : &edge_enabled});
+  for (NodeId node = 0; node < g.node_count(); ++node) {
+    tree.distance[node] = workspace.distance(node);
+    tree.parent_edge[node] = workspace.parent_edge(node);
   }
   return tree;
 }
 
 std::optional<Path> shortest_path(const Digraph& g, NodeId source, NodeId target,
-                                  const std::vector<bool>& edge_enabled) {
-  const ShortestPathTree tree = dijkstra(g, source, edge_enabled);
-  if (target >= g.node_count() || tree.distance[target] == kInf) return std::nullopt;
+                                  const std::vector<bool>& edge_enabled,
+                                  DijkstraWorkspace& workspace) {
+  check_mask(g, edge_enabled, "shortest_path");
+  if (source >= g.node_count() || target >= g.node_count()) return std::nullopt;
+  workspace.run(g, {.source = source,
+                    .target = target,
+                    .edge_enabled = edge_enabled.empty() ? nullptr : &edge_enabled});
+  if (!workspace.reached(target)) return std::nullopt;
   Path path;
-  path.cost = tree.distance[target];
-  for (NodeId node = target; node != source;) {
-    const EdgeId e = tree.parent_edge[node];
-    path.edges.push_back(e);
-    node = g.edge(e).from;
-  }
-  std::reverse(path.edges.begin(), path.edges.end());
+  path.cost = workspace.distance(target);
+  path.edges = workspace.path_to(g, source, target);
   return path;
+}
+
+std::optional<Path> shortest_path(const Digraph& g, NodeId source, NodeId target,
+                                  const std::vector<bool>& edge_enabled) {
+  static thread_local DijkstraWorkspace workspace;
+  return shortest_path(g, source, target, edge_enabled, workspace);
 }
 
 std::vector<NodeId> path_nodes(const Digraph& g, const Path& path, NodeId source) {
@@ -74,7 +221,8 @@ std::vector<Path> yen_k_shortest_paths(const Digraph& g, NodeId source, NodeId t
                                        std::size_t k) {
   std::vector<Path> result;
   if (k == 0) return result;
-  auto first = shortest_path(g, source, target);
+  DijkstraWorkspace workspace;
+  auto first = shortest_path(g, source, target, {}, workspace);
   if (!first) return result;
   result.push_back(std::move(*first));
 
@@ -86,48 +234,67 @@ std::vector<Path> yen_k_shortest_paths(const Digraph& g, NodeId source, NodeId t
   std::set<Path, decltype(candidate_less)> candidates(candidate_less);
 
   std::vector<bool> edge_enabled(g.edge_count(), true);
+  // Disabled-edge journals: `banned` (root-node bans) lives for one whole
+  // spur pass, `spur_blocked` for one spur index. Restoring just these
+  // entries replaces the former O(E) std::fill per spur node.
+  std::vector<EdgeId> banned;
+  std::vector<EdgeId> spur_blocked;
+  const auto disable = [&edge_enabled](EdgeId e, std::vector<EdgeId>& journal) {
+    if (edge_enabled[e]) {
+      edge_enabled[e] = false;
+      journal.push_back(e);
+    }
+  };
 
   while (result.size() < k) {
     const Path& prev = result.back();
     const std::vector<NodeId> prev_nodes = path_nodes(g, prev, source);
 
+    // Paths sharing prev's root prefix [0, i), filtered incrementally as i
+    // grows instead of re-comparing every path's full prefix per spur node.
+    // Snapshotting before the pass is exact: a candidate inserted at spur
+    // index i' diverges from prev at i' (prev's own edge there is blocked),
+    // so it can never share a longer root later in this pass.
+    std::vector<const Path*> sharing;
+    sharing.reserve(result.size() + candidates.size());
+    for (const Path& found : result) sharing.push_back(&found);
+    for (const Path& cand : candidates) sharing.push_back(&cand);
+
+    double root_cost = 0.0;
     for (std::size_t i = 0; i + 1 < prev_nodes.size(); ++i) {
       const NodeId spur_node = prev_nodes[i];
-      // Root = prefix of prev up to spur node.
-      Path root;
-      root.edges.assign(prev.edges.begin(),
-                        prev.edges.begin() + static_cast<std::ptrdiff_t>(i));
-      for (const EdgeId e : root.edges) root.cost += g.edge(e).weight;
-
-      std::fill(edge_enabled.begin(), edge_enabled.end(), true);
+      if (i > 0) {
+        const EdgeId grown = prev.edges[i - 1];
+        root_cost += g.edge(grown).weight;
+        std::size_t kept = 0;
+        for (const Path* p : sharing) {
+          if (p->edges.size() >= i && p->edges[i - 1] == grown) sharing[kept++] = p;
+        }
+        sharing.resize(kept);
+        // Remove the newly-interior root node to keep paths loopless.
+        const NodeId banned_node = prev_nodes[i - 1];
+        for (const EdgeId e : g.out_edges(banned_node)) disable(e, banned);
+        for (const EdgeId e : g.in_edges(banned_node)) disable(e, banned);
+      }
       // Remove edges that would recreate an already-found path sharing the
       // same root.
-      for (const Path& found : result) {
-        if (found.edges.size() > i &&
-            std::equal(root.edges.begin(), root.edges.end(), found.edges.begin())) {
-          edge_enabled[found.edges[i]] = false;
-        }
-      }
-      for (const Path& cand : candidates) {
-        if (cand.edges.size() > i &&
-            std::equal(root.edges.begin(), root.edges.end(), cand.edges.begin())) {
-          edge_enabled[cand.edges[i]] = false;
-        }
-      }
-      // Remove root nodes (except the spur node) to keep paths loopless.
-      for (std::size_t j = 0; j < i; ++j) {
-        const NodeId banned = prev_nodes[j];
-        for (const EdgeId e : g.out_edges(banned)) edge_enabled[e] = false;
-        for (const EdgeId e : g.in_edges(banned)) edge_enabled[e] = false;
+      for (const Path* p : sharing) {
+        if (p->edges.size() > i) disable(p->edges[i], spur_blocked);
       }
 
-      const auto spur = shortest_path(g, spur_node, target, edge_enabled);
+      const auto spur = shortest_path(g, spur_node, target, edge_enabled, workspace);
+      for (const EdgeId e : spur_blocked) edge_enabled[e] = true;
+      spur_blocked.clear();
       if (!spur) continue;
-      Path total = root;
+      Path total;
+      total.edges.reserve(i + spur->edges.size());
+      total.edges.assign(prev.edges.begin(), prev.edges.begin() + static_cast<std::ptrdiff_t>(i));
       total.edges.insert(total.edges.end(), spur->edges.begin(), spur->edges.end());
-      total.cost += spur->cost;
+      total.cost = root_cost + spur->cost;
       candidates.insert(std::move(total));
     }
+    for (const EdgeId e : banned) edge_enabled[e] = true;
+    banned.clear();
 
     if (candidates.empty()) break;
     result.push_back(*candidates.begin());

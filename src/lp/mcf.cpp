@@ -3,51 +3,14 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <queue>
 #include <stdexcept>
+#include <unordered_map>
+#include <utility>
 
 namespace smn::lp {
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
-
-/// Dijkstra under an explicit per-edge length function, skipping
-/// zero-capacity edges. Returns the edge path or empty when unreachable.
-std::vector<graph::EdgeId> shortest_by_length(const graph::Digraph& g,
-                                              const std::vector<double>& length,
-                                              graph::NodeId src, graph::NodeId dst) {
-  std::vector<double> dist(g.node_count(), kInf);
-  std::vector<graph::EdgeId> parent(g.node_count(), graph::kInvalidEdge);
-  using Item = std::pair<double, graph::NodeId>;
-  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
-  dist[src] = 0.0;
-  heap.emplace(0.0, src);
-  while (!heap.empty()) {
-    const auto [d, node] = heap.top();
-    heap.pop();
-    if (node == dst) break;
-    if (d > dist[node]) continue;
-    for (const graph::EdgeId e : g.out_edges(node)) {
-      const graph::Edge& edge = g.edge(e);
-      if (edge.capacity <= 0.0) continue;
-      const double nd = d + length[e];
-      if (nd < dist[edge.to]) {
-        dist[edge.to] = nd;
-        parent[edge.to] = e;
-        heap.emplace(nd, edge.to);
-      }
-    }
-  }
-  std::vector<graph::EdgeId> path;
-  if (dist[dst] == kInf) return path;
-  for (graph::NodeId node = dst; node != src;) {
-    const graph::EdgeId e = parent[node];
-    path.push_back(e);
-    node = g.edge(e).from;
-  }
-  std::reverse(path.begin(), path.end());
-  return path;
-}
 
 }  // namespace
 
@@ -70,8 +33,8 @@ McfResult max_concurrent_flow(const graph::Digraph& g, const std::vector<Commodi
   result.edge_flow.assign(g.edge_count(), 0.0);
   result.routed.assign(commodities.size(), 0.0);
   if (active.empty() || g.edge_count() == 0) {
-    result.lambda = active.empty() ? kInf : 0.0;
-    if (active.empty()) result.lambda = 0.0;
+    // Nothing to route (or nothing to route over): zero concurrent flow.
+    result.lambda = 0.0;
     return result;
   }
 
@@ -79,8 +42,12 @@ McfResult max_concurrent_flow(const graph::Digraph& g, const std::vector<Commodi
   const auto m = static_cast<double>(g.edge_count());
   const double delta = std::pow(m / (1.0 - eps), -1.0 / eps);
 
+  // Edge lengths are the multiplicative-weights duals; +inf disables
+  // zero-capacity edges inside the Dijkstra. The dual objective
+  // D(l) = sum_e c_e * l_e is maintained incrementally on every length
+  // bump — no edge rescans after this initial pass.
   std::vector<double> length(g.edge_count(), 0.0);
-  double dual = 0.0;  // D(l) = sum_e c_e * l_e
+  double dual = 0.0;
   for (graph::EdgeId e = 0; e < g.edge_count(); ++e) {
     const double cap = g.edge(e).capacity;
     length[e] = cap > 0.0 ? delta / cap : kInf;
@@ -96,35 +63,186 @@ McfResult max_concurrent_flow(const graph::Digraph& g, const std::vector<Commodi
     double flow;
   };
   std::vector<RawPath> raw_paths;
+  raw_paths.reserve(active.size() * 8);  // avoid repeated growth reallocs
 
   bool some_routable = false;
-  for (std::size_t phase = 0; phase < options.max_phases && dual < 1.0; ++phase) {
-    for (const std::size_t j : active) {
-      double remaining = commodities[j].demand;
-      while (remaining > 0.0 && dual < 1.0) {
-        const auto path =
-            shortest_by_length(g, length, commodities[j].src, commodities[j].dst);
-        ++result.sp_calls;
-        if (path.empty()) {
-          remaining = 0.0;  // disconnected commodity; lambda will be 0
-          break;
-        }
-        some_routable = true;
-        double bottleneck = remaining;
-        for (const graph::EdgeId e : path) {
-          bottleneck = std::min(bottleneck, g.edge(e).capacity);
-        }
-        for (const graph::EdgeId e : path) {
-          const double cap = g.edge(e).capacity;
-          raw_edge_flow[e] += bottleneck;
-          const double old_len = length[e];
-          length[e] = old_len * (1.0 + eps * bottleneck / cap);
-          dual += cap * (length[e] - old_len);
-        }
-        raw_routed[j] += bottleneck;
-        raw_paths.push_back({j, path, bottleneck});
-        remaining -= bottleneck;
+  graph::DijkstraWorkspace workspace;
+  // One adjacency snapshot serves every search this solve; the graph is
+  // immutable here, only the length array evolves.
+  const graph::CsrAdjacency csr(g);
+
+  /// Sends one augmentation for commodity `j` along `path` (the bottleneck
+  /// amount), bumps the traversed lengths, and accumulates the dual
+  /// increment. Returns the amount sent; the caller records the path.
+  const auto apply_flow = [&](std::size_t j, const std::vector<graph::EdgeId>& path,
+                              double remaining) {
+    some_routable = true;
+    double bottleneck = remaining;
+    for (const graph::EdgeId e : path) {
+      bottleneck = std::min(bottleneck, g.edge(e).capacity);
+    }
+    for (const graph::EdgeId e : path) {
+      const double cap = g.edge(e).capacity;
+      raw_edge_flow[e] += bottleneck;
+      const double old_len = length[e];
+      length[e] = old_len * (1.0 + eps * bottleneck / cap);
+      dual += cap * (length[e] - old_len);
+    }
+    raw_routed[j] += bottleneck;
+    return bottleneck;
+  };
+
+  if (options.batch_by_source) {
+    // Group active commodities by source (first-appearance order, members
+    // in commodity order — the schedule is deterministic).
+    struct SourceGroup {
+      graph::NodeId src = graph::kInvalidNode;
+      std::vector<std::size_t> members;
+    };
+    std::vector<SourceGroup> groups;
+    {
+      std::unordered_map<graph::NodeId, std::size_t> index;
+      for (const std::size_t j : active) {
+        const auto [it, inserted] = index.try_emplace(commodities[j].src, groups.size());
+        if (inserted) groups.push_back({commodities[j].src, {}});
+        groups[it->second].members.push_back(j);
       }
+    }
+
+    // Fleischer-style path caching: a commodity keeps routing along its
+    // last path until that path's current length exceeds (1 + eps) times
+    // the length it had when cached — only then does the group rebuild its
+    // shortest-path tree. Each group keeps its own workspace so a tree
+    // built in one phase keeps serving later phases until it actually goes
+    // stale; every member re-caches off each rebuild, so one Dijkstra
+    // absorbs the whole group's upcoming invalidations.
+    std::vector<double> remaining(commodities.size(), 0.0);
+    std::vector<std::vector<graph::EdgeId>> cached_path(commodities.size());
+    std::vector<double> cached_len(commodities.size(), 0.0);
+    std::vector<char> unreachable(commodities.size(), 0);
+    // Index into raw_paths of the entry accumulating cached_path[j]'s flow;
+    // consecutive augmentations along an unchanged path merge into it.
+    constexpr std::size_t kNoEntry = std::numeric_limits<std::size_t>::max();
+    std::vector<std::size_t> path_entry(commodities.size(), kNoEntry);
+    const auto path_length_now = [&length](const std::vector<graph::EdgeId>& path) {
+      double total = 0.0;
+      for (const graph::EdgeId e : path) total += length[e];
+      return total;
+    };
+    std::vector<graph::DijkstraWorkspace> group_ws(groups.size());
+    std::vector<std::vector<graph::NodeId>> group_targets(groups.size());
+    for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+      for (const std::size_t j : groups[gi].members) {
+        group_targets[gi].push_back(commodities[j].dst);
+      }
+    }
+
+    // Rebuilds group gi's tree under the current lengths and re-caches every
+    // member that is not already proven unreachable. The tree always covers
+    // all member destinations (not just currently-open ones) because it may
+    // outlive this phase. Reachability is static, so an empty path off a
+    // fresh tree permanently retires that commodity (lambda will be 0).
+    const auto rebuild_group = [&](std::size_t gi) {
+      const SourceGroup& group = groups[gi];
+      group_ws[gi].run(g, {.source = group.src,
+                           .targets = &group_targets[gi],
+                           .edge_length = &length,
+                           .csr = &csr});
+      ++result.sp_calls;
+      for (const std::size_t t : group.members) {
+        if (unreachable[t]) continue;
+        group_ws[gi].path_into(g, group.src, commodities[t].dst, cached_path[t]);
+        if (cached_path[t].empty()) {
+          unreachable[t] = 1;
+          remaining[t] = 0.0;
+          continue;
+        }
+        cached_len[t] = path_length_now(cached_path[t]);
+        path_entry[t] = kNoEntry;
+      }
+    };
+
+    // Phase index of each group's last tree rebuild (so a group rebuilds at
+    // most once per phase; later invalidations in the same phase re-extract
+    // from the existing — possibly slightly stale — tree, and a group whose
+    // caches stay valid skips whole phases entirely).
+    constexpr std::size_t kNeverBuilt = std::numeric_limits<std::size_t>::max();
+    std::vector<std::size_t> last_rebuild(groups.size(), kNeverBuilt);
+
+    for (std::size_t phase = 0; phase < options.max_phases && dual < 1.0; ++phase) {
+      bool phase_progress = false;
+      for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+        const SourceGroup& group = groups[gi];
+        for (const std::size_t j : group.members) {
+          remaining[j] = unreachable[j] ? 0.0 : commodities[j].demand;
+        }
+        bool group_active = true;
+        while (group_active && dual < 1.0) {
+          group_active = false;
+          for (const std::size_t j : group.members) {
+            if (remaining[j] <= 0.0) continue;
+            if (dual >= 1.0) break;
+            if (cached_path[j].empty() ||
+                path_length_now(cached_path[j]) > (1.0 + eps) * cached_len[j]) {
+              if (last_rebuild[gi] != phase) {
+                rebuild_group(gi);
+                last_rebuild[gi] = phase;
+              } else {
+                // Tree already rebuilt this phase: re-extract just j. The
+                // group's trees always cover every member destination, so an
+                // empty path still means permanently unreachable.
+                group_ws[gi].path_into(g, group.src, commodities[j].dst, cached_path[j]);
+                if (cached_path[j].empty()) {
+                  unreachable[j] = 1;
+                  remaining[j] = 0.0;
+                  continue;
+                }
+                cached_len[j] = path_length_now(cached_path[j]);
+                path_entry[j] = kNoEntry;
+              }
+              if (remaining[j] <= 0.0) continue;  // j itself was unreachable
+            }
+            // One augmentation per member per round keeps the schedule fair
+            // (and matches the unbatched per-phase rotation).
+            const double sent = apply_flow(j, cached_path[j], remaining[j]);
+            remaining[j] -= sent;
+            if (path_entry[j] == kNoEntry) {
+              path_entry[j] = raw_paths.size();
+              raw_paths.push_back({j, cached_path[j], sent});
+            } else {
+              raw_paths[path_entry[j]].flow += sent;
+            }
+            phase_progress = true;
+            if (remaining[j] > 0.0) group_active = true;
+          }
+        }
+      }
+      // A full phase that routed nothing can never make progress later —
+      // lengths only move when flow does. (All-zero-capacity graphs and
+      // fully-disconnected demand sets hit this.)
+      if (!phase_progress) break;
+    }
+  } else {
+    // Legacy schedule: one Dijkstra per augmentation, per commodity.
+    for (std::size_t phase = 0; phase < options.max_phases && dual < 1.0; ++phase) {
+      bool phase_progress = false;
+      for (const std::size_t j : active) {
+        double remaining = commodities[j].demand;
+        while (remaining > 0.0 && dual < 1.0) {
+          workspace.run(g, {.source = commodities[j].src,
+                            .target = commodities[j].dst,
+                            .edge_length = &length,
+                            .csr = &csr});
+          ++result.sp_calls;
+          auto path = workspace.path_to(g, commodities[j].src, commodities[j].dst);
+          if (path.empty()) break;  // disconnected commodity; lambda will be 0
+          const double sent = apply_flow(j, path, remaining);
+          remaining -= sent;
+          raw_paths.push_back({j, std::move(path), sent});
+          phase_progress = true;
+        }
+      }
+      if (!phase_progress) break;
     }
   }
 

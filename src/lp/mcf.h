@@ -53,6 +53,12 @@ struct McfResult {
 struct McfOptions {
   double epsilon = 0.05;     ///< FPTAS accuracy knob
   std::size_t max_phases = 10000;  ///< safety valve
+  /// Fleischer-style batching: one Dijkstra tree per source node serves
+  /// every active commodity sharing that source in the current round,
+  /// cutting sp_calls by the source-fanout factor. The solution is still
+  /// certified feasible by the final rescale; set false to reproduce the
+  /// one-Dijkstra-per-augmentation schedule.
+  bool batch_by_source = true;
 };
 
 /// Solves max concurrent flow on `g` using edge capacities from the graph.

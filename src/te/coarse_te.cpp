@@ -8,6 +8,7 @@
 
 #include "graph/shortest_path.h"
 #include "topology/supernode.h"
+#include "util/thread_pool.h"
 
 namespace smn::te {
 namespace {
@@ -286,17 +287,12 @@ CoarseTeReport evaluate_coarse_te(const topology::WanTopology& fine,
   report.supernode_count = partition.group_count();
   report.fine_commodities = fine_commodities.size();
 
-  // Fine-grained optimum.
   lp::McfOptions mcf_options;
   mcf_options.epsilon = options.epsilon;
-  const auto fine_start = Clock::now();
-  const lp::McfResult fine_solution =
-      lp::max_concurrent_flow(fine.graph(), fine_commodities, mcf_options);
-  report.fine_solve_ms = elapsed_ms(fine_start);
-  report.lambda_fine = fine_solution.lambda;
-  report.fine_sp_calls = fine_solution.sp_calls;
 
-  // Coarse pipeline.
+  // Coarse inputs are cheap to derive; build them up front so the two MCF
+  // solves — fine-grained optimum and coarse pipeline — are independent
+  // tasks that can run concurrently on the pool.
   const topology::WanTopology coarse =
       topology::SupernodeCoarsener::coarsen_with_partition(fine, partition);
   const std::vector<lp::Commodity> coarse_commodities =
@@ -311,10 +307,32 @@ CoarseTeReport evaluate_coarse_te(const topology::WanTopology& fine,
                                 : static_cast<double>(fine_commodities.size()) /
                                       static_cast<double>(coarse_commodities.size());
 
-  const auto coarse_start = Clock::now();
-  const lp::McfResult coarse_solution =
-      lp::max_concurrent_flow(coarse.graph(), coarse_commodities, mcf_options);
-  report.coarse_solve_ms = elapsed_ms(coarse_start);
+  lp::McfResult fine_solution;
+  lp::McfResult coarse_solution;
+  const auto solve_fine = [&] {
+    const auto start = Clock::now();
+    fine_solution = lp::max_concurrent_flow(fine.graph(), fine_commodities, mcf_options);
+    report.fine_solve_ms = elapsed_ms(start);
+  };
+  const auto solve_coarse = [&] {
+    const auto start = Clock::now();
+    coarse_solution = lp::max_concurrent_flow(coarse.graph(), coarse_commodities, mcf_options);
+    report.coarse_solve_ms = elapsed_ms(start);
+  };
+  if (options.threads > 1 || options.threads == 0) {
+    util::ThreadPool pool(std::min<std::size_t>(
+        2, options.threads == 0 ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
+                                : options.threads));
+    auto fine_done = pool.submit(solve_fine);
+    auto coarse_done = pool.submit(solve_coarse);
+    fine_done.get();
+    coarse_done.get();
+  } else {
+    solve_fine();
+    solve_coarse();
+  }
+  report.lambda_fine = fine_solution.lambda;
+  report.fine_sp_calls = fine_solution.sp_calls;
   report.lambda_coarse_nominal = coarse_solution.lambda;
   report.coarse_sp_calls = coarse_solution.sp_calls;
 
@@ -338,6 +356,30 @@ CoarseTeReport evaluate_coarse_te(const topology::WanTopology& fine,
           ? std::min(1.0, report.admitted_realized_gbps / report.admitted_fine_gbps)
           : 0.0;
   return report;
+}
+
+std::vector<CoarseTeReport> evaluate_coarse_te_windows(
+    const topology::WanTopology& fine, const graph::Partition& partition,
+    const std::vector<std::vector<lp::Commodity>>& window_commodities,
+    const TeOptions& options) {
+  std::vector<CoarseTeReport> reports(window_commodities.size());
+  // Parallelism lives at the window fan-out; each per-window evaluation
+  // runs serially so workers never nest pools.
+  TeOptions window_options = options;
+  window_options.threads = 1;
+  const auto solve_window = [&](std::size_t i) {
+    reports[i] = evaluate_coarse_te(fine, partition, window_commodities[i], window_options);
+  };
+  const std::size_t threads =
+      options.threads == 0 ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
+                           : options.threads;
+  if (threads <= 1 || reports.size() <= 1) {
+    for (std::size_t i = 0; i < reports.size(); ++i) solve_window(i);
+  } else {
+    util::ThreadPool pool(threads);
+    pool.parallel_for(0, reports.size(), solve_window);
+  }
+  return reports;
 }
 
 }  // namespace smn::te

@@ -52,11 +52,22 @@ struct CoarseTeReport {
 
 /// Runs the full pipeline. `fine_commodities` index into `fine.graph()`
 /// node ids. Throws std::invalid_argument on a partition that does not
-/// cover `fine`.
+/// cover `fine`. With `options.threads > 1` the independent fine-grained
+/// solve and coarse pipeline run concurrently; the report is identical for
+/// every thread count.
 CoarseTeReport evaluate_coarse_te(const topology::WanTopology& fine,
                                   const graph::Partition& partition,
                                   const std::vector<lp::Commodity>& fine_commodities,
                                   const TeOptions& options = {});
+
+/// The TE epoch loop: one evaluate_coarse_te per demand window (e.g. one
+/// per telemetry coarsening window), fanned out over a thread pool.
+/// Window i's report lands in slot i, so the result does not depend on
+/// `options.threads`.
+std::vector<CoarseTeReport> evaluate_coarse_te_windows(
+    const topology::WanTopology& fine, const graph::Partition& partition,
+    const std::vector<std::vector<lp::Commodity>>& window_commodities,
+    const TeOptions& options = {});
 
 /// The realization step alone: routes `fine_commodities` on `fine`
 /// following `coarse_solution`'s corridor choices and returns the per-edge

@@ -2,16 +2,18 @@
 
 #include <algorithm>
 
+#include "util/thread_pool.h"
+
 namespace smn::te {
 
 FailureSweepReport single_link_failure_sweep(const topology::WanTopology& wan,
                                              const std::vector<lp::Commodity>& commodities,
                                              const std::vector<std::size_t>& links,
-                                             double epsilon) {
+                                             const FailureSweepOptions& options) {
   FailureSweepReport report;
-  lp::McfOptions options;
-  options.epsilon = epsilon;
-  report.lambda_intact = lp::max_concurrent_flow(wan.graph(), commodities, options).lambda;
+  lp::McfOptions mcf_options;
+  mcf_options.epsilon = options.epsilon;
+  report.lambda_intact = lp::max_concurrent_flow(wan.graph(), commodities, mcf_options).lambda;
 
   std::vector<std::size_t> sweep = links;
   if (sweep.empty()) {
@@ -19,16 +21,20 @@ FailureSweepReport single_link_failure_sweep(const topology::WanTopology& wan,
     for (std::size_t i = 0; i < sweep.size(); ++i) sweep[i] = i;
   }
 
-  for (const std::size_t li : sweep) {
+  // Pre-sized result slots: scenario i writes impacts[i] only, so the sweep
+  // order — and the report — is independent of the worker count.
+  report.impacts.resize(sweep.size());
+  const auto solve_scenario = [&](std::size_t i) {
+    const std::size_t li = sweep[i];
     const topology::WanLink& link = wan.link(li);
     // Fail the link on a graph copy (capacity drives the MCF solver; the
     // solver already skips zero-capacity edges).
     graph::Digraph failed = wan.graph();
     failed.mutable_edge(link.forward).capacity = 0.0;
     failed.mutable_edge(link.backward).capacity = 0.0;
-    const lp::McfResult result = lp::max_concurrent_flow(failed, commodities, options);
+    const lp::McfResult result = lp::max_concurrent_flow(failed, commodities, mcf_options);
 
-    FailureImpact impact;
+    FailureImpact& impact = report.impacts[i];
     impact.link = li;
     const graph::Edge& fwd = wan.graph().edge(link.forward);
     impact.link_name =
@@ -41,7 +47,16 @@ FailureSweepReport single_link_failure_sweep(const topology::WanTopology& wan,
             ? std::clamp((report.lambda_intact - result.lambda) / report.lambda_intact, 0.0,
                          1.0)
             : 0.0;
-    report.impacts.push_back(std::move(impact));
+  };
+
+  const std::size_t threads =
+      options.threads == 0 ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
+                           : options.threads;
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < sweep.size(); ++i) solve_scenario(i);
+  } else {
+    util::ThreadPool pool(threads);
+    pool.parallel_for(0, sweep.size(), solve_scenario);
   }
 
   if (!report.impacts.empty()) {
@@ -53,6 +68,15 @@ FailureSweepReport single_link_failure_sweep(const topology::WanTopology& wan,
     report.mean_drop = total / static_cast<double>(report.impacts.size());
   }
   return report;
+}
+
+FailureSweepReport single_link_failure_sweep(const topology::WanTopology& wan,
+                                             const std::vector<lp::Commodity>& commodities,
+                                             const std::vector<std::size_t>& links,
+                                             double epsilon) {
+  FailureSweepOptions options;
+  options.epsilon = epsilon;
+  return single_link_failure_sweep(wan, commodities, links, options);
 }
 
 }  // namespace smn::te

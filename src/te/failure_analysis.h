@@ -3,6 +3,11 @@
 // that robustness a coarse-grained TE view gives away. War story 2's
 // routing reconvergence has a cost only if the post-failure network cannot
 // carry the demand; this module quantifies it.
+//
+// Each failure scenario is an independent MCF solve, so the sweep is
+// embarrassingly parallel: scenarios fan out over a util::ThreadPool and
+// land in per-scenario result slots, making the report bit-identical for
+// any thread count.
 #pragma once
 
 #include <cstddef>
@@ -34,9 +39,21 @@ struct FailureSweepReport {
   double worst_drop = 0.0;
 };
 
+struct FailureSweepOptions {
+  double epsilon = 0.08;   ///< same epsilon for all solves so drops compare
+  std::size_t threads = 1; ///< worker count for the scenario fan-out; 0 = hardware
+};
+
 /// Re-solves max-concurrent flow with each of `links` failed in turn
 /// (capacity zeroed in both directions). Empty `links` sweeps every link.
-/// Uses the same epsilon for all solves so drops are comparable.
+/// Scenario i's result lands in impacts[i] regardless of which worker ran
+/// it, so the report does not depend on `options.threads`.
+FailureSweepReport single_link_failure_sweep(const topology::WanTopology& wan,
+                                             const std::vector<lp::Commodity>& commodities,
+                                             const std::vector<std::size_t>& links,
+                                             const FailureSweepOptions& options);
+
+/// Convenience overload preserving the original epsilon-only signature.
 FailureSweepReport single_link_failure_sweep(const topology::WanTopology& wan,
                                              const std::vector<lp::Commodity>& commodities,
                                              const std::vector<std::size_t>& links = {},

@@ -31,6 +31,11 @@ struct TeSolution {
 struct TeOptions {
   double epsilon = 0.05;     ///< MCF accuracy
   std::size_t k_paths = 4;   ///< path budget for max-min fairness
+  /// Worker threads for the parallelizable outer sweeps (independent
+  /// fine/coarse solves, per-window solves). 0 = hardware concurrency.
+  /// Solver internals stay deterministic, so results are identical for
+  /// every value.
+  std::size_t threads = 1;
 };
 
 class TeController {

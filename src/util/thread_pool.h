@@ -1,0 +1,76 @@
+// Fixed-size worker thread pool for the embarrassingly-parallel outer
+// sweeps of the TE pipeline (per-failure-scenario solves, per-window
+// solves, bench harness thread scaling).
+//
+// Design constraints, in priority order:
+//   1. Determinism: parallel_for(i) writes results keyed by index, so any
+//      reduction the caller performs in index order is bit-identical to a
+//      serial run regardless of worker count or scheduling.
+//   2. No nested deadlocks: parallel_for called from inside a worker runs
+//      the loop inline on that worker instead of enqueueing (the pool would
+//      otherwise wait on tasks that can never be scheduled).
+//   3. Exception safety: the first exception thrown by a loop body is
+//      captured and rethrown on the calling thread after the loop drains.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace smn::util {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` uses std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues `fn` and returns a future for its result.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    enqueue([task] { (*task)(); });
+    return future;
+  }
+
+  /// Calls `body(i)` exactly once for every i in [begin, end), distributing
+  /// contiguous index blocks across the workers and blocking until all
+  /// complete. Each index is processed by exactly one thread, so writing
+  /// `results[i]` from the body is race-free and the assembled `results`
+  /// vector is identical for any pool size (deterministic reduction order).
+  /// Runs inline when the pool has one worker, the range is a single index,
+  /// or the caller is itself a pool worker (nested use).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body);
+
+  /// True when the calling thread is one of this pool's workers.
+  bool on_worker_thread() const;
+
+ private:
+  void enqueue(std::function<void()> task);
+  void worker_loop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::queue<std::function<void()>> tasks_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+}  // namespace smn::util

@@ -1,0 +1,188 @@
+// Thread-count invariance of the parallel TE sweeps, plus edge cases for
+// the batched MCF solver. The contract under test: every parallel fan-out
+// (failure scenarios, TE windows) writes into per-index result slots, and
+// the solver itself is serial and deterministic — so reports are
+// bit-identical for any `threads` value.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "lp/mcf.h"
+#include "te/coarse_te.h"
+#include "te/demand.h"
+#include "te/failure_analysis.h"
+#include "telemetry/traffic_generator.h"
+#include "topology/supernode.h"
+#include "topology/wan_generator.h"
+
+namespace smn {
+namespace {
+
+struct Instance {
+  topology::WanTopology wan;
+  std::vector<lp::Commodity> commodities;
+};
+
+const Instance& small_wan() {
+  static const auto* inst = [] {
+    auto* out = new Instance;
+    topology::WanConfig config;
+    config.regions_per_continent = 2;
+    config.dcs_per_region = 3;
+    out->wan = topology::generate_planetary_wan(config);
+    telemetry::TrafficConfig traffic;
+    traffic.duration = util::kHour;
+    traffic.active_pairs = 120;
+    traffic.seed = 17;
+    const auto log = telemetry::TrafficGenerator(out->wan, traffic).generate();
+    out->commodities =
+        te::DemandMatrix::from_log(log, te::DemandStatistic::kMean).to_commodities(out->wan);
+    return out;
+  }();
+  return *inst;
+}
+
+TEST(Determinism, McfIsBitIdenticalAcrossRepeatedRuns) {
+  const auto& inst = small_wan();
+  const lp::McfOptions options{.epsilon = 0.1};
+  const auto a = lp::max_concurrent_flow(inst.wan.graph(), inst.commodities, options);
+  const auto b = lp::max_concurrent_flow(inst.wan.graph(), inst.commodities, options);
+  EXPECT_EQ(a.lambda, b.lambda);
+  EXPECT_EQ(a.sp_calls, b.sp_calls);
+  EXPECT_EQ(a.edge_flow, b.edge_flow);
+  EXPECT_EQ(a.routed, b.routed);
+}
+
+TEST(Determinism, FailureSweepBitIdenticalAcrossThreadCounts) {
+  const auto& inst = small_wan();
+  const std::vector<std::size_t> links = {0, 1, 2, 3};
+  const auto reference =
+      te::single_link_failure_sweep(inst.wan, inst.commodities, links,
+                                    te::FailureSweepOptions{.epsilon = 0.1, .threads = 1});
+  for (const std::size_t threads : {2u, 8u}) {
+    const auto sweep =
+        te::single_link_failure_sweep(inst.wan, inst.commodities, links,
+                                      te::FailureSweepOptions{.epsilon = 0.1, .threads = threads});
+    EXPECT_EQ(sweep.lambda_intact, reference.lambda_intact);
+    EXPECT_EQ(sweep.mean_drop, reference.mean_drop);
+    EXPECT_EQ(sweep.worst_drop, reference.worst_drop);
+    ASSERT_EQ(sweep.impacts.size(), reference.impacts.size());
+    for (std::size_t i = 0; i < sweep.impacts.size(); ++i) {
+      EXPECT_EQ(sweep.impacts[i].link, reference.impacts[i].link);
+      EXPECT_EQ(sweep.impacts[i].lambda_before, reference.impacts[i].lambda_before);
+      EXPECT_EQ(sweep.impacts[i].lambda_after, reference.impacts[i].lambda_after);
+      EXPECT_EQ(sweep.impacts[i].drop_fraction, reference.impacts[i].drop_fraction);
+      EXPECT_EQ(sweep.impacts[i].partitioned, reference.impacts[i].partitioned);
+    }
+  }
+}
+
+TEST(Determinism, WindowSolvesBitIdenticalAcrossThreadCounts) {
+  const auto& inst = small_wan();
+  const auto coarsener = topology::SupernodeCoarsener::by_target_count(6);
+  const graph::Partition partition = coarsener.partition_for(inst.wan);
+
+  std::vector<std::vector<lp::Commodity>> windows;
+  for (std::size_t w = 0; w < 3; ++w) {
+    telemetry::TrafficConfig traffic;
+    traffic.duration = util::kHour;
+    traffic.active_pairs = 60;
+    traffic.seed = 200 + w;
+    const auto log = telemetry::TrafficGenerator(inst.wan, traffic).generate();
+    windows.push_back(
+        te::DemandMatrix::from_log(log, te::DemandStatistic::kMean).to_commodities(inst.wan));
+  }
+
+  const auto reference = te::evaluate_coarse_te_windows(
+      inst.wan, partition, windows, te::TeOptions{.epsilon = 0.1, .threads = 1});
+  for (const std::size_t threads : {2u, 8u}) {
+    const auto reports = te::evaluate_coarse_te_windows(
+        inst.wan, partition, windows, te::TeOptions{.epsilon = 0.1, .threads = threads});
+    ASSERT_EQ(reports.size(), reference.size());
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+      // Everything except the wall-clock fields must match exactly.
+      EXPECT_EQ(reports[i].lambda_fine, reference[i].lambda_fine);
+      EXPECT_EQ(reports[i].lambda_coarse_nominal, reference[i].lambda_coarse_nominal);
+      EXPECT_EQ(reports[i].lambda_realized, reference[i].lambda_realized);
+      EXPECT_EQ(reports[i].fidelity, reference[i].fidelity);
+      EXPECT_EQ(reports[i].admitted_fine_gbps, reference[i].admitted_fine_gbps);
+      EXPECT_EQ(reports[i].admitted_realized_gbps, reference[i].admitted_realized_gbps);
+      EXPECT_EQ(reports[i].fine_sp_calls, reference[i].fine_sp_calls);
+      EXPECT_EQ(reports[i].coarse_sp_calls, reference[i].coarse_sp_calls);
+    }
+  }
+}
+
+TEST(Determinism, BatchedAndUnbatchedAgreeWithinApproximation) {
+  // Source-grouped batching changes the augmentation schedule, so flows are
+  // not bit-equal to the legacy schedule — but both are (1 - eps)^3
+  // approximations of the same optimum, so lambda must land close.
+  const auto& inst = small_wan();
+  const auto batched = lp::max_concurrent_flow(inst.wan.graph(), inst.commodities,
+                                               {.epsilon = 0.05, .batch_by_source = true});
+  const auto unbatched = lp::max_concurrent_flow(inst.wan.graph(), inst.commodities,
+                                                 {.epsilon = 0.05, .batch_by_source = false});
+  EXPECT_GT(batched.lambda, 0.0);
+  EXPECT_NEAR(batched.lambda, unbatched.lambda, 0.15 * unbatched.lambda);
+  EXPECT_LT(batched.sp_calls, unbatched.sp_calls);  // the point of batching
+}
+
+TEST(McfEdgeCases, AllZeroCapacityGraphGivesZeroLambda) {
+  graph::Digraph g;
+  const auto a = g.add_node("a");
+  const auto b = g.add_node("b");
+  const auto c = g.add_node("c");
+  g.add_edge(a, b, 1.0, 0.0);
+  g.add_edge(b, c, 1.0, 0.0);
+  const std::vector<lp::Commodity> demands = {{a, c, 5.0}, {a, b, 2.0}};
+  for (const bool batch : {true, false}) {
+    const auto result =
+        lp::max_concurrent_flow(g, demands, {.epsilon = 0.1, .batch_by_source = batch});
+    EXPECT_EQ(result.lambda, 0.0);
+    EXPECT_TRUE(result.paths.empty());
+    for (const double f : result.edge_flow) EXPECT_EQ(f, 0.0);
+  }
+}
+
+TEST(McfEdgeCases, MixedReachabilityRetiresOnlyDisconnectedCommodity) {
+  // a -> b carries flow; c is isolated, so a -> c can never route and the
+  // concurrent lambda collapses to zero — but flow bookkeeping must stay
+  // consistent and the solve must terminate.
+  graph::Digraph g;
+  const auto a = g.add_node("a");
+  const auto b = g.add_node("b");
+  const auto c = g.add_node("c");
+  g.add_edge(a, b, 1.0, 10.0);
+  const std::vector<lp::Commodity> demands = {{a, b, 4.0}, {a, c, 4.0}};
+  for (const bool batch : {true, false}) {
+    const auto result =
+        lp::max_concurrent_flow(g, demands, {.epsilon = 0.1, .batch_by_source = batch});
+    EXPECT_EQ(result.lambda, 0.0) << "batch=" << batch;
+    EXPECT_EQ(result.routed[1], 0.0) << "batch=" << batch;
+  }
+}
+
+TEST(McfEdgeCases, SameSourceCommoditiesShareTrees) {
+  // Five commodities from one source: batching must cut sp_calls well below
+  // one tree per commodity per augmentation.
+  graph::Digraph g;
+  const auto s = g.add_node("s");
+  std::vector<graph::NodeId> sinks;
+  for (int i = 0; i < 5; ++i) {
+    const auto mid = g.add_node("m" + std::to_string(i));
+    const auto t = g.add_node("t" + std::to_string(i));
+    g.add_edge(s, mid, 1.0, 8.0);
+    g.add_edge(mid, t, 1.0, 8.0);
+    sinks.push_back(t);
+  }
+  std::vector<lp::Commodity> demands;
+  for (const auto t : sinks) demands.push_back({s, t, 4.0});
+  const auto batched = lp::max_concurrent_flow(g, demands, {.epsilon = 0.1});
+  const auto unbatched =
+      lp::max_concurrent_flow(g, demands, {.epsilon = 0.1, .batch_by_source = false});
+  EXPECT_LT(batched.sp_calls, unbatched.sp_calls);
+  EXPECT_NEAR(batched.lambda, unbatched.lambda, 0.1 * unbatched.lambda);
+}
+
+}  // namespace
+}  // namespace smn
