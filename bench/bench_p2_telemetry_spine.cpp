@@ -1,0 +1,358 @@
+// PR-2 performance bench — the interned-id columnar telemetry spine on a
+// ~308-DC planetary WAN. Measures the spine (columnar BandwidthLog, shared
+// util::IdSpace, streaming BandwidthLogStore accumulators, id-keyed demand
+// extraction) against a faithful reimplementation of the seed string-keyed
+// pipeline (AoS records with name strings, std::map string keys at every
+// group-by), over the four stages of the telemetry path:
+//
+//   generate -> store ingest -> retention coarsening -> demand matrix
+//
+// Writes BENCH_telemetry_spine.json into the working directory:
+//   {
+//     "instance": {...},
+//     "stages": {"generate": {...}, "ingest": {...}, "coarsen": {...},
+//                "demand": {...}, "end_to_end": {...}},   // seed/spine ms
+//     "ingest_records_per_s": {"seed", "spine"},
+//     "bytes": {"seed_fine_bytes", "spine_fine_bytes", "reduction"},
+//     "fidelity": {"demand_max_abs_dev", "summary_count_match",
+//                  "streaming_equals_batch"}
+//   }
+//
+// The seed baseline is reimplemented here verbatim so the comparison cannot
+// silently drift as the library evolves. `--smoke` shrinks the instance for
+// the bench_smoke ctest label.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "te/demand.h"
+#include "telemetry/log_store.h"
+#include "telemetry/time_coarsening.h"
+#include "telemetry/traffic_generator.h"
+#include "topology/wan_generator.h"
+#include "util/stats.h"
+
+namespace {
+
+using namespace smn;
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+// ---------------------------------------------------------------------------
+// Faithful reimplementation of the pre-PR string-keyed pipeline: AoS records
+// carrying name strings, day segments as record vectors, coarsening and
+// demand extraction through std::map with string keys.
+// ---------------------------------------------------------------------------
+
+struct SeedRecord {
+  util::SimTime timestamp = 0;
+  std::string src;
+  std::string dst;
+  double bw_gbps = 0.0;
+};
+
+struct SeedSummary {
+  util::SimTime window_start = 0;
+  util::SimTime window_length = 0;
+  std::string src;
+  std::string dst;
+  std::size_t sample_count = 0;
+  double mean = 0.0, p50 = 0.0, p95 = 0.0, min = 0.0, max = 0.0;
+};
+
+struct SeedStore {
+  std::map<util::SimTime, std::vector<SeedRecord>> segments;
+  std::vector<SeedSummary> coarse;
+};
+
+std::vector<SeedRecord> seed_generate(const telemetry::TrafficGenerator& gen,
+                                      const topology::WanTopology& wan) {
+  std::vector<SeedRecord> log;
+  const auto& config = gen.config();
+  for (std::size_t e = 0; e < gen.epoch_count(); ++e) {
+    const util::SimTime t = config.start + static_cast<util::SimTime>(e) * config.epoch;
+    for (std::size_t p = 0; p < gen.pairs().size(); ++p) {
+      SeedRecord record;
+      record.timestamp = t;
+      record.src = wan.datacenter(gen.pairs()[p].src).name;
+      record.dst = wan.datacenter(gen.pairs()[p].dst).name;
+      record.bw_gbps = gen.demand_at(p, t);
+      log.push_back(std::move(record));
+    }
+  }
+  return log;
+}
+
+void seed_ingest(SeedStore& store, const std::vector<SeedRecord>& log) {
+  for (const SeedRecord& r : log) {
+    const util::SimTime day = (r.timestamp / util::kDay) * util::kDay;
+    store.segments[day].push_back(r);
+  }
+}
+
+std::size_t seed_coarsen_older_than(SeedStore& store, util::SimTime now,
+                                    util::SimTime max_fine_age, util::SimTime window) {
+  std::size_t retired = 0;
+  for (auto it = store.segments.begin(); it != store.segments.end();) {
+    const util::SimTime segment_end = it->first + util::kDay;
+    if (now - segment_end < max_fine_age) {
+      ++it;
+      continue;
+    }
+    std::map<std::tuple<std::string, std::string, util::SimTime>, std::vector<double>> buckets;
+    for (const SeedRecord& r : it->second) {
+      const util::SimTime window_start = (r.timestamp / window) * window;
+      buckets[{r.src, r.dst, window_start}].push_back(r.bw_gbps);
+    }
+    for (auto& [key, values] : buckets) {
+      const util::Summary stats = util::summarize(values);
+      SeedSummary s;
+      s.src = std::get<0>(key);
+      s.dst = std::get<1>(key);
+      s.window_start = std::get<2>(key);
+      s.window_length = window;
+      s.sample_count = stats.count;
+      s.mean = stats.mean;
+      s.p50 = stats.p50;
+      s.p95 = stats.p95;
+      s.min = stats.min;
+      s.max = stats.max;
+      store.coarse.push_back(std::move(s));
+    }
+    retired += it->second.size();
+    it = store.segments.erase(it);
+  }
+  return retired;
+}
+
+struct SeedDemandEntry {
+  std::string src, dst;
+  double gbps = 0.0;
+};
+
+std::vector<SeedDemandEntry> seed_demand_from_log(const std::vector<SeedRecord>& log) {
+  std::map<std::pair<std::string, std::string>, std::vector<double>> series;
+  for (const SeedRecord& r : log) series[{r.src, r.dst}].push_back(r.bw_gbps);
+  std::vector<SeedDemandEntry> matrix;
+  for (auto& [key, values] : series) {
+    matrix.push_back({key.first, key.second, util::summarize(values).mean});
+  }
+  return matrix;
+}
+
+/// Actual in-memory footprint of the AoS representation: struct size plus
+/// any string heap allocations past the small-string buffer.
+std::size_t seed_memory_bytes(const std::vector<SeedRecord>& log) {
+  const std::size_t sso = std::string().capacity();
+  std::size_t bytes = 0;
+  for (const SeedRecord& r : log) {
+    bytes += sizeof(SeedRecord);
+    if (r.src.capacity() > sso) bytes += r.src.capacity() + 1;
+    if (r.dst.capacity() > sso) bytes += r.dst.capacity() + 1;
+  }
+  return bytes;
+}
+
+// ---------------------------------------------------------------------------
+
+struct Stage {
+  double seed_ms = std::numeric_limits<double>::infinity();
+  double spine_ms = std::numeric_limits<double>::infinity();
+
+  double speedup() const { return seed_ms / spine_ms; }
+};
+
+void print_stage(std::FILE* out, const char* key, const Stage& s, const char* tail) {
+  std::fprintf(out, "    \"%s\": {\"seed_ms\": %.3f, \"spine_ms\": %.3f, \"speedup\": %.3f}%s\n",
+               key, s.seed_ms, s.spine_ms, s.speedup(), tail);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  // ~308-DC planetary WAN, two days of 5-minute epochs across 2000 pairs
+  // (~1.15M records); the retention pass seals day 0 into hourly windows.
+  topology::WanConfig wan_config;
+  if (smoke) {
+    wan_config.regions_per_continent = 2;
+    wan_config.dcs_per_region = 3;
+  }
+  telemetry::TrafficConfig traffic;
+  traffic.duration = smoke ? 2 * util::kHour : 2 * util::kDay;
+  traffic.active_pairs = smoke ? 200 : 2000;
+  traffic.seed = 13;
+  const util::SimTime window = util::kHour;
+  const util::SimTime now = traffic.duration + util::kDay;
+  const util::SimTime max_fine_age = util::kDay;
+  const int reps = smoke ? 1 : 3;
+
+  const auto wan = topology::generate_planetary_wan(wan_config);
+  const telemetry::TrafficGenerator gen(wan, traffic);
+  std::printf("instance: %zu DCs, %zu pairs, %zu epochs (%zu records)\n",
+              wan.datacenter_count(), gen.pairs().size(), gen.epoch_count(),
+              gen.epoch_count() * gen.pairs().size());
+
+  Stage generate, ingest, coarsen, demand;
+  std::size_t seed_bytes = 0, spine_bytes = 0;
+  std::size_t seed_summaries = 0, spine_summaries = 0;
+  double demand_dev = 0.0;
+  std::size_t record_count = 0;
+
+  for (int r = 0; r < reps; ++r) {
+    // --- Seed pipeline. ---
+    auto start = Clock::now();
+    const std::vector<SeedRecord> seed_log = seed_generate(gen, wan);
+    generate.seed_ms = std::min(generate.seed_ms, ms_since(start));
+
+    SeedStore seed_store;
+    start = Clock::now();
+    seed_ingest(seed_store, seed_log);
+    ingest.seed_ms = std::min(ingest.seed_ms, ms_since(start));
+
+    start = Clock::now();
+    seed_coarsen_older_than(seed_store, now, max_fine_age, window);
+    coarsen.seed_ms = std::min(coarsen.seed_ms, ms_since(start));
+
+    start = Clock::now();
+    const auto seed_matrix = seed_demand_from_log(seed_log);
+    demand.seed_ms = std::min(demand.seed_ms, ms_since(start));
+
+    // --- Spine pipeline. ---
+    start = Clock::now();
+    const telemetry::BandwidthLog spine_log = gen.generate();
+    generate.spine_ms = std::min(generate.spine_ms, ms_since(start));
+
+    telemetry::BandwidthLogStore spine_store(window);
+    start = Clock::now();
+    spine_store.ingest(spine_log);
+    ingest.spine_ms = std::min(ingest.spine_ms, ms_since(start));
+
+    start = Clock::now();
+    spine_store.coarsen_older_than(now, max_fine_age, window);
+    coarsen.spine_ms = std::min(coarsen.spine_ms, ms_since(start));
+
+    start = Clock::now();
+    const auto spine_matrix =
+        te::DemandMatrix::from_log(spine_log, te::DemandStatistic::kMean);
+    demand.spine_ms = std::min(demand.spine_ms, ms_since(start));
+
+    // --- Fidelity checks (once). ---
+    if (r == 0) {
+      record_count = seed_log.size();
+      seed_bytes = seed_memory_bytes(seed_log);
+      spine_bytes = spine_log.memory_bytes();
+      seed_summaries = seed_store.coarse.size();
+      spine_summaries = spine_store.coarse().summary_count();
+      for (std::size_t i = 0;
+           i < std::min(seed_matrix.size(), spine_matrix.entries().size()); ++i) {
+        demand_dev = std::max(
+            demand_dev, std::fabs(seed_matrix[i].gbps - spine_matrix.entries()[i].gbps));
+        if (seed_matrix[i].src != spine_matrix.entries()[i].src ||
+            seed_matrix[i].dst != spine_matrix.entries()[i].dst) {
+          demand_dev = std::numeric_limits<double>::infinity();  // order mismatch
+        }
+      }
+      if (seed_matrix.size() != spine_matrix.entries().size()) {
+        demand_dev = std::numeric_limits<double>::infinity();
+      }
+    }
+  }
+
+  // Streaming seal vs batch fallback: byte-identical summaries expected.
+  bool streaming_equals_batch = true;
+  {
+    const telemetry::BandwidthLog spine_log = gen.generate();
+    telemetry::BandwidthLogStore streaming(window);
+    streaming.ingest(spine_log);
+    streaming.coarsen_older_than(now + util::kWeek, 0, window);
+    telemetry::BandwidthLogStore batch(window == util::kHour ? util::kDay : util::kHour);
+    batch.ingest(spine_log);
+    batch.coarsen_older_than(now + util::kWeek, 0, window);
+    const auto& a = streaming.coarse().summaries();
+    const auto& b = batch.coarse().summaries();
+    streaming_equals_batch = a.size() == b.size();
+    for (std::size_t i = 0; streaming_equals_batch && i < a.size(); ++i) {
+      streaming_equals_batch = a[i].pair == b[i].pair &&
+                               a[i].window_start == b[i].window_start &&
+                               a[i].sample_count == b[i].sample_count &&
+                               a[i].mean == b[i].mean && a[i].p50 == b[i].p50 &&
+                               a[i].p95 == b[i].p95 && a[i].min == b[i].min &&
+                               a[i].max == b[i].max;
+    }
+  }
+
+  const Stage end_to_end{generate.seed_ms + ingest.seed_ms + coarsen.seed_ms + demand.seed_ms,
+                         generate.spine_ms + ingest.spine_ms + coarsen.spine_ms +
+                             demand.spine_ms};
+
+  const auto records_per_s = [&](double ms) {
+    return ms > 0.0 ? static_cast<double>(record_count) / (ms / 1000.0) : 0.0;
+  };
+  std::printf("generate:   seed %8.1f ms   spine %8.1f ms   (%.2fx)\n", generate.seed_ms,
+              generate.spine_ms, generate.speedup());
+  std::printf("ingest:     seed %8.1f ms   spine %8.1f ms   (%.2fx, %.2fM rec/s)\n",
+              ingest.seed_ms, ingest.spine_ms, ingest.speedup(),
+              records_per_s(ingest.spine_ms) / 1e6);
+  std::printf("coarsen:    seed %8.1f ms   spine %8.1f ms   (%.2fx)\n", coarsen.seed_ms,
+              coarsen.spine_ms, coarsen.speedup());
+  std::printf("demand:     seed %8.1f ms   spine %8.1f ms   (%.2fx)\n", demand.seed_ms,
+              demand.spine_ms, demand.speedup());
+  std::printf("end-to-end: seed %8.1f ms   spine %8.1f ms   (%.2fx)\n", end_to_end.seed_ms,
+              end_to_end.spine_ms, end_to_end.speedup());
+  std::printf("fine bytes: seed %.1f MB -> spine %.1f MB (%.2fx reduction)\n",
+              static_cast<double>(seed_bytes) / 1e6, static_cast<double>(spine_bytes) / 1e6,
+              static_cast<double>(seed_bytes) / static_cast<double>(spine_bytes));
+  std::printf("fidelity: demand dev %.3g, summaries %zu vs %zu, streaming==batch: %s\n",
+              demand_dev, seed_summaries, spine_summaries,
+              streaming_equals_batch ? "yes" : "NO");
+
+  std::FILE* out = std::fopen("BENCH_telemetry_spine.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_telemetry_spine.json\n");
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out,
+               "  \"instance\": {\"dcs\": %zu, \"pairs\": %zu, \"epochs\": %zu, "
+               "\"records\": %zu, \"window_s\": %lld, \"smoke\": %s},\n",
+               wan.datacenter_count(), gen.pairs().size(), gen.epoch_count(), record_count,
+               static_cast<long long>(window), smoke ? "true" : "false");
+  std::fprintf(out, "  \"stages\": {\n");
+  print_stage(out, "generate", generate, ",");
+  print_stage(out, "ingest", ingest, ",");
+  print_stage(out, "coarsen", coarsen, ",");
+  print_stage(out, "demand", demand, ",");
+  print_stage(out, "end_to_end", end_to_end, "");
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"ingest_records_per_s\": {\"seed\": %.0f, \"spine\": %.0f},\n",
+               records_per_s(ingest.seed_ms), records_per_s(ingest.spine_ms));
+  std::fprintf(out,
+               "  \"bytes\": {\"seed_fine_bytes\": %zu, \"spine_fine_bytes\": %zu, "
+               "\"reduction\": %.3f},\n",
+               seed_bytes, spine_bytes,
+               static_cast<double>(seed_bytes) / static_cast<double>(spine_bytes));
+  std::fprintf(out,
+               "  \"fidelity\": {\"demand_max_abs_dev\": %.6g, \"seed_summaries\": %zu, "
+               "\"spine_summaries\": %zu, \"streaming_equals_batch\": %s}\n",
+               demand_dev, seed_summaries, spine_summaries,
+               streaming_equals_batch ? "true" : "false");
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("wrote BENCH_telemetry_spine.json\n");
+  return !streaming_equals_batch;
+}

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <unordered_map>
 
 #include "core/fidelity.h"
 #include "graph/shortest_path.h"
@@ -19,11 +20,13 @@ UtilizationSeries CapacityPlanner::compute_utilization(
   UtilizationSeries series;
   const graph::Digraph& g = wan_.graph();
 
+  const auto timestamps = log.timestamps();
+  const auto pairs = log.pair_ids();
+  const auto bw = log.bandwidths();
+
   // Epoch index.
   std::map<util::SimTime, std::size_t> epoch_index;
-  for (const telemetry::BandwidthRecord& r : log.records()) {
-    epoch_index.emplace(r.timestamp, 0);
-  }
+  for (const util::SimTime ts : timestamps) epoch_index.emplace(ts, 0);
   std::size_t idx = 0;
   for (auto& [ts, i] : epoch_index) {
     i = idx++;
@@ -33,23 +36,27 @@ UtilizationSeries CapacityPlanner::compute_utilization(
   series.by_link.assign(wan_.link_count(), std::vector<double>(epochs, 0.0));
   if (epochs == 0) return series;
 
-  // Shortest-path cache per datacenter pair.
-  std::map<std::pair<graph::NodeId, graph::NodeId>, std::vector<graph::EdgeId>> path_cache;
+  // Shortest-path cache keyed by interned pair id: resolving datacenters
+  // and routing happens once per distinct pair, not once per record.
+  const util::IdSpace& ids = util::IdSpace::global();
+  std::unordered_map<util::PairId, std::vector<graph::EdgeId>> path_cache;
   // Per-edge load per epoch, accumulated lazily.
   std::vector<std::vector<double>> edge_load(g.edge_count(), std::vector<double>(epochs, 0.0));
 
-  for (const telemetry::BandwidthRecord& r : log.records()) {
-    const auto src = wan_.find_datacenter(r.src);
-    const auto dst = wan_.find_datacenter(r.dst);
-    if (!src || !dst || *src == *dst) continue;
-    const auto key = std::make_pair(*src, *dst);
-    auto it = path_cache.find(key);
+  for (std::size_t i = 0; i < log.record_count(); ++i) {
+    auto it = path_cache.find(pairs[i]);
     if (it == path_cache.end()) {
-      const auto path = graph::shortest_path(g, *src, *dst);
-      it = path_cache.emplace(key, path ? path->edges : std::vector<graph::EdgeId>{}).first;
+      const auto src = wan_.node_of(ids.pair_src(pairs[i]));
+      const auto dst = wan_.node_of(ids.pair_dst(pairs[i]));
+      std::vector<graph::EdgeId> edges;
+      if (src && dst && *src != *dst) {
+        if (const auto path = graph::shortest_path(g, *src, *dst)) edges = path->edges;
+      }
+      it = path_cache.emplace(pairs[i], std::move(edges)).first;
     }
-    const std::size_t e_idx = epoch_index.at(r.timestamp);
-    for (const graph::EdgeId e : it->second) edge_load[e][e_idx] += r.bw_gbps;
+    if (it->second.empty()) continue;
+    const std::size_t e_idx = epoch_index.at(timestamps[i]);
+    for (const graph::EdgeId e : it->second) edge_load[e][e_idx] += bw[i];
   }
 
   for (std::size_t li = 0; li < wan_.link_count(); ++li) {

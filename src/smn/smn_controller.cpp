@@ -55,7 +55,8 @@ SmnController::SmnController(const depgraph::ServiceGraph& sg, const topology::W
       wan_(wan),
       config_(config),
       lake_(default_catalog(sg), config.clto.seed),
-      clto_(sg, bus_, config.clto) {
+      clto_(sg, bus_, config.clto),
+      bw_store_(config.bw_coarse_window) {
   // Seed the control plane: a static route per datacenter via its first
   // graph neighbor (stands in for an IGP) — the generalized control plane
   // manages these alongside everything else.
@@ -74,6 +75,13 @@ SmnController::SmnController(const depgraph::ServiceGraph& sg, const topology::W
   loops_.add_loop({"telemetry-ingest", config_.telemetry_loop_period,
                    [this](util::SimTime now) {
                      mib_.set_gauge("smn", "last_telemetry_tick", static_cast<double>(now));
+                     const telemetry::LogStoreStats s = bw_store_.stats();
+                     mib_.set_gauge("smn", "bw_fine_records",
+                                    static_cast<double>(s.fine_records));
+                     mib_.set_gauge("smn", "bw_coarse_summaries",
+                                    static_cast<double>(s.coarse_summaries));
+                     mib_.set_gauge("smn", "bw_store_bytes",
+                                    static_cast<double>(s.total_bytes()));
                    }});
   loops_.add_loop({"retention", config_.retention_loop_period,
                    [this](util::SimTime now) { run_retention(now); }});
@@ -85,6 +93,12 @@ void SmnController::ingest_telemetry(const std::string& dataset, Record record) 
   denoiser_.denoise(dataset, record);
   lake_.ingest(dataset, std::move(record));
   mib_.increment_counter("smn", "records_ingested");
+}
+
+std::size_t SmnController::ingest_bandwidth(const telemetry::BandwidthLog& log) {
+  bw_store_.ingest(log);
+  mib_.increment_counter("smn", "bw_records_ingested", static_cast<double>(log.record_count()));
+  return log.record_count();
 }
 
 RoutingDecision SmnController::handle_incident(const incident::Incident& incident,
@@ -149,9 +163,14 @@ std::size_t SmnController::ingest_optical_risks(const optical::OpticalNetwork& u
 std::size_t SmnController::tick(util::SimTime now) { return loops_.tick(now); }
 
 std::size_t SmnController::run_retention(util::SimTime now) {
-  const std::size_t retired = lake_.apply_retention(now, config_.retention);
-  mib_.increment_counter("smn", "records_retired", static_cast<double>(retired));
-  return retired;
+  const std::size_t lake_retired = lake_.apply_retention(now, config_.retention);
+  // Seal old fine bandwidth segments into summaries: the store's streaming
+  // accumulators make this O(open windows), not O(records).
+  const std::size_t bw_retired =
+      bw_store_.coarsen_older_than(now, config_.bw_max_fine_age, config_.bw_coarse_window);
+  mib_.increment_counter("smn", "records_retired",
+                         static_cast<double>(lake_retired + bw_retired));
+  return lake_retired + bw_retired;
 }
 
 capacity::CapacityPlan SmnController::run_capacity_planning(util::SimTime now) {

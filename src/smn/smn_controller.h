@@ -30,6 +30,10 @@ struct SmnConfig {
   util::SimTime telemetry_loop_period = 5 * util::kMinute;
   util::SimTime retention_loop_period = util::kDay;
   util::SimTime planning_loop_period = util::kMonth;
+  /// Bandwidth-store retention: fine segments older than this are sealed
+  /// into `bw_coarse_window` summaries by the retention loop.
+  util::SimTime bw_max_fine_age = util::kWeek;
+  util::SimTime bw_coarse_window = util::kHour;
 };
 
 /// One row of the paper's Table 1 (SDN vs SMN).
@@ -67,6 +71,10 @@ class SmnController {
   /// Ingests telemetry through the AIOps denoiser into the CLDS.
   void ingest_telemetry(const std::string& dataset, Record record);
 
+  /// Streams a bandwidth log into the store (columnar, builds the open
+  /// window accumulators the retention loop seals). Returns records added.
+  std::size_t ingest_bandwidth(const telemetry::BandwidthLog& log);
+
   /// Publishes the optical layer's risk map (per-link flap/cut rates and
   /// SRLG exposure) into the "optical.link-risk" dataset, and the
   /// wavelength->link cartography into "cross-layer.deps" — the §7
@@ -87,7 +95,9 @@ class SmnController {
   /// Runs all registered control loops due at `now`.
   std::size_t tick(util::SimTime now);
 
-  /// Retention pass over the CLDS (also runs from the retention loop).
+  /// Retention pass over the CLDS and the bandwidth store (also runs from
+  /// the retention loop). Returns lake records plus fine bandwidth records
+  /// retired.
   std::size_t run_retention(util::SimTime now);
 
   /// Capacity planning pass over the managed WAN using the bandwidth store

@@ -1,10 +1,29 @@
 #include "te/demand.h"
 
-#include <map>
+#include <algorithm>
+#include <unordered_map>
 
 #include "util/stats.h"
 
 namespace smn::te {
+namespace {
+
+/// Sorts distinct pair ids by (src name, dst name) — the emission order the
+/// old string-keyed std::map produced, kept so demand matrices are
+/// byte-identical regardless of interning history.
+std::vector<util::PairId> name_sorted(std::vector<util::PairId> pairs) {
+  const util::IdSpace& ids = util::IdSpace::global();
+  std::sort(pairs.begin(), pairs.end(),
+            [&](util::PairId a, util::PairId b) { return ids.pair_name_less(a, b); });
+  return pairs;
+}
+
+DemandEntry make_entry(util::PairId pair, double gbps) {
+  const util::IdSpace& ids = util::IdSpace::global();
+  return DemandEntry{ids.src_name(pair), ids.dst_name(pair), gbps, pair};
+}
+
+}  // namespace
 
 double DemandMatrix::total_gbps() const noexcept {
   double total = 0.0;
@@ -13,17 +32,23 @@ double DemandMatrix::total_gbps() const noexcept {
 }
 
 DemandMatrix DemandMatrix::from_log(const telemetry::BandwidthLog& log, DemandStatistic stat) {
-  std::map<std::pair<std::string, std::string>, std::vector<double>> series;
-  for (const telemetry::BandwidthRecord& r : log.records()) {
-    series[{r.src, r.dst}].push_back(r.bw_gbps);
+  // Group the columnar log by pair id — no string materialization.
+  std::unordered_map<util::PairId, std::vector<double>> series;
+  const auto pairs = log.pair_ids();
+  const auto bw = log.bandwidths();
+  for (std::size_t i = 0; i < log.record_count(); ++i) {
+    series[pairs[i]].push_back(bw[i]);
   }
+  std::vector<util::PairId> keys;
+  keys.reserve(series.size());
+  for (const auto& [pair, _] : series) keys.push_back(pair);
   DemandMatrix matrix;
-  for (auto& [key, values] : series) {
-    const util::Summary s = util::summarize(values);
+  for (const util::PairId pair : name_sorted(std::move(keys))) {
+    const util::Summary s = util::summarize(series.at(pair));
     double value = s.mean;
     if (stat == DemandStatistic::kP95) value = s.p95;
     if (stat == DemandStatistic::kMax) value = s.max;
-    matrix.add({key.first, key.second, value});
+    matrix.add(make_entry(pair, value));
   }
   return matrix;
 }
@@ -36,31 +61,45 @@ DemandMatrix DemandMatrix::from_coarse_log(const telemetry::CoarseBandwidthLog& 
     double p95_upper = 0.0;
     double max = 0.0;
   };
-  std::map<std::pair<std::string, std::string>, Accum> accums;
+  std::unordered_map<util::PairId, Accum> accums;
   for (const telemetry::WindowSummary& s : coarse.summaries()) {
-    Accum& a = accums[{s.src, s.dst}];
+    Accum& a = accums[s.pair];
     a.weighted_mean += s.mean * static_cast<double>(s.sample_count);
     a.samples += s.sample_count;
     a.p95_upper = std::max(a.p95_upper, s.p95);
     a.max = std::max(a.max, s.max);
   }
+  std::vector<util::PairId> keys;
+  keys.reserve(accums.size());
+  for (const auto& [pair, _] : accums) keys.push_back(pair);
   DemandMatrix matrix;
-  for (const auto& [key, a] : accums) {
+  for (const util::PairId pair : name_sorted(std::move(keys))) {
+    const Accum& a = accums.at(pair);
     double value = a.samples ? a.weighted_mean / static_cast<double>(a.samples) : 0.0;
     if (stat == DemandStatistic::kP95) value = a.p95_upper;
     if (stat == DemandStatistic::kMax) value = a.max;
-    matrix.add({key.first, key.second, value});
+    matrix.add(make_entry(pair, value));
   }
   return matrix;
 }
 
 std::vector<lp::Commodity> DemandMatrix::to_commodities(const topology::WanTopology& wan,
                                                         std::size_t* unresolved) const {
+  const util::IdSpace& ids = util::IdSpace::global();
   std::vector<lp::Commodity> commodities;
+  commodities.reserve(entries_.size());
   std::size_t missing = 0;
   for (const DemandEntry& e : entries_) {
-    const auto src = wan.find_datacenter(e.src);
-    const auto dst = wan.find_datacenter(e.dst);
+    // Id fast path: two flat-vector loads; name lookup only for entries
+    // built outside the id space.
+    std::optional<graph::NodeId> src, dst;
+    if (e.pair != util::kInvalidPairId) {
+      src = wan.node_of(ids.pair_src(e.pair));
+      dst = wan.node_of(ids.pair_dst(e.pair));
+    } else {
+      src = wan.find_datacenter(e.src);
+      dst = wan.find_datacenter(e.dst);
+    }
     if (!src || !dst) {
       ++missing;
       continue;

@@ -23,6 +23,9 @@ struct DemandEntry {
   std::string src;
   std::string dst;
   double gbps = 0.0;
+  /// Interned pair handle (shared util::IdSpace); kInvalidPairId when the
+  /// entry was built from names outside the id space.
+  util::PairId pair = util::kInvalidPairId;
 };
 
 /// Named demand matrix; node names resolve against a WanTopology at

@@ -1,41 +1,102 @@
 #include "telemetry/bandwidth_log.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
 #include <sstream>
+#include <unordered_map>
 
 #include "util/string_util.h"
 
 namespace smn::telemetry {
 
+std::unordered_map<util::PairId, std::uint32_t> pair_name_ranks(
+    std::span<const util::PairId> pairs) {
+  std::vector<util::PairId> unique(pairs.begin(), pairs.end());
+  std::sort(unique.begin(), unique.end());
+  unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+  const util::IdSpace& ids = util::IdSpace::global();
+  std::sort(unique.begin(), unique.end(),
+            [&](util::PairId a, util::PairId b) { return ids.pair_name_less(a, b); });
+  std::unordered_map<util::PairId, std::uint32_t> rank;
+  rank.reserve(unique.size());
+  for (std::uint32_t i = 0; i < unique.size(); ++i) rank.emplace(unique[i], i);
+  return rank;
+}
+
+BandwidthRecord BandwidthLog::record_at(std::size_t i) const {
+  const util::IdSpace& ids = util::IdSpace::global();
+  return BandwidthRecord{timestamps_.at(i), ids.src_name(pairs_[i]), ids.dst_name(pairs_[i]),
+                         bw_[i]};
+}
+
+std::vector<BandwidthRecord> BandwidthLog::records() const {
+  std::vector<BandwidthRecord> out;
+  out.reserve(record_count());
+  const util::IdSpace& ids = util::IdSpace::global();
+  for (std::size_t i = 0; i < record_count(); ++i) {
+    out.push_back(
+        BandwidthRecord{timestamps_[i], ids.src_name(pairs_[i]), ids.dst_name(pairs_[i]), bw_[i]});
+  }
+  return out;
+}
+
 void BandwidthLog::sort() {
-  std::stable_sort(records_.begin(), records_.end(),
-                   [](const BandwidthRecord& a, const BandwidthRecord& b) {
-                     if (a.timestamp != b.timestamp) return a.timestamp < b.timestamp;
-                     if (a.src != b.src) return a.src < b.src;
-                     return a.dst < b.dst;
-                   });
+  const auto rank = pair_name_ranks(pairs_);
+  std::vector<std::uint32_t> order(record_count());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    if (timestamps_[a] != timestamps_[b]) return timestamps_[a] < timestamps_[b];
+    return rank.at(pairs_[a]) < rank.at(pairs_[b]);
+  });
+  std::vector<util::SimTime> ts(record_count());
+  std::vector<util::PairId> pr(record_count());
+  std::vector<double> bw(record_count());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    ts[i] = timestamps_[order[i]];
+    pr[i] = pairs_[order[i]];
+    bw[i] = bw_[order[i]];
+  }
+  timestamps_ = std::move(ts);
+  pairs_ = std::move(pr);
+  bw_ = std::move(bw);
 }
 
 std::pair<util::SimTime, util::SimTime> BandwidthLog::time_range() const noexcept {
-  if (records_.empty()) return {0, 0};
-  util::SimTime lo = records_.front().timestamp;
+  if (timestamps_.empty()) return {0, 0};
+  util::SimTime lo = timestamps_.front();
   util::SimTime hi = lo;
-  for (const BandwidthRecord& r : records_) {
-    lo = std::min(lo, r.timestamp);
-    hi = std::max(hi, r.timestamp);
+  for (const util::SimTime t : timestamps_) {
+    lo = std::min(lo, t);
+    hi = std::max(hi, t);
   }
   return {lo, hi};
 }
 
+std::vector<util::PairId> BandwidthLog::pair_ids_first_seen() const {
+  std::vector<util::PairId> out;
+  std::unordered_map<util::PairId, bool> seen;
+  for (const util::PairId p : pairs_) {
+    if (seen.emplace(p, true).second) out.push_back(p);
+  }
+  return out;
+}
+
 std::vector<std::pair<std::string, std::string>> BandwidthLog::pairs() const {
   std::vector<std::pair<std::string, std::string>> out;
-  std::map<std::pair<std::string, std::string>, bool> seen;
-  for (const BandwidthRecord& r : records_) {
-    const auto key = std::make_pair(r.src, r.dst);
-    if (!seen.contains(key)) {
-      seen.emplace(key, true);
-      out.push_back(key);
-    }
+  const util::IdSpace& ids = util::IdSpace::global();
+  for (const util::PairId p : pair_ids_first_seen()) {
+    out.emplace_back(ids.src_name(p), ids.dst_name(p));
+  }
+  return out;
+}
+
+std::map<util::PairId, std::vector<std::pair<util::SimTime, double>>>
+BandwidthLog::series_by_pair_id() const {
+  std::map<util::PairId, std::vector<std::pair<util::SimTime, double>>> out;
+  for (std::size_t i = 0; i < record_count(); ++i) {
+    out[pairs_[i]].emplace_back(timestamps_[i], bw_[i]);
   }
   return out;
 }
@@ -43,70 +104,103 @@ std::vector<std::pair<std::string, std::string>> BandwidthLog::pairs() const {
 std::map<std::pair<std::string, std::string>, std::vector<std::pair<util::SimTime, double>>>
 BandwidthLog::series_by_pair() const {
   std::map<std::pair<std::string, std::string>, std::vector<std::pair<util::SimTime, double>>> out;
-  for (const BandwidthRecord& r : records_) {
-    out[{r.src, r.dst}].emplace_back(r.timestamp, r.bw_gbps);
+  const util::IdSpace& ids = util::IdSpace::global();
+  for (auto& [pair, series] : series_by_pair_id()) {
+    out.emplace(std::make_pair(ids.src_name(pair), ids.dst_name(pair)), std::move(series));
   }
   return out;
 }
 
 double BandwidthLog::total_volume() const noexcept {
   double total = 0.0;
-  for (const BandwidthRecord& r : records_) total += r.bw_gbps;
+  for (const double v : bw_) total += v;
   return total;
 }
 
 std::string BandwidthLog::to_listing_format() const {
   std::ostringstream out;
   out << "# Format: ts, src_dc, dst_dc, bw_Gbps\n";
-  for (const BandwidthRecord& r : records_) {
-    out << util::format_iso8601(r.timestamp) << ", " << r.src << ", " << r.dst << ", "
-        << util::format_double(r.bw_gbps, 0) << '\n';
+  const util::IdSpace& ids = util::IdSpace::global();
+  for (std::size_t i = 0; i < record_count(); ++i) {
+    out << util::format_iso8601(timestamps_[i]) << ", " << ids.src_name(pairs_[i]) << ", "
+        << ids.dst_name(pairs_[i]) << ", " << util::format_double(bw_[i], 0) << '\n';
   }
   return out.str();
 }
 
-BandwidthLog BandwidthLog::from_listing_format(const std::string& text, std::size_t* skipped) {
+BandwidthLog BandwidthLog::from_listing_format(const std::string& text,
+                                               ListingParseStats* stats) {
   BandwidthLog log;
-  std::size_t bad = 0;
+  ListingParseStats local;
+  util::IdSpace& ids = util::IdSpace::global();
   std::istringstream in(text);
   std::string line;
+  util::SimTime last_ts = std::numeric_limits<util::SimTime>::min();
   while (std::getline(in, line)) {
     const std::string_view trimmed = util::trim(line);
     if (trimmed.empty() || trimmed.front() == '#') continue;
     const auto fields = util::split(trimmed, ',');
     if (fields.size() != 4) {
-      ++bad;
+      ++local.bad_field_count;
       continue;
     }
-    BandwidthRecord record;
-    if (!util::parse_iso8601(std::string(util::trim(fields[0])), record.timestamp)) {
-      ++bad;
+    util::SimTime ts = 0;
+    if (!util::parse_iso8601(std::string(util::trim(fields[0])), ts)) {
+      ++local.bad_timestamp;
       continue;
     }
-    record.src = std::string(util::trim(fields[1]));
-    record.dst = std::string(util::trim(fields[2]));
+    const std::string_view src = util::trim(fields[1]);
+    const std::string_view dst = util::trim(fields[2]);
+    double bw = 0.0;
     try {
-      record.bw_gbps = std::stod(std::string(util::trim(fields[3])));
+      bw = std::stod(std::string(util::trim(fields[3])));
     } catch (...) {
-      ++bad;
+      ++local.bad_value;
       continue;
     }
-    if (record.src.empty() || record.dst.empty() || record.bw_gbps < 0.0) {
-      ++bad;
+    if (!std::isfinite(bw)) {
+      ++local.non_finite;
       continue;
     }
-    log.append(std::move(record));
+    if (bw < 0.0) {
+      ++local.negative;
+      continue;
+    }
+    if (src.empty() || dst.empty()) {
+      ++local.empty_name;
+      continue;
+    }
+    if (ts < last_ts) {
+      ++local.out_of_order;
+      continue;
+    }
+    last_ts = ts;
+    log.append(ts, ids.pair_of_names(src, dst), bw);
+    ++local.parsed;
   }
-  if (skipped != nullptr) *skipped = bad;
+  if (stats != nullptr) *stats = local;
+  return log;
+}
+
+BandwidthLog BandwidthLog::from_listing_format(const std::string& text, std::size_t* skipped) {
+  ListingParseStats stats;
+  BandwidthLog log = from_listing_format(text, &stats);
+  if (skipped != nullptr) *skipped = stats.skipped();
   return log;
 }
 
 std::size_t BandwidthLog::approximate_bytes() const noexcept {
   // "2025-06-01T00:00, us-e1, eu-w1, 1250\n" — timestamp (16) + separators
-  // (6) + value (~6) + names.
+  // (6) + value (~6) + names. Name lengths are cached per pair id.
+  const util::IdSpace& ids = util::IdSpace::global();
+  std::unordered_map<util::PairId, std::size_t> name_bytes;
   std::size_t bytes = 0;
-  for (const BandwidthRecord& r : records_) {
-    bytes += 16 + 6 + 6 + r.src.size() + r.dst.size() + 1;
+  for (const util::PairId p : pairs_) {
+    auto it = name_bytes.find(p);
+    if (it == name_bytes.end()) {
+      it = name_bytes.emplace(p, ids.src_name(p).size() + ids.dst_name(p).size()).first;
+    }
+    bytes += 16 + 6 + 6 + it->second + 1;
   }
   return bytes;
 }

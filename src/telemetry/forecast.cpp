@@ -10,8 +10,15 @@ Series extract_series(const BandwidthLog& log, const std::string& src, const std
                       util::SimTime epoch) {
   if (epoch <= 0) throw std::invalid_argument("extract_series: epoch must be positive");
   std::map<util::SimTime, double> points;
-  for (const BandwidthRecord& r : log.records()) {
-    if (r.src == src && r.dst == dst) points[r.timestamp] = r.bw_gbps;
+  // One id lookup, then a scan over the pair-id column — no per-record
+  // string compares.
+  if (const auto pair = util::IdSpace::global().find_pair_of_names(src, dst)) {
+    const auto timestamps = log.timestamps();
+    const auto pairs = log.pair_ids();
+    const auto bw = log.bandwidths();
+    for (std::size_t i = 0; i < log.record_count(); ++i) {
+      if (pairs[i] == *pair) points[timestamps[i]] = bw[i];
+    }
   }
   Series series;
   series.epoch = epoch;

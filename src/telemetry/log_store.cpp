@@ -1,16 +1,67 @@
 #include "telemetry/log_store.h"
 
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/stats.h"
+
 namespace smn::telemetry {
 
+BandwidthLogStore::BandwidthLogStore(util::SimTime streaming_window) : window_(streaming_window) {
+  if (window_ <= 0) {
+    throw std::invalid_argument("BandwidthLogStore: streaming window must be positive");
+  }
+}
+
+void BandwidthLogStore::ingest(util::SimTime timestamp, util::PairId pair, double bw_gbps) {
+  const util::SimTime day = (timestamp / util::kDay) * util::kDay;
+  segments_[day].append(timestamp, pair, bw_gbps);
+  accums_[day][accum_key(pair, (timestamp / window_) * window_, window_)].push_back(bw_gbps);
+}
+
 void BandwidthLogStore::ingest(const BandwidthLog& log) {
-  for (const BandwidthRecord& r : log.records()) {
-    const util::SimTime day = (r.timestamp / util::kDay) * util::kDay;
-    segments_[day].append(r);
+  const auto timestamps = log.timestamps();
+  const auto pairs = log.pair_ids();
+  const auto bw = log.bandwidths();
+  for (std::size_t i = 0; i < log.record_count(); ++i) {
+    ingest(timestamps[i], pairs[i], bw[i]);
+  }
+}
+
+void BandwidthLogStore::seal_day(util::SimTime day, DayAccumulators& accums) {
+  // Emit in the batch coarsener's order — (src name, dst name, window
+  // start) — so sealed output is byte-identical to a batch pass.
+  std::vector<std::uint64_t> keys;
+  keys.reserve(accums.size());
+  for (const auto& [key, _] : accums) keys.push_back(key);
+  const auto rank = pair_name_ranks(segments_.at(day).pair_ids());
+  std::sort(keys.begin(), keys.end(), [&](std::uint64_t a, std::uint64_t b) {
+    const auto pa = rank.at(static_cast<util::PairId>(a >> 32));
+    const auto pb = rank.at(static_cast<util::PairId>(b >> 32));
+    if (pa != pb) return pa < pb;
+    return (a & 0xFFFFFFFFu) < (b & 0xFFFFFFFFu);
+  });
+  for (const std::uint64_t key : keys) {
+    const util::Summary stats = util::summarize(accums.at(key));
+    WindowSummary s;
+    s.pair = static_cast<util::PairId>(key >> 32);
+    s.window_start = static_cast<util::SimTime>(key & 0xFFFFFFFFu) * window_;
+    s.window_length = window_;
+    s.sample_count = stats.count;
+    s.mean = stats.mean;
+    s.p50 = stats.p50;
+    s.p95 = stats.p95;
+    s.min = stats.min;
+    s.max = stats.max;
+    coarse_.append(s);
   }
 }
 
 std::size_t BandwidthLogStore::coarsen_older_than(util::SimTime now, util::SimTime max_fine_age,
                                                   util::SimTime window) {
+  // Sealing from accumulators is only valid when they were built for this
+  // window and windows never straddle the day-segment boundary.
+  const bool streaming = (window == window_) && (util::kDay % window_ == 0);
   const TimeCoarsener coarsener(window);
   std::size_t retired = 0;
   for (auto it = segments_.begin(); it != segments_.end();) {
@@ -19,8 +70,14 @@ std::size_t BandwidthLogStore::coarsen_older_than(util::SimTime now, util::SimTi
       ++it;
       continue;
     }
-    const CoarseBandwidthLog summarized = coarsener.coarsen(it->second);
-    for (const WindowSummary& s : summarized.summaries()) coarse_.append(s);
+    const auto accum_it = accums_.find(it->first);
+    if (streaming && accum_it != accums_.end()) {
+      seal_day(it->first, accum_it->second);
+    } else {
+      const CoarseBandwidthLog summarized = coarsener.coarsen(it->second);
+      for (const WindowSummary& s : summarized.summaries()) coarse_.append(s);
+    }
+    if (accum_it != accums_.end()) accums_.erase(accum_it);
     retired += it->second.record_count();
     it = segments_.erase(it);
   }
@@ -31,8 +88,13 @@ BandwidthLog BandwidthLogStore::fine_range(util::SimTime begin, util::SimTime en
   BandwidthLog out;
   for (const auto& [day, segment] : segments_) {
     if (day >= end || day + util::kDay <= begin) continue;
-    for (const BandwidthRecord& r : segment.records()) {
-      if (r.timestamp >= begin && r.timestamp < end) out.append(r);
+    const auto timestamps = segment.timestamps();
+    const auto pairs = segment.pair_ids();
+    const auto bw = segment.bandwidths();
+    for (std::size_t i = 0; i < segment.record_count(); ++i) {
+      if (timestamps[i] >= begin && timestamps[i] < end) {
+        out.append(timestamps[i], pairs[i], bw[i]);
+      }
     }
   }
   out.sort();
@@ -44,6 +106,9 @@ LogStoreStats BandwidthLogStore::stats() const noexcept {
   for (const auto& [_, segment] : segments_) {
     s.fine_records += segment.record_count();
     s.fine_bytes += segment.approximate_bytes();
+  }
+  for (const auto& [_, accums] : accums_) {
+    for (const auto& [_key, samples] : accums) s.open_window_samples += samples.size();
   }
   s.coarse_summaries = coarse_.summary_count();
   s.coarse_bytes = coarse_.approximate_bytes();

@@ -1,11 +1,16 @@
 // Telemetry log store: the bandwidth-log shard of the CLDS. Fine records
-// are held in daily segments; a background coarsening pass rewrites old
-// segments into window summaries ("coarsenings in time", §6), keeping the
-// store's footprint bounded while recent data stays fully fine-grained.
+// are held in day-keyed columnar segments; ingest additionally folds every
+// record into an open per-(pair, window) accumulator for the store's
+// configured coarsening window, so the background retention pass
+// ("coarsenings in time", §6) seals already-built summaries instead of
+// re-scanning and re-keying fine segments. Sealed summaries are
+// byte-identical to what a batch TimeCoarsener pass over the same segment
+// would produce (same samples, same util::summarize, same emission order).
 #pragma once
 
 #include <cstddef>
 #include <map>
+#include <unordered_map>
 #include <vector>
 
 #include "telemetry/bandwidth_log.h"
@@ -19,17 +24,31 @@ struct LogStoreStats {
   std::size_t coarse_summaries = 0;
   std::size_t fine_bytes = 0;
   std::size_t coarse_bytes = 0;
+  /// Samples currently buffered in open window accumulators.
+  std::size_t open_window_samples = 0;
 
   std::size_t total_bytes() const noexcept { return fine_bytes + coarse_bytes; }
 };
 
 class BandwidthLogStore {
  public:
-  /// Appends records into day-keyed fine segments.
+  /// `streaming_window` is the coarsening window the ingest-time
+  /// accumulators are built for; retention passes requesting that window
+  /// seal summaries in O(open windows). Must divide a day (so windows
+  /// never straddle segment boundaries); other values fall back to batch
+  /// coarsening at retention time.
+  explicit BandwidthLogStore(util::SimTime streaming_window = util::kHour);
+
+  /// Appends one record into its day segment and open window accumulator.
+  void ingest(util::SimTime timestamp, util::PairId pair, double bw_gbps);
+
+  /// Appends all records of `log` (columnar copy, no string re-keying).
   void ingest(const BandwidthLog& log);
 
   /// Rewrites fine segments older than `max_fine_age` (relative to `now`)
   /// into summaries with `window`. Returns the number of records retired.
+  /// When `window` equals the streaming window, summaries are sealed from
+  /// the ingest-time accumulators; otherwise the segment is batch-coarsened.
   std::size_t coarsen_older_than(util::SimTime now, util::SimTime max_fine_age,
                                  util::SimTime window);
 
@@ -39,10 +58,29 @@ class BandwidthLogStore {
   /// All coarse summaries produced by retention passes so far.
   const CoarseBandwidthLog& coarse() const noexcept { return coarse_; }
 
+  util::SimTime streaming_window() const noexcept { return window_; }
+
   LogStoreStats stats() const noexcept;
 
  private:
-  std::map<util::SimTime, BandwidthLog> segments_;  ///< key: day start
+  /// Open accumulators of one day segment: (pair, window_start) -> samples
+  /// in ingest order (matching the segment's record order, so sealed
+  /// summaries are identical to a batch pass over the segment).
+  using DayAccumulators = std::unordered_map<std::uint64_t, std::vector<double>>;
+
+  static std::uint64_t accum_key(util::PairId pair, util::SimTime window_start,
+                                 util::SimTime window) noexcept {
+    return (static_cast<std::uint64_t>(pair) << 32) |
+           static_cast<std::uint32_t>(window_start / window);
+  }
+
+  /// Seals every accumulator of `day` into coarse_, in the batch emission
+  /// order (src name, dst name, window_start).
+  void seal_day(util::SimTime day, DayAccumulators& accums);
+
+  util::SimTime window_;
+  std::map<util::SimTime, BandwidthLog> segments_;    ///< key: day start
+  std::map<util::SimTime, DayAccumulators> accums_;   ///< key: day start
   CoarseBandwidthLog coarse_;
 };
 

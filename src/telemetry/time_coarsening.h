@@ -8,12 +8,15 @@
 //
 // TimeCoarsener implements the fixed-window variant; NestedTimeCoarsener
 // implements the multi-resolution variant (fine windows for recent data,
-// coarse windows for old data).
+// coarse windows for old data). Summaries carry interned PairIds, and the
+// coarse log keeps a per-pair index so pair queries are O(windows of that
+// pair) instead of a full scan.
 #pragma once
 
 #include <cstddef>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/coarsening.h"
@@ -26,34 +29,40 @@ namespace smn::telemetry {
 struct WindowSummary {
   util::SimTime window_start = 0;
   util::SimTime window_length = 0;
-  std::string src;
-  std::string dst;
+  util::PairId pair = util::kInvalidPairId;
   std::size_t sample_count = 0;
   double mean = 0.0;
   double p50 = 0.0;
   double p95 = 0.0;
   double min = 0.0;
   double max = 0.0;
+
+  /// Names resolved through the shared id space.
+  const std::string& src() const { return util::IdSpace::global().src_name(pair); }
+  const std::string& dst() const { return util::IdSpace::global().dst_name(pair); }
 };
 
 /// The coarse structure s: a bag of window summaries, queryable per pair.
 class CoarseBandwidthLog {
  public:
-  void append(WindowSummary summary) { summaries_.push_back(std::move(summary)); }
+  void append(WindowSummary summary);
 
   const std::vector<WindowSummary>& summaries() const noexcept { return summaries_; }
   std::size_t summary_count() const noexcept { return summaries_.size(); }
 
-  /// Summaries for one pair in window order.
+  /// Summaries for one pair in window order (index lookup, no full scan).
+  std::vector<WindowSummary> pair_summaries(util::PairId pair) const;
   std::vector<WindowSummary> pair_summaries(const std::string& src,
                                             const std::string& dst) const;
 
   /// Sample-weighted mean of a pair across all windows.
+  double pair_mean(util::PairId pair) const;
   double pair_mean(const std::string& src, const std::string& dst) const;
 
   /// Upper bound on a pair's p95 reconstructed from window summaries (max
   /// of window p95s — conservative, as any exact cross-window percentile is
   /// unrecoverable after coarsening).
+  double pair_p95_upper(util::PairId pair) const;
   double pair_p95_upper(const std::string& src, const std::string& dst) const;
 
   /// Reconstructs a per-epoch log by holding each window's mean flat across
@@ -66,7 +75,11 @@ class CoarseBandwidthLog {
   std::size_t approximate_bytes() const noexcept;
 
  private:
+  /// Rows of `pair` via the index; empty when the pair never appears.
+  std::vector<std::uint32_t> rows_of(util::PairId pair) const;
+
   std::vector<WindowSummary> summaries_;
+  std::unordered_map<util::PairId, std::vector<std::uint32_t>> by_pair_;  ///< row index
 };
 
 /// Fixed-window time coarsener.

@@ -1,7 +1,7 @@
 #include "telemetry/topology_log_coarsening.h"
 
-#include <map>
 #include <stdexcept>
+#include <unordered_map>
 
 namespace smn::telemetry {
 
@@ -10,37 +10,66 @@ TopologyLogCoarsener::TopologyLogCoarsener(const topology::WanTopology& wan,
   if (!partition.valid_for(wan.graph())) {
     throw std::invalid_argument("TopologyLogCoarsener: partition does not cover the WAN");
   }
+  util::IdSpace& ids = util::IdSpace::global();
+  // Intern group names once; the per-datacenter map is then DcId → DcId.
+  std::vector<util::DcId> group_ids;
+  group_ids.reserve(partition.group_names.size());
+  for (const std::string& name : partition.group_names) group_ids.push_back(ids.dc(name));
   for (graph::NodeId n = 0; n < wan.datacenter_count(); ++n) {
-    dc_to_group_.emplace(wan.datacenter(n).name,
-                         partition.group_names[partition.group_of[n]]);
+    const util::DcId dc = ids.dc(wan.datacenter(n).name);
+    if (dc >= dc_to_group_.size()) dc_to_group_.resize(dc + 1, util::kInvalidDcId);
+    dc_to_group_[dc] = group_ids[partition.group_of[n]];
   }
 }
 
 std::string TopologyLogCoarsener::group_of(const std::string& dc_name) const {
-  const auto it = dc_to_group_.find(dc_name);
-  return it == dc_to_group_.end() ? std::string{} : it->second;
+  const util::IdSpace& ids = util::IdSpace::global();
+  const auto dc = ids.find_dc(dc_name);
+  if (!dc) return {};
+  const util::DcId group = group_of(*dc);
+  return group == util::kInvalidDcId ? std::string{} : ids.dc_name(group);
 }
 
 BandwidthLog TopologyLogCoarsener::coarsen(const BandwidthLog& fine) const {
   // Aggregate per (epoch, group pair). Unknown datacenters are dropped —
-  // the coarse view cannot represent them.
-  std::map<std::tuple<util::SimTime, std::string, std::string>, double> sums;
-  for (const BandwidthRecord& r : fine.records()) {
-    const auto src_it = dc_to_group_.find(r.src);
-    const auto dst_it = dc_to_group_.find(r.dst);
-    if (src_it == dc_to_group_.end() || dst_it == dc_to_group_.end()) continue;
-    if (src_it->second == dst_it->second) continue;  // intra-supernode traffic vanishes
-    sums[{r.timestamp, src_it->second, dst_it->second}] += r.bw_gbps;
+  // the coarse view cannot represent them. The fine pair → group pair map
+  // is cached per distinct fine pair, so the per-record work is one hash
+  // probe on a u32 key.
+  util::IdSpace& ids = util::IdSpace::global();
+  std::unordered_map<util::PairId, util::PairId> group_pair_of;  // kInvalidPairId == dropped
+  struct Key {
+    util::SimTime ts;
+    util::PairId pair;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      return static_cast<std::size_t>(
+          (static_cast<std::uint64_t>(k.ts) * 0x9E3779B97F4A7C15ull) ^ k.pair);
+    }
+  };
+  std::unordered_map<Key, double, KeyHash> sums;
+  const auto timestamps = fine.timestamps();
+  const auto pairs = fine.pair_ids();
+  const auto bw = fine.bandwidths();
+  for (std::size_t i = 0; i < fine.record_count(); ++i) {
+    auto it = group_pair_of.find(pairs[i]);
+    if (it == group_pair_of.end()) {
+      const util::DcId src_group = group_of(ids.pair_src(pairs[i]));
+      const util::DcId dst_group = group_of(ids.pair_dst(pairs[i]));
+      util::PairId mapped = util::kInvalidPairId;
+      if (src_group != util::kInvalidDcId && dst_group != util::kInvalidDcId &&
+          src_group != dst_group) {  // intra-supernode traffic vanishes
+        mapped = ids.pair(src_group, dst_group);
+      }
+      it = group_pair_of.emplace(pairs[i], mapped).first;
+    }
+    if (it->second == util::kInvalidPairId) continue;
+    sums[Key{timestamps[i], it->second}] += bw[i];
   }
   BandwidthLog coarse;
-  for (const auto& [key, bw] : sums) {
-    BandwidthRecord record;
-    record.timestamp = std::get<0>(key);
-    record.src = std::get<1>(key);
-    record.dst = std::get<2>(key);
-    record.bw_gbps = bw;
-    coarse.append(std::move(record));
-  }
+  coarse.reserve(sums.size());
+  for (const auto& [key, total] : sums) coarse.append(key.ts, key.pair, total);
   coarse.sort();
   return coarse;
 }

@@ -5,12 +5,13 @@
 #pragma once
 
 #include <string>
-#include <unordered_map>
+#include <vector>
 
 #include "core/coarsening.h"
 #include "graph/contraction.h"
 #include "telemetry/bandwidth_log.h"
 #include "topology/wan.h"
+#include "util/interner.h"
 
 namespace smn::telemetry {
 
@@ -18,6 +19,11 @@ namespace smn::telemetry {
 /// same supernode vanish (they become internal traffic the coarse
 /// optimization cannot see — part of "what's lost" in Table 2); demands
 /// across supernodes sum per epoch.
+///
+/// The datacenter → supernode map is a flat vector indexed by interned
+/// DcId (both datacenter and group names live in the shared id space), so
+/// the per-record hot path is two array loads instead of two string-keyed
+/// hash probes.
 class TopologyLogCoarsener final : public core::Coarsener<BandwidthLog, BandwidthLog> {
  public:
   /// `partition` must cover `wan`'s datacenters; names resolve through
@@ -31,11 +37,16 @@ class TopologyLogCoarsener final : public core::Coarsener<BandwidthLog, Bandwidt
     return coarse.record_count();
   }
 
+  /// Supernode id for datacenter `dc`; kInvalidDcId when unknown.
+  util::DcId group_of(util::DcId dc) const noexcept {
+    return dc < dc_to_group_.size() ? dc_to_group_[dc] : util::kInvalidDcId;
+  }
+
   /// Supernode name for datacenter `dc_name`; empty when unknown.
   std::string group_of(const std::string& dc_name) const;
 
  private:
-  std::unordered_map<std::string, std::string> dc_to_group_;
+  std::vector<util::DcId> dc_to_group_;  ///< indexed by DcId
 };
 
 }  // namespace smn::telemetry

@@ -158,17 +158,21 @@ double TrafficGenerator::demand_at(std::size_t index, util::SimTime t) const {
 }
 
 BandwidthLog TrafficGenerator::generate() const {
+  // Pair names are interned once; the epoch loop appends columnar rows with
+  // no string construction at all.
+  util::IdSpace& ids = util::IdSpace::global();
+  std::vector<util::PairId> pair_ids;
+  pair_ids.reserve(pairs_.size());
+  for (const TrafficPair& pair : pairs_) {
+    pair_ids.push_back(ids.pair(wan_.dc_id(pair.src), wan_.dc_id(pair.dst)));
+  }
   BandwidthLog log;
   const std::size_t epochs = epoch_count();
+  log.reserve(epochs * pairs_.size());
   for (std::size_t e = 0; e < epochs; ++e) {
     const util::SimTime t = config_.start + static_cast<util::SimTime>(e) * config_.epoch;
     for (std::size_t p = 0; p < pairs_.size(); ++p) {
-      BandwidthRecord record;
-      record.timestamp = t;
-      record.src = wan_.datacenter(pairs_[p].src).name;
-      record.dst = wan_.datacenter(pairs_[p].dst).name;
-      record.bw_gbps = demand_at(p, t);
-      log.append(std::move(record));
+      log.append(t, pair_ids[p], demand_at(p, t));
     }
   }
   return log;

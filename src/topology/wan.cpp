@@ -8,6 +8,10 @@ namespace smn::topology {
 
 graph::NodeId WanTopology::add_datacenter(Datacenter dc) {
   const graph::NodeId id = graph_.add_node(dc.name);
+  const util::DcId interned = util::IdSpace::global().dc(dc.name);
+  dc_ids_.push_back(interned);
+  if (interned >= node_of_dc_.size()) node_of_dc_.resize(interned + 1, graph::kInvalidNode);
+  node_of_dc_[interned] = id;
   dcs_.push_back(std::move(dc));
   return id;
 }

@@ -11,6 +11,7 @@
 
 #include "graph/contraction.h"
 #include "graph/digraph.h"
+#include "util/interner.h"
 
 namespace smn::topology {
 
@@ -63,6 +64,16 @@ class WanTopology {
     return graph_.find_node(name);
   }
 
+  /// Interned id (shared util::IdSpace) of datacenter `id`'s name.
+  util::DcId dc_id(graph::NodeId id) const { return dc_ids_.at(id); }
+
+  /// Node carrying interned id `dc`, if this WAN has it. Flat-vector lookup
+  /// keyed by DcId — the id-native fast path for telemetry consumers.
+  std::optional<graph::NodeId> node_of(util::DcId dc) const {
+    if (dc >= node_of_dc_.size() || node_of_dc_[dc] == graph::kInvalidNode) return std::nullopt;
+    return node_of_dc_[dc];
+  }
+
   /// Logical link index owning directed edge `e`.
   std::size_t link_of_edge(graph::EdgeId e) const { return link_of_edge_.at(e); }
 
@@ -85,6 +96,8 @@ class WanTopology {
  private:
   graph::Digraph graph_;
   std::vector<Datacenter> dcs_;
+  std::vector<util::DcId> dc_ids_;       ///< node id -> interned DcId
+  std::vector<graph::NodeId> node_of_dc_;  ///< interned DcId -> node id
   std::vector<WanLink> links_;
   std::vector<std::size_t> link_of_edge_;
 };

@@ -1,0 +1,103 @@
+#include "util/interner.h"
+
+#include <mutex>
+#include <stdexcept>
+
+namespace smn::util {
+
+DcId Interner::intern(std::string_view name) {
+  {
+    std::shared_lock lock(mutex_);
+    const auto it = index_.find(name);
+    if (it != index_.end()) return it->second;
+  }
+  std::unique_lock lock(mutex_);
+  const auto it = index_.find(name);  // re-check: lost the race to another writer
+  if (it != index_.end()) return it->second;
+  const auto id = static_cast<DcId>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(std::string_view(names_.back()), id);
+  return id;
+}
+
+std::optional<DcId> Interner::find(std::string_view name) const {
+  std::shared_lock lock(mutex_);
+  const auto it = index_.find(name);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& Interner::name(DcId id) const {
+  std::shared_lock lock(mutex_);
+  if (id >= names_.size()) throw std::out_of_range("Interner::name: unknown id");
+  return names_[id];
+}
+
+std::size_t Interner::size() const {
+  std::shared_lock lock(mutex_);
+  return names_.size();
+}
+
+PairId PairInterner::intern(DcId src, DcId dst) {
+  const std::uint64_t key = pack(src, dst);
+  {
+    std::shared_lock lock(mutex_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) return it->second;
+  }
+  std::unique_lock lock(mutex_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  const auto id = static_cast<PairId>(packed_.size());
+  packed_.push_back(key);
+  index_.emplace(key, id);
+  return id;
+}
+
+std::optional<PairId> PairInterner::find(DcId src, DcId dst) const {
+  std::shared_lock lock(mutex_);
+  const auto it = index_.find(pack(src, dst));
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+DcId PairInterner::src(PairId id) const {
+  std::shared_lock lock(mutex_);
+  if (id >= packed_.size()) throw std::out_of_range("PairInterner::src: unknown id");
+  return static_cast<DcId>(packed_[id] >> 32);
+}
+
+DcId PairInterner::dst(PairId id) const {
+  std::shared_lock lock(mutex_);
+  if (id >= packed_.size()) throw std::out_of_range("PairInterner::dst: unknown id");
+  return static_cast<DcId>(packed_[id] & 0xFFFFFFFFu);
+}
+
+std::size_t PairInterner::size() const {
+  std::shared_lock lock(mutex_);
+  return packed_.size();
+}
+
+IdSpace& IdSpace::global() noexcept {
+  static IdSpace instance;
+  return instance;
+}
+
+std::optional<PairId> IdSpace::find_pair_of_names(std::string_view src,
+                                                 std::string_view dst) const {
+  const auto s = dcs_.find(src);
+  if (!s) return std::nullopt;
+  const auto d = dcs_.find(dst);
+  if (!d) return std::nullopt;
+  return pairs_.find(*s, *d);
+}
+
+bool IdSpace::pair_name_less(PairId a, PairId b) const {
+  if (a == b) return false;
+  const std::string& sa = src_name(a);
+  const std::string& sb = src_name(b);
+  if (sa != sb) return sa < sb;
+  return dst_name(a) < dst_name(b);
+}
+
+}  // namespace smn::util

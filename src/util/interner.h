@@ -1,0 +1,113 @@
+// Interned identifiers for the telemetry spine. Datacenter names and
+// (src, dst) pairs appear in hundreds of millions of log rows; carrying
+// them as std::string keys makes every consumer re-hash and re-allocate.
+// The interner assigns each distinct name a stable u32 DcId (and each
+// distinct ordered pair a stable u32 PairId) once, so logs, coarseners,
+// demand extraction, and TE all speak the same compact id space — the
+// "one consistent identifier space across aggregation levels" idea from
+// Recursive SDN, applied to the fine and supernode-coarse layers alike.
+//
+// Ids are append-only and never recycled: a DcId handed out stays valid
+// for the process lifetime, and `name()` returns a reference that is never
+// invalidated (names live in a deque). All operations are thread-safe;
+// lookups take a shared lock, first-time interning an exclusive one.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace smn::util {
+
+/// Handle of an interned datacenter (or supernode-group) name.
+using DcId = std::uint32_t;
+/// Handle of an interned ordered (src, dst) datacenter pair.
+using PairId = std::uint32_t;
+
+inline constexpr DcId kInvalidDcId = 0xFFFFFFFFu;
+inline constexpr PairId kInvalidPairId = 0xFFFFFFFFu;
+
+/// Append-only, thread-safe string -> DcId table.
+class Interner {
+ public:
+  /// Id of `name`, interning it on first sight.
+  DcId intern(std::string_view name);
+
+  /// Id of `name` if already interned.
+  std::optional<DcId> find(std::string_view name) const;
+
+  /// Name of `id`. The reference stays valid for the interner's lifetime.
+  /// Throws std::out_of_range on an id this interner never produced.
+  const std::string& name(DcId id) const;
+
+  std::size_t size() const;
+
+ private:
+  mutable std::shared_mutex mutex_;
+  std::deque<std::string> names_;                      ///< stable addresses
+  std::unordered_map<std::string_view, DcId> index_;   ///< views into names_
+};
+
+/// Append-only, thread-safe (DcId, DcId) -> PairId table with O(1) decode.
+class PairInterner {
+ public:
+  PairId intern(DcId src, DcId dst);
+  std::optional<PairId> find(DcId src, DcId dst) const;
+
+  /// Decode; throws std::out_of_range on an unknown pair id.
+  DcId src(PairId id) const;
+  DcId dst(PairId id) const;
+
+  std::size_t size() const;
+
+ private:
+  static std::uint64_t pack(DcId src, DcId dst) noexcept {
+    return (static_cast<std::uint64_t>(src) << 32) | dst;
+  }
+
+  mutable std::shared_mutex mutex_;
+  std::vector<std::uint64_t> packed_;                  ///< [PairId] -> packed key
+  std::unordered_map<std::uint64_t, PairId> index_;
+};
+
+/// The shared id space: one Interner for datacenter/group names plus one
+/// PairInterner over those ids. Topology, telemetry, and TE all resolve
+/// through the process-wide `global()` instance so a PairId minted at
+/// ingest is directly meaningful to every downstream consumer.
+class IdSpace {
+ public:
+  static IdSpace& global() noexcept;
+
+  DcId dc(std::string_view name) { return dcs_.intern(name); }
+  std::optional<DcId> find_dc(std::string_view name) const { return dcs_.find(name); }
+  const std::string& dc_name(DcId id) const { return dcs_.name(id); }
+  std::size_t dc_count() const { return dcs_.size(); }
+
+  PairId pair(DcId src, DcId dst) { return pairs_.intern(src, dst); }
+  std::optional<PairId> find_pair(DcId src, DcId dst) const { return pairs_.find(src, dst); }
+  PairId pair_of_names(std::string_view src, std::string_view dst) {
+    return pair(dc(src), dc(dst));
+  }
+  std::optional<PairId> find_pair_of_names(std::string_view src, std::string_view dst) const;
+  DcId pair_src(PairId id) const { return pairs_.src(id); }
+  DcId pair_dst(PairId id) const { return pairs_.dst(id); }
+  const std::string& src_name(PairId id) const { return dcs_.name(pairs_.src(id)); }
+  const std::string& dst_name(PairId id) const { return dcs_.name(pairs_.dst(id)); }
+  std::size_t pair_count() const { return pairs_.size(); }
+
+  /// Name order on pairs: (src name, dst name) lexicographic. This is the
+  /// ordering every string-keyed consumer used to get from std::map, so
+  /// id-based paths sort with it to keep output byte-identical.
+  bool pair_name_less(PairId a, PairId b) const;
+
+ private:
+  Interner dcs_;
+  PairInterner pairs_;
+};
+
+}  // namespace smn::util

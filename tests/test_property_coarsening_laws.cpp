@@ -152,9 +152,10 @@ TEST_P(WanSweep, TimeCoarseningPeakErrorMonotoneInWindow) {
   const telemetry::BandwidthLog fine =
       telemetry::TrafficGenerator(fine_wan, traffic).generate();
 
-  const auto pair = fine.records().front();
+  const auto fine_records = fine.records();
+  const auto pair = fine_records.front();
   double truth_peak = 0.0;
-  for (const auto& r : fine.records()) {
+  for (const auto& r : fine_records) {
     if (r.src == pair.src && r.dst == pair.dst) truth_peak = std::max(truth_peak, r.bw_gbps);
   }
   double previous_reconstructed_peak = truth_peak;
@@ -162,7 +163,8 @@ TEST_P(WanSweep, TimeCoarseningPeakErrorMonotoneInWindow) {
     const telemetry::BandwidthLog reconstructed =
         telemetry::TimeCoarsener(window).coarsen(fine).reconstruct(util::kTelemetryEpoch);
     double peak = 0.0;
-    for (const auto& r : reconstructed.records()) {
+    const auto reconstructed_records = reconstructed.records();
+    for (const auto& r : reconstructed_records) {
       if (r.src == pair.src && r.dst == pair.dst) peak = std::max(peak, r.bw_gbps);
     }
     EXPECT_LE(peak, previous_reconstructed_peak + 1e-9) << "window " << window;

@@ -246,11 +246,12 @@ TEST_P(WindowSweep, ReductionGrowsWithWindow) {
   const double expected = static_cast<double>(GetParam()) / util::kTelemetryEpoch;
   EXPECT_NEAR(coarsener.reduction_factor(fine, coarse), expected, expected * 0.2);
   // Volume-weighted mean is preserved exactly per pair.
-  EXPECT_NEAR(coarse.pair_mean(fine.records()[0].src, fine.records()[0].dst),
+  const std::vector<BandwidthRecord> fine_records = fine.records();
+  EXPECT_NEAR(coarse.pair_mean(fine_records[0].src, fine_records[0].dst),
               [&] {
                 util::RunningStats s;
-                for (const BandwidthRecord& r : fine.records()) {
-                  if (r.src == fine.records()[0].src && r.dst == fine.records()[0].dst) {
+                for (const BandwidthRecord& r : fine_records) {
+                  if (r.src == fine_records[0].src && r.dst == fine_records[0].dst) {
                     s.add(r.bw_gbps);
                   }
                 }

@@ -70,10 +70,12 @@ TEST(BandwidthLog, ListingRoundTrip) {
   const BandwidthLog parsed = BandwidthLog::from_listing_format(log.to_listing_format(), &skipped);
   EXPECT_EQ(skipped, 0u);
   ASSERT_EQ(parsed.record_count(), log.record_count());
+  const auto parsed_records = parsed.records();
+  const auto original_records = log.records();
   for (std::size_t i = 0; i < parsed.record_count(); ++i) {
-    EXPECT_EQ(parsed.records()[i].timestamp, log.records()[i].timestamp);
-    EXPECT_EQ(parsed.records()[i].src, log.records()[i].src);
-    EXPECT_NEAR(parsed.records()[i].bw_gbps, log.records()[i].bw_gbps, 0.5);
+    EXPECT_EQ(parsed_records[i].timestamp, original_records[i].timestamp);
+    EXPECT_EQ(parsed_records[i].src, original_records[i].src);
+    EXPECT_NEAR(parsed_records[i].bw_gbps, original_records[i].bw_gbps, 0.5);
   }
 }
 

@@ -1,0 +1,274 @@
+// Property tests for the interned-id columnar telemetry spine: Listing-1
+// round-trip losslessness, per-class parser rejection counters, coarse-log
+// index consistency, and bit-identical streaming-vs-batch coarsening on the
+// paper's ~308-datacenter planetary WAN.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "telemetry/bandwidth_log.h"
+#include "telemetry/log_store.h"
+#include "telemetry/time_coarsening.h"
+#include "telemetry/traffic_generator.h"
+#include "topology/wan_generator.h"
+#include "util/rng.h"
+
+namespace smn::telemetry {
+namespace {
+
+// --- Listing-1 round-trip ---
+
+TEST(ListingRoundTrip, IntegerValuedLogsAreLossless) {
+  // Minute-aligned timestamps and integer bandwidths survive the Listing-1
+  // text format exactly (it prints whole Gbps at minute resolution).
+  BandwidthLog log;
+  util::IdSpace& ids = util::IdSpace::global();
+  util::Rng rng(17);
+  util::SimTime t = 0;
+  for (int i = 0; i < 500; ++i) {
+    const auto src = "rt-dc" + std::to_string(rng.uniform_int(0, 19));
+    const auto dst = "rt-dc" + std::to_string(rng.uniform_int(20, 39));
+    log.append(t, ids.pair_of_names(src, dst), static_cast<double>(rng.uniform_int(0, 5000)));
+    if (rng.bernoulli(0.5)) t += util::kTelemetryEpoch;
+  }
+  ListingParseStats stats;
+  const BandwidthLog parsed = BandwidthLog::from_listing_format(log.to_listing_format(), &stats);
+  EXPECT_EQ(stats.skipped(), 0u);
+  ASSERT_EQ(parsed.record_count(), log.record_count());
+  for (std::size_t i = 0; i < log.record_count(); ++i) {
+    EXPECT_EQ(parsed.timestamps()[i], log.timestamps()[i]);
+    EXPECT_EQ(parsed.pair_ids()[i], log.pair_ids()[i]);  // same shared id space
+    EXPECT_EQ(parsed.bandwidths()[i], log.bandwidths()[i]);
+  }
+}
+
+TEST(ListingRoundTrip, ParsedLogsAreAFixedPoint) {
+  // One serialization quantizes (whole Gbps, whole minutes); after that,
+  // serialize -> parse is the identity.
+  const topology::WanTopology wan = topology::generate_test_wan(3);
+  TrafficConfig config;
+  config.duration = 2 * util::kHour;
+  config.active_pairs = 12;
+  config.seed = 5;
+  const BandwidthLog raw = TrafficGenerator(wan, config).generate();
+  const BandwidthLog once = BandwidthLog::from_listing_format(raw.to_listing_format());
+  const BandwidthLog twice = BandwidthLog::from_listing_format(once.to_listing_format());
+  ASSERT_EQ(twice.record_count(), once.record_count());
+  for (std::size_t i = 0; i < once.record_count(); ++i) {
+    EXPECT_EQ(twice.timestamps()[i], once.timestamps()[i]);
+    EXPECT_EQ(twice.pair_ids()[i], once.pair_ids()[i]);
+    EXPECT_EQ(twice.bandwidths()[i], once.bandwidths()[i]);
+  }
+}
+
+// --- Parser rejection classes ---
+
+std::size_t total_classified(const ListingParseStats& s) {
+  return s.parsed + s.skipped();
+}
+
+TEST(ListingParser, CountsBadFieldCount) {
+  ListingParseStats stats;
+  const auto log = BandwidthLog::from_listing_format(
+      "2025-06-01T00:00, us-e1, eu-w1\n"
+      "2025-06-01T00:00, us-e1, eu-w1, 10, extra\n"
+      "2025-06-01T00:00, us-e1, eu-w1, 10\n",
+      &stats);
+  EXPECT_EQ(log.record_count(), 1u);
+  EXPECT_EQ(stats.parsed, 1u);
+  EXPECT_EQ(stats.bad_field_count, 2u);
+  EXPECT_EQ(stats.skipped(), 2u);
+  EXPECT_EQ(total_classified(stats), 3u);
+}
+
+TEST(ListingParser, CountsBadTimestamp) {
+  ListingParseStats stats;
+  const auto log = BandwidthLog::from_listing_format(
+      "not-a-time, us-e1, eu-w1, 10\n"
+      "2025-13-01T00:00, us-e1, eu-w1, 10\n",
+      &stats);
+  EXPECT_EQ(log.record_count(), 0u);
+  EXPECT_EQ(stats.bad_timestamp, 2u);
+  EXPECT_EQ(stats.skipped(), 2u);
+}
+
+TEST(ListingParser, CountsBadValue) {
+  ListingParseStats stats;
+  BandwidthLog::from_listing_format("2025-06-01T00:00, us-e1, eu-w1, fast\n", &stats);
+  EXPECT_EQ(stats.bad_value, 1u);
+  EXPECT_EQ(stats.skipped(), 1u);
+}
+
+TEST(ListingParser, RejectsNaNAndInfiniteExplicitly) {
+  // The seed parser's `bw < 0` check silently let NaN through (NaN < 0 is
+  // false); the spine parser classifies non-finite values outright.
+  ListingParseStats stats;
+  const auto log = BandwidthLog::from_listing_format(
+      "2025-06-01T00:00, us-e1, eu-w1, nan\n"
+      "2025-06-01T00:00, us-e1, eu-w1, inf\n"
+      "2025-06-01T00:00, us-e1, eu-w1, -inf\n",
+      &stats);
+  EXPECT_EQ(log.record_count(), 0u);
+  EXPECT_EQ(stats.non_finite, 3u);
+  EXPECT_EQ(stats.skipped(), 3u);
+  for (const double v : log.bandwidths()) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(ListingParser, CountsNegative) {
+  ListingParseStats stats;
+  BandwidthLog::from_listing_format("2025-06-01T00:00, us-e1, eu-w1, -12\n", &stats);
+  EXPECT_EQ(stats.negative, 1u);
+  EXPECT_EQ(stats.skipped(), 1u);
+}
+
+TEST(ListingParser, CountsEmptyNames) {
+  ListingParseStats stats;
+  const auto log = BandwidthLog::from_listing_format(
+      "2025-06-01T00:00, , eu-w1, 10\n"
+      "2025-06-01T00:00, us-e1, , 10\n",
+      &stats);
+  EXPECT_EQ(log.record_count(), 0u);
+  EXPECT_EQ(stats.empty_name, 2u);
+  EXPECT_EQ(stats.skipped(), 2u);
+}
+
+TEST(ListingParser, CountsOutOfOrderTimestamps) {
+  ListingParseStats stats;
+  const auto log = BandwidthLog::from_listing_format(
+      "2025-06-01T00:10, us-e1, eu-w1, 10\n"
+      "2025-06-01T00:05, us-e1, eu-w1, 11\n"  // runs backwards: rejected
+      "2025-06-01T00:10, us-e1, eu-w1, 12\n"  // equal to last accepted: kept
+      "2025-06-01T00:15, us-e1, eu-w1, 13\n",
+      &stats);
+  EXPECT_EQ(log.record_count(), 3u);
+  EXPECT_EQ(stats.parsed, 3u);
+  EXPECT_EQ(stats.out_of_order, 1u);
+  EXPECT_EQ(stats.skipped(), 1u);
+}
+
+TEST(ListingParser, LegacySkippedCounterMatchesClassSum) {
+  const std::string text =
+      "garbage\n"
+      "2025-06-01T00:00, us-e1, eu-w1, nan\n"
+      "2025-06-01T00:00, us-e1, eu-w1, -3\n"
+      "2025-06-01T00:05, us-e1, eu-w1, 10\n"
+      "2025-06-01T00:00, us-e1, eu-w1, 10\n";
+  ListingParseStats stats;
+  BandwidthLog::from_listing_format(text, &stats);
+  std::size_t skipped = 0;
+  BandwidthLog::from_listing_format(text, &skipped);
+  EXPECT_EQ(skipped, stats.skipped());
+  EXPECT_EQ(skipped, 4u);
+}
+
+// --- Coarse-log pair index ---
+
+TEST(CoarseLogIndex, IndexedQueriesMatchLinearScan) {
+  const topology::WanTopology wan = topology::generate_test_wan(11);
+  TrafficConfig config;
+  config.duration = util::kDay;
+  config.active_pairs = 20;
+  config.seed = 23;
+  const BandwidthLog fine = TrafficGenerator(wan, config).generate();
+  const CoarseBandwidthLog coarse = TimeCoarsener(util::kHour).coarsen(fine);
+  ASSERT_GT(coarse.summary_count(), 0u);
+  for (const util::PairId pair : fine.pair_ids_first_seen()) {
+    // Ground truth by linear scan over all summaries.
+    std::vector<WindowSummary> scan;
+    double weighted = 0.0, p95 = 0.0;
+    std::size_t samples = 0;
+    for (const WindowSummary& s : coarse.summaries()) {
+      if (s.pair != pair) continue;
+      scan.push_back(s);
+      weighted += s.mean * static_cast<double>(s.sample_count);
+      samples += s.sample_count;
+      p95 = std::max(p95, s.p95);
+    }
+    const auto indexed = coarse.pair_summaries(pair);
+    ASSERT_EQ(indexed.size(), scan.size());
+    for (std::size_t i = 0; i < scan.size(); ++i) {
+      EXPECT_EQ(indexed[i].window_start, scan[i].window_start);
+      EXPECT_EQ(indexed[i].mean, scan[i].mean);
+    }
+    EXPECT_DOUBLE_EQ(coarse.pair_mean(pair),
+                     samples ? weighted / static_cast<double>(samples) : 0.0);
+    EXPECT_DOUBLE_EQ(coarse.pair_p95_upper(pair), p95);
+  }
+  EXPECT_TRUE(coarse.pair_summaries("spine-no-such-dc", "spine-no-such-dc2").empty());
+}
+
+// --- Streaming vs batch coarsening ---
+
+TEST(StreamingCoarsening, BitIdenticalToBatchOnPlanetaryWan) {
+  // The acceptance property of the incremental store: sealing the ingest
+  // -time accumulators yields byte-identical summaries (order and all
+  // statistics, compared with exact double equality) to batch-coarsening
+  // the same fine segments. 308-DC WAN, two days of 5-minute epochs.
+  const topology::WanTopology wan = topology::generate_planetary_wan({});
+  ASSERT_GE(wan.datacenter_count(), 300u);
+  TrafficConfig config;
+  config.duration = 2 * util::kDay;
+  config.active_pairs = 400;
+  config.seed = 31;
+  const BandwidthLog fine = TrafficGenerator(wan, config).generate();
+
+  BandwidthLogStore streaming(util::kHour);  // seals from accumulators
+  streaming.ingest(fine);
+  BandwidthLogStore batch(util::kDay);  // window mismatch forces batch path
+  batch.ingest(fine);
+
+  const util::SimTime now = 10 * util::kDay;
+  const std::size_t retired_streaming = streaming.coarsen_older_than(now, util::kDay, util::kHour);
+  const std::size_t retired_batch = batch.coarsen_older_than(now, util::kDay, util::kHour);
+  EXPECT_EQ(retired_streaming, fine.record_count());
+  EXPECT_EQ(retired_batch, fine.record_count());
+  EXPECT_EQ(streaming.stats().open_window_samples, 0u);
+
+  const auto& a = streaming.coarse().summaries();
+  const auto& b = batch.coarse().summaries();
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_GT(a.size(), 0u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].pair, b[i].pair);
+    EXPECT_EQ(a[i].window_start, b[i].window_start);
+    EXPECT_EQ(a[i].window_length, b[i].window_length);
+    EXPECT_EQ(a[i].sample_count, b[i].sample_count);
+    // Exact equality, not near: same samples through the same summarize().
+    EXPECT_EQ(a[i].mean, b[i].mean);
+    EXPECT_EQ(a[i].p50, b[i].p50);
+    EXPECT_EQ(a[i].p95, b[i].p95);
+    EXPECT_EQ(a[i].min, b[i].min);
+    EXPECT_EQ(a[i].max, b[i].max);
+  }
+}
+
+TEST(StreamingCoarsening, SingleRecordIngestMatchesBulk) {
+  const topology::WanTopology wan = topology::generate_test_wan(19);
+  TrafficConfig config;
+  config.duration = util::kDay;
+  config.active_pairs = 10;
+  config.seed = 37;
+  const BandwidthLog fine = TrafficGenerator(wan, config).generate();
+
+  BandwidthLogStore bulk(util::kHour);
+  bulk.ingest(fine);
+  BandwidthLogStore one_by_one(util::kHour);
+  for (std::size_t i = 0; i < fine.record_count(); ++i) {
+    one_by_one.ingest(fine.timestamps()[i], fine.pair_ids()[i], fine.bandwidths()[i]);
+  }
+  bulk.coarsen_older_than(3 * util::kDay, 0, util::kHour);
+  one_by_one.coarsen_older_than(3 * util::kDay, 0, util::kHour);
+  const auto& a = bulk.coarse().summaries();
+  const auto& b = one_by_one.coarse().summaries();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].pair, b[i].pair);
+    EXPECT_EQ(a[i].window_start, b[i].window_start);
+    EXPECT_EQ(a[i].mean, b[i].mean);
+    EXPECT_EQ(a[i].p95, b[i].p95);
+  }
+}
+
+}  // namespace
+}  // namespace smn::telemetry

@@ -1,0 +1,95 @@
+#include "util/interner.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace smn::util {
+namespace {
+
+TEST(Interner, IdsAreStableAndDense) {
+  Interner interner;
+  const DcId a = interner.intern("us-e1");
+  const DcId b = interner.intern("eu-w1");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(interner.intern("us-e1"), a);  // idempotent
+  EXPECT_EQ(interner.intern("eu-w1"), b);
+  EXPECT_EQ(interner.size(), 2u);
+  EXPECT_EQ(interner.name(a), "us-e1");
+  EXPECT_EQ(interner.name(b), "eu-w1");
+}
+
+TEST(Interner, FindDoesNotIntern) {
+  Interner interner;
+  EXPECT_FALSE(interner.find("never-seen").has_value());
+  EXPECT_EQ(interner.size(), 0u);
+  const DcId id = interner.intern("ap-se1");
+  ASSERT_TRUE(interner.find("ap-se1").has_value());
+  EXPECT_EQ(*interner.find("ap-se1"), id);
+}
+
+TEST(Interner, NameReferencesSurviveGrowth) {
+  Interner interner;
+  const std::string& first = interner.name(interner.intern("dc0"));
+  for (int i = 1; i < 2000; ++i) interner.intern("dc" + std::to_string(i));
+  EXPECT_EQ(first, "dc0");  // deque storage: no reallocation of names
+}
+
+TEST(Interner, UnknownIdThrows) {
+  const Interner interner;
+  EXPECT_THROW(interner.name(0), std::out_of_range);
+}
+
+TEST(PairInterner, RoundTripsSrcDst) {
+  PairInterner pairs;
+  const PairId p = pairs.intern(3, 7);
+  EXPECT_EQ(pairs.intern(3, 7), p);
+  EXPECT_NE(pairs.intern(7, 3), p);  // ordered pairs are directional
+  EXPECT_EQ(pairs.src(p), 3u);
+  EXPECT_EQ(pairs.dst(p), 7u);
+  EXPECT_EQ(pairs.size(), 2u);
+  EXPECT_FALSE(pairs.find(9, 9).has_value());
+}
+
+TEST(IdSpace, PairOfNamesDecodesToNames) {
+  IdSpace& ids = IdSpace::global();
+  const PairId p = ids.pair_of_names("interner-test-src", "interner-test-dst");
+  EXPECT_EQ(ids.src_name(p), "interner-test-src");
+  EXPECT_EQ(ids.dst_name(p), "interner-test-dst");
+  ASSERT_TRUE(ids.find_pair_of_names("interner-test-src", "interner-test-dst").has_value());
+  EXPECT_EQ(*ids.find_pair_of_names("interner-test-src", "interner-test-dst"), p);
+  EXPECT_FALSE(ids.find_pair_of_names("interner-test-src", "interner-test-missing").has_value());
+}
+
+TEST(IdSpace, PairNameLessIsNameOrderNotIdOrder) {
+  IdSpace& ids = IdSpace::global();
+  // Intern in reverse name order so id order and name order disagree.
+  const PairId zz = ids.pair_of_names("zz-dc", "zz-dc2");
+  const PairId aa = ids.pair_of_names("aa-dc", "aa-dc2");
+  EXPECT_TRUE(ids.pair_name_less(aa, zz));
+  EXPECT_FALSE(ids.pair_name_less(zz, aa));
+  EXPECT_FALSE(ids.pair_name_less(aa, aa));
+}
+
+TEST(Interner, ConcurrentInterningIsConsistent) {
+  Interner interner;
+  constexpr int kThreads = 8;
+  constexpr int kNames = 200;
+  std::vector<std::vector<DcId>> seen(kThreads, std::vector<DcId>(kNames));
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&interner, &seen, t] {
+      for (int i = 0; i < kNames; ++i) {
+        seen[t][i] = interner.intern("shared-" + std::to_string(i));
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(interner.size(), static_cast<std::size_t>(kNames));
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(seen[t], seen[0]);  // same ids everywhere
+}
+
+}  // namespace
+}  // namespace smn::util
