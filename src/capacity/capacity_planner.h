@@ -58,6 +58,9 @@ struct CapacityPlan {
   std::size_t wasted_proposals = 0;
   double total_added_gbps = 0.0;
 
+  // Reporting API: link names for operator-facing plan output, built once
+  // per planning cycle — not a per-record path.
+  // smn-lint: allow(hot-path-strings)
   std::set<std::string> upgraded_names() const;
 };
 

@@ -6,6 +6,8 @@
 #include <set>
 #include <stdexcept>
 
+#include "util/contracts.h"
+
 namespace smn::graph {
 namespace {
 
@@ -58,6 +60,7 @@ void DijkstraWorkspace::heap_push(std::pair<double, NodeId> value) {
 }
 
 std::pair<double, NodeId> DijkstraWorkspace::heap_pop() {
+  SMN_DCHECK(!heap_.empty(), "heap_pop on an empty heap");
   const auto top = heap_.front();
   const auto last = heap_.back();
   heap_.pop_back();
@@ -82,6 +85,10 @@ std::pair<double, NodeId> DijkstraWorkspace::heap_pop() {
 }
 
 void DijkstraWorkspace::run(const Digraph& g, const Query& query) {
+  SMN_DCHECK(query.edge_length == nullptr || query.edge_length->size() == g.edge_count(),
+             "edge_length override must cover every edge");
+  SMN_DCHECK(query.edge_enabled == nullptr || query.edge_enabled->size() == g.edge_count(),
+             "edge_enabled mask must cover every edge");
   ensure_size(g.node_count());
   if (++generation_ == 0) {
     // Stamp wrap-around: invalidate everything once, then restart at 1.

@@ -7,6 +7,8 @@
 #include <unordered_map>
 #include <utility>
 
+#include "util/contracts.h"
+
 namespace smn::lp {
 namespace {
 
@@ -50,6 +52,7 @@ McfResult max_concurrent_flow(const graph::Digraph& g, const std::vector<Commodi
   double dual = 0.0;
   for (graph::EdgeId e = 0; e < g.edge_count(); ++e) {
     const double cap = g.edge(e).capacity;
+    SMN_DCHECK(cap >= 0.0, "negative edge capacity reached the MCF oracle");
     length[e] = cap > 0.0 ? delta / cap : kInf;
     if (cap > 0.0) dual += cap * length[e];
   }
@@ -268,8 +271,13 @@ McfResult max_concurrent_flow(const graph::Digraph& g, const std::vector<Commodi
   if (lambda == kInf) lambda = 0.0;
 
   result.lambda = lambda;
+  SMN_CHECK(lambda >= 0.0, "certified lambda must be non-negative");
   for (graph::EdgeId e = 0; e < g.edge_count(); ++e) {
     result.edge_flow[e] = raw_edge_flow[e] * scale;
+    // The rescale certifies feasibility; a violation here means the scale
+    // computation and the flow accumulation disagree on some edge.
+    SMN_DCHECK(result.edge_flow[e] <= g.edge(e).capacity * (1.0 + 1e-9),
+               "rescaled flow exceeds capacity");
   }
   for (std::size_t j = 0; j < commodities.size(); ++j) {
     result.routed[j] = raw_routed[j] * scale;

@@ -8,11 +8,15 @@
 
 #include "graph/shortest_path.h"
 #include "topology/supernode.h"
+#include "util/contracts.h"
 #include "util/thread_pool.h"
 
 namespace smn::te {
 namespace {
 
+// Wall-clock is used only for the solve-duration stats reported alongside
+// results; it never feeds into routing or allocations.
+// smn-lint: allow(nondeterminism)
 using Clock = std::chrono::steady_clock;
 
 double elapsed_ms(Clock::time_point start) {
@@ -88,6 +92,8 @@ std::vector<lp::Commodity> aggregate_commodities(
   }
   std::map<std::pair<graph::NodeId, graph::NodeId>, double> sums;
   for (const lp::Commodity& c : fine_commodities) {
+    SMN_DCHECK(c.src < partition.group_of.size() && c.dst < partition.group_of.size(),
+               "commodity endpoint outside the partitioned node range");
     const graph::NodeId gs = partition.group_of[c.src];
     const graph::NodeId gd = partition.group_of[c.dst];
     if (gs == gd) continue;
@@ -105,7 +111,11 @@ std::vector<lp::RoutedDemand> routing_from_mcf(const graph::Digraph& g,
                                                const lp::McfResult& solution,
                                                const std::vector<lp::Commodity>& commodities) {
   std::vector<double> routed_total(commodities.size(), 0.0);
-  for (const lp::PathFlow& pf : solution.paths) routed_total[pf.commodity] += pf.flow;
+  for (const lp::PathFlow& pf : solution.paths) {
+    SMN_DCHECK(pf.commodity < commodities.size(),
+               "path flow references a commodity outside the solve");
+    routed_total[pf.commodity] += pf.flow;
+  }
   std::vector<lp::RoutedDemand> routing;
   std::vector<bool> covered(commodities.size(), false);
   for (const lp::PathFlow& pf : solution.paths) {

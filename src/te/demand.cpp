@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "util/contracts.h"
 #include "util/stats.h"
 
 namespace smn::te {
@@ -63,6 +64,7 @@ DemandMatrix DemandMatrix::from_coarse_log(const telemetry::CoarseBandwidthLog& 
   };
   std::unordered_map<util::PairId, Accum> accums;
   for (const telemetry::WindowSummary& s : coarse.summaries()) {
+    SMN_DCHECK(s.pair != util::kInvalidPairId, "coarse summary with an invalid PairId");
     Accum& a = accums[s.pair];
     a.weighted_mean += s.mean * static_cast<double>(s.sample_count);
     a.samples += s.sample_count;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/contracts.h"
 #include "util/thread_pool.h"
 
 namespace smn::te {
@@ -26,6 +27,7 @@ FailureSweepReport single_link_failure_sweep(const topology::WanTopology& wan,
   report.impacts.resize(sweep.size());
   const auto solve_scenario = [&](std::size_t i) {
     const std::size_t li = sweep[i];
+    SMN_CHECK(li < wan.link_count(), "failure sweep names a link the WAN does not have");
     const topology::WanLink& link = wan.link(li);
     // Fail the link on a graph copy (capacity drives the MCF solver; the
     // solver already skips zero-capacity edges).

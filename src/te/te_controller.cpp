@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "graph/shortest_path.h"
+#include "util/contracts.h"
 
 namespace smn::te {
 
@@ -18,6 +19,8 @@ TeSolution TeController::solve_max_concurrent(const std::vector<lp::Commodity>& 
   solution.total_flow_gbps = mcf.total_flow;
   solution.allocation = mcf.routed;
   solution.sp_calls = mcf.sp_calls;
+  SMN_DCHECK(mcf.edge_flow.size() == wan_.graph().edge_count(),
+             "MCF result no longer matches the topology it was solved on");
   solution.edge_utilization.resize(wan_.graph().edge_count(), 0.0);
   for (graph::EdgeId e = 0; e < wan_.graph().edge_count(); ++e) {
     const double cap = wan_.graph().edge(e).capacity;

@@ -7,6 +7,7 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "util/contracts.h"
 #include "util/string_util.h"
 
 namespace smn::telemetry {
@@ -43,6 +44,8 @@ std::vector<BandwidthRecord> BandwidthLog::records() const {
 }
 
 void BandwidthLog::sort() {
+  SMN_DCHECK(pairs_.size() == timestamps_.size() && bw_.size() == timestamps_.size(),
+             "columnar SoA columns diverged");
   const auto rank = pair_name_ranks(pairs_);
   std::vector<std::uint32_t> order(record_count());
   std::iota(order.begin(), order.end(), 0u);

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/contracts.h"
+
 namespace smn::telemetry {
 
 Series extract_series(const BandwidthLog& log, const std::string& src, const std::string& dst,
@@ -72,7 +74,7 @@ std::string forecast_method_name(ForecastMethod method) {
     case ForecastMethod::kSeasonalGrowth:
       return "seasonal+growth";
   }
-  return "?";
+  SMN_UNREACHABLE("forecast_method_name: unhandled ForecastMethod");
 }
 
 namespace {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/contracts.h"
 #include "util/stats.h"
 
 namespace smn::telemetry {
@@ -14,6 +15,8 @@ BandwidthLogStore::BandwidthLogStore(util::SimTime streaming_window) : window_(s
 }
 
 void BandwidthLogStore::ingest(util::SimTime timestamp, util::PairId pair, double bw_gbps) {
+  SMN_DCHECK(pair != util::kInvalidPairId, "ingest with an invalid PairId");
+  SMN_DCHECK(timestamp >= 0, "negative timestamps break day-segment keying");
   const util::SimTime day = (timestamp / util::kDay) * util::kDay;
   segments_[day].append(timestamp, pair, bw_gbps);
   accums_[day][accum_key(pair, (timestamp / window_) * window_, window_)].push_back(bw_gbps);
@@ -29,6 +32,8 @@ void BandwidthLogStore::ingest(const BandwidthLog& log) {
 }
 
 void BandwidthLogStore::seal_day(util::SimTime day, DayAccumulators& accums) {
+  SMN_DCHECK(segments_.find(day) != segments_.end(),
+             "sealing a day with no fine segment");
   // Emit in the batch coarsener's order — (src name, dst name, window
   // start) — so sealed output is byte-identical to a batch pass.
   std::vector<std::uint64_t> keys;
@@ -59,6 +64,7 @@ void BandwidthLogStore::seal_day(util::SimTime day, DayAccumulators& accums) {
 
 std::size_t BandwidthLogStore::coarsen_older_than(util::SimTime now, util::SimTime max_fine_age,
                                                   util::SimTime window) {
+  SMN_CHECK(window > 0, "coarsening window must be positive");
   // Sealing from accumulators is only valid when they were built for this
   // window and windows never straddle the day-segment boundary.
   const bool streaming = (window == window_) && (util::kDay % window_ == 0);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/contracts.h"
 #include "util/stats.h"
 
 namespace smn::telemetry {
@@ -125,6 +126,8 @@ CoarseBandwidthLog TimeCoarsener::coarsen(const BandwidthLog& fine) const {
   const auto bw = fine.bandwidths();
   std::unordered_map<std::uint64_t, std::vector<double>> buckets;
   for (std::size_t i = 0; i < fine.record_count(); ++i) {
+    SMN_DCHECK(timestamps[i] / window_ <= 0xFFFFFFFF,
+               "window index overflows the packed u32 bucket key");
     const auto window_index = static_cast<std::uint32_t>(timestamps[i] / window_);
     const std::uint64_t key = (static_cast<std::uint64_t>(pairs[i]) << 32) | window_index;
     buckets[key].push_back(bw[i]);

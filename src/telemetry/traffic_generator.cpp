@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
 #include <numbers>
 #include <set>
 #include <stdexcept>
@@ -75,13 +74,23 @@ TrafficGenerator::TrafficGenerator(const topology::WanTopology& wan, TrafficConf
     // share of pairs stays within one continent.
     std::vector<std::vector<graph::NodeId>> by_continent;
     {
-      std::map<std::string, std::size_t> continent_index;
+      // First-seen continent order; a handful of continents makes the
+      // linear scan cheaper than any map (and keeps strings out of keys).
+      std::vector<const std::string*> continent_names;
       for (graph::NodeId node = 0; node < n; ++node) {
         const std::string& continent = wan_.datacenter(node).continent;
-        const auto [it, inserted] =
-            continent_index.emplace(continent, by_continent.size());
-        if (inserted) by_continent.emplace_back();
-        by_continent[it->second].push_back(node);
+        std::size_t slot = continent_names.size();
+        for (std::size_t c = 0; c < continent_names.size(); ++c) {
+          if (*continent_names[c] == continent) {
+            slot = c;
+            break;
+          }
+        }
+        if (slot == continent_names.size()) {
+          continent_names.push_back(&continent);
+          by_continent.emplace_back();
+        }
+        by_continent[slot].push_back(node);
       }
     }
     const auto flat_index = [n](graph::NodeId src, graph::NodeId dst) {

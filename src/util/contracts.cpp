@@ -1,0 +1,77 @@
+#include "util/contracts.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace smn::util {
+namespace {
+
+ContractMode mode_from_env() {
+  const char* env = std::getenv("SMN_CONTRACT_MODE");
+  if (env == nullptr) return ContractMode::kAbort;
+  const std::string_view value(env);
+  if (value == "throw") return ContractMode::kThrow;
+  if (value == "log") return ContractMode::kLog;
+  return ContractMode::kAbort;
+}
+
+std::atomic<ContractMode> g_mode{mode_from_env()};
+std::atomic<std::size_t> g_failures{0};
+
+std::string format_failure(const char* kind, const char* expr, const char* file, int line,
+                           std::string_view message) {
+  std::ostringstream out;
+  out << file << ":" << line << ": " << kind << " failed";
+  if (expr != nullptr) out << ": " << expr;
+  if (!message.empty()) out << " — " << message;
+  return std::move(out).str();
+}
+
+}  // namespace
+
+ContractMode contract_mode() noexcept { return g_mode.load(std::memory_order_relaxed); }
+
+void set_contract_mode(ContractMode mode) noexcept {
+  g_mode.store(mode, std::memory_order_relaxed);
+}
+
+std::size_t contract_failure_count() noexcept {
+  return g_failures.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void contract_failed(const char* kind, const char* expr, const char* file, int line,
+                     std::string_view message) {
+  g_failures.fetch_add(1, std::memory_order_relaxed);
+  const std::string what = format_failure(kind, expr, file, line, message);
+  switch (contract_mode()) {
+    case ContractMode::kThrow:
+      throw ContractViolation(what);
+    case ContractMode::kLog:
+      log_message(LogLevel::kError, what);
+      return;
+    case ContractMode::kAbort:
+      break;
+  }
+  std::fprintf(stderr, "%s\n", what.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+void unreachable_reached(const char* file, int line, std::string_view message) {
+  contract_failed("SMN_UNREACHABLE", nullptr, file, line, message);
+  // kLog mode returns from contract_failed; continuing past a branch the
+  // caller declared impossible would be UB, so escalate to abort.
+  std::fprintf(stderr, "%s:%d: SMN_UNREACHABLE continuing is undefined; aborting\n", file,
+               line);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace detail
+}  // namespace smn::util

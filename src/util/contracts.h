@@ -1,0 +1,102 @@
+// Runtime contract macros for the invariants smn_lint cannot see
+// statically: preconditions, postconditions, and unreachable branches in
+// the thread pool, interner, telemetry spine, and TE solver stack.
+//
+//   SMN_CHECK(cond [, msg])   — always compiled in; use for cheap checks on
+//                               API boundaries (argument validity, lifecycle
+//                               state). Cost is one predictable branch.
+//   SMN_DCHECK(cond [, msg])  — compiled in when NDEBUG is unset or
+//                               SMN_FORCE_DCHECKS is defined (the sanitizer
+//                               builds define it); use for checks that are
+//                               too hot for release (per-record, per-node).
+//   SMN_UNREACHABLE(msg)      — marks a branch the surrounding logic has
+//                               excluded; always compiled in and never
+//                               returns (in kLog mode it logs, then aborts,
+//                               because falling through would be UB).
+//
+// What a failed contract does is process-global and configurable:
+//   kAbort (default) — print to stderr and std::abort(); the right mode for
+//                      production and for sanitizer runs (the sanitizer
+//                      reports the abort with a full stack).
+//   kThrow           — throw util::ContractViolation; the mode tests use to
+//                      assert that a contract fires without dying.
+//   kLog             — log at error level and continue; a triage mode for
+//                      soak runs where one violation should not end the run.
+// The mode can also be seeded from the SMN_CONTRACT_MODE environment
+// variable ("abort", "throw", "log") before main() runs.
+//
+// The message argument is evaluated only on failure, so building it with
+// string concatenation is free on the hot path.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace smn::util {
+
+enum class ContractMode { kAbort, kThrow, kLog };
+
+/// Thrown by failed contracts in ContractMode::kThrow.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Process-global failure mode. Thread-safe; seeded from SMN_CONTRACT_MODE.
+ContractMode contract_mode() noexcept;
+void set_contract_mode(ContractMode mode) noexcept;
+
+/// RAII mode override for tests.
+class ScopedContractMode {
+ public:
+  explicit ScopedContractMode(ContractMode mode) : previous_(contract_mode()) {
+    set_contract_mode(mode);
+  }
+  ~ScopedContractMode() { set_contract_mode(previous_); }
+  ScopedContractMode(const ScopedContractMode&) = delete;
+  ScopedContractMode& operator=(const ScopedContractMode&) = delete;
+
+ private:
+  ContractMode previous_;
+};
+
+/// Number of contract failures observed so far (all modes). Lets kLog soak
+/// runs assert "no violations" at the end without dying mid-run.
+std::size_t contract_failure_count() noexcept;
+
+namespace detail {
+
+/// Reports a failed SMN_CHECK/SMN_DCHECK per the global mode. Returns only
+/// in kLog mode.
+void contract_failed(const char* kind, const char* expr, const char* file, int line,
+                     std::string_view message = {});
+
+/// Reports a reached SMN_UNREACHABLE. Never returns: kLog mode logs and
+/// then aborts, because the caller has no valid continuation.
+[[noreturn]] void unreachable_reached(const char* file, int line,
+                                      std::string_view message = {});
+
+}  // namespace detail
+}  // namespace smn::util
+
+#define SMN_CHECK(cond, ...)                                                     \
+  do {                                                                           \
+    if (!(cond)) [[unlikely]] {                                                  \
+      ::smn::util::detail::contract_failed("SMN_CHECK", #cond, __FILE__,         \
+                                           __LINE__ __VA_OPT__(, ) __VA_ARGS__); \
+    }                                                                            \
+  } while (false)
+
+#define SMN_UNREACHABLE(...) \
+  ::smn::util::detail::unreachable_reached(__FILE__, __LINE__ __VA_OPT__(, ) __VA_ARGS__)
+
+#if !defined(NDEBUG) || defined(SMN_FORCE_DCHECKS)
+#define SMN_DCHECKS_ENABLED 1
+#define SMN_DCHECK(cond, ...) SMN_CHECK(cond __VA_OPT__(, ) __VA_ARGS__)
+#else
+#define SMN_DCHECKS_ENABLED 0
+#define SMN_DCHECK(cond, ...) \
+  do {                        \
+  } while (false)
+#endif

@@ -3,6 +3,8 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "util/contracts.h"
+
 namespace smn::util {
 
 DcId Interner::intern(std::string_view name) {
@@ -14,9 +16,11 @@ DcId Interner::intern(std::string_view name) {
   std::unique_lock lock(mutex_);
   const auto it = index_.find(name);  // re-check: lost the race to another writer
   if (it != index_.end()) return it->second;
+  SMN_CHECK(names_.size() < kInvalidDcId, "DcId space exhausted");
   const auto id = static_cast<DcId>(names_.size());
   names_.emplace_back(name);
   index_.emplace(std::string_view(names_.back()), id);
+  SMN_DCHECK(index_.size() == names_.size(), "index and name table diverged");
   return id;
 }
 
@@ -48,9 +52,13 @@ PairId PairInterner::intern(DcId src, DcId dst) {
   std::unique_lock lock(mutex_);
   const auto it = index_.find(key);
   if (it != index_.end()) return it->second;
+  SMN_CHECK(packed_.size() < kInvalidPairId, "PairId space exhausted");
+  SMN_DCHECK(src != kInvalidDcId && dst != kInvalidDcId,
+             "interning a pair of invalid DcIds");
   const auto id = static_cast<PairId>(packed_.size());
   packed_.push_back(key);
   index_.emplace(key, id);
+  SMN_DCHECK(index_.size() == packed_.size(), "index and pair table diverged");
   return id;
 }
 

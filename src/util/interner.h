@@ -48,7 +48,7 @@ class Interner {
   std::size_t size() const;
 
  private:
-  mutable std::shared_mutex mutex_;
+  mutable std::shared_mutex mutex_;                    // guards: names_, index_
   std::deque<std::string> names_;                      ///< stable addresses
   std::unordered_map<std::string_view, DcId> index_;   ///< views into names_
 };
@@ -70,7 +70,7 @@ class PairInterner {
     return (static_cast<std::uint64_t>(src) << 32) | dst;
   }
 
-  mutable std::shared_mutex mutex_;
+  mutable std::shared_mutex mutex_;                    // guards: packed_, index_
   std::vector<std::uint64_t> packed_;                  ///< [PairId] -> packed key
   std::unordered_map<std::uint64_t, PairId> index_;
 };

@@ -8,7 +8,7 @@ namespace smn::util {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kWarning};
-std::mutex g_mutex;
+std::mutex g_mutex;  // guards: stderr emission (whole lines, no interleaving)
 
 const char* level_tag(LogLevel level) noexcept {
   switch (level) {

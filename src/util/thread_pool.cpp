@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 
+#include "util/contracts.h"
+
 namespace smn::util {
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -10,9 +12,12 @@ ThreadPool::ThreadPool(std::size_t threads) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
   workers_.reserve(threads);
+  worker_ids_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
+    worker_ids_.push_back(workers_.back().get_id());
   }
+  SMN_CHECK(!workers_.empty(), "pool constructed with no workers");
 }
 
 ThreadPool::~ThreadPool() {
@@ -26,8 +31,8 @@ ThreadPool::~ThreadPool() {
 
 bool ThreadPool::on_worker_thread() const {
   const std::thread::id self = std::this_thread::get_id();
-  for (const std::thread& worker : workers_) {
-    if (worker.get_id() == self) return true;
+  for (const std::thread::id& id : worker_ids_) {
+    if (id == self) return true;
   }
   return false;
 }
@@ -35,6 +40,12 @@ bool ThreadPool::on_worker_thread() const {
 void ThreadPool::enqueue(std::function<void()> task) {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
+    // Work submitted after ~ThreadPool() has begun from a non-worker thread
+    // would be dropped silently (workers may already have exited); tasks
+    // enqueued by in-flight worker tasks still drain, because a worker only
+    // exits on an empty queue.
+    SMN_CHECK(!stopping_ || on_worker_thread(),
+              "ThreadPool::submit during shutdown would drop the task");
     tasks_.push(std::move(task));
   }
   work_available_.notify_one();
@@ -56,6 +67,7 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                               const std::function<void(std::size_t)>& body) {
+  SMN_CHECK(static_cast<bool>(body), "parallel_for needs a callable body");
   if (begin >= end) return;
   const std::size_t count = end - begin;
   if (size() <= 1 || count == 1 || on_worker_thread()) {
@@ -69,7 +81,7 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   const std::size_t chunk = (count + blocks - 1) / blocks;
 
   struct LoopState {
-    std::mutex mutex;
+    std::mutex mutex;  // guards: pending, error; done waits on it
     std::condition_variable done;
     std::size_t pending = 0;
     std::exception_ptr error;

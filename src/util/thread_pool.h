@@ -66,10 +66,13 @@ class ThreadPool {
   void enqueue(std::function<void()> task);
   void worker_loop();
 
-  mutable std::mutex mutex_;
+  mutable std::mutex mutex_;  // guards: tasks_, stopping_; work_available_ waits on it
   std::condition_variable work_available_;
   std::queue<std::function<void()>> tasks_;
   std::vector<std::thread> workers_;
+  /// Immutable after construction, so on_worker_thread() can read it with
+  /// no lock even while the destructor joins workers_.
+  std::vector<std::thread::id> worker_ids_;
   bool stopping_ = false;
 };
 

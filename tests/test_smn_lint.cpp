@@ -1,0 +1,307 @@
+// Unit tests for the smn_lint analyzer (tools/smn_lint): every rule family
+// with both violating and allowed fixtures, plus the lexer side tables and
+// suppression machinery the rules depend on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "tools/smn_lint/linter.h"
+
+namespace {
+
+using smn::lint::FileReport;
+using smn::lint::Finding;
+using smn::lint::LintConfig;
+using smn::lint::SourceFile;
+
+FileReport lint(const std::string& path, const std::string& source) {
+  return smn::lint::lint_source(smn::lint::lex(path, source), LintConfig{});
+}
+
+std::vector<std::string> rules_of(const FileReport& report) {
+  std::vector<std::string> rules;
+  rules.reserve(report.findings.size());
+  for (const Finding& f : report.findings) rules.push_back(f.rule);
+  return rules;
+}
+
+bool has_rule(const FileReport& report, const std::string& rule) {
+  const auto rules = rules_of(report);
+  return std::find(rules.begin(), rules.end(), rule) != rules.end();
+}
+
+// ---------------------------------------------------------------- lexer --
+
+TEST(SmnLintLexer, TokensCommentsAndDirectives) {
+  const SourceFile file = smn::lint::lex("src/te/x.cpp",
+                                         "#include <vector>\n"
+                                         "int n = 42;  // trailing note\n"
+                                         "/* block\n   spans lines */\n"
+                                         "double d += 1e-9;\n");
+  ASSERT_EQ(file.directives.size(), 1u);
+  EXPECT_EQ(file.directives[0].second, "#include <vector>");
+  EXPECT_NE(file.comments.at(2).find("trailing note"), std::string::npos);
+  // Block comment text is attached to every covered line.
+  EXPECT_NE(file.comments.at(3).find("spans"), std::string::npos);
+  EXPECT_NE(file.comments.at(4).find("spans"), std::string::npos);
+  // Fused compound-assignment token and number with exponent survive.
+  bool saw_plus_eq = false, saw_exponent = false;
+  for (const auto& t : file.tokens) {
+    saw_plus_eq |= t.is_punct("+=");
+    saw_exponent |= t.kind == smn::lint::Token::Kind::kNumber && t.text == "1e-9";
+  }
+  EXPECT_TRUE(saw_plus_eq);
+  EXPECT_TRUE(saw_exponent);
+}
+
+TEST(SmnLintLexer, LiteralsDoNotLeakTokens) {
+  // Identifiers inside string / char / raw-string literals must not reach
+  // the rules, or fixture-bearing test files would self-flag.
+  const SourceFile file = smn::lint::lex(
+      "src/te/x.cpp", "const char* s = \"rand() steady_clock\";\nauto r = R\"(srand(1))\";\n");
+  for (const auto& t : file.tokens) {
+    EXPECT_NE(t.text, "rand");
+    EXPECT_NE(t.text, "steady_clock");
+    EXPECT_NE(t.text, "srand");
+  }
+}
+
+// --------------------------------------------------- R1 hot-path-strings --
+
+TEST(SmnLintR1, FlagsStringKeyedMapInHotPath) {
+  const auto report =
+      lint("src/telemetry/thing.cpp", "std::map<std::string, double> by_name;\n");
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].rule, "hot-path-strings");
+  EXPECT_EQ(report.findings[0].line, 1);
+}
+
+TEST(SmnLintR1, FlagsShimCallAndUnorderedStringSet) {
+  const auto report = lint("src/te/thing.cpp",
+                           "std::unordered_set<std::string> seen;\n"
+                           "auto s = log.series_by_pair();\n");
+  EXPECT_EQ(report.findings.size(), 2u);
+  EXPECT_TRUE(has_rule(report, "hot-path-strings"));
+}
+
+TEST(SmnLintR1, AllowsIdKeyedMapsAndNonHotPaths) {
+  // Id-keyed container on a hot path: fine.
+  EXPECT_TRUE(lint("src/telemetry/thing.cpp",
+                   "std::unordered_map<util::PairId, double> by_pair;\n")
+                  .findings.empty());
+  // String-keyed container off the hot path (src/smn is control plane).
+  EXPECT_TRUE(
+      lint("src/smn/catalog.cpp", "std::map<std::string, int> registry;\n").findings.empty());
+  // Designated shim file is exempt.
+  EXPECT_TRUE(lint("src/telemetry/bandwidth_log.cpp",
+                   "std::map<std::string, double> shim_view;\n")
+                  .findings.empty());
+}
+
+// ----------------------------------------------------- R2 nondeterminism --
+
+TEST(SmnLintR2, FlagsEntropySources) {
+  const auto report = lint("src/lp/solver.cpp",
+                           "int a = rand();\n"
+                           "std::random_device rd;\n"
+                           "auto t0 = std::chrono::steady_clock::now();\n"
+                           "srand(time(nullptr));\n");
+  // rand, random_device, steady_clock, srand, time(nullptr).
+  EXPECT_EQ(report.findings.size(), 5u);
+  for (const auto& f : report.findings) EXPECT_EQ(f.rule, "nondeterminism");
+}
+
+TEST(SmnLintR2, FlagsPointerKeyedOrdering) {
+  const auto report = lint("src/graph/order.cpp", "std::map<Node*, int> rank;\n");
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].rule, "nondeterminism");
+}
+
+TEST(SmnLintR2, FlagsFloatAccumulationOverUnorderedIteration) {
+  const auto report = lint("src/te/reduce.cpp",
+                           "std::unordered_map<int, double> weights;\n"
+                           "double total() {\n"
+                           "  double sum = 0.0;\n"
+                           "  for (const auto& [k, v] : weights) { sum += v; }\n"
+                           "  return sum;\n"
+                           "}\n");
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].rule, "nondeterminism");
+  EXPECT_EQ(report.findings[0].line, 4);
+}
+
+TEST(SmnLintR2, FlagsAccumulationThroughTypeAlias) {
+  const auto report = lint("src/te/reduce.cpp",
+                           "using Accums = std::unordered_map<int, std::vector<double>>;\n"
+                           "double drain(const Accums& accums) {\n"
+                           "  double sum = 0.0;\n"
+                           "  for (const auto& [k, v] : accums) sum += v.front();\n"
+                           "  return sum;\n"
+                           "}\n");
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].line, 4);
+}
+
+TEST(SmnLintR2, AllowsSortedReductionAndKeyCollection) {
+  const auto report = lint("src/te/reduce.cpp",
+                           "std::unordered_map<int, double> weights;\n"
+                           "double total() {\n"
+                           "  std::vector<int> keys;\n"
+                           "  for (const auto& [k, v] : weights) keys.push_back(k);\n"
+                           "  std::sort(keys.begin(), keys.end());\n"
+                           "  double sum = 0.0;\n"
+                           "  for (int k : keys) sum += weights.at(k);\n"
+                           "  return sum;\n"
+                           "}\n");
+  EXPECT_TRUE(report.findings.empty());
+}
+
+TEST(SmnLintR2, IntegerAccumulationOverUnorderedIsFine) {
+  const auto report = lint("src/te/count.cpp",
+                           "std::unordered_map<int, int> tally;\n"
+                           "std::size_t count() {\n"
+                           "  std::size_t n = 0;\n"
+                           "  for (const auto& [k, v] : tally) n += v;\n"
+                           "  return n;\n"
+                           "}\n");
+  EXPECT_TRUE(report.findings.empty());
+}
+
+TEST(SmnLintR2, SolverDirsOnly) {
+  // Entropy in the control plane or tests is not R2's business.
+  EXPECT_TRUE(lint("src/smn/jitter.cpp", "int a = rand();\n").findings.empty());
+  EXPECT_TRUE(lint("tests/test_x.cpp", "std::random_device rd;\n").findings.empty());
+}
+
+// ------------------------------------------------------ R3 lock-hygiene --
+
+TEST(SmnLintR3, FlagsUnannotatedMutex) {
+  const auto report = lint("src/util/cache.h",
+                           "#pragma once\n"
+                           "struct Cache {\n"
+                           "  std::mutex mutex_;\n"
+                           "};\n");
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].rule, "lock-hygiene");
+  EXPECT_EQ(report.findings[0].line, 3);
+}
+
+TEST(SmnLintR3, GuardsAnnotationOnSameOrPreviousLine) {
+  EXPECT_TRUE(lint("src/util/cache.h",
+                   "#pragma once\n"
+                   "std::mutex m_;  // guards: entries_\n")
+                  .findings.empty());
+  EXPECT_TRUE(lint("src/util/cache.h",
+                   "#pragma once\n"
+                   "// guards: entries_ and the eviction clock\n"
+                   "std::shared_mutex m_;\n")
+                  .findings.empty());
+}
+
+TEST(SmnLintR3, FlagsPoolCallUnderLock) {
+  const auto report = lint("src/util/fan.cpp",
+                           "void fan(Pool& pool) {\n"
+                           "  const std::lock_guard<std::mutex> lock(m_);\n"
+                           "  pool.submit([] {});\n"
+                           "}\n");
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].rule, "lock-hygiene");
+  EXPECT_EQ(report.findings[0].line, 3);
+}
+
+TEST(SmnLintR3, AllowsPoolCallAfterScopeOrUnlock) {
+  EXPECT_TRUE(lint("src/util/fan.cpp",
+                   "void fan(Pool& pool) {\n"
+                   "  {\n"
+                   "    const std::lock_guard<std::mutex> lock(m_);\n"
+                   "  }\n"
+                   "  pool.parallel_for(0, n, body);\n"
+                   "}\n")
+                  .findings.empty());
+  EXPECT_TRUE(lint("src/util/fan.cpp",
+                   "void fan(Pool& pool) {\n"
+                   "  std::unique_lock<std::mutex> lock(m_);\n"
+                   "  lock.unlock();\n"
+                   "  pool.submit([] {});\n"
+                   "}\n")
+                  .findings.empty());
+}
+
+// ---------------------------------------------------- R4 header-hygiene --
+
+TEST(SmnLintR4, FlagsMissingPragmaOnce) {
+  const auto report = lint("src/core/new_thing.h", "struct Thing {};\n");
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].rule, "header-hygiene");
+}
+
+TEST(SmnLintR4, FlagsBannedIncludeInHotPathOnly) {
+  EXPECT_TRUE(has_rule(lint("src/te/x.cpp", "#include <iostream>\n"), "header-hygiene"));
+  EXPECT_TRUE(has_rule(lint("src/lp/x.cpp", "#include <regex>\n"), "header-hygiene"));
+  // Control-plane and example code may do I/O.
+  EXPECT_TRUE(lint("src/smn/x.cpp", "#include <iostream>\n").findings.empty());
+  EXPECT_TRUE(lint("examples/x.cpp", "#include <iostream>\n").findings.empty());
+}
+
+TEST(SmnLintR4, PragmaOnceVariantsAccepted) {
+  EXPECT_TRUE(lint("src/core/a.h", "#pragma once\nint x;\n").findings.empty());
+  EXPECT_TRUE(lint("src/core/b.h", "#  pragma   once\nint x;\n").findings.empty());
+}
+
+// ------------------------------------------------------- suppressions --
+
+TEST(SmnLintSuppression, SameLineAndPreviousLine) {
+  const auto same = lint("src/telemetry/x.cpp",
+                         "std::map<std::string, int> m;  // smn-lint: allow(hot-path-strings)\n");
+  EXPECT_TRUE(same.findings.empty());
+  EXPECT_EQ(same.suppressed.size(), 1u);
+
+  const auto prev = lint("src/telemetry/x.cpp",
+                         "// smn-lint: allow(hot-path-strings)\n"
+                         "std::map<std::string, int> m;\n");
+  EXPECT_TRUE(prev.findings.empty());
+  EXPECT_EQ(prev.suppressed.size(), 1u);
+}
+
+TEST(SmnLintSuppression, WrongRuleDoesNotSuppress) {
+  const auto report = lint("src/telemetry/x.cpp",
+                           "// smn-lint: allow(nondeterminism)\n"
+                           "std::map<std::string, int> m;\n");
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_TRUE(report.suppressed.empty());
+}
+
+TEST(SmnLintSuppression, ListAndWildcard) {
+  EXPECT_TRUE(lint("src/te/x.cpp",
+                   "// smn-lint: allow(nondeterminism, hot-path-strings)\n"
+                   "std::map<std::string, int> m = seed(rand());\n")
+                  .findings.empty());
+  EXPECT_TRUE(lint("src/te/x.cpp",
+                   "int r = rand();  // smn-lint: allow(*)\n")
+                  .findings.empty());
+}
+
+TEST(SmnLintSuppression, DistantAllowDoesNotLeak) {
+  const auto report = lint("src/te/x.cpp",
+                           "// smn-lint: allow(nondeterminism)\n"
+                           "int fine = 0;\n"
+                           "int r = rand();\n");
+  ASSERT_EQ(report.findings.size(), 1u);
+}
+
+// ------------------------------------------------------- classification --
+
+TEST(SmnLintClassify, PrefixesDriveRuleFamilies) {
+  const LintConfig config;
+  EXPECT_TRUE(smn::lint::classify("src/telemetry/log_store.cpp", config).hot_path);
+  EXPECT_FALSE(smn::lint::classify("src/telemetry/log_store.cpp", config).solver);
+  EXPECT_TRUE(smn::lint::classify("src/te/demand.cpp", config).hot_path);
+  EXPECT_TRUE(smn::lint::classify("src/te/demand.cpp", config).solver);
+  EXPECT_TRUE(smn::lint::classify("src/graph/scc.cpp", config).solver);
+  EXPECT_FALSE(smn::lint::classify("src/smn/query.cpp", config).hot_path);
+  EXPECT_TRUE(smn::lint::classify("src/telemetry/bandwidth_log.cpp", config).shim_exempt);
+}
+
+}  // namespace

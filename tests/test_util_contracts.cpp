@@ -1,0 +1,125 @@
+// Contract-macro layer: failure modes, scoped overrides, the failure
+// counter, message formatting, and DCHECK compile-time gating.
+#include "util/contracts.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace smn::util {
+namespace {
+
+TEST(Contracts, PassingCheckIsSilent) {
+  const ScopedContractMode scoped(ContractMode::kThrow);
+  const std::size_t before = contract_failure_count();
+  SMN_CHECK(1 + 1 == 2);
+  SMN_CHECK(true, "never shown");
+  EXPECT_EQ(contract_failure_count(), before);
+}
+
+TEST(Contracts, ThrowModeThrowsContractViolation) {
+  const ScopedContractMode scoped(ContractMode::kThrow);
+  EXPECT_THROW(SMN_CHECK(false), ContractViolation);
+  EXPECT_THROW(SMN_CHECK(2 < 1, "impossible ordering"), ContractViolation);
+}
+
+TEST(Contracts, ViolationMessageNamesExpressionFileAndNote) {
+  const ScopedContractMode scoped(ContractMode::kThrow);
+  try {
+    SMN_CHECK(0 > 1, "custom note");
+    FAIL() << "SMN_CHECK(false) did not throw in kThrow mode";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("SMN_CHECK"), std::string::npos) << what;
+    EXPECT_NE(what.find("0 > 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("test_util_contracts.cpp"), std::string::npos) << what;
+    EXPECT_NE(what.find("custom note"), std::string::npos) << what;
+  }
+}
+
+TEST(Contracts, MessageEvaluatedOnlyOnFailure) {
+  const ScopedContractMode scoped(ContractMode::kThrow);
+  int evaluations = 0;
+  const auto message = [&] {
+    ++evaluations;
+    return std::string("built lazily");
+  };
+  SMN_CHECK(true, message());
+  EXPECT_EQ(evaluations, 0);
+  EXPECT_THROW(SMN_CHECK(false, message()), ContractViolation);
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(Contracts, LogModeContinuesAndCounts) {
+  const ScopedContractMode scoped(ContractMode::kLog);
+  const std::size_t before = contract_failure_count();
+  SMN_CHECK(false, "soak-run style violation");
+  SMN_CHECK(false);
+  EXPECT_EQ(contract_failure_count(), before + 2);
+}
+
+TEST(Contracts, ThrowModeAlsoCounts) {
+  const ScopedContractMode scoped(ContractMode::kThrow);
+  const std::size_t before = contract_failure_count();
+  EXPECT_THROW(SMN_CHECK(false), ContractViolation);
+  EXPECT_EQ(contract_failure_count(), before + 1);
+}
+
+TEST(Contracts, ScopedModeRestoresPrevious) {
+  const ContractMode outer = contract_mode();
+  {
+    const ScopedContractMode scoped(ContractMode::kLog);
+    EXPECT_EQ(contract_mode(), ContractMode::kLog);
+    {
+      const ScopedContractMode inner(ContractMode::kThrow);
+      EXPECT_EQ(contract_mode(), ContractMode::kThrow);
+    }
+    EXPECT_EQ(contract_mode(), ContractMode::kLog);
+  }
+  EXPECT_EQ(contract_mode(), outer);
+}
+
+TEST(Contracts, DcheckMirrorsCheckWhenEnabled) {
+  const ScopedContractMode scoped(ContractMode::kThrow);
+#if SMN_DCHECKS_ENABLED
+  EXPECT_THROW(SMN_DCHECK(false, "debug-only invariant"), ContractViolation);
+#else
+  // Compiled out: the condition must not even be evaluated.
+  bool touched = false;
+  SMN_DCHECK((touched = true), "never evaluated");
+  EXPECT_FALSE(touched);
+#endif
+}
+
+TEST(Contracts, UnreachableThrowsInThrowMode) {
+  const ScopedContractMode scoped(ContractMode::kThrow);
+  const auto hit_unreachable = [] { SMN_UNREACHABLE("excluded branch taken"); };
+  EXPECT_THROW(hit_unreachable(), ContractViolation);
+  try {
+    hit_unreachable();
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("excluded branch taken"), std::string::npos);
+  }
+}
+
+TEST(Contracts, UnreachableDeathInAbortMode) {
+  // kAbort (the default) must terminate the process, visible to sanitizers.
+  EXPECT_DEATH(
+      {
+        set_contract_mode(ContractMode::kAbort);
+        SMN_UNREACHABLE("abort-mode unreachable");
+      },
+      "abort-mode unreachable");
+}
+
+TEST(Contracts, CheckDeathInAbortMode) {
+  EXPECT_DEATH(
+      {
+        set_contract_mode(ContractMode::kAbort);
+        SMN_CHECK(false, "abort-mode check");
+      },
+      "abort-mode check");
+}
+
+}  // namespace
+}  // namespace smn::util

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -89,6 +91,104 @@ TEST(Interner, ConcurrentInterningIsConsistent) {
   for (std::thread& w : workers) w.join();
   EXPECT_EQ(interner.size(), static_cast<std::size_t>(kNames));
   for (int t = 1; t < kThreads; ++t) EXPECT_EQ(seen[t], seen[0]);  // same ids everywhere
+}
+
+TEST(Interner, ConcurrentMixedInternFindNameStress) {
+  // Writers intern overlapping name sets while readers hammer find() and
+  // name() on ids already handed out. Under TSan this exercises the
+  // shared/exclusive lock split and the stable-address guarantee of the
+  // name deque; without TSan it still checks read-your-writes coherence.
+  Interner interner;
+  constexpr int kWriters = 4;
+  constexpr int kReaders = 4;
+  constexpr int kNames = 300;
+  std::atomic<bool> stop{false};
+  std::atomic<int> writers_done{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kWriters + kReaders);
+  for (int t = 0; t < kWriters; ++t) {
+    threads.emplace_back([&interner, &writers_done, t] {
+      for (int i = 0; i < kNames; ++i) {
+        // Each writer starts at a different offset so exclusive-lock
+        // acquisitions interleave instead of serializing on name 0.
+        const int n = (i + t * (kNames / kWriters)) % kNames;
+        const std::string name = "stress-" + std::to_string(n);
+        const DcId id = interner.intern(name);
+        // Read-your-writes: the id must resolve immediately, and the
+        // reference must carry the interned spelling.
+        EXPECT_EQ(interner.name(id), name);
+        const auto found = interner.find(name);
+        ASSERT_TRUE(found.has_value());
+        EXPECT_EQ(*found, id);
+      }
+      writers_done.fetch_add(1);
+    });
+  }
+  for (int t = 0; t < kReaders; ++t) {
+    threads.emplace_back([&interner, &stop, t] {
+      std::size_t hits = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        for (int i = 0; i < kNames; ++i) {
+          const std::string name = "stress-" + std::to_string((i + t) % kNames);
+          if (const auto id = interner.find(name)) {
+            // name() references stay valid and consistent even while other
+            // threads grow the table.
+            if (interner.name(*id) == name) ++hits;
+          }
+        }
+      }
+      EXPECT_GT(hits, 0u);  // readers observed real entries, not just misses
+    });
+  }
+  while (writers_done.load() < kWriters) std::this_thread::yield();
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(interner.size(), static_cast<std::size_t>(kNames));
+  // Every name maps to a distinct id and decodes back to itself.
+  std::vector<bool> used(kNames, false);
+  for (int i = 0; i < kNames; ++i) {
+    const auto id = interner.find("stress-" + std::to_string(i));
+    ASSERT_TRUE(id.has_value());
+    ASSERT_LT(*id, static_cast<DcId>(kNames));
+    EXPECT_FALSE(used[*id]);
+    used[*id] = true;
+  }
+}
+
+TEST(PairInterner, ConcurrentInternAndDecodeStress) {
+  // Pair interning while other threads decode src()/dst() on ids already
+  // minted — the PairId analogue of the mixed interner stress above.
+  PairInterner pairs;
+  constexpr int kThreads = 8;
+  constexpr DcId kGrid = 24;  // 24x24 = 576 distinct pairs
+  std::vector<std::vector<PairId>> seen(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&pairs, &seen, t] {
+      seen[t].reserve(static_cast<std::size_t>(kGrid) * kGrid);
+      for (DcId s = 0; s < kGrid; ++s) {
+        for (DcId d = 0; d < kGrid; ++d) {
+          // Odd threads walk the grid transposed so writers collide.
+          const DcId src = (t % 2) ? d : s;
+          const DcId dst = (t % 2) ? s : d;
+          const PairId p = pairs.intern(src, dst);
+          EXPECT_EQ(pairs.src(p), src);
+          EXPECT_EQ(pairs.dst(p), dst);
+          const auto found = pairs.find(src, dst);
+          ASSERT_TRUE(found.has_value());
+          EXPECT_EQ(*found, p);
+          seen[t].push_back(pairs.intern(s, d));  // canonical orientation
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(pairs.size(), static_cast<std::size_t>(kGrid) * kGrid);
+  // All threads agree on the id of every canonical (s, d) pair.
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(seen[t], seen[0]);
 }
 
 }  // namespace

@@ -3,9 +3,16 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
 #include <numeric>
 #include <stdexcept>
+#include <string>
+#include <thread>
 #include <vector>
+
+#include "util/contracts.h"
 
 namespace smn::util {
 namespace {
@@ -78,6 +85,88 @@ TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
 TEST(ThreadPool, ZeroThreadsMeansHardwareConcurrency) {
   ThreadPool pool(0);
   EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, NestedParallelForPropagatesException) {
+  // The nested loop runs inline on the worker; its exception must surface
+  // through the outer loop's capture slot and rethrow on the caller with
+  // the original type and message intact.
+  ThreadPool pool(2);
+  try {
+    pool.parallel_for(0, 4, [&](std::size_t i) {
+      pool.parallel_for(0, 8, [&](std::size_t j) {
+        if (i == 2 && j == 5) throw std::runtime_error("nested boom");
+      });
+    });
+    FAIL() << "nested exception was swallowed";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()), "nested boom");
+  }
+}
+
+TEST(ThreadPool, OuterLoopKeepsRunningAfterNestedFailure) {
+  // One outer iteration failing must not corrupt the pool: the same pool
+  // instance services later loops normally.
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(0, 8,
+                                 [&](std::size_t i) {
+                                   pool.parallel_for(0, 4, [&](std::size_t j) {
+                                     if (i == 1 && j == 1) throw std::logic_error("once");
+                                   });
+                                 }),
+               std::logic_error);
+  std::atomic<int> total{0};
+  pool.parallel_for(0, 100, [&](std::size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 100);
+}
+
+TEST(ThreadPool, WorkerSubmittedTasksDrainDuringDestruction) {
+  // A task enqueued by a worker while the pool is being torn down must
+  // still run: workers only exit on an empty queue.
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    pool.submit([&] {
+        pool.submit([&] { ran.fetch_add(1); });
+      })
+        .get();
+  }  // destructor drains the follow-up task before joining
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPool, SubmitDuringDestructionFiresContract) {
+  // A non-worker submit after shutdown has begun would silently drop the
+  // task (the queue is never drained again for outsiders); the pool's
+  // lifecycle contract must reject it. Throw mode turns the violation into
+  // a catchable exception so the test can observe it without dying.
+  const ScopedContractMode scoped(ContractMode::kThrow);
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  auto pool = std::make_unique<ThreadPool>(2);
+  // Park every worker so the destructor blocks in join() with stopping_
+  // already set.
+  for (std::size_t i = 0; i < pool->size(); ++i) {
+    pool->submit([gate] { gate.wait(); });
+  }
+  // unique_ptr::reset() nulls the pointer before the destructor runs, so
+  // keep a raw pointer: the ThreadPool object itself stays alive while its
+  // destructor waits on the parked workers (they cannot exit until
+  // `release` fires, and we only fire it after this loop), so submitting
+  // through `raw` exercises the stopping_ state, not a freed object.
+  ThreadPool* const raw = pool.get();
+  std::thread destructor([&] { pool.reset(); });
+  bool fired = false;
+  for (int attempt = 0; attempt < 20000 && !fired; ++attempt) {
+    try {
+      raw->submit([] {});
+    } catch (const ContractViolation&) {
+      fired = true;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  release.set_value();
+  destructor.join();
+  EXPECT_TRUE(fired);
 }
 
 }  // namespace

@@ -1,0 +1,48 @@
+// smn_lint self-test fixture: the same constructs as
+// seeded_violations.cpp, written compliantly or explicitly suppressed with
+// `// smn-lint: allow(<rule>)`. The `smn_lint_fixture_clean` ctest asserts
+// this file lints clean. Never compiled.
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace smn::fixture {
+
+// Report table built once at shutdown, keyed for human output — not a
+// per-record path, so the string keys are deliberate.
+// smn-lint: allow(hot-path-strings)
+std::map<std::string, double> g_report_by_name;
+
+struct Solver {
+  std::mutex mutex_;  // guards: weights_
+  std::unordered_map<int, double> weights_;
+
+  // Compliant reduction: collect keys, sort, reduce in index order.
+  double total() const {
+    std::vector<int> keys;
+    keys.reserve(weights_.size());
+    for (const auto& [key, value] : weights_) keys.push_back(key);
+    std::sort(keys.begin(), keys.end());
+    double sum = 0.0;
+    for (const int key : keys) sum += weights_.at(key);
+    return sum;
+  }
+
+  // Duration stats only; never feeds back into solver results.
+  // smn-lint: allow(nondeterminism)
+  static auto ticks() { return std::chrono::steady_clock::now(); }
+
+  template <typename Pool>
+  void fan_out(Pool& pool) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);  // snapshot under lock
+    }
+    pool.submit([] {});  // handoff happens lock-free
+  }
+};
+
+}  // namespace smn::fixture

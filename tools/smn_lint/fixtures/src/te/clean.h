@@ -1,0 +1,13 @@
+// smn_lint self-test fixture: a compliant hot-path header. Never compiled.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace smn::fixture {
+
+struct Weights {
+  std::vector<double> by_pair;  ///< indexed by PairId
+};
+
+}  // namespace smn::fixture

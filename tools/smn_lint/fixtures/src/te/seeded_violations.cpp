@@ -1,0 +1,52 @@
+// smn_lint self-test fixture: seeded violations of all four rule families.
+// The `smn_lint_seeded_fixture` ctest lints exactly this file and asserts a
+// non-zero exit (WILL_FAIL). It lives under fixtures/src/te/ so the linter
+// classifies it as hot-path + solver code; it is never compiled, and the
+// default directory sweep skips fixtures/.
+#include <iostream>  // header-hygiene: banned include in a hot-path module
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace smn::fixture {
+
+// hot-path-strings: string-keyed associative container on a hot path.
+std::map<std::string, double> g_demand_by_name;
+
+// nondeterminism: pointer order varies between runs.
+struct Node;
+std::map<Node*, int> g_rank_by_node;
+
+struct Solver {
+  // lock-hygiene: mutex declared without naming what it protects.
+  std::mutex mutex_;
+  std::unordered_map<int, double> weights_;
+
+  // nondeterminism: float accumulation while iterating an unordered map.
+  double total() const {
+    double sum = 0.0;
+    for (const auto& [key, value] : weights_) {
+      sum += value;
+    }
+    return sum;
+  }
+
+  // nondeterminism: rand() and a wall-clock seed.
+  int pick() { return rand() + static_cast<int>(time(nullptr)); }
+
+  // lock-hygiene: pool handoff while the lock is live.
+  template <typename Pool>
+  void fan_out(Pool& pool) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    pool.submit([] {});
+  }
+
+  // hot-path-strings: string-API shim call on a hot path.
+  template <typename Log>
+  auto series(const Log& log) {
+    return log.series_by_pair();
+  }
+};
+
+}  // namespace smn::fixture

@@ -1,0 +1,236 @@
+#include "tools/smn_lint/lexer.h"
+
+#include <cctype>
+
+namespace smn::lint {
+namespace {
+
+bool ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+/// Two-character punctuators the rules care about. `>>` is deliberately
+/// left as two tokens so template-depth tracking closes nested argument
+/// lists correctly; `::` is fused so range-for detection can tell the
+/// declaration colon from a scope operator.
+bool fuse_pair(char a, char b) {
+  switch (a) {
+    case ':':
+      return b == ':';
+    case '+':
+      return b == '=' || b == '+';
+    case '-':
+      return b == '=' || b == '>' || b == '-';
+    case '*':
+    case '/':
+    case '!':
+    case '=':
+    case '<':
+      return b == '=';
+    case '&':
+      return b == '&' || b == '=';
+    case '|':
+      return b == '|' || b == '=';
+    default:
+      return false;
+  }
+}
+
+class Lexer {
+ public:
+  Lexer(std::string path, std::string_view content) : content_(content) {
+    out_.path = std::move(path);
+  }
+
+  SourceFile run() {
+    split_lines();
+    while (pos_ < content_.size()) {
+      const char c = content_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        at_line_start_ = true;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        lex_directive();
+        continue;
+      }
+      at_line_start_ = false;
+      if (c == '/' && peek(1) == '/') {
+        lex_line_comment();
+      } else if (c == '/' && peek(1) == '*') {
+        lex_block_comment();
+      } else if (c == '"') {
+        lex_string('"', Token::Kind::kString);
+      } else if (c == '\'') {
+        lex_string('\'', Token::Kind::kChar);
+      } else if (ident_start(c)) {
+        lex_identifier_or_raw_string();
+      } else if (std::isdigit(static_cast<unsigned char>(c))) {
+        lex_number();
+      } else {
+        lex_punct();
+      }
+    }
+    return std::move(out_);
+  }
+
+ private:
+  char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < content_.size() ? content_[pos_ + ahead] : '\0';
+  }
+
+  void split_lines() {
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= content_.size(); ++i) {
+      if (i == content_.size() || content_[i] == '\n') {
+        out_.lines.emplace_back(content_.substr(start, i - start));
+        start = i + 1;
+      }
+    }
+  }
+
+  void add_comment(int line, std::string_view text) {
+    std::string& slot = out_.comments[line];
+    if (!slot.empty()) slot += ' ';
+    slot += text;
+  }
+
+  void lex_line_comment() {
+    const std::size_t start = pos_;
+    while (pos_ < content_.size() && content_[pos_] != '\n') ++pos_;
+    add_comment(line_, content_.substr(start, pos_ - start));
+  }
+
+  void lex_block_comment() {
+    pos_ += 2;
+    const std::size_t start = pos_;
+    int first_line = line_;
+    while (pos_ < content_.size() && !(content_[pos_] == '*' && peek(1) == '/')) {
+      if (content_[pos_] == '\n') ++line_;
+      ++pos_;
+    }
+    const std::string_view body = content_.substr(start, pos_ - start);
+    for (int l = first_line; l <= line_; ++l) add_comment(l, body);
+    pos_ = pos_ < content_.size() ? pos_ + 2 : pos_;
+  }
+
+  void lex_string(char quote, Token::Kind kind) {
+    ++pos_;
+    while (pos_ < content_.size() && content_[pos_] != quote) {
+      if (content_[pos_] == '\\' && pos_ + 1 < content_.size()) ++pos_;
+      if (content_[pos_] == '\n') ++line_;  // unterminated literal; keep line count right
+      ++pos_;
+    }
+    if (pos_ < content_.size()) ++pos_;
+    out_.tokens.push_back({kind, std::string(1, quote), line_});
+  }
+
+  void lex_raw_string() {
+    // At 'R"'. Delimiter runs to the '('; body ends at ')delim"'.
+    pos_ += 2;
+    std::string delim;
+    while (pos_ < content_.size() && content_[pos_] != '(') delim += content_[pos_++];
+    const std::string close = ")" + delim + "\"";
+    const std::size_t end = content_.find(close, pos_);
+    const std::size_t stop = end == std::string_view::npos ? content_.size() : end + close.size();
+    for (std::size_t i = pos_; i < stop; ++i) {
+      if (content_[i] == '\n') ++line_;
+    }
+    pos_ = stop;
+    out_.tokens.push_back({Token::Kind::kString, "R\"", line_});
+  }
+
+  void lex_identifier_or_raw_string() {
+    if (content_[pos_] == 'R' && peek(1) == '"') {
+      lex_raw_string();
+      return;
+    }
+    const std::size_t start = pos_;
+    while (pos_ < content_.size() && ident_char(content_[pos_])) ++pos_;
+    out_.tokens.push_back(
+        {Token::Kind::kIdentifier, std::string(content_.substr(start, pos_ - start)), line_});
+  }
+
+  void lex_number() {
+    const std::size_t start = pos_;
+    while (pos_ < content_.size()) {
+      const char c = content_[pos_];
+      if (ident_char(c) || c == '.' || c == '\'') {
+        ++pos_;
+      } else if ((c == '+' || c == '-') && pos_ > start) {
+        const char prev = content_[pos_ - 1];
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          ++pos_;
+        } else {
+          break;
+        }
+      } else {
+        break;
+      }
+    }
+    out_.tokens.push_back(
+        {Token::Kind::kNumber, std::string(content_.substr(start, pos_ - start)), line_});
+  }
+
+  void lex_punct() {
+    std::size_t len = 1;
+    if (fuse_pair(content_[pos_], peek(1))) len = 2;
+    out_.tokens.push_back(
+        {Token::Kind::kPunct, std::string(content_.substr(pos_, len)), line_});
+    pos_ += len;
+  }
+
+  void lex_directive() {
+    const int first_line = line_;
+    std::string text;
+    bool in_comment = false;
+    while (pos_ < content_.size()) {
+      char c = content_[pos_];
+      if (c == '\\' && peek(1) == '\n') {  // continuation
+        pos_ += 2;
+        ++line_;
+        continue;
+      }
+      if (c == '\n') break;
+      if (c == '/' && peek(1) == '/') {
+        lex_line_comment();
+        break;
+      }
+      if (c == '/' && peek(1) == '*') {
+        in_comment = true;
+        lex_block_comment();
+        in_comment = false;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        if (!text.empty() && text.back() != ' ') text += ' ';
+      } else {
+        text += c;
+      }
+      ++pos_;
+    }
+    (void)in_comment;
+    while (!text.empty() && text.back() == ' ') text.pop_back();
+    out_.directives.emplace_back(first_line, std::move(text));
+    at_line_start_ = true;
+  }
+
+  std::string_view content_;
+  SourceFile out_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  bool at_line_start_ = true;
+};
+
+}  // namespace
+
+SourceFile lex(std::string path, std::string_view content) {
+  return Lexer(std::move(path), content).run();
+}
+
+}  // namespace smn::lint

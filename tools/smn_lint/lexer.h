@@ -1,0 +1,51 @@
+// Minimal C++ lexer for smn_lint. Produces a token stream (identifiers,
+// numbers, punctuation, literal placeholders) plus side tables the rules
+// need: per-line comment text (for `// guards:` annotations and
+// `// smn-lint: allow(...)` suppressions) and preprocessor directives (for
+// `#pragma once` and banned-include checks). It is not a preprocessor and
+// does not expand macros — rules are written against the spelled source,
+// which is exactly what a project-invariant linter wants to see.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace smn::lint {
+
+struct Token {
+  enum class Kind { kIdentifier, kNumber, kPunct, kString, kChar };
+
+  Kind kind;
+  std::string text;  ///< literal tokens keep only a placeholder, not the body
+  int line;          ///< 1-based
+
+  bool is_ident(std::string_view name) const {
+    return kind == Kind::kIdentifier && text == name;
+  }
+  bool is_punct(std::string_view p) const { return kind == Kind::kPunct && text == p; }
+};
+
+struct SourceFile {
+  std::string path;  ///< root-relative, '/'-separated
+  std::vector<std::string> lines;
+  std::vector<Token> tokens;
+  /// line -> concatenated comment text appearing on that line. Block
+  /// comments contribute their full text to every line they cover, so a
+  /// suppression inside a multi-line comment still anchors correctly.
+  std::map<int, std::string> comments;
+  /// (line, directive) for every preprocessor line, whitespace-normalized
+  /// (e.g. "#pragma once", "#include <vector>"). Continuation lines are
+  /// folded into the directive that started them.
+  std::vector<std::pair<int, std::string>> directives;
+
+  bool is_header() const {
+    return path.size() > 2 && (path.ends_with(".h") || path.ends_with(".hpp"));
+  }
+};
+
+/// Lexes `content` (the text of the file at root-relative `path`).
+SourceFile lex(std::string path, std::string_view content);
+
+}  // namespace smn::lint

@@ -1,0 +1,83 @@
+#include "tools/smn_lint/linter.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace smn::lint {
+namespace {
+
+bool has_prefix(const std::string& path, const std::vector<std::string>& prefixes) {
+  for (const std::string& prefix : prefixes) {
+    if (path.rfind(prefix, 0) == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+FileClass classify(const std::string& rel_path, const LintConfig& config) {
+  FileClass cls;
+  cls.hot_path = has_prefix(rel_path, config.hot_path_prefixes);
+  cls.solver = has_prefix(rel_path, config.solver_prefixes);
+  for (const std::string& shim : config.shim_exempt_paths) {
+    if (rel_path == shim) cls.shim_exempt = true;
+  }
+  return cls;
+}
+
+std::map<int, std::set<std::string>> allow_directives(const SourceFile& file) {
+  std::map<int, std::set<std::string>> allows;
+  for (const auto& [line, text] : file.comments) {
+    std::size_t at = text.find("smn-lint:");
+    if (at == std::string::npos) continue;
+    std::size_t search = at;
+    while ((search = text.find("allow(", search)) != std::string::npos) {
+      const std::size_t open = search + 5;
+      const std::size_t close = text.find(')', open);
+      if (close == std::string::npos) break;
+      std::string name;
+      for (std::size_t i = open + 1; i <= close; ++i) {
+        const char c = i < close ? text[i] : ',';
+        if (c == ',' || c == ' ') {
+          if (!name.empty()) allows[line].insert(name);
+          name.clear();
+        } else {
+          name += c;
+        }
+      }
+      search = close;
+    }
+  }
+  return allows;
+}
+
+FileReport lint_source(const SourceFile& file, const LintConfig& config) {
+  const FileClass cls = classify(file.path, config);
+  const auto allows = allow_directives(file);
+  FileReport report;
+  for (Finding& finding : check_all(file, cls)) {
+    bool allowed = false;
+    for (int l = finding.line - 1; l <= finding.line; ++l) {
+      const auto it = allows.find(l);
+      if (it != allows.end() &&
+          (it->second.count(finding.rule) > 0 || it->second.count("*") > 0)) {
+        allowed = true;
+      }
+    }
+    (allowed ? report.suppressed : report.findings).push_back(std::move(finding));
+  }
+  return report;
+}
+
+FileReport lint_file(const std::string& abs_path, const std::string& rel_path,
+                     const LintConfig& config) {
+  std::ifstream in(abs_path, std::ios::binary);
+  if (!in) throw std::runtime_error("smn_lint: cannot read " + abs_path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return lint_source(lex(rel_path, buffer.str()), config);
+}
+
+}  // namespace smn::lint

@@ -1,0 +1,51 @@
+// Driver layer of smn_lint: maps root-relative paths to the rule families
+// that apply (FileClass), applies `// smn-lint: allow(<rule>)` suppressions,
+// and lints whole files or directory trees.
+//
+// Suppression syntax: a comment containing `smn-lint: allow(rule-a)` (or
+// `allow(rule-a, rule-b)`, or `allow(*)`) on the violating line or on the
+// line directly above it suppresses matching findings. Suppressions are
+// counted and reported so `smn_lint` output shows where the escape hatch is
+// being used.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/smn_lint/rules.h"
+
+namespace smn::lint {
+
+/// Path prefixes (root-relative, '/'-separated) driving FileClass. The
+/// defaults encode this repo's layout; unit tests override them.
+struct LintConfig {
+  std::vector<std::string> hot_path_prefixes{"src/telemetry/", "src/te/", "src/lp/",
+                                             "src/capacity/"};
+  std::vector<std::string> solver_prefixes{"src/te/", "src/lp/", "src/graph/"};
+  /// Designated string-API shim files, exempt from hot-path-strings (R1).
+  std::vector<std::string> shim_exempt_paths{"src/telemetry/bandwidth_log.h",
+                                             "src/telemetry/bandwidth_log.cpp"};
+};
+
+FileClass classify(const std::string& rel_path, const LintConfig& config);
+
+/// line -> rule names allowed on that line (from `smn-lint: allow(...)`
+/// comments); "*" allows every rule.
+std::map<int, std::set<std::string>> allow_directives(const SourceFile& file);
+
+struct FileReport {
+  std::vector<Finding> findings;   ///< violations that survived suppression
+  std::vector<Finding> suppressed; ///< violations silenced by allow(...)
+};
+
+/// Lints one lexed file: all rules, then suppression filtering.
+FileReport lint_source(const SourceFile& file, const LintConfig& config);
+
+/// Lints the file at `abs_path`, classified by `rel_path`. Throws
+/// std::runtime_error if the file cannot be read.
+FileReport lint_file(const std::string& abs_path, const std::string& rel_path,
+                     const LintConfig& config);
+
+}  // namespace smn::lint

@@ -1,0 +1,353 @@
+#include "tools/smn_lint/rules.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <set>
+#include <string_view>
+
+namespace smn::lint {
+namespace {
+
+const std::set<std::string, std::less<>> kOrderedAssoc{"map", "multimap", "set", "multiset"};
+const std::set<std::string, std::less<>> kUnorderedAssoc{
+    "unordered_map", "unordered_multimap", "unordered_set", "unordered_multiset"};
+const std::set<std::string, std::less<>> kMutexTypes{
+    "mutex", "shared_mutex", "recursive_mutex", "timed_mutex", "recursive_timed_mutex"};
+const std::set<std::string, std::less<>> kLockHolders{"lock_guard", "unique_lock",
+                                                      "shared_lock", "scoped_lock"};
+/// String-API compatibility shims on the telemetry spine; calling them from
+/// hot-path code re-materializes per-row strings (R1).
+const std::set<std::string, std::less<>> kStringShimCalls{"series_by_pair"};
+
+bool is_assoc(const Token& t) {
+  return t.kind == Token::Kind::kIdentifier &&
+         (kOrderedAssoc.count(t.text) > 0 || kUnorderedAssoc.count(t.text) > 0);
+}
+
+/// With tokens[i] an associative-container name and tokens[i+1] == '<',
+/// returns the token range [i + 2, end) of the first template argument and
+/// sets `args_end` to the index just past the closing '>'.
+std::vector<Token> first_template_arg(const std::vector<Token>& toks, std::size_t i,
+                                      std::size_t* args_end) {
+  std::vector<Token> arg;
+  int depth = 1;
+  std::size_t j = i + 2;
+  bool in_first = true;
+  for (; j < toks.size() && depth > 0; ++j) {
+    const Token& t = toks[j];
+    if (t.is_punct("<")) {
+      ++depth;
+    } else if (t.is_punct(">")) {
+      --depth;
+      if (depth == 0) break;
+    } else if (t.is_punct(",") && depth == 1) {
+      in_first = false;
+    }
+    if (in_first && depth >= 1) arg.push_back(t);
+  }
+  if (args_end != nullptr) *args_end = j < toks.size() ? j + 1 : j;
+  return arg;
+}
+
+bool contains_ident(const std::vector<Token>& toks, std::string_view name) {
+  return std::any_of(toks.begin(), toks.end(),
+                     [&](const Token& t) { return t.is_ident(name); });
+}
+
+std::size_t find_matching(const std::vector<Token>& toks, std::size_t open,
+                          std::string_view open_p, std::string_view close_p) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].is_punct(open_p)) ++depth;
+    if (toks[i].is_punct(close_p)) {
+      --depth;
+      if (depth == 0) return i;
+    }
+  }
+  return toks.size();
+}
+
+/// Names declared in `file` with an unordered associative type, including
+/// through a `using Alias = std::unordered_map<...>` indirection, plus the
+/// alias names themselves.
+std::set<std::string, std::less<>> unordered_value_names(const SourceFile& file) {
+  const auto& toks = file.tokens;
+  std::set<std::string, std::less<>> aliases;
+  for (std::size_t i = 0; i + 3 < toks.size(); ++i) {
+    if (!toks[i].is_ident("using") || toks[i + 1].kind != Token::Kind::kIdentifier ||
+        !toks[i + 2].is_punct("=")) {
+      continue;
+    }
+    for (std::size_t j = i + 3; j < toks.size() && !toks[j].is_punct(";"); ++j) {
+      if (toks[j].kind == Token::Kind::kIdentifier && kUnorderedAssoc.count(toks[j].text) > 0) {
+        aliases.insert(toks[i + 1].text);
+        break;
+      }
+    }
+  }
+
+  std::set<std::string, std::less<>> names;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    // Direct declaration: unordered_map<...> [&] name
+    if (toks[i].kind == Token::Kind::kIdentifier && kUnorderedAssoc.count(toks[i].text) > 0 &&
+        toks[i + 1].is_punct("<")) {
+      std::size_t end = 0;
+      (void)first_template_arg(toks, i, &end);
+      while (end < toks.size() && (toks[end].is_punct("&") || toks[end].is_punct("*"))) ++end;
+      if (end < toks.size() && toks[end].kind == Token::Kind::kIdentifier) {
+        names.insert(toks[end].text);
+      }
+    }
+    // Via alias: Alias [&] name  (declaration-shaped: followed by ; , = ( { )
+    if (toks[i].kind == Token::Kind::kIdentifier && aliases.count(toks[i].text) > 0) {
+      std::size_t j = i + 1;
+      while (j < toks.size() && (toks[j].is_punct("&") || toks[j].is_punct("*"))) ++j;
+      if (j + 1 < toks.size() && toks[j].kind == Token::Kind::kIdentifier &&
+          (toks[j + 1].is_punct(";") || toks[j + 1].is_punct(",") || toks[j + 1].is_punct("=") ||
+           toks[j + 1].is_punct("(") || toks[j + 1].is_punct(")") || toks[j + 1].is_punct("{"))) {
+        names.insert(toks[j].text);
+      }
+    }
+  }
+  return names;
+}
+
+/// Names declared `double` or `float` in `file` (variables, members,
+/// parameters; the heuristic also picks up function return names, which is
+/// harmless — they never appear on the left of `+=`).
+std::set<std::string, std::less<>> float_names(const SourceFile& file) {
+  const auto& toks = file.tokens;
+  std::set<std::string, std::less<>> names;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!toks[i].is_ident("double") && !toks[i].is_ident("float")) continue;
+    std::size_t j = i + 1;
+    while (j < toks.size() && (toks[j].is_punct("&") || toks[j].is_punct("*"))) ++j;
+    if (j < toks.size() && toks[j].kind == Token::Kind::kIdentifier) names.insert(toks[j].text);
+  }
+  return names;
+}
+
+}  // namespace
+
+void check_hot_path_strings(const SourceFile& file, const FileClass& cls,
+                            std::vector<Finding>& out) {
+  if (!cls.hot_path || cls.shim_exempt) return;
+  const auto& toks = file.tokens;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (is_assoc(toks[i]) && toks[i + 1].is_punct("<")) {
+      const auto key = first_template_arg(toks, i, nullptr);
+      if (contains_ident(key, "string") || contains_ident(key, "string_view") ||
+          contains_ident(key, "wstring")) {
+        out.push_back({"hot-path-strings", file.path, toks[i].line,
+                       "string-keyed std::" + toks[i].text +
+                           " in a hot-path module; key on interned DcId/PairId "
+                           "(util/interner.h) instead"});
+      }
+    }
+    if (toks[i].kind == Token::Kind::kIdentifier && kStringShimCalls.count(toks[i].text) > 0 &&
+        toks[i + 1].is_punct("(")) {
+      out.push_back({"hot-path-strings", file.path, toks[i].line,
+                     "call to string-API shim '" + toks[i].text +
+                         "' in a hot-path module; use the id-native accessors"});
+    }
+  }
+}
+
+void check_nondeterminism(const SourceFile& file, const FileClass& cls,
+                          std::vector<Finding>& out) {
+  if (!cls.solver) return;
+  const auto& toks = file.tokens;
+
+  const std::set<std::string, std::less<>> banned{
+      "rand",         "srand",       "drand48",    "lrand48",
+      "mrand48",      "random_device", "system_clock", "high_resolution_clock",
+      "steady_clock"};
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != Token::Kind::kIdentifier) continue;
+    if (banned.count(t.text) > 0) {
+      out.push_back({"nondeterminism", file.path, t.line,
+                     "'" + t.text +
+                         "' in solver/TE code; results must be bit-identical across "
+                         "runs — use util::Rng with an explicit seed"});
+    }
+    // time(0) / time(nullptr) / time(NULL) seeding.
+    if (t.text == "time" && i + 3 < toks.size() && toks[i + 1].is_punct("(") &&
+        toks[i + 3].is_punct(")") &&
+        (toks[i + 2].is_ident("nullptr") || toks[i + 2].is_ident("NULL") ||
+         (toks[i + 2].kind == Token::Kind::kNumber && toks[i + 2].text == "0"))) {
+      out.push_back({"nondeterminism", file.path, t.line,
+                     "wall-clock seed 'time(...)' in solver/TE code; use util::Rng "
+                     "with an explicit seed"});
+    }
+  }
+
+  // Pointer-keyed ordered containers: iteration order is the allocator's.
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (is_assoc(toks[i]) && toks[i + 1].is_punct("<")) {
+      const auto key = first_template_arg(toks, i, nullptr);
+      if (!key.empty() && key.back().is_punct("*")) {
+        out.push_back({"nondeterminism", file.path, toks[i].line,
+                       "pointer-keyed std::" + toks[i].text +
+                           "; pointer order varies run to run — key on an index or id"});
+      }
+    }
+  }
+
+  // Float accumulation inside iteration over an unordered container:
+  // (a + b) + c != a + (b + c), and the iteration order is hash-seed noise.
+  const auto unordered = unordered_value_names(file);
+  const auto floats = float_names(file);
+  if (unordered.empty()) return;
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (!toks[i].is_ident("for") || !toks[i + 1].is_punct("(")) continue;
+    const std::size_t close = find_matching(toks, i + 1, "(", ")");
+    if (close >= toks.size()) continue;
+    // Top-level ':' splits declaration from range (range-based for only).
+    std::size_t colon = toks.size();
+    int depth = 0;
+    for (std::size_t j = i + 1; j < close; ++j) {
+      if (toks[j].is_punct("(") || toks[j].is_punct("[") || toks[j].is_punct("{")) ++depth;
+      if (toks[j].is_punct(")") || toks[j].is_punct("]") || toks[j].is_punct("}")) --depth;
+      if (depth == 1 && toks[j].is_punct(":")) {
+        colon = j;
+        break;
+      }
+    }
+    if (colon == toks.size()) continue;
+    bool over_unordered = false;
+    for (std::size_t j = colon + 1; j < close; ++j) {
+      if (toks[j].kind == Token::Kind::kIdentifier && unordered.count(toks[j].text) > 0) {
+        over_unordered = true;
+        break;
+      }
+    }
+    if (!over_unordered) continue;
+    std::size_t body_begin = close + 1;
+    std::size_t body_end;
+    if (body_begin < toks.size() && toks[body_begin].is_punct("{")) {
+      body_end = find_matching(toks, body_begin, "{", "}");
+    } else {
+      body_end = body_begin;
+      while (body_end < toks.size() && !toks[body_end].is_punct(";")) ++body_end;
+    }
+    for (std::size_t j = body_begin; j < body_end && j < toks.size(); ++j) {
+      const bool compound = toks[j].is_punct("+=") || toks[j].is_punct("-=") ||
+                            toks[j].is_punct("*=");
+      if (compound && j > 0 && toks[j - 1].kind == Token::Kind::kIdentifier &&
+          floats.count(toks[j - 1].text) > 0) {
+        out.push_back({"nondeterminism", file.path, toks[j].line,
+                       "floating-point accumulation into '" + toks[j - 1].text +
+                           "' while iterating an unordered container; collect keys, "
+                           "sort, then reduce in index order"});
+      }
+    }
+  }
+}
+
+void check_lock_hygiene(const SourceFile& file, const FileClass& /*cls*/,
+                        std::vector<Finding>& out) {
+  const auto& toks = file.tokens;
+
+  // (a) every mutex declaration names what it guards.
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (toks[i].kind != Token::Kind::kIdentifier || kMutexTypes.count(toks[i].text) == 0) {
+      continue;
+    }
+    if (toks[i + 1].kind != Token::Kind::kIdentifier) continue;  // e.g. lock_guard<std::mutex>
+    if (!toks[i + 2].is_punct(";") && !toks[i + 2].is_punct("{") && !toks[i + 2].is_punct("=")) {
+      continue;
+    }
+    const int line = toks[i].line;
+    bool annotated = false;
+    for (int l = line - 1; l <= line; ++l) {
+      const auto it = file.comments.find(l);
+      if (it != file.comments.end() && it->second.find("guards:") != std::string::npos) {
+        annotated = true;
+      }
+    }
+    if (!annotated) {
+      out.push_back({"lock-hygiene", file.path, line,
+                     "mutex '" + toks[i + 1].text +
+                         "' lacks a '// guards:' comment naming the state it protects"});
+    }
+  }
+
+  // (b) no lock held across a thread-pool handoff: a worker blocked on the
+  // same lock can deadlock the fan-out (or serialize it silently).
+  int depth = 0;
+  std::vector<int> live_lock_depths;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.is_punct("{")) ++depth;
+    if (t.is_punct("}")) {
+      --depth;
+      while (!live_lock_depths.empty() && live_lock_depths.back() > depth) {
+        live_lock_depths.pop_back();
+      }
+    }
+    if (t.kind != Token::Kind::kIdentifier) continue;
+    if (kLockHolders.count(t.text) > 0 && i + 1 < toks.size() &&
+        (toks[i + 1].is_punct("<") || toks[i + 1].kind == Token::Kind::kIdentifier)) {
+      live_lock_depths.push_back(depth);
+    } else if (t.text == "unlock" && i + 1 < toks.size() && toks[i + 1].is_punct("(")) {
+      if (!live_lock_depths.empty()) live_lock_depths.pop_back();
+    } else if ((t.text == "submit" || t.text == "parallel_for") && i + 1 < toks.size() &&
+               toks[i + 1].is_punct("(") && !live_lock_depths.empty()) {
+      out.push_back({"lock-hygiene", file.path, t.line,
+                     "'" + t.text +
+                         "' called while a lock is held; release the lock before "
+                         "handing work to the pool"});
+    }
+  }
+}
+
+void check_header_hygiene(const SourceFile& file, const FileClass& cls,
+                          std::vector<Finding>& out) {
+  if (file.is_header()) {
+    bool has_pragma_once = false;
+    for (const auto& [line, text] : file.directives) {
+      std::string squashed;
+      for (const char c : text) {
+        if (c != ' ') squashed += c;
+      }
+      if (squashed == "#pragmaonce") {
+        has_pragma_once = true;
+        break;
+      }
+    }
+    if (!has_pragma_once) {
+      out.push_back({"header-hygiene", file.path, 1, "header is missing '#pragma once'"});
+    }
+  }
+
+  if (cls.hot_path || cls.solver) {
+    for (const auto& [line, text] : file.directives) {
+      if (text.rfind("#include", 0) != 0 && text.rfind("# include", 0) != 0) continue;
+      for (const std::string_view banned : {"<regex>", "<iostream>"}) {
+        if (text.find(banned) != std::string::npos) {
+          out.push_back({"header-hygiene", file.path, line,
+                         "banned header " + std::string(banned) +
+                             " in a hot-path/solver module (heavyweight: static "
+                             "initializers, code size); use util/logging.h or move "
+                             "I/O out of the hot path"});
+        }
+      }
+    }
+  }
+}
+
+std::vector<Finding> check_all(const SourceFile& file, const FileClass& cls) {
+  std::vector<Finding> out;
+  check_hot_path_strings(file, cls, out);
+  check_nondeterminism(file, cls, out);
+  check_lock_hygiene(file, cls, out);
+  check_header_hygiene(file, cls, out);
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+  return out;
+}
+
+}  // namespace smn::lint

@@ -1,0 +1,64 @@
+// The four project-invariant rule families smn_lint enforces, as named in
+// ISSUE/DESIGN §8:
+//
+//   R1 hot-path-strings   — no std::string-keyed associative containers and
+//                           no string-API shim calls in hot-path modules
+//                           (src/telemetry, src/te, src/lp, src/capacity)
+//                           outside the designated shim files; interned ids
+//                           (util/interner.h) are the only hot-path keys.
+//   R2 nondeterminism     — solver/TE code (src/te, src/lp, src/graph) must
+//                           be bit-identical across runs and thread counts:
+//                           no rand()/srand()/std::random_device, no
+//                           wall-clock or time-seeded entropy, no
+//                           pointer-keyed ordered containers, and no
+//                           float accumulation inside iteration over an
+//                           unordered container.
+//   R3 lock-hygiene       — every std::mutex / std::shared_mutex declaration
+//                           carries a `// guards:` comment naming the state
+//                           it protects, and no lock-holder scope may call
+//                           ThreadPool::submit() / parallel_for() while the
+//                           lock is live (deadlock against pool workers).
+//   R4 header-hygiene     — headers use `#pragma once`; hot-path and solver
+//                           modules must not include banned heavyweight
+//                           headers (<regex>, <iostream>).
+//
+// Every finding is suppressible with `// smn-lint: allow(<rule>)` on the
+// same line or the line directly above (see linter.h).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tools/smn_lint/lexer.h"
+
+namespace smn::lint {
+
+struct Finding {
+  std::string rule;
+  std::string path;
+  int line;
+  std::string message;
+};
+
+/// What rule families apply to a file, derived from its root-relative path
+/// by classify() in linter.h. Kept separate so unit tests can force a
+/// classification without touching the filesystem.
+struct FileClass {
+  bool hot_path = false;    ///< R1 + R4 banned includes
+  bool solver = false;      ///< R2 + R4 banned includes
+  bool shim_exempt = false; ///< designated string-shim file: R1 skipped
+};
+
+void check_hot_path_strings(const SourceFile& file, const FileClass& cls,
+                            std::vector<Finding>& out);
+void check_nondeterminism(const SourceFile& file, const FileClass& cls,
+                          std::vector<Finding>& out);
+void check_lock_hygiene(const SourceFile& file, const FileClass& cls,
+                        std::vector<Finding>& out);
+void check_header_hygiene(const SourceFile& file, const FileClass& cls,
+                          std::vector<Finding>& out);
+
+/// Runs all rule families (pre-suppression).
+std::vector<Finding> check_all(const SourceFile& file, const FileClass& cls);
+
+}  // namespace smn::lint
