@@ -1,5 +1,9 @@
 #include "smn/smn_controller.h"
 
+#include <algorithm>
+
+#include "te/demand.h"
+
 namespace smn::smn {
 namespace {
 
@@ -56,7 +60,9 @@ SmnController::SmnController(const depgraph::ServiceGraph& sg, const topology::W
       config_(config),
       lake_(default_catalog(sg), config.clto.seed),
       clto_(sg, bus_, config.clto),
-      bw_store_(config.bw_coarse_window) {
+      bw_store_(telemetry::LogStoreConfig{.streaming_window = config.bw_coarse_window,
+                                          .shards = config.bw_shards,
+                                          .ingest_threads = config.bw_ingest_threads}) {
   // Seed the control plane: a static route per datacenter via its first
   // graph neighbor (stands in for an IGP) — the generalized control plane
   // manages these alongside everything else.
@@ -82,7 +88,22 @@ SmnController::SmnController(const depgraph::ServiceGraph& sg, const topology::W
                                     static_cast<double>(s.coarse_summaries));
                      mib_.set_gauge("smn", "bw_store_bytes",
                                     static_cast<double>(s.total_bytes()));
+                     // Shard occupancy: skew shows up as max >> mean.
+                     std::size_t occupied = 0;
+                     std::size_t max_records = 0;
+                     for (const std::size_t r : s.shard_records) {
+                       if (r > 0) ++occupied;
+                       max_records = std::max(max_records, r);
+                     }
+                     mib_.set_gauge("smn", "bw_shard_count",
+                                    static_cast<double>(s.shard_records.size()));
+                     mib_.set_gauge("smn", "bw_shards_occupied",
+                                    static_cast<double>(occupied));
+                     mib_.set_gauge("smn", "bw_shard_records_max",
+                                    static_cast<double>(max_records));
                    }});
+  loops_.add_loop({"drift-watch", config_.telemetry_loop_period,
+                   [this](util::SimTime now) { check_demand_drift(now); }});
   loops_.add_loop({"retention", config_.retention_loop_period,
                    [this](util::SimTime now) { run_retention(now); }});
   loops_.add_loop({"capacity-planning", config_.planning_loop_period,
@@ -176,7 +197,40 @@ std::size_t SmnController::run_retention(util::SimTime now) {
 capacity::CapacityPlan SmnController::run_capacity_planning(util::SimTime now) {
   const telemetry::BandwidthLog recent =
       bw_store_.fine_range(now - util::kMonth < 0 ? 0 : now - util::kMonth, now);
+  // Snapshot the demand this solve is based on: the drift-watch loop
+  // compares live ingest against it to decide when the plan went stale.
+  const te::DemandMatrix demand =
+      te::DemandMatrix::from_log(recent, te::DemandStatistic::kMean);
+  if (!demand.entries().empty()) {
+    bw_store_.set_demand_baseline(demand.to_baseline(now));
+  }
+  last_te_solve_ = now;
+  mib_.set_gauge("smn", "last_te_solve", static_cast<double>(now));
   return clto_.plan_capacity(wan_, recent, now);
+}
+
+telemetry::DriftReport SmnController::check_demand_drift(util::SimTime now) {
+  const telemetry::DriftReport report = bw_store_.drift();
+  mib_.set_gauge("smn", "bw_drift_level", report.level);
+  mib_.set_gauge("smn", "bw_drift_deviation_gbps", report.deviation_gbps);
+  mib_.set_gauge("smn", "bw_drift_baseline_gbps", report.baseline_gbps);
+  if (!report.has_baseline) return report;
+  if (!drift_armed_) {
+    // Hysteresis: stay disarmed until drift settles below the rearm
+    // threshold, so one excursion fires exactly one early solve.
+    if (report.level < config_.drift_rearm_threshold) drift_armed_ = true;
+    return report;
+  }
+  if (report.level < config_.drift_resolve_threshold) return report;
+  if (last_te_solve_ &&
+      now - *last_te_solve_ < config_.drift_min_resolve_interval) {
+    return report;
+  }
+  drift_armed_ = false;
+  ++early_te_resolves_;
+  mib_.increment_counter("smn", "early_te_resolves");
+  run_capacity_planning(now);
+  return report;
 }
 
 std::vector<ParadigmComparison> SmnController::sdn_vs_smn() {

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -34,6 +35,18 @@ struct SmnConfig {
   /// into `bw_coarse_window` summaries by the retention loop.
   util::SimTime bw_max_fine_age = util::kWeek;
   util::SimTime bw_coarse_window = util::kHour;
+  /// Bandwidth-store sharding: PairId-hash shards and the worker count for
+  /// bulk ingest / retention (0 = min(shards, hardware threads)).
+  std::size_t bw_shards = 8;
+  std::size_t bw_ingest_threads = 0;
+  /// Drift-triggered TE re-solve: fire an early capacity-planning pass when
+  /// aggregate demand drift vs the last solve crosses
+  /// `drift_resolve_threshold`; stay disarmed until drift falls back below
+  /// `drift_rearm_threshold` (hysteresis), and never fire within
+  /// `drift_min_resolve_interval` of the previous solve.
+  double drift_resolve_threshold = 0.25;
+  double drift_rearm_threshold = 0.10;
+  util::SimTime drift_min_resolve_interval = util::kHour;
 };
 
 /// One row of the paper's Table 1 (SDN vs SMN).
@@ -101,8 +114,17 @@ class SmnController {
   std::size_t run_retention(util::SimTime now);
 
   /// Capacity planning pass over the managed WAN using the bandwidth store
-  /// (also runs from the planning loop).
+  /// (also runs from the planning loop). Installs the solved demand matrix
+  /// as the store's drift baseline.
   capacity::CapacityPlan run_capacity_planning(util::SimTime now);
+
+  /// Drift-watch pass (also runs from its control loop): publishes drift
+  /// gauges and fires an early re-solve when aggregate drift crosses the
+  /// configured threshold, subject to hysteresis and the min-interval
+  /// guard. Returns the drift report it acted on.
+  telemetry::DriftReport check_demand_drift(util::SimTime now);
+
+  std::uint64_t early_te_resolves() const noexcept { return early_te_resolves_; }
 
   std::uint64_t incidents_handled() const noexcept { return next_incident_id_ - 1; }
 
@@ -125,6 +147,11 @@ class SmnController {
   telemetry::BandwidthLogStore bw_store_;
   ControlLoopRunner loops_;
   std::uint64_t next_incident_id_ = 1;
+  /// Drift-trigger state machine: armed -> fire (disarm) -> re-arm when
+  /// drift falls below the rearm threshold after the next solve.
+  bool drift_armed_ = true;
+  std::optional<util::SimTime> last_te_solve_;
+  std::uint64_t early_te_resolves_ = 0;
 };
 
 }  // namespace smn::smn

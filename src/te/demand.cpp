@@ -112,4 +112,15 @@ std::vector<lp::Commodity> DemandMatrix::to_commodities(const topology::WanTopol
   return commodities;
 }
 
+telemetry::DemandBaseline DemandMatrix::to_baseline(util::SimTime solved_at) const {
+  telemetry::DemandBaseline baseline;
+  baseline.solved_at = solved_at;
+  baseline.entries.reserve(entries_.size());
+  for (const DemandEntry& e : entries_) {
+    if (e.pair == util::kInvalidPairId) continue;
+    baseline.entries.emplace_back(e.pair, e.gbps);
+  }
+  return baseline;
+}
+
 }  // namespace smn::te

@@ -11,6 +11,7 @@
 
 #include "lp/mcf.h"
 #include "telemetry/bandwidth_log.h"
+#include "telemetry/log_store.h"
 #include "telemetry/time_coarsening.h"
 #include "topology/wan.h"
 
@@ -52,6 +53,11 @@ class DemandMatrix {
   /// skipped and counted in `*unresolved` when provided.
   std::vector<lp::Commodity> to_commodities(const topology::WanTopology& wan,
                                             std::size_t* unresolved = nullptr) const;
+
+  /// Store-native snapshot of this matrix — the drift baseline handle the
+  /// bandwidth store compares live ingest against. Entries without an
+  /// interned PairId (built from names outside the id space) are skipped.
+  telemetry::DemandBaseline to_baseline(util::SimTime solved_at) const;
 
  private:
   std::vector<DemandEntry> entries_;

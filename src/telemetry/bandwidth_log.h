@@ -72,6 +72,16 @@ class BandwidthLog {
            record.bw_gbps);
   }
 
+  /// Bulk column append: copies whole spans into the columnar arrays (range
+  /// inserts, so the copies vectorize instead of paying a capacity check
+  /// per row). All three spans must be the same length.
+  void append_columns(std::span<const util::SimTime> timestamps,
+                      std::span<const util::PairId> pairs, std::span<const double> bw_gbps) {
+    timestamps_.insert(timestamps_.end(), timestamps.begin(), timestamps.end());
+    pairs_.insert(pairs_.end(), pairs.begin(), pairs.end());
+    bw_.insert(bw_.end(), bw_gbps.begin(), bw_gbps.end());
+  }
+
   void reserve(std::size_t n) {
     timestamps_.reserve(n);
     pairs_.reserve(n);

@@ -1,65 +1,274 @@
 #include "telemetry/log_store.h"
 
 #include <algorithm>
+#include <cmath>
+#include <numeric>
 #include <stdexcept>
+#include <thread>
 
 #include "util/contracts.h"
 #include "util/stats.h"
 
 namespace smn::telemetry {
+namespace {
 
-BandwidthLogStore::BandwidthLogStore(util::SimTime streaming_window) : window_(streaming_window) {
+/// Samples per (pair, day) at the standard five-minute telemetry epoch;
+/// accumulators reserve this up front so a full day appends without
+/// reallocation (sparser pairs waste at most one day-sized buffer).
+constexpr std::size_t kSamplesPerDayReserve =
+    static_cast<std::size_t>(util::kDay / util::kTelemetryEpoch);
+
+}  // namespace
+
+BandwidthLogStore::BandwidthLogStore(const LogStoreConfig& config)
+    : window_(config.streaming_window),
+      drift_alpha_(config.drift_alpha),
+      shards_(std::max<std::size_t>(1, config.shards)) {
   if (window_ <= 0) {
     throw std::invalid_argument("BandwidthLogStore: streaming window must be positive");
+  }
+  SMN_CHECK(drift_alpha_ > 0.0 && drift_alpha_ <= 1.0,
+            "drift EWMA alpha must be in (0, 1]");
+  SMN_CHECK(shards_.size() <= 0xFFFFu, "shard ids are staged as 16-bit");
+  std::size_t threads = config.ingest_threads;
+  if (threads == 0) {
+    const std::size_t hw = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    threads = std::min(shards_.size(), hw);
+  }
+  threads = std::min(threads, shards_.size());
+  if (threads > 1) pool_ = std::make_unique<util::ThreadPool>(threads);
+}
+
+std::uint32_t BandwidthLogStore::slot_of(Shard& shard, util::PairId pair) {
+  if (pair >= shard.local_of.size()) shard.local_of.resize(pair + 1, kNoSlot);
+  std::uint32_t slot = shard.local_of[pair];
+  if (slot == kNoSlot) {
+    slot = static_cast<std::uint32_t>(shard.pairs.size());
+    shard.local_of[pair] = slot;
+    shard.pairs.push_back(pair);
+    shard.drift.emplace_back();
+  }
+  return slot;
+}
+
+void BandwidthLogStore::append_locked(Shard& shard, util::SimTime timestamp,
+                                      util::PairId pair, double bw_gbps) {
+  SMN_DCHECK(pair != util::kInvalidPairId, "ingest with an invalid PairId");
+  SMN_DCHECK(timestamp >= 0, "negative timestamps break day-segment keying");
+  const util::SimTime day = (timestamp / util::kDay) * util::kDay;
+  if (day != shard.open_day) {
+    shard.open = &shard.days[day];
+    shard.open_day = day;
+  }
+  DaySlab& slab = *shard.open;
+  slab.seg.append(timestamp, pair, bw_gbps);
+  accumulate_locked(shard, slab, timestamp, pair, bw_gbps);
+}
+
+void BandwidthLogStore::accumulate_locked(Shard& shard, DaySlab& slab,
+                                          util::SimTime timestamp, util::PairId pair,
+                                          double bw_gbps) {
+  const std::uint32_t slot = slot_of(shard, pair);
+  if (slot >= slab.accums.size()) slab.accums.resize(shard.pairs.size());
+  PairDayAccum& acc = slab.accums[slot];
+  // A record belongs to the open run iff it falls inside the run's window
+  // (run_window stores window starts, so the membership test is two
+  // comparisons). Only window transitions and out-of-order arrivals pay
+  // the divide by the runtime window — for in-order streams that is once
+  // per (pair, window), not once per record.
+  const bool in_open_run = !acc.run_window.empty() &&
+                           timestamp >= acc.run_window.back() &&
+                           timestamp - acc.run_window.back() < window_;
+  if (!in_open_run) {
+    if (acc.samples.empty()) {
+      acc.samples.reserve(kSamplesPerDayReserve);
+      acc.run_window.reserve(
+          static_cast<std::size_t>(std::max<util::SimTime>(1, util::kDay / window_)));
+      acc.run_begin.reserve(acc.run_window.capacity());
+    }
+    acc.run_window.push_back((timestamp / window_) * window_);
+    acc.run_begin.push_back(static_cast<std::uint32_t>(acc.samples.size()));
+  }
+  acc.samples.push_back(bw_gbps);
+
+  if (shard.drift_enabled) {
+    PairDrift& d = shard.drift[slot];
+    if (!d.has_observed) {
+      d.observed = bw_gbps;
+      d.has_observed = true;
+    } else {
+      d.observed += drift_alpha_ * (bw_gbps - d.observed);
+    }
   }
 }
 
 void BandwidthLogStore::ingest(util::SimTime timestamp, util::PairId pair, double bw_gbps) {
-  SMN_DCHECK(pair != util::kInvalidPairId, "ingest with an invalid PairId");
-  SMN_DCHECK(timestamp >= 0, "negative timestamps break day-segment keying");
-  const util::SimTime day = (timestamp / util::kDay) * util::kDay;
-  segments_[day].append(timestamp, pair, bw_gbps);
-  accums_[day][accum_key(pair, (timestamp / window_) * window_, window_)].push_back(bw_gbps);
+  Shard& shard = shards_[shard_of(pair)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  append_locked(shard, timestamp, pair, bw_gbps);
+}
+
+void BandwidthLogStore::append_batch(Shard& shard, const StagedColumns& records) {
+  const auto timestamps = records.timestamps;
+  const auto pairs = records.pairs;
+  const auto bw = records.bw_gbps;
+  const std::size_t n = timestamps.size();
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  std::size_t j = 0;
+  while (j < n) {
+    // Maximal same-day run: the whole run lands in one slab, so its columns
+    // copy in bulk (vectorized range inserts) instead of a capacity-checked
+    // push per row; only the accumulator/drift state updates per record.
+    const util::SimTime day = (timestamps[j] / util::kDay) * util::kDay;
+    std::size_t k = j + 1;
+    while (k < n && timestamps[k] - day >= 0 && timestamps[k] - day < util::kDay) ++k;
+    if (day != shard.open_day) {
+      shard.open = &shard.days[day];
+      shard.open_day = day;
+    }
+    DaySlab& slab = *shard.open;
+    slab.seg.append_columns(timestamps.subspan(j, k - j), pairs.subspan(j, k - j),
+                            bw.subspan(j, k - j));
+    for (std::size_t i = j; i < k; ++i) {
+      accumulate_locked(shard, slab, timestamps[i], pairs[i], bw[i]);
+    }
+    j = k;
+  }
 }
 
 void BandwidthLogStore::ingest(const BandwidthLog& log) {
+  const std::size_t n = log.record_count();
+  if (n == 0) return;
   const auto timestamps = log.timestamps();
   const auto pairs = log.pair_ids();
   const auto bw = log.bandwidths();
-  for (std::size_t i = 0; i < log.record_count(); ++i) {
-    ingest(timestamps[i], pairs[i], bw[i]);
+  if (shards_.size() == 1) {
+    Shard& shard = shards_[0];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (std::size_t i = 0; i < n; ++i) {
+      append_locked(shard, timestamps[i], pairs[i], bw[i]);
+    }
+    return;
+  }
+  // Counting partition into per-shard contiguous staging runs: one pass
+  // over the pair column to count, one pass to scatter record values
+  // (recomputing the two-cycle hash beats memoizing it — a memo array is
+  // more memory traffic than the multiply). The per-shard append loops then
+  // read their inputs sequentially instead of gathering the source columns
+  // through an index array — the batch touches each source cache line once.
+  // The staging buffer is raw new[] (trivial type): records are written
+  // exactly once, with no value-initialization pass over the whole buffer.
+  // No locks are held here; each append task takes only its shard's lock.
+  std::vector<std::uint32_t> offset(shards_.size() + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) ++offset[shard_of(pairs[i]) + 1];
+  for (std::size_t s = 1; s <= shards_.size(); ++s) offset[s] += offset[s - 1];
+  const std::unique_ptr<util::SimTime[]> st_ts(new util::SimTime[n]);
+  const std::unique_ptr<util::PairId[]> st_pair(new util::PairId[n]);
+  const std::unique_ptr<double[]> st_bw(new double[n]);
+  std::vector<std::uint32_t> fill(offset.begin(), offset.end() - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t d = fill[shard_of(pairs[i])]++;
+    st_ts[d] = timestamps[i];
+    st_pair[d] = pairs[i];
+    st_bw[d] = bw[i];
+  }
+  for_each_shard([&](std::size_t s) {
+    const std::size_t b = offset[s];
+    const std::size_t len = offset[s + 1] - b;
+    append_batch(shards_[s],
+                 StagedColumns{{st_ts.get() + b, len},
+                               {st_pair.get() + b, len},
+                               {st_bw.get() + b, len}});
+  });
+}
+
+void BandwidthLogStore::seal_shard_day(std::size_t s, util::SimTime day,
+                                       std::vector<WindowSummary>* out) {
+  Shard& shard = shards_[s];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.days.find(day);
+  if (it == shard.days.end()) return;
+  DaySlab& slab = it->second;
+  std::vector<std::uint32_t> run_order;
+  std::vector<double> scratch;
+  for (std::size_t slot = 0; slot < slab.accums.size(); ++slot) {
+    const PairDayAccum& acc = slab.accums[slot];
+    const std::size_t nruns = acc.run_window.size();
+    if (nruns == 0) continue;
+    // Group the runs of each window in run (= record) order, so the sample
+    // sequence fed to summarize() matches a batch pass over the segment.
+    run_order.resize(nruns);
+    std::iota(run_order.begin(), run_order.end(), 0u);
+    std::stable_sort(run_order.begin(), run_order.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                       return acc.run_window[a] < acc.run_window[b];
+                     });
+    std::size_t k = 0;
+    while (k < nruns) {
+      const util::SimTime window_start = acc.run_window[run_order[k]];
+      scratch.clear();
+      util::Summary stats;
+      std::size_t group = k;
+      while (group < nruns && acc.run_window[run_order[group]] == window_start) ++group;
+      if (group == k + 1) {
+        // Single run (in-order stream): summarize straight off the buffer.
+        const std::uint32_t b = acc.run_begin[run_order[k]];
+        const std::uint32_t e = run_order[k] + 1 < nruns
+                                    ? acc.run_begin[run_order[k] + 1]
+                                    : static_cast<std::uint32_t>(acc.samples.size());
+        stats = util::summarize(std::span<const double>(acc.samples).subspan(b, e - b));
+      } else {
+        for (std::size_t g = k; g < group; ++g) {
+          const std::uint32_t r = run_order[g];
+          const std::uint32_t b = acc.run_begin[r];
+          const std::uint32_t e = r + 1 < nruns
+                                      ? acc.run_begin[r + 1]
+                                      : static_cast<std::uint32_t>(acc.samples.size());
+          scratch.insert(scratch.end(), acc.samples.begin() + b, acc.samples.begin() + e);
+        }
+        stats = util::summarize(scratch);
+      }
+      k = group;
+      WindowSummary summary;
+      summary.pair = shard.pairs[slot];
+      summary.window_start = window_start;
+      summary.window_length = window_;
+      summary.sample_count = stats.count;
+      summary.mean = stats.mean;
+      summary.p50 = stats.p50;
+      summary.p95 = stats.p95;
+      summary.min = stats.min;
+      summary.max = stats.max;
+      out->push_back(summary);
+    }
   }
 }
 
-void BandwidthLogStore::seal_day(util::SimTime day, DayAccumulators& accums) {
-  SMN_DCHECK(segments_.find(day) != segments_.end(),
-             "sealing a day with no fine segment");
-  // Emit in the batch coarsener's order — (src name, dst name, window
-  // start) — so sealed output is byte-identical to a batch pass.
-  std::vector<std::uint64_t> keys;
-  keys.reserve(accums.size());
-  for (const auto& [key, _] : accums) keys.push_back(key);
-  const auto rank = pair_name_ranks(segments_.at(day).pair_ids());
-  std::sort(keys.begin(), keys.end(), [&](std::uint64_t a, std::uint64_t b) {
-    const auto pa = rank.at(static_cast<util::PairId>(a >> 32));
-    const auto pb = rank.at(static_cast<util::PairId>(b >> 32));
-    if (pa != pb) return pa < pb;
-    return (a & 0xFFFFFFFFu) < (b & 0xFFFFFFFFu);
-  });
-  for (const std::uint64_t key : keys) {
-    const util::Summary stats = util::summarize(accums.at(key));
-    WindowSummary s;
-    s.pair = static_cast<util::PairId>(key >> 32);
-    s.window_start = static_cast<util::SimTime>(key & 0xFFFFFFFFu) * window_;
-    s.window_length = window_;
-    s.sample_count = stats.count;
-    s.mean = stats.mean;
-    s.p50 = stats.p50;
-    s.p95 = stats.p95;
-    s.min = stats.min;
-    s.max = stats.max;
-    coarse_.append(s);
+void BandwidthLogStore::batch_shard_day(std::size_t s, util::SimTime day,
+                                        const TimeCoarsener& coarsener,
+                                        std::vector<WindowSummary>* out) {
+  Shard& shard = shards_[s];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.days.find(day);
+  if (it == shard.days.end()) return;
+  const CoarseBandwidthLog summarized = coarsener.coarsen(it->second.seg);
+  out->assign(summarized.summaries().begin(), summarized.summaries().end());
+}
+
+std::size_t BandwidthLogStore::erase_day(util::SimTime day) {
+  std::size_t retired = 0;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.days.find(day);
+    if (it == shard.days.end()) continue;
+    retired += it->second.seg.record_count();
+    if (shard.open == &it->second) {
+      shard.open = nullptr;
+      shard.open_day = kNoDay;
+    }
+    shard.days.erase(it);
   }
+  return retired;
 }
 
 std::size_t BandwidthLogStore::coarsen_older_than(util::SimTime now, util::SimTime max_fine_age,
@@ -69,56 +278,163 @@ std::size_t BandwidthLogStore::coarsen_older_than(util::SimTime now, util::SimTi
   // window and windows never straddle the day-segment boundary.
   const bool streaming = (window == window_) && (util::kDay % window_ == 0);
   const TimeCoarsener coarsener(window);
+
+  // Due days, union across shards, ascending — the single-shard store
+  // retired segments in day order, so the merged output must too.
+  std::vector<util::SimTime> due;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& [day, slab] : shard.days) {
+      if (now - (day + util::kDay) >= max_fine_age) due.push_back(day);
+    }
+  }
+  std::sort(due.begin(), due.end());
+  due.erase(std::unique(due.begin(), due.end()), due.end());
+
   std::size_t retired = 0;
-  for (auto it = segments_.begin(); it != segments_.end();) {
-    const util::SimTime segment_end = it->first + util::kDay;
-    if (now - segment_end < max_fine_age) {
-      ++it;
-      continue;
-    }
-    const auto accum_it = accums_.find(it->first);
-    if (streaming && accum_it != accums_.end()) {
-      seal_day(it->first, accum_it->second);
+  std::vector<std::vector<WindowSummary>> parts(shards_.size());
+  for (const util::SimTime day : due) {
+    for (auto& p : parts) p.clear();
+    if (streaming) {
+      for_each_shard([&](std::size_t s) { seal_shard_day(s, day, &parts[s]); });
     } else {
-      const CoarseBandwidthLog summarized = coarsener.coarsen(it->second);
-      for (const WindowSummary& s : summarized.summaries()) coarse_.append(s);
+      for_each_shard([&](std::size_t s) { batch_shard_day(s, day, coarsener, &parts[s]); });
     }
-    if (accum_it != accums_.end()) accums_.erase(accum_it);
-    retired += it->second.record_count();
-    it = segments_.erase(it);
+    // Merge in the single-shard emission order: (src name, dst name,
+    // window start). (pair, window) is unique across shards, so a plain
+    // sort fully determines the order.
+    std::size_t total = 0;
+    for (const auto& p : parts) total += p.size();
+    std::vector<WindowSummary> merged;
+    merged.reserve(total);
+    for (const auto& p : parts) merged.insert(merged.end(), p.begin(), p.end());
+    std::vector<util::PairId> day_pairs;
+    day_pairs.reserve(merged.size());
+    for (const WindowSummary& summary : merged) day_pairs.push_back(summary.pair);
+    const auto rank = pair_name_ranks(day_pairs);
+    std::sort(merged.begin(), merged.end(),
+              [&](const WindowSummary& a, const WindowSummary& b) {
+                const auto ra = rank.at(a.pair);
+                const auto rb = rank.at(b.pair);
+                if (ra != rb) return ra < rb;
+                return a.window_start < b.window_start;
+              });
+    for (const WindowSummary& summary : merged) coarse_.append(summary);
+    retired += erase_day(day);
   }
   return retired;
 }
 
 BandwidthLog BandwidthLogStore::fine_range(util::SimTime begin, util::SimTime end) const {
   BandwidthLog out;
-  for (const auto& [day, segment] : segments_) {
-    if (day >= end || day + util::kDay <= begin) continue;
-    const auto timestamps = segment.timestamps();
-    const auto pairs = segment.pair_ids();
-    const auto bw = segment.bandwidths();
-    for (std::size_t i = 0; i < segment.record_count(); ++i) {
-      if (timestamps[i] >= begin && timestamps[i] < end) {
-        out.append(timestamps[i], pairs[i], bw[i]);
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& [day, slab] : shard.days) {
+      if (day >= end || day + util::kDay <= begin) continue;
+      const auto timestamps = slab.seg.timestamps();
+      const auto pairs = slab.seg.pair_ids();
+      const auto bw = slab.seg.bandwidths();
+      for (std::size_t i = 0; i < slab.seg.record_count(); ++i) {
+        if (timestamps[i] >= begin && timestamps[i] < end) {
+          out.append(timestamps[i], pairs[i], bw[i]);
+        }
       }
     }
   }
+  // Stable sort by (timestamp, name rank): rows with equal keys share a
+  // pair, hence a shard, hence their ingest order — so the merged output is
+  // byte-identical to the single-shard store's.
   out.sort();
   return out;
 }
 
-LogStoreStats BandwidthLogStore::stats() const noexcept {
+LogStoreStats BandwidthLogStore::stats() const {
   LogStoreStats s;
-  for (const auto& [_, segment] : segments_) {
-    s.fine_records += segment.record_count();
-    s.fine_bytes += segment.approximate_bytes();
-  }
-  for (const auto& [_, accums] : accums_) {
-    for (const auto& [_key, samples] : accums) s.open_window_samples += samples.size();
+  s.shard_records.reserve(shards_.size());
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    std::size_t records = 0;
+    for (const auto& [day, slab] : shard.days) {
+      records += slab.seg.record_count();
+      s.fine_bytes += slab.seg.approximate_bytes();
+      for (const PairDayAccum& acc : slab.accums) s.open_window_samples += acc.samples.size();
+    }
+    s.shard_records.push_back(records);
+    s.fine_records += records;
   }
   s.coarse_summaries = coarse_.summary_count();
   s.coarse_bytes = coarse_.approximate_bytes();
   return s;
+}
+
+void BandwidthLogStore::set_demand_baseline(const DemandBaseline& baseline) {
+  const bool enable = !baseline.entries.empty();
+  std::vector<std::vector<std::pair<util::PairId, double>>> per_shard(shards_.size());
+  for (const auto& [pair, gbps] : baseline.entries) {
+    SMN_CHECK(pair != util::kInvalidPairId, "baseline entry with an invalid PairId");
+    per_shard[shard_of(pair)].emplace_back(pair, gbps);
+  }
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (PairDrift& d : shard.drift) d = PairDrift{};
+    shard.drift_enabled = enable;
+    for (const auto& [pair, gbps] : per_shard[s]) {
+      const std::uint32_t slot = slot_of(shard, pair);
+      shard.drift[slot].expected = gbps;
+      shard.drift[slot].has_expected = true;
+    }
+  }
+  baseline_set_ = enable;
+}
+
+DriftReport BandwidthLogStore::drift() const {
+  DriftReport report;
+  report.has_baseline = baseline_set_;
+  if (!baseline_set_) return report;
+  struct Term {
+    util::PairId pair;
+    double observed;
+    double expected;
+    bool has_observed;
+    bool has_expected;
+  };
+  std::vector<Term> terms;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (std::size_t slot = 0; slot < shard.drift.size(); ++slot) {
+      const PairDrift& d = shard.drift[slot];
+      if (!d.has_observed && !d.has_expected) continue;
+      terms.push_back({shard.pairs[slot], d.observed, d.expected, d.has_observed,
+                       d.has_expected});
+    }
+  }
+  // Fold in PairId order: the float sums come out bit-identical for any
+  // shard count or thread count.
+  std::sort(terms.begin(), terms.end(),
+            [](const Term& a, const Term& b) { return a.pair < b.pair; });
+  for (const Term& t : terms) {
+    if (t.has_expected) report.baseline_gbps += t.expected;
+    if (!t.has_observed) continue;  // no post-baseline evidence yet
+    ++report.pairs_tracked;
+    report.deviation_gbps +=
+        t.has_expected ? std::abs(t.observed - t.expected) : t.observed;
+  }
+  if (report.baseline_gbps > 0.0) {
+    report.level = report.deviation_gbps / report.baseline_gbps;
+  } else {
+    report.level =
+        report.deviation_gbps > 0.0 ? std::numeric_limits<double>::infinity() : 0.0;
+  }
+  return report;
+}
+
+void BandwidthLogStore::for_each_shard(const std::function<void(std::size_t)>& fn) {
+  if (pool_ && shards_.size() > 1) {
+    pool_->parallel_for(0, shards_.size(), fn);
+  } else {
+    for (std::size_t s = 0; s < shards_.size(); ++s) fn(s);
+  }
 }
 
 }  // namespace smn::telemetry

@@ -1,20 +1,38 @@
-// Telemetry log store: the bandwidth-log shard of the CLDS. Fine records
-// are held in day-keyed columnar segments; ingest additionally folds every
-// record into an open per-(pair, window) accumulator for the store's
-// configured coarsening window, so the background retention pass
-// ("coarsenings in time", §6) seals already-built summaries instead of
-// re-scanning and re-keying fine segments. Sealed summaries are
-// byte-identical to what a batch TimeCoarsener pass over the same segment
-// would produce (same samples, same util::summarize, same emission order).
+// Telemetry log store: the bandwidth-log shard of the CLDS. The store is
+// partitioned by PairId hash into N independent shards (one per thread-pool
+// worker), each owning its own day-keyed columnar segments, open
+// per-(pair, window) accumulators, and retention seal. Bulk ingest
+// partitions the batch once (a counting sort over shards) and then runs the
+// per-shard append loops as a parallel_for with per-shard locks; the
+// retention pass seals each shard's due days in parallel and merges the
+// sealed summaries in (src name, dst name, window) order. Every record of a
+// pair lands in exactly one shard with stream order preserved, so the
+// merged fine_range() / coarse() views are byte-identical to what the
+// single-shard store produces ("coarsenings in time", §6, still hold
+// bit-exactly under partitioning).
+//
+// On top of the per-pair accumulators each shard tracks demand drift: an
+// EWMA of observed bandwidth per pair, compared against the demand-matrix
+// snapshot of the last TE solve (set_demand_baseline). drift() folds the
+// per-shard deviations in PairId order — deterministic for any shard or
+// thread count — into one aggregate level the controller can threshold to
+// fire an early re-solve.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
 #include <map>
-#include <unordered_map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "telemetry/bandwidth_log.h"
 #include "telemetry/time_coarsening.h"
+#include "util/thread_pool.h"
 
 namespace smn::telemetry {
 
@@ -26,62 +44,195 @@ struct LogStoreStats {
   std::size_t coarse_bytes = 0;
   /// Samples currently buffered in open window accumulators.
   std::size_t open_window_samples = 0;
+  /// Fine records currently held by each shard (occupancy / skew gauge).
+  std::vector<std::size_t> shard_records;
 
   std::size_t total_bytes() const noexcept { return fine_bytes + coarse_bytes; }
 };
 
+/// Demand snapshot of the last TE solve, in store-native (PairId, gbps)
+/// form. te::DemandMatrix::to_baseline() produces one.
+struct DemandBaseline {
+  std::vector<std::pair<util::PairId, double>> entries;
+  util::SimTime solved_at = 0;
+};
+
+/// Aggregate drift of observed demand vs the last baseline.
+struct DriftReport {
+  /// Sum of per-pair |observed - expected| over the baseline total;
+  /// +inf when demand appeared against an all-zero baseline.
+  double level = 0.0;
+  double deviation_gbps = 0.0;
+  double baseline_gbps = 0.0;
+  /// Pairs with at least one post-baseline observation contributing a
+  /// deviation term.
+  std::size_t pairs_tracked = 0;
+  bool has_baseline = false;
+};
+
+struct LogStoreConfig {
+  /// The coarsening window the ingest-time accumulators are built for;
+  /// retention passes requesting that window seal summaries in
+  /// O(open windows). Must divide a day (so windows never straddle segment
+  /// boundaries); other values fall back to batch coarsening at retention.
+  util::SimTime streaming_window = util::kHour;
+  /// Number of independent shards (>= 1). Records are routed by PairId
+  /// hash, so all records of a pair share a shard and keep stream order.
+  std::size_t shards = 1;
+  /// Worker threads for bulk ingest / retention. 0 resolves to
+  /// min(shards, hardware_concurrency); a resolved value <= 1 runs serial.
+  std::size_t ingest_threads = 0;
+  /// EWMA smoothing factor of the per-pair observed-demand tracker.
+  double drift_alpha = 0.2;
+};
+
 class BandwidthLogStore {
  public:
-  /// `streaming_window` is the coarsening window the ingest-time
-  /// accumulators are built for; retention passes requesting that window
-  /// seal summaries in O(open windows). Must divide a day (so windows
-  /// never straddle segment boundaries); other values fall back to batch
-  /// coarsening at retention time.
-  explicit BandwidthLogStore(util::SimTime streaming_window = util::kHour);
+  /// Single-shard store (the pre-sharding behavior and default).
+  explicit BandwidthLogStore(util::SimTime streaming_window = util::kHour)
+      : BandwidthLogStore(LogStoreConfig{.streaming_window = streaming_window}) {}
 
-  /// Appends one record into its day segment and open window accumulator.
+  explicit BandwidthLogStore(const LogStoreConfig& config);
+
+  /// Appends one record into its shard's day segment and open window
+  /// accumulator. Thread-safe against concurrent ingest.
   void ingest(util::SimTime timestamp, util::PairId pair, double bw_gbps);
 
-  /// Appends all records of `log` (columnar copy, no string re-keying).
+  /// Appends all records of `log`: one counting partition over shards, then
+  /// per-shard append loops across the ingest pool (serial when the store
+  /// has one shard or one thread). State is identical to per-record ingest.
   void ingest(const BandwidthLog& log);
 
   /// Rewrites fine segments older than `max_fine_age` (relative to `now`)
   /// into summaries with `window`. Returns the number of records retired.
   /// When `window` equals the streaming window, summaries are sealed from
-  /// the ingest-time accumulators; otherwise the segment is batch-coarsened.
+  /// the ingest-time accumulators; otherwise segments are batch-coarsened.
+  /// Either way each due day is processed shard-parallel and merged in the
+  /// single-shard emission order (src name, dst name, window start).
   std::size_t coarsen_older_than(util::SimTime now, util::SimTime max_fine_age,
                                  util::SimTime window);
 
-  /// Fine records in [begin, end), across segments, timestamp-sorted.
+  /// Fine records in [begin, end), merged across shards, timestamp-sorted.
+  /// Byte-identical to the single-shard store's output.
   BandwidthLog fine_range(util::SimTime begin, util::SimTime end) const;
 
   /// All coarse summaries produced by retention passes so far.
   const CoarseBandwidthLog& coarse() const noexcept { return coarse_; }
 
   util::SimTime streaming_window() const noexcept { return window_; }
+  std::size_t shard_count() const noexcept { return shards_.size(); }
 
-  LogStoreStats stats() const noexcept;
+  LogStoreStats stats() const;
+
+  // --- Drift tracking (streaming TE re-solve triggers) ---
+
+  /// Installs the demand snapshot of a TE solve as the drift baseline and
+  /// resets the per-pair observation EWMAs, so drift measures movement
+  /// since this solve. An empty baseline disables tracking.
+  void set_demand_baseline(const DemandBaseline& baseline);
+
+  /// Aggregate drift vs the current baseline; deterministic for any shard
+  /// and thread count (per-pair terms are folded in PairId order).
+  DriftReport drift() const;
 
  private:
-  /// Open accumulators of one day segment: (pair, window_start) -> samples
-  /// in ingest order (matching the segment's record order, so sealed
-  /// summaries are identical to a batch pass over the segment).
-  using DayAccumulators = std::unordered_map<std::uint64_t, std::vector<double>>;
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+  static constexpr util::SimTime kNoDay = std::numeric_limits<util::SimTime>::min();
 
-  static std::uint64_t accum_key(util::PairId pair, util::SimTime window_start,
-                                 util::SimTime window) noexcept {
-    return (static_cast<std::uint64_t>(pair) << 32) |
-           static_cast<std::uint32_t>(window_start / window);
+  /// Open accumulator of one (pair, day): samples in ingest order, split
+  /// into runs of consecutive same-window records (one run per window for
+  /// in-order streams; out-of-order streams reopen a window as a new run
+  /// and the seal re-concatenates runs in record order).
+  struct PairDayAccum {
+    std::vector<double> samples;
+    std::vector<util::SimTime> run_window;   ///< window start of each run
+    std::vector<std::uint32_t> run_begin;    ///< first sample index of each run
+  };
+
+  /// One day segment of one shard plus its open accumulators (by slot).
+  struct DaySlab {
+    BandwidthLog seg;
+    std::vector<PairDayAccum> accums;
+  };
+
+  /// Per-pair drift state of one shard (by slot).
+  struct PairDrift {
+    double observed = 0.0;   ///< EWMA of ingested bandwidth since baseline
+    double expected = 0.0;   ///< demand of the last TE solve
+    bool has_observed = false;
+    bool has_expected = false;
+  };
+
+  struct Shard {
+    mutable std::mutex mutex;  // guards: days, open, open_day, local_of, pairs, drift, drift_enabled
+    std::map<util::SimTime, DaySlab> days;   ///< key: day start
+    DaySlab* open = nullptr;                 ///< cached slab of open_day
+    util::SimTime open_day = kNoDay;
+    std::vector<std::uint32_t> local_of;     ///< PairId -> slot (kNoSlot if unseen)
+    std::vector<util::PairId> pairs;         ///< slot -> PairId
+    std::vector<PairDrift> drift;            ///< by slot
+    bool drift_enabled = false;
+  };
+
+  std::size_t shard_of(util::PairId pair) const noexcept {
+    // Knuth multiplicative hash, then a multiply-shift range reduction
+    // (uniform over [0, shards) with no hardware divide — shard_of runs
+    // once per record on the bulk-ingest hot path).
+    const std::uint32_t h = pair * 2654435761u;
+    return static_cast<std::size_t>(
+        (static_cast<std::uint64_t>(h) * shards_.size()) >> 32);
   }
 
-  /// Seals every accumulator of `day` into coarse_, in the batch emission
-  /// order (src name, dst name, window_start).
-  void seal_day(util::SimTime day, DayAccumulators& accums);
+  /// Staged records of one shard, in stream order (columnar value copies,
+  /// so the per-shard loops read their inputs contiguously instead of
+  /// gathering through an index array, and segments fill by bulk column
+  /// copies).
+  struct StagedColumns {
+    std::span<const util::SimTime> timestamps;
+    std::span<const util::PairId> pairs;
+    std::span<const double> bw_gbps;
+  };
+
+  /// Slot of `pair` in `shard`, assigning one on first sight.
+  static std::uint32_t slot_of(Shard& shard, util::PairId pair);
+
+  /// Appends one record into `shard` (caller holds the shard's mutex).
+  void append_locked(Shard& shard, util::SimTime timestamp, util::PairId pair,
+                     double bw_gbps);
+
+  /// Bulk-appends staged records into `shard`: day-runs are copied into the
+  /// day segment as whole columns, then the accumulator/drift state is
+  /// updated per record (takes the shard's mutex).
+  void append_batch(Shard& shard, const StagedColumns& records);
+
+  /// Accumulator/drift part of one append (caller holds the shard's mutex
+  /// and has already placed the record into `slab`'s segment).
+  void accumulate_locked(Shard& shard, DaySlab& slab, util::SimTime timestamp,
+                         util::PairId pair, double bw_gbps);
+
+  /// Seals shard `s`'s slab of `day` into `*out` from the streaming
+  /// accumulators (takes the shard's mutex; summaries unordered).
+  void seal_shard_day(std::size_t s, util::SimTime day,
+                      std::vector<WindowSummary>* out);
+
+  /// Batch-coarsens shard `s`'s slab of `day` with `coarsener` into `*out`
+  /// (takes the shard's mutex).
+  void batch_shard_day(std::size_t s, util::SimTime day,
+                       const TimeCoarsener& coarsener,
+                       std::vector<WindowSummary>* out);
+
+  /// Erases the slab of `day` from every shard, returning records retired.
+  std::size_t erase_day(util::SimTime day);
+
+  /// Runs `fn(s)` for every shard, across the pool when it exists.
+  void for_each_shard(const std::function<void(std::size_t)>& fn);
 
   util::SimTime window_;
-  std::map<util::SimTime, BandwidthLog> segments_;    ///< key: day start
-  std::map<util::SimTime, DayAccumulators> accums_;   ///< key: day start
+  double drift_alpha_;
+  std::vector<Shard> shards_;              ///< sized at construction, never resized
+  std::unique_ptr<util::ThreadPool> pool_; ///< null when resolved threads <= 1
   CoarseBandwidthLog coarse_;
+  bool baseline_set_ = false;              ///< mutated by set_demand_baseline only
 };
 
 }  // namespace smn::telemetry

@@ -158,6 +158,75 @@ TEST(SmnController, IngestsOpticalRisksAndAnswersQueries) {
   EXPECT_GT(w.controller.query("smn", deps)[0].matched, 0u);
 }
 
+TEST(SmnController, DriftTriggeredResolveFiresEarlyWithHysteresis) {
+  // Dedicated small world: cheap Clto, three-DC WAN, two demand pairs.
+  const depgraph::ServiceGraph sg = depgraph::build_reddit_deployment();
+  topology::WanTopology wan;
+  const auto a = wan.add_datacenter({"d/a", "d", "na", 0, 0});
+  const auto b = wan.add_datacenter({"d/b", "d", "na", 1, 0});
+  const auto c = wan.add_datacenter({"d/c", "d", "na", 2, 0});
+  wan.add_link(a, b, 1000.0, 2000.0, 1.0);
+  wan.add_link(b, c, 1000.0, 2000.0, 1.0);
+
+  SmnConfig config;
+  config.clto.training_incidents = 80;
+  config.clto.forest_trees = 20;
+  config.bw_shards = 4;
+  // Defaults under test: fire at 0.25, re-arm below 0.10, min interval 1h,
+  // fixed planning period one month.
+  SmnController controller(sg, wan, config);
+
+  const auto ingest_hour = [&](util::SimTime from, double gbps) {
+    telemetry::BandwidthLog log;
+    for (util::SimTime t = from; t < from + util::kHour; t += util::kTelemetryEpoch) {
+      log.append({t, "d/a", "d/b", gbps});
+      log.append({t, "d/b", "d/c", gbps});
+    }
+    controller.ingest_bandwidth(log);
+  };
+
+  // Steady state, then a solve that snapshots 100 Gbps per pair.
+  ingest_hour(0, 100.0);
+  controller.run_capacity_planning(util::kHour);
+  EXPECT_EQ(controller.early_te_resolves(), 0u);
+  EXPECT_EQ(controller.check_demand_drift(util::kHour).level, 0.0);
+
+  // Step change: demand triples. The drift check fires an early re-solve
+  // one hour in — far before the one-month planning period.
+  ingest_hour(util::kHour, 300.0);
+  const telemetry::DriftReport fired = controller.check_demand_drift(2 * util::kHour);
+  EXPECT_GT(fired.level, config.drift_resolve_threshold);
+  EXPECT_EQ(controller.early_te_resolves(), 1u);
+  ASSERT_TRUE(controller.mib().get("smn", "early_te_resolves").has_value());
+  EXPECT_EQ(*controller.mib().get("smn", "early_te_resolves"), 1.0);
+  EXPECT_LT(2 * util::kHour, config.planning_loop_period);  // early indeed
+
+  // Still drifting minutes later: the min-interval guard blocks a re-fire.
+  ingest_hour(2 * util::kHour, 300.0);
+  controller.check_demand_drift(2 * util::kHour + 10 * util::kMinute);
+  EXPECT_EQ(controller.early_te_resolves(), 1u);
+
+  // One hour later the interval guard has lapsed, but the trigger is still
+  // disarmed because drift never fell below the re-arm threshold: the
+  // hysteresis half of the state machine.
+  const telemetry::DriftReport held = controller.check_demand_drift(3 * util::kHour);
+  EXPECT_GE(held.level, config.drift_rearm_threshold);
+  EXPECT_EQ(controller.early_te_resolves(), 1u);
+
+  // Demand settles onto the re-solved baseline (mean of 100s and 300s is
+  // 200): drift decays below the re-arm threshold and the trigger re-arms.
+  ingest_hour(3 * util::kHour, 200.0);
+  const telemetry::DriftReport settled = controller.check_demand_drift(4 * util::kHour);
+  EXPECT_LT(settled.level, config.drift_rearm_threshold);
+  EXPECT_EQ(controller.early_te_resolves(), 1u);
+
+  // A second excursion now fires a second early solve.
+  ingest_hour(4 * util::kHour, 500.0);
+  controller.check_demand_drift(5 * util::kHour);
+  EXPECT_EQ(controller.early_te_resolves(), 2u);
+  EXPECT_GE(*controller.mib().get("smn", "bw_drift_level"), 0.0);
+}
+
 TEST(SmnController, Table1HasSevenAspects) {
   const auto rows = SmnController::sdn_vs_smn();
   ASSERT_EQ(rows.size(), 7u);

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <string>
+
 #include "telemetry/traffic_generator.h"
 #include "topology/wan_generator.h"
 
@@ -79,6 +82,108 @@ TEST(BandwidthLogStore, SummariesCoverRetiredRange) {
     EXPECT_EQ(s.window_length, util::kHour);
     EXPECT_GT(s.sample_count, 0u);
   }
+}
+
+// --- Drift tracking ---
+
+util::PairId drift_pair(int i) {
+  return util::IdSpace::global().pair_of_names("drift-src" + std::to_string(i),
+                                               "drift-dst" + std::to_string(i));
+}
+
+DemandBaseline flat_baseline(int pairs, double gbps) {
+  DemandBaseline baseline;
+  for (int i = 0; i < pairs; ++i) baseline.entries.emplace_back(drift_pair(i), gbps);
+  return baseline;
+}
+
+TEST(BandwidthLogStoreDrift, NoBaselineReportsNothing) {
+  BandwidthLogStore store;
+  store.ingest(0, drift_pair(0), 100.0);
+  const DriftReport report = store.drift();
+  EXPECT_FALSE(report.has_baseline);
+  EXPECT_EQ(report.level, 0.0);
+  EXPECT_EQ(report.pairs_tracked, 0u);
+}
+
+TEST(BandwidthLogStoreDrift, ObservedMatchingBaselineStaysFlat) {
+  BandwidthLogStore store;
+  store.set_demand_baseline(flat_baseline(4, 100.0));
+  for (int t = 0; t < 20; ++t) {
+    for (int i = 0; i < 4; ++i) store.ingest(t * util::kTelemetryEpoch, drift_pair(i), 100.0);
+  }
+  const DriftReport report = store.drift();
+  ASSERT_TRUE(report.has_baseline);
+  EXPECT_EQ(report.baseline_gbps, 400.0);
+  EXPECT_EQ(report.pairs_tracked, 4u);
+  EXPECT_NEAR(report.level, 0.0, 1e-12);
+}
+
+TEST(BandwidthLogStoreDrift, StepChangeRaisesLevelViaEwma) {
+  BandwidthLogStore store;
+  store.set_demand_baseline(flat_baseline(4, 100.0));
+  // Demand doubles on every pair: the EWMA converges toward 200 and the
+  // aggregate relative drift toward |200 - 100| / 100 = 1.0.
+  for (int t = 0; t < 50; ++t) {
+    for (int i = 0; i < 4; ++i) store.ingest(t * util::kTelemetryEpoch, drift_pair(i), 200.0);
+  }
+  const DriftReport report = store.drift();
+  EXPECT_GT(report.level, 0.9);
+  EXPECT_LE(report.level, 1.0 + 1e-12);
+  EXPECT_NEAR(report.deviation_gbps, 400.0, 1.0);
+}
+
+TEST(BandwidthLogStoreDrift, UnplannedPairCountsAsDeviation) {
+  BandwidthLogStore store;
+  store.set_demand_baseline(flat_baseline(2, 100.0));
+  // A pair absent from the last solve shows up carrying 50 Gbps.
+  store.ingest(0, drift_pair(9), 50.0);
+  const DriftReport report = store.drift();
+  EXPECT_EQ(report.baseline_gbps, 200.0);
+  EXPECT_NEAR(report.deviation_gbps, 50.0, 1e-12);
+  EXPECT_NEAR(report.level, 0.25, 1e-12);
+}
+
+TEST(BandwidthLogStoreDrift, SilentBaselinePairsContributeNothingYet) {
+  // Right after a solve there are no post-baseline observations; the level
+  // must start at zero, not one (otherwise every solve would immediately
+  // re-trigger itself).
+  BandwidthLogStore store;
+  store.set_demand_baseline(flat_baseline(8, 100.0));
+  EXPECT_EQ(store.drift().level, 0.0);
+  EXPECT_EQ(store.drift().pairs_tracked, 0u);
+}
+
+TEST(BandwidthLogStoreDrift, NewBaselineResetsObservations) {
+  BandwidthLogStore store;
+  store.set_demand_baseline(flat_baseline(2, 100.0));
+  for (int t = 0; t < 30; ++t) {
+    for (int i = 0; i < 2; ++i) store.ingest(t * util::kTelemetryEpoch, drift_pair(i), 300.0);
+  }
+  EXPECT_GT(store.drift().level, 1.0);
+  // The next solve plans for the new demand; drift restarts from zero.
+  store.set_demand_baseline(flat_baseline(2, 300.0));
+  EXPECT_EQ(store.drift().level, 0.0);
+}
+
+TEST(BandwidthLogStoreDrift, EmptyBaselineDisablesTracking) {
+  BandwidthLogStore store;
+  store.set_demand_baseline(flat_baseline(2, 100.0));
+  store.ingest(0, drift_pair(0), 500.0);
+  ASSERT_TRUE(store.drift().has_baseline);
+  store.set_demand_baseline(DemandBaseline{});
+  EXPECT_FALSE(store.drift().has_baseline);
+  EXPECT_EQ(store.drift().level, 0.0);
+}
+
+TEST(BandwidthLogStoreDrift, ZeroBaselineWithDemandIsInfiniteDrift) {
+  BandwidthLogStore store;
+  DemandBaseline baseline;
+  baseline.entries.emplace_back(drift_pair(0), 0.0);
+  store.set_demand_baseline(baseline);
+  store.ingest(0, drift_pair(0), 10.0);
+  const DriftReport report = store.drift();
+  EXPECT_TRUE(std::isinf(report.level));
 }
 
 }  // namespace

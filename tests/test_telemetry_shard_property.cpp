@@ -1,0 +1,219 @@
+// Shard-merge equivalence properties of the partitioned BandwidthLogStore:
+// for random pair streams (in-order and out-of-order), N-shard ingest plus
+// retention seal must produce byte-identical fine_range() / coarse() output
+// to the single-shard store — at several shard counts, thread counts, via
+// bulk and per-record ingest, and through both the streaming-seal and the
+// batch-coarsen fallback retention paths. Drift reports must be
+// bit-identical across shard counts too (PairId-ordered folding).
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "telemetry/bandwidth_log.h"
+#include "telemetry/log_store.h"
+#include "telemetry/traffic_generator.h"
+#include "topology/wan_generator.h"
+#include "util/rng.h"
+
+namespace smn::telemetry {
+namespace {
+
+void expect_logs_identical(const BandwidthLog& a, const BandwidthLog& b) {
+  ASSERT_EQ(a.record_count(), b.record_count());
+  for (std::size_t i = 0; i < a.record_count(); ++i) {
+    ASSERT_EQ(a.timestamps()[i], b.timestamps()[i]) << "row " << i;
+    ASSERT_EQ(a.pair_ids()[i], b.pair_ids()[i]) << "row " << i;
+    // Exact double equality: same record routed through either store.
+    ASSERT_EQ(a.bandwidths()[i], b.bandwidths()[i]) << "row " << i;
+  }
+}
+
+void expect_coarse_identical(const CoarseBandwidthLog& a, const CoarseBandwidthLog& b) {
+  ASSERT_EQ(a.summary_count(), b.summary_count());
+  const auto& sa = a.summaries();
+  const auto& sb = b.summaries();
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    ASSERT_EQ(sa[i].pair, sb[i].pair) << "summary " << i;
+    ASSERT_EQ(sa[i].window_start, sb[i].window_start) << "summary " << i;
+    ASSERT_EQ(sa[i].window_length, sb[i].window_length) << "summary " << i;
+    ASSERT_EQ(sa[i].sample_count, sb[i].sample_count) << "summary " << i;
+    // Exact equality, not near: identical sample sequences through the
+    // same util::summarize.
+    ASSERT_EQ(sa[i].mean, sb[i].mean) << "summary " << i;
+    ASSERT_EQ(sa[i].p50, sb[i].p50) << "summary " << i;
+    ASSERT_EQ(sa[i].p95, sb[i].p95) << "summary " << i;
+    ASSERT_EQ(sa[i].min, sb[i].min) << "summary " << i;
+    ASSERT_EQ(sa[i].max, sb[i].max) << "summary " << i;
+  }
+}
+
+/// Random three-day stream over a shared pair pool: mostly ascending
+/// timestamps with occasional backward jumps (out-of-order arrivals) and a
+/// heavy-tailed pair distribution (shard skew).
+BandwidthLog random_stream(std::uint64_t seed, std::size_t records) {
+  util::IdSpace& ids = util::IdSpace::global();
+  std::vector<util::PairId> pool;
+  for (int p = 0; p < 60; ++p) {
+    pool.push_back(ids.pair_of_names("shard-src" + std::to_string(p % 12),
+                                     "shard-dst" + std::to_string(p / 12 + 13 * (p % 5))));
+  }
+  util::Rng rng(seed);
+  BandwidthLog log;
+  util::SimTime t = 0;
+  for (std::size_t i = 0; i < records; ++i) {
+    // Heavy tail: a third of the stream concentrates on one pair.
+    const std::size_t pick = rng.bernoulli(0.33)
+                                 ? 0
+                                 : static_cast<std::size_t>(
+                                       rng.uniform_int(0, static_cast<int>(pool.size()) - 1));
+    log.append(t, pool[pick], static_cast<double>(rng.uniform_int(1, 900)) * 1.25);
+    if (rng.bernoulli(0.1)) {
+      // Out-of-order arrival: jump back up to two hours (can cross a
+      // window, reopening it as a new accumulator run).
+      t = std::max<util::SimTime>(0, t - rng.uniform_int(0, 2 * util::kHour));
+    } else {
+      t += rng.uniform_int(0, 2 * util::kTelemetryEpoch);
+    }
+  }
+  return log;
+}
+
+LogStoreConfig sharded(std::size_t shards, std::size_t threads) {
+  return LogStoreConfig{.streaming_window = util::kHour,
+                        .shards = shards,
+                        .ingest_threads = threads};
+}
+
+TEST(ShardMergeProperty, BulkIngestMatchesSingleShardAtManyShardAndThreadCounts) {
+  const BandwidthLog stream = random_stream(101, 20000);
+  BandwidthLogStore reference(util::kHour);
+  reference.ingest(stream);
+  const BandwidthLog ref_fine = reference.fine_range(0, 10 * util::kDay);
+  reference.coarsen_older_than(10 * util::kDay, util::kDay, util::kHour);
+
+  for (const std::size_t shards : {2u, 3u, 8u, 13u}) {
+    for (const std::size_t threads : {1u, 2u, 4u}) {
+      SCOPED_TRACE("shards=" + std::to_string(shards) + " threads=" + std::to_string(threads));
+      BandwidthLogStore store(sharded(shards, threads));
+      store.ingest(stream);
+      ASSERT_EQ(store.shard_count(), shards);
+      expect_logs_identical(store.fine_range(0, 10 * util::kDay), ref_fine);
+      store.coarsen_older_than(10 * util::kDay, util::kDay, util::kHour);
+      expect_coarse_identical(store.coarse(), reference.coarse());
+      EXPECT_EQ(store.stats().open_window_samples, 0u);
+    }
+  }
+}
+
+TEST(ShardMergeProperty, PerRecordIngestMatchesBulk) {
+  const BandwidthLog stream = random_stream(202, 8000);
+  BandwidthLogStore bulk(sharded(8, 2));
+  bulk.ingest(stream);
+  BandwidthLogStore one_by_one(sharded(8, 2));
+  for (std::size_t i = 0; i < stream.record_count(); ++i) {
+    one_by_one.ingest(stream.timestamps()[i], stream.pair_ids()[i], stream.bandwidths()[i]);
+  }
+  expect_logs_identical(one_by_one.fine_range(0, 10 * util::kDay),
+                        bulk.fine_range(0, 10 * util::kDay));
+  bulk.coarsen_older_than(10 * util::kDay, 0, util::kHour);
+  one_by_one.coarsen_older_than(10 * util::kDay, 0, util::kHour);
+  expect_coarse_identical(one_by_one.coarse(), bulk.coarse());
+}
+
+TEST(ShardMergeProperty, BatchFallbackWindowMatchesSingleShard) {
+  // A retention window different from the streaming window forces the
+  // batch-coarsen path; the per-shard batch passes merged in name order
+  // must equal the single-shard batch pass.
+  const BandwidthLog stream = random_stream(303, 12000);
+  BandwidthLogStore reference(util::kHour);
+  reference.ingest(stream);
+  reference.coarsen_older_than(10 * util::kDay, 0, 2 * util::kHour);
+
+  BandwidthLogStore store(sharded(8, 4));
+  store.ingest(stream);
+  store.coarsen_older_than(10 * util::kDay, 0, 2 * util::kHour);
+  expect_coarse_identical(store.coarse(), reference.coarse());
+}
+
+TEST(ShardMergeProperty, PartialRetentionKeepsRecentDaysIdentical) {
+  const BandwidthLog stream = random_stream(404, 15000);
+  BandwidthLogStore reference(util::kHour);
+  reference.ingest(stream);
+  BandwidthLogStore store(sharded(5, 2));
+  store.ingest(stream);
+
+  // Seal only days older than one day; the fine remainder and the sealed
+  // prefix must both match the single-shard store.
+  const util::SimTime now = stream.time_range().second;
+  const std::size_t ref_retired = reference.coarsen_older_than(now, util::kDay, util::kHour);
+  const std::size_t retired = store.coarsen_older_than(now, util::kDay, util::kHour);
+  EXPECT_EQ(retired, ref_retired);
+  expect_coarse_identical(store.coarse(), reference.coarse());
+  expect_logs_identical(store.fine_range(0, now + util::kDay),
+                        reference.fine_range(0, now + util::kDay));
+
+  const LogStoreStats stats = store.stats();
+  ASSERT_EQ(stats.shard_records.size(), 5u);
+  std::size_t total = 0;
+  for (const std::size_t r : stats.shard_records) total += r;
+  EXPECT_EQ(total, stats.fine_records);
+  EXPECT_EQ(stats.fine_records, reference.stats().fine_records);
+}
+
+TEST(ShardMergeProperty, DriftReportBitIdenticalAcrossShardCounts) {
+  const BandwidthLog stream = random_stream(505, 10000);
+  DemandBaseline baseline;
+  baseline.solved_at = 0;
+  // Baseline at 100 Gbps per pair over the pool's first-seen pairs.
+  for (const util::PairId pair : stream.pair_ids_first_seen()) {
+    baseline.entries.emplace_back(pair, 100.0);
+  }
+
+  DriftReport reference;
+  bool first = true;
+  for (const std::size_t shards : {1u, 2u, 8u, 13u}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    BandwidthLogStore store(sharded(shards, 2));
+    store.set_demand_baseline(baseline);
+    store.ingest(stream);
+    const DriftReport report = store.drift();
+    ASSERT_TRUE(report.has_baseline);
+    EXPECT_GT(report.level, 0.0);
+    if (first) {
+      reference = report;
+      first = false;
+      continue;
+    }
+    // Bit-identical folding (PairId order), independent of sharding.
+    EXPECT_EQ(report.level, reference.level);
+    EXPECT_EQ(report.deviation_gbps, reference.deviation_gbps);
+    EXPECT_EQ(report.baseline_gbps, reference.baseline_gbps);
+    EXPECT_EQ(report.pairs_tracked, reference.pairs_tracked);
+  }
+}
+
+TEST(ShardMergeProperty, WanWorkloadMatchesSingleShard) {
+  // The 308-DC planetary WAN workload the bench runs: generator traffic is
+  // in-order, one record per active pair per five-minute epoch.
+  const topology::WanTopology wan = topology::generate_planetary_wan({});
+  TrafficConfig config;
+  config.duration = util::kDay;
+  config.active_pairs = 500;
+  config.seed = 77;
+  const BandwidthLog fine = TrafficGenerator(wan, config).generate();
+
+  BandwidthLogStore reference(util::kHour);
+  reference.ingest(fine);
+  BandwidthLogStore store(sharded(8, 4));
+  store.ingest(fine);
+
+  expect_logs_identical(store.fine_range(0, 2 * util::kDay),
+                        reference.fine_range(0, 2 * util::kDay));
+  reference.coarsen_older_than(10 * util::kDay, 0, util::kHour);
+  store.coarsen_older_than(10 * util::kDay, 0, util::kHour);
+  expect_coarse_identical(store.coarse(), reference.coarse());
+}
+
+}  // namespace
+}  // namespace smn::telemetry

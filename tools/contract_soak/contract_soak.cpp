@@ -1,0 +1,133 @@
+// Contract soak: drives the full SmnController stack over a generated WAN
+// day with every SMN_CHECK/SMN_DCHECK in log mode, then fails if any
+// contract fired. Where unit tests assert contracts on targeted inputs,
+// the soak asserts the absence of violations under realistic sustained
+// load: hourly bulk bandwidth ingest, five-minute control-loop ticks, a
+// mid-day demand step that exercises the drift-triggered re-solve,
+// incident routing, optical risk publication, and the retention seal over
+// everything at the end.
+//
+//   contract_soak          # planetary WAN, one day of telemetry (nightly CI)
+//   contract_soak --quick  # small WAN, two hours (the contract_soak ctest)
+//
+// Exit status: 0 iff util::contract_failure_count() == 0 at the end.
+#include <cstdio>
+#include <cstring>
+
+#include "depgraph/reddit.h"
+#include "incident/simulator.h"
+#include "optical/optical.h"
+#include "smn/smn_controller.h"
+#include "telemetry/traffic_generator.h"
+#include "topology/wan_generator.h"
+#include "util/contracts.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace smn;
+
+/// Records of `log` with timestamps in [begin, end), bandwidth scaled by
+/// `gain` (the soak's mid-day demand step).
+telemetry::BandwidthLog slice(const telemetry::BandwidthLog& log, util::SimTime begin,
+                              util::SimTime end, double gain) {
+  telemetry::BandwidthLog out;
+  const auto timestamps = log.timestamps();
+  const auto pairs = log.pair_ids();
+  const auto bw = log.bandwidths();
+  for (std::size_t i = 0; i < log.record_count(); ++i) {
+    if (timestamps[i] >= begin && timestamps[i] < end) {
+      out.append(timestamps[i], pairs[i], gain * bw[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  // Log-and-continue so one violation cannot end the run before the rest of
+  // the day surfaces more; the exit status carries the verdict. (CI also
+  // sets SMN_CONTRACT_MODE=log; this makes local runs match.)
+  util::set_contract_mode(util::ContractMode::kLog);
+
+  topology::WanConfig wan_config;
+  if (quick) {
+    wan_config.regions_per_continent = 2;
+    wan_config.dcs_per_region = 3;
+  }
+  const topology::WanTopology wan = topology::generate_planetary_wan(wan_config);
+  const depgraph::ServiceGraph services = depgraph::build_reddit_deployment();
+  const optical::OpticalNetwork underlay = optical::build_underlay(wan, 31);
+
+  ::smn::smn::SmnConfig config;
+  config.clto.training_incidents = quick ? 80 : 240;
+  config.clto.forest_trees = quick ? 20 : 60;
+  config.bw_shards = 8;
+  // Planning fires once early in the soak so the drift baseline installs;
+  // retention fires at end-of-day inside the tick loop.
+  config.planning_loop_period = quick ? util::kHour : 6 * util::kHour;
+  config.retention_loop_period = util::kDay;
+  config.bw_max_fine_age = quick ? util::kHour : 12 * util::kHour;
+  // Let the mid-day demand step fire the drift re-solve inside the quick
+  // window too (the default interval guard would run out the clock).
+  if (quick) config.drift_min_resolve_interval = 30 * util::kMinute;
+  ::smn::smn::SmnController controller(services, wan, config);
+
+  telemetry::TrafficConfig traffic;
+  // Quick runs three hours so the demand step at 2/3 of the window lands on
+  // the final hourly ingest, after planning has installed a pre-step baseline.
+  traffic.duration = quick ? 3 * util::kHour : util::kDay;
+  traffic.active_pairs = quick ? 100 : 2000;
+  traffic.seed = 93;
+  const telemetry::BandwidthLog day = telemetry::TrafficGenerator(wan, traffic).generate();
+
+  incident::IncidentSimulator simulator(services);
+  util::Rng rng(4242);
+  const std::size_t component_count = services.component_count();
+
+  std::size_t records = 0;
+  std::size_t ticks = 0;
+  std::size_t incidents = 0;
+  // One day, five-minute control ticks, hourly bulk ingest; demand doubles
+  // for the last third of the day (drift-triggered early re-solve).
+  const util::SimTime step_at = 2 * traffic.duration / 3;
+  for (util::SimTime now = 0; now < traffic.duration; now += util::kTelemetryEpoch) {
+    if (now % util::kHour == 0) {
+      const double gain = now >= step_at ? 2.0 : 1.0;
+      records += controller.ingest_bandwidth(slice(day, now, now + util::kHour, gain));
+    }
+    ticks += controller.tick(now);
+    if (now % (2 * util::kHour) == util::kHour) {
+      const auto victim = static_cast<graph::NodeId>(
+          rng.uniform_int(0, static_cast<int>(component_count) - 1));
+      const incident::Fault fault{incident::FaultType::kHypervisorFailure, victim, incidents};
+      controller.handle_incident(simulator.simulate(fault, rng), now);
+      ++incidents;
+    }
+    if (now == util::kHour) controller.ingest_optical_risks(underlay, now);
+  }
+  // End of day: seal everything old enough, then one more planning pass on
+  // the sealed + fine mix.
+  controller.run_retention(traffic.duration + util::kWeek);
+  controller.run_capacity_planning(traffic.duration);
+
+  const telemetry::LogStoreStats stats = controller.bandwidth_store().stats();
+  const std::size_t failures = util::contract_failure_count();
+  std::printf(
+      "soak: %zu records ingested across %zu shards, %zu loop runs, %zu incidents,\n"
+      "      %llu early TE re-solves, %zu fine records left, %zu coarse summaries\n",
+      records, controller.bandwidth_store().shard_count(), ticks, incidents,
+      static_cast<unsigned long long>(controller.early_te_resolves()), stats.fine_records,
+      stats.coarse_summaries);
+  if (failures != 0) {
+    std::fprintf(stderr, "CONTRACT SOAK FAILED: %zu contract violation(s) logged\n", failures);
+    return 1;
+  }
+  std::printf("contract soak passed: 0 contract violations\n");
+  return 0;
+}
