@@ -53,10 +53,11 @@ Partition partition_by_name_prefix(const Digraph& g, char delimiter) {
   Partition partition;
   partition.group_of.resize(g.node_count());
   std::map<std::string, NodeId> groups;
+  std::string prefix;  // reused across nodes; assign() keeps the capacity
   for (NodeId n = 0; n < g.node_count(); ++n) {
     const std::string& name = g.node_name(n);
     const std::size_t pos = name.find(delimiter);
-    const std::string prefix = pos == std::string::npos ? name : name.substr(0, pos);
+    prefix.assign(name, 0, pos == std::string::npos ? name.size() : pos);
     const auto it = groups.find(prefix);
     if (it == groups.end()) {
       const auto id = static_cast<NodeId>(partition.group_names.size());

@@ -253,16 +253,22 @@ std::vector<Path> yen_k_shortest_paths(const Digraph& g, NodeId source, NodeId t
     }
   };
 
+  // Per-spur-pass scratch, reused across passes so the spur loop allocates
+  // nothing: prev's node sequence and the shared-root-prefix path set.
+  std::vector<NodeId> prev_nodes;
+  std::vector<const Path*> sharing;
   while (result.size() < k) {
     const Path& prev = result.back();
-    const std::vector<NodeId> prev_nodes = path_nodes(g, prev, source);
+    prev_nodes.clear();
+    prev_nodes.push_back(source);
+    for (const EdgeId e : prev.edges) prev_nodes.push_back(g.edge(e).to);
 
     // Paths sharing prev's root prefix [0, i), filtered incrementally as i
     // grows instead of re-comparing every path's full prefix per spur node.
     // Snapshotting before the pass is exact: a candidate inserted at spur
     // index i' diverges from prev at i' (prev's own edge there is blocked),
     // so it can never share a longer root later in this pass.
-    std::vector<const Path*> sharing;
+    sharing.clear();
     sharing.reserve(result.size() + candidates.size());
     for (const Path& found : result) sharing.push_back(&found);
     for (const Path& cand : candidates) sharing.push_back(&cand);

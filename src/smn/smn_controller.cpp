@@ -62,7 +62,8 @@ SmnController::SmnController(const depgraph::ServiceGraph& sg, const topology::W
       clto_(sg, bus_, config.clto),
       bw_store_(telemetry::LogStoreConfig{.streaming_window = config.bw_coarse_window,
                                           .shards = config.bw_shards,
-                                          .ingest_threads = config.bw_ingest_threads}) {
+                                          .ingest_threads = config.bw_ingest_threads,
+                                          .spill_dir = config.bw_spill_dir}) {
   // Seed the control plane: a static route per datacenter via its first
   // graph neighbor (stands in for an IGP) — the generalized control plane
   // manages these alongside everything else.
@@ -101,6 +102,20 @@ SmnController::SmnController(const depgraph::ServiceGraph& sg, const topology::W
                                     static_cast<double>(occupied));
                      mib_.set_gauge("smn", "bw_shard_records_max",
                                     static_cast<double>(max_records));
+                     // Storage tiers: resident (hot columnar) vs spilled
+                     // (cold files), plus lifetime mapping traffic.
+                     mib_.set_gauge("smn", "bw_resident_bytes",
+                                    static_cast<double>(s.resident_bytes));
+                     mib_.set_gauge("smn", "bw_spilled_bytes",
+                                    static_cast<double>(s.spilled_bytes));
+                     mib_.set_gauge("smn", "bw_spilled_records",
+                                    static_cast<double>(s.spilled_records));
+                     mib_.set_gauge("smn", "bw_spill_files",
+                                    static_cast<double>(s.spilled_files));
+                     mib_.set_gauge("smn", "bw_spill_maps",
+                                    static_cast<double>(s.spill_maps));
+                     mib_.set_gauge("smn", "bw_spill_unmaps",
+                                    static_cast<double>(s.spill_unmaps));
                    }});
   loops_.add_loop({"drift-watch", config_.telemetry_loop_period,
                    [this](util::SimTime now) { check_demand_drift(now); }});

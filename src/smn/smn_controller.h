@@ -39,6 +39,12 @@ struct SmnConfig {
   /// bulk ingest / retention (0 = min(shards, hardware threads)).
   std::size_t bw_shards = 8;
   std::size_t bw_ingest_threads = 0;
+  /// Bandwidth-store cold tier: when non-empty, the retention loop spills
+  /// sealed fine segments to flat column files under this directory instead
+  /// of discarding them (fine_range() maps them back transparently). Empty
+  /// keeps the drop-on-seal behavior. The directory must be private to this
+  /// controller instance.
+  std::string bw_spill_dir;
   /// Drift-triggered TE re-solve: fire an early capacity-planning pass when
   /// aggregate demand drift vs the last solve crosses
   /// `drift_resolve_threshold`; stay disarmed until drift falls back below

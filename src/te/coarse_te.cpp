@@ -214,6 +214,9 @@ lp::FixedRoutingResult realize_coarse_solution(
     for (const graph::EdgeId e : edges) load[e] += amount;
   };
 
+  // Reused across shares (cleared per share; std::move below leaves it
+  // valid-but-unspecified, which clear() restores).
+  std::vector<graph::EdgeId> explicit_path;
   for (std::size_t j = 0; j < fine_commodities.size(); ++j) {
     const lp::Commodity& c = fine_commodities[j];
     if (c.demand <= 0.0 || c.src == c.dst) continue;
@@ -237,7 +240,7 @@ lp::FixedRoutingResult realize_coarse_solution(
       if (amount <= 0.0) continue;
       graph::NodeId current = c.src;
       bool ok = true;
-      std::vector<graph::EdgeId> explicit_path;
+      explicit_path.clear();
       for (const graph::EdgeId ce : share.coarse_edges) {
         const Corridor& corridor = corridors[ce];
         if (corridor.primary == graph::kInvalidEdge) {

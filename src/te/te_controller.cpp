@@ -61,10 +61,13 @@ TeSolution TeController::solve_max_min_fair(const std::vector<lp::Commodity>& co
   // paths saturated.
   constexpr int kMaxRounds = 64;
   constexpr double kEps = 1e-9;
+  // Per-edge marginal scratch, reused across rounds (assign() rezeroes in
+  // place once the first round sized it).
+  std::vector<double> marginal;
   for (int round = 0; round < kMaxRounds; ++round) {
     // Per-edge marginal load if every unfrozen commodity adds one unit of
     // rate (split evenly over its paths).
-    std::vector<double> marginal(g.edge_count(), 0.0);
+    marginal.assign(g.edge_count(), 0.0);
     double max_headroom_needed = 0.0;
     for (const CommodityPaths& cp : routable) {
       if (frozen[cp.index]) continue;

@@ -43,6 +43,28 @@ std::vector<BandwidthRecord> BandwidthLog::records() const {
   return out;
 }
 
+void BandwidthLog::append_time_filtered(std::span<const util::SimTime> timestamps,
+                                        std::span<const util::PairId> pairs,
+                                        std::span<const double> bw_gbps, util::SimTime begin,
+                                        util::SimTime end) {
+  SMN_DCHECK(pairs.size() == timestamps.size() && bw_gbps.size() == timestamps.size(),
+             "filtered append with diverging column lengths");
+  // Segments are mostly in order, so in-range records arrive in long runs;
+  // copy each run as whole columns instead of a per-record append.
+  const std::size_t n = timestamps.size();
+  std::size_t i = 0;
+  while (i < n) {
+    while (i < n && (timestamps[i] < begin || timestamps[i] >= end)) ++i;
+    std::size_t j = i;
+    while (j < n && timestamps[j] >= begin && timestamps[j] < end) ++j;
+    if (j > i) {
+      append_columns(timestamps.subspan(i, j - i), pairs.subspan(i, j - i),
+                     bw_gbps.subspan(i, j - i));
+    }
+    i = j;
+  }
+}
+
 void BandwidthLog::sort() {
   SMN_DCHECK(pairs_.size() == timestamps_.size() && bw_.size() == timestamps_.size(),
              "columnar SoA columns diverged");

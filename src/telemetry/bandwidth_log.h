@@ -82,6 +82,14 @@ class BandwidthLog {
     bw_.insert(bw_.end(), bw_gbps.begin(), bw_gbps.end());
   }
 
+  /// Appends every record of the given columns whose timestamp falls in
+  /// [begin, end) — the fine_range() read path, shared by resident
+  /// segments and mapped spill files (both expose raw column spans). All
+  /// three spans must be the same length; relative record order is kept.
+  void append_time_filtered(std::span<const util::SimTime> timestamps,
+                            std::span<const util::PairId> pairs, std::span<const double> bw_gbps,
+                            util::SimTime begin, util::SimTime end);
+
   void reserve(std::size_t n) {
     timestamps_.reserve(n);
     pairs_.reserve(n);

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <filesystem>
 #include <numeric>
 #include <stdexcept>
 #include <thread>
 
+#include "telemetry/spill_file.h"
 #include "util/contracts.h"
 #include "util/stats.h"
 
@@ -23,9 +25,20 @@ constexpr std::size_t kSamplesPerDayReserve =
 BandwidthLogStore::BandwidthLogStore(const LogStoreConfig& config)
     : window_(config.streaming_window),
       drift_alpha_(config.drift_alpha),
+      spill_dir_(config.spill_dir),
+      spill_verify_checksum_(config.spill_verify_checksum),
       shards_(std::max<std::size_t>(1, config.shards)) {
   if (window_ <= 0) {
     throw std::invalid_argument("BandwidthLogStore: streaming window must be positive");
+  }
+  if (!spill_dir_.empty()) {
+    // Fail construction, not the first retention pass, when the cold tier
+    // cannot exist.
+    std::error_code ec;
+    std::filesystem::create_directories(spill_dir_, ec);
+    if (ec || !std::filesystem::is_directory(spill_dir_)) {
+      throw std::invalid_argument("BandwidthLogStore: cannot create spill_dir " + spill_dir_);
+    }
   }
   SMN_CHECK(drift_alpha_ > 0.0 && drift_alpha_ <= 1.0,
             "drift EWMA alpha must be in (0, 1]");
@@ -255,6 +268,26 @@ void BandwidthLogStore::batch_shard_day(std::size_t s, util::SimTime day,
   out->assign(summarized.summaries().begin(), summarized.summaries().end());
 }
 
+void BandwidthLogStore::spill_shard_day(std::size_t s, util::SimTime day) {
+  Shard& shard = shards_[s];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.days.find(day);
+  if (it == shard.days.end() || it->second.seg.empty()) return;
+  const BandwidthLog& seg = it->second.seg;
+  std::vector<SpillEntry>& generations = shard.spilled[day];
+  // Re-ingest after an earlier seal produces a second generation; file
+  // names carry the generation index so nothing is overwritten.
+  SpillEntry entry;
+  entry.path = (std::filesystem::path(spill_dir_) /
+                ("shard" + std::to_string(s) + "_day" + std::to_string(day) + "_gen" +
+                 std::to_string(generations.size()) + ".col"))
+                   .string();
+  entry.records = seg.record_count();
+  entry.file_bytes =
+      write_spill_file(entry.path, day, seg.timestamps(), seg.bandwidths(), seg.pair_ids());
+  generations.push_back(std::move(entry));
+}
+
 std::size_t BandwidthLogStore::erase_day(util::SimTime day) {
   std::size_t retired = 0;
   for (Shard& shard : shards_) {
@@ -320,6 +353,12 @@ std::size_t BandwidthLogStore::coarsen_older_than(util::SimTime now, util::SimTi
                 return a.window_start < b.window_start;
               });
     for (const WindowSummary& summary : merged) coarse_.append(summary);
+    // With a cold tier configured, sealing demotes the day instead of
+    // discarding it: columns go to one flat file per (shard, day,
+    // generation), then the resident slab is freed as before.
+    if (spill_enabled()) {
+      for_each_shard([&](std::size_t s) { spill_shard_day(s, day); });
+    }
     retired += erase_day(day);
   }
   return retired;
@@ -327,17 +366,44 @@ std::size_t BandwidthLogStore::coarsen_older_than(util::SimTime now, util::SimTi
 
 BandwidthLog BandwidthLogStore::fine_range(util::SimTime begin, util::SimTime end) const {
   BandwidthLog out;
+  const auto day_in_range = [&](util::SimTime day) {
+    return day < end && day + util::kDay > begin;
+  };
   for (const Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mutex);
-    for (const auto& [day, slab] : shard.days) {
-      if (day >= end || day + util::kDay <= begin) continue;
-      const auto timestamps = slab.seg.timestamps();
-      const auto pairs = slab.seg.pair_ids();
-      const auto bw = slab.seg.bandwidths();
-      for (std::size_t i = 0; i < slab.seg.record_count(); ++i) {
-        if (timestamps[i] >= begin && timestamps[i] < end) {
-          out.append(timestamps[i], pairs[i], bw[i]);
+    // Two-iterator merge over the cold tier and the resident slabs, in
+    // ascending day order. On a day present in both (re-ingest after a
+    // seal), spilled generations precede the resident slab: that is their
+    // ingest order, which the stable sort below must be able to recover
+    // for equal (timestamp, pair) keys.
+    auto cold = shard.spilled.begin();
+    auto warm = shard.days.begin();
+    const auto emit_cold = [&](const std::vector<SpillEntry>& generations) {
+      for (const SpillEntry& entry : generations) {
+        const SpilledSegment seg = SpilledSegment::open(entry.path, spill_verify_checksum_);
+        spill_maps_.fetch_add(1, std::memory_order_relaxed);
+        out.append_time_filtered(seg.timestamps(), seg.pair_ids(), seg.bandwidths(), begin, end);
+        spill_unmaps_.fetch_add(1, std::memory_order_relaxed);
+      }
+    };
+    const auto emit_warm = [&](const DaySlab& slab) {
+      out.append_time_filtered(slab.seg.timestamps(), slab.seg.pair_ids(), slab.seg.bandwidths(),
+                               begin, end);
+    };
+    while (cold != shard.spilled.end() || warm != shard.days.end()) {
+      if (warm == shard.days.end() ||
+          (cold != shard.spilled.end() && cold->first <= warm->first)) {
+        // Out-of-range spilled days are skipped by key alone — no map, no
+        // checksum pass, so point queries touch only the days they cover.
+        if (day_in_range(cold->first)) emit_cold(cold->second);
+        if (warm != shard.days.end() && warm->first == cold->first) {
+          if (day_in_range(warm->first)) emit_warm(warm->second);
+          ++warm;
         }
+        ++cold;
+      } else {
+        if (day_in_range(warm->first)) emit_warm(warm->second);
+        ++warm;
       }
     }
   }
@@ -357,11 +423,21 @@ LogStoreStats BandwidthLogStore::stats() const {
     for (const auto& [day, slab] : shard.days) {
       records += slab.seg.record_count();
       s.fine_bytes += slab.seg.approximate_bytes();
+      s.resident_bytes += slab.seg.memory_bytes();
       for (const PairDayAccum& acc : slab.accums) s.open_window_samples += acc.samples.size();
+    }
+    for (const auto& [day, generations] : shard.spilled) {
+      s.spilled_files += generations.size();
+      for (const SpillEntry& entry : generations) {
+        s.spilled_records += entry.records;
+        s.spilled_bytes += entry.file_bytes;
+      }
     }
     s.shard_records.push_back(records);
     s.fine_records += records;
   }
+  s.spill_maps = spill_maps_.load(std::memory_order_relaxed);
+  s.spill_unmaps = spill_unmaps_.load(std::memory_order_relaxed);
   s.coarse_summaries = coarse_.summary_count();
   s.coarse_bytes = coarse_.approximate_bytes();
   return s;

@@ -17,8 +17,19 @@
 // per-shard deviations in PairId order — deterministic for any shard or
 // thread count — into one aggregate level the controller can threshold to
 // fire an early re-solve.
+//
+// Tiered storage (DESIGN.md §10): with `spill_dir` configured, sealing a
+// day does not discard its fine columns — each (shard, day) segment is
+// serialized to a flat little-endian column file (telemetry/spill_file.h)
+// and the in-memory vectors are freed, keeping only unsealed days
+// resident. fine_range() transparently maps spilled days back
+// (util/MmapFile) and merges them with the resident segments, so reads are
+// byte-identical to a store that never sealed anything. Re-ingest into an
+// already-spilled day opens a fresh resident slab; the next seal writes a
+// second generation file, and reads merge generations in ingest order.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -27,6 +38,7 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -36,16 +48,26 @@
 
 namespace smn::telemetry {
 
-/// Footprint report of the store.
+/// Footprint report of the store. `fine_*` covers resident segments only;
+/// the `spilled_*` fields cover the cold tier on disk.
 struct LogStoreStats {
   std::size_t fine_records = 0;
   std::size_t coarse_summaries = 0;
   std::size_t fine_bytes = 0;
   std::size_t coarse_bytes = 0;
+  /// In-memory columnar bytes of resident fine segments (20 B/record).
+  std::size_t resident_bytes = 0;
   /// Samples currently buffered in open window accumulators.
   std::size_t open_window_samples = 0;
   /// Fine records currently held by each shard (occupancy / skew gauge).
   std::vector<std::size_t> shard_records;
+  /// Cold tier: sealed fine records serialized to spill files.
+  std::size_t spilled_records = 0;
+  std::size_t spilled_files = 0;
+  std::size_t spilled_bytes = 0;  ///< on-disk bytes, headers included
+  /// Lifetime mapping traffic: spill files mapped / released by reads.
+  std::uint64_t spill_maps = 0;
+  std::uint64_t spill_unmaps = 0;
 
   std::size_t total_bytes() const noexcept { return fine_bytes + coarse_bytes; }
 };
@@ -84,6 +106,15 @@ struct LogStoreConfig {
   std::size_t ingest_threads = 0;
   /// EWMA smoothing factor of the per-pair observed-demand tracker.
   double drift_alpha = 0.2;
+  /// Directory of the cold tier. Empty disables spilling (sealed fine
+  /// segments are dropped after coarsening — the pre-spill behavior).
+  /// Non-empty: created if missing; each store instance needs its own
+  /// directory (file names are only unique per store).
+  std::string spill_dir;
+  /// Verify the column checksum every time a spill file is mapped back.
+  /// Costs one pass over the file per map; disable only in benches that
+  /// isolate raw map+read cost.
+  bool spill_verify_checksum = true;
 };
 
 class BandwidthLogStore {
@@ -113,8 +144,14 @@ class BandwidthLogStore {
                                  util::SimTime window);
 
   /// Fine records in [begin, end), merged across shards, timestamp-sorted.
-  /// Byte-identical to the single-shard store's output.
+  /// Byte-identical to the single-shard store's output. Spilled days
+  /// overlapping the range are mapped back transparently and merged with
+  /// resident segments, so with spilling enabled the result matches a
+  /// store that never sealed anything.
   BandwidthLog fine_range(util::SimTime begin, util::SimTime end) const;
+
+  /// True when the cold tier is configured (config.spill_dir non-empty).
+  bool spill_enabled() const noexcept { return !spill_dir_.empty(); }
 
   /// All coarse summaries produced by retention passes so far.
   const CoarseBandwidthLog& coarse() const noexcept { return coarse_; }
@@ -163,8 +200,15 @@ class BandwidthLogStore {
     bool has_expected = false;
   };
 
+  /// One sealed-and-spilled generation of a (shard, day) segment.
+  struct SpillEntry {
+    std::string path;
+    std::uint64_t records = 0;
+    std::uint64_t file_bytes = 0;
+  };
+
   struct Shard {
-    mutable std::mutex mutex;  // guards: days, open, open_day, local_of, pairs, drift, drift_enabled
+    mutable std::mutex mutex;  // guards: days, open, open_day, local_of, pairs, drift, drift_enabled, spilled
     std::map<util::SimTime, DaySlab> days;   ///< key: day start
     DaySlab* open = nullptr;                 ///< cached slab of open_day
     util::SimTime open_day = kNoDay;
@@ -172,6 +216,9 @@ class BandwidthLogStore {
     std::vector<util::PairId> pairs;         ///< slot -> PairId
     std::vector<PairDrift> drift;            ///< by slot
     bool drift_enabled = false;
+    /// Cold tier of this shard: day -> spill files in generation (ingest)
+    /// order. A day can appear here and in `days` at once after re-ingest.
+    std::map<util::SimTime, std::vector<SpillEntry>> spilled;
   };
 
   std::size_t shard_of(util::PairId pair) const noexcept {
@@ -221,6 +268,11 @@ class BandwidthLogStore {
                        const TimeCoarsener& coarsener,
                        std::vector<WindowSummary>* out);
 
+  /// Serializes shard `s`'s slab of `day` to a new-generation spill file
+  /// and registers it in the shard's cold tier (takes the shard's mutex;
+  /// spilling must precede erase_day so the columns still exist).
+  void spill_shard_day(std::size_t s, util::SimTime day);
+
   /// Erases the slab of `day` from every shard, returning records retired.
   std::size_t erase_day(util::SimTime day);
 
@@ -229,10 +281,16 @@ class BandwidthLogStore {
 
   util::SimTime window_;
   double drift_alpha_;
+  std::string spill_dir_;                  ///< empty = cold tier disabled
+  bool spill_verify_checksum_;
   std::vector<Shard> shards_;              ///< sized at construction, never resized
   std::unique_ptr<util::ThreadPool> pool_; ///< null when resolved threads <= 1
   CoarseBandwidthLog coarse_;
   bool baseline_set_ = false;              ///< mutated by set_demand_baseline only
+  /// Lifetime spill mapping traffic (fine_range is const; counters are not
+  /// state, so they stay mutable atomics rather than joining a shard lock).
+  mutable std::atomic<std::uint64_t> spill_maps_{0};
+  mutable std::atomic<std::uint64_t> spill_unmaps_{0};
 };
 
 }  // namespace smn::telemetry

@@ -1,0 +1,129 @@
+#include "telemetry/spill_file.h"
+
+#include <bit>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+namespace smn::telemetry {
+namespace {
+
+// The format is defined little-endian; columns are written and mapped as
+// raw memory, so the host must match. (Every supported target is LE; a
+// big-endian port would add a byte-swapping read path here.)
+static_assert(std::endian::native == std::endian::little,
+              "spill files are little-endian; this host would need a swap path");
+
+constexpr std::uint64_t kMagic = 0x314C495053'4E4D53ull;  // "SMNSPIL1" LE
+constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kHeaderBytes = 64;
+
+struct SpillHeader {
+  std::uint64_t magic = kMagic;
+  std::uint32_t version = kVersion;
+  std::uint32_t reserved = 0;
+  std::uint64_t record_count = 0;
+  std::int64_t day = 0;
+  std::uint64_t off_timestamps = 0;
+  std::uint64_t off_bandwidths = 0;
+  std::uint64_t off_pairs = 0;
+  std::uint64_t checksum = 0;
+};
+static_assert(sizeof(SpillHeader) == kHeaderBytes, "header layout drifted");
+
+std::uint64_t fnv1a(std::uint64_t hash, const void* data, std::size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    hash ^= p[i];
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+
+std::uint64_t column_checksum(std::span<const util::SimTime> timestamps,
+                              std::span<const double> bandwidths,
+                              std::span<const util::PairId> pairs) {
+  std::uint64_t h = kFnvOffset;
+  h = fnv1a(h, timestamps.data(), timestamps.size_bytes());
+  h = fnv1a(h, bandwidths.data(), bandwidths.size_bytes());
+  h = fnv1a(h, pairs.data(), pairs.size_bytes());
+  return h;
+}
+
+[[noreturn]] void corrupt(const std::string& path, const char* what) {
+  throw std::runtime_error("SpilledSegment: " + path + ": " + what);
+}
+
+}  // namespace
+
+std::size_t write_spill_file(const std::string& path, util::SimTime day,
+                             std::span<const util::SimTime> timestamps,
+                             std::span<const double> bandwidths,
+                             std::span<const util::PairId> pairs) {
+  const std::size_t n = timestamps.size();
+  if (bandwidths.size() != n || pairs.size() != n) {
+    throw std::runtime_error("write_spill_file: column lengths differ for " + path);
+  }
+  SpillHeader header;
+  header.record_count = n;
+  header.day = day;
+  header.off_timestamps = kHeaderBytes;
+  header.off_bandwidths = header.off_timestamps + n * sizeof(util::SimTime);
+  header.off_pairs = header.off_bandwidths + n * sizeof(double);
+  // The PairId column is last so every column start stays 8-byte aligned
+  // without padding (u32 tail needs none).
+  header.checksum = column_checksum(timestamps, bandwidths, pairs);
+  const std::size_t total = header.off_pairs + n * sizeof(util::PairId);
+
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) throw std::runtime_error("write_spill_file: cannot create " + tmp);
+  const bool ok = std::fwrite(&header, sizeof(header), 1, f) == 1 &&
+                  (n == 0 || (std::fwrite(timestamps.data(), sizeof(util::SimTime), n, f) == n &&
+                              std::fwrite(bandwidths.data(), sizeof(double), n, f) == n &&
+                              std::fwrite(pairs.data(), sizeof(util::PairId), n, f) == n));
+  const bool closed = std::fclose(f) == 0;
+  if (!ok || !closed) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("write_spill_file: short write on " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("write_spill_file: cannot rename " + tmp + " -> " + path);
+  }
+  return total;
+}
+
+SpilledSegment SpilledSegment::open(const std::string& path, bool verify_checksum,
+                                    bool allow_mmap) {
+  SpilledSegment out;
+  out.map_ = util::MmapFile::open(path, allow_mmap);
+  if (out.map_.size() < kHeaderBytes) corrupt(path, "file shorter than the header");
+  SpillHeader header;
+  std::memcpy(&header, out.map_.data(), sizeof(header));
+  if (header.magic != kMagic) corrupt(path, "bad magic (not a spill file)");
+  if (header.version != kVersion) corrupt(path, "unsupported version");
+  const std::size_t n = header.record_count;
+  const std::size_t expect_bw = header.off_timestamps + n * sizeof(util::SimTime);
+  const std::size_t expect_pairs = expect_bw + n * sizeof(double);
+  const std::size_t expect_total = expect_pairs + n * sizeof(util::PairId);
+  if (header.off_timestamps != kHeaderBytes || header.off_bandwidths != expect_bw ||
+      header.off_pairs != expect_pairs || out.map_.size() != expect_total) {
+    corrupt(path, "column offsets inconsistent with record count / file size");
+  }
+  out.records_ = n;
+  out.day_ = header.day;
+  const std::byte* base = out.map_.data();
+  out.timestamps_ = reinterpret_cast<const util::SimTime*>(base + header.off_timestamps);
+  out.bandwidths_ = reinterpret_cast<const double*>(base + header.off_bandwidths);
+  out.pairs_ = reinterpret_cast<const util::PairId*>(base + header.off_pairs);
+  if (verify_checksum &&
+      column_checksum(out.timestamps(), out.bandwidths(), out.pair_ids()) != header.checksum) {
+    corrupt(path, "checksum mismatch (corrupt columns)");
+  }
+  return out;
+}
+
+}  // namespace smn::telemetry

@@ -1,0 +1,76 @@
+// On-disk format of one sealed (shard, day) fine segment — the cold tier
+// of the BandwidthLogStore (DESIGN.md §10). One file holds the three
+// columns of one day segment verbatim, so a mapped file reads back with
+// the exact spans the resident segment would have produced:
+//
+//   header (64 bytes, little-endian):
+//     magic           u64   0x31'4C'49'50'53'4E'4D'53 ("SMNSPIL1")
+//     version         u32   1
+//     reserved        u32   0
+//     record_count    u64
+//     day             i64   day-segment start (SimTime seconds)
+//     off_timestamps  u64   byte offset of the SimTime column
+//     off_bandwidths  u64   byte offset of the double column
+//     off_pairs       u64   byte offset of the PairId column
+//     checksum        u64   FNV-1a 64 over the three column byte ranges,
+//                           in (timestamps, bandwidths, pairs) order
+//   columns: SimTime[n], double[n], PairId[n] — each 8-byte aligned, in
+//   header order, so mapped pointers satisfy alignment sanitizers.
+//
+// Writes go through a `.tmp` sibling plus rename, so a crash mid-write
+// never leaves a half-file behind under the spill directory.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "util/interner.h"
+#include "util/mmap_file.h"
+#include "util/sim_time.h"
+
+namespace smn::telemetry {
+
+/// Serializes one day segment's columns to `path` (atomically, via
+/// `path + ".tmp"` and rename). All three spans must have equal length.
+/// Returns the file size in bytes. Throws std::runtime_error on I/O
+/// failure.
+std::size_t write_spill_file(const std::string& path, util::SimTime day,
+                             std::span<const util::SimTime> timestamps,
+                             std::span<const double> bandwidths,
+                             std::span<const util::PairId> pairs);
+
+/// A spill file mapped back into memory. The column accessors alias the
+/// mapping directly (zero-copy on the mmap path); the segment must outlive
+/// every span taken from it.
+class SpilledSegment {
+ public:
+  /// Maps and validates `path`: magic, version, offsets/size coherence,
+  /// and (when `verify_checksum`) the column checksum. Throws
+  /// std::runtime_error on any mismatch — a corrupt spill file must never
+  /// feed silent garbage into a fine_range() merge. `allow_mmap = false`
+  /// forces the read() fallback (tests cover both paths).
+  static SpilledSegment open(const std::string& path, bool verify_checksum = true,
+                             bool allow_mmap = true);
+
+  std::size_t record_count() const noexcept { return records_; }
+  util::SimTime day() const noexcept { return day_; }
+  std::size_t file_bytes() const noexcept { return map_.size(); }
+  bool is_mapped() const noexcept { return map_.is_mapped(); }
+
+  std::span<const util::SimTime> timestamps() const noexcept {
+    return {timestamps_, records_};
+  }
+  std::span<const double> bandwidths() const noexcept { return {bandwidths_, records_}; }
+  std::span<const util::PairId> pair_ids() const noexcept { return {pairs_, records_}; }
+
+ private:
+  util::MmapFile map_;
+  std::size_t records_ = 0;
+  util::SimTime day_ = 0;
+  const util::SimTime* timestamps_ = nullptr;
+  const double* bandwidths_ = nullptr;
+  const util::PairId* pairs_ = nullptr;
+};
+
+}  // namespace smn::telemetry

@@ -1,0 +1,100 @@
+#include "util/mmap_file.h"
+
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+#if defined(_WIN32)
+#define SMN_HAS_MMAP 0
+#else
+#define SMN_HAS_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace smn::util {
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    reset();
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    valid_ = std::exchange(other.valid_, false);
+    mapped_ = std::exchange(other.mapped_, false);
+    fallback_ = std::move(other.fallback_);
+  }
+  return *this;
+}
+
+void MmapFile::reset() noexcept {
+#if SMN_HAS_MMAP
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<std::byte*>(data_), size_);
+  }
+#endif
+  fallback_.reset();
+  data_ = nullptr;
+  size_ = 0;
+  valid_ = false;
+  mapped_ = false;
+}
+
+MmapFile MmapFile::open(const std::string& path, bool allow_mmap) {
+  MmapFile out;
+#if SMN_HAS_MMAP
+  if (allow_mmap) {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) throw std::runtime_error("MmapFile: cannot open " + path);
+    struct stat st{};
+    if (::fstat(fd, &st) != 0) {
+      ::close(fd);
+      throw std::runtime_error("MmapFile: cannot stat " + path);
+    }
+    const std::size_t size = static_cast<std::size_t>(st.st_size);
+    if (size == 0) {
+      ::close(fd);
+      out.valid_ = true;
+      return out;
+    }
+    void* base = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);  // the mapping holds its own reference to the pages
+    if (base == MAP_FAILED) throw std::runtime_error("MmapFile: mmap failed for " + path);
+    out.data_ = static_cast<const std::byte*>(base);
+    out.size_ = size;
+    out.valid_ = true;
+    out.mapped_ = true;
+    return out;
+  }
+#else
+  (void)allow_mmap;
+#endif
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) throw std::runtime_error("MmapFile: cannot open " + path);
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    std::fclose(f);
+    throw std::runtime_error("MmapFile: cannot seek " + path);
+  }
+  const long end = std::ftell(f);
+  if (end < 0) {
+    std::fclose(f);
+    throw std::runtime_error("MmapFile: cannot tell " + path);
+  }
+  std::rewind(f);
+  const std::size_t size = static_cast<std::size_t>(end);
+  if (size > 0) {
+    out.fallback_ = std::make_unique<std::byte[]>(size);
+    if (std::fread(out.fallback_.get(), 1, size, f) != size) {
+      std::fclose(f);
+      throw std::runtime_error("MmapFile: short read on " + path);
+    }
+    out.data_ = out.fallback_.get();
+    out.size_ = size;
+  }
+  std::fclose(f);
+  out.valid_ = true;
+  return out;
+}
+
+}  // namespace smn::util

@@ -1,0 +1,59 @@
+// Read-only memory-mapped file, RAII. The spill tier of the telemetry
+// store (DESIGN.md §10) maps sealed column files back on demand; this
+// wrapper owns exactly one mapping and releases it deterministically.
+//
+// Portability: on POSIX the file is mmap(2)'d PROT_READ and the descriptor
+// is closed immediately after (the mapping keeps the pages alive). On
+// platforms without mmap — or when the caller asks via `allow_mmap =
+// false`, which tests use to cover both paths — the file is read() into a
+// heap buffer instead; data()/size() behave identically either way.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+namespace smn::util {
+
+class MmapFile {
+ public:
+  /// Empty (unmapped) handle; data() == nullptr, size() == 0.
+  MmapFile() = default;
+
+  /// Maps `path` read-only. Throws std::runtime_error when the file cannot
+  /// be opened, stat'ed, or mapped. `allow_mmap = false` forces the
+  /// read-into-buffer fallback (also taken automatically on platforms
+  /// without mmap). A zero-length file yields a valid handle with
+  /// size() == 0.
+  static MmapFile open(const std::string& path, bool allow_mmap = true);
+
+  ~MmapFile() { reset(); }
+
+  MmapFile(MmapFile&& other) noexcept { *this = std::move(other); }
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  /// First byte of the file contents (nullptr when empty or unopened).
+  const std::byte* data() const noexcept { return data_; }
+  std::size_t size() const noexcept { return size_; }
+
+  /// True once open() succeeded (even for a zero-length file).
+  bool valid() const noexcept { return valid_; }
+
+  /// True when the contents come from an actual mmap (false on the read()
+  /// fallback path). Lets callers report map/unmap counts honestly.
+  bool is_mapped() const noexcept { return mapped_; }
+
+  /// Releases the mapping / buffer and returns to the empty state.
+  void reset() noexcept;
+
+ private:
+  const std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool valid_ = false;
+  bool mapped_ = false;                  ///< data_ came from mmap, not fallback_
+  std::unique_ptr<std::byte[]> fallback_;  ///< owns data_ when !mapped_
+};
+
+}  // namespace smn::util

@@ -175,6 +175,94 @@ TEST(SmnLintR2, SolverDirsOnly) {
   EXPECT_TRUE(lint("tests/test_x.cpp", "std::random_device rd;\n").findings.empty());
 }
 
+// ---------------------------------------------------- R5 alloc-in-loop --
+
+TEST(SmnLintR5, FlagsContainerConstructionInForBody) {
+  const auto report = lint("src/lp/solver.cpp",
+                           "void solve(int n) {\n"
+                           "  for (int i = 0; i < n; ++i) {\n"
+                           "    std::vector<double> scratch(n, 0.0);\n"
+                           "    use(scratch);\n"
+                           "  }\n"
+                           "}\n");
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].rule, "alloc-in-loop");
+  EXPECT_EQ(report.findings[0].line, 3);
+}
+
+TEST(SmnLintR5, FlagsStringAndRawNewInWhileBody) {
+  const auto report = lint("src/te/route.cpp",
+                           "void run(int n) {\n"
+                           "  while (n-- > 0) {\n"
+                           "    std::string label = name(n);\n"
+                           "    const Node* node = new Node(n);\n"
+                           "    use(label, node);\n"
+                           "  }\n"
+                           "}\n");
+  EXPECT_EQ(report.findings.size(), 2u);
+  for (const auto& f : report.findings) EXPECT_EQ(f.rule, "alloc-in-loop");
+}
+
+TEST(SmnLintR5, FlagsBracelessAndNestedLoopBodies) {
+  // Braceless body: the statement up to ';' is the body.
+  EXPECT_TRUE(has_rule(lint("src/graph/walk.cpp",
+                            "void walk(int n) {\n"
+                            "  for (int i = 0; i < n; ++i) std::vector<int> v(i);\n"
+                            "}\n"),
+                       "alloc-in-loop"));
+  // Construction in an inner block of the loop body still allocates per pass.
+  EXPECT_TRUE(has_rule(lint("src/graph/walk.cpp",
+                            "void walk(int n) {\n"
+                            "  for (int i = 0; i < n; ++i) {\n"
+                            "    if (i > 0) {\n"
+                            "      std::vector<int> v(i);\n"
+                            "      use(v);\n"
+                            "    }\n"
+                            "  }\n"
+                            "}\n"),
+                       "alloc-in-loop"));
+}
+
+TEST(SmnLintR5, AllowsHoistedBuffersReferencesIteratorsAndStatics) {
+  const auto report = lint("src/te/route.cpp",
+                           "void run(std::vector<double>& buf, int n) {\n"
+                           "  std::vector<double> scratch;\n"
+                           "  for (int i = 0; i < n; ++i) {\n"
+                           "    scratch.clear();\n"
+                           "    std::vector<double>& ref = buf;\n"
+                           "    std::vector<double>* ptr = &buf;\n"
+                           "    std::vector<double>::iterator it = buf.begin();\n"
+                           "    static std::vector<int> memo;\n"
+                           "    use(ref, ptr, it, memo, scratch);\n"
+                           "  }\n"
+                           "}\n");
+  EXPECT_TRUE(report.findings.empty());
+}
+
+TEST(SmnLintR5, SolverDirsOnly) {
+  // Telemetry is hot-path but not solver code; R5 does not apply there.
+  EXPECT_TRUE(lint("src/telemetry/reader.cpp",
+                   "void read(int n) {\n"
+                   "  for (int i = 0; i < n; ++i) {\n"
+                   "    std::vector<double> row(n);\n"
+                   "    emit(row);\n"
+                   "  }\n"
+                   "}\n")
+                  .findings.empty());
+}
+
+TEST(SmnLintR5, SuppressionApplies) {
+  const auto report = lint("src/lp/solver.cpp",
+                           "void solve(int n) {\n"
+                           "  for (int i = 0; i < n; ++i) {\n"
+                           "    std::vector<double> once(n);  // smn-lint: allow(alloc-in-loop)\n"
+                           "    use(once);\n"
+                           "  }\n"
+                           "}\n");
+  EXPECT_TRUE(report.findings.empty());
+  EXPECT_EQ(report.suppressed.size(), 1u);
+}
+
 // ------------------------------------------------------ R3 lock-hygiene --
 
 TEST(SmnLintR3, FlagsUnannotatedMutex) {

@@ -5,9 +5,16 @@
 // bulk and per-record ingest, and through both the streaming-seal and the
 // batch-coarsen fallback retention paths. Drift reports must be
 // bit-identical across shard counts too (PairId-ordered folding).
+//
+// The spill-tier properties live here too: with `spill_dir` set, sealing
+// demotes fine days to column files instead of dropping them, and
+// fine_range() over spilled days — full horizon, ranges straddling the
+// spill/resident boundary, and after re-ingest into an already-spilled day
+// — must stay byte-identical to a store that never sealed anything.
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "telemetry/bandwidth_log.h"
@@ -79,10 +86,34 @@ BandwidthLog random_stream(std::uint64_t seed, std::size_t records) {
   return log;
 }
 
+/// Several independent random_stream() days laid end to end: out-of-order
+/// arrivals stay within each day, days ascend. Gives the retention seal a
+/// genuinely multi-day horizon (a single random_stream hovers inside day
+/// zero — its backward jumps roughly cancel the forward drift).
+BandwidthLog multi_day_stream(std::uint64_t seed, std::size_t records_per_day, int days) {
+  BandwidthLog log;
+  for (int d = 0; d < days; ++d) {
+    const BandwidthLog one = random_stream(seed + static_cast<std::uint64_t>(d), records_per_day);
+    const util::SimTime base = d * util::kDay;
+    for (std::size_t i = 0; i < one.record_count(); ++i) {
+      log.append(base + one.timestamps()[i] % util::kDay, one.pair_ids()[i], one.bandwidths()[i]);
+    }
+  }
+  return log;
+}
+
 LogStoreConfig sharded(std::size_t shards, std::size_t threads) {
   return LogStoreConfig{.streaming_window = util::kHour,
                         .shards = shards,
                         .ingest_threads = threads};
+}
+
+/// Sharded config with the cold tier under a test-unique directory (spill
+/// file names are only unique per store, so stores must not share one).
+LogStoreConfig spill_config(std::size_t shards, std::size_t threads, const std::string& subdir) {
+  LogStoreConfig config = sharded(shards, threads);
+  config.spill_dir = ::testing::TempDir() + "smn_spill_prop/" + subdir;
+  return config;
 }
 
 TEST(ShardMergeProperty, BulkIngestMatchesSingleShardAtManyShardAndThreadCounts) {
@@ -213,6 +244,126 @@ TEST(ShardMergeProperty, WanWorkloadMatchesSingleShard) {
   reference.coarsen_older_than(10 * util::kDay, 0, util::kHour);
   store.coarsen_older_than(10 * util::kDay, 0, util::kHour);
   expect_coarse_identical(store.coarse(), reference.coarse());
+}
+
+TEST(SpillTierProperty, SpilledFineRangeMatchesAllResidentAtManyShardCounts) {
+  const BandwidthLog stream = multi_day_stream(606, 6000, 4);
+  const util::SimTime now = 4 * util::kDay;
+  BandwidthLogStore reference(util::kHour);  // never sealed: everything resident
+  reference.ingest(stream);
+
+  for (const std::size_t shards : {2u, 8u, 13u}) {
+    for (const std::size_t threads : {1u, 4u}) {
+      SCOPED_TRACE("shards=" + std::to_string(shards) + " threads=" + std::to_string(threads));
+      BandwidthLogStore store(spill_config(
+          shards, threads, "match_s" + std::to_string(shards) + "_t" + std::to_string(threads)));
+      store.ingest(stream);
+      const std::size_t resident_before = store.stats().resident_bytes;
+
+      // Seal days 0..1; days 2..3 stay resident behind the one-day age.
+      store.coarsen_older_than(now, util::kDay, util::kHour);
+      const LogStoreStats after = store.stats();
+      ASSERT_GT(after.spilled_records, 0u);
+      ASSERT_GT(after.spilled_files, 0u);
+      EXPECT_LT(after.resident_bytes, resident_before);
+      // On-disk bytes cover the 20 B/record columns plus one header per file.
+      EXPECT_GT(after.spilled_bytes, 20u * after.spilled_records);
+
+      // Full horizon: merged cold + warm reads are byte-identical.
+      expect_logs_identical(store.fine_range(0, now + util::kDay),
+                            reference.fine_range(0, now + util::kDay));
+      // Purely-spilled window (day zero is sealed here).
+      expect_logs_identical(store.fine_range(0, util::kDay), reference.fine_range(0, util::kDay));
+      // Range straddling the spill/resident boundary (day 1 spilled, day 2
+      // resident), cut mid-day to mid-day.
+      const util::SimTime cut = util::kDay + util::kDay / 2;
+      expect_logs_identical(store.fine_range(cut, cut + util::kDay),
+                            reference.fine_range(cut, cut + util::kDay));
+
+      // Reads mapped (and released) at least one spill file each.
+      const LogStoreStats read_stats = store.stats();
+      EXPECT_GT(read_stats.spill_maps, 0u);
+      EXPECT_EQ(read_stats.spill_maps, read_stats.spill_unmaps);
+    }
+  }
+}
+
+TEST(SpillTierProperty, SealAllLeavesNothingResidentAndCoarseIdentical) {
+  const BandwidthLog stream = random_stream(707, 12000);
+  BandwidthLogStore reference(util::kHour);
+  reference.ingest(stream);
+  const BandwidthLog ref_fine = reference.fine_range(0, 10 * util::kDay);
+  reference.coarsen_older_than(10 * util::kDay, 0, util::kHour);
+
+  BandwidthLogStore store(spill_config(8, 2, "seal_all"));
+  store.ingest(stream);
+  const std::size_t total_records = store.stats().fine_records;
+  store.coarsen_older_than(10 * util::kDay, 0, util::kHour);
+
+  const LogStoreStats stats = store.stats();
+  EXPECT_EQ(stats.resident_bytes, 0u);
+  EXPECT_EQ(stats.fine_records, 0u);
+  EXPECT_EQ(stats.spilled_records, total_records);
+  // Coarse output is unchanged by spilling (same seal path feeds it), and
+  // the fine view now served entirely from disk is still byte-identical.
+  expect_coarse_identical(store.coarse(), reference.coarse());
+  expect_logs_identical(store.fine_range(0, 10 * util::kDay), ref_fine);
+}
+
+TEST(SpillTierProperty, ReingestIntoSpilledDayAddsSecondGeneration) {
+  const BandwidthLog first = random_stream(808, 9000);
+  const BandwidthLog second = random_stream(909, 9000);  // same horizon, t=0 onward
+  BandwidthLogStore reference(util::kHour);
+  reference.ingest(first);
+  reference.ingest(second);
+
+  BandwidthLogStore store(spill_config(8, 2, "reingest"));
+  store.ingest(first);
+  store.coarsen_older_than(10 * util::kDay, 0, util::kHour);  // every day spilled
+  const LogStoreStats gen1 = store.stats();
+  ASSERT_GT(gen1.spilled_files, 0u);
+
+  // Late arrivals land in already-spilled days: a fresh resident slab opens
+  // behind each spill file, and reads merge generation-0 before it (ingest
+  // order), matching the reference that saw both streams back to back.
+  store.ingest(second);
+  expect_logs_identical(store.fine_range(0, 10 * util::kDay),
+                        reference.fine_range(0, 10 * util::kDay));
+
+  // Sealing again writes generation-2 files alongside generation-1 ones;
+  // the fully-cold view must still replay the complete ingest order.
+  store.coarsen_older_than(10 * util::kDay, 0, util::kHour);
+  const LogStoreStats gen2 = store.stats();
+  EXPECT_GT(gen2.spilled_files, gen1.spilled_files);
+  EXPECT_EQ(gen2.spilled_records, first.record_count() + second.record_count());
+  EXPECT_EQ(gen2.resident_bytes, 0u);
+  expect_logs_identical(store.fine_range(0, 10 * util::kDay),
+                        reference.fine_range(0, 10 * util::kDay));
+}
+
+TEST(SpillTierProperty, PartialRetentionWithSpillMatchesNoSpillCoarse) {
+  // Spilling must not perturb the coarse tier: a spill store and a drop
+  // store sealing the same prefix emit identical summaries, and the spill
+  // store's fine remainder still matches the never-sealed reference.
+  const BandwidthLog stream = multi_day_stream(1010, 5000, 3);
+  const util::SimTime now = 3 * util::kDay;
+
+  BandwidthLogStore reference(util::kHour);
+  reference.ingest(stream);
+  BandwidthLogStore dropping(sharded(5, 2));
+  dropping.ingest(stream);
+  BandwidthLogStore spilling(spill_config(5, 2, "coarse_parity"));
+  spilling.ingest(stream);
+
+  const std::size_t dropped = dropping.coarsen_older_than(now, util::kDay, util::kHour);
+  const std::size_t spilled = spilling.coarsen_older_than(now, util::kDay, util::kHour);
+  EXPECT_EQ(spilled, dropped);
+  expect_coarse_identical(spilling.coarse(), dropping.coarse());
+  expect_logs_identical(spilling.fine_range(0, now + util::kDay),
+                        reference.fine_range(0, now + util::kDay));
+  // The drop store lost the sealed prefix; the spill store still serves it.
+  EXPECT_LT(dropping.fine_range(0, util::kDay).record_count(),
+            spilling.fine_range(0, util::kDay).record_count());
 }
 
 }  // namespace

@@ -1,0 +1,146 @@
+// Spill file format unit tests: write/open roundtrip on both the mmap and
+// the read()-fallback paths, zero-record files, atomic-write hygiene (no
+// .tmp left behind), and every corruption class the reader must reject —
+// truncation, bad magic, wrong version, inconsistent offsets, and flipped
+// column bytes under checksum verification.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "telemetry/spill_file.h"
+#include "util/interner.h"
+#include "util/sim_time.h"
+
+namespace smn::telemetry {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "smn_spill_file_" + name;
+}
+
+struct Columns {
+  std::vector<util::SimTime> timestamps;
+  std::vector<double> bandwidths;
+  std::vector<util::PairId> pairs;
+};
+
+Columns sample_columns(std::size_t records) {
+  util::IdSpace& ids = util::IdSpace::global();
+  Columns c;
+  for (std::size_t i = 0; i < records; ++i) {
+    c.timestamps.push_back(static_cast<util::SimTime>(i * 300));
+    c.bandwidths.push_back(static_cast<double>(i) * 1.5 + 0.25);
+    c.pairs.push_back(ids.pair_of_names("spill-src" + std::to_string(i % 7),
+                                        "spill-dst" + std::to_string(i % 5)));
+  }
+  return c;
+}
+
+std::string write_sample(const std::string& name, const Columns& c,
+                         util::SimTime day = util::kDay) {
+  const std::string path = temp_path(name);
+  write_spill_file(path, day, c.timestamps, c.bandwidths, c.pairs);
+  return path;
+}
+
+/// Flips one byte at `offset` in the file at `path`.
+void flip_byte(const std::string& path, std::size_t offset) {
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  ASSERT_TRUE(f.good()) << path;
+  f.seekg(static_cast<std::streamoff>(offset));
+  char byte = 0;
+  f.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x5A);
+  f.seekp(static_cast<std::streamoff>(offset));
+  f.write(&byte, 1);
+  ASSERT_TRUE(f.good()) << path;
+}
+
+TEST(SpillFile, RoundtripPreservesColumnsOnBothReadPaths) {
+  const Columns c = sample_columns(512);
+  const std::string path = write_sample("roundtrip.col", c, 3 * util::kDay);
+
+  for (const bool allow_mmap : {true, false}) {
+    SCOPED_TRACE(allow_mmap ? "mmap" : "fallback");
+    const SpilledSegment seg = SpilledSegment::open(path, /*verify_checksum=*/true, allow_mmap);
+    EXPECT_EQ(seg.is_mapped(), allow_mmap);
+    ASSERT_EQ(seg.record_count(), c.timestamps.size());
+    EXPECT_EQ(seg.day(), 3 * util::kDay);
+    for (std::size_t i = 0; i < seg.record_count(); ++i) {
+      ASSERT_EQ(seg.timestamps()[i], c.timestamps[i]) << "row " << i;
+      ASSERT_EQ(seg.bandwidths()[i], c.bandwidths[i]) << "row " << i;
+      ASSERT_EQ(seg.pair_ids()[i], c.pairs[i]) << "row " << i;
+    }
+  }
+}
+
+TEST(SpillFile, WriteReportsFileSizeAndLeavesNoTmpSibling) {
+  const Columns c = sample_columns(100);
+  const std::string path = temp_path("atomic.col");
+  const std::size_t bytes = write_spill_file(path, 0, c.timestamps, c.bandwidths, c.pairs);
+  // 64-byte header + 20 bytes of columns per record.
+  EXPECT_EQ(bytes, 64u + 100u * 20u);
+  EXPECT_EQ(std::filesystem::file_size(path), bytes);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+TEST(SpillFile, ZeroRecordFileRoundtrips) {
+  const std::string path = write_sample("empty.col", Columns{}, 2 * util::kDay);
+  const SpilledSegment seg = SpilledSegment::open(path);
+  EXPECT_EQ(seg.record_count(), 0u);
+  EXPECT_EQ(seg.day(), 2 * util::kDay);
+  EXPECT_TRUE(seg.timestamps().empty());
+}
+
+TEST(SpillFile, MismatchedColumnLengthsThrowOnWrite) {
+  Columns c = sample_columns(10);
+  c.pairs.pop_back();
+  EXPECT_THROW(
+      write_spill_file(temp_path("uneven.col"), 0, c.timestamps, c.bandwidths, c.pairs),
+      std::runtime_error);
+}
+
+TEST(SpillFile, TruncatedFileIsRejected) {
+  const std::string path = write_sample("truncated.col", sample_columns(64));
+  std::filesystem::resize_file(path, std::filesystem::file_size(path) - 8);
+  EXPECT_THROW(SpilledSegment::open(path), std::runtime_error);
+  // Even shorter than the header.
+  std::filesystem::resize_file(path, 16);
+  EXPECT_THROW(SpilledSegment::open(path), std::runtime_error);
+}
+
+TEST(SpillFile, BadMagicAndVersionAreRejected) {
+  const Columns c = sample_columns(32);
+  const std::string magic_path = write_sample("bad_magic.col", c);
+  flip_byte(magic_path, 0);  // first magic byte
+  EXPECT_THROW(SpilledSegment::open(magic_path), std::runtime_error);
+
+  const std::string version_path = write_sample("bad_version.col", c);
+  flip_byte(version_path, 8);  // version field
+  EXPECT_THROW(SpilledSegment::open(version_path), std::runtime_error);
+}
+
+TEST(SpillFile, InconsistentOffsetsAreRejected) {
+  const std::string path = write_sample("bad_offsets.col", sample_columns(32));
+  flip_byte(path, 32);  // off_timestamps field
+  EXPECT_THROW(SpilledSegment::open(path), std::runtime_error);
+}
+
+TEST(SpillFile, FlippedColumnByteFailsChecksumButPassesWhenDisabled) {
+  const std::string path = write_sample("bit_rot.col", sample_columns(64));
+  flip_byte(path, 64 + 24);  // inside the timestamp column
+  EXPECT_THROW(SpilledSegment::open(path, /*verify_checksum=*/true), std::runtime_error);
+  // With verification off the structural checks still pass — the bench
+  // uses this mode to isolate raw map+read cost.
+  const SpilledSegment seg = SpilledSegment::open(path, /*verify_checksum=*/false);
+  EXPECT_EQ(seg.record_count(), 64u);
+}
+
+}  // namespace
+}  // namespace smn::telemetry

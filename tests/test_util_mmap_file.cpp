@@ -1,0 +1,107 @@
+// MmapFile unit tests: the real mmap path and the read()-fallback path
+// must behave identically (data/size/valid), zero-length and missing files
+// take the documented edge paths, and moves transfer ownership without
+// double-release.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "util/mmap_file.h"
+
+namespace smn::util {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "smn_mmap_" + name;
+}
+
+void write_file(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+TEST(MmapFile, DefaultConstructedIsEmpty) {
+  const MmapFile file;
+  EXPECT_FALSE(file.valid());
+  EXPECT_EQ(file.data(), nullptr);
+  EXPECT_EQ(file.size(), 0u);
+}
+
+TEST(MmapFile, MapsContentsReadOnly) {
+  const std::string path = temp_path("basic.bin");
+  write_file(path, "spill tier contents\n");
+
+  const MmapFile file = MmapFile::open(path);
+  ASSERT_TRUE(file.valid());
+  ASSERT_EQ(file.size(), 20u);
+  EXPECT_EQ(std::memcmp(file.data(), "spill tier contents\n", file.size()), 0);
+}
+
+TEST(MmapFile, FallbackPathMatchesMmapPath) {
+  const std::string path = temp_path("fallback.bin");
+  std::string contents;
+  for (int i = 0; i < 300; ++i) contents.push_back(static_cast<char>(i % 251));
+  write_file(path, contents);
+
+  const MmapFile mapped = MmapFile::open(path, /*allow_mmap=*/true);
+  const MmapFile buffered = MmapFile::open(path, /*allow_mmap=*/false);
+  ASSERT_TRUE(mapped.valid());
+  ASSERT_TRUE(buffered.valid());
+  EXPECT_FALSE(buffered.is_mapped());
+  ASSERT_EQ(mapped.size(), buffered.size());
+  EXPECT_EQ(std::memcmp(mapped.data(), buffered.data(), mapped.size()), 0);
+}
+
+TEST(MmapFile, ZeroLengthFileIsValidAndEmpty) {
+  const std::string path = temp_path("empty.bin");
+  write_file(path, "");
+  for (const bool allow_mmap : {true, false}) {
+    SCOPED_TRACE(allow_mmap ? "mmap" : "fallback");
+    const MmapFile file = MmapFile::open(path, allow_mmap);
+    EXPECT_TRUE(file.valid());
+    EXPECT_EQ(file.size(), 0u);
+    EXPECT_EQ(file.data(), nullptr);
+  }
+}
+
+TEST(MmapFile, MissingFileThrows) {
+  const std::string path = temp_path("does_not_exist.bin");
+  EXPECT_THROW(MmapFile::open(path), std::runtime_error);
+  EXPECT_THROW(MmapFile::open(path, /*allow_mmap=*/false), std::runtime_error);
+}
+
+TEST(MmapFile, MoveTransfersOwnership) {
+  const std::string path = temp_path("move.bin");
+  write_file(path, "move me");
+
+  MmapFile source = MmapFile::open(path);
+  const std::byte* const data = source.data();
+  const std::size_t size = source.size();
+
+  MmapFile moved(std::move(source));
+  EXPECT_FALSE(source.valid());  // NOLINT(bugprone-use-after-move): post-move state is specified
+  EXPECT_EQ(source.data(), nullptr);
+  ASSERT_TRUE(moved.valid());
+  EXPECT_EQ(moved.data(), data);
+  EXPECT_EQ(moved.size(), size);
+
+  MmapFile assigned;
+  assigned = std::move(moved);
+  ASSERT_TRUE(assigned.valid());
+  EXPECT_EQ(assigned.data(), data);
+  EXPECT_EQ(std::memcmp(assigned.data(), "move me", 7), 0);
+
+  assigned.reset();
+  EXPECT_FALSE(assigned.valid());
+  EXPECT_EQ(assigned.data(), nullptr);
+  EXPECT_EQ(assigned.size(), 0u);
+}
+
+}  // namespace
+}  // namespace smn::util

@@ -84,6 +84,25 @@ POLICIES: dict[str, dict[str, list]] = {
             ("ingest_records_per_s.sharded_8", "ingest_ms.sharded_8"),
         ],
     },
+    "BENCH_spill_tier.json": {
+        "exact": [
+            "instance.records",
+            "instance.days",
+            "memory.all_resident_bytes",
+            "memory.spilled_resident_bytes",
+            "memory.resident_reduction",
+            "memory.spill_files",
+            "fidelity.full_identical",
+            "fidelity.spilled_only_identical",
+            "fidelity.straddle_identical",
+            "fidelity.coarse_identical",
+            "fidelity.reduction_ok",
+        ],
+        "ratio": [
+            ("cold_read.spilled_day_records_per_s", "cold_read.spilled_day_ms"),
+            ("cold_read.resident_day_records_per_s", "cold_read.resident_day_ms"),
+        ],
+    },
 }
 
 FLOAT_EPS = 1e-9

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Append gated bench keys to the committed trend CSV (bench/trends.csv).
+
+The bench-trend CI job runs this after bench-smoke on every push to main:
+it takes the freshly produced BENCH_*.json reports, extracts exactly the
+keys bench_compare.py gates (plus the ratio keys' wall-clock bases, so
+throughput trends carry their timing context), and appends one row per key
+to the CSV, stamped with the commit and an ISO-8601 UTC time. The CSV is
+committed back with [skip ci], building a per-commit history of the gated
+surface that can be plotted without rerunning a single bench.
+
+Rows:   commit,utc,bench,key,value
+Dedup:  if `--commit` already appears in the CSV the run is a no-op (a
+        re-run of the job must not duplicate history).
+
+Usage:
+    tools/bench_trend.py --reports build/bench --csv bench/trends.csv \
+        --commit "$GITHUB_SHA"
+
+Exits nonzero when a report with a gating policy is missing a gated key or
+the reports directory holds none of the policy files at all.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import datetime
+import json
+import pathlib
+import sys
+
+from bench_compare import POLICIES, lookup
+
+
+def gated_keys(policy: dict[str, list]) -> list[str]:
+    keys = list(policy["exact"])
+    for ratio_key, basis_key in policy["ratio"]:
+        keys.append(ratio_key)
+        keys.append(basis_key)
+    return keys
+
+
+def as_cell(value) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--reports", required=True, type=pathlib.Path,
+                        help="directory holding freshly produced BENCH_*.json files")
+    parser.add_argument("--csv", required=True, type=pathlib.Path,
+                        help="trend CSV to append to (header: commit,utc,bench,key,value)")
+    parser.add_argument("--commit", required=True,
+                        help="commit SHA stamped on every appended row")
+    args = parser.parse_args()
+
+    if args.csv.exists():
+        with args.csv.open(newline="") as f:
+            for row in csv.reader(f):
+                if row and row[0] == args.commit:
+                    print(f"{args.commit} already recorded in {args.csv}, nothing to do")
+                    return 0
+
+    utc = datetime.datetime.now(datetime.timezone.utc).isoformat(timespec="seconds")
+    rows: list[list[str]] = []
+    failures: list[str] = []
+    for name, policy in sorted(POLICIES.items()):
+        report_path = args.reports / name
+        if not report_path.exists():
+            failures.append(f"{name}: report not found at {report_path}")
+            continue
+        report = json.loads(report_path.read_text())
+        for key in gated_keys(policy):
+            value = lookup(report, key)
+            if value is None:
+                failures.append(f"{name}: gated key {key} missing from report")
+                continue
+            rows.append([args.commit, utc, name, key, as_cell(value)])
+
+    if failures:
+        for failure in failures:
+            print(f"error: {failure}", file=sys.stderr)
+        return 1
+    if not rows:
+        print("error: no policy reports found, nothing appended", file=sys.stderr)
+        return 1
+
+    write_header = not args.csv.exists() or args.csv.stat().st_size == 0
+    with args.csv.open("a", newline="") as f:
+        writer = csv.writer(f)
+        if write_header:
+            writer.writerow(["commit", "utc", "bench", "key", "value"])
+        writer.writerows(rows)
+    print(f"appended {len(rows)} rows for {args.commit} to {args.csv}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,12 +7,23 @@
 // incident routing, optical risk publication, and the retention seal over
 // everything at the end.
 //
-//   contract_soak          # planetary WAN, one day of telemetry (nightly CI)
-//   contract_soak --quick  # small WAN, two hours (the contract_soak ctest)
+// The bandwidth store runs with the mmap spill tier enabled by default
+// (sealed days go to column files instead of being dropped), so the soak
+// also covers the spill write/map/merge paths under contracts; after the
+// retention seal it verifies fine_range() still returns every ingested
+// record. `--no-spill` restores the drop-on-seal store.
 //
-// Exit status: 0 iff util::contract_failure_count() == 0 at the end.
+//   contract_soak                  # planetary WAN, one day (nightly CI)
+//   contract_soak --quick          # small WAN, three hours (ctest)
+//   contract_soak --spill-dir DIR  # spill under DIR (default: a fresh
+//                                  # directory under the system temp path)
+//
+// Exit status: 0 iff util::contract_failure_count() == 0 at the end (and,
+// with spilling, the post-seal fine_range count matches ingest).
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
+#include <string>
 
 #include "depgraph/reddit.h"
 #include "incident/simulator.h"
@@ -47,8 +58,22 @@ telemetry::BandwidthLog slice(const telemetry::BandwidthLog& log, util::SimTime 
 
 int main(int argc, char** argv) {
   bool quick = false;
+  bool spill = true;
+  std::string spill_dir;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--no-spill") == 0) spill = false;
+    if (std::strcmp(argv[i], "--spill-dir") == 0 && i + 1 < argc) spill_dir = argv[++i];
+  }
+  if (spill && spill_dir.empty()) {
+    spill_dir =
+        (std::filesystem::temp_directory_path() / "smn_contract_soak_spill").string();
+  }
+  if (spill) {
+    // Stale files from a previous run are never registered by this store,
+    // but start clean anyway so disk use reflects this run alone.
+    std::error_code ec;
+    std::filesystem::remove_all(spill_dir, ec);
   }
   // Log-and-continue so one violation cannot end the run before the rest of
   // the day surfaces more; the exit status carries the verdict. (CI also
@@ -76,6 +101,7 @@ int main(int argc, char** argv) {
   // Let the mid-day demand step fire the drift re-solve inside the quick
   // window too (the default interval guard would run out the clock).
   if (quick) config.drift_min_resolve_interval = 30 * util::kMinute;
+  if (spill) config.bw_spill_dir = spill_dir;
   ::smn::smn::SmnController controller(services, wan, config);
 
   telemetry::TrafficConfig traffic;
@@ -116,6 +142,20 @@ int main(int argc, char** argv) {
   controller.run_retention(traffic.duration + util::kWeek);
   controller.run_capacity_planning(traffic.duration);
 
+  // With the spill tier on, sealing demotes instead of dropping, so the
+  // full-horizon fine read must still return every ingested record — this
+  // drives the map/merge read path (and its contracts) after the seal.
+  if (spill) {
+    const telemetry::BandwidthLog all =
+        controller.bandwidth_store().fine_range(0, traffic.duration);
+    if (all.record_count() != records) {
+      std::fprintf(stderr,
+                   "CONTRACT SOAK FAILED: post-seal fine_range returned %zu of %zu records\n",
+                   all.record_count(), records);
+      return 1;
+    }
+  }
+
   const telemetry::LogStoreStats stats = controller.bandwidth_store().stats();
   const std::size_t failures = util::contract_failure_count();
   std::printf(
@@ -124,6 +164,13 @@ int main(int argc, char** argv) {
       records, controller.bandwidth_store().shard_count(), ticks, incidents,
       static_cast<unsigned long long>(controller.early_te_resolves()), stats.fine_records,
       stats.coarse_summaries);
+  if (spill) {
+    std::printf("      spill tier: %zu files, %zu records, %zu bytes on disk, "
+                "%llu maps / %llu unmaps (%s)\n",
+                stats.spilled_files, stats.spilled_records, stats.spilled_bytes,
+                static_cast<unsigned long long>(stats.spill_maps),
+                static_cast<unsigned long long>(stats.spill_unmaps), spill_dir.c_str());
+  }
   if (failures != 0) {
     std::fprintf(stderr, "CONTRACT SOAK FAILED: %zu contract violation(s) logged\n", failures);
     return 1;

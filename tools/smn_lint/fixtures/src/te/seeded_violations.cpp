@@ -1,4 +1,4 @@
-// smn_lint self-test fixture: seeded violations of all four rule families.
+// smn_lint self-test fixture: seeded violations of all five rule families.
 // The `smn_lint_seeded_fixture` ctest lints exactly this file and asserts a
 // non-zero exit (WILL_FAIL). It lives under fixtures/src/te/ so the linter
 // classifies it as hot-path + solver code; it is never compiled, and the
@@ -8,6 +8,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 namespace smn::fixture {
 
@@ -46,6 +47,22 @@ struct Solver {
   template <typename Log>
   auto series(const Log& log) {
     return log.series_by_pair();
+  }
+
+  // alloc-in-loop: owning containers and raw `new` constructed fresh on
+  // every pass of a solver loop.
+  double widen(int n) {
+    double acc = 0.0;
+    for (int i = 0; i < n; ++i) {
+      std::vector<double> scratch(static_cast<std::size_t>(n), 0.0);
+      std::string label = "w";
+      acc += static_cast<double>(scratch.size() + label.size());
+    }
+    while (n-- > 0) {
+      const int* leaked = new int(n);
+      acc += static_cast<double>(*leaked);
+    }
+    return acc;
   }
 };
 

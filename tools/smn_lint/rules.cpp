@@ -112,6 +112,19 @@ std::set<std::string, std::less<>> unordered_value_names(const SourceFile& file)
   return names;
 }
 
+/// Heap-owning container types whose construction inside a solver loop body
+/// reallocates every iteration (R5). Iterators/references over them are
+/// fine; only declaration-shaped constructions are flagged.
+const std::set<std::string, std::less<>> kOwningContainers{
+    "vector", "deque", "list", "map", "multimap", "set", "multiset",
+    "unordered_map", "unordered_multimap", "unordered_set", "unordered_multiset",
+    "string", "wstring", "basic_string",
+    "ostringstream", "istringstream", "stringstream"};
+
+/// Non-templated spellings of the owning set (declared without a '<').
+const std::set<std::string, std::less<>> kOwningNonTemplated{
+    "string", "wstring", "ostringstream", "istringstream", "stringstream"};
+
 /// Names declared `double` or `float` in `file` (variables, members,
 /// parameters; the heuristic also picks up function return names, which is
 /// harmless — they never appear on the left of `+=`).
@@ -245,6 +258,99 @@ void check_nondeterminism(const SourceFile& file, const FileClass& cls,
   }
 }
 
+void check_alloc_in_loop(const SourceFile& file, const FileClass& cls,
+                         std::vector<Finding>& out) {
+  if (!cls.solver) return;
+  const auto& toks = file.tokens;
+
+  // Token ranges of every for/while/do body (nested bodies just add more
+  // ranges; membership in any of them puts a token "inside a loop").
+  std::vector<std::pair<std::size_t, std::size_t>> bodies;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    std::size_t body_begin = toks.size();
+    if ((toks[i].is_ident("for") || toks[i].is_ident("while")) && i + 1 < toks.size() &&
+        toks[i + 1].is_punct("(")) {
+      const std::size_t close = find_matching(toks, i + 1, "(", ")");
+      if (close >= toks.size()) continue;
+      body_begin = close + 1;
+    } else if (toks[i].is_ident("do") && i + 1 < toks.size() && toks[i + 1].is_punct("{")) {
+      body_begin = i + 1;
+    } else {
+      continue;
+    }
+    std::size_t body_end;
+    if (body_begin < toks.size() && toks[body_begin].is_punct("{")) {
+      body_end = find_matching(toks, body_begin, "{", "}");
+    } else {
+      body_end = body_begin;
+      while (body_end < toks.size() && !toks[body_end].is_punct(";")) ++body_end;
+    }
+    if (body_begin < body_end) bodies.emplace_back(body_begin, body_end);
+  }
+  if (bodies.empty()) return;
+  const auto in_loop = [&](std::size_t j) {
+    for (const auto& [b, e] : bodies) {
+      if (j >= b && j < e) return true;
+    }
+    return false;
+  };
+  // `static`/`thread_local` declarations construct once, not per iteration.
+  const auto is_static_decl = [&](std::size_t i) {
+    for (std::size_t back = 1; back <= 4 && back <= i; ++back) {
+      const Token& p = toks[i - back];
+      if (p.is_ident("static") || p.is_ident("thread_local")) return true;
+      if (!p.is_ident("std") && !p.is_ident("const") && !p.is_punct("::")) break;
+    }
+    return false;
+  };
+
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!in_loop(i)) continue;
+    const Token& t = toks[i];
+    if (t.kind != Token::Kind::kIdentifier) continue;
+
+    // Raw heap allocation per iteration.
+    if (t.text == "new") {
+      out.push_back({"alloc-in-loop", file.path, t.line,
+                     "'new' inside a solver loop body; hoist the allocation out of "
+                     "the loop or reuse a preallocated buffer"});
+      continue;
+    }
+
+    if (kOwningContainers.count(t.text) == 0) continue;
+    std::size_t after_type = toks.size();
+    if (toks[i + 1].is_punct("<")) {
+      (void)first_template_arg(toks, i, &after_type);
+    } else if (kOwningNonTemplated.count(t.text) > 0) {
+      after_type = i + 1;
+    } else {
+      continue;
+    }
+    // References, pointers, and nested types (::iterator and friends) don't
+    // construct a container; neither do further template levels.
+    if (after_type >= toks.size() || toks[after_type].is_punct("&") ||
+        toks[after_type].is_punct("*") || toks[after_type].is_punct("::")) {
+      continue;
+    }
+    // Declaration shape: `<type> name` followed by ; = ( { or , — anything
+    // else (a template argument, a cast, a qualified call) is not a
+    // construction of a new container object.
+    if (toks[after_type].kind != Token::Kind::kIdentifier || after_type + 1 >= toks.size()) {
+      continue;
+    }
+    const Token& next = toks[after_type + 1];
+    if (!next.is_punct(";") && !next.is_punct("=") && !next.is_punct("(") &&
+        !next.is_punct("{") && !next.is_punct(",")) {
+      continue;
+    }
+    if (is_static_decl(i)) continue;
+    out.push_back({"alloc-in-loop", file.path, t.line,
+                   "std::" + t.text + " '" + toks[after_type].text +
+                       "' constructed inside a solver loop body; hoist it out of the "
+                       "loop and clear() per iteration"});
+  }
+}
+
 void check_lock_hygiene(const SourceFile& file, const FileClass& /*cls*/,
                         std::vector<Finding>& out) {
   const auto& toks = file.tokens;
@@ -341,6 +447,7 @@ std::vector<Finding> check_all(const SourceFile& file, const FileClass& cls) {
   std::vector<Finding> out;
   check_hot_path_strings(file, cls, out);
   check_nondeterminism(file, cls, out);
+  check_alloc_in_loop(file, cls, out);
   check_lock_hygiene(file, cls, out);
   check_header_hygiene(file, cls, out);
   std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {

@@ -1,4 +1,4 @@
-// The four project-invariant rule families smn_lint enforces, as named in
+// The five project-invariant rule families smn_lint enforces, as named in
 // ISSUE/DESIGN §8:
 //
 //   R1 hot-path-strings   — no std::string-keyed associative containers and
@@ -21,6 +21,15 @@
 //   R4 header-hygiene     — headers use `#pragma once`; hot-path and solver
 //                           modules must not include banned heavyweight
 //                           headers (<regex>, <iostream>).
+//   R5 alloc-in-loop      — solver code (src/te, src/lp, src/graph) must not
+//                           construct owning containers (vector, map,
+//                           string, ...) or run `new` inside for/while/do
+//                           loop bodies: the inner loops run per commodity
+//                           per iteration, and a fresh heap allocation each
+//                           pass dominates the arithmetic. Hoist the buffer
+//                           out of the loop and clear() per iteration
+//                           (references, iterators, pointers to containers,
+//                           and static/thread_local declarations are fine).
 //
 // Every finding is suppressible with `// smn-lint: allow(<rule>)` on the
 // same line or the line directly above (see linter.h).
@@ -45,7 +54,7 @@ struct Finding {
 /// classification without touching the filesystem.
 struct FileClass {
   bool hot_path = false;    ///< R1 + R4 banned includes
-  bool solver = false;      ///< R2 + R4 banned includes
+  bool solver = false;      ///< R2 + R5 + R4 banned includes
   bool shim_exempt = false; ///< designated string-shim file: R1 skipped
 };
 
@@ -53,6 +62,8 @@ void check_hot_path_strings(const SourceFile& file, const FileClass& cls,
                             std::vector<Finding>& out);
 void check_nondeterminism(const SourceFile& file, const FileClass& cls,
                           std::vector<Finding>& out);
+void check_alloc_in_loop(const SourceFile& file, const FileClass& cls,
+                         std::vector<Finding>& out);
 void check_lock_hygiene(const SourceFile& file, const FileClass& cls,
                         std::vector<Finding>& out);
 void check_header_hygiene(const SourceFile& file, const FileClass& cls,
