@@ -1,0 +1,318 @@
+// PR-6 shortest-path bench — the contraction-hierarchy substrate on the TE
+// hot path. Four legs, all against the flat-CSR ground truth:
+//
+//   * failure sweep (the headline gate): single-link routing failure sweep
+//     on the ~308-DC planetary WAN — flat masked Dijkstra trees per
+//     scenario vs CH delta-overlay queries against one hierarchy built
+//     before the sweep (never rebuilt per scenario). Reports must be
+//     bit-identical; the full run gates CH >= 10x faster;
+//   * a ~3000-node synthetic WAN re-running the same sweep at scale-out
+//     size (fidelity gated, speedup reported);
+//   * MCF: the FPTAS solver with its oracle swapped to a customizable
+//     hierarchy re-customized to the evolving dual lengths. Different
+//     augmentation schedule, so lambda is gated to the flat lambda within
+//     the approximation band, not bit-equal;
+//   * hierarchical routing: unrestricted distances from CH point queries
+//     vs full Dijkstra trees — reports bit-identical.
+//
+// Writes BENCH_ch.json into the working directory:
+//   {
+//     "instance": {...},
+//     "build": {"build_ms", "arcs", "shortcuts", "witness_searches"},
+//     "sweep": {"flat_ms", "ch_ms", "speedup", "queries", "pristine_hits",
+//               "certified", "fallbacks", "repairs_attempted",
+//               "repairs_succeeded"},
+//     "synthetic": {"build_ms", "flat_ms", "ch_ms", "speedup"},
+//     "mcf": {"flat_ms", "ch_ms", "flat_lambda", "ch_lambda",
+//             "lambda_ratio", "flat_sp_calls", "ch_sp_calls"},
+//     "hierarchical": {"flat_ms", "ch_ms", "speedup"},
+//     "fidelity": {"sweep_identical", "synthetic_identical",
+//                  "counters_partition", "deterministic",
+//                  "hierarchical_identical", "lambda_ok", "speedup_ok"}
+//   }
+//
+// `--smoke` shrinks both WANs and the pair/link counts for the bench_smoke
+// ctest label; fidelity booleans stay gated there, but the 10x speedup gate
+// applies only to the full run (tiny sweeps are timer noise).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "graph/ch.h"
+#include "lp/mcf.h"
+#include "routing/hierarchical.h"
+#include "te/failure_analysis.h"
+#include "topology/wan_generator.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace smn;
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+/// Distinct random positive-demand pairs — the sweep's demand matrix.
+std::vector<lp::Commodity> make_commodities(const topology::WanTopology& wan, std::size_t count,
+                                            std::uint64_t seed) {
+  util::Rng rng(seed);
+  const auto n = static_cast<std::int64_t>(wan.datacenter_count());
+  std::vector<lp::Commodity> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto s = static_cast<graph::NodeId>(rng.uniform_int(0, n - 1));
+    auto d = static_cast<graph::NodeId>(rng.uniform_int(0, n - 2));
+    if (d >= s) ++d;
+    out.push_back({s, d, rng.uniform(10.0, 100.0)});
+  }
+  return out;
+}
+
+/// Evenly spaced sample of `count` link indices.
+std::vector<std::size_t> sample_links(const topology::WanTopology& wan, std::size_t count) {
+  const std::size_t total = wan.link_count();
+  count = std::min(count, total);
+  std::vector<std::size_t> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(i * total / count);
+  return out;
+}
+
+bool reports_identical(const te::RoutingSweepReport& a, const te::RoutingSweepReport& b) {
+  if (a.pairs != b.pairs || a.worst_stretch != b.worst_stretch ||
+      a.worst_disconnected != b.worst_disconnected || a.impacts.size() != b.impacts.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.impacts.size(); ++i) {
+    const te::RoutingImpact& x = a.impacts[i];
+    const te::RoutingImpact& y = b.impacts[i];
+    if (x.link != y.link || x.link_name != y.link_name || x.rerouted_pairs != y.rerouted_pairs ||
+        x.disconnected_pairs != y.disconnected_pairs || x.mean_stretch != y.mean_stretch ||
+        x.worst_stretch != y.worst_stretch) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct SweepLeg {
+  double build_ms = 0.0;
+  double flat_ms = 0.0;
+  double ch_ms = 0.0;
+  double speedup = 0.0;
+  bool identical = false;
+  graph::ChStats stats;
+  te::RoutingSweepReport ch_report;
+};
+
+SweepLeg run_sweep_leg(const topology::WanTopology& wan,
+                       const std::vector<lp::Commodity>& commodities,
+                       const std::vector<std::size_t>& links, int reps) {
+  SweepLeg leg;
+  graph::ContractionHierarchy ch;
+  const auto build_start = Clock::now();
+  ch.build(wan.graph());
+  leg.build_ms = ms_since(build_start);
+  leg.stats = ch.stats();
+
+  te::RoutingSweepOptions flat_options;
+  flat_options.threads = 1;
+  flat_options.use_ch = false;
+  te::RoutingSweepOptions ch_options;
+  ch_options.threads = 1;
+  ch_options.use_ch = true;
+  ch_options.hierarchy = &ch;  // built once above; the sweep never rebuilds
+
+  te::RoutingSweepReport flat_report;
+  leg.flat_ms = leg.ch_ms = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < reps; ++r) {
+    const auto flat_start = Clock::now();
+    flat_report = te::routing_failure_sweep(wan, commodities, links, flat_options);
+    leg.flat_ms = std::min(leg.flat_ms, ms_since(flat_start));
+    const auto ch_start = Clock::now();
+    leg.ch_report = te::routing_failure_sweep(wan, commodities, links, ch_options);
+    leg.ch_ms = std::min(leg.ch_ms, ms_since(ch_start));
+  }
+  leg.speedup = leg.ch_ms > 0.0 ? leg.flat_ms / leg.ch_ms : 0.0;
+  leg.identical = reports_identical(flat_report, leg.ch_report);
+  return leg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  // --- Leg 1: failure sweep on the ~308-DC planetary WAN. ---
+  topology::WanConfig wan_config;
+  if (smoke) {
+    wan_config.regions_per_continent = 2;
+    wan_config.dcs_per_region = 3;
+  }
+  const auto wan = topology::generate_planetary_wan(wan_config);
+  const auto commodities = make_commodities(wan, smoke ? 200 : 2000, 97);
+  const auto links = sample_links(wan, smoke ? 8 : 64);
+  const int reps = smoke ? 1 : 3;
+  std::printf("instance: %zu DCs, %zu links (%zu swept), %zu demand pairs\n",
+              wan.datacenter_count(), wan.link_count(), links.size(), commodities.size());
+
+  const SweepLeg sweep = run_sweep_leg(wan, commodities, links, reps);
+  const te::RoutingSweepReport& chr = sweep.ch_report;
+  const bool counters_partition =
+      chr.ch_queries == chr.ch_pristine_hits + chr.ch_certified + chr.ch_fallbacks;
+  std::printf("build: %.1f ms, %zu arcs (%zu shortcuts), %zu witness searches\n", sweep.build_ms,
+              sweep.stats.arcs, sweep.stats.shortcuts, sweep.stats.witness_searches);
+  std::printf("sweep: flat %.2f ms vs ch %.2f ms (%.1fx) — %s\n", sweep.flat_ms, sweep.ch_ms,
+              sweep.speedup, sweep.identical ? "reports identical" : "REPORT MISMATCH");
+  std::printf("  queries %zu = pristine %zu + certified %zu + fallback %zu; repairs %zu/%zu\n",
+              chr.ch_queries, chr.ch_pristine_hits, chr.ch_certified, chr.ch_fallbacks,
+              chr.ch_repairs_succeeded, chr.ch_repairs_attempted);
+
+  // Determinism: the CH sweep must reproduce itself bit for bit, counters
+  // included, on a rerun with a freshly built hierarchy.
+  const SweepLeg again = run_sweep_leg(wan, commodities, links, 1);
+  const bool deterministic = reports_identical(chr, again.ch_report) &&
+                             chr.ch_queries == again.ch_report.ch_queries &&
+                             chr.ch_certified == again.ch_report.ch_certified &&
+                             chr.ch_fallbacks == again.ch_report.ch_fallbacks &&
+                             chr.ch_repairs_succeeded == again.ch_report.ch_repairs_succeeded;
+
+  // --- Leg 2: ~3000-node synthetic WAN, same sweep. ---
+  topology::WanConfig synth_config;
+  if (smoke) {
+    synth_config.continents = 2;
+    synth_config.regions_per_continent = 2;
+    synth_config.dcs_per_region = 3;
+  } else {
+    synth_config.regions_per_continent = 10;
+    synth_config.dcs_per_region = 43;  // 7 * 10 * 43 = 3010 datacenters
+  }
+  synth_config.seed = 91;
+  const auto synth = topology::generate_planetary_wan(synth_config);
+  const auto synth_commodities = make_commodities(synth, smoke ? 60 : 1000, 31);
+  const auto synth_links = sample_links(synth, smoke ? 4 : 24);
+  const SweepLeg synth_leg = run_sweep_leg(synth, synth_commodities, synth_links, 1);
+  std::printf("synthetic (%zu DCs): build %.1f ms, flat %.2f ms vs ch %.2f ms (%.1fx) — %s\n",
+              synth.datacenter_count(), synth_leg.build_ms, synth_leg.flat_ms, synth_leg.ch_ms,
+              synth_leg.speedup, synth_leg.identical ? "identical" : "REPORT MISMATCH");
+
+  // --- Leg 3: MCF with the customizable-hierarchy oracle. ---
+  const auto mcf_commodities = make_commodities(wan, smoke ? 40 : 120, 11);
+  const lp::McfOptions mcf_flat{.epsilon = 0.1};
+  const auto mcf_flat_start = Clock::now();
+  const lp::McfResult mcf_flat_result =
+      lp::max_concurrent_flow(wan.graph(), mcf_commodities, mcf_flat);
+  const double mcf_flat_ms = ms_since(mcf_flat_start);
+
+  graph::ChOptions cch_options;
+  cch_options.customizable = true;
+  graph::ContractionHierarchy cch;
+  cch.build(wan.graph(), cch_options);
+  lp::McfOptions mcf_ch{.epsilon = 0.1};
+  mcf_ch.ch = &cch;
+  const auto mcf_ch_start = Clock::now();
+  const lp::McfResult mcf_ch_result =
+      lp::max_concurrent_flow(wan.graph(), mcf_commodities, mcf_ch);
+  const double mcf_ch_ms = ms_since(mcf_ch_start);
+  const double lambda_ratio =
+      mcf_flat_result.lambda > 0.0 ? mcf_ch_result.lambda / mcf_flat_result.lambda : 0.0;
+  const bool lambda_ok = lambda_ratio >= 0.85 && lambda_ratio <= 1.15;
+  std::printf("mcf: flat %.1f ms lambda %.6f (%zu sp) vs ch %.1f ms lambda %.6f (%zu sp) — "
+              "ratio %.4f\n",
+              mcf_flat_ms, mcf_flat_result.lambda, mcf_flat_result.sp_calls, mcf_ch_ms,
+              mcf_ch_result.lambda, mcf_ch_result.sp_calls, lambda_ratio);
+
+  // --- Leg 4: hierarchical routing with CH point queries. ---
+  routing::HierarchicalRoutingOptions hier_flat;
+  hier_flat.sample_pairs = smoke ? 200 : 2000;
+  const auto hier_flat_start = Clock::now();
+  const auto hier_flat_report =
+      routing::evaluate_hierarchical_routing(wan, wan.region_partition(), hier_flat);
+  const double hier_flat_ms = ms_since(hier_flat_start);
+  routing::HierarchicalRoutingOptions hier_ch = hier_flat;
+  hier_ch.use_ch = true;
+  const auto hier_ch_start = Clock::now();
+  const auto hier_ch_report =
+      routing::evaluate_hierarchical_routing(wan, wan.region_partition(), hier_ch);
+  const double hier_ch_ms = ms_since(hier_ch_start);
+  const bool hier_identical = hier_flat_report.mean_stretch == hier_ch_report.mean_stretch &&
+                              hier_flat_report.p95_stretch == hier_ch_report.p95_stretch &&
+                              hier_flat_report.max_stretch == hier_ch_report.max_stretch &&
+                              hier_flat_report.unreachable_pairs ==
+                                  hier_ch_report.unreachable_pairs &&
+                              hier_flat_report.samples.size() == hier_ch_report.samples.size();
+  const double hier_speedup = hier_ch_ms > 0.0 ? hier_flat_ms / hier_ch_ms : 0.0;
+  std::printf("hierarchical: flat %.2f ms vs ch %.2f ms (%.1fx) — %s\n", hier_flat_ms, hier_ch_ms,
+              hier_speedup, hier_identical ? "identical" : "REPORT MISMATCH");
+
+  // The 10x gate holds for the full-size sweep only; smoke timings are too
+  // short to gate (the fidelity booleans still are).
+  const bool speedup_ok = smoke || sweep.speedup >= 10.0;
+  std::printf("fidelity: sweep %s, synthetic %s, partition %s, deterministic %s, "
+              "hierarchical %s, lambda %s, speedup %s\n",
+              sweep.identical ? "ok" : "FAIL", synth_leg.identical ? "ok" : "FAIL",
+              counters_partition ? "ok" : "FAIL", deterministic ? "ok" : "FAIL",
+              hier_identical ? "ok" : "FAIL", lambda_ok ? "ok" : "FAIL",
+              speedup_ok ? "ok" : "BELOW 10x GATE");
+
+  std::FILE* out = std::fopen("BENCH_ch.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_ch.json\n");
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out,
+               "  \"instance\": {\"dcs\": %zu, \"links\": %zu, \"pairs\": %zu, "
+               "\"sweep_links\": %zu, \"synthetic_dcs\": %zu, \"synthetic_pairs\": %zu, "
+               "\"synthetic_links\": %zu, \"smoke\": %s},\n",
+               wan.datacenter_count(), wan.link_count(), commodities.size(), links.size(),
+               synth.datacenter_count(), synth_commodities.size(), synth_links.size(),
+               smoke ? "true" : "false");
+  std::fprintf(out,
+               "  \"build\": {\"build_ms\": %.3f, \"arcs\": %zu, \"shortcuts\": %zu, "
+               "\"witness_searches\": %zu},\n",
+               sweep.build_ms, sweep.stats.arcs, sweep.stats.shortcuts,
+               sweep.stats.witness_searches);
+  std::fprintf(out,
+               "  \"sweep\": {\"flat_ms\": %.3f, \"ch_ms\": %.3f, \"speedup\": %.3f, "
+               "\"queries\": %zu, \"pristine_hits\": %zu, \"certified\": %zu, "
+               "\"fallbacks\": %zu, \"repairs_attempted\": %zu, \"repairs_succeeded\": %zu},\n",
+               sweep.flat_ms, sweep.ch_ms, sweep.speedup, chr.ch_queries, chr.ch_pristine_hits,
+               chr.ch_certified, chr.ch_fallbacks, chr.ch_repairs_attempted,
+               chr.ch_repairs_succeeded);
+  std::fprintf(out,
+               "  \"synthetic\": {\"build_ms\": %.3f, \"flat_ms\": %.3f, \"ch_ms\": %.3f, "
+               "\"speedup\": %.3f},\n",
+               synth_leg.build_ms, synth_leg.flat_ms, synth_leg.ch_ms, synth_leg.speedup);
+  std::fprintf(out,
+               "  \"mcf\": {\"flat_ms\": %.3f, \"ch_ms\": %.3f, \"flat_lambda\": %.9f, "
+               "\"ch_lambda\": %.9f, \"lambda_ratio\": %.6f, \"flat_sp_calls\": %zu, "
+               "\"ch_sp_calls\": %zu},\n",
+               mcf_flat_ms, mcf_ch_ms, mcf_flat_result.lambda, mcf_ch_result.lambda,
+               lambda_ratio, mcf_flat_result.sp_calls, mcf_ch_result.sp_calls);
+  std::fprintf(out,
+               "  \"hierarchical\": {\"flat_ms\": %.3f, \"ch_ms\": %.3f, \"speedup\": %.3f},\n",
+               hier_flat_ms, hier_ch_ms, hier_speedup);
+  std::fprintf(out,
+               "  \"fidelity\": {\"sweep_identical\": %s, \"synthetic_identical\": %s, "
+               "\"counters_partition\": %s, \"deterministic\": %s, "
+               "\"hierarchical_identical\": %s, \"lambda_ok\": %s, \"speedup_ok\": %s}\n",
+               sweep.identical ? "true" : "false", synth_leg.identical ? "true" : "false",
+               counters_partition ? "true" : "false", deterministic ? "true" : "false",
+               hier_identical ? "true" : "false", lambda_ok ? "true" : "false",
+               speedup_ok ? "true" : "false");
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("wrote BENCH_ch.json\n");
+  return (sweep.identical && synth_leg.identical && counters_partition && deterministic &&
+          hier_identical && lambda_ok && speedup_ok)
+             ? 0
+             : 1;
+}

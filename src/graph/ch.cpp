@@ -1,0 +1,764 @@
+#include "graph/ch.h"
+
+#include <algorithm>
+
+#include "util/contracts.h"
+
+namespace smn::graph {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Preprocessing. ChBuilder owns the mutable contraction state (the shrinking
+// "core" graph, the lazy priority queue, witness-search scratch) and writes
+// the finished hierarchy into the ContractionHierarchy it was handed.
+// ---------------------------------------------------------------------------
+
+class ChBuilder {
+ public:
+  ChBuilder(const Digraph& g, std::vector<double> metric, const ChOptions& options,
+            ContractionHierarchy& out)
+      : g_(g), options_(options), out_(out) {
+    out_.options_ = options;
+    out_.metric_ = std::move(metric);
+    out_.arcs_.clear();
+    out_.parallel_pool_.clear();
+    out_.stats_ = ChStats{};
+    out_.stats_.nodes = g.node_count();
+    out_.stats_.fine_edges = g.edge_count();
+  }
+
+  void run() {
+    const std::size_t n = g_.node_count();
+    out_.rank_.assign(n, 0);
+    seed_original_arcs();
+    contracted_.assign(n, false);
+    deleted_neighbors_.assign(n, 0);
+    neighbor_mark_.assign(n, 0);
+    fwd_lists_.assign(n, {});
+    bwd_lists_.assign(n, {});
+    wdist_.assign(n, kInf);
+    wstamp_.assign(n, 0);
+    whop_.assign(n, 0);
+
+    for (NodeId node = 0; node < n; ++node) {
+      pq_.push({priority(node), node});
+    }
+    std::uint32_t next_rank = 0;
+    while (next_rank < n) {
+      const auto [stale_priority, node] = pq_.pop();
+      if (contracted_[node]) continue;
+      const double fresh = priority(node);
+      while (!pq_.empty() && contracted_[pq_.slots.front().second]) pq_.pop();
+      if (!pq_.empty() && std::make_pair(fresh, node) > pq_.slots.front()) {
+        pq_.push({fresh, node});
+        continue;
+      }
+      contract(node, next_rank++);
+    }
+    finalize();
+  }
+
+ private:
+  struct CoreEntry {
+    NodeId node;
+    std::uint32_t arc;
+  };
+
+  // One query arc per ordered node pair: parallel fine edges share an arc,
+  // realized by the cheapest (lowest edge id on ties). The pool keeps every
+  // parallel edge so customize()/failure repair can re-realize later.
+  void seed_original_arcs() {
+    const std::size_t n = g_.node_count();
+    out_core_.assign(n, {});
+    in_core_.assign(n, {});
+    std::vector<std::pair<NodeId, EdgeId>> sorted;
+    for (NodeId u = 0; u < n; ++u) {
+      sorted.clear();
+      for (const EdgeId e : g_.out_edges(u)) sorted.emplace_back(g_.edge(e).to, e);
+      std::sort(sorted.begin(), sorted.end());
+      std::size_t i = 0;
+      while (i < sorted.size()) {
+        ContractionHierarchy::Arc arc;
+        arc.from = u;
+        arc.to = sorted[i].first;
+        arc.weight = kInf;
+        arc.parallel_begin = static_cast<std::uint32_t>(out_.parallel_pool_.size());
+        while (i < sorted.size() && sorted[i].first == arc.to) {
+          const EdgeId e = sorted[i].second;
+          out_.parallel_pool_.push_back(e);
+          if (out_.metric_[e] < arc.weight) {
+            arc.weight = out_.metric_[e];
+            arc.fine_edge = e;
+          }
+          ++i;
+        }
+        arc.parallel_end = static_cast<std::uint32_t>(out_.parallel_pool_.size());
+        const auto id = static_cast<std::uint32_t>(out_.arcs_.size());
+        out_.arcs_.push_back(arc);
+        out_core_[u].push_back({arc.to, id});
+        in_core_[arc.to].push_back({u, id});
+      }
+    }
+  }
+
+  std::uint32_t find_core_arc(NodeId from, NodeId to) const {
+    for (const CoreEntry& entry : out_core_[from]) {
+      if (entry.node == to) return entry.arc;
+    }
+    return ContractionHierarchy::kNoArc;
+  }
+
+  // Bounded Dijkstra from `source` over the core graph, skipping
+  // `excluded`, pruned at `cutoff`. Tentative labels are valid upper
+  // bounds, so witness_label() may be read for unsettled nodes too.
+  void witness_search(NodeId source, NodeId excluded, double cutoff) {
+    ++out_.stats_.witness_searches;
+    ++wgen_;
+    wheap_.clear();
+    wdist_[source] = 0.0;
+    whop_[source] = 0;
+    wstamp_[source] = wgen_;
+    wheap_.push({0.0, source});
+    std::size_t settled = 0;
+    while (!wheap_.empty()) {
+      const auto [d, u] = wheap_.pop();
+      if (d > wdist_[u]) continue;
+      if (d > cutoff) break;
+      if (++settled > options_.witness_settled_limit) break;
+      if (whop_[u] >= options_.witness_hop_limit) continue;
+      for (const CoreEntry& entry : out_core_[u]) {
+        if (entry.node == excluded || contracted_[entry.node]) continue;
+        const double w = out_.arcs_[entry.arc].weight;
+        if (w == kInf) continue;
+        const double next = d + w;
+        if (next > cutoff) continue;
+        if (wstamp_[entry.node] != wgen_ || next < wdist_[entry.node]) {
+          wstamp_[entry.node] = wgen_;
+          wdist_[entry.node] = next;
+          whop_[entry.node] = whop_[u] + 1;
+          wheap_.push({next, entry.node});
+        }
+      }
+    }
+  }
+
+  double witness_label(NodeId node) const {
+    return wstamp_[node] == wgen_ ? wdist_[node] : kInf;
+  }
+
+  // Edge-difference heuristic: 2 * (shortcuts the contraction would add -
+  // arcs it removes) + already-contracted neighbors, recomputed lazily.
+  double priority(NodeId node) {
+    const std::size_t removed = in_core_[node].size() + out_core_[node].size();
+    std::size_t added = 0;
+    for (const CoreEntry& in : in_core_[node]) {
+      double cutoff = 0.0;
+      bool any = false;
+      for (const CoreEntry& out : out_core_[node]) {
+        if (out.node == in.node) continue;
+        any = true;
+        cutoff = std::max(cutoff, out_.arcs_[in.arc].weight + out_.arcs_[out.arc].weight);
+      }
+      if (!any) continue;
+      if (!options_.customizable) witness_search(in.node, node, cutoff);
+      for (const CoreEntry& out : out_core_[node]) {
+        if (out.node == in.node) continue;
+        if (options_.customizable) {
+          if (find_core_arc(in.node, out.node) == ContractionHierarchy::kNoArc) ++added;
+          continue;
+        }
+        const double via = out_.arcs_[in.arc].weight + out_.arcs_[out.arc].weight;
+        if (witness_label(out.node) > via) ++added;
+      }
+    }
+    return 2.0 * (static_cast<double>(added) - static_cast<double>(removed)) +
+           static_cast<double>(deleted_neighbors_[node]);
+  }
+
+  void contract(NodeId node, std::uint32_t rank) {
+    out_.rank_[node] = rank;
+    contracted_[node] = true;
+    // Snapshot: the arcs incident to `node` right now are final — every
+    // neighbor outranks it, so they form its upward adjacency.
+    for (const CoreEntry& out : out_core_[node]) fwd_lists_[node].push_back(out.arc);
+    for (const CoreEntry& in : in_core_[node]) bwd_lists_[node].push_back(in.arc);
+
+    for (const CoreEntry& in : in_core_[node]) {
+      double cutoff = 0.0;
+      bool any = false;
+      for (const CoreEntry& out : out_core_[node]) {
+        if (out.node == in.node) continue;
+        any = true;
+        cutoff = std::max(cutoff, out_.arcs_[in.arc].weight + out_.arcs_[out.arc].weight);
+      }
+      if (!any) continue;
+      if (!options_.customizable) witness_search(in.node, node, cutoff);
+      for (const CoreEntry& out : out_core_[node]) {
+        if (out.node == in.node) continue;
+        const double via = out_.arcs_[in.arc].weight + out_.arcs_[out.arc].weight;
+        const std::uint32_t existing = find_core_arc(in.node, out.node);
+        if (options_.customizable) {
+          // Structure-only fill-in; weights come from customize().
+          if (existing != ContractionHierarchy::kNoArc) continue;
+        } else {
+          if (witness_label(out.node) <= via) {
+            ++out_.stats_.witness_pruned;
+            continue;
+          }
+          if (existing != ContractionHierarchy::kNoArc &&
+              out_.arcs_[existing].weight <= via) {
+            ++out_.stats_.witness_pruned;
+            continue;
+          }
+        }
+        ContractionHierarchy::Arc arc;
+        arc.from = in.node;
+        arc.to = out.node;
+        arc.weight = via;
+        arc.child_down = in.arc;
+        arc.child_up = out.arc;
+        const auto id = static_cast<std::uint32_t>(out_.arcs_.size());
+        out_.arcs_.push_back(arc);
+        if (existing != ContractionHierarchy::kNoArc) {
+          replace_core_arc(in.node, out.node, id);
+        } else {
+          out_core_[in.node].push_back({out.node, id});
+          in_core_[out.node].push_back({in.node, id});
+        }
+      }
+    }
+
+    // Detach `node` from the core and credit its neighbors' depth terms.
+    ++mark_epoch_;
+    for (const CoreEntry& in : in_core_[node]) {
+      std::erase_if(out_core_[in.node],
+                    [node](const CoreEntry& e) { return e.node == node; });
+      if (neighbor_mark_[in.node] != mark_epoch_) {
+        neighbor_mark_[in.node] = mark_epoch_;
+        ++deleted_neighbors_[in.node];
+      }
+    }
+    for (const CoreEntry& out : out_core_[node]) {
+      std::erase_if(in_core_[out.node],
+                    [node](const CoreEntry& e) { return e.node == node; });
+      if (neighbor_mark_[out.node] != mark_epoch_) {
+        neighbor_mark_[out.node] = mark_epoch_;
+        ++deleted_neighbors_[out.node];
+      }
+    }
+    in_core_[node].clear();
+    out_core_[node].clear();
+  }
+
+  void replace_core_arc(NodeId from, NodeId to, std::uint32_t arc) {
+    for (CoreEntry& entry : out_core_[from]) {
+      if (entry.node == to) entry.arc = arc;
+    }
+    for (CoreEntry& entry : in_core_[to]) {
+      if (entry.node == from) entry.arc = arc;
+    }
+  }
+
+  void finalize() {
+    const std::size_t n = g_.node_count();
+    out_.fwd_offset_.assign(n + 1, 0);
+    out_.bwd_offset_.assign(n + 1, 0);
+    for (NodeId u = 0; u < n; ++u) {
+      out_.fwd_offset_[u + 1] = out_.fwd_offset_[u] + fwd_lists_[u].size();
+      out_.bwd_offset_[u + 1] = out_.bwd_offset_[u] + bwd_lists_[u].size();
+    }
+    out_.fwd_arcs_.clear();
+    out_.fwd_arcs_.reserve(out_.fwd_offset_[n]);
+    out_.bwd_arcs_.clear();
+    out_.bwd_arcs_.reserve(out_.bwd_offset_[n]);
+    for (NodeId u = 0; u < n; ++u) {
+      out_.fwd_arcs_.insert(out_.fwd_arcs_.end(), fwd_lists_[u].begin(), fwd_lists_[u].end());
+      out_.bwd_arcs_.insert(out_.bwd_arcs_.end(), bwd_lists_[u].begin(), bwd_lists_[u].end());
+    }
+    out_.stats_.arcs = out_.fwd_arcs_.size() + out_.bwd_arcs_.size();
+    std::size_t shortcuts = 0;
+    for (const std::uint32_t id : out_.fwd_arcs_) {
+      if (out_.arcs_[id].is_shortcut()) ++shortcuts;
+    }
+    for (const std::uint32_t id : out_.bwd_arcs_) {
+      if (out_.arcs_[id].is_shortcut()) ++shortcuts;
+    }
+    out_.stats_.shortcuts = shortcuts;
+    if (options_.customizable) {
+      const std::vector<double> metric = out_.metric_;
+      out_.customize(metric);
+    } else {
+      out_.build_coverage_index();
+    }
+  }
+
+  const Digraph& g_;
+  const ChOptions options_;
+  ContractionHierarchy& out_;
+  std::vector<std::vector<CoreEntry>> out_core_;
+  std::vector<std::vector<CoreEntry>> in_core_;
+  std::vector<bool> contracted_;
+  std::vector<int> deleted_neighbors_;
+  std::vector<std::uint32_t> neighbor_mark_;
+  std::uint32_t mark_epoch_ = 0;
+  std::vector<std::vector<std::uint32_t>> fwd_lists_;
+  std::vector<std::vector<std::uint32_t>> bwd_lists_;
+  detail::ChHeap pq_;
+  detail::ChHeap wheap_;
+  std::vector<double> wdist_;
+  std::vector<std::uint32_t> wstamp_;
+  std::vector<std::uint32_t> whop_;
+  std::uint32_t wgen_ = 0;
+};
+
+void ContractionHierarchy::build(const Digraph& g, const ChOptions& options) {
+  std::vector<double> metric(g.edge_count(), 0.0);
+  for (EdgeId e = 0; e < g.edge_count(); ++e) metric[e] = g.edge(e).weight;
+  build(g, metric, options);
+}
+
+void ContractionHierarchy::build(const Digraph& g, const std::vector<double>& edge_length,
+                                 const ChOptions& options) {
+  SMN_CHECK(edge_length.size() == g.edge_count(),
+            "ch build metric must cover every fine edge");
+  ChBuilder builder(g, edge_length, options, *this);
+  builder.run();
+}
+
+void ContractionHierarchy::customize(const std::vector<double>& edge_length) {
+  SMN_CHECK(built(), "customize requires a built hierarchy");
+  SMN_CHECK(options_.customizable, "customize requires ChOptions::customizable");
+  SMN_CHECK(edge_length.size() == metric_.size(),
+            "customize metric must cover every fine edge");
+  metric_ = edge_length;
+  // Pass 1: base weights from surviving parallel fine edges; fill-in arcs
+  // start unreachable until a lower triangle realizes them.
+  for (Arc& arc : arcs_) {
+    arc.weight = kInf;
+    arc.fine_edge = kInvalidEdge;
+    if (arc.is_shortcut()) continue;
+    for (std::uint32_t i = arc.parallel_begin; i < arc.parallel_end; ++i) {
+      const EdgeId e = parallel_pool_[i];
+      if (metric_[e] < arc.weight) {
+        arc.weight = metric_[e];
+        arc.fine_edge = e;
+      }
+    }
+  }
+  // Pass 2: ascending-rank lower-triangle relaxation. When node x is
+  // processed, every arc incident to x from above is final, so each arc
+  // (z -> y) over x converges to the exact distance restricted to interior
+  // nodes ranked below both endpoints — the CCH customization invariant.
+  const std::size_t n = rank_.size();
+  if (order_.size() != n) {
+    order_.assign(n, 0);
+    for (NodeId node = 0; node < n; ++node) order_[rank_[node]] = node;
+  }
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    const NodeId x = order_[pos];
+    for (const std::uint32_t down_id : backward_up(x)) {
+      const Arc& down = arcs_[down_id];  // z -> x
+      if (down.weight == kInf) continue;
+      for (const std::uint32_t up_id : forward_up(x)) {
+        const Arc& up = arcs_[up_id];  // x -> y
+        if (up.weight == kInf) continue;
+        if (down.from == up.to) continue;
+        const double via = down.weight + up.weight;
+        const std::uint32_t target = find_arc(down.from, up.to);
+        SMN_DCHECK(target != kNoArc, "customizable fill-in is missing a triangle arc");
+        if (target == kNoArc) continue;
+        Arc& t = arcs_[target];
+        if (via < t.weight) {
+          t.weight = via;
+          t.fine_edge = kInvalidEdge;
+          t.child_down = down_id;
+          t.child_up = up_id;
+        }
+      }
+    }
+  }
+}
+
+std::uint32_t ContractionHierarchy::find_arc(NodeId from, NodeId to) const {
+  if (rank_[from] < rank_[to]) {
+    for (const std::uint32_t id : forward_up(from)) {
+      if (arcs_[id].to == to) return id;
+    }
+  } else {
+    for (const std::uint32_t id : backward_up(to)) {
+      if (arcs_[id].from == from) return id;
+    }
+  }
+  return kNoArc;
+}
+
+void ContractionHierarchy::append_unpacked(std::uint32_t arc_id, std::vector<EdgeId>& out,
+                                           std::vector<std::uint32_t>& stack) const {
+  stack.clear();
+  stack.push_back(arc_id);
+  while (!stack.empty()) {
+    const std::uint32_t id = stack.back();
+    stack.pop_back();
+    const Arc& arc = arcs_[id];
+    if (arc.fine_edge != kInvalidEdge) {
+      out.push_back(arc.fine_edge);
+      continue;
+    }
+    SMN_DCHECK(arc.child_down != kNoArc && arc.child_up != kNoArc,
+               "unrealized arc on an unpacked path");
+    stack.push_back(arc.child_up);
+    stack.push_back(arc.child_down);
+  }
+}
+
+void ContractionHierarchy::build_coverage_index() {
+  const std::size_t edges = metric_.size();
+  cover_offset_.assign(edges + 1, 0);
+  std::vector<EdgeId> expansion;
+  std::vector<std::uint32_t> stack;
+  std::vector<std::uint32_t> query_arcs;
+  query_arcs.reserve(fwd_arcs_.size() + bwd_arcs_.size());
+  query_arcs.insert(query_arcs.end(), fwd_arcs_.begin(), fwd_arcs_.end());
+  query_arcs.insert(query_arcs.end(), bwd_arcs_.begin(), bwd_arcs_.end());
+  for (const std::uint32_t id : query_arcs) {
+    if (arcs_[id].weight == kInf) continue;
+    expansion.clear();
+    append_unpacked(id, expansion, stack);
+    for (const EdgeId e : expansion) ++cover_offset_[e + 1];
+  }
+  for (std::size_t e = 0; e < edges; ++e) cover_offset_[e + 1] += cover_offset_[e];
+  cover_arcs_.assign(cover_offset_[edges], 0);
+  std::vector<std::size_t> cursor(cover_offset_.begin(), cover_offset_.end() - 1);
+  for (const std::uint32_t id : query_arcs) {
+    if (arcs_[id].weight == kInf) continue;
+    expansion.clear();
+    append_unpacked(id, expansion, stack);
+    for (const EdgeId e : expansion) cover_arcs_[cursor[e]++] = id;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Queries.
+// ---------------------------------------------------------------------------
+
+ChSearch::ChSearch(const ContractionHierarchy& ch) : ch_(&ch) {
+  const std::size_t n = ch.node_count();
+  dist_f_.assign(n, kInf);
+  dist_b_.assign(n, kInf);
+  parent_f_.assign(n, ContractionHierarchy::kNoArc);
+  parent_b_.assign(n, ContractionHierarchy::kNoArc);
+  stamp_f_.assign(n, 0);
+  stamp_b_.assign(n, 0);
+}
+
+std::optional<Path> ChSearch::shortest_path(NodeId s, NodeId t) {
+  return run(s, t, nullptr);
+}
+
+std::optional<Path> ChSearch::shortest_path_masked(NodeId s, NodeId t,
+                                                   const detail::ChOverlayView& overlay) {
+  return run(s, t, &overlay);
+}
+
+void ChSearch::improve(std::vector<double>& dist, std::vector<std::uint32_t>& parent,
+                       std::vector<std::uint32_t>& stamp, std::vector<NodeId>& touched,
+                       NodeId node, double candidate, std::uint32_t via_arc) {
+  if (stamp[node] != generation_) {
+    stamp[node] = generation_;
+    touched.push_back(node);
+    dist[node] = candidate;
+    parent[node] = via_arc;
+    heap_.push({candidate, node});
+    return;
+  }
+  if (candidate < dist[node]) {
+    dist[node] = candidate;
+    parent[node] = via_arc;
+    heap_.push({candidate, node});
+  }
+}
+
+void ChSearch::relax_forward(NodeId u, double du, const detail::ChOverlayView* overlay) {
+  for (const std::uint32_t id : ch_->forward_up(u)) {
+    if (overlay != nullptr && overlay->invalid(id)) continue;
+    const ContractionHierarchy::Arc& arc = ch_->arc(id);
+    if (arc.weight == kInf) continue;
+    improve(dist_f_, parent_f_, stamp_f_, touched_f_, arc.to, du + arc.weight, id);
+  }
+  if (overlay == nullptr) return;
+  const auto base = static_cast<std::uint32_t>(ch_->arc_count());
+  for (std::size_t i = 0; i < overlay->repairs.size(); ++i) {
+    const detail::ChRepairArc& repair = overlay->repairs[i];
+    if (!repair.forward_up || repair.from != u) continue;
+    improve(dist_f_, parent_f_, stamp_f_, touched_f_, repair.to, du + repair.weight,
+            base + static_cast<std::uint32_t>(i));
+  }
+}
+
+void ChSearch::relax_backward(NodeId u, double du, const detail::ChOverlayView* overlay) {
+  for (const std::uint32_t id : ch_->backward_up(u)) {
+    if (overlay != nullptr && overlay->invalid(id)) continue;
+    const ContractionHierarchy::Arc& arc = ch_->arc(id);
+    if (arc.weight == kInf) continue;
+    improve(dist_b_, parent_b_, stamp_b_, touched_b_, arc.from, du + arc.weight, id);
+  }
+  if (overlay == nullptr) return;
+  const auto base = static_cast<std::uint32_t>(ch_->arc_count());
+  for (std::size_t i = 0; i < overlay->repairs.size(); ++i) {
+    const detail::ChRepairArc& repair = overlay->repairs[i];
+    if (repair.forward_up || repair.to != u) continue;
+    improve(dist_b_, parent_b_, stamp_b_, touched_b_, repair.from, du + repair.weight,
+            base + static_cast<std::uint32_t>(i));
+  }
+}
+
+void ChSearch::append_arc(std::uint32_t arc_id, const detail::ChOverlayView* overlay,
+                          std::vector<EdgeId>& out) {
+  const auto base = static_cast<std::uint32_t>(ch_->arc_count());
+  if (arc_id >= base) {
+    SMN_DCHECK(overlay != nullptr, "repair arc outside a masked query");
+    const detail::ChRepairArc& repair = overlay->repairs[arc_id - base];
+    for (std::uint32_t i = repair.pool_begin; i < repair.pool_end; ++i) {
+      out.push_back(overlay->repair_pool[i]);
+    }
+    return;
+  }
+  ch_->append_unpacked(arc_id, out, unpack_stack_);
+}
+
+std::optional<Path> ChSearch::run(NodeId s, NodeId t, const detail::ChOverlayView* overlay) {
+  SMN_CHECK(ch_->built(), "ChSearch requires a built hierarchy");
+  SMN_CHECK(s < ch_->node_count() && t < ch_->node_count(),
+            "ChSearch endpoints out of range");
+  if (s == t) return Path{};
+  const auto base = static_cast<std::uint32_t>(ch_->arc_count());
+  ++generation_;
+  touched_f_.clear();
+  touched_b_.clear();
+
+  heap_.clear();
+  improve(dist_f_, parent_f_, stamp_f_, touched_f_, s, 0.0, ContractionHierarchy::kNoArc);
+  while (!heap_.empty()) {
+    const auto [d, u] = heap_.pop();
+    if (d > dist_f_[u]) continue;
+    relax_forward(u, d, overlay);
+  }
+  heap_.clear();
+  improve(dist_b_, parent_b_, stamp_b_, touched_b_, t, 0.0, ContractionHierarchy::kNoArc);
+  while (!heap_.empty()) {
+    const auto [d, u] = heap_.pop();
+    if (d > dist_b_[u]) continue;
+    relax_backward(u, d, overlay);
+  }
+
+  double best = kInf;
+  NodeId meet = kInvalidNode;
+  for (const NodeId x : touched_f_) {
+    if (stamp_b_[x] != generation_) continue;
+    const double sum = dist_f_[x] + dist_b_[x];
+    if (sum < best || (sum == best && x < meet)) {
+      best = sum;
+      meet = x;
+    }
+  }
+  if (meet == kInvalidNode || best == kInf) return std::nullopt;
+
+  chain_.clear();
+  for (NodeId x = meet; parent_f_[x] != ContractionHierarchy::kNoArc;) {
+    const std::uint32_t id = parent_f_[x];
+    chain_.push_back(id);
+    x = id >= base ? overlay->repairs[id - base].from : ch_->arc(id).from;
+  }
+  std::reverse(chain_.begin(), chain_.end());
+  fine_.clear();
+  for (const std::uint32_t id : chain_) append_arc(id, overlay, fine_);
+  for (NodeId x = meet; parent_b_[x] != ContractionHierarchy::kNoArc;) {
+    const std::uint32_t id = parent_b_[x];
+    append_arc(id, overlay, fine_);
+    x = id >= base ? overlay->repairs[id - base].to : ch_->arc(id).to;
+  }
+
+  // Report the left-fold of fine metrics along the unpacked path — the same
+  // association flat Dijkstra uses — not the hierarchy's internal sum.
+  Path path;
+  path.cost = 0.0;
+  const std::span<const double> metric = ch_->metric();
+  for (const EdgeId e : fine_) path.cost = path.cost + metric[e];
+  path.edges = fine_;
+  return path;
+}
+
+// ---------------------------------------------------------------------------
+// Failure-masked queries.
+// ---------------------------------------------------------------------------
+
+ChFailureQuery::ChFailureQuery(const ContractionHierarchy& ch, const Digraph& g)
+    : ch_(&ch), graph_(&g), csr_(g), masked_search_(ch), pristine_search_(ch) {
+  SMN_CHECK(ch.built(), "ChFailureQuery requires a built hierarchy");
+  SMN_CHECK(!ch.options().customizable,
+            "failure masking requires a static (witness-pruned) hierarchy");
+  SMN_CHECK(ch.node_count() == g.node_count(), "hierarchy/graph node mismatch");
+  SMN_CHECK(ch.metric().size() == g.edge_count(), "hierarchy/graph edge mismatch");
+  mask_.assign(g.edge_count(), true);
+  invalid_stamp_.assign(ch.arc_count(), 0);
+  repair_dist_.assign(g.node_count(), kInf);
+  repair_parent_.assign(g.node_count(), kInvalidEdge);
+  repair_stamp_.assign(g.node_count(), 0);
+}
+
+void ChFailureQuery::set_failures(std::span<const EdgeId> dead) {
+  for (const EdgeId e : dead_) mask_[e] = true;
+  dead_.assign(dead.begin(), dead.end());
+  ++epoch_;
+  repairs_.clear();
+  repair_pool_.clear();
+  for (const EdgeId e : dead_) {
+    SMN_CHECK(e < mask_.size(), "dead edge id out of range");
+    mask_[e] = false;
+  }
+  for (const EdgeId e : dead_) {
+    for (const std::uint32_t id : ch_->covering_arcs(e)) {
+      if (invalid_stamp_[id] == epoch_) continue;
+      invalid_stamp_[id] = epoch_;
+      try_repair(id);
+    }
+  }
+}
+
+void ChFailureQuery::try_repair(std::uint32_t arc_id) {
+  const ContractionHierarchy::Arc& arc = ch_->arc(arc_id);
+  const bool forward_up = ch_->rank(arc.from) < ch_->rank(arc.to);
+  const std::span<const double> metric = ch_->metric();
+  if (!arc.is_shortcut()) {
+    // Parallel fine edges may survive the scenario: re-realize cheaply.
+    double best = kInf;
+    EdgeId best_edge = kInvalidEdge;
+    const std::span<const EdgeId> pool = ch_->parallel_pool();
+    for (std::uint32_t i = arc.parallel_begin; i < arc.parallel_end; ++i) {
+      const EdgeId e = pool[i];
+      if (mask_[e] && metric[e] < best) {
+        best = metric[e];
+        best_edge = e;
+      }
+    }
+    if (best_edge == kInvalidEdge) return;
+    detail::ChRepairArc repair;
+    repair.from = arc.from;
+    repair.to = arc.to;
+    repair.weight = best;
+    repair.forward_up = forward_up;
+    repair.pool_begin = static_cast<std::uint32_t>(repair_pool_.size());
+    repair_pool_.push_back(best_edge);
+    repair.pool_end = static_cast<std::uint32_t>(repair_pool_.size());
+    repairs_.push_back(repair);
+    return;
+  }
+  // Bounded local Dijkstra over the masked fine graph: restores equal-cost
+  // detours around the dead member edge so certification keeps passing.
+  ++counters_.repairs_attempted;
+  ++repair_generation_;
+  repair_heap_.clear();
+  repair_dist_[arc.from] = 0.0;
+  repair_parent_[arc.from] = kInvalidEdge;
+  repair_stamp_[arc.from] = repair_generation_;
+  repair_heap_.push({0.0, arc.from});
+  std::size_t settled = 0;
+  double found = kInf;
+  while (!repair_heap_.empty()) {
+    const auto [d, u] = repair_heap_.pop();
+    if (d > repair_dist_[u]) continue;
+    if (u == arc.to) {
+      found = d;
+      break;
+    }
+    if (++settled > ch_->options().repair_settled_limit) break;
+    for (const CsrAdjacency::Entry& entry : csr_.out(u)) {
+      if (!mask_[entry.edge]) continue;
+      const double w = metric[entry.edge];
+      if (w == kInf) continue;
+      const double next = d + w;
+      if (repair_stamp_[entry.to] != repair_generation_ || next < repair_dist_[entry.to]) {
+        repair_stamp_[entry.to] = repair_generation_;
+        repair_dist_[entry.to] = next;
+        repair_parent_[entry.to] = entry.edge;
+        repair_heap_.push({next, entry.to});
+      }
+    }
+  }
+  if (found == kInf) return;
+  repair_path_.clear();
+  for (NodeId x = arc.to; x != arc.from;) {
+    const EdgeId e = repair_parent_[x];
+    repair_path_.push_back(e);
+    x = graph_->edge(e).from;
+  }
+  std::reverse(repair_path_.begin(), repair_path_.end());
+  detail::ChRepairArc repair;
+  repair.from = arc.from;
+  repair.to = arc.to;
+  repair.weight = found;
+  repair.forward_up = forward_up;
+  repair.pool_begin = static_cast<std::uint32_t>(repair_pool_.size());
+  repair_pool_.insert(repair_pool_.end(), repair_path_.begin(), repair_path_.end());
+  repair.pool_end = static_cast<std::uint32_t>(repair_pool_.size());
+  repairs_.push_back(repair);
+  ++counters_.repairs_succeeded;
+}
+
+std::optional<Path> ChFailureQuery::query(NodeId s, NodeId t,
+                                          const std::optional<Path>* pristine) {
+  SMN_CHECK(s < graph_->node_count() && t < graph_->node_count(),
+            "ChFailureQuery endpoints out of range");
+  ++counters_.queries;
+  if (pristine == nullptr) {
+    pristine_scratch_ = pristine_search_.shortest_path(s, t);
+    pristine = &pristine_scratch_;
+  }
+  // Removing edges never shortens paths, so an unreachable pristine pair
+  // stays unreachable and an untouched pristine path stays optimal.
+  if (!pristine->has_value()) {
+    ++counters_.pristine_hits;
+    return std::nullopt;
+  }
+  bool hit = false;
+  for (const EdgeId e : (*pristine)->edges) {
+    if (!mask_[e]) {
+      hit = true;
+      break;
+    }
+  }
+  if (!hit) {
+    ++counters_.pristine_hits;
+    return *pristine;
+  }
+  detail::ChOverlayView view;
+  view.invalid_stamp = invalid_stamp_.data();
+  view.epoch = epoch_;
+  view.repairs = repairs_;
+  view.repair_pool = repair_pool_;
+  std::optional<Path> masked = masked_search_.shortest_path_masked(s, t, view);
+  // Certification: masked distances are bounded below by the pristine
+  // distance, so a masked path matching the pristine cost is optimal.
+  if (masked.has_value() && masked->cost == (*pristine)->cost) {
+    ++counters_.certified;
+    return masked;
+  }
+  ++counters_.fallbacks;
+  DijkstraWorkspace::Query q;
+  q.source = s;
+  q.target = t;
+  q.edge_length = &ch_->metric_vector();
+  q.edge_enabled = &mask_;
+  q.csr = &csr_;
+  flat_.run(*graph_, q);
+  if (!flat_.reached(t)) return std::nullopt;
+  Path path;
+  path.cost = flat_.distance(t);
+  flat_.path_into(*graph_, s, t, path.edges);
+  return path;
+}
+
+}  // namespace smn::graph

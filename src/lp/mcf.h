@@ -20,6 +20,10 @@
 #include "graph/digraph.h"
 #include "graph/shortest_path.h"
 
+namespace smn::graph {
+class ContractionHierarchy;
+}  // namespace smn::graph
+
 namespace smn::lp {
 
 struct Commodity {
@@ -59,6 +63,16 @@ struct McfOptions {
   /// certified feasible by the final rescale; set false to reproduce the
   /// one-Dijkstra-per-augmentation schedule.
   bool batch_by_source = true;
+  /// Optional contraction-hierarchy substrate for the shortest-path oracle.
+  /// Must be a *customizable* hierarchy built over the same graph (see
+  /// graph/ch.h): the solver re-customizes it to the current dual lengths
+  /// whenever they go stale (counted in sp_calls) and answers per-commodity
+  /// point queries against it instead of building per-source-group Dijkstra
+  /// trees. The flat CSR path (ch == nullptr, the default) remains the
+  /// ground truth; either oracle yields a certified-feasible solution. The
+  /// hierarchy is mutated (customized) during the solve, so give each
+  /// concurrent solver its own copy.
+  graph::ContractionHierarchy* ch = nullptr;
 };
 
 /// Solves max concurrent flow on `g` using edge capacities from the graph.

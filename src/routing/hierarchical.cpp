@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <limits>
 #include <map>
+#include <optional>
 #include <stdexcept>
 
 #include "graph/shortest_path.h"
+#include "util/contracts.h"
 #include "util/rng.h"
 #include "util/stats.h"
 
@@ -14,30 +16,11 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-/// Intra-area shortest-path cost between two nodes of the same area,
-/// restricted to area-internal edges; falls back to the unrestricted cost
-/// when the area's subgraph is disconnected.
-double intra_area_cost(const graph::Digraph& g, const graph::Partition& partition,
-                       graph::NodeId from, graph::NodeId to,
-                       const graph::ShortestPathTree& unrestricted_from) {
-  if (from == to) return 0.0;
-  const graph::NodeId area = partition.group_of[from];
-  std::vector<bool> mask(g.edge_count(), false);
-  for (graph::EdgeId e = 0; e < g.edge_count(); ++e) {
-    mask[e] = partition.group_of[g.edge(e).from] == area &&
-              partition.group_of[g.edge(e).to] == area;
-  }
-  const graph::ShortestPathTree tree = graph::dijkstra(g, from, mask);
-  if (tree.distance[to] != kInf) return tree.distance[to];
-  return unrestricted_from.distance[to];
-}
-
 }  // namespace
 
 HierarchicalRoutingReport evaluate_hierarchical_routing(const topology::WanTopology& wan,
                                                         const graph::Partition& partition,
-                                                        std::size_t sample_pairs,
-                                                        std::uint64_t seed) {
+                                                        const HierarchicalRoutingOptions& options) {
   const graph::Digraph& g = wan.graph();
   if (!partition.valid_for(g)) {
     throw std::invalid_argument("evaluate_hierarchical_routing: invalid partition");
@@ -77,22 +60,55 @@ HierarchicalRoutingReport evaluate_hierarchical_routing(const topology::WanTopol
                                      static_cast<double>(report.hierarchical_entries)
                                : 0.0;
 
+  // Unrestricted-distance substrate. The hierarchy answers point queries
+  // (flat baselines, gateway legs, disconnected-area fallbacks); the flat
+  // configuration materializes full Dijkstra trees instead. Distances are
+  // identical either way (graph/ch.h), so the report does not depend on
+  // use_ch.
+  graph::ContractionHierarchy local_ch;
+  const graph::ContractionHierarchy* ch = nullptr;
+  std::optional<graph::ChSearch> ch_search;
+  if (options.use_ch) {
+    if (options.hierarchy != nullptr) {
+      ch = options.hierarchy;
+      SMN_CHECK(ch->built() && !ch->options().customizable,
+                "hierarchical routing needs a built static hierarchy");
+      SMN_CHECK(ch->node_count() == g.node_count() && ch->metric().size() == g.edge_count(),
+                "hierarchical routing hierarchy does not match the WAN graph");
+    } else {
+      graph::ChOptions build_options = options.ch;
+      build_options.customizable = false;
+      local_ch.build(g, build_options);
+      ch = &local_ch;
+    }
+    ch_search.emplace(*ch);
+  }
+  const auto point_cost = [&](graph::NodeId from, graph::NodeId to) -> double {
+    if (from == to) return 0.0;
+    const std::optional<graph::Path> path = ch_search->shortest_path(from, to);
+    return path.has_value() ? path->cost : kInf;
+  };
+
   // Level-2 routing between gateways runs on the full graph (gateway
-  // chains follow physical paths); precompute gateway trees once.
-  std::vector<graph::ShortestPathTree> gateway_tree(areas);
-  for (std::size_t a = 0; a < areas; ++a) gateway_tree[a] = graph::dijkstra(g, gateway[a]);
+  // chains follow physical paths); the flat path precomputes gateway trees
+  // once, the hierarchy answers the same distances on demand.
+  std::vector<graph::ShortestPathTree> gateway_tree;
+  if (ch == nullptr) {
+    gateway_tree.resize(areas);
+    for (std::size_t a = 0; a < areas; ++a) gateway_tree[a] = graph::dijkstra(g, gateway[a]);
+  }
 
   // Sample pairs.
   std::vector<std::pair<graph::NodeId, graph::NodeId>> pairs;
-  if (sample_pairs == 0) {
+  if (options.sample_pairs == 0) {
     for (graph::NodeId s = 0; s < n; ++s) {
       for (graph::NodeId d = 0; d < n; ++d) {
         if (s != d) pairs.emplace_back(s, d);
       }
     }
   } else {
-    util::Rng rng(seed);
-    for (std::size_t i = 0; i < sample_pairs; ++i) {
+    util::Rng rng(options.seed);
+    for (std::size_t i = 0; i < options.sample_pairs; ++i) {
       const auto s = static_cast<graph::NodeId>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
       auto d = static_cast<graph::NodeId>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 2));
       if (d >= s) ++d;
@@ -100,7 +116,7 @@ HierarchicalRoutingReport evaluate_hierarchical_routing(const topology::WanTopol
     }
   }
 
-  // Per-source flat trees, computed lazily.
+  // Per-source flat trees, computed lazily (flat substrate only).
   std::map<graph::NodeId, graph::ShortestPathTree> flat_trees;
   const auto flat_tree = [&](graph::NodeId src) -> const graph::ShortestPathTree& {
     const auto it = flat_trees.find(src);
@@ -108,11 +124,37 @@ HierarchicalRoutingReport evaluate_hierarchical_routing(const topology::WanTopol
     return flat_trees.emplace(src, graph::dijkstra(g, src)).first->second;
   };
 
+  // Intra-area shortest-path cost restricted to area-internal edges; falls
+  // back to the unrestricted cost when the area's subgraph is disconnected.
+  // The restricted leg always runs masked Dijkstra — only the fallback
+  // routes through the hierarchy. `fallback_tree` is null on the hierarchy
+  // substrate.
+  std::vector<bool> area_mask(g.edge_count(), false);
+  const auto intra_area_cost = [&](graph::NodeId from, graph::NodeId to,
+                                   const graph::ShortestPathTree* fallback_tree) -> double {
+    if (from == to) return 0.0;
+    const graph::NodeId area = partition.group_of[from];
+    for (graph::EdgeId e = 0; e < g.edge_count(); ++e) {
+      area_mask[e] = partition.group_of[g.edge(e).from] == area &&
+                     partition.group_of[g.edge(e).to] == area;
+    }
+    const graph::ShortestPathTree tree = graph::dijkstra(g, from, area_mask);
+    if (tree.distance[to] != kInf) return tree.distance[to];
+    if (ch_search.has_value()) return point_cost(from, to);
+    return fallback_tree->distance[to];
+  };
+
   std::vector<double> stretches;
   util::RunningStats stats;
   for (const auto& [src, dst] : pairs) {
-    const graph::ShortestPathTree& from_src = flat_tree(src);
-    const double flat_cost = from_src.distance[dst];
+    const graph::ShortestPathTree* from_src = nullptr;
+    double flat_cost = 0.0;
+    if (ch_search.has_value()) {
+      flat_cost = point_cost(src, dst);
+    } else {
+      from_src = &flat_tree(src);
+      flat_cost = from_src->distance[dst];
+    }
     if (flat_cost == kInf) {
       ++report.unreachable_pairs;
       continue;
@@ -121,14 +163,16 @@ HierarchicalRoutingReport evaluate_hierarchical_routing(const topology::WanTopol
     const graph::NodeId dst_area = partition.group_of[dst];
     double hier_cost = 0.0;
     if (src_area == dst_area) {
-      hier_cost = intra_area_cost(g, partition, src, dst, from_src);
+      hier_cost = intra_area_cost(src, dst, from_src);
     } else {
       // src -> gw(src area) intra-area, gw -> gw level-2, gw -> dst
       // intra-area.
-      const double leg1 = intra_area_cost(g, partition, src, gateway[src_area], from_src);
-      const double leg2 = gateway_tree[src_area].distance[gateway[dst_area]];
-      const double leg3 =
-          intra_area_cost(g, partition, gateway[dst_area], dst, gateway_tree[dst_area]);
+      const double leg1 = intra_area_cost(src, gateway[src_area], from_src);
+      const double leg2 = ch_search.has_value()
+                              ? point_cost(gateway[src_area], gateway[dst_area])
+                              : gateway_tree[src_area].distance[gateway[dst_area]];
+      const double leg3 = intra_area_cost(
+          gateway[dst_area], dst, ch_search.has_value() ? nullptr : &gateway_tree[dst_area]);
       if (leg1 == kInf || leg2 == kInf || leg3 == kInf) {
         ++report.unreachable_pairs;
         continue;
@@ -151,6 +195,16 @@ HierarchicalRoutingReport evaluate_hierarchical_routing(const topology::WanTopol
     report.p95_stretch = util::percentile(stretches, 0.95);
   }
   return report;
+}
+
+HierarchicalRoutingReport evaluate_hierarchical_routing(const topology::WanTopology& wan,
+                                                        const graph::Partition& partition,
+                                                        std::size_t sample_pairs,
+                                                        std::uint64_t seed) {
+  HierarchicalRoutingOptions options;
+  options.sample_pairs = sample_pairs;
+  options.seed = seed;
+  return evaluate_hierarchical_routing(wan, partition, options);
 }
 
 }  // namespace smn::routing

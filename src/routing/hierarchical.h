@@ -19,6 +19,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "graph/ch.h"
 #include "graph/contraction.h"
 #include "topology/wan.h"
 
@@ -49,12 +50,35 @@ struct HierarchicalRoutingReport {
   std::vector<PathStretch> samples;
 };
 
+struct HierarchicalRoutingOptions {
+  /// Limits evaluation cost (0 = all ordered pairs).
+  std::size_t sample_pairs = 0;
+  std::uint64_t seed = 17;
+  /// Answer the unrestricted distances (flat baseline costs, gateway-to-
+  /// gateway level-2 legs, and disconnected-area fallbacks) with point
+  /// queries against a contraction hierarchy instead of full Dijkstra
+  /// trees. Intra-area restricted legs always run masked Dijkstra — the
+  /// area mask is a structural restriction, not a failure mask. Both
+  /// settings produce identical reports; false is the ground truth.
+  bool use_ch = false;
+  /// Build knobs when the evaluation builds its own hierarchy.
+  graph::ChOptions ch;
+  /// Optional prebuilt static hierarchy over wan.graph() (Edge::weight
+  /// metric); built locally when null. Ignored when use_ch is false.
+  const graph::ContractionHierarchy* hierarchy = nullptr;
+};
+
 /// Evaluates two-level hierarchical routing on `wan` with areas given by
 /// `partition`. Each area's gateway is its lowest-id member that has an
 /// inter-area link (falling back to its lowest-id member). Inter-area
 /// routes run src -> gw(src area) -> ... gateway chain ... -> gw(dst area)
 /// -> dst, with intra-area legs restricted to area-internal edges where
-/// possible. `sample_pairs` limits evaluation cost (0 = all ordered pairs).
+/// possible.
+HierarchicalRoutingReport evaluate_hierarchical_routing(const topology::WanTopology& wan,
+                                                        const graph::Partition& partition,
+                                                        const HierarchicalRoutingOptions& options);
+
+/// Convenience overload preserving the original sample/seed signature.
 HierarchicalRoutingReport evaluate_hierarchical_routing(const topology::WanTopology& wan,
                                                         const graph::Partition& partition,
                                                         std::size_t sample_pairs = 0,

@@ -1,6 +1,10 @@
 #include "te/failure_analysis.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <utility>
 
 #include "util/contracts.h"
 #include "util/thread_pool.h"
@@ -79,6 +83,243 @@ FailureSweepReport single_link_failure_sweep(const topology::WanTopology& wan,
   FailureSweepOptions options;
   options.epsilon = epsilon;
   return single_link_failure_sweep(wan, commodities, links, options);
+}
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Folds one scenario's per-pair latencies into its impact slot. Shared by
+/// the flat and hierarchy paths so the two reports aggregate identically:
+/// only per-pair `after` values could differ, and those are proven equal.
+void aggregate_impact(const std::vector<std::optional<graph::Path>>& pristine,
+                      const std::vector<double>& after, RoutingImpact& impact) {
+  double stretch_total = 0.0;
+  for (std::size_t pid = 0; pid < pristine.size(); ++pid) {
+    if (!pristine[pid].has_value()) continue;  // unreachable before the failure
+    const double before = pristine[pid]->cost;
+    const double now = after[pid];
+    if (now == kInf) {
+      ++impact.disconnected_pairs;
+      continue;
+    }
+    if (now > before) {
+      ++impact.rerouted_pairs;
+      if (before > 0.0) {
+        const double stretch = now / before;
+        stretch_total += stretch;
+        impact.worst_stretch = std::max(impact.worst_stretch, stretch);
+      }
+    }
+  }
+  if (impact.rerouted_pairs > 0) {
+    impact.mean_stretch = stretch_total / static_cast<double>(impact.rerouted_pairs);
+  }
+}
+
+}  // namespace
+
+RoutingSweepReport routing_failure_sweep(const topology::WanTopology& wan,
+                                         const std::vector<lp::Commodity>& commodities,
+                                         const std::vector<std::size_t>& links,
+                                         const RoutingSweepOptions& options) {
+  const graph::Digraph& g = wan.graph();
+  RoutingSweepReport report;
+
+  // Distinct positive-demand pairs, sorted so flat mode can share one tree
+  // per source and both substrates iterate identically.
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> pairs;
+  pairs.reserve(commodities.size());
+  for (const lp::Commodity& c : commodities) {
+    SMN_CHECK(c.src < g.node_count() && c.dst < g.node_count(),
+              "routing sweep commodity endpoint out of range");
+    if (c.demand > 0.0 && c.src != c.dst) pairs.emplace_back(c.src, c.dst);
+  }
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  report.pairs = pairs.size();
+
+  std::vector<std::size_t> sweep = links;
+  if (sweep.empty()) {
+    sweep.resize(wan.link_count());
+    for (std::size_t i = 0; i < sweep.size(); ++i) sweep[i] = i;
+  }
+  report.impacts.resize(sweep.size());
+
+  // Hierarchy setup: built (or borrowed) exactly once for the whole sweep.
+  graph::ContractionHierarchy local_ch;
+  const graph::ContractionHierarchy* ch = nullptr;
+  if (options.use_ch) {
+    if (options.hierarchy != nullptr) {
+      ch = options.hierarchy;
+      SMN_CHECK(ch->built() && !ch->options().customizable,
+                "routing sweep needs a built static hierarchy");
+      SMN_CHECK(ch->node_count() == g.node_count() && ch->metric().size() == g.edge_count(),
+                "routing sweep hierarchy does not match the WAN graph");
+    } else {
+      graph::ChOptions build_options = options.ch;
+      build_options.customizable = false;
+      local_ch.build(g, build_options);
+      ch = &local_ch;
+    }
+    report.ch_arcs = ch->stats().arcs;
+    report.ch_shortcuts = ch->stats().shortcuts;
+  }
+
+  // Pristine (no-failure) per-pair shortest paths, computed once.
+  const graph::CsrAdjacency csr(g);
+  std::vector<std::optional<graph::Path>> pristine(pairs.size());
+  if (ch != nullptr) {
+    graph::ChSearch search(*ch);
+    for (std::size_t pid = 0; pid < pairs.size(); ++pid) {
+      pristine[pid] = search.shortest_path(pairs[pid].first, pairs[pid].second);
+    }
+  } else {
+    graph::DijkstraWorkspace ws;
+    for (std::size_t pid = 0; pid < pairs.size(); ++pid) {
+      if (pid == 0 || pairs[pid].first != pairs[pid - 1].first) {
+        ws.run(g, {.source = pairs[pid].first, .csr = &csr});
+      }
+      if (!ws.reached(pairs[pid].second)) continue;
+      graph::Path path;
+      path.cost = ws.distance(pairs[pid].second);
+      path.edges = ws.path_to(g, pairs[pid].first, pairs[pid].second);
+      pristine[pid] = std::move(path);
+    }
+  }
+
+  // Fine edge -> pairs whose pristine path crosses it. Per scenario, only
+  // those pairs can change; everyone else keeps the cached pristine result
+  // (removals never shorten paths).
+  std::vector<std::size_t> cover_offset(g.edge_count() + 1, 0);
+  std::vector<std::uint32_t> cover_pairs;
+  if (ch != nullptr) {
+    for (std::size_t pid = 0; pid < pairs.size(); ++pid) {
+      if (!pristine[pid].has_value()) continue;
+      for (const graph::EdgeId e : pristine[pid]->edges) ++cover_offset[e + 1];
+    }
+    for (std::size_t e = 0; e < g.edge_count(); ++e) cover_offset[e + 1] += cover_offset[e];
+    cover_pairs.assign(cover_offset[g.edge_count()], 0);
+    std::vector<std::size_t> cursor(cover_offset.begin(), cover_offset.end() - 1);
+    for (std::size_t pid = 0; pid < pairs.size(); ++pid) {
+      if (!pristine[pid].has_value()) continue;
+      for (const graph::EdgeId e : pristine[pid]->edges) {
+        cover_pairs[cursor[e]] = static_cast<std::uint32_t>(pid);
+        ++cursor[e];
+      }
+    }
+  }
+
+  // Flat mode shares one masked tree per source; precompute source groups
+  // (pairs are sorted, so groups are contiguous ranges).
+  struct SourceGroup {
+    graph::NodeId src;
+    std::size_t begin;
+    std::size_t end;  ///< one past the last pair index
+  };
+  std::vector<SourceGroup> groups;
+  std::vector<std::vector<graph::NodeId>> group_targets;
+  if (ch == nullptr) {
+    for (std::size_t pid = 0; pid < pairs.size(); ++pid) {
+      if (groups.empty() || groups.back().src != pairs[pid].first) {
+        groups.push_back({pairs[pid].first, pid, pid + 1});
+        group_targets.emplace_back();
+      } else {
+        groups.back().end = pid + 1;
+      }
+      group_targets.back().push_back(pairs[pid].second);
+    }
+  }
+
+  // Scenario fan-out in contiguous chunks: one chunk per worker so the
+  // expensive per-worker state (masked query engine, scratch buffers) is
+  // reused across that chunk's scenarios. Scenario i writes impacts[i] and
+  // chunk c writes chunk_counters[c], so the report is independent of the
+  // chunk count.
+  const std::size_t threads =
+      options.threads == 0 ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
+                           : options.threads;
+  const std::size_t chunks = std::max<std::size_t>(
+      1, std::min<std::size_t>(threads, sweep.empty() ? 1 : sweep.size()));
+  std::vector<graph::ChFailureQuery::Counters> chunk_counters(chunks);
+
+  const auto run_chunk = [&](std::size_t c) {
+    const std::size_t begin = c * sweep.size() / chunks;
+    const std::size_t end = (c + 1) * sweep.size() / chunks;
+    // Worker-private state, reused across the chunk's scenarios.
+    std::optional<graph::ChFailureQuery> fq;
+    if (ch != nullptr) fq.emplace(*ch, g);
+    graph::DijkstraWorkspace ws;
+    std::vector<bool> mask(g.edge_count(), true);
+    std::vector<double> after(pairs.size(), 0.0);
+    std::vector<std::uint32_t> affected;
+    std::vector<graph::EdgeId> dead;
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::size_t li = sweep[i];
+      SMN_CHECK(li < wan.link_count(), "routing sweep names a link the WAN does not have");
+      const topology::WanLink& link = wan.link(li);
+      RoutingImpact& impact = report.impacts[i];
+      impact.link = li;
+      const graph::Edge& fwd = g.edge(link.forward);
+      impact.link_name = g.node_name(fwd.from) + "<->" + g.node_name(fwd.to);
+      for (std::size_t pid = 0; pid < pairs.size(); ++pid) {
+        after[pid] = pristine[pid].has_value() ? pristine[pid]->cost : kInf;
+      }
+      if (ch != nullptr) {
+        dead.assign({link.forward, link.backward});
+        fq->set_failures(dead);
+        affected.clear();
+        for (const graph::EdgeId e : dead) {
+          affected.insert(affected.end(), cover_pairs.begin() + cover_offset[e],
+                          cover_pairs.begin() + cover_offset[e + 1]);
+        }
+        std::sort(affected.begin(), affected.end());
+        affected.erase(std::unique(affected.begin(), affected.end()), affected.end());
+        for (const std::uint32_t pid : affected) {
+          const std::optional<graph::Path> got =
+              fq->query(pairs[pid].first, pairs[pid].second, &pristine[pid]);
+          after[pid] = got.has_value() ? got->cost : kInf;
+        }
+      } else {
+        mask[link.forward] = false;
+        mask[link.backward] = false;
+        for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+          ws.run(g, {.source = groups[gi].src,
+                     .targets = &group_targets[gi],
+                     .edge_enabled = &mask,
+                     .csr = &csr});
+          for (std::size_t pid = groups[gi].begin; pid < groups[gi].end; ++pid) {
+            after[pid] = ws.distance(pairs[pid].second);
+          }
+        }
+        mask[link.forward] = true;
+        mask[link.backward] = true;
+      }
+      aggregate_impact(pristine, after, impact);
+    }
+    if (fq.has_value()) chunk_counters[c] = fq->counters();
+  };
+
+  if (chunks <= 1) {
+    run_chunk(0);
+  } else {
+    util::ThreadPool pool(chunks);
+    pool.parallel_for(0, chunks, run_chunk);
+  }
+
+  for (const graph::ChFailureQuery::Counters& counters : chunk_counters) {
+    report.ch_queries += counters.queries;
+    report.ch_pristine_hits += counters.pristine_hits;
+    report.ch_certified += counters.certified;
+    report.ch_fallbacks += counters.fallbacks;
+    report.ch_repairs_attempted += counters.repairs_attempted;
+    report.ch_repairs_succeeded += counters.repairs_succeeded;
+  }
+  for (const RoutingImpact& impact : report.impacts) {
+    report.worst_stretch = std::max(report.worst_stretch, impact.worst_stretch);
+    report.worst_disconnected = std::max(report.worst_disconnected, impact.disconnected_pairs);
+  }
+  return report;
 }
 
 }  // namespace smn::te

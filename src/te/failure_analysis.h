@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "graph/ch.h"
 #include "graph/contraction.h"
 #include "lp/mcf.h"
 #include "topology/wan.h"
@@ -58,5 +59,65 @@ FailureSweepReport single_link_failure_sweep(const topology::WanTopology& wan,
                                              const std::vector<lp::Commodity>& commodities,
                                              const std::vector<std::size_t>& links = {},
                                              double epsilon = 0.08);
+
+// ---------------------------------------------------------------------------
+// Routing (latency) failure sweep: how far do shortest paths stretch when
+// each link fails? This is the sweep the contraction-hierarchy substrate
+// accelerates: the hierarchy is built once, each scenario only masks the
+// dead edges at query time (graph/ch.h), and only pairs whose pristine path
+// crossed the failed link need a masked query at all. The flat path
+// (use_ch = false) runs masked Dijkstra trees per scenario and is the
+// ground truth; both paths produce bit-identical reports.
+// ---------------------------------------------------------------------------
+
+struct RoutingImpact {
+  std::size_t link = 0;
+  std::string link_name;
+  std::size_t rerouted_pairs = 0;      ///< pairs whose latency strictly grew
+  std::size_t disconnected_pairs = 0;  ///< pairs that lost every path
+  double mean_stretch = 1.0;  ///< mean over rerouted pairs of after/before
+  double worst_stretch = 1.0;
+};
+
+struct RoutingSweepReport {
+  std::size_t pairs = 0;  ///< distinct (src, dst) demand pairs swept
+  std::vector<RoutingImpact> impacts;
+  double worst_stretch = 1.0;
+  std::size_t worst_disconnected = 0;
+  // Hierarchy accounting (all zero on the flat path). The query counters
+  // partition ch_queries: every masked query is answered by the pristine
+  // fast path, a certified masked upward search, or the flat fallback.
+  std::size_t ch_arcs = 0;
+  std::size_t ch_shortcuts = 0;
+  std::size_t ch_queries = 0;
+  std::size_t ch_pristine_hits = 0;
+  std::size_t ch_certified = 0;
+  std::size_t ch_fallbacks = 0;
+  std::size_t ch_repairs_attempted = 0;
+  std::size_t ch_repairs_succeeded = 0;
+};
+
+struct RoutingSweepOptions {
+  std::size_t threads = 1;  ///< scenario fan-out workers; 0 = hardware
+  /// Route queries through the contraction hierarchy (flat Dijkstra when
+  /// false — the ground-truth configuration).
+  bool use_ch = true;
+  /// Build knobs when the sweep builds its own hierarchy.
+  graph::ChOptions ch;
+  /// Optional prebuilt static hierarchy over wan.graph() (Edge::weight
+  /// metric). The sweep never rebuilds it — benches build once and sweep
+  /// many times. Ignored when use_ch is false.
+  const graph::ContractionHierarchy* hierarchy = nullptr;
+};
+
+/// Shortest-path impact of each single-link failure in `links` (empty =
+/// every link; both directions fail together). Pairs are the distinct
+/// positive-demand (src, dst) commodity endpoints. Scenario i writes
+/// impacts[i] only, so the report is bit-identical for any thread count and
+/// for both query substrates.
+RoutingSweepReport routing_failure_sweep(const topology::WanTopology& wan,
+                                         const std::vector<lp::Commodity>& commodities,
+                                         const std::vector<std::size_t>& links,
+                                         const RoutingSweepOptions& options);
 
 }  // namespace smn::te

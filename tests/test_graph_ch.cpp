@@ -1,0 +1,328 @@
+// Property tests for the contraction-hierarchy substrate: CH queries must be
+// exactly equal to flat Dijkstra — distances bit-identical, unpacked paths
+// equal-cost and valid — on randomized graphs (varying density, disconnected
+// components, parallel edges, zero-weight edges), on the planetary WAN, and
+// under random edge-down failure masks.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/ch.h"
+#include "graph/digraph.h"
+#include "graph/shortest_path.h"
+#include "topology/wan_generator.h"
+#include "util/rng.h"
+
+namespace smn::graph {
+namespace {
+
+// Weights are multiples of 1/8 so every path sum is exact in double and
+// equality checks exercise real tie-breaking, not float fuzz.
+double representable_weight(util::Rng& rng, double zero_fraction) {
+  if (rng.bernoulli(zero_fraction)) return 0.0;
+  return 0.125 * static_cast<double>(rng.uniform_int(1, 64));
+}
+
+struct RandomGraphConfig {
+  std::size_t nodes = 24;
+  double density = 0.15;          ///< directed edge probability per pair
+  double zero_fraction = 0.0;     ///< chance of a zero-weight edge
+  double parallel_fraction = 0.0; ///< chance of duplicating an edge
+  bool bidirectional = true;
+};
+
+Digraph random_graph(util::Rng& rng, const RandomGraphConfig& config) {
+  Digraph g;
+  for (std::size_t i = 0; i < config.nodes; ++i) g.add_node("n" + std::to_string(i));
+  for (NodeId u = 0; u < config.nodes; ++u) {
+    for (NodeId v = 0; v < config.nodes; ++v) {
+      if (u == v || !rng.bernoulli(config.density)) continue;
+      const double w = representable_weight(rng, config.zero_fraction);
+      if (config.bidirectional) {
+        g.add_bidirectional_edge(u, v, w);
+      } else {
+        g.add_edge(u, v, w);
+      }
+      if (rng.bernoulli(config.parallel_fraction)) {
+        g.add_edge(u, v, representable_weight(rng, config.zero_fraction));
+      }
+    }
+  }
+  return g;
+}
+
+void expect_valid_path(const Digraph& g, const Path& path, NodeId s, NodeId t,
+                       const std::vector<bool>& mask = {}) {
+  NodeId at = s;
+  double fold = 0.0;
+  for (const EdgeId e : path.edges) {
+    ASSERT_LT(e, g.edge_count());
+    ASSERT_EQ(g.edge(e).from, at);
+    if (!mask.empty()) {
+      ASSERT_TRUE(mask[e]) << "path uses dead edge " << e;
+    }
+    fold = fold + g.edge(e).weight;
+    at = g.edge(e).to;
+  }
+  EXPECT_EQ(at, t);
+  EXPECT_EQ(fold, path.cost) << "reported cost is not the left-fold of the path";
+}
+
+void expect_matches_flat(const Digraph& g, const ContractionHierarchy& ch) {
+  ChSearch search(ch);
+  for (NodeId s = 0; s < g.node_count(); ++s) {
+    const ShortestPathTree tree = dijkstra(g, s);
+    for (NodeId t = 0; t < g.node_count(); ++t) {
+      const std::optional<Path> got = search.shortest_path(s, t);
+      const bool reachable =
+          tree.distance[t] != std::numeric_limits<double>::infinity();
+      ASSERT_EQ(got.has_value(), reachable) << "s=" << s << " t=" << t;
+      if (!reachable) continue;
+      EXPECT_EQ(got->cost, tree.distance[t]) << "s=" << s << " t=" << t;
+      expect_valid_path(g, *got, s, t);
+    }
+  }
+}
+
+TEST(GraphCh, MatchesFlatDijkstraAcrossDensities) {
+  for (const double density : {0.05, 0.15, 0.4}) {
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      util::Rng rng(seed * 977 + static_cast<std::uint64_t>(density * 100));
+      RandomGraphConfig config;
+      config.nodes = 28;
+      config.density = density;
+      const Digraph g = random_graph(rng, config);
+      ContractionHierarchy ch;
+      ch.build(g);
+      expect_matches_flat(g, ch);
+    }
+  }
+}
+
+TEST(GraphCh, MatchesFlatOnDirectedDisconnectedGraphs) {
+  // Low-density directed graphs leave unreachable pairs and isolated
+  // components; CH must report exactly the same reachability.
+  for (std::uint64_t seed = 10; seed < 16; ++seed) {
+    util::Rng rng(seed);
+    RandomGraphConfig config;
+    config.nodes = 30;
+    config.density = 0.05;
+    config.bidirectional = false;
+    const Digraph g = random_graph(rng, config);
+    ContractionHierarchy ch;
+    ch.build(g);
+    expect_matches_flat(g, ch);
+  }
+}
+
+TEST(GraphCh, MatchesFlatWithParallelAndZeroWeightEdges) {
+  for (std::uint64_t seed = 20; seed < 25; ++seed) {
+    util::Rng rng(seed);
+    RandomGraphConfig config;
+    config.nodes = 22;
+    config.density = 0.2;
+    config.zero_fraction = 0.25;
+    config.parallel_fraction = 0.5;
+    const Digraph g = random_graph(rng, config);
+    ContractionHierarchy ch;
+    ch.build(g);
+    expect_matches_flat(g, ch);
+  }
+}
+
+TEST(GraphCh, TightWitnessLimitsStayExact) {
+  // Small hop/settled limits add redundant shortcuts but must never change
+  // answers.
+  util::Rng rng(404);
+  RandomGraphConfig config;
+  config.nodes = 26;
+  config.density = 0.2;
+  const Digraph g = random_graph(rng, config);
+  ChOptions options;
+  options.witness_hop_limit = 2;
+  options.witness_settled_limit = 4;
+  ContractionHierarchy ch;
+  ch.build(g, options);
+  expect_matches_flat(g, ch);
+}
+
+TEST(GraphCh, SourceEqualsTargetAndOutOfRangeBehaviour) {
+  util::Rng rng(7);
+  const Digraph g = random_graph(rng, {});
+  ContractionHierarchy ch;
+  ch.build(g);
+  ChSearch search(ch);
+  const std::optional<Path> same = search.shortest_path(3, 3);
+  ASSERT_TRUE(same.has_value());
+  EXPECT_TRUE(same->edges.empty());
+  EXPECT_EQ(same->cost, 0.0);
+}
+
+TEST(GraphCh, DeterministicAcrossRebuilds) {
+  util::Rng rng(99);
+  RandomGraphConfig config;
+  config.nodes = 30;
+  config.density = 0.18;
+  const Digraph g = random_graph(rng, config);
+  ContractionHierarchy a;
+  ContractionHierarchy b;
+  a.build(g);
+  b.build(g);
+  ASSERT_EQ(a.arc_count(), b.arc_count());
+  ASSERT_EQ(a.stats().shortcuts, b.stats().shortcuts);
+  for (NodeId n = 0; n < g.node_count(); ++n) EXPECT_EQ(a.rank(n), b.rank(n));
+  ChSearch sa(a);
+  ChSearch sb(b);
+  for (NodeId s = 0; s < g.node_count(); ++s) {
+    for (NodeId t = 0; t < g.node_count(); ++t) {
+      const auto pa = sa.shortest_path(s, t);
+      const auto pb = sb.shortest_path(s, t);
+      ASSERT_EQ(pa.has_value(), pb.has_value());
+      if (!pa.has_value()) continue;
+      EXPECT_EQ(pa->cost, pb->cost);
+      EXPECT_EQ(pa->edges, pb->edges) << "paths must be bit-identical across rebuilds";
+    }
+  }
+}
+
+TEST(GraphCh, CustomizableModeTracksEvolvingMetrics) {
+  for (std::uint64_t seed = 31; seed < 35; ++seed) {
+    util::Rng rng(seed);
+    RandomGraphConfig config;
+    config.nodes = 24;
+    config.density = 0.18;
+    config.parallel_fraction = 0.3;
+    const Digraph g = random_graph(rng, config);
+    ChOptions options;
+    options.customizable = true;
+    ContractionHierarchy ch;
+    ch.build(g, options);
+    DijkstraWorkspace flat;
+    ChSearch search(ch);
+    std::vector<double> length(g.edge_count(), 0.0);
+    for (int round = 0; round < 3; ++round) {
+      for (EdgeId e = 0; e < g.edge_count(); ++e) {
+        length[e] = representable_weight(rng, 0.1);
+        if (rng.bernoulli(0.05)) length[e] = std::numeric_limits<double>::infinity();
+      }
+      ch.customize(length);
+      for (NodeId s = 0; s < g.node_count(); ++s) {
+        flat.run(g, {.source = s, .edge_length = &length});
+        for (NodeId t = 0; t < g.node_count(); ++t) {
+          const auto got = search.shortest_path(s, t);
+          const bool reachable =
+              flat.distance(t) != std::numeric_limits<double>::infinity();
+          ASSERT_EQ(got.has_value(), reachable)
+              << "seed=" << seed << " round=" << round << " s=" << s << " t=" << t;
+          if (!reachable) continue;
+          EXPECT_EQ(got->cost, flat.distance(t))
+              << "seed=" << seed << " round=" << round << " s=" << s << " t=" << t;
+        }
+      }
+    }
+  }
+}
+
+void expect_masked_matches_flat(const Digraph& g, ChFailureQuery& query,
+                                const std::vector<EdgeId>& dead, NodeId s, NodeId t) {
+  std::vector<bool> mask(g.edge_count(), true);
+  for (const EdgeId e : dead) mask[e] = false;
+  const std::optional<Path> flat = shortest_path(g, s, t, mask);
+  const std::optional<Path> got = query.query(s, t);
+  ASSERT_EQ(got.has_value(), flat.has_value()) << "s=" << s << " t=" << t;
+  if (!got.has_value()) return;
+  EXPECT_EQ(got->cost, flat->cost) << "s=" << s << " t=" << t;
+  expect_valid_path(g, *got, s, t, mask);
+}
+
+TEST(GraphCh, FailureMaskedQueriesMatchFlatDijkstra) {
+  for (std::uint64_t seed = 50; seed < 55; ++seed) {
+    util::Rng rng(seed);
+    RandomGraphConfig config;
+    config.nodes = 26;
+    config.density = 0.18;
+    config.parallel_fraction = 0.25;
+    const Digraph g = random_graph(rng, config);
+    if (g.edge_count() == 0) continue;
+    ContractionHierarchy ch;
+    ch.build(g);
+    ChFailureQuery query(ch, g);
+    std::vector<EdgeId> dead;
+    for (int scenario = 0; scenario < 12; ++scenario) {
+      dead.clear();
+      const int kills = static_cast<int>(rng.uniform_int(1, 4));
+      for (int k = 0; k < kills; ++k) {
+        dead.push_back(static_cast<EdgeId>(
+            rng.uniform_int(0, static_cast<std::int64_t>(g.edge_count()) - 1)));
+      }
+      query.set_failures(dead);
+      for (int probes = 0; probes < 40; ++probes) {
+        const auto s = static_cast<NodeId>(
+            rng.uniform_int(0, static_cast<std::int64_t>(g.node_count()) - 1));
+        const auto t = static_cast<NodeId>(
+            rng.uniform_int(0, static_cast<std::int64_t>(g.node_count()) - 1));
+        expect_masked_matches_flat(g, query, dead, s, t);
+      }
+    }
+    EXPECT_EQ(query.counters().queries,
+              query.counters().pristine_hits + query.counters().certified +
+                  query.counters().fallbacks);
+  }
+}
+
+TEST(GraphCh, PlanetaryWanDistancesMatchFlat) {
+  const topology::WanTopology wan = topology::generate_planetary_wan({});
+  const Digraph& g = wan.graph();
+  ContractionHierarchy ch;
+  ch.build(g);
+  EXPECT_GT(ch.stats().shortcuts, 0u);
+  ChSearch search(ch);
+  util::Rng rng(2026);
+  // Full trees from a sample of sources; every target is checked exactly.
+  for (int i = 0; i < 12; ++i) {
+    const auto s = static_cast<NodeId>(
+        rng.uniform_int(0, static_cast<std::int64_t>(g.node_count()) - 1));
+    const ShortestPathTree tree = dijkstra(g, s);
+    for (NodeId t = 0; t < g.node_count(); ++t) {
+      const auto got = search.shortest_path(s, t);
+      ASSERT_TRUE(got.has_value()) << "WAN is connected; s=" << s << " t=" << t;
+      EXPECT_EQ(got->cost, tree.distance[t]) << "s=" << s << " t=" << t;
+    }
+  }
+}
+
+TEST(GraphCh, PlanetaryWanMaskedQueriesMatchFlat) {
+  const topology::WanTopology wan = topology::generate_planetary_wan({});
+  const Digraph& g = wan.graph();
+  ContractionHierarchy ch;
+  ch.build(g);
+  ChFailureQuery query(ch, g);
+  util::Rng rng(77);
+  std::vector<EdgeId> dead;
+  for (int scenario = 0; scenario < 10; ++scenario) {
+    // Fail 1-3 whole links (both directions), like the failure sweep does.
+    dead.clear();
+    const int kills = static_cast<int>(rng.uniform_int(1, 3));
+    for (int k = 0; k < kills; ++k) {
+      const auto link = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(wan.link_count()) - 1));
+      dead.push_back(wan.link(link).forward);
+      dead.push_back(wan.link(link).backward);
+    }
+    query.set_failures(dead);
+    for (int probes = 0; probes < 60; ++probes) {
+      const auto s = static_cast<NodeId>(
+          rng.uniform_int(0, static_cast<std::int64_t>(g.node_count()) - 1));
+      const auto t = static_cast<NodeId>(
+          rng.uniform_int(0, static_cast<std::int64_t>(g.node_count()) - 1));
+      expect_masked_matches_flat(g, query, dead, s, t);
+    }
+  }
+  // The hierarchy fast path must be doing the work, not the flat fallback.
+  EXPECT_GT(query.counters().pristine_hits + query.counters().certified, 0u);
+}
+
+}  // namespace
+}  // namespace smn::graph

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "graph/ch.h"
 #include "topology/wan_generator.h"
 
 namespace smn::lp {
@@ -142,6 +143,61 @@ TEST(Mcf, WorksOnGeneratedWan) {
   EXPECT_GT(result.sp_calls, 0u);
   for (graph::EdgeId e = 0; e < wan.graph().edge_count(); ++e) {
     EXPECT_LE(result.edge_flow[e], wan.graph().edge(e).capacity + 1e-9);
+  }
+}
+
+TEST(Mcf, HierarchyOracleStaysWithinApproximationAndFeasible) {
+  // Swapping the shortest-path oracle to a customizable hierarchy changes
+  // the augmentation schedule (point queries may pick different equal-cost
+  // paths than the grouped trees), so flows are not bit-equal to the flat
+  // schedule — but both are certified feasible (1 - O(eps)) approximations,
+  // so lambda must land close and every invariant must hold.
+  const topology::WanTopology wan = topology::generate_test_wan();
+  std::vector<Commodity> demands;
+  const auto n = static_cast<graph::NodeId>(wan.datacenter_count());
+  for (graph::NodeId s = 0; s < n; ++s) {
+    demands.push_back({s, static_cast<graph::NodeId>((s + 5) % n), 50.0 + 10.0 * s});
+  }
+  for (const bool batch : {true, false}) {
+    const McfResult flat = max_concurrent_flow(
+        wan.graph(), demands, {.epsilon = 0.05, .batch_by_source = batch});
+
+    graph::ChOptions ch_options;
+    ch_options.customizable = true;
+    graph::ContractionHierarchy ch;
+    ch.build(wan.graph(), ch_options);
+    McfOptions options;
+    options.epsilon = 0.05;
+    options.batch_by_source = batch;
+    options.ch = &ch;
+    const McfResult routed = max_concurrent_flow(wan.graph(), demands, options);
+
+    EXPECT_GT(routed.lambda, 0.0) << "batch=" << batch;
+    EXPECT_NEAR(routed.lambda, flat.lambda, 0.15 * flat.lambda) << "batch=" << batch;
+    for (graph::EdgeId e = 0; e < wan.graph().edge_count(); ++e) {
+      EXPECT_LE(routed.edge_flow[e], wan.graph().edge(e).capacity + 1e-9);
+    }
+    std::vector<double> reconstructed(wan.graph().edge_count(), 0.0);
+    for (const PathFlow& p : routed.paths) {
+      for (const graph::EdgeId e : p.edges) reconstructed[e] += p.flow;
+    }
+    for (graph::EdgeId e = 0; e < wan.graph().edge_count(); ++e) {
+      EXPECT_NEAR(reconstructed[e], routed.edge_flow[e], 1e-9);
+    }
+    for (std::size_t j = 0; j < demands.size(); ++j) {
+      EXPECT_GE(routed.routed[j] + 1e-9, routed.lambda * demands[j].demand);
+    }
+
+    // The oracle swap is deterministic: a fresh hierarchy reproduces the
+    // solve bit for bit.
+    graph::ContractionHierarchy ch2;
+    ch2.build(wan.graph(), ch_options);
+    McfOptions options2 = options;
+    options2.ch = &ch2;
+    const McfResult again = max_concurrent_flow(wan.graph(), demands, options2);
+    EXPECT_EQ(again.lambda, routed.lambda);
+    EXPECT_EQ(again.sp_calls, routed.sp_calls);
+    EXPECT_EQ(again.edge_flow, routed.edge_flow);
   }
 }
 

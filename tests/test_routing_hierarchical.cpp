@@ -84,6 +84,53 @@ TEST(Hierarchical, SampledEvaluationBounded) {
   EXPECT_LE(report.samples.size() + report.unreachable_pairs, 50u);
 }
 
+TEST(Hierarchical, HierarchySubstrateMatchesFlatExactly) {
+  // use_ch swaps the unrestricted-distance oracle (flat baselines, gateway
+  // legs, fallbacks) from full Dijkstra trees to contraction-hierarchy
+  // point queries; distances are identical, so the whole report must be.
+  topology::WanConfig config;
+  config.continents = 4;
+  config.regions_per_continent = 3;
+  config.dcs_per_region = 4;
+  const topology::WanTopology wan = topology::generate_planetary_wan(config);
+  for (const std::size_t sample_pairs : {std::size_t{0}, std::size_t{300}}) {
+    HierarchicalRoutingOptions flat_options;
+    flat_options.sample_pairs = sample_pairs;
+    const auto flat = evaluate_hierarchical_routing(wan, wan.region_partition(), flat_options);
+
+    HierarchicalRoutingOptions ch_options = flat_options;
+    ch_options.use_ch = true;
+    const auto hier = evaluate_hierarchical_routing(wan, wan.region_partition(), ch_options);
+
+    EXPECT_EQ(hier.hierarchical_entries, flat.hierarchical_entries);
+    EXPECT_EQ(hier.unreachable_pairs, flat.unreachable_pairs);
+    EXPECT_EQ(hier.mean_stretch, flat.mean_stretch);
+    EXPECT_EQ(hier.p95_stretch, flat.p95_stretch);
+    EXPECT_EQ(hier.max_stretch, flat.max_stretch);
+    ASSERT_EQ(hier.samples.size(), flat.samples.size());
+    for (std::size_t i = 0; i < hier.samples.size(); ++i) {
+      EXPECT_EQ(hier.samples[i].src, flat.samples[i].src);
+      EXPECT_EQ(hier.samples[i].dst, flat.samples[i].dst);
+      EXPECT_EQ(hier.samples[i].flat_cost, flat.samples[i].flat_cost);
+      EXPECT_EQ(hier.samples[i].hierarchical_cost, flat.samples[i].hierarchical_cost);
+      EXPECT_EQ(hier.samples[i].stretch, flat.samples[i].stretch);
+    }
+  }
+}
+
+TEST(Hierarchical, PrebuiltHierarchyIsAccepted) {
+  const topology::WanTopology& wan = test_wan();
+  graph::ContractionHierarchy ch;
+  ch.build(wan.graph());
+  HierarchicalRoutingOptions options;
+  options.use_ch = true;
+  options.hierarchy = &ch;
+  const auto borrowed = evaluate_hierarchical_routing(wan, wan.region_partition(), options);
+  const auto flat = evaluate_hierarchical_routing(wan, wan.region_partition());
+  EXPECT_EQ(borrowed.mean_stretch, flat.mean_stretch);
+  EXPECT_EQ(borrowed.samples.size(), flat.samples.size());
+}
+
 TEST(Hierarchical, InvalidPartitionThrows) {
   graph::Partition bad;
   bad.group_of = {0};

@@ -144,6 +144,31 @@ TEST(SmnLintR2, FlagsAccumulationThroughTypeAlias) {
   EXPECT_EQ(report.findings[0].line, 4);
 }
 
+TEST(SmnLintR2, FlagsBareFloatKeyedPriorityQueue) {
+  const auto report = lint("src/graph/search.cpp",
+                           "std::priority_queue<double> frontier;\n"
+                           "std::priority_queue<const float, std::vector<const float>> alt;\n");
+  ASSERT_EQ(report.findings.size(), 2u);
+  for (const auto& f : report.findings) EXPECT_EQ(f.rule, "nondeterminism");
+  EXPECT_NE(report.findings[0].message.find("secondary key"), std::string::npos);
+}
+
+TEST(SmnLintR2, AllowsPairKeyedPriorityQueueAndNonSolverDirs) {
+  // A (priority, id) pair breaks ties deterministically.
+  EXPECT_TRUE(lint("src/graph/search.cpp",
+                   "std::priority_queue<std::pair<double, std::uint32_t>,\n"
+                   "                    std::vector<std::pair<double, std::uint32_t>>,\n"
+                   "                    std::greater<>> frontier;\n")
+                  .findings.empty());
+  // Struct-keyed queues supply their own comparator; not R2's concern.
+  EXPECT_TRUE(lint("src/lp/solver.cpp",
+                   "std::priority_queue<Label, std::vector<Label>, LabelOrder> q;\n")
+                  .findings.empty());
+  // Outside solver dirs the rule does not apply.
+  EXPECT_TRUE(
+      lint("src/smn/sched.cpp", "std::priority_queue<double> q;\n").findings.empty());
+}
+
 TEST(SmnLintR2, AllowsSortedReductionAndKeyCollection) {
   const auto report = lint("src/te/reduce.cpp",
                            "std::unordered_map<int, double> weights;\n"

@@ -113,6 +113,57 @@ TEST(Determinism, WindowSolvesBitIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(Determinism, RoutingSweepHierarchyAndFlatBitIdenticalAcrossThreadCounts) {
+  // The contraction-hierarchy sweep must reproduce the flat masked-Dijkstra
+  // sweep exactly — same per-pair latencies, hence the same report — for any
+  // worker count, and its query counters must partition and be independent
+  // of how scenarios were chunked across workers.
+  const auto& inst = small_wan();
+  const std::vector<std::size_t> links = {0, 2, 5, 9, 13};
+  te::RoutingSweepOptions flat_options;
+  flat_options.threads = 1;
+  flat_options.use_ch = false;
+  const auto reference = te::routing_failure_sweep(inst.wan, inst.commodities, links, flat_options);
+  EXPECT_GT(reference.pairs, 0u);
+
+  std::vector<std::size_t> ch_queries_seen;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    te::RoutingSweepOptions options;
+    options.threads = threads;
+    options.use_ch = true;
+    const auto sweep = te::routing_failure_sweep(inst.wan, inst.commodities, links, options);
+    EXPECT_EQ(sweep.pairs, reference.pairs);
+    EXPECT_EQ(sweep.worst_stretch, reference.worst_stretch);
+    EXPECT_EQ(sweep.worst_disconnected, reference.worst_disconnected);
+    ASSERT_EQ(sweep.impacts.size(), reference.impacts.size());
+    for (std::size_t i = 0; i < sweep.impacts.size(); ++i) {
+      EXPECT_EQ(sweep.impacts[i].link, reference.impacts[i].link);
+      EXPECT_EQ(sweep.impacts[i].link_name, reference.impacts[i].link_name);
+      EXPECT_EQ(sweep.impacts[i].rerouted_pairs, reference.impacts[i].rerouted_pairs);
+      EXPECT_EQ(sweep.impacts[i].disconnected_pairs, reference.impacts[i].disconnected_pairs);
+      EXPECT_EQ(sweep.impacts[i].mean_stretch, reference.impacts[i].mean_stretch);
+      EXPECT_EQ(sweep.impacts[i].worst_stretch, reference.impacts[i].worst_stretch);
+    }
+    EXPECT_GT(sweep.ch_arcs, 0u);
+    EXPECT_EQ(sweep.ch_queries,
+              sweep.ch_pristine_hits + sweep.ch_certified + sweep.ch_fallbacks);
+    EXPECT_LE(sweep.ch_repairs_succeeded, sweep.ch_repairs_attempted);
+    ch_queries_seen.push_back(sweep.ch_queries);
+  }
+  for (const std::size_t q : ch_queries_seen) EXPECT_EQ(q, ch_queries_seen.front());
+
+  // Flat sweep itself is thread-count invariant too.
+  te::RoutingSweepOptions flat_parallel = flat_options;
+  flat_parallel.threads = 8;
+  const auto parallel_sweep =
+      te::routing_failure_sweep(inst.wan, inst.commodities, links, flat_parallel);
+  ASSERT_EQ(parallel_sweep.impacts.size(), reference.impacts.size());
+  for (std::size_t i = 0; i < parallel_sweep.impacts.size(); ++i) {
+    EXPECT_EQ(parallel_sweep.impacts[i].mean_stretch, reference.impacts[i].mean_stretch);
+    EXPECT_EQ(parallel_sweep.impacts[i].worst_stretch, reference.impacts[i].worst_stretch);
+  }
+}
+
 TEST(Determinism, BatchedAndUnbatchedAgreeWithinApproximation) {
   // Source-grouped batching changes the augmentation schedule, so flows are
   // not bit-equal to the legacy schedule — but both are (1 - eps)^3

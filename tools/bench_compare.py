@@ -84,6 +84,35 @@ POLICIES: dict[str, dict[str, list]] = {
             ("ingest_records_per_s.sharded_8", "ingest_ms.sharded_8"),
         ],
     },
+    "BENCH_ch.json": {
+        "exact": [
+            "instance.dcs",
+            "instance.links",
+            "instance.pairs",
+            "instance.sweep_links",
+            "instance.synthetic_dcs",
+            "build.arcs",
+            "build.shortcuts",
+            "sweep.queries",
+            "sweep.pristine_hits",
+            "sweep.certified",
+            "sweep.fallbacks",
+            "sweep.repairs_attempted",
+            "sweep.repairs_succeeded",
+            "mcf.flat_lambda",
+            "mcf.ch_lambda",
+            "mcf.flat_sp_calls",
+            "mcf.ch_sp_calls",
+            "fidelity.sweep_identical",
+            "fidelity.synthetic_identical",
+            "fidelity.counters_partition",
+            "fidelity.deterministic",
+            "fidelity.hierarchical_identical",
+            "fidelity.lambda_ok",
+            "fidelity.speedup_ok",
+        ],
+        "ratio": [],
+    },
     "BENCH_spill_tier.json": {
         "exact": [
             "instance.records",

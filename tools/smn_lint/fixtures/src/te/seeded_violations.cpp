@@ -6,6 +6,7 @@
 #include <iostream>  // header-hygiene: banned include in a hot-path module
 #include <map>
 #include <mutex>
+#include <queue>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -18,6 +19,10 @@ std::map<std::string, double> g_demand_by_name;
 // nondeterminism: pointer order varies between runs.
 struct Node;
 std::map<Node*, int> g_rank_by_node;
+
+// nondeterminism: priority queue keyed on a bare double — equal priorities
+// pop in heap-internal order with no deterministic tie-break.
+std::priority_queue<double> g_frontier;
 
 struct Solver {
   // lock-hygiene: mutex declared without naming what it protects.

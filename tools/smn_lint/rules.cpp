@@ -207,6 +207,28 @@ void check_nondeterminism(const SourceFile& file, const FileClass& cls,
     }
   }
 
+  // Priority queues keyed on a bare float: equal priorities pop in an order
+  // set by heap internals (insertion history, container growth), so any
+  // tie-breaking the algorithm does downstream becomes run-shape dependent.
+  // Pair the priority with a deterministic secondary key (node/edge id).
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!toks[i].is_ident("priority_queue") || !toks[i + 1].is_punct("<")) continue;
+    const auto key = first_template_arg(toks, i, nullptr);
+    std::vector<Token> stripped;
+    for (const Token& t : key) {
+      if (!t.is_ident("const") && !t.is_ident("volatile")) stripped.push_back(t);
+    }
+    if (stripped.size() == 1 &&
+        (stripped[0].is_ident("double") || stripped[0].is_ident("float"))) {
+      out.push_back({"nondeterminism", file.path, toks[i].line,
+                     "std::priority_queue keyed on a bare " + stripped[0].text +
+                         "; ties pop in heap-internal order — use pair<" +
+                         stripped[0].text +
+                         ", id> so equal priorities break on a deterministic "
+                         "secondary key"});
+    }
+  }
+
   // Float accumulation inside iteration over an unordered container:
   // (a + b) + c != a + (b + c), and the iteration order is hash-seed noise.
   const auto unordered = unordered_value_names(file);
