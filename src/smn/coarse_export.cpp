@@ -1,0 +1,217 @@
+#include "smn/coarse_export.h"
+
+#include <bit>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+#include "telemetry/spill_file.h"
+#include "util/contracts.h"
+
+namespace smn::smn {
+namespace {
+
+static_assert(std::endian::native == std::endian::little,
+              "CoarseExport is little-endian; this host would need a swap path");
+
+constexpr std::uint64_t kMagic = 0x31584445464E4D53ull;  // "SMNFEDX1" LE
+constexpr std::size_t kHeaderBytes = 56;
+
+/// Fixed-size header; the checksum covers every byte after it.
+struct ExportHeader {
+  std::uint64_t magic = kMagic;
+  std::uint32_t version = CoarseExport::kVersion;
+  std::uint32_t region_len = 0;
+  std::uint64_t sequence = 0;
+  std::int64_t exported_at = 0;
+  std::uint32_t pair_count = 0;
+  std::uint32_t summary_count = 0;
+  std::uint32_t gauge_count = 0;
+  std::uint32_t reserved = 0;
+  std::uint64_t checksum = 0;
+};
+static_assert(sizeof(ExportHeader) == kHeaderBytes, "header layout drifted");
+
+template <typename T>
+void put(std::string& out, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const std::size_t at = out.size();
+  out.resize(at + sizeof(T));
+  std::memcpy(out.data() + at, &value, sizeof(T));
+}
+
+void put_string(std::string& out, const std::string& s) {
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s);
+}
+
+/// Bounds-checked reader over the payload bytes.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view bytes) : bytes_(bytes) {}
+
+  template <typename T>
+  T take() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    SMN_CHECK(bytes_.size() - at_ >= sizeof(T), "truncated CoarseExport payload");
+    T value;
+    std::memcpy(&value, bytes_.data() + at_, sizeof(T));
+    at_ += sizeof(T);
+    return value;
+  }
+
+  std::string take_string() {
+    const std::uint32_t len = take<std::uint32_t>();
+    SMN_CHECK(bytes_.size() - at_ >= len, "truncated CoarseExport string");
+    std::string s(bytes_.substr(at_, len));
+    at_ += len;
+    return s;
+  }
+
+  bool exhausted() const noexcept { return at_ == bytes_.size(); }
+
+ private:
+  std::string_view bytes_;
+  std::size_t at_ = 0;
+};
+
+}  // namespace
+
+std::string serialize_export(const CoarseExport& exp) {
+  SMN_CHECK(exp.sequence >= 1, "export sequence numbers start at 1");
+  SMN_CHECK(!exp.region.empty(), "an export must name its region");
+  std::string payload;
+  payload.append(exp.region);
+  for (const auto& [src, dst] : exp.pair_names) {
+    put_string(payload, src);
+    put_string(payload, dst);
+  }
+  for (const ExportSummary& s : exp.summaries) {
+    SMN_CHECK(s.pair_index < exp.pair_names.size(),
+              "summary references a pair outside the name table");
+    put<std::uint32_t>(payload, s.pair_index);
+    put<std::int64_t>(payload, s.window_start);
+    put<std::int64_t>(payload, s.window_length);
+    put<std::uint64_t>(payload, s.sample_count);
+    put<double>(payload, s.mean);
+    put<double>(payload, s.p50);
+    put<double>(payload, s.p95);
+    put<double>(payload, s.min);
+    put<double>(payload, s.max);
+  }
+  for (const ExportGauge& g : exp.gauges) {
+    put_string(payload, g.name);
+    put<double>(payload, g.value);
+  }
+  put<double>(payload, exp.drift.level);
+  put<double>(payload, exp.drift.deviation_gbps);
+  put<double>(payload, exp.drift.baseline_gbps);
+  put<std::uint64_t>(payload, static_cast<std::uint64_t>(exp.drift.pairs_tracked));
+  put<std::uint8_t>(payload, exp.drift.has_baseline ? 1 : 0);
+
+  ExportHeader header;
+  header.region_len = static_cast<std::uint32_t>(exp.region.size());
+  header.sequence = exp.sequence;
+  header.exported_at = exp.exported_at;
+  header.pair_count = static_cast<std::uint32_t>(exp.pair_names.size());
+  header.summary_count = static_cast<std::uint32_t>(exp.summaries.size());
+  header.gauge_count = static_cast<std::uint32_t>(exp.gauges.size());
+  header.checksum = telemetry::fnv1a(telemetry::kFnvOffsetBasis, payload.data(), payload.size());
+
+  std::string out;
+  out.reserve(kHeaderBytes + payload.size());
+  put(out, header);
+  out.append(payload);
+  return out;
+}
+
+CoarseExport parse_export(std::string_view bytes) {
+  SMN_CHECK(bytes.size() >= kHeaderBytes, "CoarseExport shorter than its header");
+  ExportHeader header;
+  std::memcpy(&header, bytes.data(), sizeof(header));
+  SMN_CHECK(header.magic == kMagic, "bad CoarseExport magic (not an export)");
+  SMN_CHECK(header.version == CoarseExport::kVersion, "unsupported CoarseExport version");
+  const std::string_view payload = bytes.substr(kHeaderBytes);
+  SMN_CHECK(telemetry::fnv1a(telemetry::kFnvOffsetBasis, payload.data(), payload.size()) ==
+                header.checksum,
+            "CoarseExport checksum mismatch (corrupt payload)");
+
+  CoarseExport exp;
+  exp.sequence = header.sequence;
+  exp.exported_at = header.exported_at;
+  Cursor cursor(payload);
+  SMN_CHECK(payload.size() >= header.region_len, "truncated CoarseExport region name");
+  exp.region = std::string(payload.substr(0, header.region_len));
+  for (std::uint32_t i = 0; i < header.region_len; ++i) (void)cursor.take<char>();
+  exp.pair_names.reserve(header.pair_count);
+  for (std::uint32_t i = 0; i < header.pair_count; ++i) {
+    std::string src = cursor.take_string();
+    std::string dst = cursor.take_string();
+    exp.pair_names.emplace_back(std::move(src), std::move(dst));
+  }
+  exp.summaries.reserve(header.summary_count);
+  for (std::uint32_t i = 0; i < header.summary_count; ++i) {
+    ExportSummary s;
+    s.pair_index = cursor.take<std::uint32_t>();
+    SMN_CHECK(s.pair_index < header.pair_count,
+              "CoarseExport summary references a pair outside the name table");
+    s.window_start = cursor.take<std::int64_t>();
+    s.window_length = cursor.take<std::int64_t>();
+    SMN_CHECK(s.window_length > 0, "CoarseExport summary with a non-positive window");
+    s.sample_count = cursor.take<std::uint64_t>();
+    s.mean = cursor.take<double>();
+    s.p50 = cursor.take<double>();
+    s.p95 = cursor.take<double>();
+    s.min = cursor.take<double>();
+    s.max = cursor.take<double>();
+    exp.summaries.push_back(s);
+  }
+  exp.gauges.reserve(header.gauge_count);
+  for (std::uint32_t i = 0; i < header.gauge_count; ++i) {
+    ExportGauge g;
+    g.name = cursor.take_string();
+    g.value = cursor.take<double>();
+    exp.gauges.push_back(std::move(g));
+  }
+  exp.drift.level = cursor.take<double>();
+  exp.drift.deviation_gbps = cursor.take<double>();
+  exp.drift.baseline_gbps = cursor.take<double>();
+  exp.drift.pairs_tracked = static_cast<std::size_t>(cursor.take<std::uint64_t>());
+  exp.drift.has_baseline = cursor.take<std::uint8_t>() != 0;
+  SMN_CHECK(cursor.exhausted(), "CoarseExport carries trailing bytes past its payload");
+  return exp;
+}
+
+void write_export_file(const std::string& path, const CoarseExport& exp) {
+  SMN_CHECK(!path.empty(), "write_export_file needs a destination path");
+  const std::string bytes = serialize_export(exp);
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) throw std::runtime_error("write_export_file: cannot create " + tmp);
+  const bool ok = std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  const bool closed = std::fclose(f) == 0;
+  if (!ok || !closed) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("write_export_file: short write on " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("write_export_file: cannot rename " + tmp + " -> " + path);
+  }
+}
+
+CoarseExport read_export_file(const std::string& path) {
+  SMN_CHECK(!path.empty(), "read_export_file needs a source path");
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) throw std::runtime_error("read_export_file: cannot open " + path);
+  std::string bytes;
+  char buffer[1 << 16];
+  std::size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), f)) > 0) bytes.append(buffer, got);
+  const bool failed = std::ferror(f) != 0;
+  (void)std::fclose(f);
+  if (failed) throw std::runtime_error("read_export_file: read error on " + path);
+  return parse_export(bytes);
+}
+
+}  // namespace smn::smn

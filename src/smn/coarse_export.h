@@ -1,0 +1,84 @@
+// The federation wire format: what a RegionController sends up and the
+// only thing the GlobalController ever ingests. The paper's coarsening map
+// s = C(S) is the inter-controller protocol (§3) — fine telemetry stays in
+// the region; the export carries the region's *coarse* state:
+//
+//   * the coarse bandwidth summaries sealed since the previous export
+//     (per-pair window statistics, exactly what coarsen_older_than emits);
+//   * the aggregated MIB gauges of the region's store;
+//   * the drift summary vs the region's last TE baseline.
+//
+// Pairs travel as (src, dst) datacenter *names*: PairIds are process-local
+// interning handles and never cross a controller boundary; the ingesting
+// side re-interns.
+//
+// The binary layout reuses the spill-file conventions
+// (telemetry/spill_file.h): little-endian, a fixed magic/version header,
+// an FNV-1a 64 checksum over the payload, and `.tmp` + rename for file
+// writes. parse_export() SMN_CHECK-fails on any structural violation — a
+// corrupt export must never feed silent garbage into the global merge.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "telemetry/log_store.h"
+#include "util/sim_time.h"
+
+namespace smn::smn {
+
+/// One coarse window summary row on the wire; `pair_index` indexes
+/// CoarseExport::pair_names.
+struct ExportSummary {
+  std::uint32_t pair_index = 0;
+  util::SimTime window_start = 0;
+  util::SimTime window_length = 0;
+  std::uint64_t sample_count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// One aggregated MIB gauge of the exporting region.
+struct ExportGauge {
+  std::string name;
+  double value = 0.0;
+};
+
+struct CoarseExport {
+  /// Format version this library writes (bumped on layout changes; readers
+  /// reject anything else).
+  static constexpr std::uint32_t kVersion = 1;
+
+  std::string region;
+  /// Per-region sequence number, strictly increasing from 1. The global
+  /// controller rejects stale or replayed exports.
+  std::uint64_t sequence = 0;
+  util::SimTime exported_at = 0;
+  /// Deduplicated (src name, dst name) table the summaries index into.
+  std::vector<std::pair<std::string, std::string>> pair_names;
+  std::vector<ExportSummary> summaries;
+  std::vector<ExportGauge> gauges;
+  telemetry::DriftReport drift;
+};
+
+/// Serializes to the versioned, checksummed little-endian wire format.
+std::string serialize_export(const CoarseExport& exp);
+
+/// Parses and validates `bytes`. SMN_CHECK-fails on bad magic, unsupported
+/// version, truncation, checksum mismatch, or out-of-range pair indexes.
+CoarseExport parse_export(std::string_view bytes);
+
+/// Atomic file write (`.tmp` sibling + rename, like spill files). Throws
+/// std::runtime_error on I/O failure.
+void write_export_file(const std::string& path, const CoarseExport& exp);
+
+/// Reads and parses an export file (same validation as parse_export).
+CoarseExport read_export_file(const std::string& path);
+
+}  // namespace smn::smn

@@ -1,0 +1,93 @@
+// Region-scoped controller engine shared by the monolithic SmnController
+// and the federation's RegionController: the sharded bandwidth store with
+// its spill tier, the drift-EWMA hysteresis state machine that fires early
+// TE re-solves, the bandwidth retention pass, and the MIB gauge
+// publication that goes with them. Extracting this out of SmnController is
+// what makes the two-level federation a refactor instead of a fork — one
+// process-wide controller and one per-region controller run the identical
+// engine, scoped to different slices of the WAN.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "smn/control_plane.h"
+#include "telemetry/log_store.h"
+#include "util/sim_time.h"
+
+namespace smn::smn {
+
+/// The bandwidth-store and drift knobs of a controller (the region-scoped
+/// subset of SmnConfig). Validated with SMN_CHECK at construction —
+/// nonsensical values (zero windows, rearm >= resolve threshold) used to be
+/// accepted silently and armed broken control loops.
+struct CoreConfig {
+  /// Fine segments older than this are sealed into `bw_coarse_window`
+  /// summaries by the retention pass.
+  util::SimTime bw_max_fine_age = util::kWeek;
+  util::SimTime bw_coarse_window = util::kHour;
+  /// PairId-hash shards and the worker count for bulk ingest / retention
+  /// (0 = min(shards, hardware threads)).
+  std::size_t bw_shards = 8;
+  std::size_t bw_ingest_threads = 0;
+  /// Cold tier directory; empty keeps the drop-on-seal behavior. Must be
+  /// private to this controller instance (enforced via a pid lockfile).
+  std::string bw_spill_dir;
+  /// Failover adoption: take over a dead controller's locked spill dir.
+  bool bw_spill_steal_lock = false;
+  /// Drift-triggered TE re-solve thresholds (hysteresis: fire above
+  /// `resolve`, re-arm below `rearm`), plus the min solve spacing.
+  double drift_resolve_threshold = 0.25;
+  double drift_rearm_threshold = 0.10;
+  util::SimTime drift_min_resolve_interval = util::kHour;
+};
+
+/// The engine. `scope` names the MIB scope gauges land under ("smn" for the
+/// monolithic controller, "region/<name>" for a federated region).
+class ControllerCore {
+ public:
+  explicit ControllerCore(CoreConfig config, std::string scope = "smn");
+
+  telemetry::BandwidthLogStore& store() noexcept { return store_; }
+  const telemetry::BandwidthLogStore& store() const noexcept { return store_; }
+  const CoreConfig& config() const noexcept { return config_; }
+  const std::string& scope() const noexcept { return scope_; }
+
+  /// Streams `log` into the store and bumps the ingest counter in `mib`.
+  /// Returns records added.
+  std::size_t ingest_bandwidth(const telemetry::BandwidthLog& log, Mib& mib);
+
+  /// Seals fine segments older than the configured age. Returns records
+  /// retired.
+  std::size_t run_bw_retention(util::SimTime now);
+
+  /// Publishes the store's footprint/occupancy/tiering gauges into `mib`.
+  void publish_store_gauges(Mib& mib, util::SimTime now) const;
+
+  /// Drift-watch pass: publishes drift gauges and calls `resolve(now)` (an
+  /// early TE re-solve) when aggregate drift crosses the resolve threshold,
+  /// subject to hysteresis and the min-interval guard. Returns the report
+  /// it acted on.
+  telemetry::DriftReport check_demand_drift(
+      util::SimTime now, Mib& mib, const std::function<void(util::SimTime)>& resolve);
+
+  /// Records that a TE solve happened at `now` (arms the min-interval
+  /// guard). Callers invoke this from their capacity-planning pass.
+  void note_te_solve(util::SimTime now) { last_te_solve_ = now; }
+
+  std::uint64_t early_te_resolves() const noexcept { return early_te_resolves_; }
+
+ private:
+  CoreConfig config_;
+  std::string scope_;
+  telemetry::BandwidthLogStore store_;
+  /// Drift-trigger state machine: armed -> fire (disarm) -> re-arm when
+  /// drift falls below the rearm threshold after the next solve.
+  bool drift_armed_ = true;
+  std::optional<util::SimTime> last_te_solve_;
+  std::uint64_t early_te_resolves_ = 0;
+};
+
+}  // namespace smn::smn

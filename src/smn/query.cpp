@@ -4,6 +4,7 @@
 #include <map>
 #include <stdexcept>
 
+#include "util/contracts.h"
 #include "util/stats.h"
 
 namespace smn::smn {
@@ -23,11 +24,14 @@ std::string aggregation_name(Aggregation agg) {
     case Aggregation::kP95:
       return "p95";
   }
-  return "?";
+  SMN_UNREACHABLE("aggregation_name: unknown Aggregation value");
 }
 
 std::vector<QueryRow> run_query(const DataLake& lake, const std::string& team,
                                 const Query& query) {
+  SMN_CHECK(query.begin <= query.end,
+            "run_query: inverted time range — [begin, end) with begin > end matches "
+            "nothing and almost always means swapped arguments");
   if (query.dataset.has_value() == query.type.has_value()) {
     throw std::invalid_argument("run_query: set exactly one of dataset/type");
   }

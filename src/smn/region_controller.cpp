@@ -1,0 +1,112 @@
+#include "smn/region_controller.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "util/contracts.h"
+#include "util/interner.h"
+
+namespace smn::smn {
+namespace {
+
+CoreConfig adopted_config(CoreConfig config) {
+  config.bw_spill_steal_lock = true;
+  return config;
+}
+
+}  // namespace
+
+RegionController::RegionController(std::string region, const topology::WanTopology& wan,
+                                   CoreConfig config)
+    : region_(std::move(region)),
+      wan_(wan),
+      core_(std::move(config), "region/" + region_) {
+  const std::vector<std::string> regions = wan_.regions();
+  SMN_CHECK(std::find(regions.begin(), regions.end(), region_) != regions.end(),
+            "RegionController's region is not a region of the managed WAN");
+}
+
+std::unique_ptr<RegionController> RegionController::adopt(std::string region,
+                                                          const topology::WanTopology& wan,
+                                                          CoreConfig config,
+                                                          std::size_t* recovered_records) {
+  SMN_CHECK(!config.bw_spill_dir.empty(),
+            "adoption replays a spill directory; config.bw_spill_dir must be set");
+  auto controller = std::make_unique<RegionController>(std::move(region), wan,
+                                                       adopted_config(std::move(config)));
+  const std::size_t recovered = controller->store().recover_spill_files();
+  if (recovered_records != nullptr) *recovered_records = recovered;
+  return controller;
+}
+
+bool RegionController::owns_pair(util::PairId pair) const {
+  SMN_DCHECK(pair != util::kInvalidPairId, "ownership query on the invalid pair id");
+  if (pair >= pair_owned_.size()) pair_owned_.resize(pair + 1, 0);
+  if (pair_owned_[pair] == 0) {
+    const std::string* region = wan_.region_of_dc(util::IdSpace::global().pair_src(pair));
+    pair_owned_[pair] = (region != nullptr && *region == region_) ? 1 : 2;
+  }
+  return pair_owned_[pair] == 1;
+}
+
+std::size_t RegionController::ingest_bandwidth(const telemetry::BandwidthLog& log) {
+  for (const util::PairId pair : log.pair_ids()) {
+    SMN_CHECK(owns_pair(pair),
+              "record routed to the wrong RegionController — a foreign pair here would "
+              "double-count in the global merge");
+  }
+  return core_.ingest_bandwidth(log, mib_);
+}
+
+std::size_t RegionController::run_retention(util::SimTime now) {
+  SMN_DCHECK(now >= 0, "retention anchored at a negative time");
+  const std::size_t retired = core_.run_bw_retention(now);
+  core_.publish_store_gauges(mib_, now);
+  return retired;
+}
+
+CoarseExport RegionController::build_export(util::SimTime now) {
+  const std::vector<telemetry::WindowSummary>& all = store().coarse().summaries();
+  SMN_CHECK(export_cursor_ <= all.size(), "export cursor ran past the coarse log");
+
+  CoarseExport exp;
+  exp.region = region_;
+  exp.sequence = next_sequence_++;
+  exp.exported_at = now;
+
+  // Dedup pair-name table over the not-yet-exported rows. Indexes are
+  // assigned in row order, so the table — like the rows — is deterministic.
+  const util::IdSpace& ids = util::IdSpace::global();
+  std::unordered_map<util::PairId, std::uint32_t> table_index;
+  exp.summaries.reserve(all.size() - export_cursor_);
+  for (std::size_t row = export_cursor_; row < all.size(); ++row) {
+    const telemetry::WindowSummary& s = all[row];
+    auto [it, fresh] =
+        table_index.emplace(s.pair, static_cast<std::uint32_t>(exp.pair_names.size()));
+    if (fresh) exp.pair_names.emplace_back(ids.src_name(s.pair), ids.dst_name(s.pair));
+    ExportSummary out;
+    out.pair_index = it->second;
+    out.window_start = s.window_start;
+    out.window_length = s.window_length;
+    out.sample_count = s.sample_count;
+    out.mean = s.mean;
+    out.p50 = s.p50;
+    out.p95 = s.p95;
+    out.min = s.min;
+    out.max = s.max;
+    exp.summaries.push_back(out);
+  }
+  export_cursor_ = all.size();
+
+  const telemetry::LogStoreStats stats = store().stats();
+  exp.gauges.push_back({"bw_fine_records", static_cast<double>(stats.fine_records)});
+  exp.gauges.push_back({"bw_coarse_summaries", static_cast<double>(stats.coarse_summaries)});
+  exp.gauges.push_back({"bw_store_bytes", static_cast<double>(stats.total_bytes())});
+  exp.gauges.push_back({"bw_spilled_records", static_cast<double>(stats.spilled_records)});
+  exp.gauges.push_back({"bw_spill_files", static_cast<double>(stats.spilled_files)});
+  exp.drift = store().drift();
+  return exp;
+}
+
+}  // namespace smn::smn

@@ -1,0 +1,91 @@
+// The lower tier of the two-level federation (DESIGN.md §12): one
+// RegionController per WAN region, owning that region's *fine* state — the
+// sharded bandwidth store with its spill tier, the drift EWMAs, and the
+// retention seal — through the same ControllerCore engine the monolithic
+// SmnController runs. Fine telemetry never leaves the region; what goes up
+// is build_export(): the coarse window summaries sealed since the previous
+// export, the store's aggregate gauges, and the drift summary, packaged as
+// a versioned CoarseExport. This is the paper's s = C(S) applied to the
+// controller hierarchy itself — the global tier sees only the coarsening.
+//
+// Failover: adopt() constructs a replacement controller over a dead
+// instance's spill directory (stealing its pid lock) and replays the
+// spilled segments, restoring the sealed fine state byte-identically.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "smn/coarse_export.h"
+#include "smn/control_plane.h"
+#include "smn/controller_core.h"
+#include "telemetry/bandwidth_log.h"
+#include "topology/wan.h"
+
+namespace smn::smn {
+
+class RegionController {
+ public:
+  /// `region` must be one of `wan`'s regions; `wan` must outlive the
+  /// controller. `config.bw_spill_dir`, when set, must be private to this
+  /// region (the pid lockfile enforces it).
+  RegionController(std::string region, const topology::WanTopology& wan,
+                   CoreConfig config = {});
+  RegionController(std::string, topology::WanTopology&&, CoreConfig) = delete;
+
+  /// Failover adoption: constructs a controller over a dead instance's
+  /// spill directory — takes the lock (`steal`) and replays every spilled
+  /// segment into the fresh store. `config.bw_spill_dir` must point at the
+  /// dead instance's directory and `config.bw_shards` must match what it
+  /// ran with. `*recovered_records`, when non-null, receives the fine
+  /// record count replayed.
+  static std::unique_ptr<RegionController> adopt(std::string region,
+                                                 const topology::WanTopology& wan,
+                                                 CoreConfig config,
+                                                 std::size_t* recovered_records = nullptr);
+
+  const std::string& region() const noexcept { return region_; }
+  ControllerCore& core() noexcept { return core_; }
+  const ControllerCore& core() const noexcept { return core_; }
+  Mib& mib() noexcept { return mib_; }
+  telemetry::BandwidthLogStore& store() noexcept { return core_.store(); }
+  const telemetry::BandwidthLogStore& store() const noexcept { return core_.store(); }
+
+  /// True when this controller's region owns `pair` (the pair's source
+  /// datacenter lives in the region). Memoized per PairId.
+  bool owns_pair(util::PairId pair) const;
+
+  /// Streams a bandwidth log into the region's store. SMN_CHECK-fails on a
+  /// record whose pair this region does not own — a misrouted record would
+  /// double-count in the global merge. Returns records added.
+  std::size_t ingest_bandwidth(const telemetry::BandwidthLog& log);
+
+  /// Retention pass: seals fine segments past the configured age into
+  /// coarse summaries (spilling them when the cold tier is on) and
+  /// refreshes the store gauges. Returns records retired.
+  std::size_t run_retention(util::SimTime now);
+
+  /// Packages everything sealed since the previous export — plus current
+  /// gauges and drift — as the next CoarseExport in this region's sequence.
+  /// Summaries already exported are never re-sent.
+  CoarseExport build_export(util::SimTime now);
+
+  /// Sequence number the next build_export() will carry.
+  std::uint64_t next_sequence() const noexcept { return next_sequence_; }
+
+ private:
+  std::string region_;
+  const topology::WanTopology& wan_;
+  Mib mib_;
+  ControllerCore core_;
+  /// First coarse summary row not yet exported.
+  std::size_t export_cursor_ = 0;
+  std::uint64_t next_sequence_ = 1;
+  /// PairId -> ownership memo: 0 unknown, 1 owned, 2 foreign. Pair ids are
+  /// append-only process-global handles, so the memo never invalidates.
+  mutable std::vector<std::uint8_t> pair_owned_;
+};
+
+}  // namespace smn::smn

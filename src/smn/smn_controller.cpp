@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "te/demand.h"
+#include "util/contracts.h"
 
 namespace smn::smn {
 namespace {
@@ -51,19 +52,41 @@ DataCatalog default_catalog(const depgraph::ServiceGraph& sg) {
   return catalog;
 }
 
+/// The region-scoped slice of SmnConfig, in ControllerCore terms. The core
+/// SMN_CHECK-validates the drift knobs at construction.
+CoreConfig core_config(const SmnConfig& config) {
+  CoreConfig core;
+  core.bw_max_fine_age = config.bw_max_fine_age;
+  core.bw_coarse_window = config.bw_coarse_window;
+  core.bw_shards = config.bw_shards;
+  core.bw_ingest_threads = config.bw_ingest_threads;
+  core.bw_spill_dir = config.bw_spill_dir;
+  core.drift_resolve_threshold = config.drift_resolve_threshold;
+  core.drift_rearm_threshold = config.drift_rearm_threshold;
+  core.drift_min_resolve_interval = config.drift_min_resolve_interval;
+  return core;
+}
+
+/// Loop-period validation, run from config_'s initializer so a bad config
+/// fails before the expensive members (data lake, CLTO training) construct.
+SmnConfig validated(SmnConfig config) {
+  SMN_CHECK(config.incident_loop_period > 0, "incident_loop_period must be positive");
+  SMN_CHECK(config.telemetry_loop_period > 0, "telemetry_loop_period must be positive");
+  SMN_CHECK(config.retention_loop_period > 0, "retention_loop_period must be positive");
+  SMN_CHECK(config.planning_loop_period > 0, "planning_loop_period must be positive");
+  return config;
+}
+
 }  // namespace
 
 SmnController::SmnController(const depgraph::ServiceGraph& sg, const topology::WanTopology& wan,
                              SmnConfig config)
     : sg_(sg),
       wan_(wan),
-      config_(config),
+      config_(validated(config)),
       lake_(default_catalog(sg), config.clto.seed),
       clto_(sg, bus_, config.clto),
-      bw_store_(telemetry::LogStoreConfig{.streaming_window = config.bw_coarse_window,
-                                          .shards = config.bw_shards,
-                                          .ingest_threads = config.bw_ingest_threads,
-                                          .spill_dir = config.bw_spill_dir}) {
+      core_(core_config(config_), "smn") {
   // Seed the control plane: a static route per datacenter via its first
   // graph neighbor (stands in for an IGP) — the generalized control plane
   // manages these alongside everything else.
@@ -80,43 +103,7 @@ SmnController::SmnController(const depgraph::ServiceGraph& sg, const topology::W
   fib_.program_from(rib_);
 
   loops_.add_loop({"telemetry-ingest", config_.telemetry_loop_period,
-                   [this](util::SimTime now) {
-                     mib_.set_gauge("smn", "last_telemetry_tick", static_cast<double>(now));
-                     const telemetry::LogStoreStats s = bw_store_.stats();
-                     mib_.set_gauge("smn", "bw_fine_records",
-                                    static_cast<double>(s.fine_records));
-                     mib_.set_gauge("smn", "bw_coarse_summaries",
-                                    static_cast<double>(s.coarse_summaries));
-                     mib_.set_gauge("smn", "bw_store_bytes",
-                                    static_cast<double>(s.total_bytes()));
-                     // Shard occupancy: skew shows up as max >> mean.
-                     std::size_t occupied = 0;
-                     std::size_t max_records = 0;
-                     for (const std::size_t r : s.shard_records) {
-                       if (r > 0) ++occupied;
-                       max_records = std::max(max_records, r);
-                     }
-                     mib_.set_gauge("smn", "bw_shard_count",
-                                    static_cast<double>(s.shard_records.size()));
-                     mib_.set_gauge("smn", "bw_shards_occupied",
-                                    static_cast<double>(occupied));
-                     mib_.set_gauge("smn", "bw_shard_records_max",
-                                    static_cast<double>(max_records));
-                     // Storage tiers: resident (hot columnar) vs spilled
-                     // (cold files), plus lifetime mapping traffic.
-                     mib_.set_gauge("smn", "bw_resident_bytes",
-                                    static_cast<double>(s.resident_bytes));
-                     mib_.set_gauge("smn", "bw_spilled_bytes",
-                                    static_cast<double>(s.spilled_bytes));
-                     mib_.set_gauge("smn", "bw_spilled_records",
-                                    static_cast<double>(s.spilled_records));
-                     mib_.set_gauge("smn", "bw_spill_files",
-                                    static_cast<double>(s.spilled_files));
-                     mib_.set_gauge("smn", "bw_spill_maps",
-                                    static_cast<double>(s.spill_maps));
-                     mib_.set_gauge("smn", "bw_spill_unmaps",
-                                    static_cast<double>(s.spill_unmaps));
-                   }});
+                   [this](util::SimTime now) { core_.publish_store_gauges(mib_, now); }});
   loops_.add_loop({"drift-watch", config_.telemetry_loop_period,
                    [this](util::SimTime now) { check_demand_drift(now); }});
   loops_.add_loop({"retention", config_.retention_loop_period,
@@ -132,9 +119,7 @@ void SmnController::ingest_telemetry(const std::string& dataset, Record record) 
 }
 
 std::size_t SmnController::ingest_bandwidth(const telemetry::BandwidthLog& log) {
-  bw_store_.ingest(log);
-  mib_.increment_counter("smn", "bw_records_ingested", static_cast<double>(log.record_count()));
-  return log.record_count();
+  return core_.ingest_bandwidth(log, mib_);
 }
 
 RoutingDecision SmnController::handle_incident(const incident::Incident& incident,
@@ -200,52 +185,31 @@ std::size_t SmnController::tick(util::SimTime now) { return loops_.tick(now); }
 
 std::size_t SmnController::run_retention(util::SimTime now) {
   const std::size_t lake_retired = lake_.apply_retention(now, config_.retention);
-  // Seal old fine bandwidth segments into summaries: the store's streaming
-  // accumulators make this O(open windows), not O(records).
-  const std::size_t bw_retired =
-      bw_store_.coarsen_older_than(now, config_.bw_max_fine_age, config_.bw_coarse_window);
+  const std::size_t bw_retired = core_.run_bw_retention(now);
   mib_.increment_counter("smn", "records_retired",
                          static_cast<double>(lake_retired + bw_retired));
   return lake_retired + bw_retired;
 }
 
 capacity::CapacityPlan SmnController::run_capacity_planning(util::SimTime now) {
+  telemetry::BandwidthLogStore& store = core_.store();
   const telemetry::BandwidthLog recent =
-      bw_store_.fine_range(now - util::kMonth < 0 ? 0 : now - util::kMonth, now);
+      store.fine_range(now - util::kMonth < 0 ? 0 : now - util::kMonth, now);
   // Snapshot the demand this solve is based on: the drift-watch loop
   // compares live ingest against it to decide when the plan went stale.
   const te::DemandMatrix demand =
       te::DemandMatrix::from_log(recent, te::DemandStatistic::kMean);
   if (!demand.entries().empty()) {
-    bw_store_.set_demand_baseline(demand.to_baseline(now));
+    store.set_demand_baseline(demand.to_baseline(now));
   }
-  last_te_solve_ = now;
+  core_.note_te_solve(now);
   mib_.set_gauge("smn", "last_te_solve", static_cast<double>(now));
   return clto_.plan_capacity(wan_, recent, now);
 }
 
 telemetry::DriftReport SmnController::check_demand_drift(util::SimTime now) {
-  const telemetry::DriftReport report = bw_store_.drift();
-  mib_.set_gauge("smn", "bw_drift_level", report.level);
-  mib_.set_gauge("smn", "bw_drift_deviation_gbps", report.deviation_gbps);
-  mib_.set_gauge("smn", "bw_drift_baseline_gbps", report.baseline_gbps);
-  if (!report.has_baseline) return report;
-  if (!drift_armed_) {
-    // Hysteresis: stay disarmed until drift settles below the rearm
-    // threshold, so one excursion fires exactly one early solve.
-    if (report.level < config_.drift_rearm_threshold) drift_armed_ = true;
-    return report;
-  }
-  if (report.level < config_.drift_resolve_threshold) return report;
-  if (last_te_solve_ &&
-      now - *last_te_solve_ < config_.drift_min_resolve_interval) {
-    return report;
-  }
-  drift_armed_ = false;
-  ++early_te_resolves_;
-  mib_.increment_counter("smn", "early_te_resolves");
-  run_capacity_planning(now);
-  return report;
+  return core_.check_demand_drift(now, mib_,
+                                  [this](util::SimTime t) { run_capacity_planning(t); });
 }
 
 std::vector<ParadigmComparison> SmnController::sdn_vs_smn() {

@@ -15,6 +15,7 @@
 #include "smn/aiops.h"
 #include "smn/clto.h"
 #include "smn/control_plane.h"
+#include "smn/controller_core.h"
 #include "smn/data_lake.h"
 #include "smn/feedback.h"
 #include "smn/query.h"
@@ -26,7 +27,10 @@ namespace smn::smn {
 struct SmnConfig {
   CltoConfig clto;
   RetentionPolicy retention;
-  /// Periods of the built-in control loops.
+  /// Periods of the built-in control loops. SMN_CHECK-validated at
+  /// construction, as are the drift knobs below: zero/negative periods and
+  /// an inverted hysteresis band used to be accepted silently and armed
+  /// control loops that could never fire (or never stop firing).
   util::SimTime incident_loop_period = util::kMinute;
   util::SimTime telemetry_loop_period = 5 * util::kMinute;
   util::SimTime retention_loop_period = util::kDay;
@@ -85,7 +89,7 @@ class SmnController {
   Mib& mib() noexcept { return mib_; }
   TelemetryDenoiser& denoiser() noexcept { return denoiser_; }
   IncidentEnricher& enricher() noexcept { return enricher_; }
-  telemetry::BandwidthLogStore& bandwidth_store() noexcept { return bw_store_; }
+  telemetry::BandwidthLogStore& bandwidth_store() noexcept { return core_.store(); }
 
   /// Ingests telemetry through the AIOps denoiser into the CLDS.
   void ingest_telemetry(const std::string& dataset, Record record);
@@ -130,7 +134,7 @@ class SmnController {
   /// guard. Returns the drift report it acted on.
   telemetry::DriftReport check_demand_drift(util::SimTime now);
 
-  std::uint64_t early_te_resolves() const noexcept { return early_te_resolves_; }
+  std::uint64_t early_te_resolves() const noexcept { return core_.early_te_resolves(); }
 
   std::uint64_t incidents_handled() const noexcept { return next_incident_id_ - 1; }
 
@@ -150,14 +154,11 @@ class SmnController {
   TelemetryDenoiser denoiser_;
   IncidentEnricher enricher_;
   MitigationEngine mitigator_;
-  telemetry::BandwidthLogStore bw_store_;
+  /// The region-scoped engine (bandwidth store, drift hysteresis, gauge
+  /// publication) shared with the federation's RegionController.
+  ControllerCore core_;
   ControlLoopRunner loops_;
   std::uint64_t next_incident_id_ = 1;
-  /// Drift-trigger state machine: armed -> fire (disarm) -> re-arm when
-  /// drift falls below the rearm threshold after the next solve.
-  bool drift_armed_ = true;
-  std::optional<util::SimTime> last_te_solve_;
-  std::uint64_t early_te_resolves_ = 0;
 };
 
 }  // namespace smn::smn

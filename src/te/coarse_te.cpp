@@ -6,6 +6,7 @@
 #include <map>
 #include <stdexcept>
 
+#include "graph/ch.h"
 #include "graph/shortest_path.h"
 #include "topology/supernode.h"
 #include "util/contracts.h"
@@ -367,6 +368,200 @@ CoarseTeReport evaluate_coarse_te(const topology::WanTopology& fine,
   report.throughput_fidelity =
       report.admitted_fine_gbps > 0.0
           ? std::min(1.0, report.admitted_realized_gbps / report.admitted_fine_gbps)
+          : 0.0;
+  return report;
+}
+
+namespace {
+
+/// The induced subgraph of one region plus the maps back to the fine graph.
+struct RegionSubgraph {
+  graph::Digraph g;
+  std::vector<graph::NodeId> local_of;      ///< fine node -> local (or kInvalidNode)
+  std::vector<graph::EdgeId> fine_edge_of;  ///< local edge -> fine edge
+  std::vector<std::size_t> commodities;     ///< fine commodity indexes inside
+};
+
+/// Builds each region's induced subgraph (internal nodes and edges only)
+/// and buckets the intra-region commodities into it.
+std::vector<RegionSubgraph> region_subgraphs(const topology::WanTopology& fine,
+                                             const graph::Partition& partition,
+                                             const std::vector<lp::Commodity>& commodities) {
+  const graph::Digraph& fg = fine.graph();
+  std::vector<RegionSubgraph> regions(partition.group_count());
+  for (RegionSubgraph& region : regions) {
+    region.local_of.assign(fg.node_count(), graph::kInvalidNode);
+  }
+  for (graph::NodeId n = 0; n < fg.node_count(); ++n) {
+    RegionSubgraph& region = regions[partition.group_of[n]];
+    region.local_of[n] = region.g.add_node(fg.node_name(n));
+  }
+  for (graph::EdgeId e = 0; e < fg.edge_count(); ++e) {
+    const graph::Edge& edge = fg.edge(e);
+    const graph::NodeId group = partition.group_of[edge.from];
+    if (group != partition.group_of[edge.to]) continue;
+    RegionSubgraph& region = regions[group];
+    region.g.add_edge(region.local_of[edge.from], region.local_of[edge.to], edge.weight,
+                      edge.capacity);
+    region.fine_edge_of.push_back(e);
+  }
+  for (std::size_t j = 0; j < commodities.size(); ++j) {
+    const lp::Commodity& c = commodities[j];
+    if (c.demand <= 0.0 || c.src == c.dst) continue;
+    const graph::NodeId group = partition.group_of[c.src];
+    if (group != partition.group_of[c.dst]) continue;
+    regions[group].commodities.push_back(j);
+  }
+  return regions;
+}
+
+}  // namespace
+
+FederatedTeReport evaluate_federated_te(const topology::WanTopology& fine,
+                                        const graph::Partition& partition,
+                                        const std::vector<lp::Commodity>& fine_commodities,
+                                        const FederatedTeOptions& options) {
+  if (!partition.valid_for(fine.graph())) {
+    throw std::invalid_argument("evaluate_federated_te: invalid partition");
+  }
+  FederatedTeReport report;
+  report.regions = partition.group_count();
+  report.fine_commodities = fine_commodities.size();
+
+  lp::McfOptions mcf_options;
+  mcf_options.epsilon = options.epsilon;
+
+  // Flat single-controller reference: what one controller seeing every fine
+  // commodity at once would solve. Timed on its own so the federated leg's
+  // wall-clock can be gated against it.
+  std::vector<lp::RoutedDemand> flat_routing;
+  if (options.solve_flat) {
+    const auto start = Clock::now();
+    const lp::McfResult flat =
+        lp::max_concurrent_flow(fine.graph(), fine_commodities, mcf_options);
+    report.flat_solve_ms = elapsed_ms(start);
+    report.lambda_flat = flat.lambda;
+    report.flat_sp_calls = flat.sp_calls;
+    flat_routing = routing_from_mcf(fine.graph(), flat, fine_commodities);
+    report.admitted_flat_gbps =
+        lp::greedy_admitted_demand(fine.graph(), fine_commodities, flat_routing);
+  }
+
+  const auto federated_start = Clock::now();
+
+  // Global tier: the coarse inter-region graph is all the global controller
+  // sees; its solve rides the customizable contraction hierarchy.
+  const topology::WanTopology coarse =
+      topology::SupernodeCoarsener::coarsen_with_partition(fine, partition);
+  const std::vector<lp::Commodity> coarse_commodities =
+      aggregate_commodities(fine, partition, fine_commodities);
+  report.coarse_commodities = coarse_commodities.size();
+
+  graph::ContractionHierarchy ch;
+  lp::McfOptions global_options = mcf_options;
+  if (options.use_ch) {
+    graph::ChOptions ch_options;
+    ch_options.customizable = true;
+    ch.build(coarse.graph(), ch_options);
+    global_options.ch = &ch;
+  }
+  lp::McfResult global_solution;
+  {
+    const auto start = Clock::now();
+    global_solution =
+        lp::max_concurrent_flow(coarse.graph(), coarse_commodities, global_options);
+    report.global_solve_ms = elapsed_ms(start);
+  }
+  report.lambda_global_nominal = global_solution.lambda;
+  report.global_sp_calls = global_solution.sp_calls;
+
+  // Realize the global solution on the fine graph: inter-region traffic
+  // follows the chosen corridors; intra-region traffic gets the
+  // shortest-path default the refinement step below replaces.
+  std::vector<lp::RoutedDemand> realized_routing;
+  realize_coarse_solution(fine, partition, coarse, global_solution, fine_commodities,
+                          coarse_commodities, &realized_routing);
+
+  // Regional refinement: each region re-solves its intra-region commodities
+  // as an independent MCF on its induced subgraph. Results land in
+  // per-region slots, so assembly below is thread-count independent.
+  std::vector<RegionSubgraph> regions =
+      region_subgraphs(fine, partition, fine_commodities);
+  struct Refinement {
+    std::vector<lp::RoutedDemand> routing;  ///< fine commodity ids, fine edges
+    std::size_t sp_calls = 0;
+    double solve_ms = 0.0;
+  };
+  std::vector<Refinement> refinements(regions.size());
+  const auto refine_region = [&](std::size_t r) {
+    const RegionSubgraph& region = regions[r];
+    if (region.commodities.empty()) return;
+    std::vector<lp::Commodity> local(region.commodities.size());
+    for (std::size_t i = 0; i < region.commodities.size(); ++i) {
+      const lp::Commodity& c = fine_commodities[region.commodities[i]];
+      local[i] = lp::Commodity{region.local_of[c.src], region.local_of[c.dst], c.demand};
+    }
+    const auto start = Clock::now();
+    const lp::McfResult solution = lp::max_concurrent_flow(region.g, local, mcf_options);
+    Refinement& out = refinements[r];
+    out.solve_ms = elapsed_ms(start);
+    out.sp_calls = solution.sp_calls;
+    for (lp::RoutedDemand route : routing_from_mcf(region.g, solution, local)) {
+      route.commodity = region.commodities[route.commodity];
+      for (graph::EdgeId& e : route.edges) e = region.fine_edge_of[e];
+      out.routing.push_back(std::move(route));
+    }
+  };
+  const std::size_t threads =
+      options.threads == 0 ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
+                           : options.threads;
+  if (threads <= 1 || regions.size() <= 1) {
+    for (std::size_t r = 0; r < regions.size(); ++r) refine_region(r);
+  } else {
+    util::ThreadPool pool(threads);
+    pool.parallel_for(0, regions.size(), refine_region);
+  }
+
+  // Assemble the federated routing: refined intra-region routes replace the
+  // realization's shortest-path default; everything else keeps its realized
+  // entries. Emission is by ascending commodity, so the routing — and every
+  // non-timing report field — is deterministic.
+  std::vector<std::vector<lp::RoutedDemand>> by_commodity(fine_commodities.size());
+  for (lp::RoutedDemand& route : realized_routing) {
+    const std::size_t j = route.commodity;
+    by_commodity[j].push_back(std::move(route));
+  }
+  // Each commodity is intra to exactly one region, so refined routes can
+  // collect into one shared per-commodity table without collisions.
+  std::vector<std::vector<lp::RoutedDemand>> refined_by_commodity(fine_commodities.size());
+  for (Refinement& refinement : refinements) {
+    report.refine_sp_calls += refinement.sp_calls;
+    report.refine_solve_ms += refinement.solve_ms;
+    for (lp::RoutedDemand& route : refinement.routing) {
+      refined_by_commodity[route.commodity].push_back(std::move(route));
+    }
+  }
+  for (std::size_t j = 0; j < refined_by_commodity.size(); ++j) {
+    if (refined_by_commodity[j].empty()) continue;  // unroutable locally: keep the fallback
+    ++report.refined_commodities;
+    by_commodity[j] = std::move(refined_by_commodity[j]);
+  }
+  std::vector<lp::RoutedDemand> federated_routing;
+  for (std::size_t j = 0; j < by_commodity.size(); ++j) {
+    for (lp::RoutedDemand& route : by_commodity[j]) {
+      federated_routing.push_back(std::move(route));
+    }
+  }
+
+  const lp::FixedRoutingResult federated =
+      lp::evaluate_fixed_routing(fine.graph(), fine_commodities, federated_routing);
+  report.lambda_federated = federated.lambda;
+  report.admitted_federated_gbps =
+      lp::greedy_admitted_demand(fine.graph(), fine_commodities, federated_routing);
+  report.federated_total_ms = elapsed_ms(federated_start);
+  report.throughput_fidelity =
+      report.admitted_flat_gbps > 0.0
+          ? std::min(1.0, report.admitted_federated_gbps / report.admitted_flat_gbps)
           : 0.0;
   return report;
 }

@@ -95,4 +95,62 @@ std::vector<lp::Commodity> aggregate_commodities(const topology::WanTopology& fi
                                                  const graph::Partition& partition,
                                                  const std::vector<lp::Commodity>& fine_commodities);
 
+// --- Federated TE (DESIGN.md §12) ---
+//
+// The two-level solve the controller federation runs: the global controller
+// optimizes the coarse inter-region graph (the only thing its exports let
+// it see), routed through the customizable contraction hierarchy, while
+// each region re-solves its *intra-region* commodities as an independent
+// MCF on its own subgraph — replacing the realization step's shortest-path
+// default with a real per-region optimization. The regional solves are
+// embarrassingly parallel and fan out over a thread pool; results land in
+// per-region slots, so the report is identical for every thread count.
+
+struct FederatedTeOptions {
+  double epsilon = 0.05;  ///< MCF accuracy, all tiers
+  /// Workers for the per-region refinement fan-out (0 = hardware
+  /// concurrency). Each regional solve runs serially inside its slot.
+  std::size_t threads = 1;
+  /// Route the global coarse solve through a customizable contraction
+  /// hierarchy (graph/ch.h) instead of the flat CSR oracle.
+  bool use_ch = true;
+  /// Also run the flat single-controller solve as the fidelity reference.
+  /// Skipping it leaves the flat/fidelity fields zero.
+  bool solve_flat = true;
+};
+
+struct FederatedTeReport {
+  std::size_t regions = 0;
+  std::size_t fine_commodities = 0;
+  std::size_t coarse_commodities = 0;
+  /// Intra-region commodities the regional refinement solves re-routed.
+  std::size_t refined_commodities = 0;
+  double lambda_flat = 0.0;            ///< single-controller optimum
+  double lambda_global_nominal = 0.0;  ///< optimum as seen on the coarse graph
+  double lambda_federated = 0.0;       ///< federated routing on the fine graph
+  /// Greedily admittable demand under each routing, and their ratio — the
+  /// federation's fidelity gate.
+  double admitted_flat_gbps = 0.0;
+  double admitted_federated_gbps = 0.0;
+  double throughput_fidelity = 0.0;
+  std::size_t flat_sp_calls = 0;
+  std::size_t global_sp_calls = 0;
+  std::size_t refine_sp_calls = 0;
+  double flat_solve_ms = 0.0;
+  double global_solve_ms = 0.0;
+  /// Sum of per-region refinement solve times (CPU view, not wall-clock).
+  double refine_solve_ms = 0.0;
+  /// Wall-clock of the whole federated pipeline (coarsen + global solve +
+  /// realize + refine + assemble), the number gated against flat_solve_ms.
+  double federated_total_ms = 0.0;
+};
+
+/// Runs the federated pipeline. `partition` is the region partition;
+/// `fine_commodities` index into `fine.graph()` node ids. Throws
+/// std::invalid_argument on a partition that does not cover `fine`.
+FederatedTeReport evaluate_federated_te(const topology::WanTopology& fine,
+                                        const graph::Partition& partition,
+                                        const std::vector<lp::Commodity>& fine_commodities,
+                                        const FederatedTeOptions& options = {});
+
 }  // namespace smn::te

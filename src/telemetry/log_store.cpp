@@ -1,10 +1,15 @@
 #include "telemetry/log_store.h"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <charconv>
 #include <cmath>
+#include <cstdio>
 #include <filesystem>
 #include <numeric>
 #include <stdexcept>
+#include <string_view>
 #include <thread>
 
 #include "telemetry/spill_file.h"
@@ -19,6 +24,43 @@ namespace {
 /// reallocation (sparser pairs waste at most one day-sized buffer).
 constexpr std::size_t kSamplesPerDayReserve =
     static_cast<std::size_t>(util::kDay / util::kTelemetryEpoch);
+
+/// Exclusivity guard of a spill directory: one LOCK file per live store.
+constexpr const char* kSpillLockName = "LOCK";
+
+/// Parses one unsigned decimal run of `name` starting at `*pos`, leaving
+/// `*pos` just past it. Returns false when no digits are present.
+bool parse_number(const std::string& name, std::size_t* pos, std::uint64_t* value) {
+  const char* begin = name.data() + *pos;
+  const char* end = name.data() + name.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, *value);
+  if (ec != std::errc{} || ptr == begin) return false;
+  *pos += static_cast<std::size_t>(ptr - begin);
+  return true;
+}
+
+/// Parses a spill filename "shard<s>_day<d>_gen<g>.col". Anything else
+/// (the LOCK file, a leftover .tmp) is not a spill segment.
+bool parse_spill_name(const std::string& name, std::size_t* shard, util::SimTime* day,
+                      std::size_t* gen) {
+  std::size_t pos = 0;
+  std::uint64_t s = 0;
+  std::uint64_t d = 0;
+  std::uint64_t g = 0;
+  const auto expect = [&](std::string_view literal) {
+    if (name.compare(pos, literal.size(), literal) != 0) return false;
+    pos += literal.size();
+    return true;
+  };
+  if (!expect("shard") || !parse_number(name, &pos, &s)) return false;
+  if (!expect("_day") || !parse_number(name, &pos, &d)) return false;
+  if (!expect("_gen") || !parse_number(name, &pos, &g)) return false;
+  if (!expect(".col") || pos != name.size()) return false;
+  *shard = static_cast<std::size_t>(s);
+  *day = static_cast<util::SimTime>(d);
+  *gen = static_cast<std::size_t>(g);
+  return true;
+}
 
 }  // namespace
 
@@ -50,6 +92,80 @@ BandwidthLogStore::BandwidthLogStore(const LogStoreConfig& config)
   }
   threads = std::min(threads, shards_.size());
   if (threads > 1) pool_ = std::make_unique<util::ThreadPool>(threads);
+  // Last, so a failed contract above never leaves a stray lockfile behind.
+  if (spill_enabled()) acquire_spill_lock(config.spill_steal_lock);
+}
+
+BandwidthLogStore::~BandwidthLogStore() {
+  if (holds_spill_lock_) {
+    std::error_code ec;
+    std::filesystem::remove(std::filesystem::path(spill_dir_) / kSpillLockName, ec);
+  }
+}
+
+void BandwidthLogStore::acquire_spill_lock(bool steal) {
+  const std::string lock_path = (std::filesystem::path(spill_dir_) / kSpillLockName).string();
+  std::error_code ec;
+  const bool already_locked = std::filesystem::exists(lock_path, ec);
+  SMN_CHECK(steal || !already_locked,
+            "spill_dir already carries a LOCK file — each spill directory is private to "
+            "one live store; a failover adopter must take it over explicitly via "
+            "LogStoreConfig::spill_steal_lock");
+  std::FILE* f = std::fopen(lock_path.c_str(), "wb");
+  if (f == nullptr) {
+    throw std::invalid_argument("BandwidthLogStore: cannot write lockfile " + lock_path);
+  }
+  const std::string pid = std::to_string(static_cast<long long>(::getpid())) + "\n";
+  const bool ok = std::fwrite(pid.data(), 1, pid.size(), f) == pid.size();
+  if (std::fclose(f) != 0 || !ok) {
+    throw std::invalid_argument("BandwidthLogStore: short write on lockfile " + lock_path);
+  }
+  holds_spill_lock_ = true;
+}
+
+std::size_t BandwidthLogStore::recover_spill_files() {
+  SMN_CHECK(spill_enabled(), "recover_spill_files needs a configured spill_dir");
+  struct FoundFile {
+    std::size_t shard = 0;
+    util::SimTime day = 0;
+    std::size_t gen = 0;
+    std::string path;
+  };
+  std::vector<FoundFile> found;
+  for (const auto& entry : std::filesystem::directory_iterator(spill_dir_)) {
+    if (!entry.is_regular_file()) continue;
+    FoundFile f;
+    const std::string name = entry.path().filename().string();
+    if (!parse_spill_name(name, &f.shard, &f.day, &f.gen)) continue;
+    SMN_CHECK(f.shard < shards_.size(),
+              "spill file names a shard beyond this store's shard count — adopt with the "
+              "dead store's shard configuration (PairId routing depends on it)");
+    f.path = entry.path().string();
+    found.push_back(std::move(f));
+  }
+  // Directory iteration order is filesystem-dependent; generation order is
+  // ingest order and must be reconstructed deterministically.
+  std::sort(found.begin(), found.end(), [](const FoundFile& a, const FoundFile& b) {
+    if (a.shard != b.shard) return a.shard < b.shard;
+    if (a.day != b.day) return a.day < b.day;
+    return a.gen < b.gen;
+  });
+  std::size_t records = 0;
+  for (const FoundFile& f : found) {
+    // Validate up front: a truncated or corrupt file must fail the adoption,
+    // not a later fine_range() merge.
+    const SpilledSegment seg = SpilledSegment::open(f.path, /*verify_checksum=*/true);
+    SMN_CHECK(seg.day() == f.day, "spill filename day disagrees with its header");
+    Shard& shard = shards_[f.shard];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    std::vector<SpillEntry>& generations = shard.spilled[f.day];
+    SMN_CHECK(generations.size() == f.gen,
+              "spill generations are not dense — the cold tier is already populated or a "
+              "generation file is missing");
+    generations.push_back(SpillEntry{f.path, seg.record_count(), seg.file_bytes()});
+    records += seg.record_count();
+  }
+  return records;
 }
 
 std::uint32_t BandwidthLogStore::slot_of(Shard& shard, util::PairId pair) {

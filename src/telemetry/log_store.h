@@ -115,6 +115,13 @@ struct LogStoreConfig {
   /// Costs one pass over the file per map; disable only in benches that
   /// isolate raw map+read cost.
   bool spill_verify_checksum = true;
+  /// Take over a spill directory whose pid lockfile is still present.
+  /// Every store with a spill_dir writes a `LOCK` file on construction and
+  /// SMN_CHECK-fails when one already exists (two live stores writing the
+  /// same directory silently interleave generations). Failover is the one
+  /// legitimate exception: the adopter sets `steal` to claim a dead
+  /// controller's directory and then replays it via recover_spill_files().
+  bool spill_steal_lock = false;
 };
 
 class BandwidthLogStore {
@@ -124,6 +131,12 @@ class BandwidthLogStore {
       : BandwidthLogStore(LogStoreConfig{.streaming_window = streaming_window}) {}
 
   explicit BandwidthLogStore(const LogStoreConfig& config);
+
+  /// Releases the spill-dir lockfile (when this store holds one).
+  ~BandwidthLogStore();
+
+  BandwidthLogStore(const BandwidthLogStore&) = delete;
+  BandwidthLogStore& operator=(const BandwidthLogStore&) = delete;
 
   /// Appends one record into its shard's day segment and open window
   /// accumulator. Thread-safe against concurrent ingest.
@@ -152,6 +165,17 @@ class BandwidthLogStore {
 
   /// True when the cold tier is configured (config.spill_dir non-empty).
   bool spill_enabled() const noexcept { return !spill_dir_.empty(); }
+
+  /// Failover replay: scans `spill_dir` for `shard<s>_day<d>_gen<g>.col`
+  /// files written by a dead store instance and re-registers them in this
+  /// store's cold tier, so fine_range() serves the adopted region's sealed
+  /// state byte-identically. Requires spilling enabled, an empty cold tier
+  /// (fresh store), and the same shard count as the writer — the filename
+  /// carries the shard index, and PairId -> shard routing only matches
+  /// under the same shard count. Every file is opened and validated
+  /// (magic, version, checksum) before registration. Returns the number of
+  /// fine records recovered.
+  std::size_t recover_spill_files();
 
   /// All coarse summaries produced by retention passes so far.
   const CoarseBandwidthLog& coarse() const noexcept { return coarse_; }
@@ -279,10 +303,15 @@ class BandwidthLogStore {
   /// Runs `fn(s)` for every shard, across the pool when it exists.
   void for_each_shard(const std::function<void(std::size_t)>& fn);
 
+  /// Writes the pid lockfile under `spill_dir_` (SMN_CHECK-fails on a
+  /// pre-existing lock unless `steal`).
+  void acquire_spill_lock(bool steal);
+
   util::SimTime window_;
   double drift_alpha_;
   std::string spill_dir_;                  ///< empty = cold tier disabled
   bool spill_verify_checksum_;
+  bool holds_spill_lock_ = false;          ///< this store wrote the LOCK file
   std::vector<Shard> shards_;              ///< sized at construction, never resized
   std::unique_ptr<util::ThreadPool> pool_; ///< null when resolved threads <= 1
   CoarseBandwidthLog coarse_;

@@ -31,21 +31,10 @@ struct SpillHeader {
 };
 static_assert(sizeof(SpillHeader) == kHeaderBytes, "header layout drifted");
 
-std::uint64_t fnv1a(std::uint64_t hash, const void* data, std::size_t bytes) {
-  const auto* p = static_cast<const unsigned char*>(data);
-  for (std::size_t i = 0; i < bytes; ++i) {
-    hash ^= p[i];
-    hash *= 1099511628211ull;
-  }
-  return hash;
-}
-
-constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
-
 std::uint64_t column_checksum(std::span<const util::SimTime> timestamps,
                               std::span<const double> bandwidths,
                               std::span<const util::PairId> pairs) {
-  std::uint64_t h = kFnvOffset;
+  std::uint64_t h = kFnvOffsetBasis;
   h = fnv1a(h, timestamps.data(), timestamps.size_bytes());
   h = fnv1a(h, bandwidths.data(), bandwidths.size_bytes());
   h = fnv1a(h, pairs.data(), pairs.size_bytes());
@@ -57,6 +46,15 @@ std::uint64_t column_checksum(std::span<const util::SimTime> timestamps,
 }
 
 }  // namespace
+
+std::uint64_t fnv1a(std::uint64_t hash, const void* data, std::size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    hash ^= p[i];
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
 
 std::size_t write_spill_file(const std::string& path, util::SimTime day,
                              std::span<const util::SimTime> timestamps,

@@ -21,6 +21,7 @@
 // never leaves a half-file behind under the spill directory.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -30,6 +31,14 @@
 #include "util/sim_time.h"
 
 namespace smn::telemetry {
+
+/// FNV-1a 64 offset basis — the seed for chained fnv1a() calls.
+inline constexpr std::uint64_t kFnvOffsetBasis = 14695981039346656037ull;
+
+/// FNV-1a 64 over `bytes`, folded into `hash` (chain ranges by passing the
+/// previous result). Shared by the spill files and the federation
+/// CoarseExport wire format, which reuses these header conventions.
+std::uint64_t fnv1a(std::uint64_t hash, const void* data, std::size_t bytes);
 
 /// Serializes one day segment's columns to `path` (atomically, via
 /// `path + ".tmp"` and rename). All three spans must have equal length.

@@ -72,6 +72,12 @@ const std::string& continent_key(const Datacenter& dc) { return dc.continent; }
 
 }  // namespace
 
+const std::string* WanTopology::region_of_dc(util::DcId dc) const {
+  const auto node = node_of(dc);
+  if (!node) return nullptr;
+  return &dcs_[*node].region;
+}
+
 graph::Partition WanTopology::region_partition() const {
   return partition_by(*this, &region_key);
 }

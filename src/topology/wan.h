@@ -74,6 +74,12 @@ class WanTopology {
     return node_of_dc_[dc];
   }
 
+  /// Region name of the datacenter carrying interned id `dc`, or nullptr
+  /// when this WAN has no such datacenter. The federation's ownership test:
+  /// a RegionController owns a pair iff its source resolves to the
+  /// controller's region.
+  const std::string* region_of_dc(util::DcId dc) const;
+
   /// Logical link index owning directed edge `e`.
   std::size_t link_of_edge(graph::EdgeId e) const { return link_of_edge_.at(e); }
 

@@ -6,6 +6,7 @@
 #include "optical/optical.h"
 #include "smn/war_stories.h"
 #include "topology/wan_generator.h"
+#include "util/contracts.h"
 
 namespace smn::smn {
 namespace {
@@ -263,6 +264,19 @@ TEST(WarStories, DatabaseAlertStorm) {
   EXPECT_TRUE(report.smn_improved) << report.siloed_outcome << " | " << report.smn_outcome;
   EXPECT_GT(report.siloed_cost, 1.0);  // several siloed incidents
   EXPECT_EQ(report.smn_cost, 1.0);     // one SMN incident
+}
+
+TEST(SmnConfigValidation, RejectsNonPositiveLoopPeriods) {
+  // Validation runs from config_'s initializer, so a bad config fails
+  // before the expensive members (data lake, CLTO training) construct.
+  const util::ScopedContractMode scoped(util::ContractMode::kThrow);
+  World& w = world();
+  SmnConfig zero;
+  zero.telemetry_loop_period = 0;
+  EXPECT_THROW(SmnController(w.sg, w.wan, zero), util::ContractViolation);
+  SmnConfig negative;
+  negative.planning_loop_period = -util::kHour;
+  EXPECT_THROW(SmnController(w.sg, w.wan, negative), util::ContractViolation);
 }
 
 TEST(WarStories, RunAllReturnsFour) {

@@ -404,6 +404,74 @@ TEST(SmnLintSuppression, DistantAllowDoesNotLeak) {
   ASSERT_EQ(report.findings.size(), 1u);
 }
 
+// --------------------------------------------- R6 contract-coverage --
+
+TEST(SmnLintR6, FlagsEntryPointWithoutContract) {
+  const auto report = lint("src/smn/query.cpp",
+                           "int parse(const char* s) {\n"
+                           "  int v = atoi(s);\n"
+                           "  v += 1;\n"
+                           "  return v;\n"
+                           "}\n");
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].rule, "contract-coverage");
+  EXPECT_EQ(report.findings[0].line, 1);
+}
+
+TEST(SmnLintR6, AnyContractMacroSatisfies) {
+  for (const char* macro : {"SMN_CHECK(v >= 0, \"m\")", "SMN_DCHECK(v >= 0, \"m\")",
+                            "SMN_UNREACHABLE(\"m\")"}) {
+    const auto report = lint("src/smn/query.cpp", std::string("int parse(const char* s) {\n"
+                                                              "  int v = atoi(s);\n  ") +
+                                                      macro + ";\n  return v;\n}\n");
+    EXPECT_TRUE(report.findings.empty()) << macro;
+  }
+}
+
+TEST(SmnLintR6, TrivialBodiesAndAnonymousNamespaceExempt) {
+  // One-statement forwarder: too small to need a contract.
+  EXPECT_TRUE(lint("src/smn/query.cpp", "int id(int v) { return v; }\n").findings.empty());
+  // Anonymous-namespace helper: internal, callers validated already.
+  EXPECT_TRUE(lint("src/smn/query.cpp",
+                   "namespace {\n"
+                   "int helper(int v) {\n  int w = v * 2;\n  w += 1;\n  return w;\n}\n"
+                   "}  // namespace\n")
+                  .findings.empty());
+}
+
+TEST(SmnLintR6, ConstructorWithInitListIsAnEntryPoint) {
+  const auto report = lint("src/smn/query.cpp",
+                           "Query::Query(int begin, int end)\n"
+                           "    : begin_(begin), end_(end) {\n"
+                           "  span_ = end - begin;\n"
+                           "  ready_ = true;\n"
+                           "}\n");
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].rule, "contract-coverage");
+}
+
+TEST(SmnLintR6, OnlyContractSurfacePathsChecked) {
+  const auto report = lint("src/smn/smn_controller.cpp",
+                           "int parse(const char* s) {\n"
+                           "  int v = atoi(s);\n"
+                           "  v += 1;\n"
+                           "  return v;\n"
+                           "}\n");
+  EXPECT_FALSE(has_rule(report, "contract-coverage"));
+}
+
+TEST(SmnLintR6, SuppressionApplies) {
+  const auto report = lint("src/smn/query.cpp",
+                           "// smn-lint: allow(contract-coverage)\n"
+                           "int parse(const char* s) {\n"
+                           "  int v = atoi(s);\n"
+                           "  v += 1;\n"
+                           "  return v;\n"
+                           "}\n");
+  EXPECT_TRUE(report.findings.empty());
+  EXPECT_EQ(report.suppressed.size(), 1u);
+}
+
 // ------------------------------------------------------- classification --
 
 TEST(SmnLintClassify, PrefixesDriveRuleFamilies) {
@@ -415,6 +483,10 @@ TEST(SmnLintClassify, PrefixesDriveRuleFamilies) {
   EXPECT_TRUE(smn::lint::classify("src/graph/scc.cpp", config).solver);
   EXPECT_FALSE(smn::lint::classify("src/smn/query.cpp", config).hot_path);
   EXPECT_TRUE(smn::lint::classify("src/telemetry/bandwidth_log.cpp", config).shim_exempt);
+  // R6 applies to exact contract-surface paths, not the whole directory.
+  EXPECT_TRUE(smn::lint::classify("src/smn/query.cpp", config).contract_surface);
+  EXPECT_TRUE(smn::lint::classify("src/smn/coarse_export.cpp", config).contract_surface);
+  EXPECT_FALSE(smn::lint::classify("src/smn/smn_controller.cpp", config).contract_surface);
 }
 
 }  // namespace

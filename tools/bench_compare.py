@@ -132,6 +132,29 @@ POLICIES: dict[str, dict[str, list]] = {
             ("cold_read.resident_day_records_per_s", "cold_read.resident_day_ms"),
         ],
     },
+    "BENCH_federation.json": {
+        "exact": [
+            "instance.dcs",
+            "instance.links",
+            "instance.regions",
+            "instance.pairs",
+            "te.lambda_flat",
+            "te.lambda_federated",
+            "te.flat_sp_calls",
+            "te.global_sp_calls",
+            "te.refine_sp_calls",
+            "te.coarse_commodities",
+            "te.refined_commodities",
+            "merge.summaries",
+            "failover.recovered_records",
+            "fidelity.fidelity_ok",
+            "fidelity.wallclock_ok",
+            "fidelity.merge_identical",
+            "fidelity.replay_identical",
+            "fidelity.deterministic",
+        ],
+        "ratio": [],
+    },
 }
 
 FLOAT_EPS = 1e-9

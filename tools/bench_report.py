@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Render bench/trends.csv as a human-readable markdown report.
+
+The trend CSV (appended per merge by tools/bench_trend.py from the
+bench-trend CI job) is the plottable history of every gated bench key. This
+script turns it into a markdown summary — one section per bench, one table
+row per gated key with the latest value, the previous value, the relative
+change, and how many commits of history back the key — so drift is visible
+from the repo without loading the CSV into anything.
+
+Numeric deltas are only meaningful for counters and throughput; boolean
+fidelity keys render as pass/fail streaks instead. Keys whose latest value
+differs from the previous one are flagged with `**changed**` — on a gated
+key that should only ever coincide with an intentional baseline refresh.
+
+Usage:
+    tools/bench_report.py --csv bench/trends.csv --out bench/TRENDS.md
+
+Exits nonzero only on a malformed CSV; an empty history still writes a
+valid (stub) report so the CI commit step stays unconditional.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import pathlib
+import sys
+
+
+def parse_value(cell: str):
+    """CSV cells back to typed values: bool, int, float, else string."""
+    if cell == "true":
+        return True
+    if cell == "false":
+        return False
+    try:
+        return int(cell)
+    except ValueError:
+        pass
+    try:
+        return float(cell)
+    except ValueError:
+        return cell
+
+
+def fmt(value) -> str:
+    if isinstance(value, bool):
+        return "pass" if value else "FAIL"
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def delta_cell(latest, previous) -> str:
+    if previous is None:
+        return "—"
+    if isinstance(latest, bool) or isinstance(previous, bool):
+        return "—" if latest == previous else "**changed**"
+    if isinstance(latest, (int, float)) and isinstance(previous, (int, float)):
+        if latest == previous:
+            return "0%"
+        if previous == 0:
+            return "**changed**"
+        return f"**{100.0 * (latest - previous) / previous:+.2f}%**"
+    return "—" if latest == previous else "**changed**"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--csv", required=True, type=pathlib.Path,
+                        help="trend CSV (header: commit,utc,bench,key,value)")
+    parser.add_argument("--out", required=True, type=pathlib.Path,
+                        help="markdown file to write")
+    args = parser.parse_args()
+
+    # (bench, key) -> chronological [(commit, utc, value)]; CSV rows are
+    # append-only so file order is history order.
+    history: dict[tuple[str, str], list[tuple[str, str, object]]] = {}
+    last_commit, last_utc = None, None
+    if args.csv.exists():
+        with args.csv.open(newline="") as f:
+            reader = csv.reader(f)
+            header = next(reader, None)
+            if header is not None and header != ["commit", "utc", "bench", "key", "value"]:
+                print(f"error: unexpected CSV header {header!r}", file=sys.stderr)
+                return 1
+            for row in reader:
+                if not row:
+                    continue
+                if len(row) != 5:
+                    print(f"error: malformed CSV row {row!r}", file=sys.stderr)
+                    return 1
+                commit, utc, bench, key, cell = row
+                history.setdefault((bench, key), []).append((commit, utc, parse_value(cell)))
+                last_commit, last_utc = commit, utc
+
+    lines = ["# Bench trends", ""]
+    if not history:
+        lines += ["No trend history yet: bench/trends.csv has no data rows.",
+                  "The bench-trend CI job appends one per gated key on every push to main.", ""]
+    else:
+        lines += [f"Latest commit: `{last_commit[:12]}` at {last_utc}.",
+                  "One table per bench; each gated key shows its latest value, the previous",
+                  "commit's value, the relative change, and the depth of recorded history.", ""]
+        benches = sorted({bench for bench, _ in history})
+        for bench in benches:
+            lines += [f"## {bench}", "",
+                      "| key | latest | previous | delta | commits |",
+                      "| --- | --- | --- | --- | --- |"]
+            for (b, key), entries in sorted(history.items()):
+                if b != bench:
+                    continue
+                latest = entries[-1][2]
+                previous = entries[-2][2] if len(entries) >= 2 else None
+                previous_cell = fmt(previous) if len(entries) >= 2 else "—"
+                lines.append(f"| `{key}` | {fmt(latest)} | {previous_cell} | "
+                             f"{delta_cell(latest, previous)} | {len(entries)} |")
+            lines.append("")
+
+    args.out.write_text("\n".join(lines) + "\n")
+    print(f"wrote {args.out} ({len(history)} tracked key(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,32 @@
+// smn_lint self-test fixture: seeded R6 contract-coverage violation. The
+// path src/smn/query.cpp is on the default contract-surface list, so the
+// linter requires every non-trivial namespace-scope function here to carry
+// an SMN_CHECK / SMN_DCHECK / SMN_UNREACHABLE. The `smn_lint_seeded_contract`
+// ctest lints exactly this file and asserts a non-zero exit (WILL_FAIL).
+// Never compiled.
+#include <cstddef>
+#include <vector>
+
+namespace smn::fixture {
+namespace {
+
+// Anonymous-namespace helper: exempt from R6 even though it validates
+// nothing — internal callers already sanitized the input.
+std::size_t clamp_width(std::size_t width) {
+  if (width > 64) width = 64;
+  return width;
+}
+
+}  // namespace
+
+// contract-coverage: entry point parses caller-supplied bounds with no
+// SMN_CHECK anywhere in the body.
+std::vector<std::size_t> window_offsets(std::size_t begin, std::size_t end,
+                                        std::size_t width) {
+  std::vector<std::size_t> offsets;
+  const std::size_t step = clamp_width(width);
+  for (std::size_t at = begin; at < end; at += step) offsets.push_back(at);
+  return offsets;
+}
+
+}  // namespace smn::fixture

@@ -1,0 +1,35 @@
+// smn_lint self-test fixture: the R6 constructs from query.cpp written
+// compliantly or explicitly suppressed. The path src/smn/query.h is on the
+// default contract-surface list; the `smn_lint_fixture_clean` ctest asserts
+// this file lints clean. Never compiled.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#define SMN_CHECK(cond, msg) ((void)(cond))
+
+namespace smn::fixture {
+
+// Trivial forwarder (one statement): exempt without a contract.
+inline std::size_t identity(std::size_t value) { return value; }
+
+// Compliant entry point: validates its inputs before acting on them.
+inline std::vector<std::size_t> window_offsets(std::size_t begin, std::size_t end,
+                                               std::size_t width) {
+  SMN_CHECK(begin <= end, "inverted range");
+  SMN_CHECK(width > 0, "zero stride would loop forever");
+  std::vector<std::size_t> offsets;
+  for (std::size_t at = begin; at < end; at += width) offsets.push_back(at);
+  return offsets;
+}
+
+// Bounds established by the single caller; contract elided deliberately.
+// smn-lint: allow(contract-coverage)
+inline std::size_t sum_to(std::size_t n) {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) total += i;
+  return total;
+}
+
+}  // namespace smn::fixture

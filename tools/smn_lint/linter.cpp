@@ -24,6 +24,9 @@ FileClass classify(const std::string& rel_path, const LintConfig& config) {
   for (const std::string& shim : config.shim_exempt_paths) {
     if (rel_path == shim) cls.shim_exempt = true;
   }
+  for (const std::string& surface : config.contract_surface_paths) {
+    if (rel_path == surface) cls.contract_surface = true;
+  }
   return cls;
 }
 

@@ -27,6 +27,14 @@ struct LintConfig {
   /// Designated string-API shim files, exempt from hot-path-strings (R1).
   std::vector<std::string> shim_exempt_paths{"src/telemetry/bandwidth_log.h",
                                              "src/telemetry/bandwidth_log.cpp"};
+  /// Contract-surface files (exact root-relative paths): every non-trivial
+  /// namespace-scope function must carry an SMN_CHECK / SMN_DCHECK /
+  /// SMN_UNREACHABLE (R6). These are the boundaries where unvalidated input
+  /// enters the system — the CLDS query API and the federation's
+  /// export/ingest surfaces.
+  std::vector<std::string> contract_surface_paths{
+      "src/smn/query.h", "src/smn/query.cpp", "src/smn/coarse_export.cpp",
+      "src/smn/region_controller.cpp", "src/smn/global_controller.cpp"};
 };
 
 FileClass classify(const std::string& rel_path, const LintConfig& config);

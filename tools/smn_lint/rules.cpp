@@ -465,6 +465,117 @@ void check_header_hygiene(const SourceFile& file, const FileClass& cls,
   }
 }
 
+void check_contract_coverage(const SourceFile& file, const FileClass& cls,
+                             std::vector<Finding>& out) {
+  if (!cls.contract_surface) return;
+  const auto& toks = file.tokens;
+
+  // Anonymous-namespace ranges: helpers there are not entry points.
+  std::vector<std::pair<std::size_t, std::size_t>> anon;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].is_ident("namespace") && toks[i + 1].is_punct("{")) {
+      anon.emplace_back(i + 1, find_matching(toks, i + 1, "{", "}"));
+    }
+  }
+  const auto in_anon = [&](std::size_t j) {
+    for (const auto& [b, e] : anon) {
+      if (j > b && j < e) return true;
+    }
+    return false;
+  };
+
+  const std::set<std::string, std::less<>> kNotFunctionNames{
+      "if",     "for",   "while",    "switch",        "catch",   "return",
+      "sizeof", "new",   "delete",   "static_assert", "alignof", "decltype",
+      "assert", "defined"};
+  const std::set<std::string, std::less<>> kContractMacros{"SMN_CHECK", "SMN_DCHECK",
+                                                           "SMN_UNREACHABLE"};
+
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != Token::Kind::kIdentifier || !toks[i + 1].is_punct("(")) continue;
+    if (in_anon(i) || kNotFunctionNames.count(toks[i].text) > 0 ||
+        kContractMacros.count(toks[i].text) > 0) {
+      continue;
+    }
+    // Member-access calls are never definitions; qualified definitions
+    // (Foo::bar) keep their '::' and pass.
+    if (i > 0 && (toks[i - 1].is_punct(".") || toks[i - 1].is_punct("->"))) continue;
+    const std::size_t name = i;
+    const std::size_t params_close = find_matching(toks, i + 1, "(", ")");
+    if (params_close >= toks.size()) break;
+
+    // Walk from the parameter list to the body '{': skip qualifiers and a
+    // constructor init list (`: member(...)` / `: member{...}` groups). A
+    // ';' or '=' first means declaration / `= default`, not a definition;
+    // anything else unexpected (trailing return, templates) is skipped
+    // conservatively — the rule under-reports rather than misfires.
+    std::size_t j = params_close + 1;
+    bool is_definition = false;
+    while (j < toks.size()) {
+      const Token& t = toks[j];
+      if (t.is_punct("{")) {
+        is_definition = true;
+        break;
+      }
+      if (t.is_ident("const") || t.is_ident("noexcept") || t.is_ident("override") ||
+          t.is_ident("final")) {
+        ++j;
+        continue;
+      }
+      if (t.is_punct(":")) {
+        ++j;
+        bool list_ok = true;
+        while (j < toks.size()) {
+          if (toks[j].kind != Token::Kind::kIdentifier) {
+            list_ok = false;
+            break;
+          }
+          ++j;  // member name
+          if (j >= toks.size()) {
+            list_ok = false;
+            break;
+          }
+          if (toks[j].is_punct("(")) {
+            j = find_matching(toks, j, "(", ")") + 1;
+          } else if (toks[j].is_punct("{")) {
+            j = find_matching(toks, j, "{", "}") + 1;
+          } else {
+            list_ok = false;
+            break;
+          }
+          if (j < toks.size() && toks[j].is_punct(",")) {
+            ++j;
+            continue;
+          }
+          break;
+        }
+        if (!list_ok) break;
+        continue;  // expect the body '{' next
+      }
+      break;
+    }
+    if (!is_definition) continue;
+    const std::size_t body_end = find_matching(toks, j, "{", "}");
+    if (body_end >= toks.size()) break;
+
+    std::size_t statements = 0;
+    bool has_contract = false;
+    for (std::size_t k = j + 1; k < body_end; ++k) {
+      if (toks[k].is_punct(";")) ++statements;
+      if (toks[k].kind == Token::Kind::kIdentifier && kContractMacros.count(toks[k].text) > 0) {
+        has_contract = true;
+      }
+    }
+    if (statements >= 2 && !has_contract) {
+      out.push_back({"contract-coverage", file.path, toks[name].line,
+                     "entry point '" + toks[name].text +
+                         "' in a contract-surface file has no SMN_CHECK / SMN_DCHECK / "
+                         "SMN_UNREACHABLE; validate its inputs or add an explicit allow"});
+    }
+    i = body_end;  // resume past the body; no namespace-scope definitions inside
+  }
+}
+
 std::vector<Finding> check_all(const SourceFile& file, const FileClass& cls) {
   std::vector<Finding> out;
   check_hot_path_strings(file, cls, out);
@@ -472,6 +583,7 @@ std::vector<Finding> check_all(const SourceFile& file, const FileClass& cls) {
   check_alloc_in_loop(file, cls, out);
   check_lock_hygiene(file, cls, out);
   check_header_hygiene(file, cls, out);
+  check_contract_coverage(file, cls, out);
   std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
     if (a.line != b.line) return a.line < b.line;
     return a.rule < b.rule;

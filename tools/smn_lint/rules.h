@@ -1,4 +1,4 @@
-// The five project-invariant rule families smn_lint enforces, as named in
+// The six project-invariant rule families smn_lint enforces, as named in
 // ISSUE/DESIGN §8:
 //
 //   R1 hot-path-strings   — no std::string-keyed associative containers and
@@ -30,6 +30,14 @@
 //                           out of the loop and clear() per iteration
 //                           (references, iterators, pointers to containers,
 //                           and static/thread_local declarations are fine).
+//   R6 contract-coverage  — designated contract-surface files (the CLDS
+//                           query API, the federation export/ingest
+//                           surfaces) are where unvalidated input enters
+//                           the system: every non-trivial namespace-scope
+//                           function defined there must contain at least
+//                           one SMN_CHECK / SMN_DCHECK / SMN_UNREACHABLE.
+//                           Anonymous-namespace helpers and trivial bodies
+//                           (fewer than two statements) are exempt.
 //
 // Every finding is suppressible with `// smn-lint: allow(<rule>)` on the
 // same line or the line directly above (see linter.h).
@@ -56,6 +64,7 @@ struct FileClass {
   bool hot_path = false;    ///< R1 + R4 banned includes
   bool solver = false;      ///< R2 + R5 + R4 banned includes
   bool shim_exempt = false; ///< designated string-shim file: R1 skipped
+  bool contract_surface = false; ///< R6 contract coverage enforced
 };
 
 void check_hot_path_strings(const SourceFile& file, const FileClass& cls,
@@ -68,6 +77,8 @@ void check_lock_hygiene(const SourceFile& file, const FileClass& cls,
                         std::vector<Finding>& out);
 void check_header_hygiene(const SourceFile& file, const FileClass& cls,
                           std::vector<Finding>& out);
+void check_contract_coverage(const SourceFile& file, const FileClass& cls,
+                             std::vector<Finding>& out);
 
 /// Runs all rule families (pre-suppression).
 std::vector<Finding> check_all(const SourceFile& file, const FileClass& cls);
