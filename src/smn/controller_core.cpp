@@ -88,18 +88,24 @@ telemetry::DriftReport ControllerCore::check_demand_drift(
   mib.set_gauge(scope_, "bw_drift_deviation_gbps", report.deviation_gbps);
   mib.set_gauge(scope_, "bw_drift_baseline_gbps", report.baseline_gbps);
   if (!report.has_baseline) return report;
-  if (!drift_armed_) {
-    // Hysteresis: stay disarmed until drift settles below the rearm
-    // threshold, so one excursion fires exactly one early solve.
-    if (report.level < config_.drift_rearm_threshold) drift_armed_ = true;
-    return report;
+  bool fire = false;
+  {
+    const std::lock_guard<std::mutex> lock(drift_mutex_);
+    if (!drift_armed_) {
+      // Hysteresis: stay disarmed until drift settles below the rearm
+      // threshold, so one excursion fires exactly one early solve.
+      if (report.level < config_.drift_rearm_threshold) drift_armed_ = true;
+    } else if (report.level >= config_.drift_resolve_threshold &&
+               !(last_te_solve_ &&
+                 now - *last_te_solve_ < config_.drift_min_resolve_interval)) {
+      drift_armed_ = false;
+      ++early_te_resolves_;
+      fire = true;
+    }
   }
-  if (report.level < config_.drift_resolve_threshold) return report;
-  if (last_te_solve_ && now - *last_te_solve_ < config_.drift_min_resolve_interval) {
-    return report;
-  }
-  drift_armed_ = false;
-  ++early_te_resolves_;
+  if (!fire) return report;
+  // Outside the critical section: the TE solve calls back into
+  // note_te_solve, which takes drift_mutex_ itself.
   mib.increment_counter(scope_, "early_te_resolves");
   if (resolve) resolve(now);
   return report;

@@ -10,12 +10,14 @@
 
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <optional>
 #include <string>
 
 #include "smn/control_plane.h"
 #include "telemetry/log_store.h"
 #include "util/sim_time.h"
+#include "util/thread_annotations.h"
 
 namespace smn::smn {
 
@@ -69,25 +71,37 @@ class ControllerCore {
   /// Drift-watch pass: publishes drift gauges and calls `resolve(now)` (an
   /// early TE re-solve) when aggregate drift crosses the resolve threshold,
   /// subject to hysteresis and the min-interval guard. Returns the report
-  /// it acted on.
+  /// it acted on. `resolve` runs with no core lock held, so it may call
+  /// back into note_te_solve.
   telemetry::DriftReport check_demand_drift(
-      util::SimTime now, Mib& mib, const std::function<void(util::SimTime)>& resolve);
+      util::SimTime now, Mib& mib,
+      const std::function<void(util::SimTime)>& resolve) SMN_EXCLUDES(drift_mutex_);
 
   /// Records that a TE solve happened at `now` (arms the min-interval
   /// guard). Callers invoke this from their capacity-planning pass.
-  void note_te_solve(util::SimTime now) { last_te_solve_ = now; }
+  void note_te_solve(util::SimTime now) SMN_EXCLUDES(drift_mutex_) {
+    const std::lock_guard<std::mutex> lock(drift_mutex_);
+    last_te_solve_ = now;
+  }
 
-  std::uint64_t early_te_resolves() const noexcept { return early_te_resolves_; }
+  std::uint64_t early_te_resolves() const SMN_EXCLUDES(drift_mutex_) {
+    const std::lock_guard<std::mutex> lock(drift_mutex_);
+    return early_te_resolves_;
+  }
 
  private:
   CoreConfig config_;
   std::string scope_;
   telemetry::BandwidthLogStore store_;
+  /// Serializes the drift-trigger state machine against concurrent
+  /// drift-watch ticks and TE solves (the store locks its own shards; this
+  /// mutex covers only the hysteresis state below).
+  mutable std::mutex drift_mutex_;
   /// Drift-trigger state machine: armed -> fire (disarm) -> re-arm when
   /// drift falls below the rearm threshold after the next solve.
-  bool drift_armed_ = true;
-  std::optional<util::SimTime> last_te_solve_;
-  std::uint64_t early_te_resolves_ = 0;
+  bool drift_armed_ SMN_GUARDED_BY(drift_mutex_) = true;
+  std::optional<util::SimTime> last_te_solve_ SMN_GUARDED_BY(drift_mutex_);
+  std::uint64_t early_te_resolves_ SMN_GUARDED_BY(drift_mutex_) = 0;
 };
 
 }  // namespace smn::smn

@@ -1,6 +1,7 @@
 #include "smn/data_lake.h"
 
 #include <algorithm>
+#include <mutex>
 #include <stdexcept>
 
 namespace smn::smn {
@@ -18,10 +19,12 @@ void DataLake::ingest(const std::string& dataset, Record record) {
       }
     }
   }
+  const std::unique_lock<std::shared_mutex> lock(lake_mutex_);
   stores_[dataset].records.push_back(std::move(record));
 }
 
 std::size_t DataLake::record_count(const std::string& dataset) const {
+  const std::shared_lock<std::shared_mutex> lock(lake_mutex_);
   const auto it = stores_.find(dataset);
   return it == stores_.end() ? 0 : it->second.records.size();
 }
@@ -29,6 +32,13 @@ std::size_t DataLake::record_count(const std::string& dataset) const {
 std::vector<Record> DataLake::query(const std::string& dataset, const std::string& team,
                                     util::SimTime begin, util::SimTime end,
                                     const std::function<bool(const Record&)>& filter) const {
+  const std::shared_lock<std::shared_mutex> lock(lake_mutex_);
+  return query_locked(dataset, team, begin, end, filter);
+}
+
+std::vector<Record> DataLake::query_locked(const std::string& dataset, const std::string& team,
+                                           util::SimTime begin, util::SimTime end,
+                                           const std::function<bool(const Record&)>& filter) const {
   const DatasetInfo* info = catalog_.find(dataset);
   if (info == nullptr) {
     throw std::invalid_argument("DataLake::query: unknown dataset: " + dataset);
@@ -51,8 +61,9 @@ std::vector<Record> DataLake::query(const std::string& dataset, const std::strin
 std::vector<Record> DataLake::query_by_type(DataType type, const std::string& team,
                                             util::SimTime begin, util::SimTime end) const {
   std::vector<Record> out;
+  const std::shared_lock<std::shared_mutex> lock(lake_mutex_);
   for (const DatasetInfo& info : catalog_.discover(type, team)) {
-    auto records = query(info.name, team, begin, end);
+    auto records = query_locked(info.name, team, begin, end, {});
     for (Record& r : records) {
       r.tags["__dataset"] = info.name;
       out.push_back(std::move(r));
@@ -64,6 +75,7 @@ std::vector<Record> DataLake::query_by_type(DataType type, const std::string& te
 }
 
 std::size_t DataLake::apply_retention(util::SimTime now, const RetentionPolicy& policy) {
+  const std::unique_lock<std::shared_mutex> lock(lake_mutex_);
   std::size_t retired = 0;
   for (auto& [name, store] : stores_) {
     std::vector<Record> kept;
@@ -117,11 +129,13 @@ std::size_t DataLake::apply_retention(util::SimTime now, const RetentionPolicy& 
 }
 
 std::vector<AgedSummary> DataLake::summaries(const std::string& dataset) const {
+  const std::shared_lock<std::shared_mutex> lock(lake_mutex_);
   const auto it = stores_.find(dataset);
   return it == stores_.end() ? std::vector<AgedSummary>{} : it->second.aged;
 }
 
 LakeStats DataLake::stats() const {
+  const std::shared_lock<std::shared_mutex> lock(lake_mutex_);
   LakeStats s;
   for (const auto& [_, store] : stores_) {
     s.raw_records += store.records.size();

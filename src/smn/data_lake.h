@@ -15,12 +15,14 @@
 
 #include <functional>
 #include <map>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "smn/catalog.h"
 #include "smn/record.h"
 #include "util/rng.h"
+#include "util/thread_annotations.h"
 
 namespace smn::smn {
 
@@ -59,10 +61,27 @@ struct LakeStats {
 
 /// One team's view of a query result; access is checked against the
 /// catalog entry's reader set.
+///
+/// Thread-safety: the store is a reader/writer surface — queries from many
+/// teams serve concurrently under a shared lock while ingest and retention
+/// take it exclusively. The catalog and the strict-schema flag are
+/// configure-phase state (set before serving starts) and stay outside the
+/// lock.
 class DataLake {
  public:
   explicit DataLake(DataCatalog catalog = {}, std::uint64_t seed = 99)
       : catalog_(std::move(catalog)), rng_(seed) {}
+
+  /// Move is a configure-phase operation (populate a lake, then hand it to
+  /// the serving phase): the source must be quiescent — a move cannot take
+  /// both objects' locks coherently, so no checker can prove it safe.
+  /// smn-lint: allow(lock-discipline)
+  DataLake(DataLake&& other) noexcept SMN_NO_THREAD_SAFETY_ANALYSIS
+      : catalog_(std::move(other.catalog_)),
+        stores_(std::move(other.stores_)),
+        rng_(std::move(other.rng_)),
+        strict_schema_(other.strict_schema_) {}
+  DataLake& operator=(DataLake&&) = delete;
 
   DataCatalog& catalog() noexcept { return catalog_; }
   const DataCatalog& catalog() const noexcept { return catalog_; }
@@ -71,7 +90,7 @@ class DataLake {
   /// the catalog (uniform-schema discipline); throws std::invalid_argument
   /// otherwise. In strict-schema mode, numeric fields not declared in the
   /// dataset's schema are also rejected.
-  void ingest(const std::string& dataset, Record record);
+  void ingest(const std::string& dataset, Record record) SMN_EXCLUDES(lake_mutex_);
 
   /// Enables/disables strict schema validation on ingest (§6's "uniform
   /// schema" requirement enforced, not just documented). Off by default so
@@ -80,29 +99,33 @@ class DataLake {
   bool strict_schema() const noexcept { return strict_schema_; }
 
   /// Number of raw records in `dataset`.
-  std::size_t record_count(const std::string& dataset) const;
+  std::size_t record_count(const std::string& dataset) const SMN_EXCLUDES(lake_mutex_);
 
   /// Query raw records of `dataset` in [begin, end) as `team`. Throws
   /// std::invalid_argument for unknown datasets and std::runtime_error on
   /// ACL violation. `filter` (optional) keeps records it returns true for.
   std::vector<Record> query(const std::string& dataset, const std::string& team,
                             util::SimTime begin, util::SimTime end,
-                            const std::function<bool(const Record&)>& filter = {}) const;
+                            const std::function<bool(const Record&)>& filter = {}) const
+      SMN_EXCLUDES(lake_mutex_);
 
   /// Cross-dataset correlation: all records of any dataset of `type`
   /// readable by `team` in [begin, end), tagged with their dataset name in
   /// tag "__dataset". The SMN's "sift across teams" primitive.
   std::vector<Record> query_by_type(DataType type, const std::string& team,
-                                    util::SimTime begin, util::SimTime end) const;
+                                    util::SimTime begin, util::SimTime end) const
+      SMN_EXCLUDES(lake_mutex_);
 
   /// Applies `policy` to every dataset at time `now`. Returns the number
   /// of raw records retired (summarized, sampled away, or dropped).
-  std::size_t apply_retention(util::SimTime now, const RetentionPolicy& policy);
+  std::size_t apply_retention(util::SimTime now, const RetentionPolicy& policy)
+      SMN_EXCLUDES(lake_mutex_);
 
   /// Aged summaries of `dataset` (post-retention history).
-  std::vector<AgedSummary> summaries(const std::string& dataset) const;
+  std::vector<AgedSummary> summaries(const std::string& dataset) const
+      SMN_EXCLUDES(lake_mutex_);
 
-  LakeStats stats() const;
+  LakeStats stats() const SMN_EXCLUDES(lake_mutex_);
 
  private:
   struct DatasetStore {
@@ -112,9 +135,20 @@ class DataLake {
     std::size_t negative_samples = 0;
   };
 
+  /// Body of query() — caller holds lake_mutex_ at least shared.
+  /// query_by_type() runs many dataset scans under ONE shared acquisition
+  /// (a nested shared_lock per scan could deadlock behind a queued writer).
+  std::vector<Record> query_locked(const std::string& dataset, const std::string& team,
+                                   util::SimTime begin, util::SimTime end,
+                                   const std::function<bool(const Record&)>& filter) const
+      SMN_REQUIRES_SHARED(lake_mutex_);
+
+  /// Readers (query/stats/summaries) share, writers (ingest/retention) are
+  /// exclusive.
+  mutable std::shared_mutex lake_mutex_;
   DataCatalog catalog_;
-  std::map<std::string, DatasetStore> stores_;
-  util::Rng rng_;
+  std::map<std::string, DatasetStore> stores_ SMN_GUARDED_BY(lake_mutex_);
+  util::Rng rng_ SMN_GUARDED_BY(lake_mutex_);
   bool strict_schema_ = false;
 };
 

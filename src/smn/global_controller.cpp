@@ -15,6 +15,10 @@ GlobalController::GlobalController(const topology::WanTopology& wan) : wan_(wan)
 }
 
 std::size_t GlobalController::ingest_export(const CoarseExport& exp) {
+  // One critical section across validate + buffer + publish: exports from
+  // different regions may arrive on different threads, and the sequence
+  // check must pair atomically with the buffer append it admits.
+  const std::lock_guard<std::mutex> lock(ingest_mutex_);
   const auto member = last_sequence_.find(exp.region);
   SMN_CHECK(member != last_sequence_.end(),
             "export from a region that is not a member of this federation");
@@ -58,12 +62,20 @@ std::size_t GlobalController::ingest_export(const CoarseExport& exp) {
 }
 
 std::size_t GlobalController::merge_pending() {
+  // Drain the buffer under the ingest lock, then sort/append outside it:
+  // the merged log belongs to the serial consumer phase, so holding
+  // ingest_mutex_ across the sort would only stall concurrent exporters.
+  std::vector<telemetry::WindowSummary> pending;
+  {
+    const std::lock_guard<std::mutex> lock(ingest_mutex_);
+    pending.swap(pending_);
+  }
   // Canonical single-controller emission order: retention seals day by day
   // (ascending) and merges each day's summaries by (src name, dst name,
   // window start). Reproducing it here is what makes the federated coarse
   // log byte-identical to the monolithic one once all exports are in.
   const util::IdSpace& ids = util::IdSpace::global();
-  std::stable_sort(pending_.begin(), pending_.end(),
+  std::stable_sort(pending.begin(), pending.end(),
                    [&ids](const telemetry::WindowSummary& a, const telemetry::WindowSummary& b) {
                      const util::SimTime day_a = (a.window_start / util::kDay) * util::kDay;
                      const util::SimTime day_b = (b.window_start / util::kDay) * util::kDay;
@@ -73,30 +85,35 @@ std::size_t GlobalController::merge_pending() {
                    });
   // Horizon ordering across merge calls: a batch must never start before a
   // day the global log already merged, or the canonical order breaks.
-  if (!pending_.empty() && !coarse_.summaries().empty()) {
+  if (!pending.empty() && !coarse_.summaries().empty()) {
     const util::SimTime merged_day =
         (coarse_.summaries().back().window_start / util::kDay) * util::kDay;
-    const util::SimTime batch_day = (pending_.front().window_start / util::kDay) * util::kDay;
+    const util::SimTime batch_day = (pending.front().window_start / util::kDay) * util::kDay;
     SMN_CHECK(batch_day >= merged_day,
               "merge_pending received summaries older than an already-merged day — "
               "horizon-ordered merges are what keep the global log byte-identical to "
               "the single-controller one");
   }
-  const std::size_t merged = pending_.size();
-  for (telemetry::WindowSummary& row : pending_) coarse_.append(row);
-  pending_.clear();
-  return merged;
+  for (telemetry::WindowSummary& row : pending) coarse_.append(row);
+  return pending.size();
 }
 
 std::unique_ptr<RegionController> GlobalController::adopt_region(
     const std::string& region, CoreConfig config, std::size_t* recovered_records) {
-  const auto member = last_sequence_.find(region);
-  SMN_CHECK(member != last_sequence_.end(),
-            "cannot adopt a region that is not a member of this federation");
+  {
+    const std::lock_guard<std::mutex> lock(ingest_mutex_);
+    SMN_CHECK(last_sequence_.find(region) != last_sequence_.end(),
+              "cannot adopt a region that is not a member of this federation");
+  }
+  // Replay outside the lock — adoption maps every spilled segment back and
+  // must not stall the live regions' export streams.
   auto controller =
       RegionController::adopt(region, wan_, std::move(config), recovered_records);
-  // The adoptee starts a fresh export sequence at 1.
-  member->second = 0;
+  {
+    // The adoptee starts a fresh export sequence at 1.
+    const std::lock_guard<std::mutex> lock(ingest_mutex_);
+    last_sequence_[region] = 0;
+  }
   mib_.increment_counter("global", "regions_adopted");
   return controller;
 }

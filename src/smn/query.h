@@ -63,6 +63,10 @@ struct QueryRow {
 /// std::invalid_argument for malformed queries (neither/both selectors,
 /// missing field for non-count aggregations, unknown dataset) and
 /// std::runtime_error on ACL violations.
+///
+/// Thread-safety: run_query itself is stateless; every lake read goes
+/// through DataLake's shared lock, so any number of teams may query
+/// concurrently with each other and with ingest/retention.
 std::vector<QueryRow> run_query(const DataLake& lake, const std::string& team,
                                 const Query& query);
 

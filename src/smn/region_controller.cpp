@@ -42,6 +42,7 @@ std::unique_ptr<RegionController> RegionController::adopt(std::string region,
 
 bool RegionController::owns_pair(util::PairId pair) const {
   SMN_DCHECK(pair != util::kInvalidPairId, "ownership query on the invalid pair id");
+  const std::lock_guard<std::mutex> lock(memo_mutex_);
   if (pair >= pair_owned_.size()) pair_owned_.resize(pair + 1, 0);
   if (pair_owned_[pair] == 0) {
     const std::string* region = wan_.region_of_dc(util::IdSpace::global().pair_src(pair));

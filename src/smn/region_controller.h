@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -23,6 +24,7 @@
 #include "smn/controller_core.h"
 #include "telemetry/bandwidth_log.h"
 #include "topology/wan.h"
+#include "util/thread_annotations.h"
 
 namespace smn::smn {
 
@@ -54,8 +56,9 @@ class RegionController {
   const telemetry::BandwidthLogStore& store() const noexcept { return core_.store(); }
 
   /// True when this controller's region owns `pair` (the pair's source
-  /// datacenter lives in the region). Memoized per PairId.
-  bool owns_pair(util::PairId pair) const;
+  /// datacenter lives in the region). Memoized per PairId; safe against
+  /// concurrent ingest threads.
+  bool owns_pair(util::PairId pair) const SMN_EXCLUDES(memo_mutex_);
 
   /// Streams a bandwidth log into the region's store. SMN_CHECK-fails on a
   /// record whose pair this region does not own — a misrouted record would
@@ -83,9 +86,10 @@ class RegionController {
   /// First coarse summary row not yet exported.
   std::size_t export_cursor_ = 0;
   std::uint64_t next_sequence_ = 1;
+  mutable std::mutex memo_mutex_;
   /// PairId -> ownership memo: 0 unknown, 1 owned, 2 foreign. Pair ids are
   /// append-only process-global handles, so the memo never invalidates.
-  mutable std::vector<std::uint8_t> pair_owned_;
+  mutable std::vector<std::uint8_t> pair_owned_ SMN_GUARDED_BY(memo_mutex_);
 };
 
 }  // namespace smn::smn

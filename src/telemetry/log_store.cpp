@@ -311,10 +311,8 @@ void BandwidthLogStore::ingest(const BandwidthLog& log) {
   });
 }
 
-void BandwidthLogStore::seal_shard_day(std::size_t s, util::SimTime day,
-                                       std::vector<WindowSummary>* out) {
-  Shard& shard = shards_[s];
-  std::lock_guard<std::mutex> lock(shard.mutex);
+void BandwidthLogStore::seal_day_locked(Shard& shard, util::SimTime day,
+                                        std::vector<WindowSummary>* out) {
   const auto it = shard.days.find(day);
   if (it == shard.days.end()) return;
   DaySlab& slab = it->second;
@@ -373,20 +371,16 @@ void BandwidthLogStore::seal_shard_day(std::size_t s, util::SimTime day,
   }
 }
 
-void BandwidthLogStore::batch_shard_day(std::size_t s, util::SimTime day,
-                                        const TimeCoarsener& coarsener,
-                                        std::vector<WindowSummary>* out) {
-  Shard& shard = shards_[s];
-  std::lock_guard<std::mutex> lock(shard.mutex);
+void BandwidthLogStore::batch_day_locked(Shard& shard, util::SimTime day,
+                                         const TimeCoarsener& coarsener,
+                                         std::vector<WindowSummary>* out) {
   const auto it = shard.days.find(day);
   if (it == shard.days.end()) return;
   const CoarseBandwidthLog summarized = coarsener.coarsen(it->second.seg);
   out->assign(summarized.summaries().begin(), summarized.summaries().end());
 }
 
-void BandwidthLogStore::spill_shard_day(std::size_t s, util::SimTime day) {
-  Shard& shard = shards_[s];
-  std::lock_guard<std::mutex> lock(shard.mutex);
+void BandwidthLogStore::spill_day_locked(std::size_t s, Shard& shard, util::SimTime day) {
   const auto it = shard.days.find(day);
   if (it == shard.days.end() || it->second.seg.empty()) return;
   const BandwidthLog& seg = it->second.seg;
@@ -404,19 +398,26 @@ void BandwidthLogStore::spill_shard_day(std::size_t s, util::SimTime day) {
   generations.push_back(std::move(entry));
 }
 
-std::size_t BandwidthLogStore::erase_day(util::SimTime day) {
-  std::size_t retired = 0;
-  for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mutex);
-    const auto it = shard.days.find(day);
-    if (it == shard.days.end()) continue;
-    retired += it->second.seg.record_count();
-    if (shard.open == &it->second) {
-      shard.open = nullptr;
-      shard.open_day = kNoDay;
-    }
-    shard.days.erase(it);
+std::size_t BandwidthLogStore::retire_shard_day(std::size_t s, util::SimTime day,
+                                                bool streaming,
+                                                const TimeCoarsener& coarsener,
+                                                std::vector<WindowSummary>* out) {
+  Shard& shard = shards_[s];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (streaming) {
+    seal_day_locked(shard, day, out);
+  } else {
+    batch_day_locked(shard, day, coarsener, out);
   }
+  if (spill_enabled()) spill_day_locked(s, shard, day);
+  const auto it = shard.days.find(day);
+  if (it == shard.days.end()) return 0;
+  const std::size_t retired = it->second.seg.record_count();
+  if (shard.open == &it->second) {
+    shard.open = nullptr;
+    shard.open_day = kNoDay;
+  }
+  shard.days.erase(it);
   return retired;
 }
 
@@ -442,13 +443,18 @@ std::size_t BandwidthLogStore::coarsen_older_than(util::SimTime now, util::SimTi
 
   std::size_t retired = 0;
   std::vector<std::vector<WindowSummary>> parts(shards_.size());
+  std::vector<std::size_t> shard_retired(shards_.size(), 0);
   for (const util::SimTime day : due) {
     for (auto& p : parts) p.clear();
-    if (streaming) {
-      for_each_shard([&](std::size_t s) { seal_shard_day(s, day, &parts[s]); });
-    } else {
-      for_each_shard([&](std::size_t s) { batch_shard_day(s, day, coarsener, &parts[s]); });
-    }
+    // Each shard retires the day in one critical section — summarize,
+    // spill, erase under a single mutex acquisition — so a record ingested
+    // concurrently into a due day is either coarsened with the rest or
+    // reopens the day, never dropped between a seal and a later erase.
+    // Each task writes only its own parts/shard_retired slot.
+    for_each_shard([&](std::size_t s) {
+      shard_retired[s] = retire_shard_day(s, day, streaming, coarsener, &parts[s]);
+    });
+    for (const std::size_t r : shard_retired) retired += r;
     // Merge in the single-shard emission order: (src name, dst name,
     // window start). (pair, window) is unique across shards, so a plain
     // sort fully determines the order.
@@ -469,13 +475,6 @@ std::size_t BandwidthLogStore::coarsen_older_than(util::SimTime now, util::SimTi
                 return a.window_start < b.window_start;
               });
     for (const WindowSummary& summary : merged) coarse_.append(summary);
-    // With a cold tier configured, sealing demotes the day instead of
-    // discarding it: columns go to one flat file per (shard, day,
-    // generation), then the resident slab is freed as before.
-    if (spill_enabled()) {
-      for_each_shard([&](std::size_t s) { spill_shard_day(s, day); });
-    }
-    retired += erase_day(day);
   }
   return retired;
 }

@@ -44,6 +44,7 @@
 
 #include "telemetry/bandwidth_log.h"
 #include "telemetry/time_coarsening.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace smn::telemetry {
@@ -232,17 +233,22 @@ class BandwidthLogStore {
   };
 
   struct Shard {
-    mutable std::mutex mutex;  // guards: days, open, open_day, local_of, pairs, drift, drift_enabled, spilled
-    std::map<util::SimTime, DaySlab> days;   ///< key: day start
-    DaySlab* open = nullptr;                 ///< cached slab of open_day
-    util::SimTime open_day = kNoDay;
-    std::vector<std::uint32_t> local_of;     ///< PairId -> slot (kNoSlot if unseen)
-    std::vector<util::PairId> pairs;         ///< slot -> PairId
-    std::vector<PairDrift> drift;            ///< by slot
-    bool drift_enabled = false;
+    mutable std::mutex mutex;
+    /// Key: day start.
+    std::map<util::SimTime, DaySlab> days SMN_GUARDED_BY(mutex);
+    /// Cached slab of open_day.
+    DaySlab* open SMN_GUARDED_BY(mutex) = nullptr;
+    util::SimTime open_day SMN_GUARDED_BY(mutex) = kNoDay;
+    /// PairId -> slot (kNoSlot if unseen).
+    std::vector<std::uint32_t> local_of SMN_GUARDED_BY(mutex);
+    /// Slot -> PairId.
+    std::vector<util::PairId> pairs SMN_GUARDED_BY(mutex);
+    /// By slot.
+    std::vector<PairDrift> drift SMN_GUARDED_BY(mutex);
+    bool drift_enabled SMN_GUARDED_BY(mutex) = false;
     /// Cold tier of this shard: day -> spill files in generation (ingest)
     /// order. A day can appear here and in `days` at once after re-ingest.
-    std::map<util::SimTime, std::vector<SpillEntry>> spilled;
+    std::map<util::SimTime, std::vector<SpillEntry>> spilled SMN_GUARDED_BY(mutex);
   };
 
   std::size_t shard_of(util::PairId pair) const noexcept {
@@ -265,11 +271,12 @@ class BandwidthLogStore {
   };
 
   /// Slot of `pair` in `shard`, assigning one on first sight.
-  static std::uint32_t slot_of(Shard& shard, util::PairId pair);
+  static std::uint32_t slot_of(Shard& shard, util::PairId pair)
+      SMN_REQUIRES(shard.mutex);
 
   /// Appends one record into `shard` (caller holds the shard's mutex).
   void append_locked(Shard& shard, util::SimTime timestamp, util::PairId pair,
-                     double bw_gbps);
+                     double bw_gbps) SMN_REQUIRES(shard.mutex);
 
   /// Bulk-appends staged records into `shard`: day-runs are copied into the
   /// day segment as whole columns, then the accumulator/drift state is
@@ -279,26 +286,36 @@ class BandwidthLogStore {
   /// Accumulator/drift part of one append (caller holds the shard's mutex
   /// and has already placed the record into `slab`'s segment).
   void accumulate_locked(Shard& shard, DaySlab& slab, util::SimTime timestamp,
-                         util::PairId pair, double bw_gbps);
+                         util::PairId pair, double bw_gbps)
+      SMN_REQUIRES(shard.mutex);
 
-  /// Seals shard `s`'s slab of `day` into `*out` from the streaming
-  /// accumulators (takes the shard's mutex; summaries unordered).
-  void seal_shard_day(std::size_t s, util::SimTime day,
-                      std::vector<WindowSummary>* out);
+  /// Seals `shard`'s slab of `day` into `*out` from the streaming
+  /// accumulators (summaries unordered).
+  void seal_day_locked(Shard& shard, util::SimTime day,
+                       std::vector<WindowSummary>* out) SMN_REQUIRES(shard.mutex);
 
-  /// Batch-coarsens shard `s`'s slab of `day` with `coarsener` into `*out`
-  /// (takes the shard's mutex).
-  void batch_shard_day(std::size_t s, util::SimTime day,
-                       const TimeCoarsener& coarsener,
-                       std::vector<WindowSummary>* out);
+  /// Batch-coarsens `shard`'s slab of `day` with `coarsener` into `*out`.
+  void batch_day_locked(Shard& shard, util::SimTime day,
+                        const TimeCoarsener& coarsener,
+                        std::vector<WindowSummary>* out) SMN_REQUIRES(shard.mutex);
 
-  /// Serializes shard `s`'s slab of `day` to a new-generation spill file
-  /// and registers it in the shard's cold tier (takes the shard's mutex;
-  /// spilling must precede erase_day so the columns still exist).
-  void spill_shard_day(std::size_t s, util::SimTime day);
+  /// Serializes shard `s`'s slab of `day` to a new-generation spill file and
+  /// registers it in the shard's cold tier (must run before the slab is
+  /// erased, while the columns still exist).
+  void spill_day_locked(std::size_t s, Shard& shard, util::SimTime day)
+      SMN_REQUIRES(shard.mutex);
 
-  /// Erases the slab of `day` from every shard, returning records retired.
-  std::size_t erase_day(util::SimTime day);
+  /// Retires shard `s`'s slab of `day` under ONE mutex acquisition:
+  /// summarize into `*out` (streaming seal or batch coarsen), spill when the
+  /// cold tier is configured, then erase the slab. The single critical
+  /// section makes retention atomic against concurrent ingest — a record
+  /// appended to a due day lands either before the summary (and is
+  /// coarsened) or after the erase (and reopens the day as fresh fine
+  /// state), never in between, where it would be silently dropped. Returns
+  /// the fine records retired.
+  std::size_t retire_shard_day(std::size_t s, util::SimTime day, bool streaming,
+                               const TimeCoarsener& coarsener,
+                               std::vector<WindowSummary>* out);
 
   /// Runs `fn(s)` for every shard, across the pool when it exists.
   void for_each_shard(const std::function<void(std::size_t)>& fn);

@@ -22,6 +22,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/thread_annotations.h"
+
 namespace smn::util {
 
 /// Handle of an interned datacenter (or supernode-group) name.
@@ -48,9 +50,11 @@ class Interner {
   std::size_t size() const;
 
  private:
-  mutable std::shared_mutex mutex_;                    // guards: names_, index_
-  std::deque<std::string> names_;                      ///< stable addresses
-  std::unordered_map<std::string_view, DcId> index_;   ///< views into names_
+  mutable std::shared_mutex mutex_;
+  /// Stable addresses (deque never moves elements).
+  std::deque<std::string> names_ SMN_GUARDED_BY(mutex_);
+  /// Views into names_.
+  std::unordered_map<std::string_view, DcId> index_ SMN_GUARDED_BY(mutex_);
 };
 
 /// Append-only, thread-safe (DcId, DcId) -> PairId table with O(1) decode.
@@ -70,9 +74,10 @@ class PairInterner {
     return (static_cast<std::uint64_t>(src) << 32) | dst;
   }
 
-  mutable std::shared_mutex mutex_;                    // guards: packed_, index_
-  std::vector<std::uint64_t> packed_;                  ///< [PairId] -> packed key
-  std::unordered_map<std::uint64_t, PairId> index_;
+  mutable std::shared_mutex mutex_;
+  /// [PairId] -> packed key.
+  std::vector<std::uint64_t> packed_ SMN_GUARDED_BY(mutex_);
+  std::unordered_map<std::uint64_t, PairId> index_ SMN_GUARDED_BY(mutex_);
 };
 
 /// The shared id space: one Interner for datacenter/group names plus one

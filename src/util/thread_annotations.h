@@ -1,0 +1,72 @@
+// Lock-discipline annotation vocabulary (DESIGN.md §13). The macros name,
+// in the declaration itself, which mutex protects a member and which locks
+// a function needs, acquires, or must not hold. Two checkers consume them:
+//
+//   * smn_lint R7 (tools/smn_lint/lock_discipline.h) parses the spelled
+//     annotations straight off the token stream and runs a brace-scope
+//     dataflow over lock_guard/unique_lock/shared_lock/scoped_lock
+//     lifetimes — every compiler, every build.
+//   * Under clang the macros additionally expand to the thread-safety
+//     attributes, so a `-Wthread-safety` build (the clang-thread-safety CI
+//     job) re-checks the same discipline with the compiler's own analysis.
+//     libstdc++'s std::mutex is not a capability type, so that job builds
+//     against libc++ with _LIBCPP_ENABLE_THREAD_SAFETY_ANNOTATIONS, which
+//     annotates std::mutex and std::lock_guard.
+//
+// Under gcc (the default toolchain here) every macro expands to nothing —
+// annotations are free at runtime and never change codegen.
+//
+// Usage:
+//   std::mutex mutex_;
+//   std::queue<Task> tasks_ SMN_GUARDED_BY(mutex_);
+//   void drain() SMN_REQUIRES(mutex_);      // caller holds mutex_
+//   void stop() SMN_EXCLUDES(mutex_);       // caller must NOT hold mutex_
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#define SMN_THREAD_ANNOTATION_IMPL(x) __attribute__((x))
+#else
+#define SMN_THREAD_ANNOTATION_IMPL(x)  // expands to nothing outside clang
+#endif
+
+/// Member attribute: reads and writes of the member require holding `x`.
+#define SMN_GUARDED_BY(x) SMN_THREAD_ANNOTATION_IMPL(guarded_by(x))
+
+/// Pointer member attribute: the pointed-to data (not the pointer itself)
+/// requires holding `x`.
+#define SMN_PT_GUARDED_BY(x) SMN_THREAD_ANNOTATION_IMPL(pt_guarded_by(x))
+
+/// Function attribute: callers must already hold every listed lock
+/// (exclusively). The function neither acquires nor releases them.
+#define SMN_REQUIRES(...) \
+  SMN_THREAD_ANNOTATION_IMPL(requires_capability(__VA_ARGS__))
+
+/// Function attribute: callers must hold the listed locks at least shared.
+#define SMN_REQUIRES_SHARED(...) \
+  SMN_THREAD_ANNOTATION_IMPL(requires_shared_capability(__VA_ARGS__))
+
+/// Function attribute: the function acquires the listed locks itself and
+/// returns holding them; callers must not hold them on entry.
+#define SMN_ACQUIRES(...) \
+  SMN_THREAD_ANNOTATION_IMPL(acquire_capability(__VA_ARGS__))
+
+/// Function attribute: the function releases the listed locks the caller
+/// holds on entry.
+#define SMN_RELEASES(...) \
+  SMN_THREAD_ANNOTATION_IMPL(release_capability(__VA_ARGS__))
+
+/// Function attribute: the function must be called WITHOUT the listed locks
+/// held — it takes them itself (directly or through a callee), so entering
+/// with one held is a self-deadlock on a non-recursive mutex.
+#define SMN_EXCLUDES(...) SMN_THREAD_ANNOTATION_IMPL(locks_excluded(__VA_ARGS__))
+
+/// Function attribute: returns a reference to the capability `x` (lock
+/// accessor shims).
+#define SMN_RETURN_CAPABILITY(x) SMN_THREAD_ANNOTATION_IMPL(lock_returned(x))
+
+/// Escape hatch for functions whose locking clang's analysis cannot follow
+/// (condition-variable wait loops, lock handoff through std::unique_lock).
+/// smn_lint R7 still checks these bodies; pair uses with a comment saying
+/// why the compiler-side analysis is off.
+#define SMN_NO_THREAD_SAFETY_ANALYSIS \
+  SMN_THREAD_ANNOTATION_IMPL(no_thread_safety_analysis)

@@ -51,7 +51,10 @@ void ThreadPool::enqueue(std::function<void()> task) {
   work_available_.notify_one();
 }
 
-void ThreadPool::worker_loop() {
+// Lock handoff through std::unique_lock + condition_variable::wait is
+// invisible to clang's analysis (libc++ annotates lock_guard only); smn_lint
+// R7 still tracks the unique_lock lifetime through this body.
+void ThreadPool::worker_loop() SMN_NO_THREAD_SAFETY_ANALYSIS {
   for (;;) {
     std::function<void()> task;
     {
@@ -65,8 +68,12 @@ void ThreadPool::worker_loop() {
   }
 }
 
+// SMN_NO_THREAD_SAFETY_ANALYSIS: the completion wait below holds
+// state->mutex through a std::unique_lock, which clang cannot follow (see
+// worker_loop); R7 checks the body.
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
-                              const std::function<void(std::size_t)>& body) {
+                              const std::function<void(std::size_t)>& body)
+    SMN_NO_THREAD_SAFETY_ANALYSIS {
   SMN_CHECK(static_cast<bool>(body), "parallel_for needs a callable body");
   if (begin >= end) return;
   const std::size_t count = end - begin;
@@ -81,12 +88,14 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   const std::size_t chunk = (count + blocks - 1) / blocks;
 
   struct LoopState {
-    std::mutex mutex;  // guards: pending, error; done waits on it
+    std::mutex mutex;  // done waits on it; guarded members are annotated
     std::condition_variable done;
-    std::size_t pending = 0;
-    std::exception_ptr error;
+    std::size_t pending SMN_GUARDED_BY(mutex) = 0;
+    std::exception_ptr error SMN_GUARDED_BY(mutex);
   };
   auto state = std::make_shared<LoopState>();
+  // Pre-publication write: no worker has seen `state` yet, so the store
+  // needs no lock. smn-lint: allow(lock-discipline)
   state->pending = blocks;
 
   for (std::size_t k = 0; k < blocks; ++k) {

@@ -25,6 +25,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "util/thread_annotations.h"
+
 namespace smn::util {
 
 class ThreadPool {
@@ -55,25 +57,28 @@ class ThreadPool {
   /// `results[i]` from the body is race-free and the assembled `results`
   /// vector is identical for any pool size (deterministic reduction order).
   /// Runs inline when the pool has one worker, the range is a single index,
-  /// or the caller is itself a pool worker (nested use).
+  /// or the caller is itself a pool worker (nested use). Must not be called
+  /// with `mutex_` held (enqueue takes it; a body blocked on it deadlocks
+  /// the fan-out).
   void parallel_for(std::size_t begin, std::size_t end,
-                    const std::function<void(std::size_t)>& body);
+                    const std::function<void(std::size_t)>& body) SMN_EXCLUDES(mutex_);
 
   /// True when the calling thread is one of this pool's workers.
   bool on_worker_thread() const;
 
  private:
-  void enqueue(std::function<void()> task);
+  void enqueue(std::function<void()> task) SMN_EXCLUDES(mutex_);
   void worker_loop();
 
-  mutable std::mutex mutex_;  // guards: tasks_, stopping_; work_available_ waits on it
+  /// work_available_ waits on mutex_; the guarded members are annotated.
+  mutable std::mutex mutex_;
   std::condition_variable work_available_;
-  std::queue<std::function<void()>> tasks_;
+  std::queue<std::function<void()>> tasks_ SMN_GUARDED_BY(mutex_);
   std::vector<std::thread> workers_;
   /// Immutable after construction, so on_worker_thread() can read it with
   /// no lock even while the destructor joins workers_.
   std::vector<std::thread::id> worker_ids_;
-  bool stopping_ = false;
+  bool stopping_ SMN_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace smn::util

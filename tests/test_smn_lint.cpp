@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "tools/smn_lint/linter.h"
@@ -470,6 +472,263 @@ TEST(SmnLintR6, SuppressionApplies) {
                            "}\n");
   EXPECT_TRUE(report.findings.empty());
   EXPECT_EQ(report.suppressed.size(), 1u);
+}
+
+// ------------------------------------------------- R7: lock discipline --
+
+std::map<std::string, FileReport> lint_many(
+    const std::vector<std::pair<std::string, std::string>>& files) {
+  std::vector<SourceFile> sources;
+  sources.reserve(files.size());
+  for (const auto& entry : files) sources.push_back(smn::lint::lex(entry.first, entry.second));
+  return smn::lint::lint_sources(sources, LintConfig{});
+}
+
+TEST(SmnLintR7, GuardedMemberAccessWithoutLock) {
+  const auto report = lint("src/sync/gauge.cpp",
+                           "class Gauge {\n"
+                           " public:\n"
+                           "  long read() const { return value_; }\n"
+                           " private:\n"
+                           "  mutable std::mutex mutex_;\n"
+                           "  long value_ SMN_GUARDED_BY(mutex_) = 0;\n"
+                           "};\n");
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].rule, "lock-discipline");
+  EXPECT_EQ(report.findings[0].line, 3);
+  EXPECT_NE(report.findings[0].message.find("value_"), std::string::npos);
+}
+
+TEST(SmnLintR7, GuardedAccessUnderLockGuardIsClean) {
+  const auto report = lint("src/sync/gauge.cpp",
+                           "class Gauge {\n"
+                           " public:\n"
+                           "  void set(long v) {\n"
+                           "    const std::lock_guard<std::mutex> lock(mutex_);\n"
+                           "    value_ = v;\n"
+                           "  }\n"
+                           " private:\n"
+                           "  std::mutex mutex_;\n"
+                           "  long value_ SMN_GUARDED_BY(mutex_) = 0;\n"
+                           "};\n");
+  EXPECT_TRUE(report.findings.empty());
+}
+
+TEST(SmnLintR7, RequiresCallWithoutLock) {
+  const auto report = lint("src/sync/gauge.cpp",
+                           "class Gauge {\n"
+                           " public:\n"
+                           "  void poke() { bump_locked(); }\n"
+                           " private:\n"
+                           "  void bump_locked() SMN_REQUIRES(mutex_) { ++count_; }\n"
+                           "  std::mutex mutex_;\n"
+                           "  long count_ SMN_GUARDED_BY(mutex_) = 0;\n"
+                           "};\n");
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].rule, "lock-discipline");
+  // The annotated callee's own body is compliant: SMN_REQUIRES makes the
+  // mutex held on entry, so the lone finding is the unlocked call site.
+  EXPECT_NE(report.findings[0].message.find("bump_locked"), std::string::npos);
+}
+
+TEST(SmnLintR7, ReacquisitionOfHeldMutex) {
+  const auto report = lint("src/sync/gauge.cpp",
+                           "void twice(std::mutex& m) {\n"
+                           "  const std::lock_guard<std::mutex> a(m);\n"
+                           "  const std::lock_guard<std::mutex> b(m);\n"
+                           "}\n");
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].rule, "lock-discipline");
+  EXPECT_EQ(report.findings[0].line, 3);
+  EXPECT_NE(report.findings[0].message.find("acquired while"), std::string::npos);
+}
+
+TEST(SmnLintR7, ScopeExitReleasesTheLock) {
+  // The guard's brace scope ends before the second acquisition, so this is
+  // sequential locking, not re-acquisition.
+  const auto report = lint("src/sync/gauge.cpp",
+                           "void sequential(std::mutex& m) {\n"
+                           "  { const std::lock_guard<std::mutex> a(m); }\n"
+                           "  const std::lock_guard<std::mutex> b(m);\n"
+                           "}\n");
+  EXPECT_TRUE(report.findings.empty());
+}
+
+TEST(SmnLintR7, DeferLockAndManualLockUnlockTracked) {
+  const auto report = lint("src/sync/gauge.cpp",
+                           "class Gauge {\n"
+                           " public:\n"
+                           "  long get() {\n"
+                           "    std::unique_lock<std::mutex> lk(mutex_, std::defer_lock);\n"
+                           "    lk.lock();\n"
+                           "    const long snapshot = value_;\n"
+                           "    lk.unlock();\n"
+                           "    return snapshot;\n"
+                           "  }\n"
+                           " private:\n"
+                           "  std::mutex mutex_;\n"
+                           "  long value_ SMN_GUARDED_BY(mutex_) = 0;\n"
+                           "};\n");
+  EXPECT_TRUE(report.findings.empty());
+}
+
+TEST(SmnLintR7, UnlockedAccessAfterManualUnlockFlagged) {
+  const auto report = lint("src/sync/gauge.cpp",
+                           "class Gauge {\n"
+                           " public:\n"
+                           "  void reset() {\n"
+                           "    std::unique_lock<std::mutex> lk(mutex_);\n"
+                           "    value_ = 0;\n"
+                           "    lk.unlock();\n"
+                           "    value_ = 1;\n"
+                           "  }\n"
+                           " private:\n"
+                           "  std::mutex mutex_;\n"
+                           "  long value_ SMN_GUARDED_BY(mutex_) = 0;\n"
+                           "};\n");
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].line, 7);
+}
+
+TEST(SmnLintR7, HeaderAnnotationsReachStemSiblingDefinition) {
+  const auto reports = lint_many(
+      {{"src/sync/counter.h",
+        "#pragma once\n"
+        "class Counter {\n"
+        " public:\n"
+        "  void bump() SMN_EXCLUDES(mutex_);\n"
+        "  long read() const SMN_EXCLUDES(mutex_);\n"
+        " private:\n"
+        "  void bump_locked() SMN_REQUIRES(mutex_);\n"
+        "  mutable std::mutex mutex_;\n"
+        "  long count_ SMN_GUARDED_BY(mutex_) = 0;\n"
+        "};\n"},
+       {"src/sync/counter.cpp",
+        "#include \"sync/counter.h\"\n"
+        "void Counter::bump() {\n"
+        "  const std::lock_guard<std::mutex> lock(mutex_);\n"
+        "  ++count_;\n"
+        "}\n"
+        "void Counter::bump_locked() { ++count_; }\n"
+        "long Counter::read() const { return count_; }\n"}});
+  // The header's SMN_GUARDED_BY and SMN_REQUIRES annotations apply to the
+  // .cpp definitions: bump() and bump_locked() are compliant, read() is not.
+  EXPECT_TRUE(reports.at("src/sync/counter.h").findings.empty());
+  const auto& cpp = reports.at("src/sync/counter.cpp");
+  ASSERT_EQ(cpp.findings.size(), 1u);
+  EXPECT_EQ(cpp.findings[0].rule, "lock-discipline");
+  EXPECT_EQ(cpp.findings[0].line, 7);
+}
+
+TEST(SmnLintR7, LockOrderCycleAcrossFiles) {
+  const std::string header =
+      "#pragma once\n"
+      "struct Pools {\n"
+      "  std::mutex alpha;\n"
+      "  std::mutex beta;\n"
+      "  int alpha_hits SMN_GUARDED_BY(alpha) = 0;\n"
+      "  int beta_hits SMN_GUARDED_BY(beta) = 0;\n"
+      "};\n";
+  const std::string ab =
+      "#include \"sync/locks.h\"\n"
+      "void ab(Pools& pools) {\n"
+      "  std::scoped_lock outer(pools.alpha);\n"
+      "  std::lock_guard<std::mutex> inner(pools.beta);\n"
+      "}\n";
+  const std::string ba =
+      "#include \"sync/locks.h\"\n"
+      "void ba(Pools& pools) {\n"
+      "  std::lock_guard<std::mutex> outer(pools.beta);\n"
+      "  std::lock_guard<std::mutex> inner(pools.alpha);\n"
+      "}\n";
+  // Each acquisition order is clean on its own...
+  const auto half = lint_many({{"src/sync/locks.h", header}, {"src/sync/ab.cpp", ab}});
+  EXPECT_TRUE(half.at("src/sync/ab.cpp").findings.empty());
+  // ...but linted together the aggregated lock-order graph has a cycle.
+  const auto both = lint_many(
+      {{"src/sync/locks.h", header}, {"src/sync/ab.cpp", ab}, {"src/sync/ba.cpp", ba}});
+  std::vector<Finding> cycles;
+  for (const auto& entry : both)
+    for (const Finding& f : entry.second.findings)
+      if (f.message.find("lock-order cycle") != std::string::npos) cycles.push_back(f);
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_EQ(cycles[0].rule, "lock-discipline");
+  // The message names both the class-qualified mutexes and the conflicting
+  // acquisition site in the other file.
+  EXPECT_NE(cycles[0].message.find("Pools::alpha"), std::string::npos);
+  EXPECT_NE(cycles[0].message.find("Pools::beta"), std::string::npos);
+  EXPECT_NE(cycles[0].message.find("src/sync/"), std::string::npos);
+}
+
+TEST(SmnLintR7, SuppressionAndNoAnalysisEscapeHatches) {
+  const auto report = lint("src/sync/gauge.cpp",
+                           "class Gauge {\n"
+                           " public:\n"
+                           "  long peek_racy() const {\n"
+                           "    return value_;  // smn-lint: allow(lock-discipline)\n"
+                           "  }\n"
+                           "  long wait_read() const SMN_NO_THREAD_SAFETY_ANALYSIS {\n"
+                           "    return value_;\n"
+                           "  }\n"
+                           " private:\n"
+                           "  mutable std::mutex mutex_;\n"
+                           "  long value_ SMN_GUARDED_BY(mutex_) = 0;\n"
+                           "};\n");
+  // allow(...) suppresses the first access; SMN_NO_THREAD_SAFETY_ANALYSIS
+  // skips the second function entirely (no finding, not even suppressed).
+  EXPECT_TRUE(report.findings.empty());
+  EXPECT_EQ(report.suppressed.size(), 1u);
+}
+
+TEST(SmnLintR7, LocalShadowingDoesNotFlag) {
+  const auto report = lint("src/sync/gauge.cpp",
+                           "class Gauge {\n"
+                           " public:\n"
+                           "  long describe(long value_) const { return value_ * 2; }\n"
+                           " private:\n"
+                           "  mutable std::mutex mutex_;\n"
+                           "  long value_ SMN_GUARDED_BY(mutex_) = 0;\n"
+                           "};\n");
+  EXPECT_TRUE(report.findings.empty());
+}
+
+TEST(SmnLintR7, ConstructorExemptFromGuardChecks) {
+  const auto report = lint("src/sync/gauge.cpp",
+                           "class Gauge {\n"
+                           " public:\n"
+                           "  explicit Gauge(long v) { value_ = v; }\n"
+                           " private:\n"
+                           "  std::mutex mutex_;\n"
+                           "  long value_ SMN_GUARDED_BY(mutex_) = 0;\n"
+                           "};\n");
+  EXPECT_TRUE(report.findings.empty());
+}
+
+TEST(SmnLintR3, CapabilityAnnotationSatisfiesLockHygiene) {
+  // A mutex named by any SMN_* capability annotation no longer needs the
+  // legacy '// guards:' comment (R3 demotion).
+  const auto report = lint("src/sync/gauge.h",
+                           "class Gauge {\n"
+                           "  std::mutex mutex_;\n"
+                           "  long value_ SMN_GUARDED_BY(mutex_) = 0;\n"
+                           "};\n");
+  EXPECT_FALSE(has_rule(report, "lock-hygiene"));
+}
+
+// ------------------------------------------------------------ JSON output --
+
+TEST(SmnLintJson, FindingsSerializedWithEscapes) {
+  std::vector<Finding> findings;
+  findings.push_back(Finding{"lock-discipline", "src/sync/a.cpp", 7, "mutex \"m\" re-locked"});
+  findings.push_back(Finding{"hot-path", "src/te/b.cpp", 12, "line1\nline2\ttab"});
+  const std::string json = smn::lint::findings_to_json(findings);
+  EXPECT_NE(json.find("\"rule\": \"lock-discipline\""), std::string::npos);
+  EXPECT_NE(json.find("\"path\": \"src/sync/a.cpp\""), std::string::npos);
+  EXPECT_NE(json.find("\"line\": 7"), std::string::npos);
+  EXPECT_NE(json.find("mutex \\\"m\\\" re-locked"), std::string::npos);
+  EXPECT_NE(json.find("line1\\nline2\\ttab"), std::string::npos);
+  // Empty input is a well-formed empty array.
+  EXPECT_EQ(smn::lint::findings_to_json({}), "[]\n");
 }
 
 // ------------------------------------------------------- classification --

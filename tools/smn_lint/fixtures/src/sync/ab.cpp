@@ -1,0 +1,11 @@
+// Fixture: acquires Pools::alpha then Pools::beta. Clean on its own — the
+// lock-order cycle only appears when this file is linted together with
+// ba.cpp, which acquires the same pair in the opposite order.
+#include "sync/locks.h"
+
+void fill_alpha_then_beta(Pools& pools) {
+  std::scoped_lock outer(pools.alpha);
+  std::lock_guard<std::mutex> inner(pools.beta);
+  ++pools.alpha_hits;
+  ++pools.beta_hits;
+}

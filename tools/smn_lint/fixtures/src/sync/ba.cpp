@@ -1,0 +1,11 @@
+// Fixture: acquires Pools::beta then Pools::alpha — the reverse of ab.cpp.
+// Together the two files close a cycle in the aggregated acquisition-order
+// graph; individually each is clean.
+#include "sync/locks.h"
+
+void fill_beta_then_alpha(Pools& pools) {
+  std::lock_guard<std::mutex> outer(pools.beta);
+  std::lock_guard<std::mutex> inner(pools.alpha);
+  ++pools.beta_hits;
+  ++pools.alpha_hits;
+}

@@ -1,0 +1,31 @@
+// Fixture: compliant lock usage — every R7 lock-discipline finding kind
+// must stay silent here, and the one deliberate violation is suppressed
+// with the standard allow(...) escape hatch.
+#include <mutex>
+
+class Gauge {
+ public:
+  void set(long v) SMN_EXCLUDES(mutex_) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    value_ = v;
+    set_locked(v + 1);  // requirement held: fine
+  }
+
+  void set_locked(long v) SMN_REQUIRES(mutex_) { value_ = v; }
+
+  long get() const SMN_EXCLUDES(mutex_) {
+    std::unique_lock<std::mutex> lock(mutex_, std::defer_lock);
+    lock.lock();
+    const long snapshot = value_;
+    lock.unlock();
+    return snapshot;
+  }
+
+  long peek_racy() const {
+    return value_;  // benign torn read — smn-lint: allow(lock-discipline)
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  long value_ SMN_GUARDED_BY(mutex_) = 0;
+};

@@ -1,0 +1,27 @@
+// Fixture: seeded R7 lock-discipline violations against the annotations in
+// counter.h. Three finding kinds fire here: a guarded-member access without
+// the guard (read), a call to an SMN_REQUIRES function without the
+// requirement (bump_via_helper), and re-acquisition of a held mutex
+// (bump_twice). bump() and bump_locked() are compliant controls.
+#include "sync/counter.h"
+
+void Counter::bump() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++count_;
+}
+
+void Counter::bump_locked() { ++count_; }
+
+long Counter::read() const {
+  return count_;  // VIOLATION: count_ is SMN_GUARDED_BY(mutex_), no lock held
+}
+
+void Counter::bump_via_helper() {
+  bump_locked();  // VIOLATION: SMN_REQUIRES(mutex_) but mutex_ is not held
+}
+
+void Counter::bump_twice() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::lock_guard<std::mutex> again(mutex_);  // VIOLATION: re-acquisition
+  count_ += 2;
+}

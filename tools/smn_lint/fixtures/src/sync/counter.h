@@ -1,0 +1,22 @@
+// Fixture: annotated counter whose .cpp stem sibling seeds the three
+// intra-file R7 finding kinds — guarded access without the lock, an
+// SMN_REQUIRES call without the requirement, and re-acquisition of a held
+// mutex. The annotations live here; counter.cpp carries the violations,
+// exercising the cross-file (header declaration -> definition) environment.
+#pragma once
+
+#include <mutex>
+
+class Counter {
+ public:
+  void bump() SMN_EXCLUDES(mutex_);
+  void bump_twice() SMN_EXCLUDES(mutex_);
+  void bump_via_helper() SMN_EXCLUDES(mutex_);
+  long read() const SMN_EXCLUDES(mutex_);
+
+ private:
+  void bump_locked() SMN_REQUIRES(mutex_);
+
+  mutable std::mutex mutex_;
+  long count_ SMN_GUARDED_BY(mutex_) = 0;
+};

@@ -1,0 +1,15 @@
+// Fixture: the shared two-lock surface for the R7 lock-discipline
+// self-tests. `Pools` is the canonical lock-order-cycle pair — ab.cpp
+// acquires alpha then beta, ba.cpp the opposite — and each member carries
+// an SMN_GUARDED_BY so guarded-access checks ride along. Fixtures are
+// linted, never compiled, so the annotation macros need no include.
+#pragma once
+
+#include <mutex>
+
+struct Pools {
+  std::mutex alpha;
+  std::mutex beta;
+  int alpha_hits SMN_GUARDED_BY(alpha) = 0;
+  int beta_hits SMN_GUARDED_BY(beta) = 0;
+};

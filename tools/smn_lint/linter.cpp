@@ -1,9 +1,13 @@
 #include "tools/smn_lint/linter.h"
 
+#include <algorithm>
 #include <cctype>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+
+#include "tools/smn_lint/lock_discipline.h"
 
 namespace smn::lint {
 namespace {
@@ -13,6 +17,45 @@ bool has_prefix(const std::string& path, const std::vector<std::string>& prefixe
     if (path.rfind(prefix, 0) == 0) return true;
   }
   return false;
+}
+
+/// Quoted include target of a directive line, or "" if it is not one.
+std::string quoted_include(const std::string& directive) {
+  if (directive.rfind("#include", 0) != 0 && directive.rfind("# include", 0) != 0) return "";
+  const std::size_t open = directive.find('"');
+  if (open == std::string::npos) return "";
+  const std::size_t close = directive.find('"', open + 1);
+  if (close == std::string::npos) return "";
+  return directive.substr(open + 1, close - open - 1);
+}
+
+std::string stem_of(const std::string& path) {
+  const std::size_t dot = path.rfind('.');
+  return dot == std::string::npos ? path : path.substr(0, dot);
+}
+
+void sort_findings(std::vector<Finding>& findings) {
+  std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+}
+
+FileReport apply_suppressions(const SourceFile& file, std::vector<Finding> findings) {
+  const auto allows = allow_directives(file);
+  FileReport report;
+  for (Finding& finding : findings) {
+    bool allowed = false;
+    for (int l = finding.line - 1; l <= finding.line; ++l) {
+      const auto it = allows.find(l);
+      if (it != allows.end() &&
+          (it->second.count(finding.rule) > 0 || it->second.count("*") > 0)) {
+        allowed = true;
+      }
+    }
+    (allowed ? report.suppressed : report.findings).push_back(std::move(finding));
+  }
+  return report;
 }
 
 }  // namespace
@@ -57,21 +100,8 @@ std::map<int, std::set<std::string>> allow_directives(const SourceFile& file) {
 }
 
 FileReport lint_source(const SourceFile& file, const LintConfig& config) {
-  const FileClass cls = classify(file.path, config);
-  const auto allows = allow_directives(file);
-  FileReport report;
-  for (Finding& finding : check_all(file, cls)) {
-    bool allowed = false;
-    for (int l = finding.line - 1; l <= finding.line; ++l) {
-      const auto it = allows.find(l);
-      if (it != allows.end() &&
-          (it->second.count(finding.rule) > 0 || it->second.count("*") > 0)) {
-        allowed = true;
-      }
-    }
-    (allowed ? report.suppressed : report.findings).push_back(std::move(finding));
-  }
-  return report;
+  auto reports = lint_sources({file}, config);
+  return std::move(reports[file.path]);
 }
 
 FileReport lint_file(const std::string& abs_path, const std::string& rel_path,
@@ -81,6 +111,92 @@ FileReport lint_file(const std::string& abs_path, const std::string& rel_path,
   std::ostringstream buffer;
   buffer << in.rdbuf();
   return lint_source(lex(rel_path, buffer.str()), config);
+}
+
+std::map<std::string, FileReport> lint_sources(const std::vector<SourceFile>& sources,
+                                               const LintConfig& config) {
+  std::map<std::string, const SourceFile*> by_path;
+  for (const SourceFile& s : sources) by_path[s.path] = &s;
+  std::map<std::string, LockSymbols> symbols;
+  for (const SourceFile& s : sources) symbols.emplace(s.path, collect_lock_symbols(s));
+
+  std::map<std::string, std::vector<Finding>> raw;
+  std::vector<LockOrderEdge> edges;
+  for (const SourceFile& s : sources) {
+    std::vector<Finding> findings = check_all(s, classify(s.path, config));
+
+    // R7 dependency set: direct quoted includes resolved against the linted
+    // set, plus the stem sibling. Deliberately non-recursive — a file sees
+    // the annotations of headers it spelled, not the whole include closure,
+    // which keeps generic member names from colliding across subsystems.
+    std::vector<const LockSymbols*> deps;
+    const auto add_dep = [&](const std::string& path) {
+      if (path == s.path) return;
+      const auto it = symbols.find(path);
+      if (it == symbols.end()) return;
+      if (std::find(deps.begin(), deps.end(), &it->second) == deps.end()) {
+        deps.push_back(&it->second);
+      }
+    };
+    for (const auto& [line, text] : s.directives) {
+      const std::string inc = quoted_include(text);
+      if (inc.empty()) continue;
+      add_dep(inc);
+      add_dep("src/" + inc);
+    }
+    for (const char* ext : {".h", ".hpp", ".cpp", ".cc"}) {
+      add_dep(stem_of(s.path) + ext);
+    }
+
+    const LockEnv env = build_lock_env(deps, symbols.at(s.path));
+    check_lock_discipline(s, env, findings, &edges);
+    raw[s.path] = std::move(findings);
+  }
+
+  std::vector<Finding> cycles;
+  check_lock_order_cycles(edges, cycles);
+  for (Finding& f : cycles) raw[f.path].push_back(std::move(f));
+
+  std::map<std::string, FileReport> reports;
+  for (auto& [path, findings] : raw) {
+    sort_findings(findings);
+    reports[path] = apply_suppressions(*by_path.at(path), std::move(findings));
+  }
+  return reports;
+}
+
+std::string findings_to_json(const std::vector<Finding>& findings) {
+  const auto escape = [](const std::string& text) {
+    std::string out;
+    for (const char c : text) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        case '\r': out += "\\r"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    return out;
+  };
+  std::string out = "[";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "  {\"path\": \"" + escape(f.path) + "\", \"line\": " + std::to_string(f.line) +
+           ", \"rule\": \"" + escape(f.rule) + "\", \"message\": \"" + escape(f.message) +
+           "\"}";
+  }
+  out += findings.empty() ? "]\n" : "\n]\n";
+  return out;
 }
 
 }  // namespace smn::lint

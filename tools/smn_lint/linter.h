@@ -48,12 +48,30 @@ struct FileReport {
   std::vector<Finding> suppressed; ///< violations silenced by allow(...)
 };
 
-/// Lints one lexed file: all rules, then suppression filtering.
+///// Lints one lexed file: all rules, then suppression filtering. The R7
+/// lock-discipline pass runs with a symbol environment built from the file
+/// alone (no cross-file annotations, no repo-wide cycle aggregation); use
+/// lint_sources for the full semantic pass.
 FileReport lint_source(const SourceFile& file, const LintConfig& config);
 
 /// Lints the file at `abs_path`, classified by `rel_path`. Throws
 /// std::runtime_error if the file cannot be read.
 FileReport lint_file(const std::string& abs_path, const std::string& rel_path,
                      const LintConfig& config);
+
+/// Semantic whole-project lint over pre-lexed sources. Runs every per-file
+/// rule family, then the R7 lock-discipline dataflow with each file's
+/// symbol environment assembled from itself, its stem sibling (foo.h <->
+/// foo.cpp), and its direct `#include "..."` dependencies resolved against
+/// the linted set (exact root-relative path, then under "src/"). Lock
+/// acquisition-order edges aggregate across all files and cycles are
+/// reported at their acquisition sites. Suppressions apply per file, same
+/// as lint_source. Keyed by root-relative path.
+std::map<std::string, FileReport> lint_sources(const std::vector<SourceFile>& sources,
+                                               const LintConfig& config);
+
+/// Findings as a JSON array of {"path","line","rule","message"} objects —
+/// the `--format=json` wire format CI turns into `::error` annotations.
+std::string findings_to_json(const std::vector<Finding>& findings);
 
 }  // namespace smn::lint

@@ -1,0 +1,828 @@
+#include "tools/smn_lint/lock_discipline.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <string_view>
+
+namespace smn::lint {
+namespace {
+
+const std::set<std::string, std::less<>> kMutexTypes{
+    "mutex", "shared_mutex", "recursive_mutex", "timed_mutex", "recursive_timed_mutex"};
+const std::set<std::string, std::less<>> kLockHolders{"lock_guard", "unique_lock",
+                                                      "shared_lock", "scoped_lock"};
+const std::set<std::string, std::less<>> kGuardMacros{"SMN_GUARDED_BY", "SMN_PT_GUARDED_BY"};
+const std::set<std::string, std::less<>> kRequiresMacros{"SMN_REQUIRES",
+                                                         "SMN_REQUIRES_SHARED"};
+const std::set<std::string, std::less<>> kNotFunctionNames{
+    "if",     "for",   "while",    "switch",        "catch",   "return",
+    "sizeof", "new",   "delete",   "static_assert", "alignof", "decltype",
+    "assert", "defined"};
+
+/// The annotation vocabulary shares the SMN_ prefix; the declarator walks
+/// skip any such identifier (plus its paren group) between the parameter
+/// list and the body.
+bool is_annotation_macro(const Token& t) {
+  return t.kind == Token::Kind::kIdentifier && t.text.rfind("SMN_", 0) == 0;
+}
+
+std::size_t find_matching(const std::vector<Token>& toks, std::size_t open,
+                          std::string_view open_p, std::string_view close_p) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].is_punct(open_p)) ++depth;
+    if (toks[i].is_punct(close_p)) {
+      --depth;
+      if (depth == 0) return i;
+    }
+  }
+  return toks.size();
+}
+
+/// Joins tokens [begin, end) into a canonical lock key: `->` becomes `.`,
+/// address-of / dereference decoration drops, a leading `this.` strips. Two
+/// spellings of the same mutex ("this->mutex_", "mutex_") compare equal.
+std::string normalize_expr(const std::vector<Token>& toks, std::size_t begin,
+                           std::size_t end) {
+  std::string out;
+  for (std::size_t i = begin; i < end && i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.is_punct("->")) {
+      out += '.';
+    } else if (t.is_punct("&") || t.is_punct("*")) {
+      continue;
+    } else {
+      out += t.text;
+    }
+  }
+  if (out.rfind("this.", 0) == 0) out = out.substr(5);
+  return out;
+}
+
+/// Innermost class/struct body each token index sits in (by name). Ranges
+/// come from a linear scan: `class`/`struct` NAME [final] [: bases] `{`.
+struct ClassRange {
+  std::size_t open;
+  std::size_t close;
+  std::string name;
+};
+
+std::vector<ClassRange> class_ranges(const std::vector<Token>& toks) {
+  std::vector<ClassRange> out;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!toks[i].is_ident("class") && !toks[i].is_ident("struct")) continue;
+    if (i > 0 && toks[i - 1].is_ident("enum")) continue;
+    if (toks[i + 1].kind != Token::Kind::kIdentifier) continue;
+    // Scan past `final` / base clauses to the body '{'; a ';' or '(' first
+    // means forward declaration / elaborated type in a declarator.
+    int angle = 0;
+    std::size_t open = toks.size();
+    for (std::size_t j = i + 2; j < toks.size(); ++j) {
+      if (toks[j].is_punct("<")) ++angle;
+      if (toks[j].is_punct(">")) --angle;
+      if (angle < 0) break;  // template parameter list, not a definition
+      if (angle != 0) continue;
+      if (toks[j].is_punct("{")) {
+        open = j;
+        break;
+      }
+      if (toks[j].is_punct(";") || toks[j].is_punct("(") || toks[j].is_punct("=")) break;
+    }
+    if (open == toks.size()) continue;
+    const std::size_t close = find_matching(toks, open, "{", "}");
+    if (close < toks.size()) out.push_back({open, close, toks[i + 1].text});
+  }
+  return out;
+}
+
+std::string owner_at(const std::vector<ClassRange>& ranges, std::size_t i) {
+  std::string owner;
+  std::size_t best = SIZE_MAX;
+  for (const ClassRange& r : ranges) {
+    if (i > r.open && i < r.close && r.close - r.open < best) {
+      best = r.close - r.open;
+      owner = r.name;
+    }
+  }
+  return owner;
+}
+
+std::string stem_of(const std::string& path) {
+  const std::size_t dot = path.rfind('.');
+  return dot == std::string::npos ? path : path.substr(0, dot);
+}
+
+/// foo.h and foo.cpp are one annotation unit: declarations carry the
+/// attributes, definitions carry the accesses.
+bool stem_siblings(const std::string& a, const std::string& b) {
+  return stem_of(a) == stem_of(b);
+}
+
+/// One top-level comma-separated argument of a call / macro invocation.
+struct Arg {
+  std::string norm;  ///< normalized text
+  bool simple;       ///< pure ident / `.` / `->` / `::` chain (substitutable)
+};
+
+std::vector<Arg> split_args(const std::vector<Token>& toks, std::size_t open,
+                            std::size_t close) {
+  std::vector<Arg> args;
+  std::size_t begin = open + 1;
+  int depth = 0;
+  for (std::size_t i = open + 1; i <= close && i < toks.size(); ++i) {
+    const bool at_end = i == close;
+    if (!at_end) {
+      if (toks[i].is_punct("(") || toks[i].is_punct("[") || toks[i].is_punct("{") ||
+          toks[i].is_punct("<")) {
+        ++depth;
+        continue;
+      }
+      if (toks[i].is_punct(")") || toks[i].is_punct("]") || toks[i].is_punct("}") ||
+          toks[i].is_punct(">")) {
+        --depth;
+        continue;
+      }
+      if (!(depth == 0 && toks[i].is_punct(","))) continue;
+    }
+    if (i > begin) {
+      Arg arg;
+      arg.norm = normalize_expr(toks, begin, i);
+      arg.simple = true;
+      for (std::size_t j = begin; j < i; ++j) {
+        if (toks[j].kind == Token::Kind::kIdentifier || toks[j].is_punct(".") ||
+            toks[j].is_punct("->") || toks[j].is_punct("::")) {
+          continue;
+        }
+        arg.simple = false;
+      }
+      args.push_back(std::move(arg));
+    }
+    begin = i + 1;
+  }
+  return args;
+}
+
+/// Start of the `.`/`->` chain ending just before `dot_index` (the access
+/// separator). Returns the chain's first token, or SIZE_MAX when the thing
+/// before the separator is not a plain chain (a call result, an index).
+std::size_t chain_begin(const std::vector<Token>& toks, std::size_t dot_index) {
+  if (dot_index == 0) return SIZE_MAX;
+  std::size_t k = dot_index - 1;
+  if (toks[k].kind != Token::Kind::kIdentifier) return SIZE_MAX;
+  while (k >= 2 && (toks[k - 1].is_punct(".") || toks[k - 1].is_punct("->")) &&
+         toks[k - 2].kind == Token::Kind::kIdentifier) {
+    k -= 2;
+  }
+  return k;
+}
+
+}  // namespace
+
+LockSymbols collect_lock_symbols(const SourceFile& file) {
+  LockSymbols syms;
+  syms.path = file.path;
+  const auto& toks = file.tokens;
+  const auto ranges = class_ranges(toks);
+
+  // Mutex declarations (same declaration shape lock-hygiene accepts).
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (toks[i].kind != Token::Kind::kIdentifier || kMutexTypes.count(toks[i].text) == 0) {
+      continue;
+    }
+    if (toks[i + 1].kind != Token::Kind::kIdentifier) continue;
+    if (!toks[i + 2].is_punct(";") && !toks[i + 2].is_punct("{") &&
+        !toks[i + 2].is_punct("=")) {
+      continue;
+    }
+    syms.mutexes.push_back({toks[i + 1].text, owner_at(ranges, i)});
+  }
+
+  // SMN_GUARDED_BY(m) trails the member declarator: the annotated member is
+  // the identifier immediately before the macro.
+  for (std::size_t i = 1; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != Token::Kind::kIdentifier || kGuardMacros.count(toks[i].text) == 0) {
+      continue;
+    }
+    if (!toks[i + 1].is_punct("(")) continue;
+    if (toks[i - 1].kind != Token::Kind::kIdentifier) continue;
+    const std::size_t close = find_matching(toks, i + 1, "(", ")");
+    if (close >= toks.size()) continue;
+    syms.guards.push_back({toks[i - 1].text, normalize_expr(toks, i + 2, close),
+                           owner_at(ranges, i), file.path});
+  }
+
+  // SMN_REQUIRES(m...) trails a function declarator. Walk back over
+  // qualifiers and earlier annotation groups to the parameter list; the
+  // identifier before its '(' is the function name.
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != Token::Kind::kIdentifier ||
+        kRequiresMacros.count(toks[i].text) == 0) {
+      continue;
+    }
+    if (!toks[i + 1].is_punct("(")) continue;
+    const std::size_t req_close = find_matching(toks, i + 1, "(", ")");
+    if (req_close >= toks.size()) continue;
+
+    std::size_t params_open = 0;
+    std::size_t params_close = 0;
+    std::size_t name_tok = 0;
+    bool shaped = false;
+    std::size_t j = i;  // walk targets toks[j - 1]
+    while (j > 0) {
+      const Token& p = toks[j - 1];
+      if (p.is_ident("const") || p.is_ident("noexcept") || p.is_ident("override") ||
+          p.is_ident("final") || is_annotation_macro(p)) {
+        --j;
+        continue;
+      }
+      if (!p.is_punct(")")) break;
+      // Matching '(' backwards.
+      int depth = 0;
+      std::size_t k = j - 1;
+      while (true) {
+        if (toks[k].is_punct(")")) ++depth;
+        if (toks[k].is_punct("(")) {
+          --depth;
+          if (depth == 0) break;
+        }
+        if (k == 0) break;
+        --k;
+      }
+      if (depth != 0 || k == 0) break;
+      if (is_annotation_macro(toks[k - 1])) {
+        j = k - 1;  // an earlier annotation's argument group; keep walking
+        continue;
+      }
+      if (toks[k - 1].kind == Token::Kind::kIdentifier &&
+          kNotFunctionNames.count(toks[k - 1].text) == 0) {
+        params_open = k;
+        params_close = j - 1;
+        name_tok = k - 1;
+        shaped = true;
+      }
+      break;
+    }
+    if (!shaped) continue;
+
+    LockSymbols::Fn fn;
+    fn.name = toks[name_tok].text;
+    // Parameter names: the last identifier of each top-level argument chunk
+    // (cut at a default-value '=').
+    {
+      int depth = 0;
+      std::string last_ident;
+      bool in_default = false;
+      for (std::size_t k = params_open + 1; k <= params_close; ++k) {
+        const bool at_end = k == params_close;
+        if (!at_end) {
+          if (toks[k].is_punct("(") || toks[k].is_punct("[") || toks[k].is_punct("{") ||
+              toks[k].is_punct("<")) {
+            ++depth;
+          } else if (toks[k].is_punct(")") || toks[k].is_punct("]") ||
+                     toks[k].is_punct("}") || toks[k].is_punct(">")) {
+            --depth;
+          } else if (depth == 0 && toks[k].is_punct("=")) {
+            in_default = true;
+          } else if (depth == 0 && !in_default &&
+                     toks[k].kind == Token::Kind::kIdentifier) {
+            last_ident = toks[k].text;
+          }
+        }
+        if (at_end || (depth == 0 && toks[k].is_punct(","))) {
+          if (!last_ident.empty()) fn.params.push_back(last_ident);
+          last_ident.clear();
+          in_default = false;
+        }
+      }
+    }
+    for (const Arg& arg : split_args(toks, i + 1, req_close)) {
+      fn.requires_exprs.push_back(arg.norm);
+    }
+
+    // Declaration and definition may both carry the annotation; merge.
+    auto existing = std::find_if(syms.functions.begin(), syms.functions.end(),
+                                 [&](const LockSymbols::Fn& f) { return f.name == fn.name; });
+    if (existing == syms.functions.end()) {
+      syms.functions.push_back(std::move(fn));
+    } else {
+      for (const std::string& e : fn.requires_exprs) {
+        if (std::find(existing->requires_exprs.begin(), existing->requires_exprs.end(), e) ==
+            existing->requires_exprs.end()) {
+          existing->requires_exprs.push_back(e);
+        }
+      }
+    }
+  }
+  return syms;
+}
+
+LockEnv build_lock_env(const std::vector<const LockSymbols*>& deps,
+                       const LockSymbols& self) {
+  LockEnv env;
+  const auto add = [&env](const LockSymbols& s) {
+    for (const auto& g : s.guards) env.guarded[g.member] = g;
+    for (const auto& f : s.functions) env.functions[f.name] = f;
+    for (const auto& m : s.mutexes) env.mutex_owner[m.name] = m.owner;
+  };
+  for (const LockSymbols* d : deps) {
+    if (d != nullptr) add(*d);
+  }
+  add(self);
+  return env;
+}
+
+namespace {
+
+/// A lock the dataflow believes is held at the current point.
+struct HeldLock {
+  std::string key;  ///< normalized mutex expression
+  int depth;        ///< brace depth at acquisition; -1 = entry requirement
+  std::string var;  ///< holder variable name; "" for entry / bare .lock()
+};
+
+class BodyAnalysis {
+ public:
+  BodyAnalysis(const SourceFile& file, const LockEnv& env, std::vector<Finding>& out,
+               std::vector<LockOrderEdge>* edges)
+      : file_(file), env_(env), out_(out), edges_(edges) {}
+
+  void run(std::size_t params_open, std::size_t params_close, std::size_t body_open,
+           std::size_t body_end, const std::vector<std::string>& entry_keys) {
+    const auto& toks = file_.tokens;
+    collect_locals(params_open + 1, params_close);
+    collect_locals(body_open + 1, body_end);
+    for (const std::string& key : entry_keys) held_.push_back({key, -1, ""});
+
+    for (std::size_t j = body_open + 1; j < body_end; ++j) {
+      const Token& t = toks[j];
+      if (t.is_punct("{")) {
+        ++depth_;
+        continue;
+      }
+      if (t.is_punct("}")) {
+        --depth_;
+        std::erase_if(held_, [&](const HeldLock& h) { return h.depth > depth_; });
+        continue;
+      }
+      if (t.kind != Token::Kind::kIdentifier) continue;
+
+      // Local class/struct definitions declare members, they don't access
+      // them; skip the whole block.
+      if ((t.is_ident("struct") || t.is_ident("class")) &&
+          !(j > 0 && toks[j - 1].is_ident("enum")) && j + 1 < body_end &&
+          toks[j + 1].kind == Token::Kind::kIdentifier) {
+        for (std::size_t k = j + 2; k < body_end; ++k) {
+          if (toks[k].is_punct("{")) {
+            j = find_matching(toks, k, "{", "}");
+            break;
+          }
+          if (toks[k].is_punct(";") || toks[k].is_punct("(") || toks[k].is_punct("=")) break;
+        }
+        continue;
+      }
+
+      if (kLockHolders.count(t.text) > 0) {
+        j = handle_holder_decl(j, body_end);
+        continue;
+      }
+      if ((t.is_ident("lock") || t.is_ident("unlock")) && j + 1 < body_end &&
+          toks[j + 1].is_punct("(") && j > 0 &&
+          (toks[j - 1].is_punct(".") || toks[j - 1].is_punct("->"))) {
+        handle_manual_lock(j);
+        continue;
+      }
+      if (env_.functions.count(t.text) > 0 && j + 1 < body_end && toks[j + 1].is_punct("(")) {
+        handle_requires_call(j);
+        continue;
+      }
+      if (env_.guarded.count(t.text) > 0) handle_member_access(j);
+    }
+  }
+
+ private:
+  /// Declaration-shaped `Type [&*] name <terminator>` pairs in [begin, end):
+  /// parameters and locals of this function, with the spelled type's last
+  /// identifier. Flow-insensitive on purpose — a local shadowing a guarded
+  /// member name anywhere in the function mutes the bare-name check for the
+  /// whole function (quiet over clever), and a prefixed access is only
+  /// checked when the prefix object's spelled type matches the guard's
+  /// owning class.
+  void collect_locals(std::size_t begin, std::size_t end) {
+    static const std::set<std::string, std::less<>> kNotTypeNames{
+        "return",   "throw",   "new",       "delete",    "case",     "goto",
+        "else",     "operator", "using",    "typename",  "template", "public",
+        "private",  "protected", "struct",  "class",     "enum",     "namespace",
+        "break",    "continue", "do",       "if",        "while",    "for",
+        "sizeof",   "static",  "inline",    "virtual",   "explicit", "typedef",
+        "const",    "constexpr", "mutable", "volatile",  "switch",   "catch"};
+    const auto& toks = file_.tokens;
+    for (std::size_t x = begin; x + 1 < end && x + 1 < toks.size(); ++x) {
+      const Token& t = toks[x];
+      const bool ident_type =
+          t.kind == Token::Kind::kIdentifier && kNotTypeNames.count(t.text) == 0;
+      const bool template_type = t.is_punct(">");
+      if (!ident_type && !template_type) continue;
+      std::size_t y = x + 1;
+      while (y < end && (toks[y].is_punct("&") || toks[y].is_punct("*") ||
+                         toks[y].is_punct("&&"))) {
+        ++y;
+      }
+      if (y >= end || y + 1 > toks.size() || toks[y].kind != Token::Kind::kIdentifier) {
+        continue;
+      }
+      if (y + 1 >= toks.size()) continue;
+      const Token& after = toks[y + 1];
+      const bool terminated =
+          ident_type ? (after.is_punct(";") || after.is_punct("=") || after.is_punct(",") ||
+                        after.is_punct(")") || after.is_punct("(") || after.is_punct("{") ||
+                        after.is_punct(":"))
+                     // `>`-typed shape is riskier (could be a comparison);
+                     // accept only unambiguous declaration terminators.
+                     : (after.is_punct(";") || after.is_punct("=") || after.is_punct("(") ||
+                        after.is_punct("{"));
+      if (!terminated) continue;
+      locals_.insert(toks[y].text);
+      typed_.emplace(toks[y].text, ident_type ? t.text : "");
+    }
+  }
+
+  bool is_held(const std::string& key) const {
+    return std::any_of(held_.begin(), held_.end(),
+                       [&](const HeldLock& h) { return h.key == key; });
+  }
+
+  /// Class-qualifies a key's mutex name for the order graph, so the same
+  /// member mutex reached through different objects ("shard.mutex",
+  /// "other.mutex") aggregates to one node ("Shard::mutex").
+  std::string qualify(const std::string& key) const {
+    const std::size_t dot = key.rfind('.');
+    const std::string name = dot == std::string::npos ? key : key.substr(dot + 1);
+    const auto it = env_.mutex_owner.find(name);
+    if (it != env_.mutex_owner.end() && !it->second.empty()) {
+      return it->second + "::" + name;
+    }
+    return name;
+  }
+
+  void acquire(const std::string& key, const std::string& var, int line, bool adopted) {
+    if (key.empty()) return;
+    if (is_held(key)) {
+      if (!adopted) {
+        out_.push_back({"lock-discipline", file_.path, line,
+                        "mutex '" + key +
+                            "' acquired while this scope already holds it; the std lock "
+                            "types self-deadlock on re-acquisition"});
+      }
+    } else if (!adopted && edges_ != nullptr) {
+      for (const HeldLock& h : held_) {
+        const std::string from = qualify(h.key);
+        const std::string to = qualify(key);
+        if (from != to) edges_->push_back({from, to, file_.path, line});
+      }
+    }
+    held_.push_back({key, depth_, var});
+  }
+
+  void release_var(const std::string& var) {
+    std::erase_if(held_, [&](const HeldLock& h) { return !var.empty() && h.var == var; });
+  }
+
+  /// `lock_guard<...> name(args)` and friends. Returns the index to resume
+  /// scanning from (the argument list is lock machinery, not accesses).
+  std::size_t handle_holder_decl(std::size_t j, std::size_t body_end) {
+    const auto& toks = file_.tokens;
+    std::size_t k = j + 1;
+    if (k < body_end && toks[k].is_punct("<")) {  // explicit template args
+      int angle = 0;
+      for (; k < body_end; ++k) {
+        if (toks[k].is_punct("<")) ++angle;
+        if (toks[k].is_punct(">")) {
+          --angle;
+          if (angle == 0) {
+            ++k;
+            break;
+          }
+        }
+      }
+    }
+    if (k >= body_end || toks[k].kind != Token::Kind::kIdentifier) return j;
+    const std::string var = toks[k].text;
+    const std::size_t open = k + 1;
+    if (open >= body_end || !(toks[open].is_punct("(") || toks[open].is_punct("{"))) {
+      return j;  // e.g. `std::unique_lock<std::mutex> lock;` — nothing held yet
+    }
+    const bool paren = toks[open].is_punct("(");
+    const std::size_t close =
+        paren ? find_matching(toks, open, "(", ")") : find_matching(toks, open, "{", "}");
+    if (close >= body_end) return j;
+
+    bool deferred = false;
+    bool adopted = false;
+    std::vector<std::string> keys;
+    for (const Arg& arg : split_args(toks, open, close)) {
+      if (arg.norm.find("defer_lock") != std::string::npos ||
+          arg.norm.find("try_to_lock") != std::string::npos) {
+        deferred = true;
+      } else if (arg.norm.find("adopt_lock") != std::string::npos) {
+        adopted = true;
+      } else if (arg.simple) {
+        keys.push_back(arg.norm);
+      }
+    }
+    var_keys_[var] = keys;
+    if (!deferred) {
+      for (const std::string& key : keys) acquire(key, var, toks[j].line, adopted);
+    }
+    return close;
+  }
+
+  /// `x.lock()` / `x.unlock()`: a holder variable by name re-locks /
+  /// releases its keys; anything else is treated as a bare mutex.
+  void handle_manual_lock(std::size_t j) {
+    const auto& toks = file_.tokens;
+    const std::size_t begin = chain_begin(toks, j - 1);
+    if (begin == SIZE_MAX) return;
+    const std::string chain = normalize_expr(toks, begin, j - 1);
+    const bool locking = toks[j].is_ident("lock");
+    const auto vk = var_keys_.find(chain);
+    if (vk != var_keys_.end()) {
+      if (locking) {
+        for (const std::string& key : vk->second) acquire(key, chain, toks[j].line, false);
+      } else {
+        release_var(chain);
+      }
+      return;
+    }
+    if (locking) {
+      acquire(chain, "", toks[j].line, false);
+    } else {
+      std::erase_if(held_, [&](const HeldLock& h) { return h.key == chain; });
+    }
+  }
+
+  /// Call to an SMN_REQUIRES-annotated function: every requirement must be
+  /// held, after substituting requirement roots that name callee parameters
+  /// with the call-site arguments.
+  void handle_requires_call(std::size_t j) {
+    const auto& toks = file_.tokens;
+    const LockSymbols::Fn& fn = env_.functions.at(toks[j].text);
+    const std::size_t close = find_matching(toks, j + 1, "(", ")");
+    if (close >= toks.size()) return;
+    const std::vector<Arg> args = split_args(toks, j + 1, close);
+
+    std::string prefix;  // object of a `obj.f(...)` call, "" when unprefixed
+    if (j > 0 && (toks[j - 1].is_punct(".") || toks[j - 1].is_punct("->"))) {
+      const std::size_t begin = chain_begin(toks, j - 1);
+      if (begin == SIZE_MAX) return;  // result-of-call receiver; cannot resolve
+      prefix = normalize_expr(toks, begin, j - 1);
+      if (prefix == "this") prefix.clear();
+    }
+
+    for (const std::string& expr : fn.requires_exprs) {
+      const std::size_t dot = expr.find('.');
+      const std::string root = dot == std::string::npos ? expr : expr.substr(0, dot);
+      const std::string rest = dot == std::string::npos ? "" : expr.substr(dot);
+      std::string required;
+      const auto param = std::find(fn.params.begin(), fn.params.end(), root);
+      if (param != fn.params.end()) {
+        const std::size_t idx = static_cast<std::size_t>(param - fn.params.begin());
+        if (idx >= args.size() || !args[idx].simple) continue;  // unresolvable
+        required = args[idx].norm + rest;
+      } else if (prefix.empty()) {
+        required = expr;
+      } else if (dot == std::string::npos) {
+        required = prefix + "." + expr;
+      } else {
+        continue;  // dotted member requirement through another object
+      }
+      if (!is_held(required)) {
+        out_.push_back({"lock-discipline", file_.path, toks[j].line,
+                        "call to '" + fn.name + "' requires holding '" + required +
+                            "' (SMN_REQUIRES), which this scope does not hold"});
+      }
+    }
+  }
+
+  /// Read/write of an SMN_GUARDED_BY member. Only members declared in this
+  /// file or its stem sibling are checked — a shared member name in an
+  /// unrelated included header must not misfire.
+  void handle_member_access(std::size_t j) {
+    const auto& toks = file_.tokens;
+    if (j + 1 < toks.size() && (toks[j + 1].is_punct("(") || toks[j + 1].is_punct("::"))) {
+      return;  // method call / qualified name, not a data access
+    }
+    if (j > 0 && toks[j - 1].is_punct("::")) return;
+    const LockSymbols::Guard& g = env_.guarded.at(toks[j].text);
+    if (!stem_siblings(g.declared_in, file_.path)) return;
+
+    std::string required;
+    if (j > 0 && (toks[j - 1].is_punct(".") || toks[j - 1].is_punct("->"))) {
+      const std::size_t begin = chain_begin(toks, j - 1);
+      if (begin == SIZE_MAX) return;
+      std::string prefix = normalize_expr(toks, begin, j - 1);
+      if (prefix == "this") prefix.clear();
+      if (prefix.empty()) {
+        required = g.mutex_expr;
+      } else {
+        // Only check when the prefix object's spelled type is the guard's
+        // owning class — `records.pairs` on a StagedColumns is a different
+        // `pairs` than the guarded Shard member.
+        const auto type = typed_.find(prefix);
+        if (type == typed_.end() || type->second != g.owner) return;
+        if (g.mutex_expr.find('.') != std::string::npos) return;  // cannot re-root
+        required = prefix + "." + g.mutex_expr;
+      }
+    } else {
+      if (locals_.count(toks[j].text) > 0) return;  // local shadows the member
+      required = g.mutex_expr;
+    }
+    if (!is_held(required)) {
+      out_.push_back({"lock-discipline", file_.path, toks[j].line,
+                      "'" + g.member + "' is SMN_GUARDED_BY(" + g.mutex_expr +
+                          ") but accessed without holding '" + required + "'"});
+    }
+  }
+
+  const SourceFile& file_;
+  const LockEnv& env_;
+  std::vector<Finding>& out_;
+  std::vector<LockOrderEdge>* edges_;
+  std::vector<HeldLock> held_;
+  std::map<std::string, std::vector<std::string>> var_keys_;
+  std::set<std::string> locals_;          ///< parameter / local variable names
+  std::map<std::string, std::string> typed_;  ///< local -> spelled type ("" unknown)
+  int depth_ = 0;
+};
+
+}  // namespace
+
+void check_lock_discipline(const SourceFile& file, const LockEnv& env,
+                           std::vector<Finding>& out,
+                           std::vector<LockOrderEdge>* edges) {
+  const auto& toks = file.tokens;
+  const auto ranges = class_ranges(toks);
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != Token::Kind::kIdentifier || !toks[i + 1].is_punct("(")) continue;
+    if (kNotFunctionNames.count(toks[i].text) > 0 || is_annotation_macro(toks[i])) continue;
+    if (i > 0 && (toks[i - 1].is_punct(".") || toks[i - 1].is_punct("->"))) continue;
+    const std::size_t params_close = find_matching(toks, i + 1, "(", ")");
+    if (params_close >= toks.size()) break;
+
+    // Constructors and destructors run before the object is shared (or
+    // after it stops being shared); guarded members are legitimately free.
+    // Same exemption clang's thread-safety analysis applies.
+    bool ctor_dtor = false;
+    if (i > 0 && toks[i - 1].is_punct("~")) ctor_dtor = true;
+    if (i > 1 && toks[i - 1].is_punct("::") && toks[i - 2].text == toks[i].text) {
+      ctor_dtor = true;
+    }
+    if (owner_at(ranges, i) == toks[i].text) ctor_dtor = true;
+
+    // Walk the declarator tail to the body '{': qualifiers, annotations
+    // (collecting inline SMN_REQUIRES), a trailing return type, and a
+    // constructor init list (whose member references are initialization,
+    // not guarded access — skipped wholesale).
+    std::vector<std::string> entry_keys;
+    bool no_analysis = false;
+    bool is_definition = false;
+    std::size_t j = params_close + 1;
+    while (j < toks.size()) {
+      const Token& t = toks[j];
+      if (t.is_punct("{")) {
+        is_definition = true;
+        break;
+      }
+      if (t.is_ident("const") || t.is_ident("noexcept") || t.is_ident("override") ||
+          t.is_ident("final")) {
+        ++j;
+        continue;
+      }
+      if (is_annotation_macro(t)) {
+        if (t.is_ident("SMN_NO_THREAD_SAFETY_ANALYSIS")) no_analysis = true;
+        if (j + 1 < toks.size() && toks[j + 1].is_punct("(")) {
+          const std::size_t close = find_matching(toks, j + 1, "(", ")");
+          if (close >= toks.size()) break;
+          if (kRequiresMacros.count(t.text) > 0) {
+            for (const Arg& arg : split_args(toks, j + 1, close)) {
+              entry_keys.push_back(arg.norm);
+            }
+          }
+          j = close + 1;
+        } else {
+          ++j;
+        }
+        continue;
+      }
+      if (t.is_punct("->")) {  // trailing return type
+        ++j;
+        int angle = 0;
+        while (j < toks.size()) {
+          if (toks[j].is_punct("<")) ++angle;
+          if (toks[j].is_punct(">")) --angle;
+          if (angle <= 0 && (toks[j].is_punct("{") || toks[j].is_punct(";"))) break;
+          ++j;
+        }
+        continue;
+      }
+      if (t.is_punct(":")) {  // constructor init list
+        ++j;
+        bool list_ok = true;
+        while (j < toks.size()) {
+          if (toks[j].kind != Token::Kind::kIdentifier) {
+            list_ok = false;
+            break;
+          }
+          ++j;
+          if (j >= toks.size()) {
+            list_ok = false;
+            break;
+          }
+          if (toks[j].is_punct("(")) {
+            j = find_matching(toks, j, "(", ")") + 1;
+          } else if (toks[j].is_punct("{")) {
+            j = find_matching(toks, j, "{", "}") + 1;
+          } else {
+            list_ok = false;
+            break;
+          }
+          if (j < toks.size() && toks[j].is_punct(",")) {
+            ++j;
+            continue;
+          }
+          break;
+        }
+        if (!list_ok) break;
+        continue;
+      }
+      break;
+    }
+    if (!is_definition) continue;
+    const std::size_t body_end = find_matching(toks, j, "{", "}");
+    if (body_end >= toks.size()) break;
+
+    if (!no_analysis && !ctor_dtor) {
+      // Requirements usually live on the header declaration; fold the
+      // environment's view of this function into the entry set.
+      const auto fn = env.functions.find(toks[i].text);
+      if (fn != env.functions.end()) {
+        for (const std::string& expr : fn->second.requires_exprs) {
+          if (std::find(entry_keys.begin(), entry_keys.end(), expr) == entry_keys.end()) {
+            entry_keys.push_back(expr);
+          }
+        }
+      }
+      BodyAnalysis(file, env, out, edges).run(i + 1, params_close, j, body_end, entry_keys);
+    }
+    i = body_end;  // no namespace-scope definitions inside a body
+  }
+}
+
+void check_lock_order_cycles(const std::vector<LockOrderEdge>& edges,
+                             std::vector<Finding>& out) {
+  // node -> acquired -> first edge observed (dedup keeps messages stable).
+  std::map<std::string, std::map<std::string, const LockOrderEdge*>> adj;
+  for (const LockOrderEdge& e : edges) {
+    adj[e.held].emplace(e.acquired, &e);
+    adj.try_emplace(e.acquired);
+  }
+
+  // One cycle per anchor node, anchors visited in name order; a cycle is
+  // only reported from its lexicographically smallest node, so each prints
+  // exactly once however many files contribute edges to it.
+  for (const auto& [start, _] : adj) {
+    std::vector<const LockOrderEdge*> path;
+    std::set<std::string> on_path{start};
+    std::function<bool(const std::string&)> dfs = [&](const std::string& node) -> bool {
+      const auto it = adj.find(node);
+      if (it == adj.end()) return false;
+      for (const auto& [next, edge] : it->second) {
+        if (next < start) continue;  // that cycle anchors at a smaller node
+        if (next == start) {
+          path.push_back(edge);
+          return true;
+        }
+        if (on_path.count(next) > 0) continue;
+        on_path.insert(next);
+        path.push_back(edge);
+        if (dfs(next)) return true;
+        path.pop_back();
+        on_path.erase(next);
+      }
+      return false;
+    };
+    if (!dfs(start)) continue;
+
+    std::string desc = start;
+    for (const LockOrderEdge* e : path) desc += " -> " + e->acquired;
+    const LockOrderEdge* first = path.front();
+    const LockOrderEdge* closing = path.back();
+    out.push_back(
+        {"lock-discipline", first->path, first->line,
+         "lock-order cycle: " + desc + "; acquiring '" + first->acquired +
+             "' while holding '" + first->held + "' here conflicts with the opposite order at " +
+             closing->path + ":" + std::to_string(closing->line)});
+  }
+}
+
+}  // namespace smn::lint

@@ -1,0 +1,109 @@
+// R7 lock-discipline: the semantic layer of smn_lint (DESIGN.md §13).
+//
+// The pass consumes the SMN_* annotation vocabulary of
+// src/util/thread_annotations.h straight off the token stream — no
+// preprocessing — and runs a brace-scope dataflow over
+// lock_guard/unique_lock/shared_lock/scoped_lock lifetimes. Four finding
+// kinds, all under the rule id "lock-discipline":
+//
+//   (a) a member annotated SMN_GUARDED_BY(m) read or written in a scope
+//       that does not hold m;
+//   (b) a call to a function annotated SMN_REQUIRES(m) from a scope that
+//       does not hold m (requirement exprs naming the callee's parameters
+//       are substituted with the call-site arguments);
+//   (c) re-acquisition of a mutex the scope already holds (self-deadlock
+//       on the non-recursive std types);
+//   (d) a cycle in the repo-wide lock-acquisition-order graph, aggregated
+//       over every "acquired B while holding A" edge the dataflow sees.
+//
+// Annotations live on declarations (usually headers) while the accesses
+// live in the paired .cpp, and the lexer does not preprocess — so the
+// symbol environment of a file is built from the file itself, its stem
+// sibling (foo.h <-> foo.cpp), and its direct project includes
+// (lint_sources in linter.h resolves them against the linted set).
+//
+// Deliberate scope limits, to keep the pass quiet on correct code: bare
+// (unprefixed) member accesses are only checked when the member's
+// declaring file is the linted file or its stem sibling; object-prefixed
+// accesses (shard.days, state->pending) are checked against a lock on the
+// same object (shard.mutex, state.mutex); accesses spelled as calls
+// (`name(...)`) are never member reads; class/struct declaration blocks
+// inside function bodies are skipped. Everything is suppressible with
+// `// smn-lint: allow(lock-discipline)`.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/smn_lint/lexer.h"
+#include "tools/smn_lint/rules.h"
+
+namespace smn::lint {
+
+/// Annotation symbol table of one file, extracted from SMN_* spellings.
+struct LockSymbols {
+  /// Root-relative path of the file the symbols came from.
+  std::string path;
+
+  struct Guard {
+    std::string member;      ///< annotated member name
+    std::string mutex_expr;  ///< normalized guard expr ("mutex_", "shard.mutex")
+    std::string owner;       ///< enclosing class/struct name ("" at file scope)
+    std::string declared_in; ///< root-relative declaring path
+  };
+  std::vector<Guard> guards;
+
+  struct Fn {
+    std::string name;
+    std::vector<std::string> params;         ///< declared parameter names
+    std::vector<std::string> requires_exprs; ///< SMN_REQUIRES / _SHARED exprs
+  };
+  /// Functions with at least one SMN_REQUIRES / SMN_REQUIRES_SHARED.
+  std::vector<Fn> functions;
+
+  struct Mutex {
+    std::string name;
+    std::string owner;  ///< enclosing class/struct ("" at file/function scope)
+  };
+  /// Declared std::mutex / std::shared_mutex / ... variables and members.
+  std::vector<Mutex> mutexes;
+};
+
+LockSymbols collect_lock_symbols(const SourceFile& file);
+
+/// Merged symbol environment a file is checked against: its own symbols
+/// last (they win name collisions), dependencies first.
+struct LockEnv {
+  std::map<std::string, LockSymbols::Guard> guarded;  ///< member -> guard
+  std::map<std::string, LockSymbols::Fn> functions;   ///< name -> requirements
+  std::map<std::string, std::string> mutex_owner;     ///< mutex name -> class
+};
+
+LockEnv build_lock_env(const std::vector<const LockSymbols*>& deps,
+                       const LockSymbols& self);
+
+/// One "acquired `acquired` while holding `held`" observation. Nodes are
+/// class-qualified ("Shard::mutex") when the owning class is known, so the
+/// same mutex acquired from different files aggregates to one node.
+struct LockOrderEdge {
+  std::string held;
+  std::string acquired;
+  std::string path;
+  int line = 0;
+};
+
+/// Finding kinds (a)-(c) on one file; appends the file's acquisition-order
+/// observations to *edges (pass nullptr to skip edge collection).
+void check_lock_discipline(const SourceFile& file, const LockEnv& env,
+                           std::vector<Finding>& out,
+                           std::vector<LockOrderEdge>* edges);
+
+/// Finding kind (d): cycle detection over the aggregated edges. Each cycle
+/// is reported once, anchored at its lexicographically smallest node's
+/// acquisition site.
+void check_lock_order_cycles(const std::vector<LockOrderEdge>& edges,
+                             std::vector<Finding>& out);
+
+}  // namespace smn::lint

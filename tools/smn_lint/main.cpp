@@ -1,6 +1,6 @@
 // smn_lint CLI. Usage:
 //
-//   smn_lint --root <repo-root> [path ...]
+//   smn_lint --root <repo-root> [--format=text|json] [--rule=<name>] [path ...]
 //
 // Paths are files or directories relative to the root (absolute also
 // accepted); with none given, the default sweep covers src, tools, tests,
@@ -8,11 +8,22 @@
 // lint-violation corpora) and build trees; naming a fixture file explicitly
 // lints it, which is how the self-test exercises the seeded violations.
 //
+// Every collected file is lexed up front and linted as one project
+// (lint_sources), so the R7 lock-discipline pass sees cross-file
+// annotations and the aggregated lock-acquisition-order graph.
+//
+// --format=json prints the surviving findings as a JSON array of
+// {"path","line","rule","message"} objects on stdout (the summary moves to
+// stderr); CI turns them into GitHub `::error` annotations. --rule=<name>
+// keeps only findings of one rule family.
+//
 // Exit status: 0 when clean (suppressions are fine), 1 when any violation
 // survives, 2 on usage or I/O errors.
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -52,11 +63,21 @@ void collect(const fs::path& target, std::vector<fs::path>& files) {
   }
 }
 
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("smn_lint: cannot read " + path.string());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   fs::path root = fs::current_path();
   std::vector<std::string> targets;
+  bool json = false;
+  std::string rule_filter;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--root") {
@@ -65,8 +86,26 @@ int main(int argc, char** argv) {
         return 2;
       }
       root = argv[++i];
+    } else if (arg.rfind("--format=", 0) == 0) {
+      const std::string format = arg.substr(9);
+      if (format == "json") {
+        json = true;
+      } else if (format == "text") {
+        json = false;
+      } else {
+        std::fprintf(stderr, "smn_lint: unknown format '%s' (text|json)\n", format.c_str());
+        return 2;
+      }
+    } else if (arg.rfind("--rule=", 0) == 0) {
+      rule_filter = arg.substr(7);
+      if (rule_filter.empty()) {
+        std::fprintf(stderr, "smn_lint: --rule= needs a rule name\n");
+        return 2;
+      }
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: smn_lint --root <repo-root> [path ...]\n");
+      std::printf(
+          "usage: smn_lint --root <repo-root> [--format=text|json] [--rule=<name>] "
+          "[path ...]\n");
       return 0;
     } else {
       targets.push_back(arg);
@@ -75,7 +114,7 @@ int main(int argc, char** argv) {
   if (targets.empty()) targets = {"src", "tools", "tests", "bench", "examples"};
 
   const smn::lint::LintConfig config;
-  std::size_t violations = 0;
+  std::vector<smn::lint::Finding> violations;
   std::size_t suppressed = 0;
   std::size_t scanned = 0;
   try {
@@ -87,15 +126,24 @@ int main(int argc, char** argv) {
       collect(path, files);
     }
     std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()), files.end());
+
+    std::vector<smn::lint::SourceFile> sources;
+    sources.reserve(files.size());
     for (const fs::path& file : files) {
       const std::string rel = fs::relative(file, root).generic_string();
-      const auto report = smn::lint::lint_file(file.string(), rel, config);
-      ++scanned;
-      suppressed += report.suppressed.size();
-      for (const auto& finding : report.findings) {
-        std::printf("%s:%d: error: [%s] %s\n", finding.path.c_str(), finding.line,
-                    finding.rule.c_str(), finding.message.c_str());
-        ++violations;
+      sources.push_back(smn::lint::lex(rel, read_file(file)));
+    }
+    scanned = sources.size();
+
+    const auto keep = [&](const smn::lint::Finding& f) {
+      return rule_filter.empty() || f.rule == rule_filter;
+    };
+    for (auto& [path, report] : smn::lint::lint_sources(sources, config)) {
+      suppressed += static_cast<std::size_t>(
+          std::count_if(report.suppressed.begin(), report.suppressed.end(), keep));
+      for (auto& finding : report.findings) {
+        if (keep(finding)) violations.push_back(std::move(finding));
       }
     }
   } catch (const std::exception& e) {
@@ -103,7 +151,16 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::printf("smn-lint: %zu file(s) scanned, %zu violation(s), %zu suppressed\n", scanned,
-              violations, suppressed);
-  return violations == 0 ? 0 : 1;
+  if (json) {
+    std::fputs(smn::lint::findings_to_json(violations).c_str(), stdout);
+  } else {
+    for (const auto& finding : violations) {
+      std::printf("%s:%d: error: [%s] %s\n", finding.path.c_str(), finding.line,
+                  finding.rule.c_str(), finding.message.c_str());
+    }
+  }
+  std::fprintf(json ? stderr : stdout,
+               "smn-lint: %zu file(s) scanned, %zu violation(s), %zu suppressed\n", scanned,
+               violations.size(), suppressed);
+  return violations.empty() ? 0 : 1;
 }

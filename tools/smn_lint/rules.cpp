@@ -377,7 +377,27 @@ void check_lock_hygiene(const SourceFile& file, const FileClass& /*cls*/,
                         std::vector<Finding>& out) {
   const auto& toks = file.tokens;
 
-  // (a) every mutex declaration names what it guards.
+  // (a) every mutex declaration is documented: either machine-checkably,
+  // by appearing in an SMN_* capability annotation somewhere in the file
+  // (SMN_GUARDED_BY(m), SMN_REQUIRES(m), ... — the R7 lock-discipline pass
+  // then enforces it), or by a legacy `// guards:` comment for mutexes
+  // protecting non-member state (a stream, a file) annotations can't name.
+  const std::set<std::string, std::less<>> kCapabilityMacros{
+      "SMN_GUARDED_BY",      "SMN_PT_GUARDED_BY", "SMN_REQUIRES",
+      "SMN_REQUIRES_SHARED", "SMN_ACQUIRES",      "SMN_RELEASES",
+      "SMN_EXCLUDES",        "SMN_RETURN_CAPABILITY"};
+  std::set<std::string, std::less<>> annotated_names;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != Token::Kind::kIdentifier ||
+        kCapabilityMacros.count(toks[i].text) == 0 || !toks[i + 1].is_punct("(")) {
+      continue;
+    }
+    const std::size_t close = find_matching(toks, i + 1, "(", ")");
+    for (std::size_t j = i + 2; j < close && j < toks.size(); ++j) {
+      if (toks[j].kind == Token::Kind::kIdentifier) annotated_names.insert(toks[j].text);
+    }
+  }
+
   for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
     if (toks[i].kind != Token::Kind::kIdentifier || kMutexTypes.count(toks[i].text) == 0) {
       continue;
@@ -387,8 +407,8 @@ void check_lock_hygiene(const SourceFile& file, const FileClass& /*cls*/,
       continue;
     }
     const int line = toks[i].line;
-    bool annotated = false;
-    for (int l = line - 1; l <= line; ++l) {
+    bool annotated = annotated_names.count(toks[i + 1].text) > 0;
+    for (int l = line - 1; l <= line && !annotated; ++l) {
       const auto it = file.comments.find(l);
       if (it != file.comments.end() && it->second.find("guards:") != std::string::npos) {
         annotated = true;
@@ -397,7 +417,9 @@ void check_lock_hygiene(const SourceFile& file, const FileClass& /*cls*/,
     if (!annotated) {
       out.push_back({"lock-hygiene", file.path, line,
                      "mutex '" + toks[i + 1].text +
-                         "' lacks a '// guards:' comment naming the state it protects"});
+                         "' is named by no SMN_* capability annotation and has no "
+                         "'// guards:' comment; annotate the state it protects "
+                         "(SMN_GUARDED_BY) so lock-discipline can check it"});
     }
   }
 

@@ -1,5 +1,5 @@
-// The six project-invariant rule families smn_lint enforces, as named in
-// ISSUE/DESIGN §8:
+// The seven project-invariant rule families smn_lint enforces, as named in
+// ISSUE/DESIGN §8 and §13:
 //
 //   R1 hot-path-strings   — no std::string-keyed associative containers and
 //                           no string-API shim calls in hot-path modules
@@ -14,8 +14,12 @@
 //                           float accumulation inside iteration over an
 //                           unordered container.
 //   R3 lock-hygiene       — every std::mutex / std::shared_mutex declaration
-//                           carries a `// guards:` comment naming the state
-//                           it protects, and no lock-holder scope may call
+//                           is documented: named by an SMN_* capability
+//                           annotation (SMN_GUARDED_BY(m) on the state it
+//                           protects — the checkable form R7 then enforces)
+//                           or, for non-member state annotations can't name
+//                           (a stream, a file), a legacy `// guards:`
+//                           comment. Also: no lock-holder scope may call
 //                           ThreadPool::submit() / parallel_for() while the
 //                           lock is live (deadlock against pool workers).
 //   R4 header-hygiene     — headers use `#pragma once`; hot-path and solver
@@ -38,6 +42,17 @@
 //                           one SMN_CHECK / SMN_DCHECK / SMN_UNREACHABLE.
 //                           Anonymous-namespace helpers and trivial bodies
 //                           (fewer than two statements) are exempt.
+//   R7 lock-discipline    — semantic pass over the SMN_* thread-safety
+//                           annotations (src/util/thread_annotations.h): a
+//                           brace-scope dataflow tracks lock_guard /
+//                           unique_lock / shared_lock / scoped_lock
+//                           lifetimes and flags guarded-member access
+//                           without the guard held, SMN_REQUIRES calls
+//                           without the requirement held, re-acquisition of
+//                           a held mutex, and repo-wide cycles in the
+//                           lock-acquisition-order graph. Declared in
+//                           lock_discipline.h; the whole-project driver is
+//                           lint_sources() in linter.h.
 //
 // Every finding is suppressible with `// smn-lint: allow(<rule>)` on the
 // same line or the line directly above (see linter.h).
