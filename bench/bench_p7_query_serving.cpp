@@ -1,0 +1,360 @@
+// PR-7 serving bench — concurrent snapshot queries against the
+// live-ingesting BandwidthLogStore (DESIGN.md §14). Three legs:
+//
+//   * Fidelity (deterministic, untimed): ingest a prefix, spill part of it,
+//     take a ReadView, then ingest the rest and run more retention — the
+//     view's fine_range must be byte-identical to a fresh quiesced store
+//     holding exactly the prefix. Gated (snapshot_identical). A
+//     deterministic budget-overflow probe also proves the admission layer
+//     sheds (shed_exercised).
+//
+//   * Ingest baseline: the writer loop alone (per-record ingest cycling the
+//     workload plus periodic retention) — the no-reader throughput
+//     yardstick.
+//
+//   * Mixed serving: the same writer loop with N in {1, 4, 8, 16} reader
+//     threads, each serving budget-gated fine_range queries over random
+//     hour windows off fresh ReadViews (so every query pays admission +
+//     view acquisition + merge, straddling the spilled day-0 and the
+//     resident days). Reports per-leg p50/p99 latency and aggregate QPS;
+//     readers validate every view they touch (sorted merge output, row
+//     counts matching the captured high-water) and count deviations —
+//     gated at zero (mid_run_deviations).
+//
+// Scaling gates (hardware-guarded — vacuously true on small runners, since
+// thread scaling below the required core count measures the scheduler, not
+// the read path):
+//   * scaling_ok: aggregate QPS at 8 readers >= 3x QPS at 1 reader, gated
+//     when hardware_concurrency >= 8;
+//   * ingest_ok: writer throughput under 8 readers within 10% of the
+//     no-reader baseline, gated when hardware_concurrency >= 12 (writer +
+//     8 readers + slack actually run concurrently).
+//
+// Writes BENCH_query_serving.json into the working directory:
+//   {
+//     "instance": {...},
+//     "ingest": {"baseline_records_per_s", "under_8_readers_records_per_s",
+//                "ratio"},
+//     "readers_1" | "readers_4" | "readers_8" | "readers_16":
+//       {"p50_ms", "p99_ms", "qps", "queries", "sheds"},
+//     "scaling": {"qps_1", "qps_8", "speedup"},
+//     "fidelity": {"snapshot_identical", "mid_run_deviations", "scaling_ok",
+//                  "ingest_ok", "shed_exercised"}
+//   }
+//
+// `--smoke` shrinks the workload and the per-leg duration for the
+// bench_smoke ctest label; the fidelity gates are duration-independent.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "smn/query_serving.h"
+#include "telemetry/log_store.h"
+#include "telemetry/traffic_generator.h"
+#include "topology/wan_generator.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace smn;
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+bool logs_identical(const telemetry::BandwidthLog& a, const telemetry::BandwidthLog& b) {
+  if (a.record_count() != b.record_count()) return false;
+  for (std::size_t i = 0; i < a.record_count(); ++i) {
+    if (a.timestamps()[i] != b.timestamps()[i] || a.pair_ids()[i] != b.pair_ids()[i] ||
+        a.bandwidths()[i] != b.bandwidths()[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double percentile(std::vector<double>& sorted_ms, double p) {
+  if (sorted_ms.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(p * static_cast<double>(sorted_ms.size() - 1));
+  return sorted_ms[idx];
+}
+
+/// Result of one mixed-serving leg.
+struct LegResult {
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double qps = 0.0;
+  std::size_t queries = 0;
+  std::uint64_t sheds = 0;
+  std::uint64_t deviations = 0;
+  double writer_records_per_s = 0.0;
+};
+
+/// Runs the writer loop (per-record ingest cycling `stream`, retention once
+/// per cycle) with `readers` query threads for `duration_ms`. `readers`
+/// zero is the ingest baseline.
+LegResult run_leg(const telemetry::BandwidthLog& stream, const std::string& spill_dir,
+                  int readers, double duration_ms, util::SimTime window) {
+  std::error_code ec;
+  std::filesystem::remove_all(spill_dir, ec);
+  telemetry::LogStoreConfig config;
+  config.streaming_window = window;
+  config.shards = 8;
+  config.ingest_threads = 1;
+  config.spill_dir = spill_dir;
+  telemetry::BandwidthLogStore store(config);
+
+  // Prepopulate: day 0 resident, then spilled — queries straddle tiers.
+  const util::SimTime horizon = stream.timestamps().back() + 1;
+  std::size_t split = 0;
+  while (split < stream.record_count() && stream.timestamps()[split] < util::kDay) ++split;
+  {
+    telemetry::BandwidthLog day0;
+    for (std::size_t i = 0; i < split; ++i) {
+      day0.append(stream.timestamps()[i], stream.pair_ids()[i], stream.bandwidths()[i]);
+    }
+    store.ingest(day0);
+    store.coarsen_older_than(util::kDay, 0, window);
+  }
+
+  ::smn::smn::QueryBudgetConfig budget_config;
+  budget_config.max_in_flight = static_cast<std::size_t>(std::max(readers, 1)) * 2;
+  budget_config.deadline = std::chrono::milliseconds(50);
+  ::smn::smn::QueryBudget budget(budget_config);
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> deviations{0};
+  std::vector<std::vector<double>> latencies(static_cast<std::size_t>(std::max(readers, 0)));
+  std::vector<std::thread> reader_threads;
+  std::atomic<double> checksum{0.0};  // defeats dead-code elimination
+
+  const auto start = Clock::now();
+  for (int r = 0; r < readers; ++r) {
+    reader_threads.emplace_back([&, r] {
+      util::Rng rng(1000 + static_cast<std::uint64_t>(r));
+      std::vector<double>& lat = latencies[static_cast<std::size_t>(r)];
+      double local_sum = 0.0;
+      std::size_t last_rows = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        const util::SimTime lo =
+            rng.uniform_int(0, std::max<util::SimTime>(horizon - util::kHour, 1) - 1);
+        const auto q_start = Clock::now();
+        const ::smn::smn::ServedFineRange served =
+            ::smn::smn::serve_fine_range(store, lo, lo + util::kHour, budget);
+        lat.push_back(ms_since(q_start));
+        if (!served.admitted) continue;
+        local_sum += static_cast<double>(served.log.record_count());
+        // Coherence: sorted merge output, and a full-horizon view must
+        // never shrink under a single writer.
+        for (std::size_t i = 1; i < served.log.record_count(); ++i) {
+          if (served.log.timestamps()[i - 1] > served.log.timestamps()[i]) {
+            deviations.fetch_add(1, std::memory_order_relaxed);
+            break;
+          }
+        }
+        if (rng.bernoulli(0.05)) {
+          const telemetry::BandwidthLogStore::ReadView view = store.read_view();
+          if (view.fine_rows() < last_rows) deviations.fetch_add(1, std::memory_order_relaxed);
+          last_rows = view.fine_rows();
+        }
+      }
+      checksum.store(local_sum, std::memory_order_relaxed);
+    });
+  }
+
+  // Writer: full-rate per-record ingest cycling the post-day-0 tail, one
+  // retention pass per cycle (spills the tail days; the next cycle reopens
+  // them as new generations — the re-ingest path stays hot).
+  std::uint64_t written = 0;
+  while (ms_since(start) < duration_ms) {
+    for (std::size_t i = split; i < stream.record_count(); ++i) {
+      store.ingest(stream.timestamps()[i], stream.pair_ids()[i], stream.bandwidths()[i]);
+      ++written;
+      if ((written & 0x3FF) == 0 && ms_since(start) >= duration_ms) break;
+    }
+    store.coarsen_older_than(horizon, util::kDay, window);
+  }
+  const double writer_elapsed_ms = ms_since(start);
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : reader_threads) t.join();
+  const double elapsed_ms = ms_since(start);
+
+  LegResult result;
+  std::vector<double> all;
+  for (const std::vector<double>& lat : latencies) {
+    all.insert(all.end(), lat.begin(), lat.end());
+  }
+  std::sort(all.begin(), all.end());
+  result.p50_ms = percentile(all, 0.50);
+  result.p99_ms = percentile(all, 0.99);
+  result.queries = all.size();
+  result.qps = elapsed_ms > 0.0 ? static_cast<double>(all.size()) / (elapsed_ms / 1000.0) : 0.0;
+  result.sheds = budget.shed_total();
+  result.deviations = deviations.load(std::memory_order_relaxed);
+  result.writer_records_per_s =
+      writer_elapsed_ms > 0.0 ? static_cast<double>(written) / (writer_elapsed_ms / 1000.0)
+                              : 0.0;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  topology::WanConfig wan_config;
+  if (smoke) {
+    wan_config.regions_per_continent = 2;
+    wan_config.dcs_per_region = 3;
+  }
+  telemetry::TrafficConfig traffic;
+  traffic.duration = 2 * util::kDay;
+  traffic.active_pairs = smoke ? 80 : 600;
+  traffic.seed = 71;
+  const util::SimTime window = util::kHour;
+  const double duration_ms = smoke ? 120.0 : 800.0;
+  const unsigned hw = std::thread::hardware_concurrency();
+
+  const auto wan = topology::generate_planetary_wan(wan_config);
+  const telemetry::TrafficGenerator gen(wan, traffic);
+  const telemetry::BandwidthLog log = gen.generate();
+  std::printf("instance: %zu DCs, %zu pairs, %zu records, %u hw threads\n",
+              wan.datacenter_count(), gen.pairs().size(), log.record_count(), hw);
+
+  const std::string dir_base =
+      (std::filesystem::temp_directory_path() / "smn_bench_p7").string();
+
+  // --- Fidelity leg (deterministic, untimed): view-at-prefix vs quiesced
+  // prefix-only store, with a spilled day 0 and a post-view retention pass
+  // re-spilling what the tail re-ingested. ---
+  bool snapshot_identical = false;
+  {
+    const std::size_t split = log.record_count() * 3 / 5;
+    telemetry::BandwidthLog prefix;
+    telemetry::BandwidthLog rest;
+    for (std::size_t i = 0; i < log.record_count(); ++i) {
+      (i < split ? prefix : rest)
+          .append(log.timestamps()[i], log.pair_ids()[i], log.bandwidths()[i]);
+    }
+    telemetry::LogStoreConfig config;
+    config.streaming_window = window;
+    config.shards = 8;
+    config.ingest_threads = 1;
+    config.spill_dir = dir_base + "_fidelity";
+    std::error_code ec;
+    std::filesystem::remove_all(config.spill_dir, ec);
+    telemetry::BandwidthLogStore store(config);
+    store.ingest(prefix);
+    store.coarsen_older_than(util::kDay, 0, window);  // spill day 0
+    const telemetry::BandwidthLogStore::ReadView view = store.read_view();
+    store.ingest(rest);
+    store.coarsen_older_than(2 * util::kDay, 0, window);
+
+    telemetry::LogStoreConfig ref_config = config;
+    ref_config.spill_dir = dir_base + "_fidelity_ref";
+    std::filesystem::remove_all(ref_config.spill_dir, ec);
+    telemetry::BandwidthLogStore reference(ref_config);
+    reference.ingest(prefix);
+    constexpr util::SimTime kAll = std::numeric_limits<util::SimTime>::max();
+    snapshot_identical = logs_identical(view.fine_range(0, kAll), reference.fine_range(0, kAll));
+  }
+
+  // --- Deterministic shed probe: a held admission on a one-slot budget
+  // forces the next serve to shed. ---
+  bool shed_exercised = false;
+  {
+    telemetry::BandwidthLogStore store(window);
+    store.ingest(0, util::IdSpace::global().pair_of_names("p7-a", "p7-b"), 1.0);
+    ::smn::smn::QueryBudget tiny({.max_in_flight = 1, .deadline = std::chrono::milliseconds(50)});
+    const ::smn::smn::QueryBudget::Admission hog = tiny.admit();
+    const ::smn::smn::ServedFineRange shed = ::smn::smn::serve_fine_range(store, 0, util::kDay, tiny);
+    shed_exercised = !shed.admitted && tiny.shed_total() == 1;
+  }
+
+  // --- Ingest baseline (no readers), then the mixed legs. ---
+  const LegResult baseline = run_leg(log, dir_base + "_w0", 0, duration_ms, window);
+  std::printf("ingest baseline: %.0f records/s (no readers)\n", baseline.writer_records_per_s);
+
+  const int reader_counts[] = {1, 4, 8, 16};
+  LegResult legs[4];
+  std::uint64_t total_deviations = 0;
+  for (int i = 0; i < 4; ++i) {
+    legs[i] = run_leg(log, dir_base + "_w" + std::to_string(reader_counts[i]),
+                      reader_counts[i], duration_ms, window);
+    total_deviations += legs[i].deviations;
+    std::printf(
+        "readers=%2d: p50 %.3f ms, p99 %.3f ms, %.0f qps (%zu queries, %llu shed), "
+        "writer %.0f records/s\n",
+        reader_counts[i], legs[i].p50_ms, legs[i].p99_ms, legs[i].qps, legs[i].queries,
+        static_cast<unsigned long long>(legs[i].sheds), legs[i].writer_records_per_s);
+  }
+
+  const double speedup = legs[0].qps > 0.0 ? legs[2].qps / legs[0].qps : 0.0;
+  const bool scaling_gated = hw >= 8;
+  const bool scaling_ok = !scaling_gated || speedup >= 3.0;
+  const double ingest_ratio = baseline.writer_records_per_s > 0.0
+                                  ? legs[2].writer_records_per_s / baseline.writer_records_per_s
+                                  : 0.0;
+  const bool ingest_gated = hw >= 12;
+  const bool ingest_ok = !ingest_gated || ingest_ratio >= 0.9;
+
+  std::printf("scaling 1->8 readers: %.2fx qps (%s)\n", speedup,
+              scaling_gated ? (scaling_ok ? "gated, ok" : "BELOW 3x GATE")
+                            : "not gated: < 8 hw threads");
+  std::printf("ingest under 8 readers: %.2fx of baseline (%s)\n", ingest_ratio,
+              ingest_gated ? (ingest_ok ? "gated, ok" : "BELOW 0.9x GATE")
+                           : "not gated: < 12 hw threads");
+  std::printf("fidelity: snapshot %s, %llu mid-run deviations, shed probe %s\n",
+              snapshot_identical ? "identical" : "MISMATCH",
+              static_cast<unsigned long long>(total_deviations),
+              shed_exercised ? "fired" : "DID NOT FIRE");
+
+  std::FILE* out = std::fopen("BENCH_query_serving.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_query_serving.json\n");
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out,
+               "  \"instance\": {\"dcs\": %zu, \"pairs\": %zu, \"records\": %zu, "
+               "\"window_s\": %lld, \"hw_threads\": %u, \"smoke\": %s},\n",
+               wan.datacenter_count(), gen.pairs().size(), log.record_count(),
+               static_cast<long long>(window), hw, smoke ? "true" : "false");
+  std::fprintf(out,
+               "  \"ingest\": {\"baseline_records_per_s\": %.0f, "
+               "\"under_8_readers_records_per_s\": %.0f, \"ratio\": %.3f},\n",
+               baseline.writer_records_per_s, legs[2].writer_records_per_s, ingest_ratio);
+  for (int i = 0; i < 4; ++i) {
+    std::fprintf(out,
+                 "  \"readers_%d\": {\"p50_ms\": %.4f, \"p99_ms\": %.4f, \"qps\": %.0f, "
+                 "\"queries\": %zu, \"sheds\": %llu},\n",
+                 reader_counts[i], legs[i].p50_ms, legs[i].p99_ms, legs[i].qps,
+                 legs[i].queries, static_cast<unsigned long long>(legs[i].sheds));
+  }
+  std::fprintf(out, "  \"scaling\": {\"qps_1\": %.0f, \"qps_8\": %.0f, \"speedup\": %.3f},\n",
+               legs[0].qps, legs[2].qps, speedup);
+  std::fprintf(out,
+               "  \"fidelity\": {\"snapshot_identical\": %s, \"mid_run_deviations\": %llu, "
+               "\"scaling_ok\": %s, \"ingest_ok\": %s, \"shed_exercised\": %s}\n",
+               snapshot_identical ? "true" : "false",
+               static_cast<unsigned long long>(total_deviations), scaling_ok ? "true" : "false",
+               ingest_ok ? "true" : "false", shed_exercised ? "true" : "false");
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("wrote BENCH_query_serving.json\n");
+  return (snapshot_identical && total_deviations == 0 && scaling_ok && ingest_ok &&
+          shed_exercised)
+             ? 0
+             : 1;
+}

@@ -79,6 +79,16 @@ void ControllerCore::publish_store_gauges(Mib& mib, util::SimTime now) const {
   mib.set_gauge(scope_, "bw_spill_files", static_cast<double>(s.spilled_files));
   mib.set_gauge(scope_, "bw_spill_maps", static_cast<double>(s.spill_maps));
   mib.set_gauge(scope_, "bw_spill_unmaps", static_cast<double>(s.spill_unmaps));
+  // Snapshot read path (DESIGN.md §14): view traffic, views pinning memory
+  // right now, the interner generation readers resolve against, and how far
+  // behind `now` a snapshot taken this instant would be.
+  mib.set_gauge(scope_, "bw_read_views_acquired", static_cast<double>(s.views_acquired));
+  mib.set_gauge(scope_, "bw_read_views_live", static_cast<double>(s.views_live));
+  const telemetry::BandwidthLogStore::ReadView view = store_.read_view();
+  mib.set_gauge(scope_, "bw_reader_pair_epoch", static_cast<double>(view.ids().pair_count));
+  mib.set_gauge(scope_, "bw_reader_dc_epoch", static_cast<double>(view.ids().dc_count));
+  mib.set_gauge(scope_, "bw_snapshot_age",
+                view.high_water() > 0 ? static_cast<double>(now - view.high_water()) : 0.0);
 }
 
 telemetry::DriftReport ControllerCore::check_demand_drift(

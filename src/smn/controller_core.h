@@ -54,6 +54,10 @@ class ControllerCore {
 
   telemetry::BandwidthLogStore& store() noexcept { return store_; }
   const telemetry::BandwidthLogStore& store() const noexcept { return store_; }
+
+  /// Snapshot of the bandwidth store for lock-free concurrent reads
+  /// (DESIGN.md §14): queried without blocking ingest or retention.
+  telemetry::BandwidthLogStore::ReadView read_view() const { return store_.read_view(); }
   const CoreConfig& config() const noexcept { return config_; }
   const std::string& scope() const noexcept { return scope_; }
 

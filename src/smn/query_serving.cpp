@@ -1,0 +1,112 @@
+#include "smn/query_serving.h"
+
+#include "util/contracts.h"
+
+namespace smn::smn {
+
+QueryBudget::QueryBudget(QueryBudgetConfig config) : config_(config) {
+  SMN_CHECK(config_.max_in_flight > 0, "QueryBudget with zero slots sheds everything");
+  SMN_CHECK(config_.deadline.count() > 0, "per-query deadline must be positive");
+}
+
+QueryBudget::Admission::Admission(QueryBudget* budget) noexcept
+    : budget_(budget), start_(std::chrono::steady_clock::now()) {}
+
+// No inputs to validate: a null budget_ is the legal shed/moved-from
+// state, answered as "not late". smn-lint: allow(contract-coverage)
+bool QueryBudget::Admission::over_deadline() const noexcept {
+  if (budget_ == nullptr) return false;
+  return std::chrono::steady_clock::now() - start_ > budget_->config_.deadline;
+}
+
+// Counter bookkeeping only; destructors have no inputs to gate.
+// smn-lint: allow(contract-coverage)
+QueryBudget::Admission::~Admission() {
+  if (budget_ == nullptr) return;  // shed or moved-from: no slot held
+  if (over_deadline()) budget_->deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+  budget_->completed_.fetch_add(1, std::memory_order_relaxed);
+  budget_->in_flight_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+QueryBudget::Admission QueryBudget::admit() {
+  std::size_t cur = in_flight_.load(std::memory_order_relaxed);
+  while (true) {
+    if (cur >= config_.max_in_flight) {
+      // Shed, don't queue: a queued query under overload would be served
+      // late anyway, and the waiting thread would hold resources ingest
+      // needs. The shed counter is the backpressure signal.
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      return Admission(nullptr);
+    }
+    if (in_flight_.compare_exchange_weak(cur, cur + 1, std::memory_order_acq_rel,
+                                         std::memory_order_relaxed)) {
+      break;
+    }
+  }
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  SMN_DCHECK(in_flight_.load(std::memory_order_relaxed) <= config_.max_in_flight,
+             "in-flight count escaped the admission bound");
+  return Admission(this);
+}
+
+double QueryBudget::shed_rate() const noexcept {
+  const std::uint64_t shed = shed_.load(std::memory_order_relaxed);
+  const std::uint64_t attempts = shed + admitted_.load(std::memory_order_relaxed);
+  const double rate =
+      attempts == 0 ? 0.0 : static_cast<double>(shed) / static_cast<double>(attempts);
+  SMN_DCHECK(rate >= 0.0 && rate <= 1.0, "shed rate is a fraction of admission attempts");
+  return rate;
+}
+
+void QueryBudget::publish_gauges(Mib& mib, const std::string& scope) const {
+  SMN_DCHECK(!scope.empty(), "query gauges need a MIB scope");
+  mib.set_gauge(scope, "query_in_flight", static_cast<double>(in_flight()));
+  mib.set_gauge(scope, "query_admitted", static_cast<double>(admitted_total()));
+  mib.set_gauge(scope, "query_shed", static_cast<double>(shed_total()));
+  mib.set_gauge(scope, "query_completed", static_cast<double>(completed_total()));
+  mib.set_gauge(scope, "query_deadline_exceeded",
+                static_cast<double>(deadline_exceeded_total()));
+  mib.set_gauge(scope, "query_shed_rate", shed_rate());
+}
+
+ServedQuery serve_query(const DataLake& lake, const std::string& team, const Query& query,
+                        QueryBudget& budget) {
+  SMN_CHECK(!team.empty(), "queries are served per requesting team");
+  ServedQuery served;
+  const QueryBudget::Admission ticket = budget.admit();
+  if (!ticket.admitted()) return served;
+  served.admitted = true;
+  served.rows = run_query(lake, team, query);
+  served.deadline_exceeded = ticket.over_deadline();
+  return served;
+}
+
+ServedFineRange serve_fine_range(const telemetry::BandwidthLogStore::ReadView& view,
+                                 util::SimTime begin, util::SimTime end,
+                                 QueryBudget& budget) {
+  SMN_CHECK(begin <= end, "inverted fine-range query");
+  ServedFineRange served;
+  const QueryBudget::Admission ticket = budget.admit();
+  if (!ticket.admitted()) return served;
+  served.admitted = true;
+  served.log = view.fine_range(begin, end);
+  served.deadline_exceeded = ticket.over_deadline();
+  return served;
+}
+
+ServedFineRange serve_fine_range(const telemetry::BandwidthLogStore& store,
+                                 util::SimTime begin, util::SimTime end,
+                                 QueryBudget& budget) {
+  SMN_CHECK(begin <= end, "inverted fine-range query");
+  ServedFineRange served;
+  const QueryBudget::Admission ticket = budget.admit();
+  if (!ticket.admitted()) return served;
+  served.admitted = true;
+  // View acquisition inside the admission window: its brief per-shard
+  // metadata locks are part of the query's latency budget.
+  served.log = store.read_view().fine_range(begin, end);
+  served.deadline_exceeded = ticket.over_deadline();
+  return served;
+}
+
+}  // namespace smn::smn

@@ -1,0 +1,139 @@
+// Admission control for the concurrent query surface (DESIGN.md §14): the
+// thin layer between "millions of query clients" and the lock-free read
+// paths underneath. The snapshot machinery makes individual reads cheap,
+// but an unbounded reader fleet can still starve ingest of CPU and blow
+// tail latency — so every served query passes a QueryBudget first:
+//
+//   * max_in_flight caps concurrent queries with one CAS (no lock, no
+//     queue — over-budget queries are SHED immediately and counted, the
+//     classic load-shedding posture of a control plane that must keep
+//     ingesting under overload);
+//   * per-query deadline: a query that finishes past its deadline still
+//     returns its rows (they are correct — the snapshot does not rot) but
+//     is counted as deadline-exceeded, the SLO signal the MIB exports;
+//   * shed/admitted/completed counters feed the shed-rate gauge.
+//
+// serve_query() wraps smn::run_query over the DataLake; serve_fine_range()
+// wraps the BandwidthLogStore snapshot read path. Both are the
+// contract-surface entry points smn-lint R6 gates.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "smn/control_plane.h"
+#include "smn/query.h"
+#include "telemetry/log_store.h"
+
+namespace smn::smn {
+
+struct QueryBudgetConfig {
+  /// Concurrent queries admitted; one more is shed, not queued.
+  std::size_t max_in_flight = 64;
+  /// Per-query latency SLO. Queries finishing later still return results
+  /// but count as deadline-exceeded.
+  std::chrono::microseconds deadline = std::chrono::milliseconds(50);
+};
+
+/// Lock-free admission gate. All state is atomics (internally synchronized
+/// — no mutex to annotate); any number of threads may call admit()
+/// concurrently.
+class QueryBudget {
+ public:
+  explicit QueryBudget(QueryBudgetConfig config = {});
+
+  /// RAII admission ticket: holds one in-flight slot until destruction,
+  /// which also classifies the query against the deadline. A shed ticket
+  /// (admitted() == false) holds nothing.
+  class Admission {
+   public:
+    Admission(const Admission&) = delete;
+    Admission& operator=(const Admission&) = delete;
+    Admission(Admission&& other) noexcept
+        : budget_(other.budget_), start_(other.start_) {
+      other.budget_ = nullptr;
+    }
+    Admission& operator=(Admission&&) = delete;
+    ~Admission();
+
+    bool admitted() const noexcept { return budget_ != nullptr; }
+
+    /// True once the query has outlived its deadline.
+    bool over_deadline() const noexcept;
+
+   private:
+    friend class QueryBudget;
+    explicit Admission(QueryBudget* budget) noexcept;
+
+    QueryBudget* budget_;  ///< null = shed (or moved-from)
+    std::chrono::steady_clock::time_point start_;
+  };
+
+  /// Admits the calling query or sheds it (bounded by max_in_flight).
+  Admission admit();
+
+  // --- Counters (lifetime, monotone) and gauges ---
+  std::uint64_t admitted_total() const noexcept {
+    return admitted_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t shed_total() const noexcept { return shed_.load(std::memory_order_relaxed); }
+  std::uint64_t completed_total() const noexcept {
+    return completed_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t deadline_exceeded_total() const noexcept {
+    return deadline_exceeded_.load(std::memory_order_relaxed);
+  }
+  std::size_t in_flight() const noexcept { return in_flight_.load(std::memory_order_relaxed); }
+
+  /// Shed fraction of all admission attempts so far (0 when none).
+  double shed_rate() const noexcept;
+
+  const QueryBudgetConfig& config() const noexcept { return config_; }
+
+  /// Publishes the admission gauges under `scope` ("query_*" names).
+  void publish_gauges(Mib& mib, const std::string& scope) const;
+
+ private:
+  QueryBudgetConfig config_;
+  /// CAS-bounded concurrent-query count; the only coordination point of
+  /// the whole read path.
+  std::atomic<std::size_t> in_flight_{0};
+  std::atomic<std::uint64_t> admitted_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> deadline_exceeded_{0};
+};
+
+/// A served CLDS query: rows are valid only when `admitted`.
+struct ServedQuery {
+  std::vector<QueryRow> rows;
+  bool admitted = false;
+  bool deadline_exceeded = false;
+};
+
+/// A served snapshot fine-range read: log is valid only when `admitted`.
+struct ServedFineRange {
+  telemetry::BandwidthLog log;
+  bool admitted = false;
+  bool deadline_exceeded = false;
+};
+
+/// Budget-gated run_query over the lake as `team`. Shed queries return
+/// immediately with admitted == false and no rows.
+ServedQuery serve_query(const DataLake& lake, const std::string& team, const Query& query,
+                        QueryBudget& budget);
+
+/// Budget-gated snapshot read: acquires a fresh ReadView and merges
+/// [begin, end) without blocking ingest (DESIGN.md §14). Shed reads return
+/// immediately with admitted == false and an empty log.
+ServedFineRange serve_fine_range(const telemetry::BandwidthLogStore& store,
+                                 util::SimTime begin, util::SimTime end, QueryBudget& budget);
+
+/// As above over an already-held view (amortizes view acquisition across
+/// many queries; the budget still gates each read).
+ServedFineRange serve_fine_range(const telemetry::BandwidthLogStore::ReadView& view,
+                                 util::SimTime begin, util::SimTime end, QueryBudget& budget);
+
+}  // namespace smn::smn

@@ -86,7 +86,8 @@ SmnController::SmnController(const depgraph::ServiceGraph& sg, const topology::W
       config_(validated(config)),
       lake_(default_catalog(sg), config.clto.seed),
       clto_(sg, bus_, config.clto),
-      core_(core_config(config_), "smn") {
+      core_(core_config(config_), "smn"),
+      query_budget_(config_.query_budget) {
   // Seed the control plane: a static route per datacenter via its first
   // graph neighbor (stands in for an IGP) — the generalized control plane
   // manages these alongside everything else.
@@ -103,7 +104,10 @@ SmnController::SmnController(const depgraph::ServiceGraph& sg, const topology::W
   fib_.program_from(rib_);
 
   loops_.add_loop({"telemetry-ingest", config_.telemetry_loop_period,
-                   [this](util::SimTime now) { core_.publish_store_gauges(mib_, now); }});
+                   [this](util::SimTime now) {
+                     core_.publish_store_gauges(mib_, now);
+                     query_budget_.publish_gauges(mib_, core_.scope());
+                   }});
   loops_.add_loop({"drift-watch", config_.telemetry_loop_period,
                    [this](util::SimTime now) { check_demand_drift(now); }});
   loops_.add_loop({"retention", config_.retention_loop_period,

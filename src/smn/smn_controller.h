@@ -19,6 +19,7 @@
 #include "smn/data_lake.h"
 #include "smn/feedback.h"
 #include "smn/query.h"
+#include "smn/query_serving.h"
 #include "telemetry/log_store.h"
 #include "topology/wan.h"
 
@@ -57,6 +58,9 @@ struct SmnConfig {
   double drift_resolve_threshold = 0.25;
   double drift_rearm_threshold = 0.10;
   util::SimTime drift_min_resolve_interval = util::kHour;
+  /// Admission control of the served query surface (serve_query /
+  /// serve_bandwidth_range): in-flight cap and per-query deadline SLO.
+  QueryBudgetConfig query_budget;
 };
 
 /// One row of the paper's Table 1 (SDN vs SMN).
@@ -106,10 +110,26 @@ class SmnController {
   std::size_t ingest_optical_risks(const optical::OpticalNetwork& underlay,
                                    util::SimTime now);
 
-  /// Runs a CLDS query as `team` (convenience over run_query).
+  /// Runs a CLDS query as `team` (convenience over run_query). Unbudgeted:
+  /// internal/control-loop callers only — external serving goes through
+  /// serve_query below.
   std::vector<QueryRow> query(const std::string& team, const Query& q) const {
     return run_query(lake_, team, q);
   }
+
+  /// Budget-gated CLDS query: the external serving surface. Sheds on
+  /// overload instead of queueing (DESIGN.md §14 admission semantics).
+  ServedQuery serve_query(const std::string& team, const Query& q) const {
+    return smn::serve_query(lake_, team, q, query_budget_);
+  }
+
+  /// Budget-gated snapshot read of the bandwidth store: lock-free against
+  /// the controller's own ingest and retention loops.
+  ServedFineRange serve_bandwidth_range(util::SimTime begin, util::SimTime end) const {
+    return smn::serve_fine_range(core_.store(), begin, end, query_budget_);
+  }
+
+  QueryBudget& query_budget() const noexcept { return query_budget_; }
 
   /// Full incident pipeline: route via CLTO, enrich with similar past
   /// incidents, propose mitigations. Returns the routing decision.
@@ -157,6 +177,10 @@ class SmnController {
   /// The region-scoped engine (bandwidth store, drift hysteresis, gauge
   /// publication) shared with the federation's RegionController.
   ControllerCore core_;
+  /// Admission gate of the served query surface. mutable: serving is
+  /// logically read-only on the controller (the budget's atomics are its
+  /// own internally-synchronized state).
+  mutable QueryBudget query_budget_;
   ControlLoopRunner loops_;
   std::uint64_t next_incident_id_ = 1;
 };

@@ -11,6 +11,7 @@
 #include <stdexcept>
 #include <string_view>
 #include <thread>
+#include <unordered_map>
 
 #include "telemetry/spill_file.h"
 #include "util/contracts.h"
@@ -68,8 +69,8 @@ BandwidthLogStore::BandwidthLogStore(const LogStoreConfig& config)
     : window_(config.streaming_window),
       drift_alpha_(config.drift_alpha),
       spill_dir_(config.spill_dir),
-      spill_verify_checksum_(config.spill_verify_checksum),
-      shards_(std::max<std::size_t>(1, config.shards)) {
+      shards_(std::max<std::size_t>(1, config.shards)),
+      core_(std::make_shared<ViewCore>(config.spill_verify_checksum)) {
   if (window_ <= 0) {
     throw std::invalid_argument("BandwidthLogStore: streaming window must be positive");
   }
@@ -180,16 +181,23 @@ std::uint32_t BandwidthLogStore::slot_of(Shard& shard, util::PairId pair) {
   return slot;
 }
 
+BandwidthLogStore::DaySlab& BandwidthLogStore::open_slab_locked(Shard& shard,
+                                                                util::SimTime day) {
+  if (day != shard.open_day) {
+    std::shared_ptr<DaySlab>& slot = shard.days[day];
+    if (!slot) slot = std::make_shared<DaySlab>();
+    shard.open = slot.get();
+    shard.open_day = day;
+  }
+  return *shard.open;
+}
+
 void BandwidthLogStore::append_locked(Shard& shard, util::SimTime timestamp,
                                       util::PairId pair, double bw_gbps) {
   SMN_DCHECK(pair != util::kInvalidPairId, "ingest with an invalid PairId");
   SMN_DCHECK(timestamp >= 0, "negative timestamps break day-segment keying");
   const util::SimTime day = (timestamp / util::kDay) * util::kDay;
-  if (day != shard.open_day) {
-    shard.open = &shard.days[day];
-    shard.open_day = day;
-  }
-  DaySlab& slab = *shard.open;
+  DaySlab& slab = open_slab_locked(shard, day);
   slab.seg.append(timestamp, pair, bw_gbps);
   accumulate_locked(shard, slab, timestamp, pair, bw_gbps);
 }
@@ -246,16 +254,12 @@ void BandwidthLogStore::append_batch(Shard& shard, const StagedColumns& records)
   std::size_t j = 0;
   while (j < n) {
     // Maximal same-day run: the whole run lands in one slab, so its columns
-    // copy in bulk (vectorized range inserts) instead of a capacity-checked
+    // copy in bulk (chunk-sized range copies) instead of a capacity-checked
     // push per row; only the accumulator/drift state updates per record.
     const util::SimTime day = (timestamps[j] / util::kDay) * util::kDay;
     std::size_t k = j + 1;
     while (k < n && timestamps[k] - day >= 0 && timestamps[k] - day < util::kDay) ++k;
-    if (day != shard.open_day) {
-      shard.open = &shard.days[day];
-      shard.open_day = day;
-    }
-    DaySlab& slab = *shard.open;
+    DaySlab& slab = open_slab_locked(shard, day);
     slab.seg.append_columns(timestamps.subspan(j, k - j), pairs.subspan(j, k - j),
                             bw.subspan(j, k - j));
     for (std::size_t i = j; i < k; ++i) {
@@ -315,7 +319,7 @@ void BandwidthLogStore::seal_day_locked(Shard& shard, util::SimTime day,
                                         std::vector<WindowSummary>* out) {
   const auto it = shard.days.find(day);
   if (it == shard.days.end()) return;
-  DaySlab& slab = it->second;
+  DaySlab& slab = *it->second;
   std::vector<std::uint32_t> run_order;
   std::vector<double> scratch;
   for (std::size_t slot = 0; slot < slab.accums.size(); ++slot) {
@@ -376,14 +380,17 @@ void BandwidthLogStore::batch_day_locked(Shard& shard, util::SimTime day,
                                          std::vector<WindowSummary>* out) {
   const auto it = shard.days.find(day);
   if (it == shard.days.end()) return;
-  const CoarseBandwidthLog summarized = coarsener.coarsen(it->second.seg);
+  // Seal-time copy: the coarsener wants contiguous columns, and batch
+  // coarsening runs once per retired (shard, day), off the ingest path.
+  const BandwidthLog seg = it->second->seg.materialize(it->second->seg.rows());
+  const CoarseBandwidthLog summarized = coarsener.coarsen(seg);
   out->assign(summarized.summaries().begin(), summarized.summaries().end());
 }
 
 void BandwidthLogStore::spill_day_locked(std::size_t s, Shard& shard, util::SimTime day) {
   const auto it = shard.days.find(day);
-  if (it == shard.days.end() || it->second.seg.empty()) return;
-  const BandwidthLog& seg = it->second.seg;
+  if (it == shard.days.end() || it->second->seg.empty()) return;
+  const BandwidthLog seg = it->second->seg.materialize(it->second->seg.rows());
   std::vector<SpillEntry>& generations = shard.spilled[day];
   // Re-ingest after an earlier seal produces a second generation; file
   // names carry the generation index so nothing is overwritten.
@@ -412,11 +419,13 @@ std::size_t BandwidthLogStore::retire_shard_day(std::size_t s, util::SimTime day
   if (spill_enabled()) spill_day_locked(s, shard, day);
   const auto it = shard.days.find(day);
   if (it == shard.days.end()) return 0;
-  const std::size_t retired = it->second.seg.record_count();
-  if (shard.open == &it->second) {
+  const std::size_t retired = it->second->seg.rows();
+  if (shard.open == it->second.get()) {
     shard.open = nullptr;
     shard.open_day = kNoDay;
   }
+  // Erasing drops the map's reference only; a ReadView holding the slab
+  // keeps serving it unchanged (no writer ever touches it again).
   shard.days.erase(it);
   return retired;
 }
@@ -424,6 +433,9 @@ std::size_t BandwidthLogStore::retire_shard_day(std::size_t s, util::SimTime day
 std::size_t BandwidthLogStore::coarsen_older_than(util::SimTime now, util::SimTime max_fine_age,
                                                   util::SimTime window) {
   SMN_CHECK(window > 0, "coarsening window must be positive");
+  // One retention pass at a time: the pass is the single writer of the
+  // epoch-published coarse row table (and of coarse_).
+  std::lock_guard<std::mutex> retention_lock(retention_mutex_);
   // Sealing from accumulators is only valid when they were built for this
   // window and windows never straddle the day-segment boundary.
   const bool streaming = (window == window_) && (util::kDay % window_ == 0);
@@ -474,50 +486,106 @@ std::size_t BandwidthLogStore::coarsen_older_than(util::SimTime now, util::SimTi
                 if (ra != rb) return ra < rb;
                 return a.window_start < b.window_start;
               });
-    for (const WindowSummary& summary : merged) coarse_.append(summary);
+    for (const WindowSummary& summary : merged) {
+      coarse_.append(summary);
+      // Lockstep publication into the snapshot-readable twin: a ReadView's
+      // coarse_limit_ always names a prefix of the same emission order.
+      core_->coarse_rows.push_back(summary);
+    }
   }
   return retired;
 }
 
-BandwidthLog BandwidthLogStore::fine_range(util::SimTime begin, util::SimTime end) const {
+BandwidthLogStore::ReadView BandwidthLogStore::read_view() const {
+  ReadView view;
+  view.core_ = core_;
+  view.shards_.resize(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& shard = shards_[s];
+    ReadView::ShardView& sv = view.shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    sv.resident.reserve(shard.days.size());
+    for (const auto& [day, slab] : shard.days) {
+      ReadView::ResidentDay rd;
+      rd.day = day;
+      rd.slab = slab;
+      rd.rows = slab->seg.rows();  // the per-slab high-water mark
+      if (rd.rows > 0) {
+        view.high_water_ = std::max(view.high_water_, slab->seg.timestamp_at(rd.rows - 1));
+      }
+      view.fine_rows_ += rd.rows;
+      sv.resident.push_back(std::move(rd));
+    }
+    sv.spilled.reserve(shard.spilled.size());
+    for (const auto& [day, generations] : shard.spilled) {
+      for (const SpillEntry& entry : generations) view.fine_rows_ += entry.records;
+      view.high_water_ = std::max(view.high_water_, day + util::kDay - 1);
+      sv.spilled.emplace_back(day, generations);
+    }
+  }
+  // Coarse mark AFTER the shard walk: a day retired mid-acquisition is
+  // covered by its pinned slab or new spill generation when the shard was
+  // walked first, and by the coarse prefix otherwise — data is never lost
+  // to a view, though a concurrent retention can make it visible on both
+  // the fine and coarse surface (see the ReadView class comment).
+  view.coarse_limit_ = core_->coarse_rows.size();
+  // Interner generation last: every pair id published to any captured row
+  // or summary was interned before it, so it decodes within this snapshot.
+  view.ids_ = util::IdSpace::global().snapshot();
+  core_->views_acquired.fetch_add(1, std::memory_order_relaxed);
+  core_->views_live.fetch_add(1, std::memory_order_relaxed);
+  return view;
+}
+
+BandwidthLogStore::ReadView::~ReadView() {
+  if (core_) core_->views_live.fetch_sub(1, std::memory_order_relaxed);
+}
+
+const WindowSummary& BandwidthLogStore::ReadView::coarse_at(std::size_t i) const {
+  SMN_CHECK(i < coarse_limit_, "coarse_at beyond this view's snapshot");
+  return core_->coarse_rows[i];
+}
+
+BandwidthLog BandwidthLogStore::ReadView::fine_range(util::SimTime begin,
+                                                     util::SimTime end) const {
   BandwidthLog out;
   const auto day_in_range = [&](util::SimTime day) {
     return day < end && day + util::kDay > begin;
   };
-  for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto emit_cold = [&](const std::vector<SpillEntry>& generations) {
+    for (const SpillEntry& entry : generations) {
+      const SpilledSegment seg = SpilledSegment::open(entry.path, core_->verify_checksum);
+      core_->spill_maps.fetch_add(1, std::memory_order_relaxed);
+      out.append_time_filtered(seg.timestamps(), seg.pair_ids(), seg.bandwidths(), begin, end);
+      core_->spill_unmaps.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+  const auto emit_warm = [&](const ResidentDay& rd) {
+    rd.slab->seg.emit_time_filtered(&out, rd.rows, begin, end);
+  };
+  for (const ShardView& shard : shards_) {
     // Two-iterator merge over the cold tier and the resident slabs, in
     // ascending day order. On a day present in both (re-ingest after a
     // seal), spilled generations precede the resident slab: that is their
     // ingest order, which the stable sort below must be able to recover
     // for equal (timestamp, pair) keys.
-    auto cold = shard.spilled.begin();
-    auto warm = shard.days.begin();
-    const auto emit_cold = [&](const std::vector<SpillEntry>& generations) {
-      for (const SpillEntry& entry : generations) {
-        const SpilledSegment seg = SpilledSegment::open(entry.path, spill_verify_checksum_);
-        spill_maps_.fetch_add(1, std::memory_order_relaxed);
-        out.append_time_filtered(seg.timestamps(), seg.pair_ids(), seg.bandwidths(), begin, end);
-        spill_unmaps_.fetch_add(1, std::memory_order_relaxed);
-      }
-    };
-    const auto emit_warm = [&](const DaySlab& slab) {
-      out.append_time_filtered(slab.seg.timestamps(), slab.seg.pair_ids(), slab.seg.bandwidths(),
-                               begin, end);
-    };
-    while (cold != shard.spilled.end() || warm != shard.days.end()) {
-      if (warm == shard.days.end() ||
-          (cold != shard.spilled.end() && cold->first <= warm->first)) {
+    std::size_t cold = 0;
+    std::size_t warm = 0;
+    while (cold < shard.spilled.size() || warm < shard.resident.size()) {
+      if (warm == shard.resident.size() ||
+          (cold < shard.spilled.size() &&
+           shard.spilled[cold].first <= shard.resident[warm].day)) {
         // Out-of-range spilled days are skipped by key alone — no map, no
         // checksum pass, so point queries touch only the days they cover.
-        if (day_in_range(cold->first)) emit_cold(cold->second);
-        if (warm != shard.days.end() && warm->first == cold->first) {
-          if (day_in_range(warm->first)) emit_warm(warm->second);
+        if (day_in_range(shard.spilled[cold].first)) emit_cold(shard.spilled[cold].second);
+        if (warm < shard.resident.size() &&
+            shard.resident[warm].day == shard.spilled[cold].first) {
+          if (day_in_range(shard.resident[warm].day)) emit_warm(shard.resident[warm]);
           ++warm;
         }
         ++cold;
       } else {
-        if (day_in_range(warm->first)) emit_warm(warm->second);
+        if (day_in_range(shard.resident[warm].day)) emit_warm(shard.resident[warm]);
         ++warm;
       }
     }
@@ -529,6 +597,10 @@ BandwidthLog BandwidthLogStore::fine_range(util::SimTime begin, util::SimTime en
   return out;
 }
 
+BandwidthLog BandwidthLogStore::fine_range(util::SimTime begin, util::SimTime end) const {
+  return read_view().fine_range(begin, end);
+}
+
 LogStoreStats BandwidthLogStore::stats() const {
   LogStoreStats s;
   s.shard_records.reserve(shards_.size());
@@ -536,10 +608,10 @@ LogStoreStats BandwidthLogStore::stats() const {
     std::lock_guard<std::mutex> lock(shard.mutex);
     std::size_t records = 0;
     for (const auto& [day, slab] : shard.days) {
-      records += slab.seg.record_count();
-      s.fine_bytes += slab.seg.approximate_bytes();
-      s.resident_bytes += slab.seg.memory_bytes();
-      for (const PairDayAccum& acc : slab.accums) s.open_window_samples += acc.samples.size();
+      records += slab->seg.rows();
+      s.fine_bytes += slab->seg.approximate_listing_bytes();
+      s.resident_bytes += slab->seg.memory_bytes();
+      for (const PairDayAccum& acc : slab->accums) s.open_window_samples += acc.samples.size();
     }
     for (const auto& [day, generations] : shard.spilled) {
       s.spilled_files += generations.size();
@@ -551,10 +623,28 @@ LogStoreStats BandwidthLogStore::stats() const {
     s.shard_records.push_back(records);
     s.fine_records += records;
   }
-  s.spill_maps = spill_maps_.load(std::memory_order_relaxed);
-  s.spill_unmaps = spill_unmaps_.load(std::memory_order_relaxed);
-  s.coarse_summaries = coarse_.summary_count();
-  s.coarse_bytes = coarse_.approximate_bytes();
+  s.spill_maps = core_->spill_maps.load(std::memory_order_relaxed);
+  s.spill_unmaps = core_->spill_unmaps.load(std::memory_order_relaxed);
+  s.views_acquired = core_->views_acquired.load(std::memory_order_relaxed);
+  s.views_live = core_->views_live.load(std::memory_order_relaxed);
+  // Coarse footprint off the epoch-published row table (safe against a
+  // concurrent retention pass), with the same Listing-style estimate
+  // CoarseBandwidthLog::approximate_bytes uses: window bounds (2 x 16) +
+  // five statistics (~6 each) + names + commas.
+  const util::IdSpace& ids = util::IdSpace::global();
+  std::unordered_map<util::PairId, std::size_t> name_bytes;
+  const std::size_t n_coarse = core_->coarse_rows.size();
+  s.coarse_summaries = n_coarse;
+  for (std::size_t i = 0; i < n_coarse; ++i) {
+    const WindowSummary& sum = core_->coarse_rows[i];
+    auto it = name_bytes.find(sum.pair);
+    if (it == name_bytes.end()) {
+      it = name_bytes
+               .emplace(sum.pair, ids.src_name(sum.pair).size() + ids.dst_name(sum.pair).size())
+               .first;
+    }
+    s.coarse_bytes += 32 + 5 * 6 + it->second + 8;
+  }
   return s;
 }
 

@@ -21,12 +21,25 @@
 // Tiered storage (DESIGN.md §10): with `spill_dir` configured, sealing a
 // day does not discard its fine columns — each (shard, day) segment is
 // serialized to a flat little-endian column file (telemetry/spill_file.h)
-// and the in-memory vectors are freed, keeping only unsealed days
-// resident. fine_range() transparently maps spilled days back
-// (util/MmapFile) and merges them with the resident segments, so reads are
-// byte-identical to a store that never sealed anything. Re-ingest into an
-// already-spilled day opens a fresh resident slab; the next seal writes a
-// second generation file, and reads merge generations in ingest order.
+// and the in-memory segment is freed, keeping only unsealed days resident.
+// fine_range() transparently maps spilled days back (util/MmapFile) and
+// merges them with the resident segments, so reads are byte-identical to a
+// store that never sealed anything. Re-ingest into an already-spilled day
+// opens a fresh resident slab; the next seal writes a second generation
+// file, and reads merge generations in ingest order.
+//
+// Concurrent snapshot reads (DESIGN.md §14): read_view() captures an
+// immutable ReadView — per-shard {day slab, published row count} pairs plus
+// the spilled-generation lists and the coarse high-water mark — under brief
+// per-shard metadata locks (O(days), no row copies). The view is then
+// queried with NO store lock at all: resident rows live in epoch-published
+// StableLog columns (readable lock-free up to the captured count while
+// ingest keeps appending past it), spilled rows read straight off their
+// mmap'd files, and retention cannot invalidate the view because slabs are
+// shared_ptr-owned (a retired slab stays alive until the last view drops
+// it) and spill files are never deleted. fine_range() itself is one
+// read_view().fine_range() call, so the quiesced and concurrent read paths
+// are literally the same code — byte-identical by construction.
 #pragma once
 
 #include <atomic>
@@ -43,6 +56,7 @@
 #include <vector>
 
 #include "telemetry/bandwidth_log.h"
+#include "telemetry/stable_log.h"
 #include "telemetry/time_coarsening.h"
 #include "util/thread_annotations.h"
 #include "util/thread_pool.h"
@@ -69,6 +83,10 @@ struct LogStoreStats {
   /// Lifetime mapping traffic: spill files mapped / released by reads.
   std::uint64_t spill_maps = 0;
   std::uint64_t spill_unmaps = 0;
+  /// Snapshot read path: lifetime ReadViews acquired, and views alive now
+  /// (each live view can pin retired day slabs in memory).
+  std::uint64_t views_acquired = 0;
+  std::uint64_t views_live = 0;
 
   std::size_t total_bytes() const noexcept { return fine_bytes + coarse_bytes; }
 };
@@ -126,6 +144,59 @@ struct LogStoreConfig {
 };
 
 class BandwidthLogStore {
+ private:
+  // The storage types come first so the public ReadView can name them.
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+  static constexpr util::SimTime kNoDay = std::numeric_limits<util::SimTime>::min();
+
+  /// Open accumulator of one (pair, day): samples in ingest order, split
+  /// into runs of consecutive same-window records (one run per window for
+  /// in-order streams; out-of-order streams reopen a window as a new run
+  /// and the seal re-concatenates runs in record order).
+  struct PairDayAccum {
+    std::vector<double> samples;
+    std::vector<util::SimTime> run_window;   ///< window start of each run
+    std::vector<std::uint32_t> run_begin;    ///< first sample index of each run
+  };
+
+  /// One day segment of one shard plus its open accumulators (by slot).
+  /// Rows live in a StableLog so snapshot readers can consume a published
+  /// prefix lock-free while ingest appends; the accumulators stay
+  /// writer-only state behind the shard mutex (views never touch them).
+  struct DaySlab {
+    StableLog seg;
+    std::vector<PairDayAccum> accums;
+  };
+
+  /// One sealed-and-spilled generation of a (shard, day) segment. Spill
+  /// files are never deleted or rewritten, so a copied SpillEntry stays
+  /// servable for the process lifetime.
+  struct SpillEntry {
+    std::string path;
+    std::uint64_t records = 0;
+    std::uint64_t file_bytes = 0;
+  };
+
+  /// State shared between the store and every ReadView it hands out, so a
+  /// view stays self-contained (it never dereferences the store). The
+  /// atomics are internally synchronized; coarse_rows follows the
+  /// EpochTable writer contract with retention_mutex_ as the writer lock.
+  struct ViewCore {
+    explicit ViewCore(bool verify) : verify_checksum(verify) {}
+    const bool verify_checksum;
+    /// Every coarse summary ever emitted, in emission order — the
+    /// concurrently-readable twin of coarse() (whose CoarseBandwidthLog
+    /// index rebuilds are not safe under concurrent readers). Appended in
+    /// lockstep with coarse_ by the retention pass.
+    util::EpochTable<WindowSummary> coarse_rows{1024};
+    std::atomic<std::uint64_t> views_acquired{0};
+    std::atomic<std::uint64_t> views_live{0};
+    /// Lifetime spill mapping traffic (reads are const; counters are not
+    /// state, so they stay atomics rather than joining a shard lock).
+    std::atomic<std::uint64_t> spill_maps{0};
+    std::atomic<std::uint64_t> spill_unmaps{0};
+  };
+
  public:
   /// Single-shard store (the pre-sharding behavior and default).
   explicit BandwidthLogStore(util::SimTime streaming_window = util::kHour)
@@ -138,6 +209,77 @@ class BandwidthLogStore {
 
   BandwidthLogStore(const BandwidthLogStore&) = delete;
   BandwidthLogStore& operator=(const BandwidthLogStore&) = delete;
+
+  /// An immutable snapshot of the store's readable state, queried with no
+  /// store lock (DESIGN.md §14). Holding a view pins its resident day
+  /// slabs (shared_ptr) even across retention, so reads stay byte-identical
+  /// to the store at acquisition time restricted to the captured per-slab
+  /// row counts. Move-only; cheap to acquire (O(days) metadata) and cheap
+  /// to hold (row storage is shared, not copied). A view acquired
+  /// concurrently with a retention pass may cover a just-retired day both
+  /// fine (pinned slab) and coarse (published summary) — consumers
+  /// time-partition fine vs coarse at the retention boundary, as the
+  /// controller does, when they need exclusivity.
+  class ReadView {
+   public:
+    ReadView(const ReadView&) = delete;
+    ReadView& operator=(const ReadView&) = delete;
+    ReadView(ReadView&&) noexcept = default;
+    ReadView& operator=(ReadView&&) = delete;
+    ~ReadView();
+
+    /// Fine records in [begin, end), merged across shards and tiers,
+    /// timestamp-sorted — same merge, same output bytes as the store's
+    /// fine_range() (which is implemented as exactly this call on a fresh
+    /// view). Lock-free against concurrent ingest and retention.
+    BandwidthLog fine_range(util::SimTime begin, util::SimTime end) const;
+
+    /// Fine records covered by this view (resident prefix + spilled).
+    std::size_t fine_rows() const noexcept { return fine_rows_; }
+
+    /// Coarse summaries published when the view was taken; coarse_at(i)
+    /// for i below coarse_count() reads them lock-free in emission order.
+    std::size_t coarse_count() const noexcept { return coarse_limit_; }
+    const WindowSummary& coarse_at(std::size_t i) const;
+
+    /// Interner generation captured with the view: every pair id in the
+    /// view decodes within it.
+    util::IdSpaceSnapshot ids() const noexcept { return ids_; }
+
+    /// Upper bound of the covered time range (last resident row / spilled
+    /// day end); 0 for an empty view. The snapshot-age gauge is
+    /// now - high_water().
+    util::SimTime high_water() const noexcept { return high_water_; }
+
+   private:
+    friend class BandwidthLogStore;
+
+    struct ResidentDay {
+      util::SimTime day = 0;
+      std::shared_ptr<const DaySlab> slab;
+      std::size_t rows = 0;  ///< published row count at acquisition
+    };
+    struct ShardView {
+      std::vector<ResidentDay> resident;  ///< ascending day order
+      /// Spilled generation lists, ascending day order (copied entries —
+      /// generations appended later are invisible to this view).
+      std::vector<std::pair<util::SimTime, std::vector<SpillEntry>>> spilled;
+    };
+
+    ReadView() = default;
+
+    std::vector<ShardView> shards_;
+    std::size_t coarse_limit_ = 0;
+    std::size_t fine_rows_ = 0;
+    util::SimTime high_water_ = 0;
+    util::IdSpaceSnapshot ids_;
+    std::shared_ptr<ViewCore> core_;  ///< null only after move-from
+  };
+
+  /// Captures a ReadView under brief per-shard metadata locks. Never
+  /// blocks on a query in flight; ingest is held out only for the O(days)
+  /// metadata walk of one shard at a time.
+  ReadView read_view() const;
 
   /// Appends one record into its shard's day segment and open window
   /// accumulator. Thread-safe against concurrent ingest.
@@ -154,14 +296,18 @@ class BandwidthLogStore {
   /// the ingest-time accumulators; otherwise segments are batch-coarsened.
   /// Either way each due day is processed shard-parallel and merged in the
   /// single-shard emission order (src name, dst name, window start).
+  /// Retention passes are serialized on retention_mutex_ (they also write
+  /// the epoch-published coarse row table, which needs one writer).
   std::size_t coarsen_older_than(util::SimTime now, util::SimTime max_fine_age,
-                                 util::SimTime window);
+                                 util::SimTime window) SMN_EXCLUDES(retention_mutex_);
 
   /// Fine records in [begin, end), merged across shards, timestamp-sorted.
   /// Byte-identical to the single-shard store's output. Spilled days
   /// overlapping the range are mapped back transparently and merged with
   /// resident segments, so with spilling enabled the result matches a
-  /// store that never sealed anything.
+  /// store that never sealed anything. Implemented as
+  /// read_view().fine_range(begin, end): one merge implementation serves
+  /// the quiesced and the concurrent path.
   BandwidthLog fine_range(util::SimTime begin, util::SimTime end) const;
 
   /// True when the cold tier is configured (config.spill_dir non-empty).
@@ -178,7 +324,10 @@ class BandwidthLogStore {
   /// fine records recovered.
   std::size_t recover_spill_files();
 
-  /// All coarse summaries produced by retention passes so far.
+  /// All coarse summaries produced by retention passes so far. Quiesced
+  /// accessor: safe only when no retention pass is running (the summary
+  /// index may rebuild during one). Concurrent readers snapshot through
+  /// ReadView::coarse_at instead.
   const CoarseBandwidthLog& coarse() const noexcept { return coarse_; }
 
   util::SimTime streaming_window() const noexcept { return window_; }
@@ -198,25 +347,6 @@ class BandwidthLogStore {
   DriftReport drift() const;
 
  private:
-  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
-  static constexpr util::SimTime kNoDay = std::numeric_limits<util::SimTime>::min();
-
-  /// Open accumulator of one (pair, day): samples in ingest order, split
-  /// into runs of consecutive same-window records (one run per window for
-  /// in-order streams; out-of-order streams reopen a window as a new run
-  /// and the seal re-concatenates runs in record order).
-  struct PairDayAccum {
-    std::vector<double> samples;
-    std::vector<util::SimTime> run_window;   ///< window start of each run
-    std::vector<std::uint32_t> run_begin;    ///< first sample index of each run
-  };
-
-  /// One day segment of one shard plus its open accumulators (by slot).
-  struct DaySlab {
-    BandwidthLog seg;
-    std::vector<PairDayAccum> accums;
-  };
-
   /// Per-pair drift state of one shard (by slot).
   struct PairDrift {
     double observed = 0.0;   ///< EWMA of ingested bandwidth since baseline
@@ -225,17 +355,11 @@ class BandwidthLogStore {
     bool has_expected = false;
   };
 
-  /// One sealed-and-spilled generation of a (shard, day) segment.
-  struct SpillEntry {
-    std::string path;
-    std::uint64_t records = 0;
-    std::uint64_t file_bytes = 0;
-  };
-
   struct Shard {
     mutable std::mutex mutex;
-    /// Key: day start.
-    std::map<util::SimTime, DaySlab> days SMN_GUARDED_BY(mutex);
+    /// Key: day start. shared_ptr so a ReadView can pin a slab across its
+    /// retirement; the map entry itself is erased by retention as before.
+    std::map<util::SimTime, std::shared_ptr<DaySlab>> days SMN_GUARDED_BY(mutex);
     /// Cached slab of open_day.
     DaySlab* open SMN_GUARDED_BY(mutex) = nullptr;
     util::SimTime open_day SMN_GUARDED_BY(mutex) = kNoDay;
@@ -273,6 +397,10 @@ class BandwidthLogStore {
   /// Slot of `pair` in `shard`, assigning one on first sight.
   static std::uint32_t slot_of(Shard& shard, util::PairId pair)
       SMN_REQUIRES(shard.mutex);
+
+  /// Slab of `day` in `shard`, opening it on first touch (refreshes the
+  /// open-day cache).
+  DaySlab& open_slab_locked(Shard& shard, util::SimTime day) SMN_REQUIRES(shard.mutex);
 
   /// Appends one record into `shard` (caller holds the shard's mutex).
   void append_locked(Shard& shard, util::SimTime timestamp, util::PairId pair,
@@ -327,16 +455,20 @@ class BandwidthLogStore {
   util::SimTime window_;
   double drift_alpha_;
   std::string spill_dir_;                  ///< empty = cold tier disabled
-  bool spill_verify_checksum_;
   bool holds_spill_lock_ = false;          ///< this store wrote the LOCK file
   std::vector<Shard> shards_;              ///< sized at construction, never resized
   std::unique_ptr<util::ThreadPool> pool_; ///< null when resolved threads <= 1
+  /// Serializes retention passes: each pass is the single writer of the
+  /// epoch-published coarse row table (core_->coarse_rows) and of coarse_.
+  std::mutex retention_mutex_;
+  /// Written only by retention passes (under retention_mutex_); the
+  /// coarse() accessor reads it quiesced-only by documented contract, so
+  /// it is deliberately not GUARDED_BY — concurrent readers go through
+  /// ReadView::coarse_at over core_->coarse_rows instead.
   CoarseBandwidthLog coarse_;
+  /// Shared with every ReadView (see ViewCore).
+  std::shared_ptr<ViewCore> core_;
   bool baseline_set_ = false;              ///< mutated by set_demand_baseline only
-  /// Lifetime spill mapping traffic (fine_range is const; counters are not
-  /// state, so they stay mutable atomics rather than joining a shard lock).
-  mutable std::atomic<std::uint64_t> spill_maps_{0};
-  mutable std::atomic<std::uint64_t> spill_unmaps_{0};
 };
 
 }  // namespace smn::telemetry

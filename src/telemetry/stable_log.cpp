@@ -1,0 +1,59 @@
+#include "telemetry/stable_log.h"
+
+#include <unordered_map>
+
+#include "util/contracts.h"
+
+namespace smn::telemetry {
+
+void StableLog::append_columns(std::span<const util::SimTime> timestamps,
+                               std::span<const util::PairId> pairs,
+                               std::span<const double> bw_gbps) {
+  SMN_DCHECK(timestamps.size() == pairs.size() && pairs.size() == bw_gbps.size(),
+             "StableLog columns must stay the same length");
+  const std::size_t n = rows_.load(std::memory_order_relaxed);
+  timestamps_.append(timestamps);
+  pairs_.append(pairs);
+  bw_.append(bw_gbps);
+  rows_.store(n + timestamps.size(), std::memory_order_release);
+}
+
+void StableLog::emit_time_filtered(BandwidthLog* out, std::size_t limit, util::SimTime begin,
+                                   util::SimTime end) const {
+  // All three columns share one chunk size, so each timestamp piece maps to
+  // an equally-shaped piece of the pair and bandwidth columns.
+  timestamps_.for_each_span(0, limit, [&](std::size_t off, std::span<const util::SimTime> ts) {
+    out->append_time_filtered(ts, pairs_.chunk_span(off, ts.size()),
+                              bw_.chunk_span(off, ts.size()), begin, end);
+  });
+}
+
+BandwidthLog StableLog::materialize(std::size_t limit) const {
+  BandwidthLog out;
+  out.reserve(limit);
+  timestamps_.for_each_span(0, limit, [&](std::size_t off, std::span<const util::SimTime> ts) {
+    out.append_columns(ts, pairs_.chunk_span(off, ts.size()), bw_.chunk_span(off, ts.size()));
+  });
+  return out;
+}
+
+std::size_t StableLog::approximate_listing_bytes() const {
+  // "2025-06-01T00:00, us-e1, eu-w1, 1250\n" — timestamp (16) + separators
+  // (6) + value (~6) + names; name lengths cached per pair id (the same
+  // estimate BandwidthLog::approximate_bytes uses).
+  const util::IdSpace& ids = util::IdSpace::global();
+  std::unordered_map<util::PairId, std::size_t> name_bytes;
+  std::size_t bytes = 0;
+  const std::size_t n = rows();
+  for (std::size_t i = 0; i < n; ++i) {
+    const util::PairId p = pairs_[i];
+    auto it = name_bytes.find(p);
+    if (it == name_bytes.end()) {
+      it = name_bytes.emplace(p, ids.src_name(p).size() + ids.dst_name(p).size()).first;
+    }
+    bytes += 16 + 6 + 6 + it->second + 1;
+  }
+  return bytes;
+}
+
+}  // namespace smn::telemetry

@@ -17,9 +17,11 @@ DcId Interner::intern(std::string_view name) {
   const auto it = index_.find(name);  // re-check: lost the race to another writer
   if (it != index_.end()) return it->second;
   SMN_CHECK(names_.size() < kInvalidDcId, "DcId space exhausted");
-  const auto id = static_cast<DcId>(names_.size());
-  names_.emplace_back(name);
-  index_.emplace(std::string_view(names_.back()), id);
+  // push_back publishes the name (release on the table size) BEFORE the
+  // index insertion, so a concurrent lock-free name(id) that learned `id`
+  // from any source always finds the string bytes visible.
+  const auto id = static_cast<DcId>(names_.push_back(std::string(name)));
+  index_.emplace(std::string_view(names_[id]), id);
   SMN_DCHECK(index_.size() == names_.size(), "index and name table diverged");
   return id;
 }
@@ -32,14 +34,10 @@ std::optional<DcId> Interner::find(std::string_view name) const {
 }
 
 const std::string& Interner::name(DcId id) const {
-  std::shared_lock lock(mutex_);
+  // Lock-free decode: the acquire load inside names_.size() orders the
+  // bounds check before the element read (epoch_table.h protocol).
   if (id >= names_.size()) throw std::out_of_range("Interner::name: unknown id");
   return names_[id];
-}
-
-std::size_t Interner::size() const {
-  std::shared_lock lock(mutex_);
-  return names_.size();
 }
 
 PairId PairInterner::intern(DcId src, DcId dst) {
@@ -55,8 +53,7 @@ PairId PairInterner::intern(DcId src, DcId dst) {
   SMN_CHECK(packed_.size() < kInvalidPairId, "PairId space exhausted");
   SMN_DCHECK(src != kInvalidDcId && dst != kInvalidDcId,
              "interning a pair of invalid DcIds");
-  const auto id = static_cast<PairId>(packed_.size());
-  packed_.push_back(key);
+  const auto id = static_cast<PairId>(packed_.push_back(key));
   index_.emplace(key, id);
   SMN_DCHECK(index_.size() == packed_.size(), "index and pair table diverged");
   return id;
@@ -70,20 +67,13 @@ std::optional<PairId> PairInterner::find(DcId src, DcId dst) const {
 }
 
 DcId PairInterner::src(PairId id) const {
-  std::shared_lock lock(mutex_);
   if (id >= packed_.size()) throw std::out_of_range("PairInterner::src: unknown id");
   return static_cast<DcId>(packed_[id] >> 32);
 }
 
 DcId PairInterner::dst(PairId id) const {
-  std::shared_lock lock(mutex_);
   if (id >= packed_.size()) throw std::out_of_range("PairInterner::dst: unknown id");
   return static_cast<DcId>(packed_[id] & 0xFFFFFFFFu);
-}
-
-std::size_t PairInterner::size() const {
-  std::shared_lock lock(mutex_);
-  return packed_.size();
 }
 
 IdSpace& IdSpace::global() noexcept {

@@ -9,19 +9,22 @@
 //
 // Ids are append-only and never recycled: a DcId handed out stays valid
 // for the process lifetime, and `name()` returns a reference that is never
-// invalidated (names live in a deque). All operations are thread-safe;
-// lookups take a shared lock, first-time interning an exclusive one.
+// invalidated (names live in epoch-published chunked storage). Decode-side
+// operations (`name`, `src`, `dst`, `size`) are LOCK-FREE: storage is an
+// EpochTable whose published size is the reader's generation, so a reader
+// that observed id `i` as in-range can read it with no lock at all
+// (DESIGN.md §14). Encode-side operations (`intern`, `find`) go through the
+// hash index and take a shared lock, first-time interning an exclusive one.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <optional>
 #include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <vector>
 
+#include "util/epoch_table.h"
 #include "util/thread_annotations.h"
 
 namespace smn::util {
@@ -34,50 +37,75 @@ using PairId = std::uint32_t;
 inline constexpr DcId kInvalidDcId = 0xFFFFFFFFu;
 inline constexpr PairId kInvalidPairId = 0xFFFFFFFFu;
 
-/// Append-only, thread-safe string -> DcId table.
+/// Append-only, thread-safe string -> DcId table. Decodes are lock-free.
 class Interner {
  public:
   /// Id of `name`, interning it on first sight.
-  DcId intern(std::string_view name);
+  DcId intern(std::string_view name) SMN_EXCLUDES(mutex_);
 
   /// Id of `name` if already interned.
-  std::optional<DcId> find(std::string_view name) const;
+  std::optional<DcId> find(std::string_view name) const SMN_EXCLUDES(mutex_);
 
-  /// Name of `id`. The reference stays valid for the interner's lifetime.
-  /// Throws std::out_of_range on an id this interner never produced.
+  /// Name of `id`. Lock-free; the reference stays valid for the interner's
+  /// lifetime. Throws std::out_of_range on an id this interner never
+  /// produced (i.e. at or above the published generation).
   const std::string& name(DcId id) const;
 
-  std::size_t size() const;
+  /// Published id count — the reader's generation. Lock-free.
+  std::size_t size() const noexcept { return names_.size(); }
 
  private:
+  /// Guards the hash index and serializes writers into names_.
   mutable std::shared_mutex mutex_;
-  /// Stable addresses (deque never moves elements).
-  std::deque<std::string> names_ SMN_GUARDED_BY(mutex_);
-  /// Views into names_.
+  /// Epoch-published stable storage: writers append under mutex_ (the
+  /// EpochTable writer contract), readers decode lock-free against the
+  /// published size. Not SMN_GUARDED_BY by design — reads are sanctioned
+  /// without the lock by the release/acquire protocol in epoch_table.h.
+  EpochTable<std::string> names_{256};
+  /// Views into names_ storage (addresses are chunk-stable).
   std::unordered_map<std::string_view, DcId> index_ SMN_GUARDED_BY(mutex_);
 };
 
-/// Append-only, thread-safe (DcId, DcId) -> PairId table with O(1) decode.
+/// Append-only, thread-safe (DcId, DcId) -> PairId table. Decodes (`src`,
+/// `dst`, `size`) are lock-free.
 class PairInterner {
  public:
-  PairId intern(DcId src, DcId dst);
-  std::optional<PairId> find(DcId src, DcId dst) const;
+  PairId intern(DcId src, DcId dst) SMN_EXCLUDES(mutex_);
+  std::optional<PairId> find(DcId src, DcId dst) const SMN_EXCLUDES(mutex_);
 
-  /// Decode; throws std::out_of_range on an unknown pair id.
+  /// Decode; lock-free; throws std::out_of_range on an unknown pair id.
   DcId src(PairId id) const;
   DcId dst(PairId id) const;
 
-  std::size_t size() const;
+  /// Published pair count — the reader's generation. Lock-free.
+  std::size_t size() const noexcept { return packed_.size(); }
 
  private:
   static std::uint64_t pack(DcId src, DcId dst) noexcept {
     return (static_cast<std::uint64_t>(src) << 32) | dst;
   }
 
+  /// Guards the hash index and serializes writers into packed_.
   mutable std::shared_mutex mutex_;
-  /// [PairId] -> packed key.
-  std::vector<std::uint64_t> packed_ SMN_GUARDED_BY(mutex_);
+  /// [PairId] -> packed key; epoch-published, lock-free reads (see names_
+  /// in Interner for the protocol).
+  EpochTable<std::uint64_t> packed_{1024};
   std::unordered_map<std::uint64_t, PairId> index_ SMN_GUARDED_BY(mutex_);
+};
+
+class IdSpace;
+
+/// A consistent read generation of an IdSpace, captured atomically enough
+/// for snapshot queries: every PairId below `pair_count` decodes to DcIds
+/// below `dc_count`, so a reader resolving names for a snapshot never
+/// observes a half-published pair. The capture order makes this true
+/// without any lock: DcIds are published BEFORE any pair referencing them
+/// (pair_of_names interns names first; callers of pair() hold valid ids),
+/// so reading pair_count first and dc_count second can only over-approximate
+/// dc_count — never miss a referenced dc.
+struct IdSpaceSnapshot {
+  std::size_t pair_count = 0;
+  std::size_t dc_count = 0;
 };
 
 /// The shared id space: one Interner for datacenter/group names plus one
@@ -105,9 +133,18 @@ class IdSpace {
   const std::string& dst_name(PairId id) const { return dcs_.name(pairs_.dst(id)); }
   std::size_t pair_count() const { return pairs_.size(); }
 
+  /// Captures the current read generation: pair count first, dc count
+  /// second (see IdSpaceSnapshot for why that order is the safe one).
+  IdSpaceSnapshot snapshot() const noexcept {
+    IdSpaceSnapshot snap;
+    snap.pair_count = pairs_.size();
+    snap.dc_count = dcs_.size();
+    return snap;
+  }
+
   /// Name order on pairs: (src name, dst name) lexicographic. This is the
   /// ordering every string-keyed consumer used to get from std::map, so
-  /// id-based paths sort with it to keep output byte-identical.
+  /// id-based paths sort with it to keep output byte-identical. Lock-free.
   bool pair_name_less(PairId a, PairId b) const;
 
  private:

@@ -155,6 +155,19 @@ POLICIES: dict[str, dict[str, list]] = {
         ],
         "ratio": [],
     },
+    "BENCH_query_serving.json": {
+        "exact": [
+            "instance.dcs",
+            "instance.pairs",
+            "instance.records",
+            "fidelity.snapshot_identical",
+            "fidelity.mid_run_deviations",
+            "fidelity.scaling_ok",
+            "fidelity.ingest_ok",
+            "fidelity.shed_exercised",
+        ],
+        "ratio": [],
+    },
 }
 
 FLOAT_EPS = 1e-9

@@ -13,8 +13,16 @@ fidelity keys render as pass/fail streaks instead. Keys whose latest value
 differs from the previous one are flagged with `**changed**` — on a gated
 key that should only ever coincide with an intentional baseline refresh.
 
+With --badge the script additionally renders a README-embeddable SVG badge
+(bench/badge.svg in CI): green "passing" while every boolean gated key's
+latest value is a pass, red "failing" with the count otherwise, and the
+number of numeric keys that moved since the previous commit as the detail
+text — the one-glance summary of the whole gated bench surface.
+
 Usage:
     tools/bench_report.py --csv bench/trends.csv --out bench/TRENDS.md
+    tools/bench_report.py --csv bench/trends.csv --out bench/TRENDS.md \
+        --badge bench/badge.svg
 
 Exits nonzero only on a malformed CSV; an empty history still writes a
 valid (stub) report so the CI commit step stays unconditional.
@@ -66,6 +74,50 @@ def delta_cell(latest, previous) -> str:
     return "—" if latest == previous else "**changed**"
 
 
+def render_badge(history: dict[tuple[str, str], list[tuple[str, str, object]]]) -> str:
+    """Shield-style SVG: pass/fail over all boolean gated keys plus how many
+    numeric keys moved in the latest commit. Hand-rolled (no badge service:
+    the badge must build offline and commit back deterministically)."""
+    booleans = [entries[-1][2] for entries in history.values()
+                if isinstance(entries[-1][2], bool)]
+    failing = sum(1 for v in booleans if not v)
+    moved = sum(
+        1 for entries in history.values()
+        if len(entries) >= 2
+        and isinstance(entries[-1][2], (int, float)) and not isinstance(entries[-1][2], bool)
+        and isinstance(entries[-2][2], (int, float)) and not isinstance(entries[-2][2], bool)
+        and entries[-1][2] != entries[-2][2])
+    if not history:
+        status, color = "no data", "#9f9f9f"
+    elif failing:
+        status, color = f"{failing} gate(s) failing", "#e05d44"
+    else:
+        status, color = f"passing, {moved} key(s) moved", "#4c1"
+    label = "bench"
+    # Approximate text widths (7 px/char + padding) keep the layout sane
+    # without font metrics; viewers scale the text to fit its box.
+    left_w = 6 * len(label) + 10
+    right_w = 6 * len(status) + 10
+    total = left_w + right_w
+    return f"""<svg xmlns="http://www.w3.org/2000/svg" width="{total}" height="20" role="img" aria-label="{label}: {status}">
+  <linearGradient id="s" x2="0" y2="100%">
+    <stop offset="0" stop-color="#bbb" stop-opacity=".1"/>
+    <stop offset="1" stop-opacity=".1"/>
+  </linearGradient>
+  <clipPath id="r"><rect width="{total}" height="20" rx="3" fill="#fff"/></clipPath>
+  <g clip-path="url(#r)">
+    <rect width="{left_w}" height="20" fill="#555"/>
+    <rect x="{left_w}" width="{right_w}" height="20" fill="{color}"/>
+    <rect width="{total}" height="20" fill="url(#s)"/>
+  </g>
+  <g fill="#fff" text-anchor="middle" font-family="Verdana,Geneva,DejaVu Sans,sans-serif" font-size="11">
+    <text x="{left_w / 2:.0f}" y="14">{label}</text>
+    <text x="{left_w + right_w / 2:.0f}" y="14">{status}</text>
+  </g>
+</svg>
+"""
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -73,6 +125,8 @@ def main() -> int:
                         help="trend CSV (header: commit,utc,bench,key,value)")
     parser.add_argument("--out", required=True, type=pathlib.Path,
                         help="markdown file to write")
+    parser.add_argument("--badge", type=pathlib.Path, default=None,
+                        help="also write a pass/fail SVG badge here")
     args = parser.parse_args()
 
     # (bench, key) -> chronological [(commit, utc, value)]; CSV rows are
@@ -121,6 +175,9 @@ def main() -> int:
 
     args.out.write_text("\n".join(lines) + "\n")
     print(f"wrote {args.out} ({len(history)} tracked key(s))")
+    if args.badge is not None:
+        args.badge.write_text(render_badge(history))
+        print(f"wrote {args.badge}")
     return 0
 
 

@@ -13,17 +13,28 @@
 // retention seal it verifies fine_range() still returns every ingested
 // record. `--no-spill` restores the drop-on-seal store.
 //
+// A background query thread runs for the whole soak (DESIGN.md §14): it
+// serves budget-gated bandwidth snapshot reads and CLDS queries against
+// the live controller while the tick loop ingests, retires, and re-solves
+// — so reads-during-ingest and reads-during-retention are soaked under
+// contracts too, not just the quiesced read at the end. The thread
+// validates every admitted read (sorted merge output, monotone record
+// counts) and its deviations fail the soak like a contract violation.
+//
 //   contract_soak                  # planetary WAN, one day (nightly CI)
 //   contract_soak --quick          # small WAN, three hours (ctest)
 //   contract_soak --spill-dir DIR  # spill under DIR (default: a fresh
 //                                  # directory under the system temp path)
 //
 // Exit status: 0 iff util::contract_failure_count() == 0 at the end (and,
-// with spilling, the post-seal fine_range count matches ingest).
+// with spilling, the post-seal fine_range count matches ingest), and the
+// query thread observed no incoherent read.
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <string>
+#include <thread>
 
 #include "depgraph/reddit.h"
 #include "incident/simulator.h"
@@ -119,6 +130,42 @@ int main(int argc, char** argv) {
   std::size_t records = 0;
   std::size_t ticks = 0;
   std::size_t incidents = 0;
+
+  // Background query serving against the live controller: budget-gated
+  // snapshot reads of the bandwidth store plus CLDS queries, continuously,
+  // while the loop below ingests and retires. Coherence failures (unsorted
+  // merge output, a snapshot going backwards under the single writer)
+  // count as soak failures.
+  std::atomic<bool> soak_done{false};
+  std::atomic<std::uint64_t> queries_served{0};
+  std::atomic<std::uint64_t> query_deviations{0};
+  std::thread query_thread([&] {
+    std::size_t last_count = 0;
+    ::smn::smn::Query incidents_q;
+    incidents_q.dataset = "incidents";
+    while (!soak_done.load(std::memory_order_acquire)) {
+      const ::smn::smn::ServedFineRange fine =
+          controller.serve_bandwidth_range(0, traffic.duration);
+      if (fine.admitted) {
+        queries_served.fetch_add(1, std::memory_order_relaxed);
+        // Monotone counts only hold with the spill tier: drop-on-seal
+        // retention legitimately shrinks the fine horizon.
+        if (spill && fine.log.record_count() < last_count) {
+          query_deviations.fetch_add(1, std::memory_order_relaxed);
+        }
+        last_count = fine.log.record_count();
+        for (std::size_t i = 1; i < fine.log.record_count(); ++i) {
+          if (fine.log.timestamps()[i - 1] > fine.log.timestamps()[i]) {
+            query_deviations.fetch_add(1, std::memory_order_relaxed);
+            break;
+          }
+        }
+      }
+      const ::smn::smn::ServedQuery rows = controller.serve_query("smn", incidents_q);
+      if (rows.admitted) queries_served.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::yield();
+    }
+  });
   // One day, five-minute control ticks, hourly bulk ingest; demand doubles
   // for the last third of the day (drift-triggered early re-solve).
   const util::SimTime step_at = 2 * traffic.duration / 3;
@@ -138,9 +185,13 @@ int main(int argc, char** argv) {
     if (now == util::kHour) controller.ingest_optical_risks(underlay, now);
   }
   // End of day: seal everything old enough, then one more planning pass on
-  // the sealed + fine mix.
+  // the sealed + fine mix. The query thread is still serving here, so the
+  // big seal runs under concurrent snapshot reads; join it before the
+  // quiesced verification below.
   controller.run_retention(traffic.duration + util::kWeek);
   controller.run_capacity_planning(traffic.duration);
+  soak_done.store(true, std::memory_order_release);
+  query_thread.join();
 
   // With the spill tier on, sealing demotes instead of dropping, so the
   // full-horizon fine read must still return every ingested record — this
@@ -164,6 +215,15 @@ int main(int argc, char** argv) {
       records, controller.bandwidth_store().shard_count(), ticks, incidents,
       static_cast<unsigned long long>(controller.early_te_resolves()), stats.fine_records,
       stats.coarse_summaries);
+  std::printf("      query serving: %llu served, %llu shed, %llu views acquired\n",
+              static_cast<unsigned long long>(queries_served.load()),
+              static_cast<unsigned long long>(controller.query_budget().shed_total()),
+              static_cast<unsigned long long>(stats.views_acquired));
+  if (query_deviations.load() != 0) {
+    std::fprintf(stderr, "CONTRACT SOAK FAILED: %llu incoherent concurrent read(s)\n",
+                 static_cast<unsigned long long>(query_deviations.load()));
+    return 1;
+  }
   if (spill) {
     std::printf("      spill tier: %zu files, %zu records, %zu bytes on disk, "
                 "%llu maps / %llu unmaps (%s)\n",

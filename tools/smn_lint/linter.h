@@ -33,7 +33,9 @@ struct LintConfig {
   /// enters the system — the CLDS query API and the federation's
   /// export/ingest surfaces.
   std::vector<std::string> contract_surface_paths{
-      "src/smn/query.h", "src/smn/query.cpp", "src/smn/coarse_export.cpp",
+      "src/smn/query.h", "src/smn/query.cpp",
+      "src/smn/query_serving.h", "src/smn/query_serving.cpp",
+      "src/smn/coarse_export.cpp",
       "src/smn/region_controller.cpp", "src/smn/global_controller.cpp"};
 };
 
