@@ -1,0 +1,419 @@
+// PR-8 adaptive-control bench — the closed-loop drift → forecast → epsilon
+// → warm-start spine (DESIGN.md §15), replayed against a multi-day WAN
+// trace with injected regime changes. Three legs:
+//
+//   * Regime-change soak (deterministic, sim-time): a SmnController replays
+//     the trace at five-minute control ticks with hourly bulk ingest, while
+//     a background thread serves budget-gated snapshot queries against the
+//     live store. The traffic generator injects a permanent fleet-wide
+//     level shift, a continent-scoped flash crowd, and a regional
+//     evacuation; per-event probes measure the sim-time from event onset to
+//     the drift-triggered adaptive re-solve that answers it. Gated:
+//     every reaction within the 2 h bound (reaction_ok), zero incoherent
+//     concurrent reads (query_deviations), zero contract violations
+//     (contracts_clean — the nightly soak runs this leg under
+//     SMN_CONTRACT_MODE=log).
+//
+//   * Solve cost (warm vs cold): demand matrices estimated before and after
+//     the level shift; the post-shift instance is solved cold (tight
+//     epsilon, no cache) and warm (same epsilon, path cache seeded by a
+//     pre-shift solve). Gated: warm lambda >= 0.95 of cold
+//     (warm_fidelity_ok), warm sp_calls at most a quarter of cold
+//     (warm_sp_ok), and — hardware-armed like PR 7's scaling gates, only
+//     when the cold solve's wall is >= 20 ms so the ratio is signal, not
+//     scheduler noise — warm wall <= 0.5x cold (warm_cost_ok; min of three
+//     reps, each warm rep consuming a fresh copy of the pre-shift cache).
+//
+//   * Forecast quality: the fleet-aggregate series is cut 30 min after the
+//     level shift and forecast six hours ahead, drift-blind vs
+//     drift-weighted; both MAPEs are gated exactly, plus forecast_improves
+//     (weighted strictly better) and drift0_identical (drift 0 with
+//     non-default drift knobs is byte-identical to the drift-blind
+//     forecast, across all three methods).
+//
+// Writes BENCH_adaptive.json into the working directory; `--smoke` shrinks
+// the WAN and the trace to 36 h for the bench_smoke ctest label (same
+// gates — everything but the wall-clock ratio is duration-independent and
+// deterministic). Exit status: 0 iff every gate above holds.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "depgraph/reddit.h"
+#include "lp/mcf.h"
+#include "smn/smn_controller.h"
+#include "te/demand.h"
+#include "telemetry/forecast.h"
+#include "telemetry/traffic_generator.h"
+#include "topology/wan_generator.h"
+#include "util/contracts.h"
+
+using namespace smn;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+/// Records of `log` with timestamps in [begin, end).
+telemetry::BandwidthLog slice(const telemetry::BandwidthLog& log, util::SimTime begin,
+                              util::SimTime end) {
+  telemetry::BandwidthLog out;
+  const auto timestamps = log.timestamps();
+  const auto pairs = log.pair_ids();
+  const auto bw = log.bandwidths();
+  for (std::size_t i = 0; i < log.record_count(); ++i) {
+    if (timestamps[i] >= begin && timestamps[i] < end) {
+      out.append(timestamps[i], pairs[i], bw[i]);
+    }
+  }
+  return out;
+}
+
+/// Fleet-aggregate series: per epoch, the sum over all pairs.
+telemetry::Series aggregate_series(const telemetry::BandwidthLog& log, util::SimTime epoch) {
+  telemetry::Series series;
+  series.epoch = epoch;
+  if (log.record_count() == 0) return series;
+  const auto timestamps = log.timestamps();
+  const auto bw = log.bandwidths();
+  const util::SimTime start = timestamps.front();
+  const util::SimTime last = timestamps.back();
+  series.start = start;
+  series.values.assign(static_cast<std::size_t>((last - start) / epoch) + 1, 0.0);
+  for (std::size_t i = 0; i < log.record_count(); ++i) {
+    series.values[static_cast<std::size_t>((timestamps[i] - start) / epoch)] += bw[i];
+  }
+  return series;
+}
+
+double mape(const std::vector<double>& predicted, const telemetry::Series& actuals,
+            std::size_t offset) {
+  double total = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t h = 0; h < predicted.size() && offset + h < actuals.size(); ++h) {
+    const double truth = actuals.values[offset + h];
+    if (truth == 0.0) continue;
+    total += std::abs((truth - predicted[h]) / truth);
+    ++counted;
+  }
+  return counted ? total / static_cast<double>(counted) : 0.0;
+}
+
+/// Reaction probe of one injected regime event: sim-time from onset to the
+/// first drift-triggered re-solve at or after it.
+struct Probe {
+  const char* name;
+  util::SimTime at = 0;
+  std::uint64_t resolves_before = 0;
+  bool armed = false;
+  util::SimTime reaction = -1;  ///< -1 = never answered
+  double epsilon_at_fire = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+
+  // --- Instance: planetary WAN, multi-day trace, three regime changes.
+  // Seasonal confounders are flattened (tiny diurnal, no weekend/holiday
+  // dip) so measured drift is the injected events, not the calendar. ---
+  topology::WanConfig wan_config;
+  if (smoke) {
+    wan_config.regions_per_continent = 2;
+    wan_config.dcs_per_region = 3;
+  }
+  const topology::WanTopology wan = topology::generate_planetary_wan(wan_config);
+  const depgraph::ServiceGraph services = depgraph::build_reddit_deployment();
+
+  telemetry::TrafficConfig traffic;
+  traffic.duration = smoke ? 36 * util::kHour : 4 * util::kDay;
+  traffic.active_pairs = smoke ? 120 : 800;
+  traffic.seed = 77;
+  traffic.diurnal_amplitude = 0.05;
+  traffic.weekend_factor = 1.0;
+  traffic.holiday_spike_factor = 1.0;
+  traffic.noise_sigma = 0.02;
+  const util::SimTime shift_at = smoke ? 12 * util::kHour : util::kDay + 12 * util::kHour;
+  const util::SimTime flash_at = smoke ? 20 * util::kHour : 2 * util::kDay + 6 * util::kHour;
+  const util::SimTime flash_len = smoke ? 4 * util::kHour : 6 * util::kHour;
+  const util::SimTime evac_at = smoke ? 28 * util::kHour : 3 * util::kDay;
+  const util::SimTime evac_len = smoke ? 6 * util::kHour : 12 * util::kHour;
+  traffic.regimes = {
+      {telemetry::RegimeKind::kLevelShift, shift_at, 0, 2.0, ""},
+      {telemetry::RegimeKind::kFlashCrowd, flash_at, flash_len, 4.0, "eu"},
+      {telemetry::RegimeKind::kRegionalEvacuation, evac_at, evac_len, 0.25, "as"},
+  };
+  const telemetry::TrafficGenerator gen(wan, traffic);
+  const telemetry::BandwidthLog log = gen.generate();
+  std::printf("instance: %zu DCs, %zu pairs, %zu records, %u hw threads%s\n",
+              wan.datacenter_count(), gen.pairs().size(), log.record_count(), hw,
+              smoke ? " (smoke)" : "");
+
+  // --- Regime-change soak leg. ---
+  ::smn::smn::SmnConfig config;
+  config.clto.training_incidents = smoke ? 40 : 120;
+  config.clto.forest_trees = smoke ? 10 : 30;
+  config.bw_shards = 8;
+  config.bw_spill_dir =
+      (std::filesystem::temp_directory_path() / "smn_bench_p8_spill").string();
+  {
+    std::error_code ec;
+    std::filesystem::remove_all(config.bw_spill_dir, ec);
+  }
+  // The periodic planner stays parked (kMonth): every mid-run solve is the
+  // drift-triggered adaptive path under test.
+  config.planning_loop_period = util::kMonth;
+  config.telemetry_loop_period = util::kTelemetryEpoch;
+  config.drift_resolve_threshold = 0.15;
+  config.drift_rearm_threshold = 0.08;
+  config.drift_min_resolve_interval = smoke ? 30 * util::kMinute : util::kHour;
+  if (!smoke) config.bw_max_fine_age = 12 * util::kHour;  // soak the spill tier too
+  ::smn::smn::SmnController controller(services, wan, config);
+
+  Probe probes[3] = {{"shift", shift_at}, {"flash", flash_at}, {"evac", evac_at}};
+  constexpr util::SimTime kReactionBound = 2 * util::kHour;
+
+  std::atomic<bool> replay_done{false};
+  std::atomic<std::uint64_t> queries_served{0};
+  std::atomic<std::uint64_t> query_deviations{0};
+  std::thread query_thread([&] {
+    std::size_t last_count = 0;
+    while (!replay_done.load(std::memory_order_acquire)) {
+      const ::smn::smn::ServedFineRange fine =
+          controller.serve_bandwidth_range(0, traffic.duration);
+      if (fine.admitted) {
+        queries_served.fetch_add(1, std::memory_order_relaxed);
+        // Spill tier is on: the fine horizon never shrinks, and the merge
+        // output must stay sorted, under the single replay writer.
+        if (fine.log.record_count() < last_count) {
+          query_deviations.fetch_add(1, std::memory_order_relaxed);
+        }
+        last_count = fine.log.record_count();
+        for (std::size_t i = 1; i < fine.log.record_count(); ++i) {
+          if (fine.log.timestamps()[i - 1] > fine.log.timestamps()[i]) {
+            query_deviations.fetch_add(1, std::memory_order_relaxed);
+            break;
+          }
+        }
+      }
+      std::this_thread::yield();
+    }
+  });
+
+  const double epsilon_initial = controller.adaptive().epsilon();
+  std::size_t records = 0;
+  // Five-minute ticks; each hour's records ingest at the *end* of their
+  // hour, so the store only ever holds data that has already "happened" and
+  // reaction latency is a clean sim-time measurement.
+  for (util::SimTime now = 0; now <= traffic.duration; now += util::kTelemetryEpoch) {
+    for (Probe& p : probes) {
+      if (!p.armed && now >= p.at) {
+        p.resolves_before = controller.early_te_resolves();
+        p.armed = true;
+      }
+    }
+    if (now > 0 && now % util::kHour == 0) {
+      records += controller.ingest_bandwidth(slice(log, now - util::kHour, now));
+    }
+    controller.tick(now);
+    if (now == 2 * util::kHour) controller.run_capacity_planning(now);  // initial baseline
+    for (Probe& p : probes) {
+      if (p.armed && p.reaction < 0 && controller.early_te_resolves() > p.resolves_before) {
+        p.reaction = now - p.at;
+        p.epsilon_at_fire = controller.adaptive().epsilon();
+      }
+    }
+  }
+  replay_done.store(true, std::memory_order_release);
+  query_thread.join();
+
+  bool reaction_ok = true;
+  for (const Probe& p : probes) {
+    const bool ok = p.reaction >= 0 && p.reaction <= kReactionBound;
+    reaction_ok = reaction_ok && ok;
+    if (p.reaction >= 0) {
+      std::printf("reaction %-5s: %lld s (epsilon %.3f)%s\n", p.name,
+                  static_cast<long long>(p.reaction), p.epsilon_at_fire,
+                  ok ? "" : " EXCEEDS BOUND");
+    } else {
+      std::printf("reaction %-5s: NEVER ANSWERED\n", p.name);
+    }
+  }
+  const std::uint64_t early_resolves = controller.early_te_resolves();
+  const double warm_hit_rate_final = controller.adaptive().warm_hit_rate();
+  const double epsilon_final = controller.adaptive().epsilon();
+  std::printf("soak: %zu records, %llu drift-triggered re-solves, warm hit rate %.3f, "
+              "%llu queries served\n",
+              records, static_cast<unsigned long long>(early_resolves), warm_hit_rate_final,
+              static_cast<unsigned long long>(queries_served.load()));
+
+  // --- Solve-cost leg: cold vs warm on the post-shift instance. ---
+  const util::SimTime pre_end = shift_at;
+  const util::SimTime post_end = smoke ? flash_at : 2 * util::kDay;  // level shift only
+  const te::DemandMatrix demand_pre =
+      te::DemandMatrix::from_log(slice(log, 0, pre_end), te::DemandStatistic::kMean);
+  const te::DemandMatrix demand_post =
+      te::DemandMatrix::from_log(slice(log, shift_at, post_end), te::DemandStatistic::kMean);
+  const std::vector<lp::Commodity> pre_commodities = demand_pre.to_commodities(wan);
+  const std::vector<lp::Commodity> post_commodities = demand_post.to_commodities(wan);
+
+  lp::McfOptions tight;
+  tight.epsilon = 0.05;
+  lp::McfResult cold;
+  double cold_wall_ms = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto start = Clock::now();
+    cold = lp::max_concurrent_flow(wan.graph(), post_commodities, tight);
+    const double wall = ms_since(start);
+    cold_wall_ms = rep == 0 ? wall : std::min(cold_wall_ms, wall);
+  }
+
+  // Seed: one pre-shift solve writes the path cache the warm solve consumes.
+  lp::McfPathCache seed_cache;
+  {
+    lp::McfOptions seeding = tight;
+    seeding.warm_start = &seed_cache;
+    lp::max_concurrent_flow(wan.graph(), pre_commodities, seeding);
+  }
+  lp::McfResult warm;
+  double warm_wall_ms = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    lp::McfPathCache cache = seed_cache;  // each rep consumes a fresh copy
+    lp::McfOptions warmed = tight;
+    warmed.warm_start = &cache;
+    const auto start = Clock::now();
+    const lp::McfResult result = lp::max_concurrent_flow(wan.graph(), post_commodities, warmed);
+    const double wall = ms_since(start);
+    warm_wall_ms = rep == 0 ? wall : std::min(warm_wall_ms, wall);
+    if (rep == 0) warm = result;
+  }
+
+  const double solve_fidelity = cold.lambda > 0.0 ? warm.lambda / cold.lambda : 0.0;
+  const double wall_ratio = cold_wall_ms > 0.0 ? warm_wall_ms / cold_wall_ms : 0.0;
+  const bool warm_fidelity_ok = solve_fidelity >= 0.95;
+  const bool warm_sp_ok = warm.sp_calls * 4 <= cold.sp_calls;
+  const bool cost_gated = cold_wall_ms >= 20.0;
+  const bool warm_cost_ok = !cost_gated || wall_ratio <= 0.5;
+  std::printf("solve: cold %zu sp_calls / lambda %.6f / %.1f ms, "
+              "warm %zu sp_calls / lambda %.6f / %.1f ms (%.2fx wall, %s)\n",
+              cold.sp_calls, cold.lambda, cold_wall_ms, warm.sp_calls, warm.lambda,
+              warm_wall_ms, wall_ratio,
+              cost_gated ? (warm_cost_ok ? "gated, ok" : "ABOVE 0.5x GATE")
+                         : "not gated: cold wall < 20 ms");
+  std::printf("solve: warm %zu hits / %zu misses / %zu reselects, fidelity %.4f%s\n",
+              warm.warm_hits, warm.warm_misses, warm.warm_reselects, solve_fidelity,
+              warm_fidelity_ok ? "" : " BELOW 0.95 GATE");
+
+  // --- Forecast leg: drift-blind vs drift-weighted, 30 min after the
+  // shift; plus the drift-0 byte-identity property on the same series. ---
+  const telemetry::Series full_series = aggregate_series(log, traffic.epoch);
+  const auto prefix_len =
+      static_cast<std::size_t>((shift_at + 30 * util::kMinute) / traffic.epoch);
+  telemetry::Series prefix;
+  prefix.start = full_series.start;
+  prefix.epoch = full_series.epoch;
+  prefix.values.assign(full_series.values.begin(),
+                       full_series.values.begin() + static_cast<std::ptrdiff_t>(prefix_len));
+  const std::size_t horizon = static_cast<std::size_t>(6 * util::kHour / traffic.epoch);
+
+  telemetry::ForecastOptions blind_options;
+  telemetry::ForecastOptions drift_options;
+  drift_options.drift_level = 1.0;
+  const std::vector<double> blind =
+      telemetry::forecast(prefix, horizon, telemetry::ForecastMethod::kEwma, blind_options);
+  const std::vector<double> weighted =
+      telemetry::forecast(prefix, horizon, telemetry::ForecastMethod::kEwma, drift_options);
+  const double blind_mape = mape(blind, full_series, prefix_len);
+  const double drift_mape = mape(weighted, full_series, prefix_len);
+  const bool forecast_improves = drift_mape < blind_mape;
+
+  bool drift0_identical = true;
+  {
+    telemetry::ForecastOptions defaults;
+    defaults.season = static_cast<std::size_t>(6 * util::kHour / traffic.epoch);
+    telemetry::ForecastOptions zero = defaults;
+    zero.drift_level = 0.0;
+    zero.drift_decay = 9.0;        // non-default knobs must be inert at drift 0
+    zero.drift_recent_window = 7;
+    for (const telemetry::ForecastMethod method :
+         {telemetry::ForecastMethod::kEwma, telemetry::ForecastMethod::kSeasonalNaive,
+          telemetry::ForecastMethod::kSeasonalGrowth}) {
+      drift0_identical = drift0_identical &&
+                         telemetry::forecast(prefix, horizon, method, zero) ==
+                             telemetry::forecast(prefix, horizon, method, defaults);
+    }
+  }
+  std::printf("forecast: blind MAPE %.4f, drift-weighted MAPE %.4f (%s), drift-0 %s\n",
+              blind_mape, drift_mape, forecast_improves ? "improves" : "DOES NOT IMPROVE",
+              drift0_identical ? "identical" : "NOT IDENTICAL");
+
+  const bool contracts_clean = util::contract_failure_count() == 0;
+  const std::uint64_t deviations = query_deviations.load();
+
+  std::FILE* out = std::fopen("BENCH_adaptive.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_adaptive.json\n");
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out,
+               "  \"instance\": {\"dcs\": %zu, \"pairs\": %zu, \"records\": %zu, "
+               "\"hw_threads\": %u, \"smoke\": %s},\n",
+               wan.datacenter_count(), gen.pairs().size(), log.record_count(), hw,
+               smoke ? "true" : "false");
+  std::fprintf(out,
+               "  \"reaction\": {\"bound_s\": %lld, \"shift_s\": %lld, \"flash_s\": %lld, "
+               "\"evac_s\": %lld, \"early_resolves\": %llu},\n",
+               static_cast<long long>(kReactionBound), static_cast<long long>(probes[0].reaction),
+               static_cast<long long>(probes[1].reaction),
+               static_cast<long long>(probes[2].reaction),
+               static_cast<unsigned long long>(early_resolves));
+  std::fprintf(out,
+               "  \"adaptive\": {\"epsilon_initial\": %.6f, \"epsilon_at_shift\": %.6f, "
+               "\"epsilon_final\": %.6f, \"warm_hit_rate_final\": %.6f},\n",
+               epsilon_initial, probes[0].epsilon_at_fire, epsilon_final, warm_hit_rate_final);
+  std::fprintf(out,
+               "  \"solve\": {\"commodities\": %zu, \"cold_sp_calls\": %zu, "
+               "\"warm_sp_calls\": %zu, \"cold_lambda\": %.9f, \"warm_lambda\": %.9f, "
+               "\"fidelity\": %.9f, \"warm_hits\": %zu, \"warm_misses\": %zu, "
+               "\"warm_reselects\": %zu, \"cold_wall_ms\": %.3f, \"warm_wall_ms\": %.3f, "
+               "\"wall_ratio\": %.4f},\n",
+               post_commodities.size(), cold.sp_calls, warm.sp_calls, cold.lambda, warm.lambda,
+               solve_fidelity, warm.warm_hits, warm.warm_misses, warm.warm_reselects,
+               cold_wall_ms, warm_wall_ms, wall_ratio);
+  std::fprintf(out, "  \"forecast\": {\"blind_mape\": %.9f, \"drift_mape\": %.9f},\n",
+               blind_mape, drift_mape);
+  std::fprintf(out,
+               "  \"fidelity\": {\"reaction_ok\": %s, \"warm_fidelity_ok\": %s, "
+               "\"warm_sp_ok\": %s, \"warm_cost_ok\": %s, \"forecast_improves\": %s, "
+               "\"drift0_identical\": %s, \"query_deviations\": %llu, "
+               "\"contracts_clean\": %s}\n",
+               reaction_ok ? "true" : "false", warm_fidelity_ok ? "true" : "false",
+               warm_sp_ok ? "true" : "false", warm_cost_ok ? "true" : "false",
+               forecast_improves ? "true" : "false", drift0_identical ? "true" : "false",
+               static_cast<unsigned long long>(deviations), contracts_clean ? "true" : "false");
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("wrote BENCH_adaptive.json\n");
+
+  return (reaction_ok && warm_fidelity_ok && warm_sp_ok && warm_cost_ok && forecast_improves &&
+          drift0_identical && deviations == 0 && contracts_clean)
+             ? 0
+             : 1;
+}

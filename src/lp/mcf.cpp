@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <optional>
 #include <stdexcept>
@@ -15,6 +16,27 @@ namespace smn::lp {
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Warm-start lookup key: NodeId is 32-bit, so an endpoint pair packs into
+/// one 64-bit word.
+std::uint64_t endpoint_key(graph::NodeId src, graph::NodeId dst) {
+  return (static_cast<std::uint64_t>(src) << 32) | static_cast<std::uint64_t>(dst);
+}
+
+/// A cached path survives into the current solve only if it is still a
+/// contiguous src->dst walk over in-range, positive-capacity edges.
+bool path_valid(const graph::Digraph& g, graph::NodeId src, graph::NodeId dst,
+                const std::vector<graph::EdgeId>& path) {
+  if (path.empty()) return false;
+  graph::NodeId cursor = src;
+  for (const graph::EdgeId e : path) {
+    if (e >= g.edge_count()) return false;
+    const graph::Edge& edge = g.edge(e);
+    if (edge.from != cursor || edge.capacity <= 0.0) return false;
+    cursor = edge.to;
+  }
+  return cursor == dst;
+}
 
 }  // namespace
 
@@ -200,6 +222,60 @@ McfResult max_concurrent_flow(const graph::Digraph& g, const std::vector<Commodi
       }
     };
 
+    // Cross-solve warm start (McfPathCache): seed each cached commodity's
+    // active path from the previous solve's surviving path set. Warm
+    // commodities never touch the Dijkstra oracle — when their path goes
+    // stale they re-select the currently-shortest cached alternative
+    // instead of triggering a tree rebuild.
+    McfPathCache* const warm = ch == nullptr ? options.warm_start : nullptr;
+    std::vector<std::vector<std::vector<graph::EdgeId>>> warm_paths(
+        warm != nullptr ? commodities.size() : 0);
+    // Picks the cached alternative of commodity j that is shortest under the
+    // current duals and makes it the active path.
+    const auto warm_reselect = [&](std::size_t j) {
+      std::size_t best = 0;
+      double best_len = kInf;
+      for (std::size_t p = 0; p < warm_paths[j].size(); ++p) {
+        const double len = path_length_now(warm_paths[j][p]);
+        if (len < best_len) {
+          best_len = len;
+          best = p;
+        }
+      }
+      cached_path[j] = warm_paths[j][best];
+      cached_len[j] = best_len;
+      path_entry[j] = kNoEntry;
+    };
+    if (warm != nullptr) {
+      warm->hits = warm->misses = warm->invalidated = 0;
+      std::unordered_map<std::uint64_t, const McfPathCache::Entry*> by_endpoints;
+      by_endpoints.reserve(warm->entries.size());
+      for (const McfPathCache::Entry& entry : warm->entries) {
+        by_endpoints.emplace(endpoint_key(entry.src, entry.dst), &entry);
+      }
+      for (const std::size_t j : active) {
+        const Commodity& c = commodities[j];
+        const auto it = by_endpoints.find(endpoint_key(c.src, c.dst));
+        if (it != by_endpoints.end()) {
+          for (const std::vector<graph::EdgeId>& path : it->second->paths) {
+            if (path_valid(g, c.src, c.dst, path)) {
+              warm_paths[j].push_back(path);
+            } else {
+              ++warm->invalidated;
+            }
+          }
+        }
+        if (warm_paths[j].empty()) {
+          ++warm->misses;
+          continue;
+        }
+        ++warm->hits;
+        warm_reselect(j);
+      }
+      result.warm_hits = warm->hits;
+      result.warm_misses = warm->misses;
+    }
+
     // Phase index of each group's last tree rebuild (so a group rebuilds at
     // most once per phase; later invalidations in the same phase re-extract
     // from the existing — possibly slightly stale — tree, and a group whose
@@ -222,7 +298,15 @@ McfResult max_concurrent_flow(const graph::Digraph& g, const std::vector<Commodi
             if (dual >= 1.0) break;
             if (cached_path[j].empty() ||
                 path_length_now(cached_path[j]) > (1.0 + eps) * cached_len[j]) {
-              if (ch != nullptr) {
+              if (warm != nullptr && !warm_paths[j].empty()) {
+                // Warm commodity: swap to the currently-shortest cached
+                // alternative instead of consulting the shortest-path
+                // oracle. Every cached path has finite length (validated
+                // positive capacities), so the commodity keeps augmenting
+                // and the dual keeps growing — termination is unaffected.
+                warm_reselect(j);
+                ++result.warm_reselects;
+              } else if (ch != nullptr) {
                 // Hierarchy oracle: one lazy customize covers every stale
                 // commodity until the next augmentation, and each member is
                 // a point query — no group tree to rebuild or share.
@@ -339,6 +423,38 @@ McfResult max_concurrent_flow(const graph::Digraph& g, const std::vector<Commodi
   result.paths.reserve(raw_paths.size());
   for (RawPath& p : raw_paths) {
     result.paths.push_back(PathFlow{p.commodity, std::move(p.edges), p.flow * scale});
+  }
+
+  if (options.warm_start != nullptr && ch == nullptr && options.batch_by_source) {
+    // Rewrite the cache with this solve's own certified path set: per
+    // commodity, up to kWarmPathsPerCommodity distinct paths, highest flow
+    // first. Consumption stats (hits/misses/invalidated) are left intact
+    // for the caller to read.
+    McfPathCache& cache = *options.warm_start;
+    cache.entries.clear();
+    std::vector<std::vector<std::size_t>> by_commodity(commodities.size());
+    for (std::size_t i = 0; i < result.paths.size(); ++i) {
+      by_commodity[result.paths[i].commodity].push_back(i);
+    }
+    McfPathCache::Entry entry;
+    for (const std::size_t j : active) {
+      std::vector<std::size_t>& idx = by_commodity[j];
+      if (idx.empty()) continue;
+      std::stable_sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+        return result.paths[a].flow > result.paths[b].flow;
+      });
+      entry.src = commodities[j].src;
+      entry.dst = commodities[j].dst;
+      for (const std::size_t i : idx) {
+        if (entry.paths.size() >= kWarmPathsPerCommodity) break;
+        const std::vector<graph::EdgeId>& path = result.paths[i].edges;
+        if (std::find(entry.paths.begin(), entry.paths.end(), path) == entry.paths.end()) {
+          entry.paths.push_back(path);
+        }
+      }
+      cache.entries.push_back(std::move(entry));
+      entry.paths.clear();
+    }
   }
   return result;
 }

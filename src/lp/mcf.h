@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "graph/digraph.h"
@@ -52,7 +53,61 @@ struct McfResult {
   std::vector<PathFlow> paths;
   /// Number of shortest-path computations performed (work metric).
   std::size_t sp_calls = 0;
+  /// Warm-start accounting (all zero when McfOptions::warm_start is null):
+  /// commodities seeded from the cache, active commodities with no usable
+  /// cached path, and cached-path re-selections that replaced what would
+  /// otherwise have been a shortest-path rebuild.
+  std::size_t warm_hits = 0;
+  std::size_t warm_misses = 0;
+  std::size_t warm_reselects = 0;
 };
+
+/// Cross-solve warm-start state: the (1 + eps) path set of a previous
+/// max_concurrent_flow solve, keyed by commodity endpoints so it survives
+/// commodity reordering between solves. Wire the same cache object into the
+/// next solve over the same (or a drifted) instance via
+/// McfOptions::warm_start:
+///
+///   * every cached path is revalidated against the current graph (edge ids
+///     in range, a contiguous src->dst walk, positive capacity on every
+///     edge); failures are dropped per-path and counted in `invalidated`;
+///   * a commodity with at least one surviving path routes over its cached
+///     set for the whole solve, re-selecting the currently-shortest cached
+///     path whenever the active one goes stale — zero shortest-path calls
+///     while the cache covers it;
+///   * a commodity with no usable cache falls back to the cold oracle
+///     (per-source Dijkstra trees), so new or invalidated commodities cost
+///     what they always did.
+///
+/// After the solve the cache is rewritten with the solve's own certified
+/// path set (up to kWarmPathsPerCommodity highest-flow paths per
+/// commodity). Quality note: warm routing restricts each cached commodity
+/// to its cached paths, so the FPTAS eps guarantee is relative to the best
+/// routing *within that set*; the result is still certified feasible, and
+/// callers that care (the adaptive bench) gate measured fidelity against a
+/// cold tight solve.
+struct McfPathCache {
+  struct Entry {
+    graph::NodeId src = graph::kInvalidNode;
+    graph::NodeId dst = graph::kInvalidNode;
+    /// Alternative paths, highest previous flow first.
+    std::vector<std::vector<graph::EdgeId>> paths;
+  };
+  std::vector<Entry> entries;
+  /// Stats of the most recent solve that consumed this cache (mirrored into
+  /// McfResult::warm_hits / warm_misses).
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t invalidated = 0;
+
+  void clear() {
+    entries.clear();
+    hits = misses = invalidated = 0;
+  }
+};
+
+/// Paths persisted per commodity into a McfPathCache after a solve.
+inline constexpr std::size_t kWarmPathsPerCommodity = 32;
 
 struct McfOptions {
   double epsilon = 0.05;     ///< FPTAS accuracy knob
@@ -73,6 +128,12 @@ struct McfOptions {
   /// hierarchy is mutated (customized) during the solve, so give each
   /// concurrent solver its own copy.
   graph::ContractionHierarchy* ch = nullptr;
+  /// Optional cross-solve warm start (see McfPathCache): consumed and then
+  /// rewritten by the solve. Honored only on the default batched flat
+  /// oracle (batch_by_source && ch == nullptr) — the legacy and hierarchy
+  /// schedules ignore it. The cache must not be shared across concurrent
+  /// solves.
+  McfPathCache* warm_start = nullptr;
 };
 
 /// Solves max concurrent flow on `g` using edge capacities from the graph.

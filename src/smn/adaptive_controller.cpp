@@ -1,0 +1,117 @@
+#include "smn/adaptive_controller.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace smn::smn {
+namespace {
+
+AdaptiveConfig validated(AdaptiveConfig config) {
+  SMN_CHECK(config.eps_tight > 0.0 && config.eps_tight < 1.0,
+            "AdaptiveConfig::eps_tight must be in (0, 1)");
+  SMN_CHECK(config.eps_coarse > 0.0 && config.eps_coarse < 1.0,
+            "AdaptiveConfig::eps_coarse must be in (0, 1)");
+  SMN_CHECK(config.eps_tight <= config.eps_coarse,
+            "AdaptiveConfig: eps_tight must not exceed eps_coarse");
+  SMN_CHECK(config.drift_low < config.drift_high,
+            "AdaptiveConfig: drift_low must be below drift_high");
+  SMN_CHECK(config.eps_hysteresis >= 0.0,
+            "AdaptiveConfig::eps_hysteresis must be non-negative");
+  SMN_CHECK(config.resolve_threshold > 0.0,
+            "AdaptiveConfig::resolve_threshold must be positive");
+  return config;
+}
+
+}  // namespace
+
+AdaptiveController::AdaptiveController(AdaptiveConfig config)
+    : config_(validated(config)), epsilon_(config_.eps_coarse) {}
+
+double AdaptiveController::target_epsilon(double drift_level) const noexcept {
+  // +inf drift (demand against an all-zero baseline) clamps to 1 like any
+  // above-range level; NaN would poison the clamp, so treat it as 0.
+  if (std::isnan(drift_level)) drift_level = 0.0;
+  const double t = std::clamp(
+      (drift_level - config_.drift_low) / (config_.drift_high - config_.drift_low), 0.0, 1.0);
+  // Return the configured endpoints verbatim at the clamp bounds: the
+  // hysteresis latch in observe() compares against them bit for bit, and
+  // `coarse + 1.0 * (tight - coarse)` is not `tight` in floating point.
+  if (t <= 0.0) return config_.eps_coarse;
+  if (t >= 1.0) return config_.eps_tight;
+  return config_.eps_coarse + t * (config_.eps_tight - config_.eps_coarse);
+}
+
+double AdaptiveController::observe(double drift_level, util::SimTime now) {
+  const double target = target_epsilon(drift_level);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  // Hysteresis: small target moves are noise; endpoint targets latch
+  // exactly (the clamp makes them exact values, not asymptotes).
+  if (std::abs(target - epsilon_) >= config_.eps_hysteresis ||
+      target == config_.eps_tight || target == config_.eps_coarse) {
+    epsilon_ = target;
+  }
+  if (drift_level >= config_.resolve_threshold) {
+    if (!pending_since_.has_value()) pending_since_ = now;
+  } else {
+    // Excursion ended (a re-solve reset the baseline, or the shift
+    // reverted) — stop the clock without recording a latency.
+    pending_since_.reset();
+  }
+  return epsilon_;
+}
+
+util::SimTime AdaptiveController::note_resolve(util::SimTime now) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  util::SimTime latency = 0;
+  if (pending_since_.has_value()) {
+    latency = now - *pending_since_;
+    pending_since_.reset();
+  }
+  last_latency_ = latency;
+  ++resolves_;
+  return latency;
+}
+
+void AdaptiveController::record_solve(std::uint64_t warm_hits, std::uint64_t warm_misses,
+                                      std::uint64_t sp_calls, double lambda) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  last_warm_hits_ = warm_hits;
+  last_warm_misses_ = warm_misses;
+  last_sp_calls_ = sp_calls;
+  last_lambda_ = lambda;
+}
+
+double AdaptiveController::epsilon() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return epsilon_;
+}
+
+double AdaptiveController::warm_hit_rate() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t total = last_warm_hits_ + last_warm_misses_;
+  return total == 0 ? 0.0 : static_cast<double>(last_warm_hits_) / static_cast<double>(total);
+}
+
+util::SimTime AdaptiveController::last_reaction_latency() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return last_latency_;
+}
+
+std::uint64_t AdaptiveController::resolves() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return resolves_;
+}
+
+std::uint64_t AdaptiveController::last_sp_calls() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return last_sp_calls_;
+}
+
+double AdaptiveController::last_lambda() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return last_lambda_;
+}
+
+}  // namespace smn::smn

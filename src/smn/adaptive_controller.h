@@ -1,0 +1,99 @@
+// Closed-loop adaptive control policy (DESIGN.md §15): maps the measured
+// demand-drift level to the TE solver's epsilon. The intuition is a
+// cost/fidelity dial: while demand tracks the installed baseline (LOW
+// drift) a coarse, cheap solve is plenty — the plan barely moves; when a
+// level shift or flash crowd opens a gap (HIGH drift) the re-solve should
+// spend for a tight answer, because the new plan will be live until drift
+// settles again. A hysteresis band keeps epsilon from thrashing on drift
+// noise around the mapping's midpoint.
+//
+// The policy also owns the reaction clock: the time from drift first
+// crossing the resolve threshold to the re-solve that answered it — the
+// metric the adaptive soak gates. SmnController wires this into its
+// drift-watch loop; the class itself is engine-agnostic and directly
+// testable.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+
+#include "util/sim_time.h"
+#include "util/thread_annotations.h"
+
+namespace smn::smn {
+
+struct AdaptiveConfig {
+  /// Epsilon chosen at HIGH drift (expensive, tight solve) and at LOW
+  /// drift (cheap, coarse solve). Both in (0, 1), tight <= coarse.
+  double eps_tight = 0.05;
+  double eps_coarse = 0.30;
+  /// Drift levels bounding the linear interpolation: at or below
+  /// `drift_low` the policy picks eps_coarse, at or above `drift_high`
+  /// eps_tight, linear in between.
+  double drift_low = 0.05;
+  double drift_high = 0.50;
+  /// Hysteresis: the current epsilon only moves when the target differs by
+  /// at least this band (endpoints always latch exactly, so sustained
+  /// extreme drift pins eps_tight / eps_coarse).
+  double eps_hysteresis = 0.04;
+  /// Drift level that starts the reaction clock — SmnController overrides
+  /// this with its drift_resolve_threshold so the clock measures the same
+  /// excursions the core's fire decision acts on.
+  double resolve_threshold = 0.25;
+};
+
+/// Thread-safe: observe/note_resolve/record_solve and every accessor may be
+/// called from the drift-watch loop and from readers concurrently.
+class AdaptiveController {
+ public:
+  /// SMN_CHECK-validates the config (epsilons in (0,1) with tight <=
+  /// coarse, drift_low < drift_high, non-negative band, positive
+  /// threshold).
+  explicit AdaptiveController(AdaptiveConfig config = {});
+
+  /// Pure drift -> epsilon mapping (no hysteresis, no state). Exposed so
+  /// tests and the bench can assert the policy shape directly.
+  double target_epsilon(double drift_level) const noexcept;
+
+  /// Feeds one drift observation: updates epsilon under hysteresis and
+  /// manages the reaction clock (pending starts at the first observation at
+  /// or above resolve_threshold; an observation back below it ends the
+  /// excursion unanswered). Returns the post-update epsilon.
+  double observe(double drift_level, util::SimTime now) SMN_EXCLUDES(mutex_);
+
+  /// Records that a re-solve answered the current excursion. Returns the
+  /// reaction latency (now - pending start; 0 when the solve lands the same
+  /// tick the excursion began, or when none was pending).
+  util::SimTime note_resolve(util::SimTime now) SMN_EXCLUDES(mutex_);
+
+  /// Stats of the re-solve that just ran (mirrored from McfResult), for the
+  /// warm-start gauges.
+  void record_solve(std::uint64_t warm_hits, std::uint64_t warm_misses,
+                    std::uint64_t sp_calls, double lambda) SMN_EXCLUDES(mutex_);
+
+  double epsilon() const SMN_EXCLUDES(mutex_);
+  /// warm_hits / (warm_hits + warm_misses) of the last recorded solve; 0
+  /// before any solve (or when the solve had no active commodities).
+  double warm_hit_rate() const SMN_EXCLUDES(mutex_);
+  util::SimTime last_reaction_latency() const SMN_EXCLUDES(mutex_);
+  std::uint64_t resolves() const SMN_EXCLUDES(mutex_);
+  std::uint64_t last_sp_calls() const SMN_EXCLUDES(mutex_);
+  double last_lambda() const SMN_EXCLUDES(mutex_);
+  const AdaptiveConfig& config() const noexcept { return config_; }
+
+ private:
+  const AdaptiveConfig config_;
+  mutable std::mutex mutex_;
+  double epsilon_ SMN_GUARDED_BY(mutex_);
+  /// Reaction clock: when the current above-threshold excursion began.
+  std::optional<util::SimTime> pending_since_ SMN_GUARDED_BY(mutex_);
+  util::SimTime last_latency_ SMN_GUARDED_BY(mutex_) = 0;
+  std::uint64_t resolves_ SMN_GUARDED_BY(mutex_) = 0;
+  std::uint64_t last_warm_hits_ SMN_GUARDED_BY(mutex_) = 0;
+  std::uint64_t last_warm_misses_ SMN_GUARDED_BY(mutex_) = 0;
+  std::uint64_t last_sp_calls_ SMN_GUARDED_BY(mutex_) = 0;
+  double last_lambda_ SMN_GUARDED_BY(mutex_) = 0.0;
+};
+
+}  // namespace smn::smn

@@ -74,7 +74,17 @@ SmnConfig validated(SmnConfig config) {
   SMN_CHECK(config.telemetry_loop_period > 0, "telemetry_loop_period must be positive");
   SMN_CHECK(config.retention_loop_period > 0, "retention_loop_period must be positive");
   SMN_CHECK(config.planning_loop_period > 0, "planning_loop_period must be positive");
+  SMN_CHECK(config.adaptive_forecast_horizon > 0,
+            "adaptive_forecast_horizon must be positive");
   return config;
+}
+
+/// The adaptive policy's reaction clock measures the same excursions the
+/// core's fire decision acts on: one threshold knob drives both.
+AdaptiveConfig adaptive_config(const SmnConfig& config) {
+  AdaptiveConfig adaptive = config.adaptive;
+  adaptive.resolve_threshold = config.drift_resolve_threshold;
+  return adaptive;
 }
 
 }  // namespace
@@ -87,6 +97,7 @@ SmnController::SmnController(const depgraph::ServiceGraph& sg, const topology::W
       lake_(default_catalog(sg), config.clto.seed),
       clto_(sg, bus_, config.clto),
       core_(core_config(config_), "smn"),
+      adaptive_(adaptive_config(config_)),
       query_budget_(config_.query_budget) {
   // Seed the control plane: a static route per datacenter via its first
   // graph neighbor (stands in for an IGP) — the generalized control plane
@@ -195,25 +206,74 @@ std::size_t SmnController::run_retention(util::SimTime now) {
   return lake_retired + bw_retired;
 }
 
-capacity::CapacityPlan SmnController::run_capacity_planning(util::SimTime now) {
-  telemetry::BandwidthLogStore& store = core_.store();
-  const telemetry::BandwidthLog recent =
-      store.fine_range(now - util::kMonth < 0 ? 0 : now - util::kMonth, now);
-  // Snapshot the demand this solve is based on: the drift-watch loop
-  // compares live ingest against it to decide when the plan went stale.
-  const te::DemandMatrix demand =
-      te::DemandMatrix::from_log(recent, te::DemandStatistic::kMean);
-  if (!demand.entries().empty()) {
-    store.set_demand_baseline(demand.to_baseline(now));
-  }
+telemetry::BandwidthLog SmnController::recent_bandwidth(util::SimTime now) const {
+  return core_.store().fine_range(now - util::kMonth < 0 ? 0 : now - util::kMonth, now);
+}
+
+capacity::CapacityPlan SmnController::finish_planning(const telemetry::BandwidthLog& recent,
+                                                      util::SimTime now) {
   core_.note_te_solve(now);
   mib_.set_gauge("smn", "last_te_solve", static_cast<double>(now));
   return clto_.plan_capacity(wan_, recent, now);
 }
 
+capacity::CapacityPlan SmnController::run_capacity_planning(util::SimTime now) {
+  const telemetry::BandwidthLog recent = recent_bandwidth(now);
+  // Snapshot the demand this solve is based on: the drift-watch loop
+  // compares live ingest against it to decide when the plan went stale.
+  const te::DemandMatrix demand =
+      te::DemandMatrix::from_log(recent, te::DemandStatistic::kMean);
+  if (!demand.entries().empty()) {
+    core_.store().set_demand_baseline(demand.to_baseline(now));
+  }
+  return finish_planning(recent, now);
+}
+
+lp::McfResult SmnController::run_adaptive_resolve(util::SimTime now) {
+  // Read the drift this re-solve is answering before anything resets it;
+  // it sets both the forecast's history discount and the chosen epsilon.
+  const telemetry::DriftReport report = core_.store().drift();
+  adaptive_.observe(report.level, now);
+  const util::SimTime latency = adaptive_.note_resolve(now);
+
+  const telemetry::BandwidthLog recent = recent_bandwidth(now);
+  telemetry::ForecastOptions forecast_options;
+  forecast_options.drift_level = report.level;
+  const te::DemandMatrix demand = te::DemandMatrix::from_forecast(
+      recent, config_.adaptive_forecast_horizon, telemetry::ForecastMethod::kEwma,
+      forecast_options);
+
+  lp::McfOptions mcf_options;
+  mcf_options.epsilon = adaptive_.epsilon();
+  mcf_options.warm_start = &te_path_cache_;
+  lp::McfResult solved =
+      lp::max_concurrent_flow(wan_.graph(), demand.to_commodities(wan_), mcf_options);
+  adaptive_.record_solve(solved.warm_hits, solved.warm_misses, solved.sp_calls,
+                         solved.lambda);
+
+  // The forecast becomes the drift baseline: live ingest is now judged
+  // against what this solve planned for, so drift settles and the trigger
+  // re-arms once the plan actually matches reality.
+  if (!demand.entries().empty()) {
+    core_.store().set_demand_baseline(demand.to_baseline(now));
+  }
+  finish_planning(recent, now);
+
+  mib_.set_gauge("smn", "adaptive_epsilon", adaptive_.epsilon());
+  mib_.set_gauge("smn", "adaptive_warm_hit_rate", adaptive_.warm_hit_rate());
+  mib_.set_gauge("smn", "adaptive_reaction_latency_s", static_cast<double>(latency));
+  mib_.increment_counter("smn", "adaptive_te_resolves");
+  return solved;
+}
+
 telemetry::DriftReport SmnController::check_demand_drift(util::SimTime now) {
-  return core_.check_demand_drift(now, mib_,
-                                  [this](util::SimTime t) { run_capacity_planning(t); });
+  const telemetry::DriftReport report = core_.check_demand_drift(
+      now, mib_, [this](util::SimTime t) { run_adaptive_resolve(t); });
+  // Every tick feeds the policy (not just fires), so epsilon relaxes as
+  // drift settles between solves; the gauge always shows what the next
+  // re-solve would use.
+  mib_.set_gauge("smn", "adaptive_epsilon", adaptive_.observe(report.level, now));
+  return report;
 }
 
 std::vector<ParadigmComparison> SmnController::sdn_vs_smn() {

@@ -11,7 +11,9 @@
 #include <vector>
 
 #include "depgraph/service_graph.h"
+#include "lp/mcf.h"
 #include "optical/optical.h"
+#include "smn/adaptive_controller.h"
 #include "smn/aiops.h"
 #include "smn/clto.h"
 #include "smn/control_plane.h"
@@ -58,6 +60,15 @@ struct SmnConfig {
   double drift_resolve_threshold = 0.25;
   double drift_rearm_threshold = 0.10;
   util::SimTime drift_min_resolve_interval = util::kHour;
+  /// Closed-loop adaptive control (DESIGN.md §15): the drift -> epsilon
+  /// policy of the drift-triggered re-solve, and the day-ahead horizon (in
+  /// telemetry epochs) of its drift-weighted demand forecast.
+  /// `adaptive.resolve_threshold` is overridden with
+  /// `drift_resolve_threshold` at construction so one knob arms both the
+  /// core's fire decision and the policy's reaction clock.
+  AdaptiveConfig adaptive;
+  std::size_t adaptive_forecast_horizon =
+      static_cast<std::size_t>(util::kDay / util::kTelemetryEpoch);
   /// Admission control of the served query surface (serve_query /
   /// serve_bandwidth_range): in-flight cap and per-query deadline SLO.
   QueryBudgetConfig query_budget;
@@ -149,10 +160,25 @@ class SmnController {
   capacity::CapacityPlan run_capacity_planning(util::SimTime now);
 
   /// Drift-watch pass (also runs from its control loop): publishes drift
-  /// gauges and fires an early re-solve when aggregate drift crosses the
-  /// configured threshold, subject to hysteresis and the min-interval
-  /// guard. Returns the drift report it acted on.
+  /// gauges, feeds the adaptive policy, and fires an early adaptive
+  /// re-solve when aggregate drift crosses the configured threshold,
+  /// subject to hysteresis and the min-interval guard. Returns the drift
+  /// report it acted on.
   telemetry::DriftReport check_demand_drift(util::SimTime now);
+
+  /// The drift-triggered adaptive re-solve (DESIGN.md §15): forecasts
+  /// day-ahead demand with the measured drift discounting stale history,
+  /// solves TE at the policy-chosen epsilon warm-started from the previous
+  /// solve's path cache, installs the forecast as the new drift baseline
+  /// (so drift settles and the trigger re-arms), runs the capacity-planning
+  /// tail, and publishes the adaptive gauges (adaptive_epsilon,
+  /// adaptive_warm_hit_rate, adaptive_reaction_latency_s,
+  /// adaptive_te_resolves). Fired by the drift-watch loop; callable
+  /// directly.
+  lp::McfResult run_adaptive_resolve(util::SimTime now);
+
+  const AdaptiveController& adaptive() const noexcept { return adaptive_; }
+  const lp::McfPathCache& te_path_cache() const noexcept { return te_path_cache_; }
 
   std::uint64_t early_te_resolves() const noexcept { return core_.early_te_resolves(); }
 
@@ -162,6 +188,13 @@ class SmnController {
   static std::vector<ParadigmComparison> sdn_vs_smn();
 
  private:
+  /// The trailing-month fine slice both planning passes estimate from.
+  telemetry::BandwidthLog recent_bandwidth(util::SimTime now) const;
+  /// Shared planning tail: records the solve time (min-interval guard +
+  /// gauge) and runs the CLTO capacity planner over `recent`.
+  capacity::CapacityPlan finish_planning(const telemetry::BandwidthLog& recent,
+                                         util::SimTime now);
+
   const depgraph::ServiceGraph& sg_;
   const topology::WanTopology& wan_;
   SmnConfig config_;
@@ -177,6 +210,12 @@ class SmnController {
   /// The region-scoped engine (bandwidth store, drift hysteresis, gauge
   /// publication) shared with the federation's RegionController.
   ControllerCore core_;
+  /// Drift -> epsilon policy plus the reaction clock of the adaptive loop.
+  AdaptiveController adaptive_;
+  /// Cross-solve warm-start state of the adaptive re-solve. Only
+  /// run_adaptive_resolve touches it, and re-solves are serialized by the
+  /// core's drift state machine.
+  lp::McfPathCache te_path_cache_;
   /// Admission gate of the served query surface. mutable: serving is
   /// logically read-only on the controller (the budget's atomics are its
   /// own internally-synchronized state).

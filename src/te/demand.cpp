@@ -85,6 +85,36 @@ DemandMatrix DemandMatrix::from_coarse_log(const telemetry::CoarseBandwidthLog& 
   return matrix;
 }
 
+DemandMatrix DemandMatrix::from_forecast(const telemetry::BandwidthLog& log,
+                                         std::size_t horizon, telemetry::ForecastMethod method,
+                                         const telemetry::ForecastOptions& options) {
+  SMN_CHECK(horizon > 0, "from_forecast: horizon must be positive");
+  // One scan of the log yields every pair's dense series; the forecasts
+  // themselves are per-pair and independent.
+  const std::vector<std::pair<util::PairId, telemetry::Series>> all =
+      telemetry::extract_all_series(log);
+  std::vector<util::PairId> keys;
+  keys.reserve(all.size());
+  std::unordered_map<util::PairId, const telemetry::Series*> series_of;
+  series_of.reserve(all.size());
+  for (const auto& [pair, series] : all) {
+    keys.push_back(pair);
+    series_of.emplace(pair, &series);
+  }
+  DemandMatrix matrix;
+  std::vector<double> predicted;
+  for (const util::PairId pair : name_sorted(std::move(keys))) {
+    const telemetry::Series& series = *series_of.at(pair);
+    if (series.values.empty()) continue;
+    predicted = telemetry::forecast(series, horizon, method, options);
+    double mean = 0.0;
+    for (const double v : predicted) mean += v;
+    mean /= static_cast<double>(predicted.size());
+    matrix.add(make_entry(pair, std::max(mean, 0.0)));
+  }
+  return matrix;
+}
+
 std::vector<lp::Commodity> DemandMatrix::to_commodities(const topology::WanTopology& wan,
                                                         std::size_t* unresolved) const {
   const util::IdSpace& ids = util::IdSpace::global();

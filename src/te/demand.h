@@ -11,6 +11,7 @@
 
 #include "lp/mcf.h"
 #include "telemetry/bandwidth_log.h"
+#include "telemetry/forecast.h"
 #include "telemetry/log_store.h"
 #include "telemetry/time_coarsening.h"
 #include "topology/wan.h"
@@ -48,6 +49,17 @@ class DemandMatrix {
   /// bounds — the only reconstructions the summaries permit).
   static DemandMatrix from_coarse_log(const telemetry::CoarseBandwidthLog& coarse,
                                       DemandStatistic stat);
+
+  /// Day-ahead demand estimate (DESIGN.md §15): per pair in `log`, extract
+  /// the fine series, forecast `horizon` epochs past its end, and take the
+  /// mean forecast value as the pair's demand. `options.drift_level`
+  /// carries the store's measured drift so level shifts discount stale
+  /// history; at drift 0 this is exactly the drift-blind forecast. Emission
+  /// order matches from_log (name-sorted), so downstream consumers see a
+  /// deterministic matrix.
+  static DemandMatrix from_forecast(const telemetry::BandwidthLog& log, std::size_t horizon,
+                                    telemetry::ForecastMethod method,
+                                    const telemetry::ForecastOptions& options = {});
 
   /// Resolves names against `wan`; entries naming unknown datacenters are
   /// skipped and counted in `*unresolved` when provided.

@@ -7,21 +7,11 @@
 #include "util/contracts.h"
 
 namespace smn::telemetry {
+namespace {
 
-Series extract_series(const BandwidthLog& log, const std::string& src, const std::string& dst,
-                      util::SimTime epoch) {
-  if (epoch <= 0) throw std::invalid_argument("extract_series: epoch must be positive");
-  std::map<util::SimTime, double> points;
-  // One id lookup, then a scan over the pair-id column — no per-record
-  // string compares.
-  if (const auto pair = util::IdSpace::global().find_pair_of_names(src, dst)) {
-    const auto timestamps = log.timestamps();
-    const auto pairs = log.pair_ids();
-    const auto bw = log.bandwidths();
-    for (std::size_t i = 0; i < log.record_count(); ++i) {
-      if (pairs[i] == *pair) points[timestamps[i]] = bw[i];
-    }
-  }
+/// Turns one pair's (timestamp -> bandwidth) points into a dense series:
+/// the shared back half of every extract_series flavor.
+Series densify(const std::map<util::SimTime, double>& points, util::SimTime epoch) {
   Series series;
   series.epoch = epoch;
   if (points.empty()) return series;
@@ -65,6 +55,51 @@ Series extract_series(const BandwidthLog& log, const std::string& src, const std
   return series;
 }
 
+}  // namespace
+
+Series extract_series(const BandwidthLog& log, const std::string& src, const std::string& dst,
+                      util::SimTime epoch) {
+  if (epoch <= 0) throw std::invalid_argument("extract_series: epoch must be positive");
+  // One id lookup, then a scan over the pair-id column — no per-record
+  // string compares.
+  const auto pair = util::IdSpace::global().find_pair_of_names(src, dst);
+  return extract_series(log, pair.value_or(util::kInvalidPairId), epoch);
+}
+
+Series extract_series(const BandwidthLog& log, util::PairId pair, util::SimTime epoch) {
+  if (epoch <= 0) throw std::invalid_argument("extract_series: epoch must be positive");
+  std::map<util::SimTime, double> points;
+  if (pair != util::kInvalidPairId) {
+    const auto timestamps = log.timestamps();
+    const auto pairs = log.pair_ids();
+    const auto bw = log.bandwidths();
+    for (std::size_t i = 0; i < log.record_count(); ++i) {
+      if (pairs[i] == pair) points[timestamps[i]] = bw[i];
+    }
+  }
+  return densify(points, epoch);
+}
+
+std::vector<std::pair<util::PairId, Series>> extract_all_series(const BandwidthLog& log,
+                                                                util::SimTime epoch) {
+  if (epoch <= 0) throw std::invalid_argument("extract_all_series: epoch must be positive");
+  // Single scan groups the columnar log; the per-pair maps then densify
+  // exactly like the single-pair path (duplicate timestamps: last wins).
+  std::map<util::PairId, std::map<util::SimTime, double>> grouped;
+  const auto timestamps = log.timestamps();
+  const auto pairs = log.pair_ids();
+  const auto bw = log.bandwidths();
+  for (std::size_t i = 0; i < log.record_count(); ++i) {
+    grouped[pairs[i]][timestamps[i]] = bw[i];
+  }
+  std::vector<std::pair<util::PairId, Series>> out;
+  out.reserve(grouped.size());
+  for (const auto& [pair, points] : grouped) {
+    out.emplace_back(pair, densify(points, epoch));
+  }
+  return out;
+}
+
 std::string forecast_method_name(ForecastMethod method) {
   switch (method) {
     case ForecastMethod::kSeasonalNaive:
@@ -85,14 +120,32 @@ std::vector<double> ewma_forecast(const Series& history, std::size_t horizon, do
   return std::vector<double>(horizon, level);
 }
 
+/// Re-weighting strength of the measured drift: exactly 0 at drift 0 (the
+/// drift-aware paths are then never entered, keeping every method
+/// byte-identical to the drift-blind forecast), saturating toward 1 as
+/// drift_decay * drift_level grows.
+double drift_weight(const ForecastOptions& options) {
+  // !(x > 0) rather than x <= 0: NaN drift (an empty-baseline report) must
+  // also take the quiescent path, not poison the forecast.
+  if (!(options.drift_level > 0.0) || options.drift_decay <= 0.0) return 0.0;
+  return 1.0 - std::exp(-options.drift_decay * options.drift_level);
+}
+
 }  // namespace
 
 std::vector<double> forecast(const Series& history, std::size_t horizon, ForecastMethod method,
                              const ForecastOptions& options) {
   if (horizon == 0) return {};
   const std::size_t n = history.size();
+  const double w = drift_weight(options);
   if (method == ForecastMethod::kEwma || n < options.season || options.season == 0) {
-    return ewma_forecast(history, horizon, options.ewma_alpha);
+    // Drift raises the effective alpha toward 1, so the level estimate
+    // weights the post-shift tail over stale history; w == 0 leaves the
+    // configured alpha untouched.
+    const double alpha = w > 0.0
+                             ? options.ewma_alpha + (1.0 - options.ewma_alpha) * w
+                             : options.ewma_alpha;
+    return ewma_forecast(history, horizon, alpha);
   }
 
   // Seasonal-naive core: value one season ago (wrapping forward for long
@@ -105,14 +158,38 @@ std::vector<double> forecast(const Series& history, std::size_t horizon, Forecas
 
   if (method == ForecastMethod::kSeasonalGrowth && n >= 2 * options.season) {
     // Trailing week-over-week growth ratio, clamped to a sane band.
-    double recent = 0.0, previous = 0.0;
-    for (std::size_t i = n - options.season; i < n; ++i) recent += history.values[i];
+    double growth_recent = 0.0, previous = 0.0;
+    for (std::size_t i = n - options.season; i < n; ++i) growth_recent += history.values[i];
     for (std::size_t i = n - 2 * options.season; i < n - options.season; ++i) {
       previous += history.values[i];
     }
     const double growth =
-        previous > 0.0 ? std::clamp(recent / previous, 0.5, 2.0) : 1.0;
+        previous > 0.0 ? std::clamp(growth_recent / previous, 0.5, 2.0) : 1.0;
     for (double& v : out) v *= growth;
+  }
+
+  if (w > 0.0) {
+    // Drift re-anchoring: scale the seasonal template by the ratio of the
+    // trailing recent level to the same epochs one season earlier, blended
+    // in by the drift weight. Under a confirmed level shift (w -> 1) the
+    // forecast tracks the new level while keeping last season's shape;
+    // at low drift the template stays authoritative. The window is clamped
+    // so the season-ago reference always exists, and the ratio is clamped
+    // like the growth ratio (a wider band: shifts are larger than trends).
+    const std::size_t window = std::min(std::max<std::size_t>(options.drift_recent_window, 1),
+                                        n - options.season);
+    if (window > 0) {
+      double recent = 0.0, reference = 0.0;
+      for (std::size_t i = n - window; i < n; ++i) recent += history.values[i];
+      for (std::size_t i = n - options.season - window; i < n - options.season; ++i) {
+        reference += history.values[i];
+      }
+      if (reference > 0.0) {
+        const double ratio = std::clamp(recent / reference, 0.2, 5.0);
+        const double anchor = 1.0 + w * (ratio - 1.0);
+        for (double& v : out) v *= anchor;
+      }
+    }
   }
   return out;
 }

@@ -18,6 +18,7 @@
 #include <limits>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "telemetry/bandwidth_log.h"
@@ -39,6 +40,19 @@ struct Series {
 Series extract_series(const BandwidthLog& log, const std::string& src, const std::string& dst,
                       util::SimTime epoch = util::kTelemetryEpoch);
 
+/// Id-addressed overload: the same densification for an interned pair
+/// handle. kInvalidPairId (or a pair absent from the log) yields an empty
+/// series.
+Series extract_series(const BandwidthLog& log, util::PairId pair,
+                      util::SimTime epoch = util::kTelemetryEpoch);
+
+/// One-pass bulk extraction: a dense series for every distinct pair in
+/// `log`, in ascending PairId order. Equivalent to calling the id-addressed
+/// extract_series per pair, but scans the log once instead of once per pair
+/// — the shape the per-pair demand forecaster needs.
+std::vector<std::pair<util::PairId, Series>> extract_all_series(
+    const BandwidthLog& log, util::SimTime epoch = util::kTelemetryEpoch);
+
 enum class ForecastMethod { kSeasonalNaive, kEwma, kSeasonalGrowth };
 
 std::string forecast_method_name(ForecastMethod method);
@@ -47,6 +61,22 @@ struct ForecastOptions {
   /// Season length in epochs (one week of five-minute epochs by default).
   std::size_t season = static_cast<std::size_t>(util::kWeek / util::kTelemetryEpoch);
   double ewma_alpha = 0.2;
+  /// Measured demand drift vs the last TE solve (the store's
+  /// DriftReport::level), fed in by the adaptive control loop (DESIGN.md
+  /// §15). At the default 0 every method is byte-identical to the
+  /// drift-blind forecast. Positive drift discounts stale history: the
+  /// EWMA's effective alpha rises toward 1 so the level estimate
+  /// re-converges on post-shift data, and the seasonal methods re-anchor
+  /// last season's template on the trailing recent level — under a level
+  /// shift the old absolute values are wrong even when the shape is right.
+  double drift_level = 0.0;
+  /// Decay knob: how fast drift saturates the re-weighting,
+  /// weight = 1 - exp(-drift_decay * drift_level), in [0, 1).
+  double drift_decay = 4.0;
+  /// Trailing epochs defining the "recent level" the seasonal methods
+  /// re-anchor on under drift (one day of telemetry epochs by default).
+  std::size_t drift_recent_window =
+      static_cast<std::size_t>(util::kDay / util::kTelemetryEpoch);
 };
 
 /// Forecasts `horizon` epochs past the end of `history`. Requires at least

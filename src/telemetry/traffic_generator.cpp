@@ -137,6 +137,34 @@ TrafficGenerator::TrafficGenerator(const topology::WanTopology& wan, TrafficConf
     pair.diurnal_phase = continent_phase(wan_.datacenter(src).continent);
     pairs_.push_back(pair);
   }
+
+  // Regime scopes: resolve each event's continent filter against the
+  // sampled pairs once, so latent_demand_at is a flat multiplier lookup.
+  regime_scope_.reserve(config_.regimes.size());
+  for (const RegimeEvent& event : config_.regimes) {
+    if (event.factor <= 0.0) {
+      throw std::invalid_argument("TrafficGenerator: regime factor must be positive");
+    }
+    if (event.duration < 0) {
+      throw std::invalid_argument("TrafficGenerator: regime duration must be non-negative");
+    }
+    const bool scoped = event.kind != RegimeKind::kLevelShift;
+    if (scoped && event.continent.empty()) {
+      throw std::invalid_argument("TrafficGenerator: scoped regime event needs a continent");
+    }
+    std::vector<double> scope(pairs_.size(), 1.0);
+    for (std::size_t p = 0; p < pairs_.size(); ++p) {
+      bool applies = true;
+      if (event.kind == RegimeKind::kFlashCrowd) {
+        applies = wan_.datacenter(pairs_[p].dst).continent == event.continent;
+      } else if (event.kind == RegimeKind::kRegionalEvacuation) {
+        applies = wan_.datacenter(pairs_[p].src).continent == event.continent ||
+                  wan_.datacenter(pairs_[p].dst).continent == event.continent;
+      }
+      if (applies) scope[p] = event.factor;
+    }
+    regime_scope_.push_back(std::move(scope));
+  }
 }
 
 std::size_t TrafficGenerator::epoch_count() const noexcept {
@@ -155,7 +183,16 @@ double TrafficGenerator::latent_demand_at(std::size_t index, util::SimTime t) co
   const double holiday = util::is_holiday(t) ? config_.holiday_spike_factor : 1.0;
   const double years = static_cast<double>(t) / static_cast<double>(util::kYear);
   const double growth = std::pow(1.0 + config_.annual_growth, years);
-  return pair.base_gbps * diurnal * weekly * holiday * growth;
+  double regime = 1.0;
+  for (std::size_t e = 0; e < config_.regimes.size(); ++e) {
+    const RegimeEvent& event = config_.regimes[e];
+    if (t < event.at) continue;
+    if (event.duration > 0 && t >= event.at + event.duration) continue;
+    regime *= regime_scope_[e][index];
+  }
+  // Multiplying by the neutral 1.0 is an exact IEEE identity, so a trace
+  // with no active regimes stays bit-identical to the pre-regime generator.
+  return pair.base_gbps * diurnal * weekly * holiday * growth * regime;
 }
 
 double TrafficGenerator::demand_at(std::size_t index, util::SimTime t) const {

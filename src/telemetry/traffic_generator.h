@@ -7,7 +7,10 @@
 //   * weekday/weekend structure;
 //   * seasonal spikes on federal holidays — the signal §4 warns
 //     time-coarsening can destroy;
-//   * multiplicative log-normal noise and long-term growth.
+//   * multiplicative log-normal noise and long-term growth;
+//   * injected regime changes (level shifts, flash crowds, regional
+//     evacuations) — the events the closed-loop adaptive controller
+//     (DESIGN.md §15) must detect and react to.
 //
 // Demand is a deterministic function of (pair, epoch) given the seed, so
 // ground truth is random-access: coarsening-fidelity experiments can compare
@@ -24,6 +27,34 @@
 #include "util/sim_time.h"
 
 namespace smn::telemetry {
+
+/// An injected regime change — the class of events the closed-loop adaptive
+/// controller must react to (DESIGN.md §15): demand moves to a new level
+/// that no amount of seasonal history predicts. Events compose
+/// multiplicatively with the seasonal structure; an empty regime list
+/// leaves the generator bit-identical to the pre-regime trace.
+enum class RegimeKind {
+  /// Fleet-wide demand multiplier (product launch, pricing change): every
+  /// pair scales by `factor`.
+  kLevelShift,
+  /// Demand surge into one continent: pairs whose *destination* sits there.
+  kFlashCrowd,
+  /// Demand drain of one continent (disaster evacuation): pairs touching it
+  /// as source or destination.
+  kRegionalEvacuation,
+};
+
+struct RegimeEvent {
+  RegimeKind kind = RegimeKind::kLevelShift;
+  util::SimTime at = 0;
+  /// Active for [at, at + duration); 0 = permanent (to the end of the
+  /// trace).
+  util::SimTime duration = 0;
+  /// Demand multiplier while active (> 1 surge, < 1 drain).
+  double factor = 2.0;
+  /// Scope of kFlashCrowd / kRegionalEvacuation; ignored by kLevelShift.
+  std::string continent;
+};
 
 struct TrafficConfig {
   util::SimTime start = 0;
@@ -52,6 +83,10 @@ struct TrafficConfig {
   /// Compound annual demand growth.
   double annual_growth = 0.30;
   std::uint64_t seed = 123;
+  /// Injected regime changes, applied on top of the seasonal structure.
+  /// Validated at construction (positive factor, non-negative duration, a
+  /// continent on scoped kinds — std::invalid_argument otherwise).
+  std::vector<RegimeEvent> regimes;
 };
 
 /// One communicating pair with its latent demand parameters.
@@ -91,6 +126,9 @@ class TrafficGenerator {
   const topology::WanTopology& wan_;
   TrafficConfig config_;
   std::vector<TrafficPair> pairs_;
+  /// Per-event, per-pair multiplier (1.0 out of scope), precomputed so the
+  /// demand hot path does no string comparisons.
+  std::vector<std::vector<double>> regime_scope_;
 };
 
 }  // namespace smn::telemetry

@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Fixture tests for the bench trend tooling (tools/bench_trend.py and
+tools/bench_report.py), run as one ctest via subprocess — the tools are
+CLIs, so the tests drive them exactly the way the bench-trend CI job does.
+
+Covers the paths a red night would otherwise discover:
+  * empty history still renders a valid stub report and a "no data" badge;
+  * a FAIL streak on a boolean gated key turns the badge red;
+  * keys recorded in the CSV but no longer gated (renamed/retired) move to
+    the report-only "Retired keys" section and cannot hold the badge red;
+  * bench_trend dedups on commit SHA (a job re-run appends nothing);
+  * bench_trend fails loudly when a report is missing a gated key.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+import unittest
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+TOOLS = REPO / "tools"
+sys.path.insert(0, str(TOOLS))
+
+from bench_compare import POLICIES  # noqa: E402
+from bench_trend import gated_keys  # noqa: E402
+
+# One real policy file exercised end to end; any would do, this one has only
+# exact keys so a minimal fixture report satisfies the whole policy.
+BENCH = "BENCH_query_serving.json"
+
+
+def run(script: str, *argv: str) -> subprocess.CompletedProcess:
+    return subprocess.run([sys.executable, str(TOOLS / script), *argv],
+                          capture_output=True, text=True)
+
+
+def write_csv(path: pathlib.Path, rows: list[list[str]]) -> None:
+    with path.open("w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(["commit", "utc", "bench", "key", "value"])
+        writer.writerows(rows)
+
+
+def fixture_report(policy: dict) -> str:
+    """A minimal report holding every key the policy gates (dummy values —
+    bench_trend records, it does not judge)."""
+    doc: dict = {}
+    for dotted in gated_keys(policy):
+        node = doc
+        parts = dotted.split(".")
+        for part in parts[:-1]:
+            node = node.setdefault(part, {})
+        node[parts[-1]] = 1
+    return json.dumps(doc)
+
+
+class BenchReportTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.dir = pathlib.Path(self.tmp.name)
+        self.addCleanup(self.tmp.cleanup)
+
+    def render(self, rows: list[list[str]]) -> tuple[str, str]:
+        csv_path = self.dir / "trends.csv"
+        write_csv(csv_path, rows)
+        out = self.dir / "TRENDS.md"
+        badge = self.dir / "badge.svg"
+        proc = run("bench_report.py", "--csv", str(csv_path), "--out", str(out),
+                   "--badge", str(badge))
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        return out.read_text(), badge.read_text()
+
+    def test_empty_history_writes_stub_report_and_no_data_badge(self):
+        report, badge = self.render([])
+        self.assertIn("No trend history yet", report)
+        self.assertIn("no data", badge)
+
+    def test_fail_streak_turns_badge_red(self):
+        rows = [
+            ["c1", "2026-08-01T00:00:00+00:00", BENCH, "fidelity.scaling_ok", "true"],
+            ["c2", "2026-08-02T00:00:00+00:00", BENCH, "fidelity.scaling_ok", "false"],
+            ["c3", "2026-08-03T00:00:00+00:00", BENCH, "fidelity.scaling_ok", "false"],
+        ]
+        report, badge = self.render(rows)
+        self.assertIn("1 gate(s) failing", badge)
+        self.assertIn("#e05d44", badge)  # the red fill
+        self.assertIn("| `fidelity.scaling_ok` | FAIL | FAIL |", report)
+
+    def test_retired_key_is_report_only_and_off_the_badge(self):
+        retired_key = "fidelity.no_longer_gated"
+        self.assertNotIn((BENCH, retired_key),
+                         {(BENCH, k) for k in POLICIES[BENCH]["exact"]})
+        rows = [
+            # An active key passing, plus a retired key whose last recorded
+            # value is a FAIL: the badge must stay green regardless.
+            ["c1", "2026-08-01T00:00:00+00:00", BENCH, "fidelity.scaling_ok", "true"],
+            ["c1", "2026-08-01T00:00:00+00:00", BENCH, retired_key, "false"],
+        ]
+        report, badge = self.render(rows)
+        self.assertIn("Retired keys", report)
+        self.assertIn(f"| {BENCH} | `{retired_key}` | FAIL | 1 |", report)
+        self.assertIn("passing", badge)
+        self.assertNotIn("failing", badge)
+
+    def test_adaptive_policy_keys_render_in_report(self):
+        rows = [
+            ["c1", "2026-08-01T00:00:00+00:00", "BENCH_adaptive.json",
+             "reaction.shift_s", "3600"],
+            ["c1", "2026-08-01T00:00:00+00:00", "BENCH_adaptive.json",
+             "fidelity.warm_cost_ok", "true"],
+        ]
+        report, _ = self.render(rows)
+        self.assertIn("## BENCH_adaptive.json", report)
+        self.assertIn("| `reaction.shift_s` | 3600 |", report)
+        self.assertNotIn("Retired keys", report)
+
+
+class BenchTrendTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.dir = pathlib.Path(self.tmp.name)
+        self.addCleanup(self.tmp.cleanup)
+        self.reports = self.dir / "reports"
+        self.reports.mkdir()
+        self.csv_path = self.dir / "trends.csv"
+
+    def append(self, commit: str) -> subprocess.CompletedProcess:
+        return run("bench_trend.py", "--reports", str(self.reports),
+                   "--csv", str(self.csv_path), "--commit", commit)
+
+    def write_all_reports(self):
+        for name, policy in POLICIES.items():
+            (self.reports / name).write_text(fixture_report(policy))
+
+    def test_append_then_rerun_dedups_on_commit(self):
+        self.write_all_reports()
+        first = self.append("abc123")
+        self.assertEqual(first.returncode, 0, first.stderr)
+        size_after_first = self.csv_path.stat().st_size
+        with self.csv_path.open(newline="") as f:
+            rows = list(csv.reader(f))
+        expected = sum(len(gated_keys(p)) for p in POLICIES.values())
+        self.assertEqual(len(rows), 1 + expected)  # header + one per gated key
+        rerun = self.append("abc123")
+        self.assertEqual(rerun.returncode, 0, rerun.stderr)
+        self.assertIn("already recorded", rerun.stdout)
+        self.assertEqual(self.csv_path.stat().st_size, size_after_first)
+
+    def test_missing_gated_key_fails_loudly(self):
+        self.write_all_reports()
+        (self.reports / BENCH).write_text('{"instance": {"dcs": 42}}\n')
+        proc = self.append("abc123")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("gated key", proc.stderr)
+        self.assertFalse(self.csv_path.exists())
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -201,6 +201,136 @@ TEST(Mcf, HierarchyOracleStaysWithinApproximationAndFeasible) {
   }
 }
 
+/// A WAN-sized instance with enough commodities that the warm-start cache
+/// carries real structure.
+std::vector<Commodity> wan_demands(const topology::WanTopology& wan) {
+  std::vector<Commodity> demands;
+  const auto n = static_cast<graph::NodeId>(wan.datacenter_count());
+  for (graph::NodeId s = 0; s < n; ++s) {
+    demands.push_back({s, static_cast<graph::NodeId>((s + 5) % n), 50.0 + 10.0 * s});
+  }
+  return demands;
+}
+
+TEST(McfWarmStart, EmptyCacheSolvesColdAndWritesBack) {
+  const topology::WanTopology wan = topology::generate_test_wan();
+  const std::vector<Commodity> demands = wan_demands(wan);
+  const McfResult cold = max_concurrent_flow(wan.graph(), demands, {.epsilon = 0.05});
+
+  McfPathCache cache;
+  McfOptions options;
+  options.epsilon = 0.05;
+  options.warm_start = &cache;
+  const McfResult seeded = max_concurrent_flow(wan.graph(), demands, options);
+
+  // An empty cache is all misses: the solve runs the cold schedule bit for
+  // bit, then persists its own path set.
+  EXPECT_EQ(seeded.lambda, cold.lambda);
+  EXPECT_EQ(seeded.sp_calls, cold.sp_calls);
+  EXPECT_EQ(seeded.edge_flow, cold.edge_flow);
+  EXPECT_EQ(seeded.warm_hits, 0u);
+  EXPECT_EQ(seeded.warm_misses, demands.size());
+  EXPECT_EQ(cache.entries.size(), demands.size());
+  for (const McfPathCache::Entry& entry : cache.entries) {
+    EXPECT_FALSE(entry.paths.empty());
+    EXPECT_LE(entry.paths.size(), kWarmPathsPerCommodity);
+  }
+}
+
+TEST(McfWarmStart, WarmResolveMatchesColdObjectiveWithoutDijkstras) {
+  const topology::WanTopology wan = topology::generate_test_wan();
+  std::vector<Commodity> demands = wan_demands(wan);
+
+  McfPathCache cache;
+  McfOptions options;
+  options.epsilon = 0.05;
+  options.warm_start = &cache;
+  max_concurrent_flow(wan.graph(), demands, options);
+
+  // The re-solve the adaptive loop issues: same endpoints, shifted volumes.
+  for (Commodity& c : demands) c.demand *= 2.0;
+  const McfResult cold = max_concurrent_flow(wan.graph(), demands, {.epsilon = 0.05});
+  McfPathCache warm_cache = cache;
+  McfOptions warm_options = options;
+  warm_options.warm_start = &warm_cache;
+  const McfResult warm = max_concurrent_flow(wan.graph(), demands, warm_options);
+
+  EXPECT_EQ(warm.warm_hits, demands.size());
+  EXPECT_EQ(warm.warm_misses, 0u);
+  EXPECT_EQ(warm.sp_calls, 0u);  // every oracle call answered from the cache
+  // Restricting to cached paths costs at most the approximation slack.
+  EXPECT_GE(warm.lambda, (1.0 - 2.0 * 0.05) * cold.lambda);
+  for (graph::EdgeId e = 0; e < wan.graph().edge_count(); ++e) {
+    EXPECT_LE(warm.edge_flow[e], wan.graph().edge(e).capacity + 1e-9);
+  }
+
+  // Warm solves are deterministic: a second run from the same seeded cache
+  // reproduces the solve bit for bit.
+  McfPathCache warm_cache2 = cache;
+  McfOptions warm_options2 = options;
+  warm_options2.warm_start = &warm_cache2;
+  const McfResult again = max_concurrent_flow(wan.graph(), demands, warm_options2);
+  EXPECT_EQ(again.lambda, warm.lambda);
+  EXPECT_EQ(again.sp_calls, warm.sp_calls);
+  EXPECT_EQ(again.edge_flow, warm.edge_flow);
+}
+
+TEST(McfWarmStart, StalePathsInvalidateAndNewCommoditiesFallBackCold) {
+  const topology::WanTopology wan = topology::generate_test_wan();
+  std::vector<Commodity> demands = wan_demands(wan);
+
+  McfPathCache cache;
+  McfOptions options;
+  options.epsilon = 0.05;
+  options.warm_start = &cache;
+  max_concurrent_flow(wan.graph(), demands, options);
+
+  // Rebuild the topology with one cached edge gone dark (revalidation must
+  // drop every cached path over it) and add a commodity the cache has never
+  // seen (it must fall back to the cold oracle) — the mixed re-solve the
+  // adaptive loop issues after a partial topology/demand change.
+  graph::Digraph pruned = wan.graph();
+  ASSERT_FALSE(cache.entries.empty());
+  ASSERT_FALSE(cache.entries.front().paths.empty());
+  const graph::EdgeId dark = cache.entries.front().paths.front().front();
+  pruned.mutable_edge(dark).capacity = 0.0;
+  demands.push_back({0, 1, 42.0});  // wan_demands only emits (s, s+5) pairs
+
+  McfPathCache pruned_cache = cache;
+  McfOptions pruned_options = options;
+  pruned_options.warm_start = &pruned_cache;
+  const McfResult result = max_concurrent_flow(pruned, demands, pruned_options);
+  EXPECT_GT(pruned_cache.invalidated, 0u);
+  EXPECT_EQ(result.warm_misses, 1u);
+  EXPECT_GT(result.sp_calls, 0u);  // the uncached commodity paid the cold cost
+  EXPECT_EQ(result.warm_hits, demands.size() - 1);
+  EXPECT_GT(result.lambda, 0.0);
+  for (graph::EdgeId e = 0; e < pruned.edge_count(); ++e) {
+    EXPECT_LE(result.edge_flow[e], pruned.edge(e).capacity + 1e-9);
+  }
+}
+
+TEST(McfWarmStart, HierarchyAndUnbatchedSchedulesIgnoreTheCache) {
+  const topology::WanTopology wan = topology::generate_test_wan();
+  const std::vector<Commodity> demands = wan_demands(wan);
+  McfPathCache cache;
+  McfOptions options;
+  options.epsilon = 0.05;
+  options.warm_start = &cache;
+  max_concurrent_flow(wan.graph(), demands, options);
+  ASSERT_FALSE(cache.entries.empty());
+
+  McfPathCache untouched = cache;
+  McfOptions unbatched = options;
+  unbatched.batch_by_source = false;
+  unbatched.warm_start = &untouched;
+  const McfResult legacy = max_concurrent_flow(wan.graph(), demands, unbatched);
+  EXPECT_EQ(legacy.warm_hits, 0u);
+  EXPECT_EQ(legacy.warm_misses, 0u);
+  EXPECT_GT(legacy.sp_calls, 0u);
+  EXPECT_EQ(untouched.entries.size(), cache.entries.size());
+}
+
 TEST(FixedRouting, ComputesLambdaAndUtilization) {
   const graph::Digraph g = two_path_graph();
   const std::vector<Commodity> demands = {{0, 3, 20.0}};

@@ -1,0 +1,196 @@
+// Closed-loop adaptive control (DESIGN.md §15): the drift -> epsilon
+// policy, its hysteresis and reaction clock, and the SmnController wiring
+// that runs warm-started adaptive re-solves off the drift-watch loop.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "depgraph/reddit.h"
+#include "smn/adaptive_controller.h"
+#include "smn/smn_controller.h"
+#include "telemetry/traffic_generator.h"
+#include "topology/wan_generator.h"
+#include "util/contracts.h"
+
+namespace smn::smn {
+namespace {
+
+TEST(AdaptivePolicy, TargetEpsilonInterpolatesBetweenEndpoints) {
+  const AdaptiveController controller;
+  const AdaptiveConfig& cfg = controller.config();
+  EXPECT_DOUBLE_EQ(controller.target_epsilon(0.0), cfg.eps_coarse);
+  EXPECT_DOUBLE_EQ(controller.target_epsilon(cfg.drift_low), cfg.eps_coarse);
+  EXPECT_DOUBLE_EQ(controller.target_epsilon(cfg.drift_high), cfg.eps_tight);
+  EXPECT_DOUBLE_EQ(controller.target_epsilon(10.0), cfg.eps_tight);
+  const double mid = 0.5 * (cfg.drift_low + cfg.drift_high);
+  EXPECT_DOUBLE_EQ(controller.target_epsilon(mid),
+                   0.5 * (cfg.eps_coarse + cfg.eps_tight));
+  // Monotone non-increasing in drift.
+  double prev = controller.target_epsilon(0.0);
+  for (double d = 0.0; d <= 1.0; d += 0.01) {
+    const double t = controller.target_epsilon(d);
+    EXPECT_LE(t, prev + 1e-12);
+    prev = t;
+  }
+}
+
+TEST(AdaptivePolicy, DegenerateDriftBehavesAsQuiescent) {
+  const AdaptiveController controller;
+  const AdaptiveConfig& cfg = controller.config();
+  EXPECT_DOUBLE_EQ(controller.target_epsilon(-1.0), cfg.eps_coarse);
+  EXPECT_DOUBLE_EQ(controller.target_epsilon(std::nan("")), cfg.eps_coarse);
+  EXPECT_DOUBLE_EQ(controller.target_epsilon(std::numeric_limits<double>::infinity()),
+                   cfg.eps_tight);
+}
+
+TEST(AdaptivePolicy, HysteresisSuppressesSmallMovesButLatchesEndpoints) {
+  AdaptiveConfig cfg;
+  cfg.eps_hysteresis = 0.04;
+  AdaptiveController controller(cfg);
+  EXPECT_DOUBLE_EQ(controller.epsilon(), cfg.eps_coarse);
+
+  // A drift nudge whose target moves less than the band: epsilon holds.
+  const double nudge = cfg.drift_low + 0.05 * (cfg.drift_high - cfg.drift_low);
+  ASSERT_LT(std::abs(controller.target_epsilon(nudge) - cfg.eps_coarse),
+            cfg.eps_hysteresis);
+  controller.observe(nudge, 10);
+  EXPECT_DOUBLE_EQ(controller.epsilon(), cfg.eps_coarse);
+
+  // A big excursion adopts the target; the exact endpoint latches even when
+  // the remaining gap is inside the band.
+  controller.observe(cfg.drift_high * 0.9, 20);
+  const double adopted = controller.epsilon();
+  EXPECT_LT(adopted, cfg.eps_coarse);
+  controller.observe(cfg.drift_high, 30);
+  EXPECT_DOUBLE_EQ(controller.epsilon(), cfg.eps_tight);
+  // And back: settling drift relatches eps_coarse exactly.
+  controller.observe(0.0, 40);
+  EXPECT_DOUBLE_EQ(controller.epsilon(), cfg.eps_coarse);
+}
+
+TEST(AdaptivePolicy, ReactionClockMeasuresExcursionToResolve) {
+  AdaptiveConfig cfg;
+  cfg.resolve_threshold = 0.25;
+  AdaptiveController controller(cfg);
+
+  // Below threshold: nothing pending, a resolve reports zero latency.
+  controller.observe(0.1, 100);
+  EXPECT_EQ(controller.note_resolve(110), 0);
+
+  // The clock starts at the FIRST above-threshold observation and does not
+  // restart on later ones.
+  controller.observe(0.3, 200);
+  controller.observe(0.6, 260);
+  EXPECT_EQ(controller.note_resolve(320), 120);
+  EXPECT_EQ(controller.last_reaction_latency(), 120);
+  EXPECT_EQ(controller.resolves(), 2u);
+
+  // After the resolve the excursion is answered: a new one re-arms.
+  controller.observe(0.4, 400);
+  EXPECT_EQ(controller.note_resolve(460), 60);
+
+  // Drift settling below threshold abandons the pending excursion.
+  controller.observe(0.5, 500);
+  controller.observe(0.1, 560);
+  EXPECT_EQ(controller.note_resolve(600), 0);
+}
+
+TEST(AdaptivePolicy, WarmHitRateTracksLastSolve) {
+  AdaptiveController controller;
+  EXPECT_DOUBLE_EQ(controller.warm_hit_rate(), 0.0);
+  controller.record_solve(30, 10, 5, 0.8);
+  EXPECT_DOUBLE_EQ(controller.warm_hit_rate(), 0.75);
+  EXPECT_EQ(controller.last_sp_calls(), 5u);
+  EXPECT_DOUBLE_EQ(controller.last_lambda(), 0.8);
+  controller.record_solve(0, 0, 0, 0.0);  // no active commodities
+  EXPECT_DOUBLE_EQ(controller.warm_hit_rate(), 0.0);
+}
+
+TEST(AdaptivePolicy, RejectsInvalidConfig) {
+  util::ScopedContractMode guard(util::ContractMode::kThrow);
+  AdaptiveConfig inverted;
+  inverted.eps_tight = 0.4;
+  inverted.eps_coarse = 0.1;
+  EXPECT_THROW(AdaptiveController{inverted}, util::ContractViolation);
+  AdaptiveConfig bad_band;
+  bad_band.drift_low = 0.5;
+  bad_band.drift_high = 0.1;
+  EXPECT_THROW(AdaptiveController{bad_band}, util::ContractViolation);
+}
+
+TEST(AdaptiveWiring, DriftStepFiresWarmResolveAndSettles) {
+  // End to end through SmnController: ingest a quiet day, install a
+  // baseline, double the fleet's demand, and tick the drift-watch loop.
+  // The adaptive re-solve must fire, tighten epsilon, install a forecast
+  // baseline that settles drift, and leave warm-start state behind for the
+  // next excursion.
+  const topology::WanTopology wan = topology::generate_test_wan();
+  const depgraph::ServiceGraph services = depgraph::build_reddit_deployment();
+  SmnConfig config;
+  config.clto.training_incidents = 40;
+  config.clto.forest_trees = 10;
+  config.drift_resolve_threshold = 0.15;
+  config.drift_rearm_threshold = 0.08;
+  config.drift_min_resolve_interval = 30 * util::kMinute;
+  config.adaptive_forecast_horizon = 12;
+  SmnController controller(services, wan, config);
+
+  telemetry::TrafficConfig traffic;
+  traffic.duration = util::kDay;
+  traffic.active_pairs = 30;
+  traffic.seed = 9;
+  traffic.diurnal_amplitude = 0.05;
+  traffic.weekend_factor = 1.0;
+  traffic.holiday_spike_factor = 1.0;
+  traffic.noise_sigma = 0.02;
+  traffic.regimes = {{telemetry::RegimeKind::kLevelShift, 12 * util::kHour, 0, 2.0, ""}};
+  const telemetry::TrafficGenerator gen(wan, traffic);
+  const telemetry::BandwidthLog log = gen.generate();
+
+  telemetry::BandwidthLog quiet, shifted;
+  for (std::size_t i = 0; i < log.record_count(); ++i) {
+    (log.timestamps()[i] < 12 * util::kHour ? quiet : shifted)
+        .append(log.timestamps()[i], log.pair_ids()[i], log.bandwidths()[i]);
+  }
+
+  controller.ingest_bandwidth(quiet);
+  controller.run_capacity_planning(12 * util::kHour);
+  const double eps_before = controller.adaptive().epsilon();
+  EXPECT_DOUBLE_EQ(eps_before, config.adaptive.eps_coarse);
+  EXPECT_EQ(controller.early_te_resolves(), 0u);
+
+  // Quiet drift must not fire.
+  controller.check_demand_drift(12 * util::kHour + util::kTelemetryEpoch);
+  EXPECT_EQ(controller.early_te_resolves(), 0u);
+
+  controller.ingest_bandwidth(shifted);
+  const telemetry::DriftReport report =
+      controller.check_demand_drift(13 * util::kHour);
+  EXPECT_GE(report.level, config.drift_resolve_threshold);
+  EXPECT_EQ(controller.early_te_resolves(), 1u);
+  // The x2 fleet-wide shift saturates the policy: eps_tight, warm state
+  // recorded, and the te path cache now holds the solve's paths.
+  EXPECT_DOUBLE_EQ(controller.adaptive().epsilon(), config.adaptive.eps_tight);
+  EXPECT_EQ(controller.adaptive().resolves(), 1u);
+  EXPECT_GT(controller.adaptive().last_lambda(), 0.0);
+  EXPECT_FALSE(controller.te_path_cache().entries.empty());
+  EXPECT_GT(controller.mib().get("smn", "adaptive_epsilon").value_or(0.0), 0.0);
+
+  // The forecast baseline was installed: drift settles and the trigger
+  // does not refire on the next tick.
+  const telemetry::DriftReport settled =
+      controller.check_demand_drift(13 * util::kHour + util::kTelemetryEpoch);
+  EXPECT_LT(settled.level, report.level);
+  EXPECT_EQ(controller.early_te_resolves(), 1u);
+
+  // A direct adaptive resolve now warm-starts from the cached paths.
+  const lp::McfResult warm = controller.run_adaptive_resolve(14 * util::kHour);
+  EXPECT_GT(warm.warm_hits, 0u);
+  EXPECT_DOUBLE_EQ(controller.adaptive().warm_hit_rate(),
+                   static_cast<double>(warm.warm_hits) /
+                       static_cast<double>(warm.warm_hits + warm.warm_misses));
+}
+
+}  // namespace
+}  // namespace smn::smn

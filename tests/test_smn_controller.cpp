@@ -202,8 +202,10 @@ TEST(SmnController, DriftTriggeredResolveFiresEarlyWithHysteresis) {
   EXPECT_EQ(*controller.mib().get("smn", "early_te_resolves"), 1.0);
   EXPECT_LT(2 * util::kHour, config.planning_loop_period);  // early indeed
 
-  // Still drifting minutes later: the min-interval guard blocks a re-fire.
-  ingest_hour(2 * util::kHour, 300.0);
+  // The re-solve installed its drift-weighted forecast (~300) as the new
+  // baseline, so a SECOND excursion right after still reads as drift; the
+  // min-interval guard blocks a re-fire this soon after the last one.
+  ingest_hour(2 * util::kHour, 600.0);
   controller.check_demand_drift(2 * util::kHour + 10 * util::kMinute);
   EXPECT_EQ(controller.early_te_resolves(), 1u);
 
@@ -214,15 +216,15 @@ TEST(SmnController, DriftTriggeredResolveFiresEarlyWithHysteresis) {
   EXPECT_GE(held.level, config.drift_rearm_threshold);
   EXPECT_EQ(controller.early_te_resolves(), 1u);
 
-  // Demand settles onto the re-solved baseline (mean of 100s and 300s is
-  // 200): drift decays below the re-arm threshold and the trigger re-arms.
-  ingest_hour(3 * util::kHour, 200.0);
+  // Demand settles back onto the forecast baseline: drift decays below the
+  // re-arm threshold and the trigger re-arms.
+  ingest_hour(3 * util::kHour, 300.0);
   const telemetry::DriftReport settled = controller.check_demand_drift(4 * util::kHour);
   EXPECT_LT(settled.level, config.drift_rearm_threshold);
   EXPECT_EQ(controller.early_te_resolves(), 1u);
 
-  // A second excursion now fires a second early solve.
-  ingest_hour(4 * util::kHour, 500.0);
+  // A third excursion now fires a second early solve.
+  ingest_hour(4 * util::kHour, 900.0);
   controller.check_demand_drift(5 * util::kHour);
   EXPECT_EQ(controller.early_te_resolves(), 2u);
   EXPECT_GE(*controller.mib().get("smn", "bw_drift_level"), 0.0);

@@ -176,5 +176,89 @@ TEST(ForecastMape, CoarseningDegradesForecasts) {
   EXPECT_GT(coarse_err, fine_err);
 }
 
+TEST(ForecastDrift, ZeroDriftIsByteIdenticalAcrossMethodsAndKnobs) {
+  // Property: drift_level == 0 must leave every method bit-identical to the
+  // drift-blind forecast no matter how the other drift knobs are set — the
+  // adaptive loop feeds drift in unconditionally, so the quiescent path has
+  // to be exactly the pre-adaptive behavior.
+  const topology::WanTopology wan = topology::generate_test_wan();
+  TrafficConfig config;
+  config.duration = 3 * util::kWeek;
+  config.epoch = util::kHour;
+  config.active_pairs = 4;
+  config.seed = 21;
+  const TrafficGenerator gen(wan, config);
+  const BandwidthLog log = gen.generate();
+  for (const auto& [pair, series] : extract_all_series(log, util::kHour)) {
+    for (const std::size_t horizon : {1u, 24u, 200u}) {
+      for (const ForecastMethod method :
+           {ForecastMethod::kEwma, ForecastMethod::kSeasonalNaive,
+            ForecastMethod::kSeasonalGrowth}) {
+        ForecastOptions blind;
+        blind.season = static_cast<std::size_t>(util::kWeek / util::kHour);
+        ForecastOptions zero = blind;
+        zero.drift_level = 0.0;
+        zero.drift_decay = 17.0;
+        zero.drift_recent_window = 3;
+        EXPECT_EQ(forecast(series, horizon, method, blind),
+                  forecast(series, horizon, method, zero))
+            << "pair=" << pair << " method=" << forecast_method_name(method)
+            << " horizon=" << horizon;
+      }
+    }
+  }
+}
+
+TEST(ForecastDrift, NegativeAndNanDriftBehaveAsZero) {
+  const Series s = make_series({10, 12, 11, 13, 10, 12, 11, 13});
+  ForecastOptions blind;
+  blind.season = 4;
+  for (const double bad : {-0.5, std::nan("")}) {
+    ForecastOptions options = blind;
+    options.drift_level = bad;
+    EXPECT_EQ(forecast(s, 4, ForecastMethod::kEwma, blind),
+              forecast(s, 4, ForecastMethod::kEwma, options));
+  }
+}
+
+TEST(ForecastDrift, DriftWeightedEwmaTracksLevelShift) {
+  // 200 epochs at 100, then 6 post-shift epochs at 200 — the window the
+  // adaptive loop sees right after a regime change. Blind EWMA (alpha 0.2)
+  // still hugs the old level; at drift 1.0 the effective alpha saturates
+  // and the forecast lands on the new level.
+  std::vector<double> values(200, 100.0);
+  values.insert(values.end(), 6, 200.0);
+  const Series s = make_series(std::move(values));
+  const auto blind = forecast(s, 1, ForecastMethod::kEwma, {});
+  ForecastOptions drifted;
+  drifted.drift_level = 1.0;
+  const auto weighted = forecast(s, 1, ForecastMethod::kEwma, drifted);
+  EXPECT_LT(std::abs(weighted[0] - 200.0), std::abs(blind[0] - 200.0));
+  EXPECT_NEAR(weighted[0], 200.0, 5.0);
+}
+
+TEST(ForecastDrift, SeasonalReanchorsOnRecentLevelUnderDrift) {
+  // Two seasons of a period-4 pattern, then a final season at double the
+  // level: under full drift the seasonal forecast must scale its template
+  // toward the recent level instead of replaying stale absolute values.
+  std::vector<double> values;
+  for (int rep = 0; rep < 2; ++rep) {
+    for (const double v : {10.0, 20.0, 30.0, 40.0}) values.push_back(v);
+  }
+  for (const double v : {20.0, 40.0, 60.0, 80.0}) values.push_back(v);
+  const Series s = make_series(std::move(values));
+  ForecastOptions options;
+  options.season = 4;
+  options.drift_recent_window = 4;
+  const auto blind = forecast(s, 4, ForecastMethod::kSeasonalNaive, options);
+  ForecastOptions drifted = options;
+  drifted.drift_level = 10.0;  // weight saturates at 1
+  const auto weighted = forecast(s, 4, ForecastMethod::kSeasonalNaive, drifted);
+  for (std::size_t h = 0; h < 4; ++h) {
+    const double truth = 2.0 * blind[h];  // the shifted pattern continues
+    EXPECT_LT(std::abs(weighted[h] - truth), std::abs(blind[h] - truth)) << "h=" << h;
+  }
+}
+
 }  // namespace
 }  // namespace smn::telemetry

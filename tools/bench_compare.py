@@ -168,6 +168,40 @@ POLICIES: dict[str, dict[str, list]] = {
         ],
         "ratio": [],
     },
+    "BENCH_adaptive.json": {
+        "exact": [
+            "instance.dcs",
+            "instance.pairs",
+            "instance.records",
+            "reaction.bound_s",
+            "reaction.shift_s",
+            "reaction.flash_s",
+            "reaction.evac_s",
+            "reaction.early_resolves",
+            "adaptive.epsilon_initial",
+            "adaptive.epsilon_at_shift",
+            "adaptive.warm_hit_rate_final",
+            "solve.cold_sp_calls",
+            "solve.warm_sp_calls",
+            "solve.cold_lambda",
+            "solve.warm_lambda",
+            "solve.fidelity",
+            "solve.warm_hits",
+            "solve.warm_misses",
+            "solve.warm_reselects",
+            "forecast.blind_mape",
+            "forecast.drift_mape",
+            "fidelity.reaction_ok",
+            "fidelity.warm_fidelity_ok",
+            "fidelity.warm_sp_ok",
+            "fidelity.warm_cost_ok",
+            "fidelity.forecast_improves",
+            "fidelity.drift0_identical",
+            "fidelity.query_deviations",
+            "fidelity.contracts_clean",
+        ],
+        "ratio": [],
+    },
 }
 
 FLOAT_EPS = 1e-9
@@ -197,7 +231,8 @@ def exact_match(a, b) -> bool:
 def compare_file(name: str, baseline: dict, candidate: dict, tolerance: float) -> list[str]:
     failures: list[str] = []
     policy = POLICIES[name]
-    for key in policy["exact"]:
+    # .get: a policy that gates only one kind of key may omit the other list.
+    for key in policy.get("exact", []):
         base = lookup(baseline, key)
         cand = lookup(candidate, key)
         if base is None:
@@ -208,7 +243,7 @@ def compare_file(name: str, baseline: dict, candidate: dict, tolerance: float) -
             failures.append(f"{name}: {key} changed: baseline {base!r} -> candidate {cand!r}")
         else:
             print(f"  OK   exact  {key} = {cand!r}")
-    for key, basis_key in policy["ratio"]:
+    for key, basis_key in policy.get("ratio", []):
         base = lookup(baseline, key)
         cand = lookup(candidate, key)
         if base is None or cand is None:

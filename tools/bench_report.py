@@ -13,6 +13,12 @@ fidelity keys render as pass/fail streaks instead. Keys whose latest value
 differs from the previous one are flagged with `**changed**` — on a gated
 key that should only ever coincide with an intentional baseline refresh.
 
+Keys present in the CSV history but no longer gated by bench_compare.py
+(renamed or retired keys, or a whole retired bench) move to a report-only
+"Retired keys" section and are excluded from the badge: history is never
+rewritten, but a key that stopped being gated must not hold the badge red
+— its last recorded value is frozen, not failing.
+
 With --badge the script additionally renders a README-embeddable SVG badge
 (bench/badge.svg in CI): green "passing" while every boolean gated key's
 latest value is a pass, red "failing" with the count otherwise, and the
@@ -34,6 +40,21 @@ import argparse
 import csv
 import pathlib
 import sys
+
+from bench_compare import POLICIES
+
+
+def active_keys() -> set[tuple[str, str]]:
+    """The (bench, key) pairs bench_compare currently gates — exact keys plus
+    ratio keys and their wall-clock bases (mirrors bench_trend's row set)."""
+    active: set[tuple[str, str]] = set()
+    for name, policy in POLICIES.items():
+        for key in policy.get("exact", []):
+            active.add((name, key))
+        for ratio_key, basis_key in policy.get("ratio", []):
+            active.add((name, ratio_key))
+            active.add((name, basis_key))
+    return active
 
 
 def parse_value(cell: str):
@@ -150,6 +171,13 @@ def main() -> int:
                 history.setdefault((bench, key), []).append((commit, utc, parse_value(cell)))
                 last_commit, last_utc = commit, utc
 
+    # Split the recorded history into the currently gated surface and
+    # retired keys (no longer in bench_compare's POLICIES): retired history
+    # stays readable but is frozen — report-only, never on the badge.
+    active = active_keys()
+    gated = {bk: entries for bk, entries in history.items() if bk in active}
+    retired = {bk: entries for bk, entries in history.items() if bk not in active}
+
     lines = ["# Bench trends", ""]
     if not history:
         lines += ["No trend history yet: bench/trends.csv has no data rows.",
@@ -158,12 +186,12 @@ def main() -> int:
         lines += [f"Latest commit: `{last_commit[:12]}` at {last_utc}.",
                   "One table per bench; each gated key shows its latest value, the previous",
                   "commit's value, the relative change, and the depth of recorded history.", ""]
-        benches = sorted({bench for bench, _ in history})
+        benches = sorted({bench for bench, _ in gated})
         for bench in benches:
             lines += [f"## {bench}", "",
                       "| key | latest | previous | delta | commits |",
                       "| --- | --- | --- | --- | --- |"]
-            for (b, key), entries in sorted(history.items()):
+            for (b, key), entries in sorted(gated.items()):
                 if b != bench:
                     continue
                 latest = entries[-1][2]
@@ -172,11 +200,21 @@ def main() -> int:
                 lines.append(f"| `{key}` | {fmt(latest)} | {previous_cell} | "
                              f"{delta_cell(latest, previous)} | {len(entries)} |")
             lines.append("")
+        if retired:
+            lines += ["## Retired keys", "",
+                      "Recorded history for keys no longer gated by bench_compare.py",
+                      "(renamed or retired). Last values are frozen, not failing; these",
+                      "do not count toward the badge.", "",
+                      "| bench | key | last value | commits |",
+                      "| --- | --- | --- | --- |"]
+            for (bench, key), entries in sorted(retired.items()):
+                lines.append(f"| {bench} | `{key}` | {fmt(entries[-1][2])} | {len(entries)} |")
+            lines.append("")
 
     args.out.write_text("\n".join(lines) + "\n")
-    print(f"wrote {args.out} ({len(history)} tracked key(s))")
+    print(f"wrote {args.out} ({len(gated)} gated, {len(retired)} retired key(s))")
     if args.badge is not None:
-        args.badge.write_text(render_badge(history))
+        args.badge.write_text(render_badge(gated))
         print(f"wrote {args.badge}")
     return 0
 

@@ -34,8 +34,10 @@ from bench_compare import POLICIES, lookup
 
 
 def gated_keys(policy: dict[str, list]) -> list[str]:
-    keys = list(policy["exact"])
-    for ratio_key, basis_key in policy["ratio"]:
+    # .get: a policy that gates only one kind of key may omit the other
+    # list entirely; that must not raise.
+    keys = list(policy.get("exact", []))
+    for ratio_key, basis_key in policy.get("ratio", []):
         keys.append(ratio_key)
         keys.append(basis_key)
     return keys
